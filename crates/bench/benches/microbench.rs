@@ -1,0 +1,205 @@
+//! Criterion micro-benchmarks over the performance-critical paths:
+//! wire codec, prefix trie, decision process, streaming classifier,
+//! damping engine, and the Figure 5 numerics (FFT / Burg / SSA).
+//!
+//! Run with `cargo bench -p iri-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::codec::{decode_message, encode_message};
+use iri_bgp::message::{Message, Update, UpdateBuilder};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::input::{PeerKey, UpdateEvent};
+use iri_core::Classifier;
+use iri_rib::damping::{DampingConfig, FlapKind, RouteDamper};
+use iri_rib::decision::{best_route, RouteCandidate};
+use iri_rib::trie::PrefixTrie;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn sample_update(nlri: usize) -> Update {
+    let mut b = UpdateBuilder::new()
+        .next_hop(Ipv4Addr::new(192, 41, 177, 1))
+        .as_path(AsPath::from_sequence([Asn(3561), Asn(701), Asn(1239)]))
+        .origin(Origin::Igp)
+        .med(100);
+    for i in 0..nlri as u32 {
+        b = b.announce(Prefix::from_raw(0x0a00_0000 | (i << 8), 24));
+    }
+    b.build().unwrap()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for &n in &[1usize, 32, 256] {
+        let msg = Message::Update(sample_update(n));
+        let wire = encode_message(&msg);
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function(format!("encode_{n}_nlri"), |b| {
+            b.iter(|| encode_message(black_box(&msg)))
+        });
+        g.bench_function(format!("decode_{n}_nlri"), |b| {
+            b.iter(|| decode_message(black_box(&wire)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trie");
+    let prefixes: Vec<Prefix> = (0..42_000u32)
+        .map(|i| Prefix::from_raw((i << 10) | 0x0200_0000, 22))
+        .collect();
+    g.bench_function("insert_42k", |b| {
+        b.iter_batched(
+            PrefixTrie::<u32>::new,
+            |mut t| {
+                for (i, &p) in prefixes.iter().enumerate() {
+                    t.insert(p, i as u32);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let full: PrefixTrie<u32> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("longest_match", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2_654_435_761);
+            full.longest_match(black_box(Prefix::from_raw(i | 0x0200_0000, 32)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let candidates: Vec<RouteCandidate> = (0..30)
+        .map(|i| RouteCandidate {
+            attrs: PathAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence((0..(i % 5 + 1)).map(|k| Asn(100 + k))),
+                Ipv4Addr::new(10, 0, 0, i as u8),
+            ),
+            peer_asn: Asn(100 + i),
+            peer_router_id: Ipv4Addr::new(10, 0, 1, i as u8),
+            peer_addr: Ipv4Addr::new(10, 0, 2, i as u8),
+        })
+        .collect();
+    c.bench_function("decision/best_of_30", |b| {
+        b.iter(|| best_route(black_box(&candidates)))
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    // A realistic mixed stream: flaps, duplicates, spurious withdrawals.
+    let peer = PeerKey {
+        asn: Asn(701),
+        addr: Ipv4Addr::new(192, 41, 177, 1),
+    };
+    let attrs = PathAttributes::new(
+        Origin::Igp,
+        AsPath::from_sequence([Asn(701), Asn(1239)]),
+        Ipv4Addr::new(192, 41, 177, 1),
+    );
+    let mut events = Vec::new();
+    for i in 0..10_000u32 {
+        let prefix = Prefix::from_raw(0x0a00_0000 | ((i % 500) << 8), 24);
+        let t = u64::from(i) * 100;
+        events.push(match i % 4 {
+            0 => UpdateEvent::announce(t, peer, prefix, attrs.clone()),
+            1 => UpdateEvent::withdraw(t, peer, prefix),
+            2 => UpdateEvent::withdraw(t, peer, prefix),
+            _ => UpdateEvent::announce(t, peer, prefix, attrs.clone()),
+        });
+    }
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("stream_10k_events", |b| {
+        b.iter_batched(
+            Classifier::new,
+            |mut cl| {
+                for e in &events {
+                    black_box(cl.classify(e));
+                }
+                cl
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_damping(c: &mut Criterion) {
+    c.bench_function("damping/record_flap", |b| {
+        let mut damper = RouteDamper::new(DampingConfig::default());
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 30_000;
+            damper.record_flap(black_box(pfx), FlapKind::Withdrawal, t)
+        })
+    });
+}
+
+fn bench_timeseries(c: &mut Criterion) {
+    use iri_core::timeseries::{acf_spectrum, burg_spectrum, ssa_components};
+    let series: Vec<f64> = (0..1344)
+        .map(|t| {
+            (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                + 0.5 * (2.0 * std::f64::consts::PI * t as f64 / 168.0).sin()
+        })
+        .collect();
+    let mut g = c.benchmark_group("timeseries");
+    g.sample_size(20);
+    g.bench_function("acf_spectrum_1344h", |b| {
+        b.iter(|| acf_spectrum(black_box(&series), 400))
+    });
+    g.bench_function("burg_180_1344h", |b| {
+        b.iter(|| burg_spectrum(black_box(&series), 180, 512))
+    });
+    g.bench_function("ssa_top5_window200", |b| {
+        b.iter(|| ssa_components(black_box(&series), 200, 5))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use iri_netsim::{build_exchange, provider_mix, ExchangePoint, World, MINUTE, SECOND};
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("exchange_10min_with_flaps", |b| {
+        b.iter(|| {
+            let mut world = World::new(7);
+            let cfgs = provider_mix(ExchangePoint::Aads, 0.15, 0.5, 6000);
+            let ex = build_exchange(&mut world, ExchangePoint::Aads, cfgs);
+            for (i, &p) in ex.providers.iter().enumerate() {
+                let pfx = Prefix::from_raw(0x0a00_0000 | ((i as u32) << 16), 16);
+                world.schedule_originate(SECOND, p, pfx);
+                world.schedule_flap(2 * MINUTE, p, pfx, 45 * SECOND);
+            }
+            world.start();
+            world.run_until(10 * MINUTE);
+            black_box(world.stats.delivered)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_trie,
+    bench_decision,
+    bench_classifier,
+    bench_damping,
+    bench_timeseries,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! The IGP/BGP interaction conjecture (§4.2), end to end.
+//!
+//! "Another plausible explanation for the source of the periodic routing
+//! instability may be the improper configuration of the interaction
+//! between interior gateway protocols (IGP) and BGP. … This type of
+//! interaction is highly suspect as most IGP protocols utilize internal
+//! timers based on some multiple of 30 seconds."
+//!
+//! Pipeline: a RIP domain with a flapping internal circuit and two
+//! mutually-redistributing borders (iri-igp) produces a timeline of BGP
+//! originations at border A; those feed a provider router at a simulated
+//! exchange; the monitor log is classified and its periodicity measured.
+//! Shape target: the redistribution loop emits sustained BGP churn whose
+//! events sit on the IGP's 30-second grid, surfacing as AADup (MED-only
+//! policy fluctuation) and WADup at the exchange — indistinguishable, as
+//! the paper notes, from other 30-second pathologies.
+
+use iri_bench::{banner, logged_to_events};
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_igp::redistribute::mutual_redistribution_experiment;
+use iri_netsim::{RouterConfig, World, HOUR, MINUTE};
+use std::net::Ipv4Addr;
+
+fn main() {
+    banner(
+        "IGP/BGP interaction — the §4.2 inter-protocol oscillation conjecture",
+        "lossy mutual redistribution with 30-second IGP timers sustains \
+         periodic BGP churn the routers cannot detect as a loop",
+    );
+
+    // 1. Run the IGP-side experiment: a circuit flapping every 4 minutes
+    //    behind two mutually-redistributing borders, for 4 hours.
+    let (out_a, out_b) = mutual_redistribution_experiment(4 * 60_000, 4 * 3_600_000);
+    println!(
+        "IGP experiment: border A emitted {} BGP events, border B {}",
+        out_a.len(),
+        out_b.len()
+    );
+    assert!(out_a.len() > 20, "the loop must churn");
+
+    // 2. Feed border A's events into an exchange simulation — twice: once
+    //    through a well-behaved (stateful) border, once through the
+    //    pathological vendor profile. The first shows the oscillation as
+    //    MED policy fluctuation (AADup); the second *masks* it into
+    //    grid-locked duplicate pairs — "the WWDup and AADup behavior may
+    //    be masking real instability."
+    let run_border = |pathological: bool| -> (Classifier, f64, usize) {
+        let mut world = World::new(0x1697);
+        let cfg = if pathological {
+            RouterConfig::pathological("border-A", Asn(100), Ipv4Addr::new(10, 0, 0, 1))
+        } else {
+            RouterConfig::well_behaved("border-A", Asn(100), Ipv4Addr::new(10, 0, 0, 1))
+        };
+        let border = world.add_router(cfg);
+        let rs = world.add_router(RouterConfig::route_server(
+            "RS",
+            Asn(237),
+            Ipv4Addr::new(10, 0, 0, 250),
+        ));
+        world.attach_monitor(rs);
+        world.connect(border, rs, 1);
+        let offset = 2 * MINUTE;
+        let customer = Asn(65_001);
+        for e in &out_a {
+            let prefix: Prefix = e.prefix;
+            match e.med {
+                Some(med) => {
+                    let mut attrs = PathAttributes::new(
+                        Origin::Incomplete, // redistributed routes carry INCOMPLETE
+                        AsPath::from_sequence([customer]),
+                        Ipv4Addr::new(10, 0, 0, 1),
+                    );
+                    attrs.med = Some(med);
+                    world.schedule_originate_with(offset + e.time_ms, border, prefix, attrs);
+                }
+                None => world.schedule_withdraw(offset + e.time_ms, border, prefix),
+            }
+        }
+        world.start();
+        world.run_until(offset + 4 * HOUR + 10 * MINUTE);
+        let monitor = world.take_monitor(rs).unwrap();
+        let events = logged_to_events(&monitor.updates);
+        let mut classifier = Classifier::new();
+        let _ = classifier.classify_all(&events);
+        // Grid exactness of same-prefix gaps.
+        let mut exact = 0u64;
+        let mut total = 0u64;
+        let mut last: std::collections::HashMap<Prefix, u64> = std::collections::HashMap::new();
+        for e in &events {
+            if let Some(&prev) = last.get(&e.prefix) {
+                let gap = e.time_ms - prev;
+                if gap >= 5_000 {
+                    total += 1;
+                    let phase = gap % 30_000;
+                    if phase <= 1_500 || phase >= 28_500 {
+                        exact += 1;
+                    }
+                }
+            }
+            last.insert(e.prefix, e.time_ms);
+        }
+        let frac = exact as f64 / total.max(1) as f64;
+        (classifier, frac, events.len())
+    };
+
+    let (stateful, frac_stateful, n_stateful) = run_border(false);
+    let (pathological, frac_path, n_path) = run_border(true);
+
+    println!("\n-- through a stateful border --");
+    println!(
+        "  events {n_stateful}; AADup {} (policy fluctuations {}); grid-locked gaps {:.0}%",
+        stateful.count(UpdateClass::AaDup),
+        stateful.policy_change_count(),
+        100.0 * frac_stateful
+    );
+    println!("-- through the pathological vendor border --");
+    println!(
+        "  events {n_path}; WADup {} + AADup {} (policy flags {}); grid-locked gaps {:.0}%",
+        pathological.count(UpdateClass::WaDup),
+        pathological.count(UpdateClass::AaDup),
+        pathological.policy_change_count(),
+        100.0 * frac_path
+    );
+
+    // The oscillation is visible as policy fluctuation through the clean
+    // border…
+    assert!(
+        stateful.policy_change_count() > 5,
+        "MED churn must be flagged as policy fluctuation at a stateful border"
+    );
+    // …and masked into grid-locked duplicate pairs through the vendor's.
+    assert!(
+        pathological.count(UpdateClass::WaDup) + pathological.count(UpdateClass::AaDup) > 10,
+        "the vendor border must convert the churn into duplicate classes"
+    );
+    assert!(
+        frac_path > 0.7,
+        "the IGP's 30-second timers must imprint on the vendor stream ({frac_path:.2})"
+    );
+    assert!(
+        frac_path > frac_stateful,
+        "the unjittered vendor timer must sharpen the grid signature"
+    );
+    println!("\nOK — the conjectured IGP/BGP oscillation reproduces the 30-second signature,");
+    println!("and the vendor's implementation masks the policy churn into duplicates.");
+}

@@ -1,0 +1,187 @@
+//! `mrtstat` — a bgpdump-style analyzer for MRT BGP logs.
+//!
+//! Reads an MRT file (BGP4MP MESSAGE records, as written by the simulator's
+//! monitors or any other MRT producer this library's writer understands),
+//! classifies every prefix event with the paper's taxonomy, and prints the
+//! §4/§5 statistics: class breakdown, per-peer totals, instability
+//! incidents, inter-arrival modes, and episode persistence.
+//!
+//! ```sh
+//! mrtstat <file.mrt> [--base-time <unix-secs>]
+//! mrtstat --demo           # generate a demo log in-memory and analyze it
+//! ```
+
+use iri_bench::{arg_u64, logged_to_events};
+use iri_core::input::events_from_mrt;
+use iri_core::stats::bins::{instability_filter, ten_minute_bins};
+use iri_core::stats::daily::provider_daily_totals;
+use iri_core::stats::incidents::detect_incidents;
+use iri_core::stats::interarrival::{day_interarrival, BIN_LABELS};
+use iri_core::stats::persistence::{episodes, persistence_below};
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_mrt::MrtReader;
+use std::fs::File;
+use std::io::BufReader;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let events = if args.iter().any(|a| a == "--demo") {
+        demo_events()
+    } else {
+        let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+            eprintln!("usage: mrtstat <file.mrt> [--base-time <unix-secs>] | mrtstat --demo");
+            std::process::exit(2);
+        };
+        let base = arg_u64(&args, "--base-time", 0) as u32;
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("mrtstat: cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut reader = MrtReader::new(BufReader::new(file));
+        let mut records = Vec::new();
+        loop {
+            match reader.next_record() {
+                Ok(Some(r)) => records.push(r),
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("mrtstat: warning: stopping at malformed record: {e}");
+                    break;
+                }
+            }
+        }
+        let base = if base == 0 {
+            records.first().map_or(0, iri_mrt::MrtRecord::timestamp)
+        } else {
+            base
+        };
+        println!("{path}: {} MRT records (base time {base})", records.len());
+        events_from_mrt(&records, base)
+    };
+
+    if events.is_empty() {
+        println!("no prefix events found.");
+        return;
+    }
+
+    let mut classifier = Classifier::new();
+    let classified = classifier.classify_all(&events);
+    let span_ms = events.last().map_or(0, |e| e.time_ms) + 1;
+    println!(
+        "\n{} prefix events over {:.1} hours from {} (peer, prefix) pairs",
+        classified.len(),
+        span_ms as f64 / 3_600_000.0,
+        classifier.tracked_pairs()
+    );
+
+    println!("\n-- taxonomy breakdown --");
+    let total = classifier.total().max(1);
+    for class in UpdateClass::ALL {
+        let n = classifier.count(class);
+        if n > 0 {
+            println!(
+                "  {:<14} {:>9}  ({:>5.1}%)",
+                class.label(),
+                n,
+                100.0 * n as f64 / total as f64
+            );
+        }
+    }
+    println!(
+        "  instability {} / pathological {} / policy fluctuations {}",
+        UpdateClass::ALL
+            .iter()
+            .filter(|c| c.is_instability())
+            .map(|&c| classifier.count(c))
+            .sum::<u64>(),
+        UpdateClass::ALL
+            .iter()
+            .filter(|c| c.is_pathological())
+            .map(|&c| classifier.count(c))
+            .sum::<u64>(),
+        classifier.policy_change_count()
+    );
+
+    println!("\n-- per-peer totals --");
+    for row in provider_daily_totals(&classified) {
+        println!(
+            "  {:<10} announce {:>8}  withdraw {:>8}  unique {:>6}  W/A {:>6.1}",
+            row.asn.to_string(),
+            row.announce,
+            row.withdraw,
+            row.unique_prefixes,
+            row.withdraw_ratio()
+        );
+    }
+
+    println!("\n-- instability incidents (≥10x baseline, 10-min slots) --");
+    let bins = ten_minute_bins(&classified, instability_filter);
+    let incidents = detect_incidents(&bins, 10.0, 36);
+    if incidents.is_empty() {
+        println!("  none detected");
+    } else {
+        for inc in &incidents {
+            println!(
+                "  slots {:>3}–{:<3} ({} min): peak {} = {:.0}x baseline",
+                inc.start_slot,
+                inc.end_slot,
+                inc.duration_slots() * 10,
+                inc.peak,
+                inc.magnitude()
+            );
+        }
+    }
+
+    println!("\n-- inter-arrival modes --");
+    for class in UpdateClass::FIGURE_CATEGORIES {
+        let d = day_interarrival(&classified, class);
+        if d.gaps == 0 {
+            continue;
+        }
+        let best = d
+            .proportions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, p)| (BIN_LABELS[i], p))
+            .unwrap();
+        println!(
+            "  {:<8} {} gaps; modal bin {} ({:.0}%); 30s+1m mass {:.0}%",
+            class.label(),
+            d.gaps,
+            best.0,
+            100.0 * best.1,
+            100.0 * (d.proportions[2] + d.proportions[3])
+        );
+    }
+
+    let eps = episodes(&classified, 5 * 60 * 1000);
+    println!(
+        "\n-- persistence: {:.0}% of multi-event episodes under 5 minutes ({} episodes) --",
+        100.0 * persistence_below(&eps, 5 * 60 * 1000),
+        eps.len()
+    );
+}
+
+/// Generates an in-memory demo: one simulated exchange hour.
+fn demo_events() -> Vec<iri_core::input::UpdateEvent> {
+    use iri_netsim::{build_exchange, provider_mix, CsuFault, ExchangePoint, World, HOUR, MINUTE};
+    println!("(demo mode: simulating one hour at a scaled Mae-East)");
+    let mut world = World::new(0xdead_beef);
+    let cfgs = provider_mix(ExchangePoint::MaeEast, 0.08, 0.6, 7000);
+    let ex = build_exchange(&mut world, ExchangePoint::MaeEast, cfgs);
+    for (i, &p) in ex.providers.iter().enumerate() {
+        let pfx = iri_bgp::types::Prefix::from_raw(0x0a00_0000 | ((i as u32) << 16), 16);
+        world.schedule_originate(1000, p, pfx);
+        world.schedule_flap(5 * MINUTE, p, pfx, 45 * MINUTE / 60);
+    }
+    world.add_access_link(
+        ex.providers[0],
+        vec!["192.42.113.0/24".parse().unwrap()],
+        Some(CsuFault::beat_30s(2 * MINUTE)),
+    );
+    world.start();
+    world.run_until(HOUR);
+    let monitor = world.take_monitor(ex.route_server).unwrap();
+    logged_to_events(&monitor.updates)
+}

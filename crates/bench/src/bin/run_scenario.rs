@@ -1,0 +1,87 @@
+//! `run_scenario` — run a user-supplied experiment from JSON configs.
+//!
+//! The whole workload surface (graph generation + calendar + event mix) is
+//! serde-serialisable; this binary makes it a downstream-usable tool:
+//!
+//! ```sh
+//! run_scenario --print-default > scenario.json   # dump the default config
+//! run_scenario scenario.json --day 45            # run one day of it
+//! ```
+//!
+//! The config file holds `{ "graph": GraphConfig, "scenario": ScenarioConfig }`.
+
+use iri_bench::{arg_u64, logged_to_events};
+use iri_core::stats::breakdown::breakdown;
+use iri_core::stats::incidents::detect_incidents;
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_topology::asgraph::{AsGraph, GraphConfig};
+use iri_topology::scenario::ScenarioConfig;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct ExperimentFile {
+    graph: GraphConfig,
+    scenario: ScenarioConfig,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--print-default") {
+        let graph_cfg = GraphConfig::default_scaled(0.05);
+        let scenario = ScenarioConfig::default_for(graph_cfg.prefixes);
+        let file = ExperimentFile {
+            graph: graph_cfg,
+            scenario,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&file).expect("serialise")
+        );
+        return;
+    }
+    let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+        eprintln!("usage: run_scenario <config.json> [--day N] | run_scenario --print-default");
+        std::process::exit(2);
+    };
+    let day = arg_u64(&args, "--day", 45) as u32;
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("run_scenario: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let file: ExperimentFile = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("run_scenario: bad config: {e}");
+        std::process::exit(1);
+    });
+
+    let graph = AsGraph::generate(&file.graph);
+    println!(
+        "graph: {} providers, {} customers, {} prefixes; running day {day} at {}",
+        graph.providers.len(),
+        graph.customers.len(),
+        graph.prefix_count(),
+        file.scenario.exchange.name(),
+    );
+    let result = iri_topology::scenario::run_day(&file.scenario, &graph, day);
+    let events = logged_to_events(&result.events_after_warmup());
+    let mut classifier = Classifier::new();
+    let classified = classifier.classify_all(&events);
+    let b = breakdown(&classified);
+    println!("\n{} prefix events:", b.total());
+    for class in UpdateClass::ALL {
+        if b.get(class) > 0 {
+            println!("  {:<14} {:>8}", class.label(), b.get(class));
+        }
+    }
+    let bins = iri_core::stats::bins::ten_minute_bins(
+        &classified,
+        iri_core::stats::bins::instability_filter,
+    );
+    let incidents = detect_incidents(&bins, 10.0, 36);
+    println!(
+        "\ntable: {} prefixes ({} multihomed); incidents detected: {}",
+        result.census.prefixes,
+        result.census.multihomed,
+        incidents.len()
+    );
+}

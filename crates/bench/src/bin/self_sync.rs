@@ -1,0 +1,110 @@
+//! Self-synchronisation of periodic routing messages — the paper's §4.2
+//! Floyd–Jacobson conjecture, as a standalone experiment.
+//!
+//! "The unjittered interval timer used on a large number of inter-domain
+//! border routers may introduce a weak coupling between those routers
+//! through the periodic transmission of the BGP updates. Our analysis
+//! suggests that these Internet routers will fulfill the requirements of
+//! the Periodic Message model and may undergo abrupt synchronization."
+//!
+//! Shape targets: with unjittered timers and weak processing coupling, an
+//! initially unsynchronized population of routers clusters (Kuramoto-style
+//! order parameter climbs toward 1); RFC-recommended jitter keeps the
+//! population spread; the transition is abrupt rather than gradual.
+
+use iri_bench::{arg_f64, arg_u64, banner};
+use iri_session::selfsync::{run_model, SelfSyncConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sparkline(series: &[f64], cols: usize) -> String {
+    let step = (series.len() / cols.max(1)).max(1);
+    series
+        .iter()
+        .step_by(step)
+        .map(|&v| {
+            let level = (v * 9.0).round().clamp(0.0, 9.0) as u32;
+            char::from_digit(level, 10).unwrap_or('9')
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let routers = arg_u64(&args, "--routers", 30) as usize;
+    let periods = arg_u64(&args, "--periods", 800) as usize;
+    let coupling = arg_f64(&args, "--coupling", 40.0);
+    banner(
+        "Self-synchronization — the Floyd–Jacobson Periodic Message model",
+        "unjittered 30s timers + weak coupling through update processing \
+         drive initially unsynchronized routers into abrupt synchronization; \
+         jitter prevents it",
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x1994);
+    let unjittered = run_model(
+        &SelfSyncConfig {
+            routers,
+            coupling_ms: coupling,
+            ..SelfSyncConfig::default()
+        },
+        periods,
+        &mut rng,
+    );
+    let mut rng = StdRng::seed_from_u64(0x1994);
+    let jittered = run_model(
+        &SelfSyncConfig {
+            routers,
+            coupling_ms: coupling,
+            jitter: 0.25,
+            ..SelfSyncConfig::default()
+        },
+        periods,
+        &mut rng,
+    );
+
+    println!("{routers} routers, 30s period, {coupling}ms coupling, {periods} periods\n");
+    println!(
+        "phase-coherence trajectory (0=spread … 9=synchronized), one digit ≈ {} periods:",
+        periods / 64
+    );
+    println!("  unjittered: |{}|", sparkline(&unjittered.dispersion, 64));
+    println!("  jittered:   |{}|", sparkline(&jittered.dispersion, 64));
+    let early: f64 = unjittered.dispersion[..20].iter().sum::<f64>() / 20.0;
+    println!(
+        "\nfinal coherence: unjittered {:.2} (from {:.2}) vs jittered {:.2}",
+        unjittered.final_dispersion(),
+        early,
+        jittered.final_dispersion()
+    );
+
+    // Abruptness: find the steepest 20-period climb.
+    let d = &unjittered.dispersion;
+    let mut steepest = 0.0;
+    let mut at = 0;
+    for i in 0..d.len().saturating_sub(20) {
+        let climb = d[i + 20] - d[i];
+        if climb > steepest {
+            steepest = climb;
+            at = i;
+        }
+    }
+    println!(
+        "steepest climb: +{steepest:.2} coherence within 20 periods (around period {at}) — \
+         the 'abrupt synchronization' of the model"
+    );
+
+    assert!(
+        unjittered.final_dispersion() > 0.6,
+        "unjittered population must synchronize"
+    );
+    assert!(
+        jittered.final_dispersion() < 0.5,
+        "jittered population must stay spread"
+    );
+    assert!(
+        unjittered.final_dispersion() > jittered.final_dispersion() + 0.25,
+        "jitter must make the qualitative difference"
+    );
+    println!("\nOK — the conjectured self-synchronization reproduces, and jitter defeats it.");
+}

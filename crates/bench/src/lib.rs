@@ -1,0 +1,107 @@
+//! # iri-bench — experiment harness
+//!
+//! Regenerates every table and figure of *Internet Routing Instability*.
+//! One binary per artefact (`table1`, `fig1` … `fig10`, `headline`,
+//! `ablations`), all built on the shared pipeline here:
+//!
+//! ```text
+//! iri-topology scenario → iri-netsim day world → monitor log
+//!        → iri-core events → classifier → per-day summary
+//! ```
+//!
+//! Multi-day experiments run days in parallel with crossbeam scoped
+//! threads; each simulated day is independent (its own seeded world), so
+//! results are deterministic regardless of thread scheduling.
+
+pub mod summary;
+
+pub use summary::{run_days, summarize_day, DaySummary, ExperimentConfig};
+
+use iri_core::input::{PeerKey, UpdateEvent};
+use iri_netsim::monitor::LoggedUpdate;
+
+/// Converts monitor log entries into the analysis crate's prefix events.
+#[must_use]
+pub fn logged_to_events(log: &[LoggedUpdate]) -> Vec<UpdateEvent> {
+    let mut out = Vec::with_capacity(log.len());
+    for entry in log {
+        if let iri_bgp::message::Message::Update(u) = &entry.message {
+            let peer = PeerKey {
+                asn: entry.peer_asn,
+                addr: entry.peer_addr,
+            };
+            out.extend(iri_core::input::events_from_update(entry.time_ms, peer, u));
+        }
+    }
+    out
+}
+
+/// Parses `--key value` style arguments with defaults, e.g.
+/// `arg_f64(&args, "--scale", 0.05)`.
+#[must_use]
+pub fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Integer variant of [`arg_f64`].
+#[must_use]
+pub fn arg_u64(args: &[String], key: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Standard experiment banner: what the paper reported vs what we measured.
+pub fn banner(title: &str, paper: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("paper: {paper}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--scale", "0.2", "--days", "14"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(arg_f64(&args, "--scale", 0.05), 0.2);
+        assert_eq!(arg_u64(&args, "--days", 7), 14);
+        assert_eq!(arg_u64(&args, "--missing", 9), 9);
+        assert_eq!(arg_f64(&args, "--days", 1.0), 14.0);
+    }
+
+    #[test]
+    fn logged_to_events_skips_keepalives() {
+        use iri_bgp::message::{Message, Update};
+        use iri_bgp::types::Asn;
+        use std::net::Ipv4Addr;
+        let log = vec![
+            LoggedUpdate {
+                time_ms: 5,
+                peer_asn: Asn(701),
+                peer_addr: Ipv4Addr::new(1, 1, 1, 1),
+                message: Message::Keepalive,
+            },
+            LoggedUpdate {
+                time_ms: 6,
+                peer_asn: Asn(701),
+                peer_addr: Ipv4Addr::new(1, 1, 1, 1),
+                message: Message::Update(Update::withdraw(["10.0.0.0/8".parse().unwrap()])),
+            },
+        ];
+        let events = logged_to_events(&log);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time_ms, 6);
+    }
+}

@@ -1,0 +1,228 @@
+//! BGP path attributes and the paper's **(Prefix, NextHop, ASPATH)** route
+//! key.
+//!
+//! The taxonomy in §4.1 of the paper hinges on a distinction this module
+//! makes explicit:
+//!
+//! > "A BGP update may contain additional attributes (MED, communities,
+//! > localpref, etc.), but only changes in the (Prefix, NextHop, ASPATH)
+//! > tuple will reflect network topological changes, or forwarding
+//! > instability. Succeeding prefix advertisements with differences in other
+//! > attributes may reflect routing policy changes."
+//!
+//! [`RouteKey`] is that tuple; [`PathAttributes::forwarding_key`] extracts it.
+
+use crate::path::AsPath;
+use crate::types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The ORIGIN attribute (RFC 4271 §4.3): how the originating AS learned the
+/// route. Ordered so that `Igp < Egp < Incomplete` matches decision-process
+/// preference.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Origin {
+    /// Interior to the originating AS.
+    #[default]
+    Igp,
+    /// Learned via the (historic) EGP protocol.
+    Egp,
+    /// Learned by some other means, typically redistribution.
+    Incomplete,
+}
+
+impl Origin {
+    /// Wire code (0 = IGP, 1 = EGP, 2 = INCOMPLETE).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Parses a wire code.
+    #[must_use]
+    pub fn from_code(c: u8) -> Option<Origin> {
+        match c {
+            0 => Some(Origin::Igp),
+            1 => Some(Origin::Egp),
+            2 => Some(Origin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Origin::Igp => "IGP",
+            Origin::Egp => "EGP",
+            Origin::Incomplete => "incomplete",
+        })
+    }
+}
+
+/// The AGGREGATOR attribute: which AS and router formed an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Aggregator {
+    /// The aggregating AS.
+    pub asn: crate::types::Asn,
+    /// The aggregating router's identifier.
+    pub router_id: Ipv4Addr,
+}
+
+/// The attribute set carried by an UPDATE's announced routes.
+///
+/// Fields beyond the forwarding tuple (MED, LOCAL_PREF, communities,
+/// ATOMIC_AGGREGATE, AGGREGATOR) exist so the classifier can distinguish
+/// *policy fluctuation* (attribute churn with a stable forwarding tuple)
+/// from forwarding instability.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// Mandatory ORIGIN.
+    pub origin: Origin,
+    /// Mandatory AS_PATH (may be empty only on IBGP-originated routes).
+    pub as_path: AsPath,
+    /// Mandatory NEXT_HOP.
+    pub next_hop: Ipv4Addr,
+    /// Optional MULTI_EXIT_DISC.
+    pub med: Option<u32>,
+    /// Optional LOCAL_PREF (IBGP only in real deployments; carried here for
+    /// policy-fluctuation experiments).
+    pub local_pref: Option<u32>,
+    /// Whether ATOMIC_AGGREGATE is attached.
+    pub atomic_aggregate: bool,
+    /// Optional AGGREGATOR.
+    pub aggregator: Option<Aggregator>,
+    /// RFC 1997 communities, each a 32-bit value conventionally rendered
+    /// `asn:value`.
+    pub communities: Vec<u32>,
+}
+
+impl PathAttributes {
+    /// Minimal valid attribute set for an EBGP announcement.
+    #[must_use]
+    pub fn new(origin: Origin, as_path: AsPath, next_hop: Ipv4Addr) -> Self {
+        PathAttributes {
+            origin,
+            as_path,
+            next_hop,
+            med: None,
+            local_pref: None,
+            atomic_aggregate: false,
+            aggregator: None,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Extracts the forwarding-relevant key for `prefix`: the tuple the paper
+    /// compares to classify successive updates.
+    #[must_use]
+    pub fn forwarding_key(&self, prefix: Prefix) -> RouteKey {
+        RouteKey {
+            prefix,
+            next_hop: self.next_hop,
+            as_path: self.as_path.clone(),
+        }
+    }
+
+    /// Whether two attribute sets differ *only* in non-forwarding fields —
+    /// the signature of a routing-policy fluctuation.
+    #[must_use]
+    pub fn same_forwarding(&self, other: &PathAttributes) -> bool {
+        self.next_hop == other.next_hop && self.as_path == other.as_path
+    }
+}
+
+/// The **(Prefix, NextHop, ASPATH)** tuple of §4.1.
+///
+/// Two successive announcements with equal `RouteKey`s are a *duplicate*
+/// (`AADup`) regardless of any other attribute differences at the forwarding
+/// level; the `iri-core` classifier additionally consults full attributes to
+/// separate policy fluctuation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouteKey {
+    /// Destination block.
+    pub prefix: Prefix,
+    /// Forwarding next hop at the exchange.
+    pub next_hop: Ipv4Addr,
+    /// AS-level path.
+    pub as_path: AsPath,
+}
+
+impl fmt::Display for RouteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {} path [{}]",
+            self.prefix, self.next_hop, self.as_path
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Asn;
+
+    fn attrs(path: &[u32], hop: [u8; 4]) -> PathAttributes {
+        PathAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence(path.iter().map(|&a| Asn(a))),
+            Ipv4Addr::from(hop),
+        )
+    }
+
+    #[test]
+    fn origin_codes_roundtrip() {
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_code(o.code()), Some(o));
+        }
+        assert_eq!(Origin::from_code(3), None);
+    }
+
+    #[test]
+    fn origin_preference_order() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+
+    #[test]
+    fn forwarding_key_ignores_policy_attributes() {
+        let p: Prefix = "192.42.113.0/24".parse().unwrap();
+        let a = attrs(&[701], [10, 0, 0, 1]);
+        let mut b = a.clone();
+        b.med = Some(50);
+        b.communities = vec![0x02bd_0001];
+        b.local_pref = Some(200);
+        assert!(a.same_forwarding(&b));
+        assert_eq!(a.forwarding_key(p), b.forwarding_key(p));
+    }
+
+    #[test]
+    fn forwarding_key_sees_topology_change() {
+        let p: Prefix = "192.42.113.0/24".parse().unwrap();
+        let a = attrs(&[701], [10, 0, 0, 1]);
+        let b = attrs(&[1239, 701], [10, 0, 0, 1]);
+        let c = attrs(&[701], [10, 0, 0, 2]);
+        assert_ne!(a.forwarding_key(p), b.forwarding_key(p));
+        assert_ne!(a.forwarding_key(p), c.forwarding_key(p));
+        assert!(!a.same_forwarding(&b));
+        assert!(!a.same_forwarding(&c));
+    }
+
+    #[test]
+    fn route_key_display() {
+        let p: Prefix = "192.42.113.0/24".parse().unwrap();
+        let k = attrs(&[701, 1239], [10, 0, 0, 1]).forwarding_key(p);
+        assert_eq!(
+            k.to_string(),
+            "192.42.113.0/24 via 10.0.0.1 path [701 1239]"
+        );
+    }
+}

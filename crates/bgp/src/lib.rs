@@ -1,0 +1,62 @@
+//! # iri-bgp — BGP-4 message model and wire codec
+//!
+//! This crate is the lowest substrate of the *Internet Routing Instability*
+//! reproduction: a faithful model of the Border Gateway Protocol version 4
+//! messages that the paper's measurement apparatus logged at the U.S. public
+//! exchange points, together with an RFC 4271 wire codec.
+//!
+//! The paper (Labovitz, Malan, Jahanian; SIGCOMM 1997) classifies routing
+//! updates by comparing the **(Prefix, NextHop, ASPATH)** tuple of successive
+//! announcements; everything in this crate exists to represent and transport
+//! that tuple plus the surrounding protocol machinery (OPEN negotiation,
+//! KEEPALIVE liveness, NOTIFICATION errors).
+//!
+//! ## Layout
+//!
+//! - [`types`] — autonomous system numbers, IPv4 addresses and prefixes.
+//! - [`path`] — `AS_PATH` segments and loop detection.
+//! - [`attrs`] — path attributes and the [`attrs::RouteKey`] tuple.
+//! - [`message`] — the four BGP message kinds.
+//! - [`codec`] — binary encode/decode over [`bytes`].
+//! - [`validate`] — semantic message validation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use iri_bgp::prelude::*;
+//!
+//! let prefix: Prefix = "192.42.113.0/24".parse().unwrap();
+//! let update = UpdateBuilder::new()
+//!     .announce(prefix)
+//!     .next_hop(Ipv4Addr::new(192, 41, 177, 1))
+//!     .as_path(AsPath::from_sequence([Asn(3561), Asn(701)]))
+//!     .origin(Origin::Igp)
+//!     .build()
+//!     .unwrap();
+//! let wire = iri_bgp::codec::encode_message(&Message::Update(update.clone()));
+//! let back = iri_bgp::codec::decode_message(&wire).unwrap();
+//! assert_eq!(back, Message::Update(update));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod codec;
+pub mod message;
+pub mod path;
+pub mod types;
+pub mod validate;
+
+pub use attrs::{Origin, PathAttributes, RouteKey};
+pub use message::{Message, Notification, Open, Update, UpdateBuilder};
+pub use path::{AsPath, PathSegment};
+pub use types::{Asn, Prefix};
+
+/// Convenience glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::attrs::{Origin, PathAttributes, RouteKey};
+    pub use crate::message::{Message, Notification, Open, Update, UpdateBuilder};
+    pub use crate::path::{AsPath, PathSegment};
+    pub use crate::types::{Asn, Prefix};
+    pub use std::net::Ipv4Addr;
+}

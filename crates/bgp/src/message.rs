@@ -1,0 +1,401 @@
+//! The four BGP-4 message kinds: OPEN, UPDATE, NOTIFICATION and KEEPALIVE.
+//!
+//! UPDATE is the protagonist of the paper — "routing information in BGP has
+//! two forms: announcements and withdrawals. A BGP update may contain
+//! multiple route announcements and withdrawals." [`Update`] models exactly
+//! that: a set of withdrawn prefixes plus one attribute set shared by all
+//! announced prefixes (NLRI), per RFC 4271 §4.3.
+
+use crate::attrs::PathAttributes;
+use crate::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A BGP OPEN message (RFC 4271 §4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Open {
+    /// Protocol version; always 4 in this model.
+    pub version: u8,
+    /// The sender's AS number (classic 2-byte field).
+    pub asn: Asn,
+    /// Proposed hold time in seconds; 0 disables keepalives, otherwise must
+    /// be ≥ 3.
+    pub hold_time: u16,
+    /// The sender's BGP identifier.
+    pub router_id: Ipv4Addr,
+}
+
+impl Open {
+    /// A conventional OPEN with the era-typical 180 s hold time.
+    #[must_use]
+    pub fn new(asn: Asn, router_id: Ipv4Addr) -> Self {
+        Open {
+            version: 4,
+            asn,
+            hold_time: 180,
+            router_id,
+        }
+    }
+}
+
+/// A BGP UPDATE message: withdrawals plus announcements sharing one
+/// attribute set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    /// Prefixes explicitly withdrawn ("a route withdrawal is sent when a
+    /// router makes a new local decision that a network is no longer
+    /// reachable").
+    pub withdrawn: Vec<Prefix>,
+    /// Attributes for all `nlri` prefixes; `None` iff `nlri` is empty.
+    pub attrs: Option<PathAttributes>,
+    /// Announced prefixes (Network Layer Reachability Information).
+    pub nlri: Vec<Prefix>,
+}
+
+impl Update {
+    /// A pure-withdrawal UPDATE.
+    #[must_use]
+    pub fn withdraw<I: IntoIterator<Item = Prefix>>(prefixes: I) -> Self {
+        Update {
+            withdrawn: prefixes.into_iter().collect(),
+            attrs: None,
+            nlri: Vec::new(),
+        }
+    }
+
+    /// A pure-announcement UPDATE.
+    #[must_use]
+    pub fn announce<I: IntoIterator<Item = Prefix>>(attrs: PathAttributes, prefixes: I) -> Self {
+        Update {
+            withdrawn: Vec::new(),
+            attrs: Some(attrs),
+            nlri: prefixes.into_iter().collect(),
+        }
+    }
+
+    /// Total prefix events carried (the unit the paper counts: "routers in
+    /// the Internet core currently exchange between three and six million
+    /// routing prefix updates each day").
+    #[must_use]
+    pub fn prefix_event_count(&self) -> usize {
+        self.withdrawn.len() + self.nlri.len()
+    }
+
+    /// Whether the message carries nothing (legal but vacuous).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.withdrawn.is_empty() && self.nlri.is_empty()
+    }
+}
+
+/// Builder for [`Update`] used throughout examples and tests.
+#[derive(Debug, Default, Clone)]
+pub struct UpdateBuilder {
+    withdrawn: Vec<Prefix>,
+    nlri: Vec<Prefix>,
+    origin: crate::attrs::Origin,
+    as_path: crate::path::AsPath,
+    next_hop: Option<Ipv4Addr>,
+    med: Option<u32>,
+    local_pref: Option<u32>,
+    communities: Vec<u32>,
+}
+
+/// Error from [`UpdateBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Announcing NLRI requires a NEXT_HOP.
+    MissingNextHop,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingNextHop => f.write_str("announcement requires a next hop"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl UpdateBuilder {
+    /// Starts an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        UpdateBuilder::default()
+    }
+
+    /// Adds an announced prefix.
+    #[must_use]
+    pub fn announce(mut self, p: Prefix) -> Self {
+        self.nlri.push(p);
+        self
+    }
+
+    /// Adds a withdrawn prefix.
+    #[must_use]
+    pub fn withdraw(mut self, p: Prefix) -> Self {
+        self.withdrawn.push(p);
+        self
+    }
+
+    /// Sets ORIGIN.
+    #[must_use]
+    pub fn origin(mut self, o: crate::attrs::Origin) -> Self {
+        self.origin = o;
+        self
+    }
+
+    /// Sets AS_PATH.
+    #[must_use]
+    pub fn as_path(mut self, p: crate::path::AsPath) -> Self {
+        self.as_path = p;
+        self
+    }
+
+    /// Sets NEXT_HOP.
+    #[must_use]
+    pub fn next_hop(mut self, h: Ipv4Addr) -> Self {
+        self.next_hop = Some(h);
+        self
+    }
+
+    /// Sets MED.
+    #[must_use]
+    pub fn med(mut self, m: u32) -> Self {
+        self.med = Some(m);
+        self
+    }
+
+    /// Sets LOCAL_PREF.
+    #[must_use]
+    pub fn local_pref(mut self, lp: u32) -> Self {
+        self.local_pref = Some(lp);
+        self
+    }
+
+    /// Appends a community.
+    #[must_use]
+    pub fn community(mut self, c: u32) -> Self {
+        self.communities.push(c);
+        self
+    }
+
+    /// Finalises the UPDATE.
+    pub fn build(self) -> Result<Update, BuildError> {
+        let attrs = if self.nlri.is_empty() {
+            None
+        } else {
+            let next_hop = self.next_hop.ok_or(BuildError::MissingNextHop)?;
+            let mut a = PathAttributes::new(self.origin, self.as_path, next_hop);
+            a.med = self.med;
+            a.local_pref = self.local_pref;
+            a.communities = self.communities;
+            Some(a)
+        };
+        Ok(Update {
+            withdrawn: self.withdrawn,
+            attrs,
+            nlri: self.nlri,
+        })
+    }
+}
+
+/// NOTIFICATION error codes (RFC 4271 §4.5), the messages that tear a
+/// peering session down — the proximate trigger of the paper's route-flap
+/// storms when hold timers expire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NotificationCode {
+    /// Problems with the 19-byte header.
+    MessageHeaderError,
+    /// Problems with an OPEN.
+    OpenMessageError,
+    /// Problems with an UPDATE.
+    UpdateMessageError,
+    /// The hold timer expired without a KEEPALIVE/UPDATE — the storm trigger.
+    HoldTimerExpired,
+    /// An event arrived in a state that cannot accept it.
+    FiniteStateMachineError,
+    /// Administrative or resource-driven teardown.
+    Cease,
+}
+
+impl NotificationCode {
+    /// Wire code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            NotificationCode::MessageHeaderError => 1,
+            NotificationCode::OpenMessageError => 2,
+            NotificationCode::UpdateMessageError => 3,
+            NotificationCode::HoldTimerExpired => 4,
+            NotificationCode::FiniteStateMachineError => 5,
+            NotificationCode::Cease => 6,
+        }
+    }
+
+    /// Parses a wire code.
+    #[must_use]
+    pub fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            1 => NotificationCode::MessageHeaderError,
+            2 => NotificationCode::OpenMessageError,
+            3 => NotificationCode::UpdateMessageError,
+            4 => NotificationCode::HoldTimerExpired,
+            5 => NotificationCode::FiniteStateMachineError,
+            6 => NotificationCode::Cease,
+            _ => return None,
+        })
+    }
+}
+
+/// A BGP NOTIFICATION message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Major error code.
+    pub code: NotificationCode,
+    /// Code-specific subcode (0 = unspecific).
+    pub subcode: u8,
+    /// Diagnostic payload.
+    pub data: Vec<u8>,
+}
+
+impl Notification {
+    /// A NOTIFICATION with no subcode or data.
+    #[must_use]
+    pub fn new(code: NotificationCode) -> Self {
+        Notification {
+            code,
+            subcode: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// Any BGP message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// Session establishment.
+    Open(Open),
+    /// Reachability information.
+    Update(Update),
+    /// Error + teardown.
+    Notification(Notification),
+    /// Liveness ("routers delay routing Keep-Alive packets and are
+    /// subsequently flagged as down").
+    Keepalive,
+}
+
+impl Message {
+    /// RFC 4271 type code.
+    #[must_use]
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Message::Open(_) => 1,
+            Message::Update(_) => 2,
+            Message::Notification(_) => 3,
+            Message::Keepalive => 4,
+        }
+    }
+
+    /// Short human name for logs and reports.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Open(_) => "OPEN",
+            Message::Update(_) => "UPDATE",
+            Message::Notification(_) => "NOTIFICATION",
+            Message::Keepalive => "KEEPALIVE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Origin;
+    use crate::path::AsPath;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn update_builder_announce_and_withdraw() {
+        let u = UpdateBuilder::new()
+            .announce(p("10.0.0.0/8"))
+            .announce(p("11.0.0.0/8"))
+            .withdraw(p("12.0.0.0/8"))
+            .next_hop(Ipv4Addr::new(1, 1, 1, 1))
+            .origin(Origin::Igp)
+            .as_path(AsPath::from_sequence([Asn(701)]))
+            .med(10)
+            .community(0x02bd_0001)
+            .build()
+            .unwrap();
+        assert_eq!(u.nlri.len(), 2);
+        assert_eq!(u.withdrawn.len(), 1);
+        assert_eq!(u.prefix_event_count(), 3);
+        assert!(!u.is_empty());
+        let a = u.attrs.unwrap();
+        assert_eq!(a.med, Some(10));
+        assert_eq!(a.communities, vec![0x02bd_0001]);
+    }
+
+    #[test]
+    fn builder_requires_next_hop_only_for_announcements() {
+        let err = UpdateBuilder::new().announce(p("10.0.0.0/8")).build();
+        assert_eq!(err.unwrap_err(), BuildError::MissingNextHop);
+        let ok = UpdateBuilder::new()
+            .withdraw(p("10.0.0.0/8"))
+            .build()
+            .unwrap();
+        assert!(ok.attrs.is_none());
+    }
+
+    #[test]
+    fn pure_withdrawal_constructor() {
+        let u = Update::withdraw([p("10.0.0.0/8")]);
+        assert!(u.attrs.is_none());
+        assert_eq!(u.prefix_event_count(), 1);
+    }
+
+    #[test]
+    fn empty_update_is_empty() {
+        let u = Update::withdraw([]);
+        assert!(u.is_empty());
+        assert_eq!(u.prefix_event_count(), 0);
+    }
+
+    #[test]
+    fn notification_codes_roundtrip() {
+        for c in [
+            NotificationCode::MessageHeaderError,
+            NotificationCode::OpenMessageError,
+            NotificationCode::UpdateMessageError,
+            NotificationCode::HoldTimerExpired,
+            NotificationCode::FiniteStateMachineError,
+            NotificationCode::Cease,
+        ] {
+            assert_eq!(NotificationCode::from_code(c.code()), Some(c));
+        }
+        assert_eq!(NotificationCode::from_code(0), None);
+        assert_eq!(NotificationCode::from_code(7), None);
+    }
+
+    #[test]
+    fn message_type_codes() {
+        assert_eq!(
+            Message::Open(Open::new(Asn(1), Ipv4Addr::LOCALHOST)).type_code(),
+            1
+        );
+        assert_eq!(Message::Update(Update::withdraw([])).type_code(), 2);
+        assert_eq!(
+            Message::Notification(Notification::new(NotificationCode::Cease)).type_code(),
+            3
+        );
+        assert_eq!(Message::Keepalive.type_code(), 4);
+        assert_eq!(Message::Keepalive.kind_name(), "KEEPALIVE");
+    }
+}

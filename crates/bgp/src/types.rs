@@ -1,0 +1,351 @@
+//! Fundamental inter-domain routing types: autonomous system numbers and
+//! IPv4 prefixes.
+//!
+//! The 1996/97 Internet measured by the paper was IPv4-only with 16-bit AS
+//! numbers; we keep [`Asn`] as a `u32` newtype so the same model also covers
+//! the modern 32-bit space, but the codec rejects values that do not fit the
+//! classic 2-byte encoding.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An autonomous system number.
+///
+/// In the paper's era these were 16-bit ("the default-free tables contain
+/// roughly 1,300 different autonomous systems"); the type is wide enough for
+/// 4-byte ASNs but [`crate::codec`] enforces the 2-byte wire encoding used by
+/// classic BGP-4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN 0, never valid on the wire.
+    pub const RESERVED: Asn = Asn(0);
+
+    /// Whether this ASN fits the classic 2-byte encoding.
+    #[must_use]
+    pub fn is_classic(self) -> bool {
+        self.0 <= u32::from(u16::MAX)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(v: u16) -> Self {
+        Asn(u32::from(v))
+    }
+}
+
+/// Errors produced when parsing a [`Prefix`] from text or constructing one
+/// from raw parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// The prefix length was greater than 32.
+    LengthOutOfRange(u8),
+    /// The textual form was not `a.b.c.d/len`.
+    Malformed(String),
+    /// Host bits below the mask were set (e.g. `10.0.0.1/8`).
+    HostBitsSet,
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::LengthOutOfRange(l) => write!(f, "prefix length {l} out of range 0..=32"),
+            PrefixError::Malformed(s) => write!(f, "malformed prefix {s:?}"),
+            PrefixError::HostBitsSet => write!(f, "host bits set below the prefix mask"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+/// An IPv4 CIDR prefix — the unit of reachability in every BGP update the
+/// paper analyses (e.g. `192.42.113.0/24` from the May 25 1996 trace).
+///
+/// Internally stored as a masked `u32` network address plus a length, so
+/// equality, ordering and hashing are cheap; the classifier keeps per-prefix
+/// state for tens of thousands of prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// `0.0.0.0/0`, the default route.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Builds a prefix, masking off any host bits below `len`.
+    ///
+    /// Returns an error only if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::LengthOutOfRange(len));
+        }
+        let bits = u32::from(addr) & mask(len);
+        Ok(Prefix { bits, len })
+    }
+
+    /// Builds a prefix, rejecting inputs with host bits set below the mask.
+    pub fn new_strict(addr: Ipv4Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::LengthOutOfRange(len));
+        }
+        let raw = u32::from(addr);
+        if raw & !mask(len) != 0 {
+            return Err(PrefixError::HostBitsSet);
+        }
+        Ok(Prefix { bits: raw, len })
+    }
+
+    /// Builds a prefix from a raw network-order `u32`, masking host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`; this constructor is for internal generated data
+    /// where the length is known valid.
+    #[must_use]
+    pub fn from_raw(bits: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix {
+            bits: bits & mask(len),
+            len,
+        }
+    }
+
+    /// The network address.
+    #[must_use]
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The raw network address bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The prefix length in bits.
+    ///
+    /// (No `is_empty` counterpart: a CIDR prefix length is a mask width,
+    /// not a collection size.)
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    #[must_use]
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `self` contains `other` (i.e. is an equal-or-less-specific
+    /// covering aggregate).
+    #[must_use]
+    pub fn contains(self, other: Prefix) -> bool {
+        self.len <= other.len && (other.bits & mask(self.len)) == self.bits
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    #[must_use]
+    pub fn contains_addr(self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & mask(self.len)) == self.bits
+    }
+
+    /// The immediate parent aggregate (one bit shorter), or `None` for the
+    /// default route.
+    #[must_use]
+    pub fn parent(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix::from_raw(self.bits, self.len - 1))
+        }
+    }
+
+    /// The sibling prefix differing only in the last masked bit, or `None`
+    /// for the default route. Supernetting two siblings yields their parent.
+    #[must_use]
+    pub fn sibling(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            let bit = 1u32 << (32 - self.len);
+            Some(Prefix {
+                bits: self.bits ^ bit,
+                len: self.len,
+            })
+        }
+    }
+
+    /// The two children one bit longer, or `None` for a /32.
+    #[must_use]
+    pub fn children(self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let left = Prefix {
+            bits: self.bits,
+            len: self.len + 1,
+        };
+        let right = Prefix {
+            bits: self.bits | (1u32 << (31 - self.len)),
+            len: self.len + 1,
+        };
+        Some((left, right))
+    }
+
+    /// Number of host addresses covered (saturating at `u64` range; a /0
+    /// covers 2^32).
+    #[must_use]
+    pub fn size(self) -> u64 {
+        1u64 << (32 - u64::from(self.len))
+    }
+
+    /// The value of bit `i` (0 = most significant) of the network address.
+    /// Used by the radix trie in `iri-rib`.
+    #[must_use]
+    pub fn bit(self, i: u8) -> bool {
+        debug_assert!(i < 32);
+        self.bits & (1u32 << (31 - i)) != 0
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::Malformed(s.to_owned()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Malformed(s.to_owned()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| PrefixError::Malformed(s.to_owned()))?;
+        Prefix::new(addr, len)
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display_and_classic() {
+        assert_eq!(Asn(701).to_string(), "AS701");
+        assert!(Asn(65_535).is_classic());
+        assert!(!Asn(70_000).is_classic());
+    }
+
+    #[test]
+    fn prefix_parse_roundtrip() {
+        let p: Prefix = "192.42.113.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "192.42.113.0/24");
+        assert_eq!(p.len(), 24);
+        assert_eq!(p.network(), Ipv4Addr::new(192, 42, 113, 0));
+    }
+
+    #[test]
+    fn prefix_parse_masks_host_bits() {
+        let p: Prefix = "10.1.2.3/8".parse().unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn prefix_strict_rejects_host_bits() {
+        let e = Prefix::new_strict(Ipv4Addr::new(10, 1, 2, 3), 8).unwrap_err();
+        assert_eq!(e, PrefixError::HostBitsSet);
+        assert!(Prefix::new_strict(Ipv4Addr::new(10, 0, 0, 0), 8).is_ok());
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("banana/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn default_route() {
+        let d: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(d.is_default());
+        assert_eq!(d, Prefix::DEFAULT);
+        assert!(d.contains("192.0.2.0/24".parse().unwrap()));
+        assert_eq!(d.parent(), None);
+        assert_eq!(d.sibling(), None);
+    }
+
+    #[test]
+    fn containment() {
+        let agg: Prefix = "198.32.0.0/16".parse().unwrap();
+        let more: Prefix = "198.32.5.0/24".parse().unwrap();
+        assert!(agg.contains(more));
+        assert!(!more.contains(agg));
+        assert!(agg.contains(agg));
+        assert!(agg.contains_addr(Ipv4Addr::new(198, 32, 200, 1)));
+        assert!(!agg.contains_addr(Ipv4Addr::new(198, 33, 0, 1)));
+    }
+
+    #[test]
+    fn parent_sibling_children() {
+        let p: Prefix = "192.42.112.0/23".parse().unwrap();
+        let (l, r) = p.children().unwrap();
+        assert_eq!(l.to_string(), "192.42.112.0/24");
+        assert_eq!(r.to_string(), "192.42.113.0/24");
+        assert_eq!(l.sibling().unwrap(), r);
+        assert_eq!(r.sibling().unwrap(), l);
+        assert_eq!(l.parent().unwrap(), p);
+        assert_eq!(r.parent().unwrap(), p);
+        let host: Prefix = "1.2.3.4/32".parse().unwrap();
+        assert!(host.children().is_none());
+    }
+
+    #[test]
+    fn sizes_and_bits() {
+        let p: Prefix = "128.0.0.0/1".parse().unwrap();
+        assert_eq!(p.size(), 1u64 << 31);
+        assert!(p.bit(0));
+        let q: Prefix = "64.0.0.0/2".parse().unwrap();
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+        assert_eq!(Prefix::DEFAULT.size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v: Vec<Prefix> = ["10.0.0.0/8", "10.0.0.0/16", "9.0.0.0/8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        v.sort();
+        assert_eq!(v[0].to_string(), "9.0.0.0/8");
+        assert_eq!(v[1].to_string(), "10.0.0.0/8");
+        assert_eq!(v[2].to_string(), "10.0.0.0/16");
+    }
+}

@@ -1,0 +1,344 @@
+//! The streaming classifier: per-(peer, prefix) state machines applying
+//! the §4 taxonomy.
+//!
+//! Classification compares the **(Prefix, NextHop, ASPATH)** tuple only —
+//! "a BGP update may contain additional attributes (MED, communities,
+//! localpref, etc.), but only changes in the (Prefix, NextHop, ASPATH)
+//! tuple will reflect network topological changes". When the tuple matches
+//! but other attributes differ, the event is still an AADup at the
+//! forwarding level and [`ClassifiedEvent::policy_change`] is set — the
+//! paper's *policy fluctuation*.
+
+use crate::input::{PeerKey, UpdateEvent, UpdateKind};
+use crate::taxonomy::UpdateClass;
+use iri_bgp::attrs::PathAttributes;
+use iri_bgp::types::Prefix;
+use std::collections::HashMap;
+
+/// Output of classifying one event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedEvent {
+    /// Event time (ms since epoch).
+    pub time_ms: u64,
+    /// Sending peer.
+    pub peer: PeerKey,
+    /// Affected prefix.
+    pub prefix: Prefix,
+    /// Assigned class.
+    pub class: UpdateClass,
+    /// For AADup: the forwarding tuple matched but other attributes
+    /// (MED/communities/…) changed — routing policy fluctuation.
+    pub policy_change: bool,
+}
+
+enum PairState {
+    /// Currently announced with these attributes.
+    Announced(Box<PathAttributes>),
+    /// Currently withdrawn; remembers the last announced attributes to
+    /// distinguish WADup from WADiff.
+    Withdrawn(Option<Box<PathAttributes>>),
+}
+
+/// The streaming classifier. Feed events in timestamp order.
+#[derive(Default)]
+pub struct Classifier {
+    state: HashMap<(PeerKey, Prefix), PairState>,
+    counts: HashMap<UpdateClass, u64>,
+    policy_changes: u64,
+    total: u64,
+}
+
+impl Classifier {
+    /// Fresh classifier with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        Classifier::default()
+    }
+
+    /// Total events classified.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events classified into `class` so far.
+    #[must_use]
+    pub fn count(&self, class: UpdateClass) -> u64 {
+        *self.counts.get(&class).unwrap_or(&0)
+    }
+
+    /// AADup events whose non-forwarding attributes changed (policy
+    /// fluctuation).
+    #[must_use]
+    pub fn policy_change_count(&self) -> u64 {
+        self.policy_changes
+    }
+
+    /// Number of (peer, prefix) pairs with state.
+    #[must_use]
+    pub fn tracked_pairs(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Classifies one event, updating state.
+    pub fn classify(&mut self, event: &UpdateEvent) -> ClassifiedEvent {
+        let key = (event.peer, event.prefix);
+        let prev = self.state.remove(&key);
+        let (class, policy_change, next) = match (&event.kind, prev) {
+            (UpdateKind::Withdraw, None) => {
+                // Withdrawal for a prefix this peer never announced:
+                // "most of these WWDup withdrawals are transmitted by
+                // routers belonging to autonomous systems that never
+                // previously announced reachability".
+                (UpdateClass::WwDup, false, PairState::Withdrawn(None))
+            }
+            (UpdateKind::Withdraw, Some(PairState::Withdrawn(last))) => {
+                (UpdateClass::WwDup, false, PairState::Withdrawn(last))
+            }
+            (UpdateKind::Withdraw, Some(PairState::Announced(a))) => {
+                (UpdateClass::Withdraw, false, PairState::Withdrawn(Some(a)))
+            }
+            (UpdateKind::Announce(a), None) => (
+                UpdateClass::NewAnnounce,
+                false,
+                PairState::Announced(a.clone()),
+            ),
+            (UpdateKind::Announce(a), Some(PairState::Announced(prev_a))) => {
+                if prev_a.same_forwarding(a) {
+                    let policy = *prev_a != **a;
+                    (UpdateClass::AaDup, policy, PairState::Announced(a.clone()))
+                } else {
+                    (UpdateClass::AaDiff, false, PairState::Announced(a.clone()))
+                }
+            }
+            (UpdateKind::Announce(a), Some(PairState::Withdrawn(last))) => {
+                let class = match &last {
+                    Some(prev_a) if prev_a.same_forwarding(a) => UpdateClass::WaDup,
+                    Some(_) => UpdateClass::WaDiff,
+                    // Withdrawn with no announcement history (the pair was
+                    // created by a spurious withdrawal): treat the
+                    // announcement as new.
+                    None => UpdateClass::NewAnnounce,
+                };
+                (class, false, PairState::Announced(a.clone()))
+            }
+        };
+        self.state.insert(key, next);
+        *self.counts.entry(class).or_default() += 1;
+        if policy_change {
+            self.policy_changes += 1;
+        }
+        self.total += 1;
+        ClassifiedEvent {
+            time_ms: event.time_ms,
+            peer: event.peer,
+            prefix: event.prefix,
+            class,
+            policy_change,
+        }
+    }
+
+    /// Classifies a whole stream, returning the classified events.
+    pub fn classify_all<'a, I>(&mut self, events: I) -> Vec<ClassifiedEvent>
+    where
+        I: IntoIterator<Item = &'a UpdateEvent>,
+    {
+        events.into_iter().map(|e| self.classify(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::attrs::Origin;
+    use iri_bgp::path::AsPath;
+    use iri_bgp::types::Asn;
+    use std::net::Ipv4Addr;
+
+    fn peer(asn: u32) -> PeerKey {
+        PeerKey {
+            asn: Asn(asn),
+            addr: Ipv4Addr::new(192, 41, 177, asn as u8),
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(path: &[u32], hop: u8) -> PathAttributes {
+        PathAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence(path.iter().map(|&a| Asn(a))),
+            Ipv4Addr::new(10, 0, 0, hop),
+        )
+    }
+
+    fn classify_sequence(seq: &[(u64, &str)]) -> Vec<UpdateClass> {
+        // Mini-DSL: "A1" announce path1, "A2" announce path2, "A1m" announce
+        // path1 with different MED, "W" withdraw.
+        let mut c = Classifier::new();
+        let pfx = p("192.42.113.0/24");
+        seq.iter()
+            .map(|&(t, s)| {
+                let ev = match s {
+                    "A1" => UpdateEvent::announce(t, peer(701), pfx, attrs(&[701], 1)),
+                    "A2" => UpdateEvent::announce(t, peer(701), pfx, attrs(&[701, 42], 1)),
+                    "A1m" => {
+                        let mut a = attrs(&[701], 1);
+                        a.med = Some(77);
+                        UpdateEvent::announce(t, peer(701), pfx, a)
+                    }
+                    "W" => UpdateEvent::withdraw(t, peer(701), pfx),
+                    _ => unreachable!(),
+                };
+                c.classify(&ev).class
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_sequences() {
+        use UpdateClass::*;
+        // WADup: announce, withdraw, re-announce same.
+        assert_eq!(
+            classify_sequence(&[(0, "A1"), (1, "W"), (2, "A1")]),
+            vec![NewAnnounce, Withdraw, WaDup]
+        );
+        // WADiff: withdraw then different route.
+        assert_eq!(
+            classify_sequence(&[(0, "A1"), (1, "W"), (2, "A2")]),
+            vec![NewAnnounce, Withdraw, WaDiff]
+        );
+        // AADiff: implicit replacement by different route.
+        assert_eq!(
+            classify_sequence(&[(0, "A1"), (1, "A2")]),
+            vec![NewAnnounce, AaDiff]
+        );
+        // AADup: duplicate announcement.
+        assert_eq!(
+            classify_sequence(&[(0, "A1"), (1, "A1")]),
+            vec![NewAnnounce, AaDup]
+        );
+        // WWDup: repeated withdrawals while unreachable.
+        assert_eq!(
+            classify_sequence(&[(0, "A1"), (1, "W"), (2, "W"), (3, "W")]),
+            vec![NewAnnounce, Withdraw, WwDup, WwDup]
+        );
+    }
+
+    #[test]
+    fn withdrawal_without_history_is_wwdup() {
+        // The May 25 1996 trace: ISP-Y withdrew 192.42.113/24 six times
+        // having never announced it.
+        let mut c = Classifier::new();
+        let pfx = p("192.42.113.0/24");
+        for t in 0..6 {
+            let got = c.classify(&UpdateEvent::withdraw(t * 20_000, peer(690), pfx));
+            assert_eq!(got.class, UpdateClass::WwDup);
+        }
+        assert_eq!(c.count(UpdateClass::WwDup), 6);
+    }
+
+    #[test]
+    fn announce_after_spurious_withdraw_is_new() {
+        use UpdateClass::*;
+        let mut c = Classifier::new();
+        let pfx = p("10.0.0.0/8");
+        assert_eq!(
+            c.classify(&UpdateEvent::withdraw(0, peer(1), pfx)).class,
+            WwDup
+        );
+        assert_eq!(
+            c.classify(&UpdateEvent::announce(1, peer(1), pfx, attrs(&[1], 1)))
+                .class,
+            NewAnnounce
+        );
+    }
+
+    #[test]
+    fn policy_fluctuation_flagged_on_aadup() {
+        let mut c = Classifier::new();
+        let pfx = p("10.0.0.0/8");
+        c.classify(&UpdateEvent::announce(0, peer(1), pfx, attrs(&[1], 1)));
+        let mut med = attrs(&[1], 1);
+        med.med = Some(20);
+        let got = c.classify(&UpdateEvent::announce(1, peer(1), pfx, med));
+        assert_eq!(got.class, UpdateClass::AaDup);
+        assert!(got.policy_change);
+        // Exact duplicate: AADup without policy change.
+        let got = c.classify(&UpdateEvent::announce(2, peer(1), pfx, {
+            let mut a = attrs(&[1], 1);
+            a.med = Some(20);
+            a
+        }));
+        assert_eq!(got.class, UpdateClass::AaDup);
+        assert!(!got.policy_change);
+        assert_eq!(c.policy_change_count(), 1);
+    }
+
+    #[test]
+    fn next_hop_change_is_aadiff_not_policy() {
+        let mut c = Classifier::new();
+        let pfx = p("10.0.0.0/8");
+        c.classify(&UpdateEvent::announce(0, peer(1), pfx, attrs(&[1], 1)));
+        let got = c.classify(&UpdateEvent::announce(1, peer(1), pfx, attrs(&[1], 2)));
+        assert_eq!(got.class, UpdateClass::AaDiff);
+    }
+
+    #[test]
+    fn peers_and_prefixes_are_independent() {
+        let mut c = Classifier::new();
+        let pfx = p("10.0.0.0/8");
+        c.classify(&UpdateEvent::announce(0, peer(1), pfx, attrs(&[1], 1)));
+        // Different peer announcing the same prefix: new pair.
+        let got = c.classify(&UpdateEvent::announce(1, peer(2), pfx, attrs(&[2], 2)));
+        assert_eq!(got.class, UpdateClass::NewAnnounce);
+        // Different prefix from peer 1: new pair.
+        let got = c.classify(&UpdateEvent::announce(
+            2,
+            peer(1),
+            p("11.0.0.0/8"),
+            attrs(&[1], 1),
+        ));
+        assert_eq!(got.class, UpdateClass::NewAnnounce);
+        assert_eq!(c.tracked_pairs(), 3);
+    }
+
+    #[test]
+    fn same_asn_different_router_is_distinct_pair() {
+        let mut c = Classifier::new();
+        let pfx = p("10.0.0.0/8");
+        let peer_a = PeerKey {
+            asn: Asn(701),
+            addr: Ipv4Addr::new(1, 1, 1, 1),
+        };
+        let peer_b = PeerKey {
+            asn: Asn(701),
+            addr: Ipv4Addr::new(1, 1, 1, 2),
+        };
+        c.classify(&UpdateEvent::announce(0, peer_a, pfx, attrs(&[701], 1)));
+        let got = c.classify(&UpdateEvent::announce(1, peer_b, pfx, attrs(&[701], 1)));
+        assert_eq!(got.class, UpdateClass::NewAnnounce);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = Classifier::new();
+        let pfx = p("10.0.0.0/8");
+        let events = vec![
+            UpdateEvent::announce(0, peer(1), pfx, attrs(&[1], 1)),
+            UpdateEvent::announce(1, peer(1), pfx, attrs(&[1], 1)),
+            UpdateEvent::withdraw(2, peer(1), pfx),
+            UpdateEvent::withdraw(3, peer(1), pfx),
+        ];
+        let out = c.classify_all(&events);
+        assert_eq!(out.len(), 4);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count(UpdateClass::AaDup), 1);
+        assert_eq!(c.count(UpdateClass::WwDup), 1);
+        assert_eq!(c.count(UpdateClass::Withdraw), 1);
+        assert_eq!(c.count(UpdateClass::NewAnnounce), 1);
+        assert_eq!(c.count(UpdateClass::WaDiff), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Input model: timestamped per-prefix update events.
+//!
+//! The analysis counts *prefix events* ("routers in the Internet core
+//! currently exchange between three and six million routing prefix updates
+//! each day"), so BGP UPDATE messages are flattened into one event per
+//! withdrawn or announced prefix, keyed by the peer that sent them.
+
+use iri_bgp::attrs::PathAttributes;
+use iri_bgp::message::{Message, Update};
+use iri_bgp::types::{Asn, Prefix};
+use iri_mrt::MrtRecord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifies the peer (exchange participant) a stream of updates came
+/// from. Both ASN and address are kept: one AS can run several border
+/// routers at an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeerKey {
+    /// The peer's autonomous system.
+    pub asn: Asn,
+    /// The peer's exchange-LAN address.
+    pub addr: Ipv4Addr,
+}
+
+impl fmt::Display for PeerKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.asn, self.addr)
+    }
+}
+
+/// What happened to one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// The prefix was announced with these attributes.
+    Announce(Box<PathAttributes>),
+    /// The prefix was withdrawn.
+    Withdraw,
+}
+
+/// One prefix-level routing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateEvent {
+    /// Milliseconds since the measurement epoch (midnight of day 0).
+    pub time_ms: u64,
+    /// Which peer sent it.
+    pub peer: PeerKey,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// Announce or withdraw.
+    pub kind: UpdateKind,
+}
+
+impl UpdateEvent {
+    /// Announcement constructor.
+    #[must_use]
+    pub fn announce(time_ms: u64, peer: PeerKey, prefix: Prefix, attrs: PathAttributes) -> Self {
+        UpdateEvent {
+            time_ms,
+            peer,
+            prefix,
+            kind: UpdateKind::Announce(Box::new(attrs)),
+        }
+    }
+
+    /// Withdrawal constructor.
+    #[must_use]
+    pub fn withdraw(time_ms: u64, peer: PeerKey, prefix: Prefix) -> Self {
+        UpdateEvent {
+            time_ms,
+            peer,
+            prefix,
+            kind: UpdateKind::Withdraw,
+        }
+    }
+
+    /// Whether this is an announcement.
+    #[must_use]
+    pub fn is_announce(&self) -> bool {
+        matches!(self.kind, UpdateKind::Announce(_))
+    }
+}
+
+/// Flattens one BGP UPDATE into prefix events. Withdrawals precede
+/// announcements, matching wire order inside the message.
+#[must_use]
+pub fn events_from_update(time_ms: u64, peer: PeerKey, update: &Update) -> Vec<UpdateEvent> {
+    let mut out = Vec::with_capacity(update.prefix_event_count());
+    for &prefix in &update.withdrawn {
+        out.push(UpdateEvent::withdraw(time_ms, peer, prefix));
+    }
+    if let Some(attrs) = &update.attrs {
+        for &prefix in &update.nlri {
+            out.push(UpdateEvent::announce(time_ms, peer, prefix, attrs.clone()));
+        }
+    }
+    out
+}
+
+/// Extracts prefix events from MRT records (BGP4MP MESSAGE records carrying
+/// UPDATEs; everything else is skipped). `base_unix_time` rebases MRT's
+/// absolute second timestamps onto the analysis epoch.
+#[must_use]
+pub fn events_from_mrt<'a, I>(records: I, base_unix_time: u32) -> Vec<UpdateEvent>
+where
+    I: IntoIterator<Item = &'a MrtRecord>,
+{
+    let mut out = Vec::new();
+    for rec in records {
+        if let MrtRecord::Bgp4mpMessage(m) = rec {
+            if let Message::Update(u) = &m.message {
+                let time_ms = u64::from(m.timestamp.saturating_sub(base_unix_time)) * 1000;
+                let peer = PeerKey {
+                    asn: m.peer_asn,
+                    addr: m.peer_ip,
+                };
+                out.extend(events_from_update(time_ms, peer, u));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::attrs::Origin;
+    use iri_bgp::message::UpdateBuilder;
+    use iri_bgp::path::AsPath;
+    use iri_mrt::Bgp4mpMessage;
+
+    fn peer() -> PeerKey {
+        PeerKey {
+            asn: Asn(701),
+            addr: Ipv4Addr::new(192, 41, 177, 1),
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn flatten_mixed_update_preserves_order() {
+        let u = UpdateBuilder::new()
+            .withdraw(p("10.0.0.0/8"))
+            .announce(p("11.0.0.0/8"))
+            .announce(p("12.0.0.0/8"))
+            .next_hop(Ipv4Addr::new(1, 1, 1, 1))
+            .as_path(AsPath::from_sequence([Asn(701)]))
+            .origin(Origin::Igp)
+            .build()
+            .unwrap();
+        let ev = events_from_update(5, peer(), &u);
+        assert_eq!(ev.len(), 3);
+        assert!(!ev[0].is_announce());
+        assert!(ev[1].is_announce() && ev[2].is_announce());
+        assert_eq!(ev[0].prefix, p("10.0.0.0/8"));
+        assert_eq!(ev[2].prefix, p("12.0.0.0/8"));
+        assert!(ev.iter().all(|e| e.time_ms == 5 && e.peer == peer()));
+    }
+
+    #[test]
+    fn events_from_mrt_rebases_time_and_skips_non_updates() {
+        let base = 833_000_000;
+        let recs = vec![
+            MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                timestamp: base + 2,
+                peer_asn: Asn(701),
+                local_asn: Asn(237),
+                peer_ip: Ipv4Addr::new(192, 41, 177, 1),
+                local_ip: Ipv4Addr::new(192, 41, 177, 250),
+                message: Message::Update(Update::withdraw([p("10.0.0.0/8")])),
+            }),
+            MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                timestamp: base + 3,
+                peer_asn: Asn(701),
+                local_asn: Asn(237),
+                peer_ip: Ipv4Addr::new(192, 41, 177, 1),
+                local_ip: Ipv4Addr::new(192, 41, 177, 250),
+                message: Message::Keepalive,
+            }),
+        ];
+        let ev = events_from_mrt(&recs, base);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].time_ms, 2000);
+        assert_eq!(ev[0].peer.asn, Asn(701));
+    }
+
+    #[test]
+    fn peer_key_display() {
+        assert_eq!(peer().to_string(), "AS701@192.41.177.1");
+    }
+}

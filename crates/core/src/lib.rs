@@ -1,0 +1,52 @@
+//! # iri-core — the Internet Routing Instability analysis library
+//!
+//! The paper's primary contribution, operationalised: the update taxonomy
+//! of §4 (**WADiff**, **AADiff**, **WADup** — *instability*; **AADup**,
+//! **WWDup** — *pathological/redundant*), a streaming classifier over
+//! per-peer BGP update streams keyed on the **(Prefix, NextHop, ASPATH)**
+//! tuple, the full set of statistics behind every table and figure in the
+//! evaluation, and the time-series machinery (FFT, autocorrelation,
+//! maximum-entropy spectra, singular-spectrum analysis) behind Figure 5.
+//!
+//! The library is measurement-side only: it consumes timestamped update
+//! events (from MRT logs via [`input::events_from_mrt`], or directly from
+//! any producer of [`input::UpdateEvent`]) and never sees the simulator —
+//! the same boundary the Routing Arbiter instrumentation had.
+//!
+//! ```
+//! use iri_core::prelude::*;
+//! use iri_bgp::prelude::*;
+//!
+//! // Peer AS701 announces, withdraws, withdraws again (never re-announced):
+//! let peer = PeerKey { asn: Asn(701), addr: Ipv4Addr::new(192, 41, 177, 1) };
+//! let prefix: Prefix = "192.42.113.0/24".parse().unwrap();
+//! let attrs = PathAttributes::new(Origin::Igp,
+//!     AsPath::from_sequence([Asn(701)]), Ipv4Addr::new(192, 41, 177, 1));
+//! let mut classifier = Classifier::new();
+//! let a = classifier.classify(&UpdateEvent::announce(0, peer, prefix, attrs));
+//! let w1 = classifier.classify(&UpdateEvent::withdraw(1_000, peer, prefix));
+//! let w2 = classifier.classify(&UpdateEvent::withdraw(31_000, peer, prefix));
+//! assert_eq!(a.class, UpdateClass::NewAnnounce);
+//! assert_eq!(w1.class, UpdateClass::Withdraw);
+//! assert_eq!(w2.class, UpdateClass::WwDup); // the §4 pathology
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod input;
+pub mod report;
+pub mod stats;
+pub mod taxonomy;
+pub mod timeseries;
+
+pub use classifier::{ClassifiedEvent, Classifier};
+pub use input::{PeerKey, UpdateEvent, UpdateKind};
+pub use taxonomy::UpdateClass;
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::classifier::{ClassifiedEvent, Classifier};
+    pub use crate::input::{PeerKey, UpdateEvent, UpdateKind};
+    pub use crate::taxonomy::UpdateClass;
+}

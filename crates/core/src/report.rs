@@ -1,0 +1,290 @@
+//! Text rendering of the paper's tables and figures.
+//!
+//! Each function renders one artefact as a plain-text table or series that
+//! matches the rows/columns of the published version; the `iri-bench`
+//! binaries print these next to the paper's reported values.
+
+use crate::stats::breakdown::ClassBreakdown;
+use crate::stats::cdf::PrefixAsCdf;
+use crate::stats::contribution::ContributionPoint;
+use crate::stats::daily::ProviderDailyRow;
+use crate::stats::interarrival::{InterarrivalSummary, BIN_LABELS};
+use crate::taxonomy::UpdateClass;
+use crate::timeseries::spectrum::SpectrumPoint;
+use crate::timeseries::ssa::SsaComponent;
+use std::fmt::Write as _;
+
+/// Table 1: per-provider daily totals.
+#[must_use]
+pub fn render_table1(
+    rows: &[ProviderDailyRow],
+    names: &dyn Fn(iri_bgp::types::Asn) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>8} {:>8}",
+        "Network", "Announce", "Withdraw", "Unique", "W/A"
+    );
+    for r in rows {
+        let ratio = if r.withdraw_ratio().is_infinite() {
+            "inf".to_owned()
+        } else {
+            format!("{:.1}", r.withdraw_ratio())
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>10} {:>8} {:>8}",
+            names(r.asn),
+            r.announce,
+            r.withdraw,
+            r.unique_prefixes,
+            ratio
+        );
+    }
+    out
+}
+
+/// Figure 2: per-period class breakdown (WWDup excluded, as in the paper;
+/// reported separately).
+#[must_use]
+pub fn render_figure2(periods: &[(String, ClassBreakdown)]) -> String {
+    let cats = UpdateClass::FIGURE_CATEGORIES;
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}", "Period");
+    for c in cats {
+        let _ = write!(out, " {:>10}", c.label());
+    }
+    let _ = writeln!(out, " {:>12} {:>10}", "Uncategor.", "(WWDup)");
+    for (name, b) in periods {
+        let _ = write!(out, "{name:<12}");
+        for c in cats {
+            let _ = write!(out, " {:>10}", b.get(c));
+        }
+        let _ = writeln!(
+            out,
+            " {:>12} {:>10}",
+            b.get(UpdateClass::NewAnnounce),
+            b.get(UpdateClass::WwDup)
+        );
+    }
+    out
+}
+
+/// Figure 5a: two spectra side by side (frequency, FFT power, MEM power).
+#[must_use]
+pub fn render_figure5a(fft: &[SpectrumPoint], mem: &[SpectrumPoint], rows: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>14} {:>14}",
+        "freq(1/h)", "period(h)", "FFT power", "MEM power"
+    );
+    let step = (fft.len().max(1) / rows.max(1)).max(1);
+    for (i, p) in fft.iter().enumerate().step_by(step) {
+        let mem_power = mem
+            .iter()
+            .min_by(|a, b| {
+                (a.frequency - p.frequency)
+                    .abs()
+                    .partial_cmp(&(b.frequency - p.frequency).abs())
+                    .unwrap()
+            })
+            .map_or(0.0, |m| m.power);
+        let _ = writeln!(
+            out,
+            "{:>12.4} {:>12.1} {:>14.4} {:>14.4}",
+            p.frequency,
+            p.period(),
+            p.power,
+            mem_power
+        );
+        let _ = i;
+    }
+    out
+}
+
+/// Figure 5b: the top SSA components with dominant periods.
+#[must_use]
+pub fn render_figure5b(components: &[SsaComponent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>10} {:>14}",
+        "rank", "eigenvalue", "var.frac", "period(h)"
+    );
+    for c in components {
+        let period = c
+            .dominant_period
+            .map_or("trend".to_owned(), |p| format!("{p:.1}"));
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12.4} {:>10.3} {:>14}",
+            c.rank + 1,
+            c.eigenvalue,
+            c.variance_fraction,
+            period
+        );
+    }
+    out
+}
+
+/// Figure 6: scatter points as CSV-ish text.
+#[must_use]
+pub fn render_figure6(points: &[ContributionPoint], class: UpdateClass) -> String {
+    let mut out = format!("# {} — table_share vs update_share\n", class.label());
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6} day={:<3} x={:.4} y={:.4}",
+            p.asn.0, p.day, p.table_share, p.update_share
+        );
+    }
+    out
+}
+
+/// Figure 7: cumulative proportions at the paper's count thresholds.
+#[must_use]
+pub fn render_figure7(cdf: &PrefixAsCdf) -> String {
+    let mut out = format!(
+        "# {} — cumulative proportion by Prefix+AS event count (pairs={}, events={})\n",
+        cdf.class.label(),
+        cdf.pair_count(),
+        cdf.total
+    );
+    for threshold in [1u64, 10, 50, 100, 200, 1000] {
+        let _ = writeln!(
+            out,
+            "  <= {:>5}: {:.3}",
+            threshold,
+            cdf.cumulative_at(threshold)
+        );
+    }
+    out
+}
+
+/// Figure 8: the box-plot rows.
+#[must_use]
+pub fn render_figure8(summary: &InterarrivalSummary) -> String {
+    let mut out = format!(
+        "# {} inter-arrival proportions over {} days (q1 / median / q3)\n",
+        summary.class.label(),
+        summary.days
+    );
+    for (i, label) in BIN_LABELS.iter().enumerate() {
+        let (q1, med, q3) = summary.quartiles[i];
+        let _ = writeln!(out, "{label:>4}: {q1:.3} / {med:.3} / {q3:.3}");
+    }
+    let _ = writeln!(
+        out,
+        "30s+1m median mass: {:.3}",
+        summary.thirty_sixty_mass()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::types::Asn;
+
+    #[test]
+    fn table1_renders_rows() {
+        let rows = vec![ProviderDailyRow {
+            asn: Asn(9),
+            announce: 259,
+            withdraw: 2_479_023,
+            unique_prefixes: 14_112,
+        }];
+        let s = render_table1(&rows, &|asn| format!("Provider-{}", asn.0));
+        assert!(s.contains("Provider-9"));
+        assert!(s.contains("2479023"));
+        assert!(s.contains("14112"));
+    }
+
+    #[test]
+    fn figure2_includes_all_categories() {
+        let mut b = ClassBreakdown::default();
+        b.counts.insert(UpdateClass::WaDup, 100);
+        b.counts.insert(UpdateClass::WwDup, 999);
+        let s = render_figure2(&[("April".into(), b)]);
+        assert!(s.contains("April"));
+        assert!(s.contains("WADup"));
+        assert!(s.contains("999"));
+    }
+
+    #[test]
+    fn figure5b_marks_trend_components() {
+        let comps = vec![SsaComponent {
+            rank: 0,
+            eigenvalue: 5.0,
+            variance_fraction: 0.5,
+            series: vec![],
+            dominant_period: None,
+        }];
+        let s = render_figure5b(&comps);
+        assert!(s.contains("trend"));
+    }
+
+    #[test]
+    fn figure6_renders_points() {
+        let pts = vec![crate::stats::contribution::ContributionPoint {
+            asn: Asn(701),
+            day: 3,
+            table_share: 0.25,
+            update_share: 0.1,
+        }];
+        let s = render_figure6(&pts, UpdateClass::AaDiff);
+        assert!(s.contains("AADiff"));
+        assert!(s.contains("701"));
+        assert!(s.contains("0.2500"));
+    }
+
+    #[test]
+    fn figure7_renders_thresholds() {
+        let cdf = crate::stats::cdf::PrefixAsCdf {
+            class: UpdateClass::WaDup,
+            pair_counts: vec![1, 2, 200],
+            total: 203,
+        };
+        let s = render_figure7(&cdf);
+        assert!(s.contains("WADup"));
+        assert!(s.contains("<=     1"));
+        assert!(s.contains("<=  1000: 1.000"));
+    }
+
+    #[test]
+    fn figure5a_renders_rows() {
+        use crate::timeseries::spectrum::SpectrumPoint;
+        let fft = vec![
+            SpectrumPoint {
+                frequency: 0.01,
+                power: 1.0,
+            },
+            SpectrumPoint {
+                frequency: 0.02,
+                power: 5.0,
+            },
+        ];
+        let mem = vec![SpectrumPoint {
+            frequency: 0.015,
+            power: 3.0,
+        }];
+        let s = render_figure5a(&fft, &mem, 2);
+        assert!(s.contains("freq(1/h)"));
+        assert!(s.contains("100.0")); // period of 0.01
+    }
+
+    #[test]
+    fn figure8_renders_bins() {
+        let summary = InterarrivalSummary {
+            class: UpdateClass::WaDup,
+            quartiles: [(0.1, 0.2, 0.3); 12],
+            days: 5,
+        };
+        let s = render_figure8(&summary);
+        assert!(s.contains(" 30s:"));
+        assert!(s.contains("24h:"));
+        assert!(s.contains("0.200"));
+    }
+}

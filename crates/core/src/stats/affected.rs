@@ -1,0 +1,184 @@
+//! Figure 9: proportion of Internet routes affected by routing updates.
+//!
+//! "Only between 3 and 10 percent of routes exhibit one or more WADiff per
+//! day, and between 5 and 20 percent exhibit one or more AADiff each day.
+//! … between 35 and 100 percent (50 percent median) of prefix+AS tuples are
+//! involved in at least one category of routing update each day. …
+//! Discounting the contribution of redundant updates, the majority (over 80
+//! percent) of Internet routes exhibits a high degree of stability."
+
+use crate::classifier::ClassifiedEvent;
+use crate::taxonomy::UpdateClass;
+use iri_bgp::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One day's affected-route proportions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AffectedDay {
+    /// Day index.
+    pub day: u32,
+    /// Routing-table size (denominator).
+    pub table_size: usize,
+    /// Fraction of routes with ≥1 event, per class.
+    pub per_class: Vec<(UpdateClass, f64)>,
+    /// Fraction of routes with ≥1 event of *any* category.
+    pub any_category: f64,
+    /// Fraction with ≥1 *instability* event (AADiff/WADiff/WADup).
+    pub any_instability: f64,
+    /// Fraction with ≥1 *forwarding-instability* event (AADiff/WADiff) —
+    /// the denominator of the paper's stability claim.
+    pub any_forwarding: f64,
+}
+
+impl AffectedDay {
+    /// Fraction for one class.
+    #[must_use]
+    pub fn fraction(&self, class: UpdateClass) -> f64 {
+        self.per_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(0.0, |&(_, f)| f)
+    }
+
+    /// The paper's stability headline — "if we ignore the impact of
+    /// redundant updates and other pathological behaviors … most (80
+    /// percent) of Internet routes exhibit a relatively high level of
+    /// stability": the fraction of routes with no *forwarding-instability*
+    /// (AADiff/WADiff) event.
+    #[must_use]
+    pub fn stable_fraction(&self) -> f64 {
+        1.0 - self.any_forwarding
+    }
+}
+
+/// Computes one day's affected-route proportions. `table_size` is the
+/// default-free table size that day (unique prefixes). Proportions are over
+/// distinct *prefixes* (the paper's "routes"; the per-(prefix,AS) variant
+/// produces its "prefix+AS tuples" line — both provided).
+#[must_use]
+pub fn affected_day(events: &[ClassifiedEvent], table_size: usize, day: u32) -> AffectedDay {
+    let denom = table_size.max(1) as f64;
+    let mut per_class = Vec::new();
+    for class in UpdateClass::ALL {
+        let prefixes: HashSet<Prefix> = events
+            .iter()
+            .filter(|e| e.class == class)
+            .map(|e| e.prefix)
+            .collect();
+        per_class.push((class, prefixes.len() as f64 / denom));
+    }
+    let any: HashSet<Prefix> = events
+        .iter()
+        .filter(|e| !matches!(e.class, UpdateClass::NewAnnounce))
+        .map(|e| e.prefix)
+        .collect();
+    let unstable: HashSet<Prefix> = events
+        .iter()
+        .filter(|e| e.class.is_instability())
+        .map(|e| e.prefix)
+        .collect();
+    let forwarding: HashSet<Prefix> = events
+        .iter()
+        .filter(|e| e.class.is_forwarding_instability())
+        .map(|e| e.prefix)
+        .collect();
+    AffectedDay {
+        day,
+        table_size,
+        per_class,
+        any_category: (any.len() as f64 / denom).min(1.0),
+        any_instability: (unstable.len() as f64 / denom).min(1.0),
+        any_forwarding: (forwarding.len() as f64 / denom).min(1.0),
+    }
+}
+
+/// Fraction of (prefix, AS) tuples involved in ≥1 update, over
+/// `tuple_count` known tuples — Figure 9's upper band.
+#[must_use]
+pub fn affected_tuples(events: &[ClassifiedEvent], tuple_count: usize) -> f64 {
+    let tuples: HashSet<(Prefix, Asn)> = events
+        .iter()
+        .filter(|e| !matches!(e.class, UpdateClass::NewAnnounce))
+        .map(|e| (e.prefix, e.peer.asn))
+        .collect();
+    (tuples.len() as f64 / tuple_count.max(1) as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use std::net::Ipv4Addr;
+
+    fn ev(asn: u32, prefix_idx: u32, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: 0,
+            peer: PeerKey {
+                asn: Asn(asn),
+                addr: Ipv4Addr::new(1, 1, 1, asn as u8),
+            },
+            prefix: Prefix::from_raw(0x0a00_0000 | (prefix_idx << 8), 24),
+            class,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn fractions_over_table() {
+        // Table of 100 prefixes; 5 see WADiff, 10 see AADiff, 3 see WWDup.
+        let mut events = Vec::new();
+        for i in 0..5 {
+            events.push(ev(1, i, UpdateClass::WaDiff));
+        }
+        for i in 10..20 {
+            events.push(ev(1, i, UpdateClass::AaDiff));
+        }
+        for i in 30..33 {
+            events.push(ev(2, i, UpdateClass::WwDup));
+        }
+        let a = affected_day(&events, 100, 7);
+        assert!((a.fraction(UpdateClass::WaDiff) - 0.05).abs() < 1e-12);
+        assert!((a.fraction(UpdateClass::AaDiff) - 0.10).abs() < 1e-12);
+        assert!((a.any_category - 0.18).abs() < 1e-12);
+        assert!((a.any_instability - 0.15).abs() < 1e-12);
+        assert!((a.any_forwarding - 0.15).abs() < 1e-12);
+        assert!((a.stable_fraction() - 0.85).abs() < 1e-12);
+        assert_eq!(a.day, 7);
+    }
+
+    #[test]
+    fn repeated_events_count_prefix_once() {
+        let events = vec![
+            ev(1, 0, UpdateClass::WaDup),
+            ev(1, 0, UpdateClass::WaDup),
+            ev(1, 0, UpdateClass::WaDup),
+        ];
+        let a = affected_day(&events, 10, 0);
+        assert!((a.fraction(UpdateClass::WaDup) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_announce_not_counted_as_affected() {
+        let events = vec![ev(1, 0, UpdateClass::NewAnnounce)];
+        let a = affected_day(&events, 10, 0);
+        assert_eq!(a.any_category, 0.0);
+    }
+
+    #[test]
+    fn tuples_variant() {
+        let events = vec![
+            ev(1, 0, UpdateClass::WaDup),
+            ev(2, 0, UpdateClass::WaDup), // same prefix, different AS
+        ];
+        assert!((affected_tuples(&events, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(affected_tuples(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn zero_table_guarded() {
+        let a = affected_day(&[], 0, 0);
+        assert_eq!(a.any_category, 0.0);
+        assert_eq!(a.stable_fraction(), 1.0);
+    }
+}

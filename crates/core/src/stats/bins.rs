@@ -1,0 +1,120 @@
+//! Shared time-binning helpers: ten-minute and hourly aggregates, the two
+//! granularities every temporal figure in the paper uses.
+
+use crate::classifier::ClassifiedEvent;
+use crate::taxonomy::UpdateClass;
+
+/// Milliseconds per ten-minute slot.
+pub const TEN_MINUTES_MS: u64 = 10 * 60 * 1000;
+/// Ten-minute slots per day.
+pub const SLOTS_PER_DAY: usize = 144;
+/// Milliseconds per hour.
+pub const HOUR_MS: u64 = 3_600_000;
+/// Hours per day.
+pub const HOURS_PER_DAY: usize = 24;
+
+/// Counts events per ten-minute slot of one day (times are ms since that
+/// day's midnight). `filter` selects which classes count — pass
+/// [`instability_filter`] for the paper's "sum of AADiff, WADiff, and WADup".
+#[must_use]
+pub fn ten_minute_bins<F>(events: &[ClassifiedEvent], filter: F) -> [u64; SLOTS_PER_DAY]
+where
+    F: Fn(UpdateClass) -> bool,
+{
+    let mut bins = [0u64; SLOTS_PER_DAY];
+    for e in events {
+        if filter(e.class) {
+            let slot = (e.time_ms / TEN_MINUTES_MS) as usize;
+            if slot < SLOTS_PER_DAY {
+                bins[slot] += 1;
+            }
+        }
+    }
+    bins
+}
+
+/// Counts events per hour of one day.
+#[must_use]
+pub fn hourly_bins<F>(events: &[ClassifiedEvent], filter: F) -> [u64; HOURS_PER_DAY]
+where
+    F: Fn(UpdateClass) -> bool,
+{
+    let mut bins = [0u64; HOURS_PER_DAY];
+    for e in events {
+        if filter(e.class) {
+            let h = (e.time_ms / HOUR_MS) as usize;
+            if h < HOURS_PER_DAY {
+                bins[h] += 1;
+            }
+        }
+    }
+    bins
+}
+
+/// The paper's instability filter: AADiff + WADiff + WADup.
+#[must_use]
+pub fn instability_filter(c: UpdateClass) -> bool {
+    c.is_instability()
+}
+
+/// Everything except plain withdrawals and first announcements.
+#[must_use]
+pub fn all_classified_filter(c: UpdateClass) -> bool {
+    !matches!(c, UpdateClass::Withdraw | UpdateClass::NewAnnounce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use iri_bgp::types::{Asn, Prefix};
+    use std::net::Ipv4Addr;
+
+    fn ev(time_ms: u64, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms,
+            peer: PeerKey {
+                asn: Asn(701),
+                addr: Ipv4Addr::LOCALHOST,
+            },
+            prefix: Prefix::from_raw(0x0a00_0000, 8),
+            class,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn ten_minute_binning() {
+        let events = vec![
+            ev(0, UpdateClass::WaDup),
+            ev(TEN_MINUTES_MS - 1, UpdateClass::AaDiff),
+            ev(TEN_MINUTES_MS, UpdateClass::WaDiff),
+            ev(23 * HOUR_MS + 59 * 60_000, UpdateClass::WaDup),
+            ev(5 * HOUR_MS, UpdateClass::WwDup), // not instability
+        ];
+        let bins = ten_minute_bins(&events, instability_filter);
+        assert_eq!(bins[0], 2);
+        assert_eq!(bins[1], 1);
+        assert_eq!(bins[SLOTS_PER_DAY - 1], 1);
+        assert_eq!(bins.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn hourly_binning() {
+        let events = vec![
+            ev(30 * 60_000, UpdateClass::AaDup),
+            ev(HOUR_MS + 1, UpdateClass::AaDup),
+            ev(HOUR_MS + 2, UpdateClass::Withdraw), // excluded by filter
+        ];
+        let bins = hourly_bins(&events, all_classified_filter);
+        assert_eq!(bins[0], 1);
+        assert_eq!(bins[1], 1);
+    }
+
+    #[test]
+    fn out_of_day_events_dropped() {
+        let events = vec![ev(25 * HOUR_MS, UpdateClass::WaDup)];
+        let bins = ten_minute_bins(&events, instability_filter);
+        assert_eq!(bins.iter().sum::<u64>(), 0);
+    }
+}

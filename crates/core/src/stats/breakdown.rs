@@ -1,0 +1,158 @@
+//! Figure 2: breakdown of updates by class over time.
+//!
+//! "The breakdown of instability categories shows that both the AADup and
+//! WADup classifications consistently dominate other categories of routing
+//! instability. … Analysis of nine months of BGP traffic indicates that the
+//! majority of BGP updates consist entirely of pathological, duplicate
+//! withdrawals (WWDup)." Figure 2 itself excludes WWDup "so as not to
+//! obscure the salient features of the other data"; the WWDup count is kept
+//! alongside for the §4 headline numbers.
+
+use crate::classifier::ClassifiedEvent;
+use crate::taxonomy::UpdateClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-period class counts (period = day index, month index, …).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// Count per class.
+    pub counts: BTreeMap<UpdateClass, u64>,
+}
+
+impl ClassBreakdown {
+    /// Count for one class.
+    #[must_use]
+    pub fn get(&self, c: UpdateClass) -> u64 {
+        *self.counts.get(&c).unwrap_or(&0)
+    }
+
+    /// Total across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Instability total (AADiff + WADiff + WADup).
+    #[must_use]
+    pub fn instability(&self) -> u64 {
+        UpdateClass::ALL
+            .iter()
+            .filter(|c| c.is_instability())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Pathology total (AADup + WWDup).
+    #[must_use]
+    pub fn pathological(&self) -> u64 {
+        UpdateClass::ALL
+            .iter()
+            .filter(|c| c.is_pathological())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Fraction of all events that are pathological — the paper's headline
+    /// "the majority (99 percent) of routing information is pathological"
+    /// (at full Internet scale; scale-dependent here).
+    #[must_use]
+    pub fn pathological_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.pathological() as f64 / t as f64
+        }
+    }
+}
+
+/// Accumulates one breakdown per period, where `period_of` maps an event to
+/// its period index (e.g. `|e| e.time_ms / DAY_MS` fed per-day streams, or a
+/// constant for a single aggregate).
+#[must_use]
+pub fn breakdown_by_period<F>(
+    events: &[ClassifiedEvent],
+    period_of: F,
+) -> BTreeMap<u64, ClassBreakdown>
+where
+    F: Fn(&ClassifiedEvent) -> u64,
+{
+    let mut out: BTreeMap<u64, ClassBreakdown> = BTreeMap::new();
+    for e in events {
+        let b = out.entry(period_of(e)).or_default();
+        *b.counts.entry(e.class).or_default() += 1;
+    }
+    out
+}
+
+/// Single aggregate breakdown of a stream.
+#[must_use]
+pub fn breakdown(events: &[ClassifiedEvent]) -> ClassBreakdown {
+    let mut b = ClassBreakdown::default();
+    for e in events {
+        *b.counts.entry(e.class).or_default() += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use iri_bgp::types::{Asn, Prefix};
+    use std::net::Ipv4Addr;
+
+    fn ev(t: u64, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: t,
+            peer: PeerKey {
+                asn: Asn(1),
+                addr: Ipv4Addr::LOCALHOST,
+            },
+            prefix: Prefix::from_raw(0, 8),
+            class,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn aggregate_breakdown_counts() {
+        use UpdateClass::*;
+        let events = vec![
+            ev(0, WaDup),
+            ev(1, WaDup),
+            ev(2, AaDup),
+            ev(3, AaDiff),
+            ev(4, WwDup),
+            ev(5, WwDup),
+            ev(6, WwDup),
+            ev(7, Withdraw),
+        ];
+        let b = breakdown(&events);
+        assert_eq!(b.get(WaDup), 2);
+        assert_eq!(b.get(WwDup), 3);
+        assert_eq!(b.total(), 8);
+        assert_eq!(b.instability(), 3); // 2 WADup + 1 AADiff
+        assert_eq!(b.pathological(), 4); // 1 AADup + 3 WWDup
+        assert!((b.pathological_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_period_split() {
+        use UpdateClass::*;
+        let events = vec![ev(0, WaDup), ev(100, WaDup), ev(250, AaDup)];
+        let by = breakdown_by_period(&events, |e| e.time_ms / 100);
+        assert_eq!(by.len(), 3);
+        assert_eq!(by[&0].get(WaDup), 1);
+        assert_eq!(by[&1].get(WaDup), 1);
+        assert_eq!(by[&2].get(AaDup), 1);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = breakdown(&[]);
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.pathological_fraction(), 0.0);
+    }
+}

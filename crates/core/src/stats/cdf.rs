@@ -1,0 +1,159 @@
+//! Figure 7: cumulative distribution of Prefix+AS update counts.
+//!
+//! "A Prefix+AS represents a set of routes that an AS announces for a given
+//! destination. … the horizontal axes represent the number of Prefix+AS
+//! pairs that exhibited a specific number of BGP instability events; the
+//! vertical axes show the cumulative proportion of all such events. …
+//! from 80 to 100 percent of the daily instability is contributed by
+//! Prefix+AS pairs announced less than fifty times."
+
+use crate::classifier::ClassifiedEvent;
+use crate::taxonomy::UpdateClass;
+use iri_bgp::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The cumulative distribution of per-(Prefix, AS) event counts for one
+/// class on one day.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixAsCdf {
+    /// Which class.
+    pub class: UpdateClass,
+    /// Sorted per-pair event counts (ascending).
+    pub pair_counts: Vec<u64>,
+    /// Total events.
+    pub total: u64,
+}
+
+impl PrefixAsCdf {
+    /// Cumulative proportion of events contributed by pairs with at most
+    /// `count` events — the curve of Figure 7.
+    #[must_use]
+    pub fn cumulative_at(&self, count: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let contributed: u64 = self.pair_counts.iter().take_while(|&&c| c <= count).sum();
+        contributed as f64 / self.total as f64
+    }
+
+    /// Number of distinct (prefix, AS) pairs.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.pair_counts.len()
+    }
+
+    /// The largest single pair's share of events (dominance check, like the
+    /// August 11 ISP-A day where seven routes carried ~40 % of AADiffs).
+    #[must_use]
+    pub fn max_pair_share(&self) -> f64 {
+        match (self.pair_counts.last(), self.total) {
+            (Some(&m), t) if t > 0 => m as f64 / t as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Builds the Prefix+AS distribution for one class from one day's events.
+#[must_use]
+pub fn prefix_as_cdf(events: &[ClassifiedEvent], class: UpdateClass) -> PrefixAsCdf {
+    let mut per_pair: BTreeMap<(Prefix, Asn), u64> = BTreeMap::new();
+    for e in events {
+        if e.class == class {
+            *per_pair.entry((e.prefix, e.peer.asn)).or_default() += 1;
+        }
+    }
+    let mut pair_counts: Vec<u64> = per_pair.into_values().collect();
+    pair_counts.sort_unstable();
+    let total = pair_counts.iter().sum();
+    PrefixAsCdf {
+        class,
+        pair_counts,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use std::net::Ipv4Addr;
+
+    fn ev(asn: u32, prefix_idx: u32, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: 0,
+            peer: PeerKey {
+                asn: Asn(asn),
+                addr: Ipv4Addr::new(1, 1, 1, asn as u8),
+            },
+            prefix: Prefix::from_raw(0x0a00_0000 | (prefix_idx << 8), 24),
+            class,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn basic_distribution() {
+        // Pair (p0, AS1): 3 events; pair (p1, AS1): 1; pair (p0, AS2): 1.
+        let events = vec![
+            ev(1, 0, UpdateClass::AaDiff),
+            ev(1, 0, UpdateClass::AaDiff),
+            ev(1, 0, UpdateClass::AaDiff),
+            ev(1, 1, UpdateClass::AaDiff),
+            ev(2, 0, UpdateClass::AaDiff),
+            ev(2, 0, UpdateClass::WaDup), // other class
+        ];
+        let cdf = prefix_as_cdf(&events, UpdateClass::AaDiff);
+        assert_eq!(cdf.pair_count(), 3);
+        assert_eq!(cdf.total, 5);
+        assert_eq!(cdf.pair_counts, vec![1, 1, 3]);
+        assert!((cdf.cumulative_at(1) - 0.4).abs() < 1e-12);
+        assert!((cdf.cumulative_at(3) - 1.0).abs() < 1e-12);
+        assert!((cdf.max_pair_share() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_tail_detected() {
+        // One pair with 200 events + 50 pairs with 1 event each.
+        let mut events: Vec<ClassifiedEvent> =
+            (0..200).map(|_| ev(9, 0, UpdateClass::AaDup)).collect();
+        for i in 1..=50 {
+            events.push(ev(1, i, UpdateClass::AaDup));
+        }
+        let cdf = prefix_as_cdf(&events, UpdateClass::AaDup);
+        // Pairs under 50 events contribute only 20 %.
+        assert!(cdf.cumulative_at(49) < 0.25);
+        assert!(cdf.max_pair_share() > 0.7);
+    }
+
+    #[test]
+    fn well_distributed_mass_under_fifty() {
+        // 100 pairs with 5 events each — "80 to 100 percent … less than
+        // fifty times".
+        let events: Vec<ClassifiedEvent> = (0..100u32)
+            .flat_map(|i| (0..5).map(move |_| ev(1 + i % 7, i, UpdateClass::WaDup)))
+            .collect();
+        let cdf = prefix_as_cdf(&events, UpdateClass::WaDup);
+        assert!((cdf.cumulative_at(49) - 1.0).abs() < 1e-12);
+        assert!(cdf.max_pair_share() < 0.05);
+    }
+
+    #[test]
+    fn empty_and_missing_class() {
+        let cdf = prefix_as_cdf(&[], UpdateClass::WaDiff);
+        assert_eq!(cdf.total, 0);
+        assert_eq!(cdf.cumulative_at(100), 0.0);
+        assert_eq!(cdf.max_pair_share(), 0.0);
+    }
+
+    #[test]
+    fn same_prefix_different_as_are_distinct_pairs() {
+        let events = vec![
+            ev(1, 0, UpdateClass::WaDup),
+            ev(2, 0, UpdateClass::WaDup),
+            ev(3, 0, UpdateClass::WaDup),
+        ];
+        let cdf = prefix_as_cdf(&events, UpdateClass::WaDup);
+        assert_eq!(cdf.pair_count(), 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! Figure 6: per-AS contribution to routing updates vs routing-table share.
+//!
+//! "The horizontal axes show the proportion of the Internet's default-free
+//! routing table for which the peer is responsible on a specific day; the
+//! vertical axes signify the proportion of that day's route updates that
+//! the peer generated. … Generally, we do not see [clustering about the
+//! diagonal], which indicates that there is not a correlation between the
+//! size of an AS and its share of the update statistics."
+
+use crate::classifier::ClassifiedEvent;
+use crate::taxonomy::UpdateClass;
+use iri_bgp::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One scatter point: a peer AS on one day, for one update class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContributionPoint {
+    /// The peer AS.
+    pub asn: Asn,
+    /// Day index.
+    pub day: u32,
+    /// Fraction of the routing table attributable to this AS.
+    pub table_share: f64,
+    /// Fraction of the day's updates (of the given class) it generated.
+    pub update_share: f64,
+}
+
+/// Builds one day's scatter points for `class`. `table_shares` maps each
+/// peer AS to its routing-table share that day.
+#[must_use]
+pub fn contribution_points(
+    events: &[ClassifiedEvent],
+    class: UpdateClass,
+    table_shares: &BTreeMap<Asn, f64>,
+    day: u32,
+) -> Vec<ContributionPoint> {
+    let mut per_as: BTreeMap<Asn, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for e in events {
+        if e.class == class {
+            *per_as.entry(e.peer.asn).or_default() += 1;
+            total += 1;
+        }
+    }
+    table_shares
+        .iter()
+        .map(|(&asn, &table_share)| ContributionPoint {
+            asn,
+            day,
+            table_share,
+            update_share: if total == 0 {
+                0.0
+            } else {
+                *per_as.get(&asn).unwrap_or(&0) as f64 / total as f64
+            },
+        })
+        .collect()
+}
+
+/// Pearson correlation between table share and update share over a point
+/// set — the paper's claim is that this is weak ("few days cluster about
+/// the line").
+#[must_use]
+pub fn share_correlation(points: &[ContributionPoint]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mx = points.iter().map(|p| p.table_share).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.update_share).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for p in points {
+        let dx = p.table_share - mx;
+        let dy = p.update_share - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Whether any single AS dominates (exceeds `threshold` of updates) in
+/// *all* of the given per-class point sets — the paper: "no single ISP
+/// consistently contributes disproportionately to the measured instability
+/// in all four categories."
+#[must_use]
+pub fn consistent_dominator(
+    per_class_points: &[Vec<ContributionPoint>],
+    threshold: f64,
+) -> Option<Asn> {
+    let mut candidate: Option<Asn> = None;
+    for (i, points) in per_class_points.iter().enumerate() {
+        let dominators: Vec<Asn> = points
+            .iter()
+            .filter(|p| p.update_share > threshold)
+            .map(|p| p.asn)
+            .collect();
+        if i == 0 {
+            candidate = dominators.first().copied();
+        }
+        match candidate {
+            Some(c) if dominators.contains(&c) => {}
+            _ => return None,
+        }
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use iri_bgp::types::Prefix;
+    use std::net::Ipv4Addr;
+
+    fn ev(asn: u32, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: 0,
+            peer: PeerKey {
+                asn: Asn(asn),
+                addr: Ipv4Addr::new(1, 1, 1, asn as u8),
+            },
+            prefix: Prefix::from_raw(0, 8),
+            class,
+            policy_change: false,
+        }
+    }
+
+    fn shares() -> BTreeMap<Asn, f64> {
+        [(Asn(1), 0.5), (Asn(2), 0.3), (Asn(3), 0.2)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn shares_normalised() {
+        let events = vec![
+            ev(1, UpdateClass::WaDup),
+            ev(2, UpdateClass::WaDup),
+            ev(2, UpdateClass::WaDup),
+            ev(3, UpdateClass::WaDup),
+            ev(3, UpdateClass::AaDup), // other class ignored
+        ];
+        let pts = contribution_points(&events, UpdateClass::WaDup, &shares(), 0);
+        assert_eq!(pts.len(), 3);
+        let by_asn: BTreeMap<Asn, f64> = pts.iter().map(|p| (p.asn, p.update_share)).collect();
+        assert!((by_asn[&Asn(1)] - 0.25).abs() < 1e-12);
+        assert!((by_asn[&Asn(2)] - 0.50).abs() < 1e-12);
+        assert!((by_asn[&Asn(3)] - 0.25).abs() < 1e-12);
+        let total: f64 = pts.iter().map(|p| p.update_share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_events_gives_zero_shares() {
+        let pts = contribution_points(&[], UpdateClass::WaDup, &shares(), 3);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|p| p.update_share == 0.0 && p.day == 3));
+    }
+
+    #[test]
+    fn correlation_detects_diagonal() {
+        // Points exactly on the diagonal → r = 1.
+        let diag: Vec<ContributionPoint> = (1..=5)
+            .map(|i| ContributionPoint {
+                asn: Asn(i),
+                day: 0,
+                table_share: i as f64 / 10.0,
+                update_share: i as f64 / 10.0,
+            })
+            .collect();
+        assert!((share_correlation(&diag) - 1.0).abs() < 1e-12);
+        // Anti-correlated points → r = −1.
+        let anti: Vec<ContributionPoint> = (1..=5)
+            .map(|i| ContributionPoint {
+                asn: Asn(i),
+                day: 0,
+                table_share: i as f64 / 10.0,
+                update_share: (6 - i) as f64 / 10.0,
+            })
+            .collect();
+        assert!((share_correlation(&anti) + 1.0).abs() < 1e-12);
+        assert_eq!(share_correlation(&[]), 0.0);
+    }
+
+    #[test]
+    fn consistent_dominator_detection() {
+        let mk = |asn: u32, share: f64| ContributionPoint {
+            asn: Asn(asn),
+            day: 0,
+            table_share: 0.1,
+            update_share: share,
+        };
+        // AS 7 dominates both classes.
+        let per_class = vec![vec![mk(7, 0.8), mk(8, 0.2)], vec![mk(7, 0.9), mk(8, 0.1)]];
+        assert_eq!(consistent_dominator(&per_class, 0.5), Some(Asn(7)));
+        // Different dominators per class → none.
+        let per_class = vec![vec![mk(7, 0.8)], vec![mk(8, 0.8)]];
+        assert_eq!(consistent_dominator(&per_class, 0.5), None);
+        // No dominator at all.
+        let per_class = vec![vec![mk(7, 0.3), mk(8, 0.3)]];
+        assert_eq!(consistent_dominator(&per_class, 0.5), None);
+    }
+}

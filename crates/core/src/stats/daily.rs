@@ -1,0 +1,157 @@
+//! Table 1: per-ISP daily update totals.
+//!
+//! "Partial list of update totals per ISP on February 1, 1997 at AADS …
+//! many of the exchange point routers withdraw an order of magnitude more
+//! routes than they announce during a given day. For example, ISP-I
+//! announced 259 prefixes, but transmitted over 2.4 million withdrawals
+//! for just 14,112 different prefixes."
+
+use crate::classifier::ClassifiedEvent;
+use iri_bgp::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderDailyRow {
+    /// The peer AS.
+    pub asn: Asn,
+    /// Announcement prefix events sent.
+    pub announce: u64,
+    /// Withdrawal prefix events sent.
+    pub withdraw: u64,
+    /// Distinct prefixes touched.
+    pub unique_prefixes: usize,
+}
+
+impl ProviderDailyRow {
+    /// The withdrawal:announcement ratio (∞ guarded as `f64::INFINITY`).
+    #[must_use]
+    pub fn withdraw_ratio(&self) -> f64 {
+        if self.announce == 0 {
+            if self.withdraw == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.withdraw as f64 / self.announce as f64
+        }
+    }
+}
+
+/// Computes Table 1 rows from one day's classified events, sorted by ASN.
+#[must_use]
+pub fn provider_daily_totals(events: &[ClassifiedEvent]) -> Vec<ProviderDailyRow> {
+    struct Acc {
+        announce: u64,
+        withdraw: u64,
+        prefixes: HashSet<iri_bgp::types::Prefix>,
+    }
+    let mut acc: BTreeMap<Asn, Acc> = BTreeMap::new();
+    for e in events {
+        let a = acc.entry(e.peer.asn).or_insert_with(|| Acc {
+            announce: 0,
+            withdraw: 0,
+            prefixes: HashSet::new(),
+        });
+        if e.class.is_announcement() {
+            a.announce += 1;
+        } else {
+            a.withdraw += 1;
+        }
+        a.prefixes.insert(e.prefix);
+    }
+    acc.into_iter()
+        .map(|(asn, a)| ProviderDailyRow {
+            asn,
+            announce: a.announce,
+            withdraw: a.withdraw,
+            unique_prefixes: a.prefixes.len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use crate::taxonomy::UpdateClass;
+    use iri_bgp::types::Prefix;
+    use std::net::Ipv4Addr;
+
+    fn ev(asn: u32, prefix_idx: u32, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: 0,
+            peer: PeerKey {
+                asn: Asn(asn),
+                addr: Ipv4Addr::new(1, 1, 1, asn as u8),
+            },
+            prefix: Prefix::from_raw(0x0a00_0000 | (prefix_idx << 8), 24),
+            class,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn totals_per_provider() {
+        let events = vec![
+            ev(1, 0, UpdateClass::NewAnnounce),
+            ev(1, 0, UpdateClass::Withdraw),
+            ev(1, 0, UpdateClass::WwDup),
+            ev(1, 1, UpdateClass::WaDup),
+            ev(2, 5, UpdateClass::NewAnnounce),
+        ];
+        let rows = provider_daily_totals(&events);
+        assert_eq!(rows.len(), 2);
+        let r1 = &rows[0];
+        assert_eq!(r1.asn, Asn(1));
+        assert_eq!(r1.announce, 2); // NewAnnounce + WADup
+        assert_eq!(r1.withdraw, 2); // Withdraw + WWDup
+        assert_eq!(r1.unique_prefixes, 2);
+        assert!((r1.withdraw_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(rows[1].announce, 1);
+        assert_eq!(rows[1].withdraw, 0);
+    }
+
+    #[test]
+    fn pathological_provider_skew() {
+        // A tiny ISP-I: 2 announcements, 2000 WWDups on 10 prefixes.
+        let mut events = vec![
+            ev(9, 0, UpdateClass::NewAnnounce),
+            ev(9, 1, UpdateClass::NewAnnounce),
+        ];
+        for i in 0..2000 {
+            events.push(ev(9, i % 10, UpdateClass::WwDup));
+        }
+        let rows = provider_daily_totals(&events);
+        let r = &rows[0];
+        assert_eq!(r.withdraw, 2000);
+        assert_eq!(r.announce, 2);
+        assert!(r.withdraw_ratio() > 100.0);
+        assert_eq!(r.unique_prefixes, 10);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        let zero = ProviderDailyRow {
+            asn: Asn(1),
+            announce: 0,
+            withdraw: 0,
+            unique_prefixes: 0,
+        };
+        assert_eq!(zero.withdraw_ratio(), 0.0);
+        let inf = ProviderDailyRow {
+            asn: Asn(1),
+            announce: 0,
+            withdraw: 5,
+            unique_prefixes: 1,
+        };
+        assert!(inf.withdraw_ratio().is_infinite());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(provider_daily_totals(&[]).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Figure 3 (instability density grid) and Figure 4 (representative week).
+//!
+//! "Each day is represented by a vertical slice of small squares, each of
+//! which represent a ten minute aggregate of instability updates. The black
+//! squares represent a level of instability above a certain threshold …
+//! the magnitude of the difference … was reduced by examining the logarithm
+//! of the raw data. Furthermore, the logarithms were detrended using a
+//! least-square regression."
+
+use crate::stats::bins::SLOTS_PER_DAY;
+use crate::timeseries::detrend::log_detrend;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the density grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DensityCell {
+    /// Above-threshold instability (the paper's black square).
+    Dense,
+    /// Below-threshold (light gray).
+    Light,
+    /// No data collected (white).
+    Missing,
+}
+
+/// The Figure 3 matrix: `grid[day][slot]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityGrid {
+    /// Cells, one row per day, [`SLOTS_PER_DAY`] columns.
+    pub grid: Vec<Vec<DensityCell>>,
+    /// The raw-update-count threshold applied per day (varies with the
+    /// trend, like the paper's "345 updates per 10 minute aggregate in
+    /// March to 770 in September").
+    pub raw_threshold_per_day: Vec<f64>,
+    /// Fitted per-sample slope of the log series (growth evidence).
+    pub log_slope: f64,
+}
+
+impl DensityGrid {
+    /// Fraction of non-missing cells that are dense within `days`.
+    #[must_use]
+    pub fn dense_fraction(&self, days: std::ops::Range<usize>) -> f64 {
+        let mut dense = 0usize;
+        let mut total = 0usize;
+        for d in days {
+            if let Some(row) = self.grid.get(d) {
+                for c in row {
+                    match c {
+                        DensityCell::Dense => {
+                            dense += 1;
+                            total += 1;
+                        }
+                        DensityCell::Light => total += 1,
+                        DensityCell::Missing => {}
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            dense as f64 / total as f64
+        }
+    }
+
+    /// Fraction of dense cells within a slot (minute-of-day) band across
+    /// all days — used to verify the night/business-hours contrast.
+    #[must_use]
+    pub fn dense_fraction_slots(&self, slots: std::ops::Range<usize>) -> f64 {
+        let mut dense = 0usize;
+        let mut total = 0usize;
+        for row in &self.grid {
+            for s in slots.clone() {
+                match row.get(s) {
+                    Some(DensityCell::Dense) => {
+                        dense += 1;
+                        total += 1;
+                    }
+                    Some(DensityCell::Light) => total += 1,
+                    _ => {}
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            dense as f64 / total as f64
+        }
+    }
+
+    /// ASCII rendering (rows = slots descending like the paper's y-axis,
+    /// columns = days): `#` dense, `.` light, ` ` missing. One column per
+    /// day; intended for small runs.
+    #[must_use]
+    pub fn render_ascii(&self) -> String {
+        let days = self.grid.len();
+        let mut out = String::with_capacity((days + 1) * SLOTS_PER_DAY / 4);
+        for slot in (0..SLOTS_PER_DAY).rev().step_by(4) {
+            for row in &self.grid {
+                out.push(match row.get(slot) {
+                    Some(DensityCell::Dense) => '#',
+                    Some(DensityCell::Light) => '.',
+                    _ => ' ',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds the density grid from per-day ten-minute instability bins
+/// (`None` = day missing). `sigma` positions the threshold above the mean
+/// of the detrended logs (the paper chose "a point above the mean").
+#[must_use]
+pub fn density_grid(days: &[Option<[u64; SLOTS_PER_DAY]>], sigma: f64) -> DensityGrid {
+    // Flatten to one long series for the log-detrend fit; missing days
+    // contribute their day-mean so the fit is unbiased (the paper simply
+    // had gaps).
+    let mut flat: Vec<f64> = Vec::with_capacity(days.len() * SLOTS_PER_DAY);
+    for d in days {
+        match d {
+            Some(bins) => flat.extend(bins.iter().map(|&x| x as f64)),
+            None => flat.extend(std::iter::repeat_n(f64::NAN, SLOTS_PER_DAY)),
+        }
+    }
+    // Replace NaNs with the global mean of present values for fitting.
+    let present: Vec<f64> = flat.iter().copied().filter(|x| !x.is_nan()).collect();
+    let mean = if present.is_empty() {
+        0.0
+    } else {
+        present.iter().sum::<f64>() / present.len() as f64
+    };
+    let fit_series: Vec<f64> = flat
+        .iter()
+        .map(|&x| if x.is_nan() { mean } else { x })
+        .collect();
+    let detrended = log_detrend(&fit_series);
+    let threshold = detrended.threshold(sigma);
+
+    let mut grid = Vec::with_capacity(days.len());
+    let mut raw_threshold_per_day = Vec::with_capacity(days.len());
+    for (di, d) in days.iter().enumerate() {
+        let mid_t = di * SLOTS_PER_DAY + SLOTS_PER_DAY / 2;
+        // Invert: residual threshold + trend → raw count threshold.
+        let raw_thresh = (detrended.trend_at(mid_t) + threshold).exp() - 1.0;
+        raw_threshold_per_day.push(raw_thresh.max(0.0));
+        match d {
+            None => grid.push(vec![DensityCell::Missing; SLOTS_PER_DAY]),
+            Some(bins) => {
+                let row = bins
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &x)| {
+                        let t = di * SLOTS_PER_DAY + s;
+                        let resid = (x as f64 + 1.0).ln() - detrended.trend_at(t);
+                        if resid > threshold {
+                            DensityCell::Dense
+                        } else {
+                            DensityCell::Light
+                        }
+                    })
+                    .collect();
+                grid.push(row);
+            }
+        }
+    }
+    DensityGrid {
+        grid,
+        raw_threshold_per_day,
+        log_slope: detrended.slope,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic month with a strong diurnal cycle and lighter weekends.
+    fn synthetic_days(n: usize) -> Vec<Option<[u64; SLOTS_PER_DAY]>> {
+        (0..n)
+            .map(|d| {
+                if d == 7 {
+                    return None; // a missing day
+                }
+                let weekend = d % 7 == 5 || d % 7 == 6;
+                let mut bins = [0u64; SLOTS_PER_DAY];
+                for (s, b) in bins.iter_mut().enumerate() {
+                    let hour = s / 6;
+                    let diurnal = if (12..24).contains(&hour) { 400 } else { 40 };
+                    let base = if weekend { diurnal / 4 } else { diurnal };
+                    // Mild growth trend.
+                    *b = (base as f64 * (1.0 + 0.01 * d as f64)) as u64;
+                }
+                Some(bins)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn business_hours_denser_than_night() {
+        let g = density_grid(&synthetic_days(28), 0.2);
+        let night = g.dense_fraction_slots(0..36); // 00:00–06:00
+        let afternoon = g.dense_fraction_slots(90..144); // 15:00–24:00
+        assert!(
+            afternoon > night + 0.3,
+            "afternoon {afternoon} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn weekends_lighter() {
+        let g = density_grid(&synthetic_days(28), 0.2);
+        // Weekdays for 4 weeks: days 0-4, 7-11, ...; weekends 5,6,12,13...
+        let mut wk = 0.0;
+        let mut wkn = 0.0;
+        for w in 0..4usize {
+            wk += g.dense_fraction(w * 7..w * 7 + 5);
+            wkn += g.dense_fraction(w * 7 + 5..w * 7 + 7);
+        }
+        assert!(wk / 4.0 > wkn / 4.0 + 0.2, "weekday {wk} weekend {wkn}");
+    }
+
+    #[test]
+    fn missing_day_is_missing() {
+        let g = density_grid(&synthetic_days(10), 0.2);
+        assert!(g.grid[7].iter().all(|c| *c == DensityCell::Missing));
+        assert_eq!(g.dense_fraction(7..8), 0.0);
+    }
+
+    #[test]
+    fn threshold_grows_with_trend() {
+        let g = density_grid(&synthetic_days(56), 0.2);
+        assert!(g.log_slope > 0.0);
+        let first = g.raw_threshold_per_day[0];
+        let last = g.raw_threshold_per_day[55];
+        assert!(
+            last > first,
+            "threshold must follow the trend: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let g = density_grid(&synthetic_days(10), 0.2);
+        let art = g.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), SLOTS_PER_DAY / 4);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        assert!(art.contains('#') && art.contains('.') && art.contains(' '));
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = density_grid(&[], 1.0);
+        assert!(g.grid.is_empty());
+        assert_eq!(g.dense_fraction(0..10), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Pathological routing-incident detection (§4.1).
+//!
+//! "We define a pathological routing incident as a time when the aggregate
+//! level of routing instability seen at an exchange point exceeds the
+//! normal level of instability by one or more orders of magnitude."
+//!
+//! Detection works on per-slot aggregate counts: the *normal level* is a
+//! robust baseline (median of non-zero slots over a trailing window), and
+//! a slot opens an incident when it exceeds `ratio ×` baseline. Contiguous
+//! above-threshold slots merge into one incident.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// First slot index above threshold.
+    pub start_slot: usize,
+    /// Last slot index above threshold (inclusive).
+    pub end_slot: usize,
+    /// Peak slot count during the incident.
+    pub peak: u64,
+    /// Baseline (normal level) at detection time.
+    pub baseline: f64,
+}
+
+impl Incident {
+    /// Number of slots the incident spans.
+    #[must_use]
+    pub fn duration_slots(&self) -> usize {
+        self.end_slot - self.start_slot + 1
+    }
+
+    /// Peak-to-baseline ratio (the "orders of magnitude" measure).
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.peak as f64 / self.baseline
+        }
+    }
+}
+
+/// Detects incidents in a slot series. `ratio` is the threshold multiplier
+/// over the baseline (10.0 = the paper's "one or more orders of
+/// magnitude"); `window` is the trailing number of slots used for the
+/// baseline (the median of its non-zero values, falling back to the global
+/// median when the window is all-zero).
+#[must_use]
+pub fn detect_incidents(slots: &[u64], ratio: f64, window: usize) -> Vec<Incident> {
+    if slots.is_empty() {
+        return Vec::new();
+    }
+    let global_baseline = median_nonzero(slots).unwrap_or(0.0);
+    let mut incidents: Vec<Incident> = Vec::new();
+    let mut open: Option<Incident> = None;
+    for (i, &x) in slots.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let baseline = median_nonzero(&slots[lo..i])
+            .or(if global_baseline > 0.0 {
+                Some(global_baseline)
+            } else {
+                None
+            })
+            .unwrap_or(0.0);
+        let above = baseline > 0.0 && (x as f64) >= ratio * baseline;
+        match (&mut open, above) {
+            (None, true) => {
+                open = Some(Incident {
+                    start_slot: i,
+                    end_slot: i,
+                    peak: x,
+                    baseline,
+                });
+            }
+            (Some(inc), true) => {
+                inc.end_slot = i;
+                inc.peak = inc.peak.max(x);
+            }
+            (Some(_), false) => {
+                incidents.push(open.take().expect("open"));
+            }
+            (None, false) => {}
+        }
+    }
+    if let Some(inc) = open {
+        incidents.push(inc);
+    }
+    incidents
+}
+
+fn median_nonzero(slots: &[u64]) -> Option<f64> {
+    let mut v: Vec<u64> = slots.iter().copied().filter(|&x| x > 0).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable();
+    Some(v[v.len() / 2] as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_series_has_no_incidents() {
+        let slots: Vec<u64> = (0..288).map(|i| 40 + (i % 7)).collect();
+        assert!(detect_incidents(&slots, 10.0, 144).is_empty());
+    }
+
+    #[test]
+    fn order_of_magnitude_spike_detected() {
+        let mut slots: Vec<u64> = vec![50; 288];
+        for s in slots.iter_mut().take(130).skip(100) {
+            *s = 900; // 18x the baseline for 30 slots
+        }
+        let incidents = detect_incidents(&slots, 10.0, 144);
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert_eq!(inc.start_slot, 100);
+        assert_eq!(inc.end_slot, 129);
+        assert_eq!(inc.duration_slots(), 30);
+        assert_eq!(inc.peak, 900);
+        assert!(inc.magnitude() > 10.0);
+    }
+
+    #[test]
+    fn sub_threshold_spike_ignored() {
+        let mut slots: Vec<u64> = vec![50; 288];
+        slots[150] = 400; // only 8x
+        assert!(detect_incidents(&slots, 10.0, 144).is_empty());
+        // But a lower ratio catches it.
+        assert_eq!(detect_incidents(&slots, 5.0, 144).len(), 1);
+    }
+
+    #[test]
+    fn multiple_incidents_split() {
+        let mut slots: Vec<u64> = vec![30; 288];
+        slots[50] = 500;
+        slots[51] = 600;
+        slots[200] = 800;
+        let incidents = detect_incidents(&slots, 10.0, 144);
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].duration_slots(), 2);
+        assert_eq!(incidents[1].peak, 800);
+    }
+
+    #[test]
+    fn incident_at_series_end_is_closed() {
+        let mut slots: Vec<u64> = vec![30; 100];
+        slots[98] = 700;
+        slots[99] = 900;
+        let incidents = detect_incidents(&slots, 10.0, 50);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].end_slot, 99);
+    }
+
+    #[test]
+    fn all_zero_and_empty_series() {
+        assert!(detect_incidents(&[], 10.0, 10).is_empty());
+        assert!(detect_incidents(&[0; 50], 10.0, 10).is_empty());
+    }
+
+    #[test]
+    fn baseline_uses_trailing_window() {
+        // Ramp: the baseline follows the growth, so a proportional value
+        // never triggers; only a true spike does.
+        let mut slots: Vec<u64> = (0..200).map(|i| 20 + i / 4).collect();
+        assert!(detect_incidents(&slots, 10.0, 60).is_empty());
+        slots[150] = 5_000;
+        let incidents = detect_incidents(&slots, 10.0, 60);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].start_slot, 150);
+    }
+}

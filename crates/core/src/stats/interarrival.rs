@@ -1,0 +1,239 @@
+//! Figure 8: histogram of update inter-arrival times per class.
+//!
+//! "The graphs' horizontal axes mark the histogram bins in a log-time scale
+//! that ranges from one second (1s) to one day (24h) … the predominant
+//! frequencies in each of the graphs are captured by the thirty second and
+//! one minute bins. The fact that these frequencies account for half of the
+//! measured statistics was surprising."
+//!
+//! Inter-arrival is measured between consecutive events of the same
+//! **Prefix+AS** pair; each gap is attributed to the class of the *later*
+//! event. Per-day proportions per bin are summarised by median and
+//! quartiles (the paper's modified box plot).
+
+use crate::classifier::ClassifiedEvent;
+use crate::taxonomy::UpdateClass;
+use iri_bgp::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's bin edges (upper bounds, ms): 1s 5s 30s 1m 5m 10m 30m 1h 2h
+/// 4h 8h 24h.
+pub const BIN_EDGES_MS: [u64; 12] = [
+    1_000, 5_000, 30_000, 60_000, 300_000, 600_000, 1_800_000, 3_600_000, 7_200_000, 14_400_000,
+    28_800_000, 86_400_000,
+];
+
+/// Bin labels matching the paper's axis.
+pub const BIN_LABELS: [&str; 12] = [
+    "1s", "5s", "30s", "1m", "5m", "10m", "30m", "1h", "2h", "4h", "8h", "24h",
+];
+
+/// Index of the bin a gap falls into (gaps beyond 24 h clamp to the last
+/// bin).
+#[must_use]
+pub fn bin_index(gap_ms: u64) -> usize {
+    BIN_EDGES_MS
+        .iter()
+        .position(|&edge| gap_ms <= edge)
+        .unwrap_or(BIN_EDGES_MS.len() - 1)
+}
+
+/// One day's inter-arrival proportions for one class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DayInterarrival {
+    /// Which class.
+    pub class: UpdateClass,
+    /// Proportion of the day's gaps in each bin (sums to 1 unless empty).
+    pub proportions: [f64; 12],
+    /// Total gaps measured.
+    pub gaps: u64,
+}
+
+/// Computes one day's inter-arrival distribution for `class`. `events`
+/// must be time-sorted.
+#[must_use]
+pub fn day_interarrival(events: &[ClassifiedEvent], class: UpdateClass) -> DayInterarrival {
+    let mut last_seen: HashMap<(Prefix, Asn), u64> = HashMap::new();
+    let mut counts = [0u64; 12];
+    let mut gaps = 0u64;
+    for e in events {
+        let key = (e.prefix, e.peer.asn);
+        if let Some(&prev) = last_seen.get(&key) {
+            if e.class == class {
+                counts[bin_index(e.time_ms.saturating_sub(prev))] += 1;
+                gaps += 1;
+            }
+        }
+        last_seen.insert(key, e.time_ms);
+    }
+    let mut proportions = [0.0; 12];
+    if gaps > 0 {
+        for (p, &c) in proportions.iter_mut().zip(&counts) {
+            *p = c as f64 / gaps as f64;
+        }
+    }
+    DayInterarrival {
+        class,
+        proportions,
+        gaps,
+    }
+}
+
+/// The per-bin box-plot summary across days: (first quartile, median,
+/// third quartile) of the daily proportions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterarrivalSummary {
+    /// Which class.
+    pub class: UpdateClass,
+    /// Per-bin (q1, median, q3).
+    pub quartiles: [(f64, f64, f64); 12],
+    /// Number of days aggregated.
+    pub days: usize,
+}
+
+impl InterarrivalSummary {
+    /// Median mass in the 30 s + 1 m bins — the paper's headline (~half).
+    #[must_use]
+    pub fn thirty_sixty_mass(&self) -> f64 {
+        self.quartiles[2].1 + self.quartiles[3].1
+    }
+}
+
+/// Summarises daily distributions into the Figure 8 box plot.
+#[must_use]
+pub fn summarize_interarrival(days: &[DayInterarrival], class: UpdateClass) -> InterarrivalSummary {
+    let mut quartiles = [(0.0, 0.0, 0.0); 12];
+    let relevant: Vec<&DayInterarrival> = days
+        .iter()
+        .filter(|d| d.class == class && d.gaps > 0)
+        .collect();
+    for (bin, q) in quartiles.iter_mut().enumerate() {
+        let mut vals: Vec<f64> = relevant.iter().map(|d| d.proportions[bin]).collect();
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |f: f64| -> f64 {
+            let idx = ((vals.len() - 1) as f64 * f).round() as usize;
+            vals[idx]
+        };
+        *q = (pick(0.25), pick(0.5), pick(0.75));
+    }
+    InterarrivalSummary {
+        class,
+        quartiles,
+        days: relevant.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use std::net::Ipv4Addr;
+
+    fn ev(t: u64, prefix_idx: u32, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: t,
+            peer: PeerKey {
+                asn: Asn(1),
+                addr: Ipv4Addr::LOCALHOST,
+            },
+            prefix: Prefix::from_raw(0x0a00_0000 | (prefix_idx << 8), 24),
+            class,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn bin_edges() {
+        assert_eq!(bin_index(500), 0); // ≤1s
+        assert_eq!(bin_index(1_000), 0);
+        assert_eq!(bin_index(1_001), 1); // ≤5s
+        assert_eq!(bin_index(29_999), 2); // ≤30s
+        assert_eq!(bin_index(30_000), 2);
+        assert_eq!(bin_index(60_000), 3); // ≤1m
+        assert_eq!(bin_index(86_400_000), 11);
+        assert_eq!(bin_index(999_999_999), 11); // clamp
+        assert_eq!(BIN_LABELS[2], "30s");
+        assert_eq!(BIN_LABELS[3], "1m");
+    }
+
+    #[test]
+    fn thirty_second_periodicity_dominates() {
+        // A prefix flapping at exactly 30 s (the unjittered timer).
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(ev(i * 30_000, 0, UpdateClass::WaDup));
+        }
+        let d = day_interarrival(&events, UpdateClass::WaDup);
+        assert_eq!(d.gaps, 99);
+        assert!(
+            (d.proportions[2] - 1.0).abs() < 1e-12,
+            "all gaps in 30s bin"
+        );
+    }
+
+    #[test]
+    fn gaps_are_per_pair_not_global() {
+        // Two prefixes interleaved at 15 s offsets, each with 30 s period:
+        // global gaps would be 15 s, per-pair gaps are 30 s.
+        let mut events = Vec::new();
+        for i in 0..50u64 {
+            events.push(ev(i * 30_000, 0, UpdateClass::AaDup));
+            events.push(ev(i * 30_000 + 15_000, 1, UpdateClass::AaDup));
+        }
+        events.sort_by_key(|e| e.time_ms);
+        let d = day_interarrival(&events, UpdateClass::AaDup);
+        assert!((d.proportions[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_attributed_to_later_event_class() {
+        let events = vec![
+            ev(0, 0, UpdateClass::NewAnnounce),
+            ev(40_000, 0, UpdateClass::Withdraw),
+            ev(100_000, 0, UpdateClass::WaDup),
+        ];
+        // Gap 0→40s attributed to Withdraw; 40s→100s (60 s) to WADup.
+        let w = day_interarrival(&events, UpdateClass::Withdraw);
+        assert_eq!(w.gaps, 1);
+        assert!((w.proportions[3] - 1.0).abs() < 1e-12); // 40 s → 1m bin
+        let wd = day_interarrival(&events, UpdateClass::WaDup);
+        assert_eq!(wd.gaps, 1);
+        assert!((wd.proportions[3] - 1.0).abs() < 1e-12); // 60 s → 1m bin
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        // 3 days with 30s-bin proportions 0.4, 0.5, 0.6.
+        let mk = |p: f64| {
+            let mut proportions = [0.0; 12];
+            proportions[2] = p;
+            proportions[4] = 1.0 - p;
+            DayInterarrival {
+                class: UpdateClass::WaDup,
+                proportions,
+                gaps: 10,
+            }
+        };
+        let days = vec![mk(0.4), mk(0.5), mk(0.6)];
+        let s = summarize_interarrival(&days, UpdateClass::WaDup);
+        assert_eq!(s.days, 3);
+        assert!((s.quartiles[2].1 - 0.5).abs() < 1e-12);
+        assert!((s.quartiles[2].0 - 0.4).abs() < 1e-9 || (s.quartiles[2].0 - 0.45).abs() < 0.06);
+        assert!(s.thirty_sixty_mass() >= 0.5);
+    }
+
+    #[test]
+    fn empty_days_ignored() {
+        let empty = DayInterarrival {
+            class: UpdateClass::AaDiff,
+            proportions: [0.0; 12],
+            gaps: 0,
+        };
+        let s = summarize_interarrival(&[empty], UpdateClass::AaDiff);
+        assert_eq!(s.days, 0);
+    }
+}

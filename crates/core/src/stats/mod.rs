@@ -1,0 +1,25 @@
+//! Instability statistics — one module per table/figure of the paper.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`daily`] | Table 1 (per-ISP announce/withdraw/unique totals) |
+//! | [`breakdown`] | Figure 2 (update-class breakdown over time) |
+//! | [`bins`] | shared 10-minute / hourly aggregation |
+//! | [`density`] | Figure 3 (day × 10-min instability density grid) + Figure 4 (representative week) |
+//! | [`contribution`] | Figure 6 (AS table-share vs update-share scatter) |
+//! | [`cdf`] | Figure 7 (Prefix+AS cumulative distributions) |
+//! | [`interarrival`] | Figure 8 (inter-arrival histograms, 30/60 s modes) |
+//! | [`affected`] | Figure 9 (proportion of routes experiencing events) |
+//! | [`persistence`] | §4.1 episode persistence ("under five minutes") |
+//! | [`incidents`] | §4.1 pathological-routing-incident detection (order-of-magnitude excursions) |
+
+pub mod affected;
+pub mod bins;
+pub mod breakdown;
+pub mod cdf;
+pub mod contribution;
+pub mod daily;
+pub mod density;
+pub mod incidents;
+pub mod interarrival;
+pub mod persistence;

@@ -1,0 +1,159 @@
+//! Instability-episode persistence (§4.1).
+//!
+//! "We define the persistence of instability and pathologies as the
+//! duration of time routing information fluctuates before it stabilizes.
+//! Our data indicate that the persistence of most pathological BGP
+//! behaviors is under five minutes." An *episode* for a Prefix+AS pair is a
+//! maximal run of events whose consecutive gaps never exceed a quiet
+//! threshold.
+
+use crate::classifier::ClassifiedEvent;
+use iri_bgp::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One fluctuation episode of a Prefix+AS pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Affected prefix.
+    pub prefix: Prefix,
+    /// Sending AS.
+    pub asn: Asn,
+    /// First event time (ms).
+    pub start_ms: u64,
+    /// Last event time (ms).
+    pub end_ms: u64,
+    /// Events in the episode.
+    pub events: u32,
+}
+
+impl Episode {
+    /// Duration in milliseconds.
+    #[must_use]
+    pub fn duration_ms(&self) -> u64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Segments time-sorted events into episodes: a gap larger than
+/// `quiet_ms` closes the current episode for that pair. Single-event
+/// episodes (isolated updates) are included with zero duration.
+#[must_use]
+pub fn episodes(events: &[ClassifiedEvent], quiet_ms: u64) -> Vec<Episode> {
+    let mut open: HashMap<(Prefix, Asn), Episode> = HashMap::new();
+    let mut done = Vec::new();
+    for e in events {
+        let key = (e.prefix, e.peer.asn);
+        match open.get_mut(&key) {
+            Some(ep) if e.time_ms.saturating_sub(ep.end_ms) <= quiet_ms => {
+                ep.end_ms = e.time_ms;
+                ep.events += 1;
+            }
+            existing => {
+                if let Some(ep) = existing {
+                    done.push(*ep);
+                }
+                open.insert(
+                    key,
+                    Episode {
+                        prefix: e.prefix,
+                        asn: e.peer.asn,
+                        start_ms: e.time_ms,
+                        end_ms: e.time_ms,
+                        events: 1,
+                    },
+                );
+            }
+        }
+    }
+    done.extend(open.into_values());
+    done.sort_by_key(|ep| (ep.start_ms, ep.prefix.bits(), ep.asn.0));
+    done
+}
+
+/// Fraction of multi-event episodes whose duration is below `limit_ms` —
+/// the paper's "persistence … under five minutes" claim is
+/// `persistence_below(episodes, 5 * 60 * 1000) > 0.5`.
+#[must_use]
+pub fn persistence_below(episodes: &[Episode], limit_ms: u64) -> f64 {
+    let multi: Vec<&Episode> = episodes.iter().filter(|e| e.events > 1).collect();
+    if multi.is_empty() {
+        return 1.0;
+    }
+    let under = multi.iter().filter(|e| e.duration_ms() < limit_ms).count();
+    under as f64 / multi.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use crate::taxonomy::UpdateClass;
+    use std::net::Ipv4Addr;
+
+    fn ev(t: u64, prefix_idx: u32) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: t,
+            peer: PeerKey {
+                asn: Asn(1),
+                addr: Ipv4Addr::LOCALHOST,
+            },
+            prefix: Prefix::from_raw(0x0a00_0000 | (prefix_idx << 8), 24),
+            class: UpdateClass::WaDup,
+            policy_change: false,
+        }
+    }
+
+    #[test]
+    fn gap_splits_episodes() {
+        // Events at 0, 30s, 60s, then quiet, then 20min, 20.5min.
+        let events = vec![
+            ev(0, 0),
+            ev(30_000, 0),
+            ev(60_000, 0),
+            ev(1_200_000, 0),
+            ev(1_230_000, 0),
+        ];
+        let eps = episodes(&events, 300_000); // 5-minute quiet threshold
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].events, 3);
+        assert_eq!(eps[0].duration_ms(), 60_000);
+        assert_eq!(eps[1].events, 2);
+        assert_eq!(eps[1].duration_ms(), 30_000);
+    }
+
+    #[test]
+    fn pairs_tracked_independently() {
+        let events = vec![ev(0, 0), ev(1_000, 1), ev(2_000, 0)];
+        let eps = episodes(&events, 10_000);
+        assert_eq!(eps.len(), 2);
+        let p0 = eps.iter().find(|e| e.prefix.bits() == 0x0a00_0000).unwrap();
+        assert_eq!(p0.events, 2);
+    }
+
+    #[test]
+    fn persistence_fraction() {
+        // Two short multi-event episodes + one long one + one singleton.
+        let mut events = vec![
+            ev(0, 0),
+            ev(60_000, 0), // 1 min episode
+            ev(10_000_000, 1),
+            ev(10_060_000, 1), // 1 min episode
+            ev(20_000_000, 2),
+            ev(20_200_000, 2),
+            ev(20_400_000, 2),
+            ev(20_600_000, 2), // 10 min episode
+            ev(40_000_000, 3), // singleton
+        ];
+        events.sort_by_key(|e| e.time_ms);
+        let eps = episodes(&events, 300_000);
+        let frac = persistence_below(&eps, 5 * 60 * 1000);
+        assert!((frac - 2.0 / 3.0).abs() < 1e-12, "{frac}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(episodes(&[], 1000).is_empty());
+        assert_eq!(persistence_below(&[], 1000), 1.0);
+    }
+}

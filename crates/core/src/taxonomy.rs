@@ -1,0 +1,165 @@
+//! The update taxonomy of §4.
+//!
+//! > *"We distinguish between three classes of routing information:
+//! > forwarding instability, policy fluctuation, and pathologic (or
+//! > redundant) updates."*
+//!
+//! Announcements are classified against the last state of the same
+//! **(peer, prefix)** pair:
+//!
+//! - **WADiff** — "a route is explicitly withdrawn … and later replaced
+//!   with an alternative route" (forwarding instability);
+//! - **AADiff** — "a route is implicitly withdrawn and replaced by an
+//!   alternative route" (forwarding instability);
+//! - **WADup** — "a route is explicitly withdrawn and then re-announced as
+//!   reachable" (forwarding instability *or* pathology);
+//! - **AADup** — "a route is implicitly withdrawn and replaced with a
+//!   duplicate of the original route" (pathology, possibly policy
+//!   fluctuation);
+//!
+//! withdrawals divide into legitimate [`UpdateClass::Withdraw`] and
+//!
+//! - **WWDup** — "the repeated transmission of BGP withdrawals for a prefix
+//!   that is currently unreachable" (pathology);
+//!
+//! and the first announcement ever seen for a pair is
+//! [`UpdateClass::NewAnnounce`] (the paper's "Uncategorized").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of one update event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UpdateClass {
+    /// Explicit withdrawal, later replaced by a *different* route.
+    WaDiff,
+    /// Implicit withdrawal: replaced in place by a *different* route.
+    AaDiff,
+    /// Explicit withdrawal then re-announcement of the *same* route.
+    WaDup,
+    /// Duplicate announcement of the route already held.
+    AaDup,
+    /// Withdrawal of a prefix that is already unreachable (or was never
+    /// announced by this peer) — the §4 signature pathology.
+    WwDup,
+    /// Legitimate explicit withdrawal of an announced route.
+    Withdraw,
+    /// First announcement seen for this (peer, prefix) pair.
+    NewAnnounce,
+}
+
+impl UpdateClass {
+    /// All classes, in the paper's reporting order.
+    pub const ALL: [UpdateClass; 7] = [
+        UpdateClass::AaDiff,
+        UpdateClass::WaDiff,
+        UpdateClass::WaDup,
+        UpdateClass::AaDup,
+        UpdateClass::WwDup,
+        UpdateClass::Withdraw,
+        UpdateClass::NewAnnounce,
+    ];
+
+    /// The four announcement-classification categories plotted in
+    /// Figures 2, 6, 7 and 8.
+    pub const FIGURE_CATEGORIES: [UpdateClass; 4] = [
+        UpdateClass::AaDiff,
+        UpdateClass::WaDiff,
+        UpdateClass::WaDup,
+        UpdateClass::AaDup,
+    ];
+
+    /// "We will refer to AADiff, WADiff and WADup as instability."
+    #[must_use]
+    pub fn is_instability(self) -> bool {
+        matches!(
+            self,
+            UpdateClass::AaDiff | UpdateClass::WaDiff | UpdateClass::WaDup
+        )
+    }
+
+    /// "We will refer to AADup and WWDup as pathological instability."
+    #[must_use]
+    pub fn is_pathological(self) -> bool {
+        matches!(self, UpdateClass::AaDup | UpdateClass::WwDup)
+    }
+
+    /// Forwarding instability in the strict sense (may change data paths).
+    #[must_use]
+    pub fn is_forwarding_instability(self) -> bool {
+        matches!(self, UpdateClass::AaDiff | UpdateClass::WaDiff)
+    }
+
+    /// Whether the event was an announcement.
+    #[must_use]
+    pub fn is_announcement(self) -> bool {
+        !matches!(self, UpdateClass::Withdraw | UpdateClass::WwDup)
+    }
+
+    /// Paper-style label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateClass::WaDiff => "WADiff",
+            UpdateClass::AaDiff => "AADiff",
+            UpdateClass::WaDup => "WADup",
+            UpdateClass::AaDup => "AADup",
+            UpdateClass::WwDup => "WWDup",
+            UpdateClass::Withdraw => "Withdraw",
+            UpdateClass::NewAnnounce => "Uncategorized",
+        }
+    }
+}
+
+impl fmt::Display for UpdateClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instability_and_pathology_partitions() {
+        use UpdateClass::*;
+        for c in UpdateClass::ALL {
+            // Nothing is both instability and pathology.
+            assert!(!(c.is_instability() && c.is_pathological()), "{c}");
+        }
+        assert!(WaDiff.is_instability() && AaDiff.is_instability() && WaDup.is_instability());
+        assert!(AaDup.is_pathological() && WwDup.is_pathological());
+        assert!(!Withdraw.is_instability() && !Withdraw.is_pathological());
+        assert!(!NewAnnounce.is_instability());
+    }
+
+    #[test]
+    fn forwarding_instability_subset() {
+        use UpdateClass::*;
+        assert!(AaDiff.is_forwarding_instability());
+        assert!(WaDiff.is_forwarding_instability());
+        assert!(!WaDup.is_forwarding_instability());
+        for c in UpdateClass::ALL {
+            if c.is_forwarding_instability() {
+                assert!(c.is_instability());
+            }
+        }
+    }
+
+    #[test]
+    fn announcement_flag() {
+        use UpdateClass::*;
+        assert!(
+            AaDiff.is_announcement() && WaDup.is_announcement() && NewAnnounce.is_announcement()
+        );
+        assert!(!Withdraw.is_announcement() && !WwDup.is_announcement());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(UpdateClass::WwDup.to_string(), "WWDup");
+        assert_eq!(UpdateClass::NewAnnounce.to_string(), "Uncategorized");
+        assert_eq!(UpdateClass::FIGURE_CATEGORIES.len(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Sample autocorrelation function.
+
+/// Autocorrelation `ρ(k)` for lags `0..=max_lag`, normalised so `ρ(0)=1`.
+/// Returns an empty vector for series shorter than 2 samples.
+#[must_use]
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        // A constant series is perfectly correlated with itself at any lag.
+        return vec![1.0; max_lag.min(n - 1) + 1];
+    }
+    (0..=max_lag.min(n - 1))
+        .map(|k| {
+            let cov: f64 = (0..n - k)
+                .map(|t| (series[t] - mean) * (series[t + k] - mean))
+                .sum();
+            cov / var
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let s: Vec<f64> = (0..50).map(|t| (t as f64).sin() + t as f64 * 0.1).collect();
+        let acf = autocorrelation(&s, 10);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        assert_eq!(acf.len(), 11);
+    }
+
+    #[test]
+    fn periodic_series_peaks_at_period() {
+        let s: Vec<f64> = (0..240)
+            .map(|t| (2.0 * PI * t as f64 / 24.0).sin())
+            .collect();
+        let acf = autocorrelation(&s, 60);
+        // Peak at lag 24, trough at lag 12.
+        assert!(acf[24] > 0.8, "{}", acf[24]);
+        assert!(acf[12] < -0.8, "{}", acf[12]);
+    }
+
+    /// Deterministic white-ish noise in [-0.5, 0.5) via splitmix64.
+    fn noise(t: u64) -> f64 {
+        let mut z = t.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn white_noise_decorrelates() {
+        let s: Vec<f64> = (0..2000).map(|t| noise(t)).collect();
+        let acf = autocorrelation(&s, 20);
+        for &r in &acf[1..] {
+            assert!(r.abs() < 0.1, "{r}");
+        }
+    }
+
+    #[test]
+    fn constant_series_is_fully_correlated() {
+        let acf = autocorrelation(&[5.0; 30], 5);
+        assert_eq!(acf, vec![1.0; 6]);
+    }
+
+    #[test]
+    fn short_series() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        assert!(autocorrelation(&[1.0], 5).is_empty());
+        let acf = autocorrelation(&[1.0, 2.0], 5);
+        assert_eq!(acf.len(), 2); // lags 0 and 1 only
+    }
+
+    #[test]
+    fn max_lag_clamped_to_series() {
+        let acf = autocorrelation(&[1.0, 2.0, 3.0, 4.0], 100);
+        assert_eq!(acf.len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Log-transform and least-squares detrending.
+//!
+//! "The rate of routing updates is modeled as x_t = T_t·I_t … we conclude
+//! that log x_t = log T_t + log I_t. … hence log I_t oscillates about 0.
+//! This avoids adding frequency biases that can be introduced due to
+//! linear filtering." And for the density plot: "the logarithms were
+//! detrended using a least-square regression — routing instability
+//! increased linearly during the seven month period."
+
+/// Result of detrending.
+#[derive(Debug, Clone)]
+pub struct Detrended {
+    /// The residuals `log x_t − (a + b·t)`, oscillating about 0.
+    pub residuals: Vec<f64>,
+    /// Fitted intercept `a`.
+    pub intercept: f64,
+    /// Fitted slope `b` per sample.
+    pub slope: f64,
+}
+
+impl Detrended {
+    /// The fitted trend value at sample `t`.
+    #[must_use]
+    pub fn trend_at(&self, t: usize) -> f64 {
+        self.intercept + self.slope * t as f64
+    }
+
+    /// The threshold used for the Figure 3 density plot: `mean + k·σ` of
+    /// the residuals.
+    #[must_use]
+    pub fn threshold(&self, k: f64) -> f64 {
+        let n = self.residuals.len().max(1) as f64;
+        let mean = self.residuals.iter().sum::<f64>() / n;
+        let var = self
+            .residuals
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / n;
+        mean + k * var.sqrt()
+    }
+}
+
+/// Takes `log(x + 1)` of the series (the +1 guards empty bins) and removes
+/// the least-squares linear trend.
+#[must_use]
+pub fn log_detrend(series: &[f64]) -> Detrended {
+    let logs: Vec<f64> = series.iter().map(|&x| (x + 1.0).ln()).collect();
+    let n = logs.len();
+    if n < 2 {
+        return Detrended {
+            residuals: logs,
+            intercept: 0.0,
+            slope: 0.0,
+        };
+    }
+    let nf = n as f64;
+    let mx = (nf - 1.0) / 2.0;
+    let my = logs.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (i, &y) in logs.iter().enumerate() {
+        let dx = i as f64 - mx;
+        sxy += dx * (y - my);
+        sxx += dx * dx;
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let residuals = logs
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| y - (intercept + slope * i as f64))
+        .collect();
+    Detrended {
+        residuals,
+        intercept,
+        slope,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_exponential_growth() {
+        // x_t = 100 · 1.01^t → log is linear → residuals ≈ 0.
+        let series: Vec<f64> = (0..200).map(|t| 100.0 * 1.01f64.powi(t)).collect();
+        let d = log_detrend(&series);
+        assert!(d.slope > 0.009 && d.slope < 0.011, "slope {}", d.slope);
+        for r in &d.residuals {
+            assert!(r.abs() < 0.01, "{r}");
+        }
+    }
+
+    #[test]
+    fn preserves_oscillation() {
+        use std::f64::consts::PI;
+        let series: Vec<f64> = (0..240)
+            .map(|t| {
+                let osc = 1.0 + 0.5 * (2.0 * PI * t as f64 / 24.0).sin();
+                200.0 * osc * (1.0 + 0.002 * t as f64)
+            })
+            .collect();
+        let d = log_detrend(&series);
+        // Residuals oscillate about 0 with period 24.
+        let mean: f64 = d.residuals.iter().sum::<f64>() / d.residuals.len() as f64;
+        assert!(mean.abs() < 0.01);
+        let max = d.residuals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = d.residuals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.2 && min < -0.2, "oscillation must survive");
+    }
+
+    #[test]
+    fn threshold_above_mean() {
+        let series: Vec<f64> = (0..100).map(|t| 50.0 + (t % 7) as f64 * 10.0).collect();
+        let d = log_detrend(&series);
+        assert!(d.threshold(1.0) > d.threshold(0.0));
+        let mean = d.residuals.iter().sum::<f64>() / 100.0;
+        assert!((d.threshold(0.0) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let d = log_detrend(&[]);
+        assert!(d.residuals.is_empty());
+        let d = log_detrend(&[5.0]);
+        assert_eq!(d.residuals.len(), 1);
+        assert_eq!(d.slope, 0.0);
+        // Constant series: zero slope, zero residuals.
+        let d = log_detrend(&[9.0; 40]);
+        assert!(d.slope.abs() < 1e-12);
+        for r in &d.residuals {
+            assert!(r.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trend_at_matches_fit() {
+        let series: Vec<f64> = (0..50).map(|t| (t as f64 + 1.0).exp() - 1.0).collect();
+        let d = log_detrend(&series);
+        // log(x+1) = t+1, so the fitted trend at sample 10 is ≈ 11.
+        assert!((d.trend_at(10) - 11.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Radix-2 Cooley–Tukey FFT on a minimal complex type.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number (f64 re/im).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructor.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 FFT (decimation in time).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two — callers pad with
+/// [`next_pow2`].
+pub fn fft_inplace(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / (len as f64);
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Smallest power of two ≥ `n`.
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Forward FFT of a real series (zero-padded to a power of two); returns
+/// the complex spectrum.
+#[must_use]
+pub fn fft_real(series: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(series.len().max(1));
+    let mut data: Vec<Complex> = series
+        .iter()
+        .map(|&x| Complex::new(x, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+    fft_inplace(&mut data);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![Complex::default(); 8];
+        d[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut d);
+        for c in d {
+            assert_close(c.re, 1.0);
+            assert_close(c.im, 0.0);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc() {
+        let mut d = vec![Complex::new(1.0, 0.0); 8];
+        fft_inplace(&mut d);
+        assert_close(d[0].re, 8.0);
+        for c in &d[1..] {
+            assert_close(c.abs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn fft_finds_single_tone() {
+        // cos(2π·3t/32): peaks at bins 3 and 29.
+        let n = 32;
+        let series: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * 3.0 * t as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&series);
+        let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 3);
+        assert_close(mags[3], 16.0); // N/2 for a unit cosine
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let series = [1.0, 2.0, -1.0, 0.5, 0.0, 3.0, -2.0, 1.5];
+        let spec = fft_real(&series);
+        let time_energy: f64 = series.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / 8.0;
+        assert_close(time_energy, freq_energy);
+    }
+
+    #[test]
+    fn roundtrip_via_conjugate() {
+        // Inverse FFT via conj-FFT-conj/N must recover the input.
+        let orig = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut d: Vec<Complex> = orig.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_inplace(&mut d);
+        for c in d.iter_mut() {
+            c.im = -c.im;
+        }
+        fft_inplace(&mut d);
+        for (c, &x) in d.iter().zip(&orig) {
+            assert_close(c.re / 8.0, x);
+            assert_close(-c.im / 8.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn padding_to_pow2() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        let spec = fft_real(&[1.0, 1.0, 1.0]);
+        assert_eq!(spec.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut d = vec![Complex::default(); 6];
+        fft_inplace(&mut d);
+    }
+}

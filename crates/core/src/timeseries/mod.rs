@@ -1,0 +1,25 @@
+//! Time-series analysis for Figure 5.
+//!
+//! The paper's harmonic analysis of hourly update aggregates follows
+//! Bloomfield's treatment of the Beveridge wheat-price series: take
+//! logarithms (the series is a product of trend and oscillation,
+//! `x_t = T_t · I_t`), detrend by least squares so `log I_t` oscillates
+//! about zero, then estimate spectra two independent ways — an FFT of the
+//! autocorrelation function and maximum-entropy (Burg) estimation — and
+//! extract the dominant oscillatory components by singular-spectrum
+//! analysis. All of it is implemented here from scratch (no numerics crates
+//! exist in the offline set).
+
+pub mod acf;
+pub mod detrend;
+pub mod fft;
+pub mod mem;
+pub mod spectrum;
+pub mod ssa;
+
+pub use acf::autocorrelation;
+pub use detrend::{log_detrend, Detrended};
+pub use fft::{fft_inplace, Complex};
+pub use mem::burg_spectrum;
+pub use spectrum::{acf_spectrum, dominant_periods, SpectrumPoint};
+pub use ssa::{ssa_components, SsaComponent};

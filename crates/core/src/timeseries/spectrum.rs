@@ -1,0 +1,169 @@
+//! Power-spectrum estimation via the FFT of the (windowed)
+//! autocorrelation function — the "traditional fast Fourier transform (FFT)
+//! of the autocorrelation function of the data" of Figure 5a
+//! (Blackman–Tukey estimation).
+
+use crate::timeseries::acf::autocorrelation;
+use crate::timeseries::fft::{fft_real, next_pow2};
+
+/// One point of an estimated spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumPoint {
+    /// Frequency in cycles per sample (0..0.5).
+    pub frequency: f64,
+    /// Power density (arbitrary units).
+    pub power: f64,
+}
+
+impl SpectrumPoint {
+    /// Period in samples (`1/frequency`; infinite at DC).
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        if self.frequency == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.frequency
+        }
+    }
+}
+
+/// Blackman–Tukey spectrum: FFT of the ACF out to `max_lag`, with a Hann
+/// (Tukey) lag window to control leakage. Returns points for frequencies
+/// in `(0, 0.5]` cycles/sample.
+#[must_use]
+pub fn acf_spectrum(series: &[f64], max_lag: usize) -> Vec<SpectrumPoint> {
+    let acf = autocorrelation(series, max_lag);
+    if acf.is_empty() {
+        return Vec::new();
+    }
+    let m = acf.len();
+    // Hann lag window.
+    let windowed: Vec<f64> = acf
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| {
+            let w = 0.5 * (1.0 + (std::f64::consts::PI * k as f64 / m as f64).cos());
+            r * w
+        })
+        .collect();
+    // Symmetric extension for a real, even sequence, zero-padded.
+    let nfft = next_pow2((2 * m).max(64));
+    let mut ext = vec![0.0; nfft];
+    for (k, &v) in windowed.iter().enumerate() {
+        ext[k] = v;
+        if k > 0 {
+            ext[nfft - k] = v;
+        }
+    }
+    let spec = fft_real(&ext);
+    (1..=nfft / 2)
+        .map(|i| SpectrumPoint {
+            frequency: i as f64 / nfft as f64,
+            power: spec[i].re.max(0.0),
+        })
+        .collect()
+}
+
+/// The `k` most powerful spectral peaks (local maxima), sorted by power,
+/// reported as periods in samples. This is what identifies "significant
+/// frequencies at seven days, and 24 hours" from hourly data.
+#[must_use]
+pub fn dominant_periods(spectrum: &[SpectrumPoint], k: usize) -> Vec<SpectrumPoint> {
+    let mut peaks: Vec<SpectrumPoint> = spectrum
+        .windows(3)
+        .filter(|w| w[1].power > w[0].power && w[1].power >= w[2].power)
+        .map(|w| w[1])
+        .collect();
+    // The lowest-frequency bin can be a peak against only its right
+    // neighbour (a trend/weekly component at the edge).
+    if spectrum.len() >= 2 && spectrum[0].power > spectrum[1].power {
+        peaks.push(spectrum[0]);
+    }
+    peaks.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap());
+    peaks.truncate(k);
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    /// Two months of hourly data with daily and weekly cycles, like the
+    /// paper's August–September series.
+    fn hourly_series() -> Vec<f64> {
+        (0..(61 * 24))
+            .map(|t| {
+                let daily = (2.0 * PI * t as f64 / 24.0).sin();
+                let weekly = (2.0 * PI * t as f64 / 168.0).sin();
+                10.0 + 3.0 * daily + 2.0 * weekly
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_daily_and_weekly_cycles() {
+        let spec = acf_spectrum(&hourly_series(), 400);
+        let peaks = dominant_periods(&spec, 5);
+        assert!(!peaks.is_empty());
+        let has_daily = peaks.iter().any(|p| (p.period() - 24.0).abs() < 3.0);
+        let has_weekly = peaks.iter().any(|p| (p.period() - 168.0).abs() < 40.0);
+        assert!(
+            has_daily,
+            "peaks: {:?}",
+            peaks.iter().map(SpectrumPoint::period).collect::<Vec<_>>()
+        );
+        assert!(
+            has_weekly,
+            "peaks: {:?}",
+            peaks.iter().map(SpectrumPoint::period).collect::<Vec<_>>()
+        );
+    }
+
+    /// Deterministic white-ish noise in [-0.5, 0.5) via splitmix64.
+    fn noise(t: u64) -> f64 {
+        let mut z = t.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn white_noise_has_no_towering_peak() {
+        let noise: Vec<f64> = (0..2048).map(noise).collect();
+        let spec = acf_spectrum(&noise, 256);
+        let total: f64 = spec.iter().map(|p| p.power).sum();
+        let max = spec.iter().map(|p| p.power).fold(0.0, f64::max);
+        assert!(max / total < 0.05, "flat spectrum expected");
+    }
+
+    #[test]
+    fn empty_series_empty_spectrum() {
+        assert!(acf_spectrum(&[], 10).is_empty());
+        assert!(dominant_periods(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn power_nonnegative_and_frequencies_in_range() {
+        let spec = acf_spectrum(&hourly_series(), 200);
+        for p in &spec {
+            assert!(p.power >= 0.0);
+            assert!(p.frequency > 0.0 && p.frequency <= 0.5);
+        }
+    }
+
+    #[test]
+    fn period_helper() {
+        let p = SpectrumPoint {
+            frequency: 0.25,
+            power: 1.0,
+        };
+        assert_eq!(p.period(), 4.0);
+        let dc = SpectrumPoint {
+            frequency: 0.0,
+            power: 1.0,
+        };
+        assert!(dc.period().is_infinite());
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests for the classifier and the downstream statistics.
+
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::input::{PeerKey, UpdateEvent, UpdateKind};
+use iri_core::stats::breakdown::breakdown;
+use iri_core::stats::daily::provider_daily_totals;
+use iri_core::stats::interarrival::day_interarrival;
+use iri_core::stats::persistence::episodes;
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_peer() -> impl Strategy<Value = PeerKey> {
+    (1u32..4, 1u8..3).prop_map(|(asn, r)| PeerKey {
+        asn: Asn(asn),
+        addr: Ipv4Addr::new(10, 0, asn as u8, r),
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..6).prop_map(|i| Prefix::from_raw(0x0a00_0000 | (i << 16), 16))
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    // Small attribute space to force duplicates and policy fluctuations.
+    (1u32..4, 1u8..3, proptest::option::of(0u32..3)).prop_map(|(path, hop, med)| {
+        let mut a = PathAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence([Asn(path)]),
+            Ipv4Addr::new(10, 9, 9, hop),
+        );
+        a.med = med;
+        a
+    })
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<UpdateEvent>> {
+    prop::collection::vec(
+        (
+            0u64..86_400_000,
+            arb_peer(),
+            arb_prefix(),
+            proptest::option::of(arb_attrs()),
+        ),
+        0..300,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|(t, ..)| *t);
+        raw.into_iter()
+            .map(|(t, peer, prefix, attrs)| match attrs {
+                Some(a) => UpdateEvent::announce(t, peer, prefix, a),
+                None => UpdateEvent::withdraw(t, peer, prefix),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn classifier_counts_sum_to_total(events in arb_events()) {
+        let mut c = Classifier::new();
+        let out = c.classify_all(&events);
+        prop_assert_eq!(out.len(), events.len());
+        prop_assert_eq!(c.total(), events.len() as u64);
+        let sum: u64 = UpdateClass::ALL.iter().map(|&cl| c.count(cl)).sum();
+        prop_assert_eq!(sum, c.total());
+    }
+
+    #[test]
+    fn announcements_get_announcement_classes(events in arb_events()) {
+        let mut c = Classifier::new();
+        for e in &events {
+            let got = c.classify(e);
+            match e.kind {
+                UpdateKind::Announce(_) => prop_assert!(got.class.is_announcement(), "{:?}", got.class),
+                UpdateKind::Withdraw => prop_assert!(!got.class.is_announcement(), "{:?}", got.class),
+            }
+            // policy_change only ever set on AADup.
+            if got.policy_change {
+                prop_assert_eq!(got.class, UpdateClass::AaDup);
+            }
+        }
+    }
+
+    #[test]
+    fn state_machine_legality(events in arb_events()) {
+        // Per (peer, prefix): WA* only while in the withdrawn state *with*
+        // an earlier announcement in the pair's history; AA* and Withdraw
+        // only directly after an announcement-class event; WWDup only while
+        // already withdrawn (or with no history); NewAnnounce only with no
+        // announcement history.
+        use std::collections::HashMap;
+        let mut c = Classifier::new();
+        let mut last: HashMap<(PeerKey, Prefix), UpdateClass> = HashMap::new();
+        let mut ever_announced: HashMap<(PeerKey, Prefix), bool> = HashMap::new();
+        for e in &events {
+            let got = c.classify(e);
+            let key = (e.peer, e.prefix);
+            let prev = last.get(&key).copied();
+            let announced_before = *ever_announced.get(&key).unwrap_or(&false);
+            match got.class {
+                UpdateClass::NewAnnounce => {
+                    prop_assert!(
+                        prev.is_none_or(|p| !p.is_announcement()),
+                        "NewAnnounce after {prev:?}"
+                    );
+                    prop_assert!(!announced_before || prev.is_none(),
+                        "NewAnnounce with prior announcement history must not happen \
+                         unless the pair was created by spurious withdrawals");
+                }
+                UpdateClass::WaDup | UpdateClass::WaDiff => {
+                    prop_assert!(matches!(
+                        prev,
+                        Some(UpdateClass::Withdraw) | Some(UpdateClass::WwDup)
+                    ));
+                    prop_assert!(announced_before, "WA* needs an earlier announcement");
+                }
+                UpdateClass::AaDup | UpdateClass::AaDiff => {
+                    prop_assert!(prev.unwrap().is_announcement(), "{prev:?}");
+                }
+                UpdateClass::Withdraw => {
+                    prop_assert!(prev.unwrap().is_announcement());
+                }
+                UpdateClass::WwDup => {
+                    prop_assert!(prev.is_none_or(|p| !p.is_announcement()));
+                }
+            }
+            if got.class.is_announcement() {
+                ever_announced.insert(key, true);
+            }
+            last.insert(key, got.class);
+        }
+    }
+
+    #[test]
+    fn daily_totals_conserve_events(events in arb_events()) {
+        let mut c = Classifier::new();
+        let classified = c.classify_all(&events);
+        let rows = provider_daily_totals(&classified);
+        let total: u64 = rows.iter().map(|r| r.announce + r.withdraw).sum();
+        prop_assert_eq!(total, events.len() as u64);
+        // Unique prefixes per provider bounded by the prefix universe.
+        for r in &rows {
+            prop_assert!(r.unique_prefixes <= 6);
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_classifier_counts(events in arb_events()) {
+        let mut c = Classifier::new();
+        let classified = c.classify_all(&events);
+        let b = breakdown(&classified);
+        for cl in UpdateClass::ALL {
+            prop_assert_eq!(b.get(cl), c.count(cl));
+        }
+        prop_assert_eq!(b.total(), c.total());
+    }
+
+    #[test]
+    fn interarrival_proportions_sum_to_one(events in arb_events()) {
+        let mut c = Classifier::new();
+        let classified = c.classify_all(&events);
+        for cl in UpdateClass::ALL {
+            let d = day_interarrival(&classified, cl);
+            let sum: f64 = d.proportions.iter().sum();
+            if d.gaps > 0 {
+                prop_assert!((sum - 1.0).abs() < 1e-9, "{cl}: {sum}");
+            } else {
+                prop_assert_eq!(sum, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn episodes_partition_events(events in arb_events()) {
+        let mut c = Classifier::new();
+        let classified = c.classify_all(&events);
+        let eps = episodes(&classified, 300_000);
+        let total: u32 = eps.iter().map(|e| e.events).sum();
+        prop_assert_eq!(total as usize, classified.len());
+        for e in &eps {
+            prop_assert!(e.end_ms >= e.start_ms);
+            prop_assert!(e.events >= 1);
+        }
+    }
+
+    #[test]
+    fn classification_is_prefix_order_independent(events in arb_events()) {
+        // Classifying two interleaved independent prefixes yields the same
+        // per-prefix class sequences as classifying them separately.
+        let mut combined = Classifier::new();
+        let all = combined.classify_all(&events);
+        for target in 0u32..6 {
+            let prefix = Prefix::from_raw(0x0a00_0000 | (target << 16), 16);
+            let sub: Vec<UpdateEvent> = events
+                .iter()
+                .filter(|e| e.prefix == prefix)
+                .cloned()
+                .collect();
+            let mut solo = Classifier::new();
+            let solo_out = solo.classify_all(&sub);
+            let combined_out: Vec<_> = all.iter().filter(|e| e.prefix == prefix).collect();
+            prop_assert_eq!(solo_out.len(), combined_out.len());
+            for (a, b) in solo_out.iter().zip(combined_out) {
+                prop_assert_eq!(a.class, b.class);
+            }
+        }
+    }
+}

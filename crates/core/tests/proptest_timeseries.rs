@@ -1,0 +1,145 @@
+//! Property tests on the time-series numerics: FFT linearity and Parseval,
+//! spectrum estimator agreement on planted tones, SSA reconstruction
+//! completeness, and detrending invariants.
+
+use iri_core::timeseries::acf::autocorrelation;
+use iri_core::timeseries::detrend::log_detrend;
+use iri_core::timeseries::fft::{fft_real, Complex};
+use iri_core::timeseries::mem::burg_spectrum;
+use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
+use iri_core::timeseries::ssa::{jacobi_eigen, ssa_components};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+fn assert_close(a: f64, b: f64, tol: f64) -> Result<(), TestCaseError> {
+    prop_assert!((a - b).abs() <= tol, "{a} vs {b}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_parseval(series in prop::collection::vec(-100.0f64..100.0, 2..128)) {
+        let spec = fft_real(&series);
+        let n = spec.len() as f64;
+        let time_energy: f64 = series.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / n;
+        assert_close(time_energy, freq_energy, 1e-6 * (1.0 + time_energy))?;
+    }
+
+    #[test]
+    fn fft_linearity(
+        a in prop::collection::vec(-10.0f64..10.0, 32),
+        b in prop::collection::vec(-10.0f64..10.0, 32),
+        alpha in -3.0f64..3.0,
+    ) {
+        let combined: Vec<f64> = a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fc = fft_real(&combined);
+        for i in 0..fa.len() {
+            assert_close(fc[i].re, alpha * fa[i].re + fb[i].re, 1e-6)?;
+            assert_close(fc[i].im, alpha * fa[i].im + fb[i].im, 1e-6)?;
+        }
+    }
+
+    #[test]
+    fn planted_tone_found_by_both_estimators(
+        period in 6usize..48,
+        amplitude in 1.0f64..5.0,
+        phase in 0.0f64..(2.0 * PI),
+    ) {
+        let n = 1024;
+        let series: Vec<f64> = (0..n)
+            .map(|t| amplitude * (2.0 * PI * t as f64 / period as f64 + phase).sin())
+            .collect();
+        let fft_peaks = dominant_periods(&acf_spectrum(&series, 256), 3);
+        let mem_peaks = dominant_periods(&burg_spectrum(&series, 32, 512), 3);
+        let found = |peaks: &[iri_core::timeseries::spectrum::SpectrumPoint]| {
+            peaks.iter().any(|p| (p.period() - period as f64).abs() < period as f64 * 0.15 + 1.0)
+        };
+        prop_assert!(found(&fft_peaks), "FFT missed period {period}: {:?}",
+            fft_peaks.iter().map(|p| p.period()).collect::<Vec<_>>());
+        prop_assert!(found(&mem_peaks), "MEM missed period {period}: {:?}",
+            mem_peaks.iter().map(|p| p.period()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn acf_bounded_and_symmetric_in_sign(series in prop::collection::vec(-50.0f64..50.0, 8..200)) {
+        let acf = autocorrelation(&series, 20);
+        for &r in &acf {
+            prop_assert!(r <= 1.0 + 1e-9 && r >= -1.0 - 1e-9, "{r}");
+        }
+        // Negating the series leaves the ACF unchanged.
+        let neg: Vec<f64> = series.iter().map(|x| -x).collect();
+        let acf_neg = autocorrelation(&neg, 20);
+        for (a, b) in acf.iter().zip(&acf_neg) {
+            assert_close(*a, *b, 1e-9)?;
+        }
+    }
+
+    #[test]
+    fn detrend_residuals_sum_to_zero(series in prop::collection::vec(0.0f64..1e6, 2..300)) {
+        let d = log_detrend(&series);
+        let sum: f64 = d.residuals.iter().sum();
+        assert_close(sum / d.residuals.len() as f64, 0.0, 1e-9)?;
+        // Detrending is invariant to multiplicative scaling (log shifts the
+        // intercept only).
+        let scaled: Vec<f64> = series.iter().map(|x| (x + 1.0) * 7.0 - 1.0).collect();
+        let d2 = log_detrend(&scaled);
+        assert_close(d.slope, d2.slope, 1e-9)?;
+        for (r1, r2) in d.residuals.iter().zip(&d2.residuals) {
+            assert_close(*r1, *r2, 1e-9)?;
+        }
+    }
+
+    #[test]
+    fn ssa_full_rank_reconstructs(series in prop::collection::vec(-10.0f64..10.0, 40..120)) {
+        let window = 12;
+        let comps = ssa_components(&series, window, window);
+        prop_assert_eq!(comps.len(), window);
+        let mut sum = vec![0.0; series.len()];
+        for c in &comps {
+            for (s, v) in sum.iter_mut().zip(&c.series) {
+                *s += v;
+            }
+        }
+        for (got, want) in sum.iter().zip(&series) {
+            assert_close(*got, *want, 1e-6)?;
+        }
+        // Eigenvalues are non-increasing and variance fractions sum to ~1
+        // (allowing tiny negative numerical eigenvalues).
+        for w in comps.windows(2) {
+            prop_assert!(w[0].eigenvalue >= w[1].eigenvalue - 1e-9);
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix(vals in prop::collection::vec(-5.0f64..5.0, 3..6)) {
+        // Build a symmetric matrix from a random orthogonal-ish basis via
+        // Jacobi of another matrix, then check A = V diag(λ) Vᵀ holds for
+        // the decomposition of a constructed symmetric matrix.
+        let n = vals.len();
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                // Symmetric with controlled values.
+                let v = vals[(i + j) % n] + if i == j { 6.0 } else { 0.0 };
+                m[i * n + j] = v;
+                m[j * n + i] = v;
+            }
+        }
+        let (eigvals, eigvecs) = jacobi_eigen(&m, n);
+        // Verify A·v = λ·v for each pair.
+        for (lambda, v) in eigvals.iter().zip(&eigvecs) {
+            for i in 0..n {
+                let av: f64 = (0..n).map(|j| m[i * n + j] * v[j]).sum();
+                assert_close(av, lambda * v[i], 1e-7 * (1.0 + lambda.abs()))?;
+            }
+        }
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| m[i * n + i]).sum();
+        assert_close(trace, eigvals.iter().sum(), 1e-7)?;
+    }
+}

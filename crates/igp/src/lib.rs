@@ -1,0 +1,31 @@
+//! # iri-igp — interior gateway protocol substrate
+//!
+//! The paper's §4.2 lists "misconfigured interaction of IGP/BGP protocols"
+//! among the plausible origins of the 30/60-second periodic instability:
+//!
+//! > "Users have to be careful to filter prefixes when they inject routes
+//! > from IGP protocols, such as OSPF, into BGP, and vice versa. Since the
+//! > conversion between protocols is lossy, path information (e.g.,
+//! > ASPATH) is not preserved across protocols and routers will not be
+//! > able to detect an inter-protocol routing update oscillation. This
+//! > type of interaction is highly suspect as most IGP protocols utilize
+//! > internal timers based on some multiple of 30 seconds."
+//!
+//! This crate builds that substrate: a RIP-style distance-vector IGP with
+//! the classic **30-second periodic update timer** ([`rip`]), and the lossy
+//! redistribution boundary ([`redistribute`]) through which IGP routes
+//! enter BGP (as originations whose MED tracks the IGP metric) and BGP
+//! routes re-enter the IGP (as external routes). With two redistribution
+//! points and no route tagging, the textbook mutual-redistribution loop
+//! forms: each border re-learns its own injection through the other
+//! protocol, metrics creep, and the prefix oscillates at the IGP timer
+//! period — emitting exactly the kind of 30-second-periodic BGP updates
+//! the paper measured.
+
+#![warn(missing_docs)]
+
+pub mod redistribute;
+pub mod rip;
+
+pub use redistribute::{BgpOrigination, RedistributionConfig, Redistributor};
+pub use rip::{NodeId, RipNetwork, RipRoute, INFINITY};

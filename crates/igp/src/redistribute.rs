@@ -1,0 +1,318 @@
+//! The lossy IGP↔BGP redistribution boundary.
+//!
+//! "Since the conversion between protocols is lossy, path information
+//! (e.g., ASPATH) is not preserved across protocols and routers will not
+//! be able to detect an inter-protocol routing update oscillation."
+//!
+//! [`Redistributor`] watches a border node's IGP table and converts changes
+//! into BGP origination events (MED derived from the IGP metric — the
+//! standard `redistribute rip metric-translation` behaviour), and injects
+//! BGP-learned routes back into the IGP as externals. Because neither
+//! direction carries the other protocol's path state, a prefix injected
+//! IGP→BGP at border A and BGP→IGP at border B re-enters A's IGP table as
+//! an apparently fresh route — the mutual-redistribution loop every 1990s
+//! operations guide warned about, oscillating at the IGP's 30-second
+//! timer.
+
+use crate::rip::{NodeId, RipNetwork, INFINITY};
+use iri_bgp::types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Conversion parameters at one border.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RedistributionConfig {
+    /// MED = `med_scale` × IGP metric on IGP→BGP conversion.
+    pub med_scale: u32,
+    /// IGP metric assigned to BGP-learned routes on BGP→IGP injection.
+    pub bgp_injection_metric: u32,
+}
+
+impl Default for RedistributionConfig {
+    fn default() -> Self {
+        RedistributionConfig {
+            med_scale: 10,
+            bgp_injection_metric: 5,
+        }
+    }
+}
+
+/// A BGP-side event produced by the IGP→BGP direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgpOrigination {
+    /// When the IGP change surfaced.
+    pub time_ms: u64,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// `Some(med)` = (re-)originate with this MED; `None` = withdraw.
+    pub med: Option<u32>,
+}
+
+/// One border router's redistribution state.
+pub struct Redistributor {
+    /// The border node inside the IGP domain.
+    pub border: NodeId,
+    config: RedistributionConfig,
+    /// Last MED injected into BGP per prefix (`None` once withdrawn).
+    advertised: BTreeMap<Prefix, Option<u32>>,
+}
+
+impl Redistributor {
+    /// New redistribution point at `border`.
+    #[must_use]
+    pub fn new(border: NodeId, config: RedistributionConfig) -> Self {
+        Redistributor {
+            border,
+            config,
+            advertised: BTreeMap::new(),
+        }
+    }
+
+    /// IGP→BGP: diffs the border's current IGP table against what was last
+    /// injected into BGP and returns the resulting BGP events. `filter`
+    /// selects which prefixes are redistributed (the paper: "users have to
+    /// be careful to filter prefixes" — pass `|_| true` to model the
+    /// misconfiguration).
+    pub fn poll<F: Fn(Prefix) -> bool>(
+        &mut self,
+        network: &RipNetwork,
+        now_ms: u64,
+        filter: F,
+    ) -> Vec<BgpOrigination> {
+        let mut out = Vec::new();
+        let table = network.table(self.border);
+        // New or changed routes.
+        for (&prefix, route) in table {
+            if !filter(prefix) || route.metric >= INFINITY {
+                continue;
+            }
+            let med = Some(route.metric * self.config.med_scale);
+            if self.advertised.get(&prefix).copied().flatten() != med {
+                self.advertised.insert(prefix, med);
+                out.push(BgpOrigination {
+                    time_ms: now_ms,
+                    prefix,
+                    med,
+                });
+            }
+        }
+        // Routes gone from the IGP: withdraw from BGP.
+        let gone: Vec<Prefix> = self
+            .advertised
+            .iter()
+            .filter(|(p, med)| med.is_some() && network.metric(self.border, **p).is_none())
+            .map(|(&p, _)| p)
+            .collect();
+        for prefix in gone {
+            self.advertised.insert(prefix, None);
+            out.push(BgpOrigination {
+                time_ms: now_ms,
+                prefix,
+                med: None,
+            });
+        }
+        out
+    }
+
+    /// BGP→IGP: a BGP route for `prefix` is (or is no longer) available at
+    /// this border; inject or remove the external.
+    pub fn inject_bgp(&self, network: &mut RipNetwork, prefix: Prefix, available: bool) {
+        network.set_external(
+            self.border,
+            prefix,
+            available.then_some(self.config.bgp_injection_metric),
+        );
+    }
+
+    /// What is currently advertised into BGP.
+    #[must_use]
+    pub fn advertised(&self, prefix: Prefix) -> Option<u32> {
+        self.advertised.get(&prefix).copied().flatten()
+    }
+}
+
+/// Drives the classic two-border mutual-redistribution experiment: a
+/// prefix attached inside the IGP flaps; both borders redistribute
+/// IGP→BGP; each border *also* injects the other's BGP route back into the
+/// IGP. Returns the BGP events both borders would emit over `horizon_ms`,
+/// polled at 1-second resolution.
+pub fn mutual_redistribution_experiment(
+    flap_period_ms: u64,
+    horizon_ms: u64,
+) -> (Vec<BgpOrigination>, Vec<BgpOrigination>) {
+    let mut net = RipNetwork::new();
+    let a = net.add_node(0); // border A
+    let mid = net.add_node(9_000);
+    let b = net.add_node(17_000); // border B
+    net.add_link(a, mid, 1);
+    net.add_link(mid, b, 1);
+    let prefix: Prefix = "10.200.0.0/16".parse().unwrap();
+    net.attach_prefix(mid, prefix);
+
+    let mut red_a = Redistributor::new(a, RedistributionConfig::default());
+    let mut red_b = Redistributor::new(b, RedistributionConfig::default());
+    let mut out_a = Vec::new();
+    let mut out_b = Vec::new();
+
+    // BGP propagation between the borders is not instantaneous: updates
+    // cross the exchange one MRAI window later. This asynchrony is what
+    // lets the loop oscillate instead of tearing down in lock-step.
+    const BGP_DELAY_MS: u64 = 35_000;
+    let mut pending: Vec<(u64, NodeId, Prefix, bool)> = Vec::new();
+
+    let mut t = 0u64;
+    let mut circuit_up = true;
+    while t < horizon_ms {
+        t += 1_000;
+        // The customer circuit behind `mid` flaps on its period.
+        if flap_period_ms > 0 && t.is_multiple_of(flap_period_ms) {
+            circuit_up = !circuit_up;
+            net.set_prefix_up(mid, prefix, circuit_up);
+        }
+        // Deliver delayed cross-border injections.
+        let (due, rest): (Vec<_>, Vec<_>) = pending.into_iter().partition(|&(at, ..)| at <= t);
+        pending = rest;
+        for (_, border, pfx, available) in due {
+            net.set_external(border, pfx, available.then_some(5));
+        }
+        net.run_until(t);
+        let ev_a = red_a.poll(&net, t, |_| true);
+        let ev_b = red_b.poll(&net, t, |_| true);
+        // The misconfiguration: each border injects the other's BGP
+        // announcement straight back into the IGP, untagged — one BGP
+        // propagation delay later.
+        for e in &ev_b {
+            pending.push((t + BGP_DELAY_MS, a, e.prefix, e.med.is_some()));
+        }
+        for e in &ev_a {
+            pending.push((t + BGP_DELAY_MS, b, e.prefix, e.med.is_some()));
+        }
+        out_a.extend(ev_a);
+        out_b.extend(ev_b);
+    }
+    (out_a, out_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rip::UPDATE_PERIOD_MS;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn igp_route_becomes_bgp_origination_with_med() {
+        let mut net = RipNetwork::new();
+        let a = net.add_node(0);
+        let b = net.add_node(11_000);
+        net.add_link(a, b, 1);
+        let pfx = p("10.5.0.0/16");
+        net.attach_prefix(b, pfx);
+        net.run_until(3 * UPDATE_PERIOD_MS);
+        let mut red = Redistributor::new(a, RedistributionConfig::default());
+        let events = red.poll(&net, net.now(), |_| true);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].prefix, pfx);
+        assert_eq!(events[0].med, Some(20)); // metric 2 × scale 10
+        assert_eq!(red.advertised(pfx), Some(20));
+        // Polling again with no change is silent.
+        assert!(red.poll(&net, net.now(), |_| true).is_empty());
+    }
+
+    #[test]
+    fn metric_change_reoriginates_with_new_med() {
+        let mut net = RipNetwork::new();
+        let a = net.add_node(0);
+        let b = net.add_node(7_000);
+        let c = net.add_node(13_000);
+        net.add_link(a, b, 1);
+        net.add_link(b, c, 1);
+        net.add_link(a, c, 5);
+        let pfx = p("10.6.0.0/16");
+        net.attach_prefix(c, pfx);
+        net.run_until(5 * UPDATE_PERIOD_MS);
+        let mut red = Redistributor::new(a, RedistributionConfig::default());
+        let first = red.poll(&net, net.now(), |_| true);
+        assert_eq!(first[0].med, Some(30)); // via b: metric 3
+                                            // Short path dies; metric shifts to the direct expensive link.
+        net.set_link(a, b, false);
+        net.set_link(b, c, false);
+        net.run_until(net.now() + crate::rip::ROUTE_TIMEOUT_MS + 5 * UPDATE_PERIOD_MS);
+        let second = red.poll(&net, net.now(), |_| true);
+        assert!(
+            second.iter().any(|e| e.med == Some(60)),
+            "re-origination with the new metric: {second:?}"
+        );
+    }
+
+    #[test]
+    fn igp_loss_withdraws_from_bgp() {
+        let mut net = RipNetwork::new();
+        let a = net.add_node(0);
+        let b = net.add_node(9_000);
+        net.add_link(a, b, 1);
+        let pfx = p("10.7.0.0/16");
+        net.attach_prefix(b, pfx);
+        net.run_until(3 * UPDATE_PERIOD_MS);
+        let mut red = Redistributor::new(a, RedistributionConfig::default());
+        red.poll(&net, net.now(), |_| true);
+        net.set_prefix_up(b, pfx, false);
+        net.run_until(net.now() + crate::rip::ROUTE_TIMEOUT_MS + 3 * UPDATE_PERIOD_MS);
+        let events = red.poll(&net, net.now(), |_| true);
+        assert!(events.iter().any(|e| e.prefix == pfx && e.med.is_none()));
+        assert_eq!(red.advertised(pfx), None);
+    }
+
+    #[test]
+    fn filter_blocks_redistribution() {
+        let mut net = RipNetwork::new();
+        let a = net.add_node(0);
+        let b = net.add_node(9_000);
+        net.add_link(a, b, 1);
+        net.attach_prefix(b, p("10.8.0.0/16"));
+        net.run_until(3 * UPDATE_PERIOD_MS);
+        let mut red = Redistributor::new(a, RedistributionConfig::default());
+        assert!(red.poll(&net, net.now(), |_| false).is_empty());
+    }
+
+    #[test]
+    fn mutual_redistribution_produces_periodic_bgp_churn() {
+        // Circuit flapping every 4 minutes for 2 simulated hours.
+        let (out_a, out_b) = mutual_redistribution_experiment(4 * 60_000, 2 * 3_600_000);
+        let total = out_a.len() + out_b.len();
+        assert!(
+            total > 20,
+            "the loop must keep both borders churning BGP: {total} events"
+        );
+        // The BGP events are locked to the IGP's 30-second grid (polling is
+        // 1 s, but changes only happen at advertisement firings).
+        let on_grid = out_a
+            .iter()
+            .chain(&out_b)
+            .filter(|e| e.time_ms % 1_000 == 0)
+            .count();
+        assert_eq!(on_grid, total);
+        // MED oscillation: border A re-announces the same prefix with
+        // multiple different MED values — policy-fluctuation AADup at the
+        // exchange.
+        let meds: std::collections::BTreeSet<Option<u32>> = out_a.iter().map(|e| e.med).collect();
+        assert!(
+            meds.len() >= 3,
+            "MED must oscillate through several values: {meds:?}"
+        );
+    }
+
+    #[test]
+    fn stable_circuit_reaches_quiescence() {
+        let (out_a, _) = mutual_redistribution_experiment(0, 30 * 60_000);
+        // With no flapping, after initial convergence the borders go quiet:
+        // no events in the final 10 minutes.
+        let last = out_a.iter().map(|e| e.time_ms).max().unwrap_or(0);
+        assert!(
+            last < 20 * 60_000,
+            "stable topology must stop churning (last event at {last} ms)"
+        );
+    }
+}

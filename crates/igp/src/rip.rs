@@ -1,0 +1,516 @@
+//! A RIP-style distance-vector IGP with the classic 30-second periodic
+//! full-table update and 180-second route timeout (RFC 1058 timings — "most
+//! IGP protocols utilize internal timers based on some multiple of 30
+//! seconds").
+//!
+//! The model is deterministic and runs on the same millisecond clock as
+//! the rest of the reproduction: [`RipNetwork::run_until`] advances time,
+//! firing each node's periodic advertisement on its own phase-offset
+//! 30-second grid, applying distance-vector merging (with split horizon)
+//! at the receivers, and expiring stale routes. Every routing-table change
+//! is appended to a change log that the redistribution boundary consumes.
+
+use iri_bgp::types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Index of a router inside the IGP domain.
+pub type NodeId = usize;
+
+/// RIP infinity: unreachable.
+pub const INFINITY: u32 = 16;
+
+/// Periodic advertisement interval (ms).
+pub const UPDATE_PERIOD_MS: u64 = 30_000;
+/// Route timeout: a route not refreshed within this window is poisoned.
+pub const ROUTE_TIMEOUT_MS: u64 = 180_000;
+/// Garbage-collection hold: poisoned (metric-16) routes are advertised as
+/// unreachable for this long before removal, flushing downstream tables.
+pub const GC_MS: u64 = 120_000;
+
+/// One routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RipRoute {
+    /// Hop-count metric (1 = directly connected; 16 = unreachable).
+    pub metric: u32,
+    /// Neighbor the route was learned from (`None` for local routes).
+    pub next_hop: Option<NodeId>,
+    /// Last refresh time.
+    pub last_heard_ms: u64,
+}
+
+/// A table change, as observed by redistribution boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableChange {
+    /// When it happened.
+    pub time_ms: u64,
+    /// At which node.
+    pub node: NodeId,
+    /// Which prefix.
+    pub prefix: Prefix,
+    /// New metric (`INFINITY`+ = route lost).
+    pub metric: u32,
+}
+
+struct Node {
+    /// (neighbor, link cost, up?) — cost counts as extra hops.
+    neighbors: Vec<(NodeId, u32, bool)>,
+    /// Directly attached prefixes (metric 1), with an up/down flag (a
+    /// customer tail circuit).
+    connected: BTreeMap<Prefix, bool>,
+    /// Externally injected routes (the BGP→IGP redistribution direction)
+    /// with their injection metric.
+    external: BTreeMap<Prefix, u32>,
+    table: BTreeMap<Prefix, RipRoute>,
+    /// Next scheduled advertisement (initially the node's grid phase).
+    next_fire_ms: u64,
+}
+
+/// The IGP domain.
+pub struct RipNetwork {
+    nodes: Vec<Node>,
+    now_ms: u64,
+    changes: Vec<TableChange>,
+}
+
+impl RipNetwork {
+    /// Empty network at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        RipNetwork {
+            nodes: Vec::new(),
+            now_ms: 0,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Adds a node whose periodic timer is offset by `phase_ms`
+    /// (unjittered — each node fires on its own exact 30-second grid).
+    pub fn add_node(&mut self, phase_ms: u64) -> NodeId {
+        let phase = phase_ms % UPDATE_PERIOD_MS;
+        self.nodes.push(Node {
+            neighbors: Vec::new(),
+            connected: BTreeMap::new(),
+            external: BTreeMap::new(),
+            table: BTreeMap::new(),
+            next_fire_ms: phase,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Connects two nodes with a link of the given hop cost.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, cost: u32) {
+        self.nodes[a].neighbors.push((b, cost, true));
+        self.nodes[b].neighbors.push((a, cost, true));
+    }
+
+    /// Sets a link's status (both directions).
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, up: bool) {
+        for (n, _, link_up) in &mut self.nodes[a].neighbors {
+            if *n == b {
+                *link_up = up;
+            }
+        }
+        for (n, _, link_up) in &mut self.nodes[b].neighbors {
+            if *n == a {
+                *link_up = up;
+            }
+        }
+    }
+
+    /// Attaches a directly connected prefix at a node.
+    pub fn attach_prefix(&mut self, node: NodeId, prefix: Prefix) {
+        self.nodes[node].connected.insert(prefix, true);
+    }
+
+    /// Sets a connected prefix's circuit status (a flapping customer tail).
+    pub fn set_prefix_up(&mut self, node: NodeId, prefix: Prefix, up: bool) {
+        if let Some(s) = self.nodes[node].connected.get_mut(&prefix) {
+            *s = up;
+        }
+    }
+
+    /// Injects (or updates) an external route at a node — the BGP→IGP
+    /// redistribution direction. `None` removes the injection.
+    pub fn set_external(&mut self, node: NodeId, prefix: Prefix, metric: Option<u32>) {
+        match metric {
+            Some(m) => {
+                self.nodes[node].external.insert(prefix, m.min(INFINITY));
+            }
+            None => {
+                self.nodes[node].external.remove(&prefix);
+            }
+        }
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// The routing table of `node`.
+    #[must_use]
+    pub fn table(&self, node: NodeId) -> &BTreeMap<Prefix, RipRoute> {
+        &self.nodes[node].table
+    }
+
+    /// Best metric for `prefix` at `node`, if reachable (poisoned routes
+    /// report as unreachable).
+    #[must_use]
+    pub fn metric(&self, node: NodeId, prefix: Prefix) -> Option<u32> {
+        self.nodes[node]
+            .table
+            .get(&prefix)
+            .filter(|r| r.metric < INFINITY)
+            .map(|r| r.metric)
+    }
+
+    /// Drains the accumulated change log.
+    pub fn take_changes(&mut self) -> Vec<TableChange> {
+        std::mem::take(&mut self.changes)
+    }
+
+    /// Runs the domain until `to_ms`, firing periodic updates in timestamp
+    /// order and expiring stale routes.
+    pub fn run_until(&mut self, to_ms: u64) {
+        while self.now_ms < to_ms {
+            // Next event: the earliest node firing.
+            let next_fire = self
+                .nodes
+                .iter()
+                .map(|n| n.next_fire_ms)
+                .min()
+                .unwrap_or(to_ms);
+            let step_to = next_fire.min(to_ms);
+            self.now_ms = step_to;
+            if step_to >= to_ms && next_fire > to_ms {
+                break;
+            }
+            // Refresh local routes and expire stale ones at each event.
+            for node in 0..self.nodes.len() {
+                self.refresh_local(node);
+                self.expire(node);
+            }
+            // Fire every node scheduled for this instant.
+            for node in 0..self.nodes.len() {
+                if self.nodes[node].next_fire_ms == step_to {
+                    self.advertise(node);
+                    self.nodes[node].next_fire_ms += UPDATE_PERIOD_MS;
+                }
+            }
+        }
+        self.now_ms = to_ms;
+    }
+
+    /// Installs local (connected + external) routes into the node's table.
+    fn refresh_local(&mut self, node: NodeId) {
+        let now = self.now_ms;
+        let locals: Vec<(Prefix, u32)> = {
+            let n = &self.nodes[node];
+            n.connected
+                .iter()
+                .filter(|(_, &up)| up)
+                .map(|(&p, _)| (p, 1))
+                .chain(n.external.iter().map(|(&p, &m)| (p, m)))
+                .collect()
+        };
+        for (prefix, metric) in locals {
+            let entry = self.nodes[node].table.get(&prefix).copied();
+            let better = match entry {
+                None => true,
+                Some(r) => metric < r.metric || r.next_hop.is_none(),
+            };
+            if better {
+                let changed = entry.map(|r| r.metric) != Some(metric);
+                self.nodes[node].table.insert(
+                    prefix,
+                    RipRoute {
+                        metric,
+                        next_hop: None,
+                        last_heard_ms: now,
+                    },
+                );
+                if changed {
+                    self.changes.push(TableChange {
+                        time_ms: now,
+                        node,
+                        prefix,
+                        metric,
+                    });
+                }
+            }
+        }
+        // A downed connected circuit or removed external poisons the local
+        // route so the withdrawal propagates on the next advertisement.
+        let stale: Vec<Prefix> = self.nodes[node]
+            .table
+            .iter()
+            .filter(|(p, r)| {
+                r.metric < INFINITY
+                    && r.next_hop.is_none()
+                    && !self.nodes[node].external.contains_key(p)
+                    && self.nodes[node].connected.get(p) != Some(&true)
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        for prefix in stale {
+            if let Some(r) = self.nodes[node].table.get_mut(&prefix) {
+                r.metric = INFINITY;
+                r.last_heard_ms = now;
+            }
+            self.changes.push(TableChange {
+                time_ms: now,
+                node,
+                prefix,
+                metric: INFINITY,
+            });
+        }
+    }
+
+    /// Poisons learned routes past the timeout (metric 16, kept and
+    /// advertised as unreachable) and garbage-collects old poison.
+    fn expire(&mut self, node: NodeId) {
+        let now = self.now_ms;
+        let stale: Vec<Prefix> = self.nodes[node]
+            .table
+            .iter()
+            .filter(|(_, r)| {
+                r.metric < INFINITY
+                    && r.next_hop.is_some()
+                    && now.saturating_sub(r.last_heard_ms) > ROUTE_TIMEOUT_MS
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        for prefix in stale {
+            if let Some(r) = self.nodes[node].table.get_mut(&prefix) {
+                r.metric = INFINITY;
+                r.last_heard_ms = now; // re-used as the poison timestamp
+            }
+            self.changes.push(TableChange {
+                time_ms: now,
+                node,
+                prefix,
+                metric: INFINITY,
+            });
+        }
+        // Garbage-collect poison past the hold time.
+        let gone: Vec<Prefix> = self.nodes[node]
+            .table
+            .iter()
+            .filter(|(_, r)| r.metric >= INFINITY && now.saturating_sub(r.last_heard_ms) > GC_MS)
+            .map(|(&p, _)| p)
+            .collect();
+        for prefix in gone {
+            self.nodes[node].table.remove(&prefix);
+        }
+    }
+
+    /// Sends the node's full table to each up-neighbor (split horizon:
+    /// routes are not advertised back to the neighbor they were learned
+    /// from) and merges at the receivers.
+    fn advertise(&mut self, from: NodeId) {
+        let now = self.now_ms;
+        let neighbors: Vec<(NodeId, u32)> = self.nodes[from]
+            .neighbors
+            .iter()
+            .filter(|(_, _, up)| *up)
+            .map(|&(n, c, _)| (n, c))
+            .collect();
+        let vector: Vec<(Prefix, u32, Option<NodeId>)> = self.nodes[from]
+            .table
+            .iter()
+            .map(|(&p, r)| (p, r.metric, r.next_hop))
+            .collect();
+        for (to, cost) in neighbors {
+            for &(prefix, metric, learned_from) in &vector {
+                if learned_from == Some(to) {
+                    continue; // split horizon
+                }
+                let offered = if metric >= INFINITY {
+                    INFINITY
+                } else {
+                    (metric + cost).min(INFINITY)
+                };
+                let current = self.nodes[to].table.get(&prefix).copied();
+                let accept = match current {
+                    None => offered < INFINITY,
+                    Some(r) => {
+                        offered < r.metric || (r.next_hop == Some(from) && offered != r.metric)
+                    }
+                };
+                let refresh = current.is_some_and(|r| r.next_hop == Some(from));
+                if accept {
+                    if offered >= INFINITY {
+                        // Poison received for our route: mark unreachable
+                        // and hold for GC so it propagates further.
+                        if let Some(r) = self.nodes[to].table.get_mut(&prefix) {
+                            r.metric = INFINITY;
+                            r.next_hop = Some(from);
+                            r.last_heard_ms = now;
+                        }
+                    } else {
+                        self.nodes[to].table.insert(
+                            prefix,
+                            RipRoute {
+                                metric: offered,
+                                next_hop: Some(from),
+                                last_heard_ms: now,
+                            },
+                        );
+                    }
+                    self.changes.push(TableChange {
+                        time_ms: now,
+                        node: to,
+                        prefix,
+                        metric: offered,
+                    });
+                } else if refresh {
+                    if let Some(r) = self.nodes[to].table.get_mut(&prefix) {
+                        r.last_heard_ms = now;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for RipNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Builds a 4-node chain 0–1–2–3 with a prefix at node 0.
+    fn chain() -> (RipNetwork, Prefix) {
+        let mut net = RipNetwork::new();
+        for i in 0..4 {
+            net.add_node(i * 7_000);
+        }
+        net.add_link(0, 1, 1);
+        net.add_link(1, 2, 1);
+        net.add_link(2, 3, 1);
+        let pfx = p("10.1.0.0/16");
+        net.attach_prefix(0, pfx);
+        (net, pfx)
+    }
+
+    #[test]
+    fn convergence_along_chain() {
+        let (mut net, pfx) = chain();
+        net.run_until(5 * 60_000);
+        assert_eq!(net.metric(0, pfx), Some(1));
+        assert_eq!(net.metric(1, pfx), Some(2));
+        assert_eq!(net.metric(2, pfx), Some(3));
+        assert_eq!(net.metric(3, pfx), Some(4));
+    }
+
+    #[test]
+    fn updates_are_thirty_second_periodic() {
+        let (mut net, _) = chain();
+        net.run_until(10 * 60_000);
+        let changes = net.take_changes();
+        // Every learned-route change happens on some node's 30 s grid.
+        for c in changes.iter().filter(|c| c.time_ms > 0) {
+            assert_eq!(
+                c.time_ms % 1_000,
+                0,
+                "changes land on whole seconds of the grid"
+            );
+        }
+        assert!(!changes.is_empty());
+    }
+
+    #[test]
+    fn link_failure_expires_routes() {
+        let (mut net, pfx) = chain();
+        net.run_until(5 * 60_000);
+        assert!(net.metric(3, pfx).is_some());
+        net.set_link(0, 1, false);
+        // After timeout + a couple of periods the route is gone everywhere
+        // past the break.
+        net.run_until(5 * 60_000 + ROUTE_TIMEOUT_MS + 3 * UPDATE_PERIOD_MS);
+        assert_eq!(net.metric(3, pfx), None);
+        assert_eq!(net.metric(1, pfx), None);
+        // Node 0 keeps its connected route.
+        assert_eq!(net.metric(0, pfx), Some(1));
+    }
+
+    #[test]
+    fn prefix_circuit_flap_withdraws_and_returns() {
+        let (mut net, pfx) = chain();
+        net.run_until(5 * 60_000);
+        net.set_prefix_up(0, pfx, false);
+        net.run_until(5 * 60_000 + ROUTE_TIMEOUT_MS + 3 * UPDATE_PERIOD_MS);
+        assert_eq!(net.metric(0, pfx), None);
+        assert_eq!(net.metric(3, pfx), None);
+        net.set_prefix_up(0, pfx, true);
+        net.run_until(net.now() + 5 * 60_000);
+        assert_eq!(net.metric(3, pfx), Some(4));
+    }
+
+    #[test]
+    fn external_injection_advertised() {
+        let (mut net, _) = chain();
+        let ext = p("198.32.0.0/16");
+        net.set_external(3, ext, Some(5));
+        net.run_until(5 * 60_000);
+        assert_eq!(net.metric(3, ext), Some(5));
+        assert_eq!(net.metric(0, ext), Some(8));
+        // Removing the injection eventually removes the routes.
+        net.set_external(3, ext, None);
+        net.run_until(net.now() + ROUTE_TIMEOUT_MS + 3 * UPDATE_PERIOD_MS);
+        assert_eq!(net.metric(0, ext), None);
+    }
+
+    #[test]
+    fn better_path_preferred() {
+        // Square: 0-1-3 (cost 1+1) and 0-2-3 (cost 3+3); prefix at 3.
+        let mut net = RipNetwork::new();
+        for i in 0..4 {
+            net.add_node(i * 5_000);
+        }
+        net.add_link(0, 1, 1);
+        net.add_link(1, 3, 1);
+        net.add_link(0, 2, 3);
+        net.add_link(2, 3, 3);
+        let pfx = p("10.9.0.0/16");
+        net.attach_prefix(3, pfx);
+        net.run_until(5 * 60_000);
+        assert_eq!(net.metric(0, pfx), Some(3)); // 1 + 1 + 1
+                                                 // Short path breaks: falls back to the long one.
+        net.set_link(1, 3, false);
+        net.run_until(net.now() + ROUTE_TIMEOUT_MS + 5 * UPDATE_PERIOD_MS);
+        assert_eq!(net.metric(0, pfx), Some(7)); // 1 + 3 + 3
+    }
+
+    #[test]
+    fn split_horizon_no_two_node_loop() {
+        let (mut net, pfx) = chain();
+        net.run_until(5 * 60_000);
+        net.set_prefix_up(0, pfx, false);
+        // Without split horizon, 1 would re-learn the dead route from 2 at
+        // metric+1 and bounce; with it the route simply times out. Check
+        // metrics never exceed the legitimate maximum before expiry.
+        net.run_until(net.now() + ROUTE_TIMEOUT_MS + 3 * UPDATE_PERIOD_MS);
+        let changes = net.take_changes();
+        let max_metric = changes
+            .iter()
+            .filter(|c| c.prefix == pfx && c.metric < INFINITY)
+            .map(|c| c.metric)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_metric <= 4,
+            "no counting-to-infinity inside the IGP: {max_metric}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! MRT record model: the typed representation of the log entries the paper's
+//! measurement infrastructure captured.
+
+use iri_bgp::attrs::PathAttributes;
+use iri_bgp::codec::DecodeError;
+use iri_bgp::message::Message;
+use iri_bgp::types::{Asn, Prefix};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// MRT top-level type codes (RFC 6396 §4).
+pub mod type_code {
+    /// RIB snapshots.
+    pub const TABLE_DUMP: u16 = 12;
+    /// BGP message / state-change records.
+    pub const BGP4MP: u16 = 16;
+}
+
+/// BGP4MP subtypes.
+pub mod subtype {
+    /// Session FSM transition.
+    pub const BGP4MP_STATE_CHANGE: u16 = 0;
+    /// A full BGP message.
+    pub const BGP4MP_MESSAGE: u16 = 1;
+    /// TABLE_DUMP AFI for IPv4.
+    pub const AFI_IPV4: u16 = 1;
+}
+
+/// Peering session states as encoded in STATE_CHANGE records (RFC 6396
+/// §4.2.1: 1=Idle … 6=Established).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerState {
+    /// Session down, not trying.
+    Idle,
+    /// TCP connect in progress.
+    Connect,
+    /// Listening after a failed connect.
+    Active,
+    /// OPEN sent, waiting for peer's OPEN.
+    OpenSent,
+    /// OPEN accepted, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Full routing information flows.
+    Established,
+}
+
+impl PeerState {
+    /// Wire code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            PeerState::Idle => 1,
+            PeerState::Connect => 2,
+            PeerState::Active => 3,
+            PeerState::OpenSent => 4,
+            PeerState::OpenConfirm => 5,
+            PeerState::Established => 6,
+        }
+    }
+
+    /// Parses a wire code.
+    #[must_use]
+    pub fn from_code(c: u16) -> Option<Self> {
+        Some(match c {
+            1 => PeerState::Idle,
+            2 => PeerState::Connect,
+            3 => PeerState::Active,
+            4 => PeerState::OpenSent,
+            5 => PeerState::OpenConfirm,
+            6 => PeerState::Established,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PeerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PeerState::Idle => "Idle",
+            PeerState::Connect => "Connect",
+            PeerState::Active => "Active",
+            PeerState::OpenSent => "OpenSent",
+            PeerState::OpenConfirm => "OpenConfirm",
+            PeerState::Established => "Established",
+        })
+    }
+}
+
+/// A timestamped BGP message heard on a peering session (BGP4MP MESSAGE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// Seconds since the Unix epoch.
+    pub timestamp: u32,
+    /// The remote (monitored) peer's AS.
+    pub peer_asn: Asn,
+    /// The collector's AS (AS 237 / Merit for the Routing Arbiter boxes).
+    pub local_asn: Asn,
+    /// Remote peer address at the exchange.
+    pub peer_ip: Ipv4Addr,
+    /// Collector address.
+    pub local_ip: Ipv4Addr,
+    /// The BGP message itself.
+    pub message: Message,
+}
+
+/// A session FSM transition (BGP4MP STATE_CHANGE) — how the logs record
+/// peering sessions dropping and re-establishing during flap storms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpStateChange {
+    /// Seconds since the Unix epoch.
+    pub timestamp: u32,
+    /// The remote peer's AS.
+    pub peer_asn: Asn,
+    /// The collector's AS.
+    pub local_asn: Asn,
+    /// Remote peer address.
+    pub peer_ip: Ipv4Addr,
+    /// Collector address.
+    pub local_ip: Ipv4Addr,
+    /// State before the transition.
+    pub old_state: PeerState,
+    /// State after the transition.
+    pub new_state: PeerState,
+}
+
+/// One RIB entry from a TABLE_DUMP snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDumpEntry {
+    /// Snapshot timestamp.
+    pub timestamp: u32,
+    /// View number (0 in our logs).
+    pub view: u16,
+    /// Sequence number within the dump.
+    pub sequence: u16,
+    /// The route's destination.
+    pub prefix: Prefix,
+    /// When the route was last updated.
+    pub originated: u32,
+    /// Which peer advertised it.
+    pub peer_ip: Ipv4Addr,
+    /// That peer's AS.
+    pub peer_asn: Asn,
+    /// Full attribute set.
+    pub attrs: PathAttributes,
+}
+
+/// Any MRT record this crate understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtRecord {
+    /// BGP4MP MESSAGE.
+    Bgp4mpMessage(Bgp4mpMessage),
+    /// BGP4MP STATE_CHANGE.
+    Bgp4mpStateChange(Bgp4mpStateChange),
+    /// TABLE_DUMP entry.
+    TableDump(TableDumpEntry),
+}
+
+impl MrtRecord {
+    /// The record's timestamp (seconds since epoch).
+    #[must_use]
+    pub fn timestamp(&self) -> u32 {
+        match self {
+            MrtRecord::Bgp4mpMessage(m) => m.timestamp,
+            MrtRecord::Bgp4mpStateChange(s) => s.timestamp,
+            MrtRecord::TableDump(t) => t.timestamp,
+        }
+    }
+}
+
+/// Errors from reading or writing MRT streams.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Record body shorter than its header claims, or header truncated
+    /// mid-record.
+    Truncated,
+    /// Unknown (type, subtype) pair.
+    UnknownType {
+        /// The record's MRT type code.
+        mrt_type: u16,
+        /// The record's subtype code.
+        subtype: u16,
+    },
+    /// Record body malformed.
+    Malformed(&'static str),
+    /// The embedded BGP message failed to decode.
+    Bgp(DecodeError),
+    /// STATE_CHANGE carried an unknown state code.
+    BadState(u16),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+            MrtError::Truncated => f.write_str("truncated MRT record"),
+            MrtError::UnknownType { mrt_type, subtype } => {
+                write!(f, "unknown MRT type {mrt_type} subtype {subtype}")
+            }
+            MrtError::Malformed(what) => write!(f, "malformed MRT record: {what}"),
+            MrtError::Bgp(e) => write!(f, "embedded BGP message: {e}"),
+            MrtError::BadState(c) => write!(f, "unknown peer state code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            MrtError::Bgp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MrtError {
+    fn from(e: std::io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+impl From<DecodeError> for MrtError {
+    fn from(e: DecodeError) -> Self {
+        MrtError::Bgp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_state_codes_roundtrip() {
+        for s in [
+            PeerState::Idle,
+            PeerState::Connect,
+            PeerState::Active,
+            PeerState::OpenSent,
+            PeerState::OpenConfirm,
+            PeerState::Established,
+        ] {
+            assert_eq!(PeerState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(PeerState::from_code(0), None);
+        assert_eq!(PeerState::from_code(7), None);
+    }
+
+    #[test]
+    fn record_timestamp_accessor() {
+        let sc = MrtRecord::Bgp4mpStateChange(Bgp4mpStateChange {
+            timestamp: 42,
+            peer_asn: Asn(701),
+            local_asn: Asn(237),
+            peer_ip: Ipv4Addr::LOCALHOST,
+            local_ip: Ipv4Addr::LOCALHOST,
+            old_state: PeerState::Established,
+            new_state: PeerState::Idle,
+        });
+        assert_eq!(sc.timestamp(), 42);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(PeerState::Established.to_string(), "Established");
+        let e = MrtError::UnknownType {
+            mrt_type: 99,
+            subtype: 1,
+        };
+        assert!(e.to_string().contains("99"));
+    }
+}

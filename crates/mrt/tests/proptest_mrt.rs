@@ -1,0 +1,169 @@
+//! Property tests: arbitrary MRT record sequences round-trip byte-exactly,
+//! and the reader never panics on arbitrary byte streams.
+
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::message::{Message, Update};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_mrt::{
+    Bgp4mpMessage, Bgp4mpStateChange, MrtReader, MrtRecord, MrtWriter, PeerState, TableDumpEntry,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    (1u32..=65_535).prop_map(Asn)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(b, l)| Prefix::from_raw(b, l))
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        prop::collection::vec(arb_asn(), 1..6),
+        arb_ip(),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(|(path, hop, med)| {
+            let mut a = PathAttributes::new(Origin::Igp, AsPath::from_sequence(path), hop);
+            a.med = med;
+            a
+        })
+}
+
+fn arb_state() -> impl Strategy<Value = PeerState> {
+    prop_oneof![
+        Just(PeerState::Idle),
+        Just(PeerState::Connect),
+        Just(PeerState::Active),
+        Just(PeerState::OpenSent),
+        Just(PeerState::OpenConfirm),
+        Just(PeerState::Established),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = MrtRecord> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            arb_asn(),
+            arb_asn(),
+            arb_ip(),
+            arb_ip(),
+            prop::collection::vec(arb_prefix(), 0..20),
+            proptest::option::of((arb_attrs(), prop::collection::vec(arb_prefix(), 1..20))),
+        )
+            .prop_map(
+                |(timestamp, peer_asn, local_asn, peer_ip, local_ip, withdrawn, ann)| {
+                    let update = match ann {
+                        Some((attrs, nlri)) => Update {
+                            withdrawn,
+                            attrs: Some(attrs),
+                            nlri,
+                        },
+                        None => Update {
+                            withdrawn,
+                            attrs: None,
+                            nlri: vec![],
+                        },
+                    };
+                    MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                        timestamp,
+                        peer_asn,
+                        local_asn,
+                        peer_ip,
+                        local_ip,
+                        message: Message::Update(update),
+                    })
+                }
+            ),
+        (
+            any::<u32>(),
+            arb_asn(),
+            arb_asn(),
+            arb_ip(),
+            arb_ip(),
+            arb_state(),
+            arb_state()
+        )
+            .prop_map(
+                |(timestamp, peer_asn, local_asn, peer_ip, local_ip, old_state, new_state)| {
+                    MrtRecord::Bgp4mpStateChange(Bgp4mpStateChange {
+                        timestamp,
+                        peer_asn,
+                        local_asn,
+                        peer_ip,
+                        local_ip,
+                        old_state,
+                        new_state,
+                    })
+                }
+            ),
+        (
+            any::<u32>(),
+            any::<u16>(),
+            arb_prefix(),
+            any::<u32>(),
+            arb_ip(),
+            arb_asn(),
+            arb_attrs()
+        )
+            .prop_map(
+                |(timestamp, sequence, prefix, originated, peer_ip, peer_asn, attrs)| {
+                    MrtRecord::TableDump(TableDumpEntry {
+                        timestamp,
+                        view: 0,
+                        sequence,
+                        prefix,
+                        originated,
+                        peer_ip,
+                        peer_asn,
+                        attrs,
+                    })
+                }
+            ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn record_sequences_roundtrip(records in prop::collection::vec(arb_record(), 0..20)) {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let mut reader = MrtReader::new(buf.as_slice());
+        let back: Vec<MrtRecord> = reader.iter().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut reader = MrtReader::new(bytes.as_slice());
+        // Drain until error or EOF; must not panic.
+        while let Ok(Some(_)) = reader.next_record() {}
+    }
+
+    #[test]
+    fn reader_never_panics_on_truncated_valid_stream(
+        records in prop::collection::vec(arb_record(), 1..5),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        let mut reader = MrtReader::new(&buf[..cut]);
+        while let Ok(Some(_)) = reader.next_record() {}
+    }
+}

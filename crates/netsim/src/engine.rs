@@ -1,0 +1,223 @@
+//! The deterministic discrete-event core: a virtual millisecond clock and a
+//! stable-ordered event queue.
+//!
+//! Determinism rules:
+//! - time is a `u64` of milliseconds ([`SimTime`]);
+//! - events at equal times are processed in insertion order (a
+//!   monotonically increasing sequence number breaks ties);
+//! - all randomness comes from a seeded RNG owned by the caller.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Milliseconds of simulated time since the start of the run.
+pub type SimTime = u64;
+
+/// One millisecond expressed in [`SimTime`] units.
+pub const MILLIS: SimTime = 1;
+/// One second.
+pub const SECOND: SimTime = 1000;
+/// One minute.
+pub const MINUTE: SimTime = 60 * SECOND;
+/// One hour.
+pub const HOUR: SimTime = 60 * MINUTE;
+/// One day.
+pub const DAY: SimTime = 24 * HOUR;
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events popped so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error and clamps to `now` (preserving causality).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` `delay` milliseconds from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Timestamp of the next event without popping.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        self.processed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Pops the earliest event only if it is at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `t` without processing (used when a run window
+    /// ends with the queue still holding future events).
+    pub fn advance_clock(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        q.pop();
+        q.schedule_in(50, "y");
+        assert_eq!(q.pop(), Some((150, "y")));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        q.pop();
+        q.schedule_at(10, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop_until(15), Some((10, "a")));
+        assert_eq!(q.pop_until(15), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(25), Some((20, "b")));
+    }
+
+    #[test]
+    fn advance_clock_never_goes_backwards() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_clock(500);
+        assert_eq!(q.now(), 500);
+        q.advance_clock(100);
+        assert_eq!(q.now(), 500);
+    }
+
+    #[test]
+    fn time_constants() {
+        assert_eq!(SECOND, 1000 * MILLIS);
+        assert_eq!(DAY, 24 * HOUR);
+        assert_eq!(HOUR, 3_600_000);
+    }
+}

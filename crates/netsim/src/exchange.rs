@@ -1,0 +1,210 @@
+//! The five measured U.S. public exchange points (Figure 1 of the paper),
+//! as reusable world-construction blocks.
+//!
+//! "Over the course of nine months, we logged BGP routing messages exchanged
+//! with the Routing Arbiter project's route servers at five of the major
+//! U.S. network exchange points: Mae-East, Sprint, AADS, PacBell and
+//! Mae-West. … The largest public exchange, Mae-East located near
+//! Washington D.C., currently hosts over 60 service providers."
+//!
+//! Peer counts are scaled by `scale` (1.0 reproduces the published counts;
+//! the default experiments use smaller fractions for laptop runtimes and
+//! report scale-free proportions).
+
+use crate::router::{RouterConfig, RouterId};
+use crate::world::World;
+use iri_bgp::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The Routing Arbiter's AS (Merit).
+pub const ROUTE_SERVER_ASN: Asn = Asn(237);
+
+/// One public exchange point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangePoint {
+    /// Mae-East, near Washington D.C. — the largest (60+ providers).
+    MaeEast,
+    /// The Sprint NAP (Pennsauken, NJ).
+    Sprint,
+    /// AADS, the Ameritech NAP (Chicago).
+    Aads,
+    /// The PacBell NAP (San Francisco).
+    PacBell,
+    /// Mae-West (San Jose).
+    MaeWest,
+}
+
+impl ExchangePoint {
+    /// All five measured exchanges.
+    pub const ALL: [ExchangePoint; 5] = [
+        ExchangePoint::MaeEast,
+        ExchangePoint::Sprint,
+        ExchangePoint::Aads,
+        ExchangePoint::PacBell,
+        ExchangePoint::MaeWest,
+    ];
+
+    /// Human name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExchangePoint::MaeEast => "Mae-East",
+            ExchangePoint::Sprint => "Sprint NAP",
+            ExchangePoint::Aads => "AADS",
+            ExchangePoint::PacBell => "PacBell NAP",
+            ExchangePoint::MaeWest => "Mae-West",
+        }
+    }
+
+    /// Approximate provider count at the exchange in 1996.
+    #[must_use]
+    pub fn provider_count_1996(self) -> usize {
+        match self {
+            ExchangePoint::MaeEast => 60,
+            ExchangePoint::Sprint => 20,
+            ExchangePoint::Aads => 25,
+            ExchangePoint::PacBell => 25,
+            ExchangePoint::MaeWest => 30,
+        }
+    }
+
+    /// Fraction of providers peering with the route servers ("over 90
+    /// percent").
+    #[must_use]
+    pub fn route_server_coverage(self) -> f64 {
+        0.92
+    }
+
+    /// Exchange LAN address block (each exchange was one shared subnet).
+    #[must_use]
+    pub fn lan_base(self) -> Ipv4Addr {
+        match self {
+            ExchangePoint::MaeEast => Ipv4Addr::new(192, 41, 177, 0),
+            ExchangePoint::Sprint => Ipv4Addr::new(192, 157, 69, 0),
+            ExchangePoint::Aads => Ipv4Addr::new(198, 32, 130, 0),
+            ExchangePoint::PacBell => Ipv4Addr::new(198, 32, 128, 0),
+            ExchangePoint::MaeWest => Ipv4Addr::new(198, 32, 136, 0),
+        }
+    }
+}
+
+/// A built exchange: router IDs of the route server and the provider
+/// border routers.
+#[derive(Debug, Clone)]
+pub struct BuiltExchange {
+    /// Which exchange.
+    pub exchange: ExchangePoint,
+    /// The monitored route server.
+    pub route_server: RouterId,
+    /// Provider border routers, in creation order.
+    pub providers: Vec<RouterId>,
+}
+
+/// Builds an exchange point inside `world`: one route server plus
+/// `provider_cfgs` border routers, every provider peering with the route
+/// server (O(N) sessions), and providers not covered by the route server
+/// meshing directly. The route server is automatically monitored.
+pub fn build_exchange(
+    world: &mut World,
+    exchange: ExchangePoint,
+    provider_cfgs: Vec<RouterConfig>,
+) -> BuiltExchange {
+    let base = u32::from(exchange.lan_base());
+    let rs_cfg = RouterConfig::route_server(
+        &format!("RS-{}", exchange.name()),
+        ROUTE_SERVER_ASN,
+        Ipv4Addr::from(base + 250),
+    );
+    let route_server = world.add_router(rs_cfg);
+    world.attach_monitor(route_server);
+    let mut providers = Vec::with_capacity(provider_cfgs.len());
+    for cfg in provider_cfgs {
+        let id = world.add_router(cfg);
+        world.connect(id, route_server, 1);
+        providers.push(id);
+    }
+    BuiltExchange {
+        exchange,
+        route_server,
+        providers,
+    }
+}
+
+/// Convenience: provider configs for an exchange at a given scale, mixing
+/// well-behaved and pathological (stateless/unjittered) routers.
+///
+/// `pathological_fraction` is the share of providers running the §4.2
+/// vendor profile; in 1996 the implicated implementation was the market
+/// leader, so fractions of 0.5–0.8 are era-faithful.
+pub fn provider_mix(
+    exchange: ExchangePoint,
+    scale: f64,
+    pathological_fraction: f64,
+    base_asn: u32,
+) -> Vec<RouterConfig> {
+    let n = ((exchange.provider_count_1996() as f64 * scale).round() as usize).max(2);
+    let base = u32::from(exchange.lan_base());
+    (0..n)
+        .map(|i| {
+            let asn = Asn(base_asn + i as u32);
+            let addr = Ipv4Addr::from(base + 1 + i as u32);
+            let name = format!("{}-P{i}", exchange.name());
+            let is_pathological = (i as f64 + 0.5) / (n as f64) < pathological_fraction;
+            if is_pathological {
+                RouterConfig::pathological(&name, asn, addr)
+            } else {
+                RouterConfig::well_behaved(&name, asn, addr)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SECOND;
+
+    #[test]
+    fn exchange_metadata() {
+        assert_eq!(ExchangePoint::ALL.len(), 5);
+        assert_eq!(ExchangePoint::MaeEast.name(), "Mae-East");
+        assert!(ExchangePoint::MaeEast.provider_count_1996() >= 60);
+        for e in ExchangePoint::ALL {
+            assert!(e.route_server_coverage() > 0.9);
+        }
+    }
+
+    #[test]
+    fn provider_mix_scales_and_mixes() {
+        let cfgs = provider_mix(ExchangePoint::MaeEast, 0.1, 0.5, 7000);
+        assert_eq!(cfgs.len(), 6);
+        let pathological = cfgs
+            .iter()
+            .filter(|c| c.adj_out == crate::router::AdjOutMode::Stateless)
+            .count();
+        assert_eq!(pathological, 3);
+        // ASNs and addresses are unique.
+        let mut asns: Vec<u32> = cfgs.iter().map(|c| c.asn.0).collect();
+        asns.dedup();
+        assert_eq!(asns.len(), 6);
+    }
+
+    #[test]
+    fn built_exchange_establishes_star() {
+        let mut w = World::new(3);
+        let cfgs = provider_mix(ExchangePoint::Aads, 0.2, 0.4, 6000);
+        let n = cfgs.len();
+        let ex = build_exchange(&mut w, ExchangePoint::Aads, cfgs);
+        w.start();
+        w.run_until(30 * SECOND);
+        for &p in &ex.providers {
+            assert!(
+                w.router(p).session_established(ex.route_server),
+                "provider {p:?} must peer with the route server"
+            );
+        }
+        assert_eq!(ex.providers.len(), n);
+        assert!(w.monitor(ex.route_server).is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! # iri-netsim — deterministic discrete-event BGP internetwork simulator
+//!
+//! The measured system of *Internet Routing Instability*, rebuilt: border
+//! routers with era-accurate resource models and the specific pathological
+//! behaviours the paper identifies, wired into exchange points with Routing
+//! Arbiter route servers and monitor taps.
+//!
+//! | Paper mechanism | Where |
+//! |---|---|
+//! | stateless BGP (§4.2, WWDup/AADup origin) | [`router::AdjOutMode::Stateless`] |
+//! | unjittered 30 s update timer (§4.2, 30/60 s periodicity) | [`iri_session::timers::TimerProfile::Unjittered`] via [`router::RouterConfig`] |
+//! | CSU clock-drift link oscillation (§4.2) | [`link::CsuFault`] |
+//! | route-caching forwarding architecture (§3) | cache-churn counters in [`router::RouterCounters`] |
+//! | keepalive starvation under load → flap storms (§3) | the CPU busy-line in [`router::Router`] |
+//! | crash at ~300 updates/s (§6) | [`router::CrashModel`] |
+//! | route servers, O(N²)→O(N) peering (§3) | [`router::Role::RouteServer`], [`exchange`] |
+//! | Routing Arbiter logging (§2) | [`monitor::Monitor`] |
+//!
+//! Everything runs on a virtual millisecond clock with a seeded RNG: the
+//! same scenario with the same seed reproduces the identical message
+//! history.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod exchange;
+pub mod link;
+pub mod monitor;
+pub mod router;
+pub mod world;
+
+pub use engine::{SimTime, DAY, HOUR, MINUTE, SECOND};
+pub use exchange::{build_exchange, provider_mix, BuiltExchange, ExchangePoint};
+pub use link::{CsuFault, Link, LinkId};
+pub use monitor::{LoggedUpdate, Monitor};
+pub use router::{
+    AdjOutMode, CpuModel, CrashModel, Role, Router, RouterConfig, RouterCounters, RouterId,
+};
+pub use world::{World, WorldStats};

@@ -1,0 +1,187 @@
+//! Point-to-point link model, including the CSU clock-drift oscillation
+//! fault of §4.2.
+//!
+//! "Most Internet leased lines (T1, T3) use a type of broadband modem
+//! referred to as a Channel Service Unit (CSU). Misconfigured CSUs may have
+//! clocks which derive from different sources. The drift between two clock
+//! sources can cause the line to oscillate between periods of normal service
+//! and corrupted data. … router interface cards are sensitive to millisecond
+//! loss of line carrier and will flag the link as down."
+//!
+//! [`CsuFault`] models the drift beat as a duty cycle: the line is up for
+//! `up_ms`, drops carrier for `down_ms`, and repeats — with the beat period
+//! typically a multiple of the 30-second timing intervals that give the
+//! paper's instability its signature periodicity.
+
+use crate::engine::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Index of a link in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Periodic carrier-loss fault from mismatched CSU clock sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsuFault {
+    /// Time with good carrier per cycle.
+    pub up_ms: SimTime,
+    /// Carrier-loss duration per cycle.
+    pub down_ms: SimTime,
+    /// Offset of the first carrier loss.
+    pub phase_ms: SimTime,
+}
+
+impl CsuFault {
+    /// A classic 30-second beat: ~29.5 s of service, 500 ms of carrier loss.
+    #[must_use]
+    pub fn beat_30s(phase_ms: SimTime) -> Self {
+        CsuFault {
+            up_ms: 29_500,
+            down_ms: 500,
+            phase_ms,
+        }
+    }
+
+    /// A 60-second beat.
+    #[must_use]
+    pub fn beat_60s(phase_ms: SimTime) -> Self {
+        CsuFault {
+            up_ms: 59_500,
+            down_ms: 500,
+            phase_ms,
+        }
+    }
+
+    /// Full cycle length.
+    #[must_use]
+    pub fn period(&self) -> SimTime {
+        self.up_ms + self.down_ms
+    }
+
+    /// Next carrier-loss onset at or after `now`.
+    #[must_use]
+    pub fn next_down(&self, now: SimTime) -> SimTime {
+        let period = self.period().max(1);
+        if now <= self.phase_ms {
+            return self.phase_ms;
+        }
+        let since = now - self.phase_ms;
+        let k = since.div_ceil(period);
+        self.phase_ms + k * period
+    }
+}
+
+/// A bidirectional point-to-point link between two routers.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Identity.
+    pub id: LinkId,
+    /// One endpoint (router index).
+    pub a: u32,
+    /// Other endpoint (router index).
+    pub b: u32,
+    /// One-way propagation + serialisation latency.
+    pub latency_ms: SimTime,
+    /// Administrative + carrier status.
+    pub up: bool,
+    /// Epoch bumped on every down transition; in-flight messages carrying a
+    /// stale epoch are dropped at delivery (the TCP connection they belonged
+    /// to is gone).
+    pub epoch: u64,
+    /// Optional CSU oscillation fault.
+    pub csu: Option<CsuFault>,
+}
+
+impl Link {
+    /// New healthy link.
+    #[must_use]
+    pub fn new(id: LinkId, a: u32, b: u32, latency_ms: SimTime) -> Self {
+        Link {
+            id,
+            a,
+            b,
+            latency_ms,
+            up: true,
+            epoch: 0,
+            csu: None,
+        }
+    }
+
+    /// Attaches a CSU fault model.
+    #[must_use]
+    pub fn with_csu(mut self, csu: CsuFault) -> Self {
+        self.csu = Some(csu);
+        self
+    }
+
+    /// The far endpoint relative to `router`.
+    #[must_use]
+    pub fn other_end(&self, router: u32) -> u32 {
+        if router == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(router, self.b);
+            self.a
+        }
+    }
+
+    /// Takes the link down, invalidating in-flight traffic.
+    pub fn take_down(&mut self) {
+        if self.up {
+            self.up = false;
+            self.epoch += 1;
+        }
+    }
+
+    /// Restores the link.
+    pub fn bring_up(&mut self) {
+        self.up = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csu_next_down_schedule() {
+        let f = CsuFault {
+            up_ms: 29_500,
+            down_ms: 500,
+            phase_ms: 1_000,
+        };
+        assert_eq!(f.period(), 30_000);
+        assert_eq!(f.next_down(0), 1_000);
+        assert_eq!(f.next_down(1_000), 1_000);
+        assert_eq!(f.next_down(1_001), 31_000);
+        assert_eq!(f.next_down(31_000), 31_000);
+        assert_eq!(f.next_down(31_001), 61_000);
+    }
+
+    #[test]
+    fn csu_presets() {
+        assert_eq!(CsuFault::beat_30s(0).period(), 30_000);
+        assert_eq!(CsuFault::beat_60s(0).period(), 60_000);
+    }
+
+    #[test]
+    fn link_epoch_bumps_on_down_only() {
+        let mut l = Link::new(LinkId(0), 1, 2, 5);
+        assert!(l.up);
+        l.take_down();
+        assert_eq!(l.epoch, 1);
+        l.take_down(); // already down: no double bump
+        assert_eq!(l.epoch, 1);
+        l.bring_up();
+        assert_eq!(l.epoch, 1);
+        l.take_down();
+        assert_eq!(l.epoch, 2);
+    }
+
+    #[test]
+    fn other_end() {
+        let l = Link::new(LinkId(0), 7, 9, 5);
+        assert_eq!(l.other_end(7), 9);
+        assert_eq!(l.other_end(9), 7);
+    }
+}

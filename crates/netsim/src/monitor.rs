@@ -1,0 +1,207 @@
+//! Monitor taps — the experimental instrumentation of the paper.
+//!
+//! "Over the course of nine months, we logged BGP routing messages exchanged
+//! with the Routing Arbiter project's route servers at five of the major
+//! U.S. network exchange points." A [`Monitor`] attached to a router (in
+//! practice, to a route server) records every BGP message that router hears,
+//! with millisecond timestamps, and can export the log as MRT records for
+//! offline analysis — the measurement boundary between `iri-netsim` and
+//! `iri-core`.
+
+use crate::engine::SimTime;
+use crate::router::RouterId;
+use iri_bgp::message::Message;
+use iri_bgp::types::Asn;
+use iri_mrt::{Bgp4mpMessage, Bgp4mpStateChange, MrtRecord, PeerState};
+use std::net::Ipv4Addr;
+
+/// One logged message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedUpdate {
+    /// Simulated time of receipt (milliseconds).
+    pub time_ms: SimTime,
+    /// Sending peer's AS.
+    pub peer_asn: Asn,
+    /// Sending peer's exchange address.
+    pub peer_addr: Ipv4Addr,
+    /// The message.
+    pub message: Message,
+}
+
+/// One logged session transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedStateChange {
+    /// Simulated time (milliseconds).
+    pub time_ms: SimTime,
+    /// Peer's AS.
+    pub peer_asn: Asn,
+    /// Peer's address.
+    pub peer_addr: Ipv4Addr,
+    /// Previous FSM state.
+    pub old_state: PeerState,
+    /// New FSM state.
+    pub new_state: PeerState,
+}
+
+/// A passive tap on one router.
+#[derive(Debug)]
+pub struct Monitor {
+    /// The monitored router.
+    pub router: RouterId,
+    /// Whether non-UPDATE messages (KEEPALIVE/OPEN/NOTIFICATION) are kept.
+    pub log_all_messages: bool,
+    /// Message log, in receipt order.
+    pub updates: Vec<LoggedUpdate>,
+    /// Session-transition log.
+    pub state_changes: Vec<LoggedStateChange>,
+}
+
+impl Monitor {
+    /// New tap on `router` logging UPDATEs only.
+    #[must_use]
+    pub fn new(router: RouterId) -> Self {
+        Monitor {
+            router,
+            log_all_messages: false,
+            updates: Vec::new(),
+            state_changes: Vec::new(),
+        }
+    }
+
+    /// Records an inbound message.
+    pub fn record(
+        &mut self,
+        time_ms: SimTime,
+        peer_asn: Asn,
+        peer_addr: Ipv4Addr,
+        message: &Message,
+    ) {
+        if self.log_all_messages || matches!(message, Message::Update(_)) {
+            self.updates.push(LoggedUpdate {
+                time_ms,
+                peer_asn,
+                peer_addr,
+                message: message.clone(),
+            });
+        }
+    }
+
+    /// Records a session transition.
+    pub fn record_state_change(
+        &mut self,
+        time_ms: SimTime,
+        peer_asn: Asn,
+        peer_addr: Ipv4Addr,
+        old_state: PeerState,
+        new_state: PeerState,
+    ) {
+        self.state_changes.push(LoggedStateChange {
+            time_ms,
+            peer_asn,
+            peer_addr,
+            old_state,
+            new_state,
+        });
+    }
+
+    /// Total prefix events (announcements + withdrawals) logged.
+    #[must_use]
+    pub fn prefix_event_count(&self) -> u64 {
+        self.updates
+            .iter()
+            .map(|u| match &u.message {
+                Message::Update(up) => up.prefix_event_count() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Exports the log as MRT records (timestamps truncated to seconds, as
+    /// the 1996 collectors did; `base_unix_time` anchors sim time 0).
+    #[must_use]
+    pub fn to_mrt(
+        &self,
+        local_asn: Asn,
+        local_addr: Ipv4Addr,
+        base_unix_time: u32,
+    ) -> Vec<MrtRecord> {
+        let mut out: Vec<(SimTime, MrtRecord)> =
+            Vec::with_capacity(self.updates.len() + self.state_changes.len());
+        for u in &self.updates {
+            out.push((
+                u.time_ms,
+                MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                    timestamp: base_unix_time + (u.time_ms / 1000) as u32,
+                    peer_asn: u.peer_asn,
+                    local_asn,
+                    peer_ip: u.peer_addr,
+                    local_ip: local_addr,
+                    message: u.message.clone(),
+                }),
+            ));
+        }
+        for s in &self.state_changes {
+            out.push((
+                s.time_ms,
+                MrtRecord::Bgp4mpStateChange(Bgp4mpStateChange {
+                    timestamp: base_unix_time + (s.time_ms / 1000) as u32,
+                    peer_asn: s.peer_asn,
+                    local_asn,
+                    peer_ip: s.peer_addr,
+                    local_ip: local_addr,
+                    old_state: s.old_state,
+                    new_state: s.new_state,
+                }),
+            ));
+        }
+        out.sort_by_key(|(t, _)| *t);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::message::Update;
+
+    fn update_msg() -> Message {
+        Message::Update(Update::withdraw(["10.0.0.0/8".parse().unwrap()]))
+    }
+
+    #[test]
+    fn records_updates_skips_keepalives_by_default() {
+        let mut m = Monitor::new(RouterId(0));
+        m.record(5, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &update_msg());
+        m.record(6, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &Message::Keepalive);
+        assert_eq!(m.updates.len(), 1);
+        assert_eq!(m.prefix_event_count(), 1);
+    }
+
+    #[test]
+    fn log_all_messages_keeps_keepalives() {
+        let mut m = Monitor::new(RouterId(0));
+        m.log_all_messages = true;
+        m.record(6, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &Message::Keepalive);
+        assert_eq!(m.updates.len(), 1);
+        assert_eq!(m.prefix_event_count(), 0);
+    }
+
+    #[test]
+    fn mrt_export_is_time_sorted_with_base_offset() {
+        let mut m = Monitor::new(RouterId(0));
+        m.record(2500, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &update_msg());
+        m.record_state_change(
+            1000,
+            Asn(701),
+            Ipv4Addr::new(1, 1, 1, 1),
+            PeerState::OpenConfirm,
+            PeerState::Established,
+        );
+        let recs = m.to_mrt(Asn(237), Ipv4Addr::new(9, 9, 9, 9), 833_000_000);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].timestamp(), 833_000_001);
+        assert_eq!(recs[1].timestamp(), 833_000_002);
+        assert!(matches!(recs[0], MrtRecord::Bgp4mpStateChange(_)));
+        assert!(matches!(recs[1], MrtRecord::Bgp4mpMessage(_)));
+    }
+}

@@ -1,0 +1,1416 @@
+//! The border-router model: BGP processing plus the resource behaviours the
+//! paper identifies as instability mechanisms.
+//!
+//! Each router combines:
+//!
+//! - the session FSMs and timers of `iri-session`;
+//! - the RIBs, decision process and policy of `iri-rib`, with a per-peer
+//!   Adj-RIB-Out that is either **stateful** or the pathological
+//!   **stateless** implementation of §4.2;
+//! - an update-packing (MRAI-style) timer per peer, jittered or the
+//!   pathological **unjittered 30 s** variant;
+//! - a CPU model ("many of the commonly deployed Internet routers are based
+//!   on a relatively light Motorola 68000 series processor"): update
+//!   processing consumes microseconds of a single busy-line, delaying
+//!   outbound messages — including KEEPALIVEs unless the router has the
+//!   newer "BGP traffic is given a higher priority" fix — so that heavy
+//!   update load starves keepalives and triggers hold-timer expiry at
+//!   peers;
+//! - a crash model ("sufficiently high rates of pathological updates
+//!   (300 updates per second) are enough to crash a widely deployed,
+//!   high-end model of Internet router");
+//! - a route-cache forwarding architecture counter (cache churn per
+//!   forwarding change, the packet-loss mechanism of §3);
+//! - optional inbound route-flap damping.
+//!
+//! The router is a pure state machine: every entry point takes `now` and
+//! the seeded RNG and returns [`Effect`]s for the world to realise, keeping
+//! the whole simulation deterministic.
+
+use crate::engine::SimTime;
+use crate::link::LinkId;
+use iri_bgp::attrs::PathAttributes;
+use iri_bgp::message::{Message, Update};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_bgp::validate::{validate_inbound, PeerContext, ValidationError};
+use iri_rib::adj_in::AdjRibIn;
+use iri_rib::adj_out::{AdjRibOut, ExportDelta, ExportEvent, StatefulAdjOut, StatelessAdjOut};
+use iri_rib::damping::{DampingVerdict, FlapKind, RouteDamper};
+use iri_rib::decision::RouteCandidate;
+use iri_rib::loc_rib::{BestChange, LocRib};
+use iri_rib::policy::Policy;
+use iri_session::fsm::{Action, Event as FsmEvent, SessionConfig, SessionFsm};
+use iri_session::timers::{MraiTimer, TimerProfile};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Index of a router in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+/// What kind of BGP speaker this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// A service-provider border router: prepends its AS and rewrites the
+    /// next hop on export.
+    Border,
+    /// A Routing Arbiter route server: transparent — re-advertises client
+    /// routes without inserting itself into the AS path or next hop,
+    /// reducing the exchange's session mesh from O(N²) to O(N).
+    RouteServer,
+}
+
+/// Which Adj-RIB-Out implementation the router runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdjOutMode {
+    /// Remembers wire state; suppresses redundant updates.
+    Stateful,
+    /// The §4.2 pathological implementation.
+    Stateless,
+}
+
+/// CPU cost model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Microseconds of CPU per prefix event processed (in or out).
+    pub update_cost_us: u64,
+    /// Whether KEEPALIVE transmission bypasses the busy CPU (the modern
+    /// vendor fix: "BGP traffic is given a higher priority and Keep-Alive
+    /// messages persist even under heavy instability").
+    pub keepalive_priority: bool,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        // ~200 µs per prefix event ≈ 5 000 events/s of headroom — a light
+        // mid-90s CPU.
+        CpuModel {
+            update_cost_us: 200,
+            keepalive_priority: false,
+        }
+    }
+}
+
+/// Crash-under-load model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CrashModel {
+    /// Sustained inbound prefix events per second that crash the router.
+    pub updates_per_sec_threshold: u32,
+    /// Sliding window over which the rate is measured.
+    pub window_ms: SimTime,
+    /// Reboot time after a crash.
+    pub reboot_ms: SimTime,
+}
+
+impl Default for CrashModel {
+    fn default() -> Self {
+        CrashModel {
+            updates_per_sec_threshold: 300,
+            window_ms: 5_000,
+            reboot_ms: 120_000,
+        }
+    }
+}
+
+/// Static router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Display name for reports ("Provider A", "RS-MaeEast"…).
+    pub name: String,
+    /// The router's AS.
+    pub asn: Asn,
+    /// Interface address at the exchange (also the router ID).
+    pub addr: Ipv4Addr,
+    /// Border router or route server.
+    pub role: Role,
+    /// Adj-RIB-Out implementation.
+    pub adj_out: AdjOutMode,
+    /// Update-packing timer behaviour.
+    pub timer_profile: TimerProfile,
+    /// CPU model.
+    pub cpu: CpuModel,
+    /// Optional crash model.
+    pub crash: Option<CrashModel>,
+    /// Optional inbound flap damping applied per peer.
+    pub damping: Option<iri_rib::damping::DampingConfig>,
+    /// Proposed hold time (seconds).
+    pub hold_time_secs: u16,
+    /// The "misconfigured router / faulty new hardware-software" incident
+    /// mode behind Table 1's ISP-I: every `n` timer windows the router
+    /// re-transmits withdrawals for every prefix it currently believes
+    /// withdrawn, without any state telling it the peer already heard them.
+    pub withdrawal_storm: Option<u32>,
+}
+
+impl RouterConfig {
+    /// A conventional well-behaved border router.
+    #[must_use]
+    pub fn well_behaved(name: &str, asn: Asn, addr: Ipv4Addr) -> Self {
+        RouterConfig {
+            name: name.to_owned(),
+            asn,
+            addr,
+            role: Role::Border,
+            adj_out: AdjOutMode::Stateful,
+            timer_profile: TimerProfile::jittered_30s(),
+            cpu: CpuModel::default(),
+            crash: Some(CrashModel::default()),
+            damping: None,
+            hold_time_secs: 180,
+            withdrawal_storm: None,
+        }
+    }
+
+    /// The pathological vendor profile of §4.2: stateless Adj-RIB-Out plus
+    /// the unjittered 30-second interval timer.
+    #[must_use]
+    pub fn pathological(name: &str, asn: Asn, addr: Ipv4Addr) -> Self {
+        RouterConfig {
+            adj_out: AdjOutMode::Stateless,
+            timer_profile: TimerProfile::pathological_30s(),
+            ..RouterConfig::well_behaved(name, asn, addr)
+        }
+    }
+
+    /// A Routing Arbiter route server (transparent, stateful, no crash —
+    /// "Unix-based systems").
+    #[must_use]
+    pub fn route_server(name: &str, asn: Asn, addr: Ipv4Addr) -> Self {
+        RouterConfig {
+            role: Role::RouteServer,
+            adj_out: AdjOutMode::Stateful,
+            timer_profile: TimerProfile::Immediate,
+            crash: None,
+            cpu: CpuModel {
+                update_cost_us: 50,
+                keepalive_priority: true,
+            },
+            ..RouterConfig::well_behaved(name, asn, addr)
+        }
+    }
+}
+
+/// Session timers a router arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Peer-liveness hold timer.
+    Hold,
+    /// Our keepalive transmission timer.
+    Keepalive,
+    /// Connection retry.
+    ConnectRetry,
+    /// Update-packing (MRAI) flush.
+    Mrai,
+}
+
+impl TimerKind {
+    fn index(self) -> usize {
+        match self {
+            TimerKind::Hold => 0,
+            TimerKind::Keepalive => 1,
+            TimerKind::ConnectRetry => 2,
+            TimerKind::Mrai => 3,
+        }
+    }
+}
+
+/// Instructions returned to the world.
+#[derive(Debug)]
+pub enum Effect {
+    /// Transmit `msg` to `peer`; the message leaves the router at
+    /// `ready_at` (CPU-delayed).
+    Send {
+        /// Destination peer.
+        peer: RouterId,
+        /// Message to send.
+        msg: Message,
+        /// Earliest transmission time.
+        ready_at: SimTime,
+    },
+    /// Schedule a timer event.
+    ArmTimer {
+        /// Session peer.
+        peer: RouterId,
+        /// Which timer.
+        kind: TimerKind,
+        /// Absolute expiry.
+        at: SimTime,
+        /// Generation for staleness detection.
+        generation: u64,
+    },
+    /// Initiate transport to `peer`.
+    OpenConnection {
+        /// Session peer.
+        peer: RouterId,
+    },
+    /// The router crashed; it is dead until `until` and all its transports
+    /// are gone.
+    Crashed {
+        /// Reboot completion time.
+        until: SimTime,
+    },
+}
+
+/// Net pending action for one prefix within the current timer window.
+#[derive(Debug, Clone)]
+/// `window_start` is the post-policy advertisement as it stood when the
+/// current timer window opened (`None` = the window opened with the route
+/// not advertised / unknown). At flush time a stateless export compares the
+/// net result against this: oscillations that return to the start state
+/// squash into the paper's pure duplicate announcement (AADup), while
+/// persisted path changes blast the explicit implicit-withdrawal plus the
+/// new route.
+enum PendingExport {
+    Announce {
+        attrs: PathAttributes,
+        window_start: Option<PathAttributes>,
+    },
+    Withdraw {
+        window_start: Option<PathAttributes>,
+    },
+}
+
+impl PendingExport {
+    fn window_start(&self) -> Option<PathAttributes> {
+        match self {
+            PendingExport::Announce { window_start, .. }
+            | PendingExport::Withdraw { window_start } => window_start.clone(),
+        }
+    }
+}
+
+/// Observable per-router counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RouterCounters {
+    /// UPDATE messages received.
+    pub updates_rx: u64,
+    /// Prefix events (announce+withdraw) received.
+    pub prefix_events_rx: u64,
+    /// UPDATE messages sent.
+    pub updates_tx: u64,
+    /// Prefix announcements sent.
+    pub announce_tx: u64,
+    /// Prefix withdrawals sent.
+    pub withdraw_tx: u64,
+    /// KEEPALIVEs sent.
+    pub keepalives_tx: u64,
+    /// Withdrawals received for prefixes the peer never announced.
+    pub spurious_withdrawals_rx: u64,
+    /// Byte-identical duplicate announcements received.
+    pub duplicate_announcements_rx: u64,
+    /// Announcements dropped by the AS-loop / first-AS check.
+    pub validation_drops: u64,
+    /// Prefix events suppressed by inbound damping.
+    pub damped: u64,
+    /// Session flaps (Established → down).
+    pub session_flaps: u64,
+    /// Forwarding-cache invalidations (route-cache architecture churn).
+    pub cache_invalidations: u64,
+    /// Times the router crashed under load.
+    pub crashes: u64,
+}
+
+struct Peer {
+    link: LinkId,
+    /// Prefixes last flushed as withdrawn (only maintained when the
+    /// withdrawal-storm misconfiguration is active).
+    storm_set: std::collections::BTreeSet<Prefix>,
+    /// Flush windows completed (storm cadence).
+    flush_count: u64,
+    /// Whether the first-AS check applies on this session (disabled toward
+    /// transparent route servers, matching real "no enforce-first-as"
+    /// client configuration).
+    enforce_first_as: bool,
+    asn: Asn,
+    addr: Ipv4Addr,
+    fsm: SessionFsm,
+    adj_in: AdjRibIn,
+    adj_out: Box<dyn AdjRibOut + Send>,
+    mrai: MraiTimer,
+    pending: BTreeMap<Prefix, PendingExport>,
+    import_policy: Policy,
+    export_policy: Policy,
+    timer_gen: [u64; 4],
+    damper: Option<RouteDamper>,
+}
+
+/// Address used as the Loc-RIB "peer" for locally originated routes.
+fn local_peer_addr() -> Ipv4Addr {
+    Ipv4Addr::UNSPECIFIED
+}
+
+/// The router.
+pub struct Router {
+    /// World index.
+    pub id: RouterId,
+    /// Static configuration.
+    pub cfg: RouterConfig,
+    peers: BTreeMap<RouterId, Peer>,
+    addr_to_peer: HashMap<Ipv4Addr, RouterId>,
+    loc_rib: LocRib,
+    originated: BTreeMap<Prefix, PathAttributes>,
+    /// Last origination attributes per prefix, remembered across
+    /// withdrawals so a re-origination (e.g. a customer tail circuit
+    /// coming back) announces the same route rather than a default one.
+    remembered_attrs: BTreeMap<Prefix, PathAttributes>,
+    /// Busy-line in **microseconds** (sub-millisecond costs accumulate).
+    busy_until_us: u64,
+    crashed: bool,
+    /// (time, weight) of recent inbound prefix events for the crash window.
+    recent_load: VecDeque<(SimTime, u32)>,
+    recent_load_sum: u64,
+    /// Observable counters.
+    pub counters: RouterCounters,
+}
+
+impl Router {
+    /// New router with no peers.
+    #[must_use]
+    pub fn new(id: RouterId, cfg: RouterConfig) -> Self {
+        Router {
+            id,
+            cfg,
+            peers: BTreeMap::new(),
+            addr_to_peer: HashMap::new(),
+            loc_rib: LocRib::new(),
+            originated: BTreeMap::new(),
+            remembered_attrs: BTreeMap::new(),
+            busy_until_us: 0,
+            crashed: false,
+            recent_load: VecDeque::new(),
+            recent_load_sum: 0,
+            counters: RouterCounters::default(),
+        }
+    }
+
+    /// Whether the router is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Read access to the Loc-RIB (for table censuses and assertions).
+    #[must_use]
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// The session FSM state toward `peer`, if configured.
+    #[must_use]
+    pub fn session_state(&self, peer: RouterId) -> Option<iri_session::fsm::State> {
+        self.peers.get(&peer).map(|p| p.fsm.state())
+    }
+
+    /// Whether the session toward `peer` is Established.
+    #[must_use]
+    pub fn session_established(&self, peer: RouterId) -> bool {
+        self.peers
+            .get(&peer)
+            .is_some_and(|p| p.fsm.is_established())
+    }
+
+    /// Peers configured on this router.
+    pub fn peer_ids(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.peers.keys().copied()
+    }
+
+    /// Registers a peering session (called by the world when wiring links).
+    /// `peer_is_route_server` disables the first-AS check: route servers are
+    /// transparent and relay paths that do not start with their own AS.
+    pub fn add_peer(
+        &mut self,
+        peer_id: RouterId,
+        link: LinkId,
+        peer_asn: Asn,
+        peer_addr: Ipv4Addr,
+        peer_is_route_server: bool,
+    ) {
+        let session = SessionConfig {
+            local_asn: self.cfg.asn,
+            local_router_id: self.cfg.addr,
+            remote_asn: peer_asn,
+            hold_time_secs: self.cfg.hold_time_secs,
+            connect_retry: 120_000,
+        };
+        let adj_out: Box<dyn AdjRibOut + Send> = match self.cfg.adj_out {
+            AdjOutMode::Stateful => Box::new(StatefulAdjOut::new()),
+            AdjOutMode::Stateless => Box::new(StatelessAdjOut::new()),
+        };
+        let damper = self.cfg.damping.clone().map(RouteDamper::new);
+        self.addr_to_peer.insert(peer_addr, peer_id);
+        self.peers.insert(
+            peer_id,
+            Peer {
+                link,
+                storm_set: std::collections::BTreeSet::new(),
+                flush_count: 0,
+                enforce_first_as: !peer_is_route_server,
+                asn: peer_asn,
+                addr: peer_addr,
+                fsm: SessionFsm::new(session),
+                adj_in: AdjRibIn::new(peer_asn, peer_addr, peer_addr),
+                adj_out,
+                // The free-running grid phase is per-box (one interval
+                // timer per router), derived deterministically from its
+                // address.
+                mrai: MraiTimer::with_phase(
+                    self.cfg.timer_profile,
+                    u64::from(u32::from(self.cfg.addr)).wrapping_mul(7919),
+                ),
+                pending: BTreeMap::new(),
+                import_policy: Policy::accept_all(),
+                export_policy: Policy::accept_all(),
+                timer_gen: [0; 4],
+                damper,
+            },
+        );
+    }
+
+    /// Overrides policies toward `peer`.
+    pub fn set_policies(&mut self, peer: RouterId, import: Policy, export: Policy) {
+        if let Some(p) = self.peers.get_mut(&peer) {
+            p.import_policy = import;
+            p.export_policy = export;
+        }
+    }
+
+    /// The link carrying the session to `peer`.
+    #[must_use]
+    pub fn peer_link(&self, peer: RouterId) -> Option<LinkId> {
+        self.peers.get(&peer).map(|p| p.link)
+    }
+
+    // ------------------------------------------------------------------
+    // CPU model
+    // ------------------------------------------------------------------
+
+    fn consume_cpu(&mut self, now: SimTime, cost_us: u64) -> SimTime {
+        let now_us = now * 1000;
+        self.busy_until_us = self.busy_until_us.max(now_us) + cost_us;
+        self.busy_until_us.div_ceil(1000)
+    }
+
+    fn note_load(&mut self, now: SimTime, events: u32) -> bool {
+        let Some(crash) = self.cfg.crash else {
+            return false;
+        };
+        self.recent_load.push_back((now, events));
+        self.recent_load_sum += u64::from(events);
+        while let Some(&(t, w)) = self.recent_load.front() {
+            if t + crash.window_ms < now {
+                self.recent_load.pop_front();
+                self.recent_load_sum -= u64::from(w);
+            } else {
+                break;
+            }
+        }
+        let threshold = u64::from(crash.updates_per_sec_threshold) * crash.window_ms / 1000;
+        self.recent_load_sum > threshold.max(1)
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    /// Starts (or restarts) all peering sessions.
+    pub fn start_sessions(&mut self, now: SimTime, rng: &mut StdRng) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let peer_ids: Vec<RouterId> = self.peers.keys().copied().collect();
+        for pid in peer_ids {
+            let actions = self
+                .peers
+                .get_mut(&pid)
+                .expect("listed")
+                .fsm
+                .handle(FsmEvent::Start);
+            self.apply_fsm_actions(pid, actions, now, rng, &mut effects);
+        }
+        effects
+    }
+
+    /// Transport toward `peer` came up or went down.
+    pub fn handle_transport(
+        &mut self,
+        peer: RouterId,
+        up: bool,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.crashed {
+            return effects;
+        }
+        let ev = if up {
+            FsmEvent::TcpEstablished
+        } else {
+            FsmEvent::TcpClosed
+        };
+        if let Some(p) = self.peers.get_mut(&peer) {
+            let actions = p.fsm.handle(ev);
+            self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+        }
+        effects
+    }
+
+    /// A timer fired.
+    pub fn handle_timer(
+        &mut self,
+        peer: RouterId,
+        kind: TimerKind,
+        generation: u64,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.crashed {
+            return effects;
+        }
+        let Some(p) = self.peers.get_mut(&peer) else {
+            return effects;
+        };
+        if p.timer_gen[kind.index()] != generation {
+            return effects; // stale timer
+        }
+        match kind {
+            TimerKind::Mrai => {
+                if p.mrai.fire(now) {
+                    self.flush_peer(peer, now, rng, &mut effects);
+                }
+            }
+            TimerKind::Hold => {
+                let actions = p.fsm.handle(FsmEvent::HoldTimerExpired);
+                self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+            }
+            TimerKind::Keepalive => {
+                let actions = p.fsm.handle(FsmEvent::KeepaliveTimerFired);
+                self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+            }
+            TimerKind::ConnectRetry => {
+                let actions = p.fsm.handle(FsmEvent::ConnectRetryExpired);
+                self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+            }
+        }
+        effects
+    }
+
+    /// A BGP message arrived from `peer`.
+    pub fn handle_message(
+        &mut self,
+        peer: RouterId,
+        msg: Message,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.crashed || !self.peers.contains_key(&peer) {
+            return effects;
+        }
+
+        // Content processing for UPDATEs happens outside the FSM, but only
+        // in Established.
+        let established = self.peers[&peer].fsm.is_established();
+        if let Message::Update(update) = &msg {
+            self.counters.updates_rx += 1;
+            let events = update.prefix_event_count() as u32;
+            self.counters.prefix_events_rx += u64::from(events);
+            let _ready =
+                self.consume_cpu(now, u64::from(events).max(1) * self.cfg.cpu.update_cost_us);
+            if self.note_load(now, events.max(1)) {
+                return self.crash(now);
+            }
+            if established {
+                self.process_update(peer, update.clone(), now, rng, &mut effects);
+            }
+        }
+
+        let actions = self
+            .peers
+            .get_mut(&peer)
+            .expect("checked")
+            .fsm
+            .handle(FsmEvent::MessageReceived(msg));
+        self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+        effects
+    }
+
+    /// Crashes the router immediately.
+    pub fn crash(&mut self, now: SimTime) -> Vec<Effect> {
+        let reboot = self.cfg.crash.map_or(120_000, |c| c.reboot_ms);
+        self.crashed = true;
+        self.counters.crashes += 1;
+        self.recent_load.clear();
+        self.recent_load_sum = 0;
+        // Everything volatile is lost.
+        self.loc_rib = LocRib::new();
+        for peer in self.peers.values_mut() {
+            let cfg = SessionConfig {
+                local_asn: self.cfg.asn,
+                local_router_id: self.cfg.addr,
+                remote_asn: peer.asn,
+                hold_time_secs: self.cfg.hold_time_secs,
+                connect_retry: 120_000,
+            };
+            if peer.fsm.is_established() {
+                self.counters.session_flaps += 1;
+            }
+            peer.fsm = SessionFsm::new(cfg);
+            peer.adj_in.clear_session();
+            peer.adj_out.reset();
+            peer.pending.clear();
+            peer.mrai.cancel();
+            peer.timer_gen = peer.timer_gen.map(|g| g + 1); // invalidate all timers
+        }
+        vec![Effect::Crashed {
+            until: now + reboot,
+        }]
+    }
+
+    /// Reboot finished: re-originate local routes and restart sessions.
+    pub fn recover(&mut self, now: SimTime, rng: &mut StdRng) -> Vec<Effect> {
+        self.crashed = false;
+        self.busy_until_us = now * 1000;
+        let originated: Vec<(Prefix, PathAttributes)> = self
+            .originated
+            .iter()
+            .map(|(p, a)| (*p, a.clone()))
+            .collect();
+        for (prefix, attrs) in originated {
+            self.install_local(prefix, attrs);
+        }
+        self.start_sessions(now, rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Origination
+    // ------------------------------------------------------------------
+
+    fn local_candidate(&self, attrs: PathAttributes) -> RouteCandidate {
+        RouteCandidate {
+            attrs,
+            peer_asn: self.cfg.asn,
+            peer_router_id: local_peer_addr(),
+            peer_addr: local_peer_addr(),
+        }
+    }
+
+    fn install_local(&mut self, prefix: Prefix, attrs: PathAttributes) -> BestChange {
+        let mut local = attrs;
+        // Locally originated routes win the decision process.
+        local.local_pref = Some(1000);
+        let cand = self.local_candidate(local);
+        self.loc_rib.upsert(prefix, local_peer_addr(), cand)
+    }
+
+    /// Originates `prefix` locally (a customer network behind this AS) and
+    /// propagates to peers.
+    pub fn originate(&mut self, prefix: Prefix, now: SimTime, rng: &mut StdRng) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.crashed {
+            return effects;
+        }
+        let attrs = self
+            .remembered_attrs
+            .get(&prefix)
+            .cloned()
+            .unwrap_or_else(|| {
+                PathAttributes::new(iri_bgp::attrs::Origin::Igp, AsPath::empty(), self.cfg.addr)
+            });
+        self.originated.insert(prefix, attrs.clone());
+        self.remembered_attrs.insert(prefix, attrs.clone());
+        let change = self.install_local(prefix, attrs);
+        self.propagate_change(prefix, &change, None, now, rng, &mut effects);
+        effects
+    }
+
+    /// Originates `prefix` with explicit extra attributes (for policy-
+    /// fluctuation experiments: changing MED/communities at the source).
+    pub fn originate_with(
+        &mut self,
+        prefix: Prefix,
+        attrs: PathAttributes,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.crashed {
+            return effects;
+        }
+        self.originated.insert(prefix, attrs.clone());
+        self.remembered_attrs.insert(prefix, attrs.clone());
+        let change = self.install_local(prefix, attrs);
+        self.propagate_change(prefix, &change, None, now, rng, &mut effects);
+        effects
+    }
+
+    /// Withdraws a locally originated prefix.
+    pub fn withdraw_origin(
+        &mut self,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.crashed {
+            return effects;
+        }
+        self.originated.remove(&prefix);
+        let change = self.loc_rib.withdraw(prefix, local_peer_addr());
+        self.propagate_change(prefix, &change, None, now, rng, &mut effects);
+        effects
+    }
+
+    // ------------------------------------------------------------------
+    // Update processing pipeline
+    // ------------------------------------------------------------------
+
+    fn process_update(
+        &mut self,
+        from: RouterId,
+        update: Update,
+        now: SimTime,
+        rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        // 1. Protocol validation (loop check, first-AS).
+        let peer_asn = self.peers[&from].asn;
+        let ctx = PeerContext {
+            local_asn: self.cfg.asn,
+            remote_asn: peer_asn,
+            ebgp: true,
+        };
+        let violations = validate_inbound(&ctx, &Message::Update(update.clone()));
+        let enforce_first_as = self.peers[&from].enforce_first_as;
+        let drop_announcements = violations.iter().any(|v| match v {
+            ValidationError::AsPathLoop(_) | ValidationError::BadNextHop(_) => true,
+            ValidationError::FirstAsMismatch { .. } => enforce_first_as,
+            _ => false,
+        });
+        let mut update = update;
+        if drop_announcements {
+            self.counters.validation_drops += update.nlri.len() as u64;
+            update.nlri.clear();
+            update.attrs = None;
+        }
+
+        // 2. Inbound damping.
+        if self.peers[&from].damper.is_some() {
+            let mut keep_nlri = Vec::new();
+            let mut keep_wd = Vec::new();
+            {
+                let p = self.peers.get_mut(&from).expect("checked");
+                let damper = p.damper.as_mut().expect("checked");
+                for &pfx in &update.withdrawn {
+                    match damper.record_flap(pfx, FlapKind::Withdrawal, now) {
+                        DampingVerdict::Pass => keep_wd.push(pfx),
+                        DampingVerdict::Suppressed { .. } => {}
+                    }
+                }
+                for &pfx in &update.nlri {
+                    match damper.record_flap(pfx, FlapKind::Announcement, now) {
+                        DampingVerdict::Pass => keep_nlri.push(pfx),
+                        DampingVerdict::Suppressed { .. } => {}
+                    }
+                }
+            }
+            let dropped =
+                (update.withdrawn.len() - keep_wd.len()) + (update.nlri.len() - keep_nlri.len());
+            self.counters.damped += dropped as u64;
+            update.withdrawn = keep_wd;
+            update.nlri = keep_nlri;
+            if update.nlri.is_empty() {
+                update.attrs = None;
+            }
+        }
+
+        // 3. Adj-RIB-In.
+        let peer_addr = self.peers[&from].addr;
+        let delta = {
+            let p = self.peers.get_mut(&from).expect("checked");
+            p.adj_in.apply(&update)
+        };
+        self.counters.spurious_withdrawals_rx += delta.spurious_withdrawals as u64;
+        self.counters.duplicate_announcements_rx += delta.duplicate_announcements as u64;
+
+        // 4. Loc-RIB + propagation.
+        for prefix in delta.withdrawn {
+            let change = self.loc_rib.withdraw(prefix, peer_addr);
+            self.propagate_change(prefix, &change, Some(from), now, rng, effects);
+        }
+        for prefix in delta.changed {
+            let cand = self.peers[&from]
+                .adj_in
+                .get(prefix)
+                .expect("just changed")
+                .clone();
+            // Import policy (may rewrite attributes or filter).
+            let imported = self.peers[&from]
+                .import_policy
+                .apply(prefix, &cand.attrs, self.cfg.asn);
+            let change = match imported {
+                Some(attrs) => {
+                    let cand = RouteCandidate { attrs, ..cand };
+                    self.loc_rib.upsert(prefix, peer_addr, cand)
+                }
+                None => self.loc_rib.withdraw(prefix, peer_addr),
+            };
+            self.propagate_change(prefix, &change, Some(from), now, rng, effects);
+        }
+    }
+
+    /// Queues exports for a Loc-RIB best change and accounts forwarding-
+    /// cache churn.
+    fn propagate_change(
+        &mut self,
+        prefix: Prefix,
+        change: &BestChange,
+        learned_from: Option<RouterId>,
+        now: SimTime,
+        rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        if !change.is_forwarding_change() {
+            return;
+        }
+        // Route-cache architecture: every forwarding change invalidates the
+        // interface-card cache entry (§3).
+        self.counters.cache_invalidations += 1;
+
+        // Where does the best route now point?
+        let best = self.loc_rib.best(prefix).cloned();
+        // The peer the *current best* was learned from must not have the
+        // route echoed back.
+        let best_from = best
+            .as_ref()
+            .and_then(|b| self.addr_to_peer.get(&b.peer_addr).copied());
+        // The pre-change best, for window-start tracking.
+        let old_best = match change {
+            BestChange::Replaced { old, .. } => Some((**old).clone()),
+            BestChange::Unreachable(old) => Some(old.clone()),
+            _ => None,
+        };
+
+        let _ = learned_from; // receiver-side loop suppression covers echoes
+        let peer_ids: Vec<RouterId> = self.peers.keys().copied().collect();
+        for pid in peer_ids {
+            if !self.peers[&pid].fsm.is_established() {
+                continue;
+            }
+            // Split horizon: never advertise a route back to the peer the
+            // current best was learned from. Withdrawals (no best) go to
+            // everyone; stateful peers suppress the never-announced ones.
+            if best.is_some() && best_from == Some(pid) {
+                continue;
+            }
+            // What this peer was (nominally) being advertised before this
+            // change — seeds the window-start when the window opens here.
+            let start_hint = old_best
+                .as_ref()
+                .and_then(|old| self.export_attrs(pid, prefix, &old.attrs));
+            let pending = match &best {
+                Some(b) => {
+                    let exported = self.export_attrs(pid, prefix, &b.attrs);
+                    match exported {
+                        Some(attrs) => PendingExport::Announce {
+                            attrs,
+                            window_start: start_hint,
+                        },
+                        None => PendingExport::Withdraw {
+                            window_start: start_hint,
+                        },
+                    }
+                }
+                None => PendingExport::Withdraw {
+                    window_start: start_hint,
+                },
+            };
+            self.queue_pending(pid, prefix, pending, now, rng, effects);
+        }
+    }
+
+    /// Computes post-policy attributes toward `peer` (prepend + next-hop
+    /// rewrite for border routers; transparent for route servers).
+    fn export_attrs(
+        &self,
+        peer: RouterId,
+        prefix: Prefix,
+        attrs: &PathAttributes,
+    ) -> Option<PathAttributes> {
+        let p = &self.peers[&peer];
+        let mut out = p.export_policy.apply(prefix, attrs, self.cfg.asn)?;
+        match self.cfg.role {
+            Role::Border => {
+                out.as_path = out.as_path.prepend(self.cfg.asn);
+                out.next_hop = self.cfg.addr;
+                out.local_pref = None; // LOCAL_PREF is not carried over EBGP
+            }
+            Role::RouteServer => {
+                // Transparent: path and next hop pass through unchanged.
+                out.local_pref = None;
+            }
+        }
+        Some(out)
+    }
+
+    fn queue_pending(
+        &mut self,
+        peer: RouterId,
+        prefix: Prefix,
+        action: PendingExport,
+        now: SimTime,
+        rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        {
+            let p = self.peers.get_mut(&peer).expect("exists");
+            // The window keeps the start state of its *first* queued change;
+            // subsequent intra-window changes only move the net result.
+            let entry = match p.pending.remove(&prefix) {
+                Some(existing) => {
+                    let window_start = existing.window_start();
+                    match action {
+                        PendingExport::Announce { attrs, .. } => PendingExport::Announce {
+                            attrs,
+                            window_start,
+                        },
+                        PendingExport::Withdraw { .. } => PendingExport::Withdraw { window_start },
+                    }
+                }
+                None => action,
+            };
+            p.pending.insert(prefix, entry);
+        }
+        if self.peers[&peer].mrai.is_immediate() {
+            self.flush_peer(peer, now, rng, effects);
+        } else {
+            let p = self.peers.get_mut(&peer).expect("exists");
+            let was_armed = p.mrai.deadline().is_some();
+            let at = p.mrai.arm(now, rng);
+            if !was_armed {
+                p.timer_gen[TimerKind::Mrai.index()] += 1;
+                effects.push(Effect::ArmTimer {
+                    peer,
+                    kind: TimerKind::Mrai,
+                    at,
+                    generation: p.timer_gen[TimerKind::Mrai.index()],
+                });
+            }
+        }
+    }
+
+    /// Flushes the pending window toward `peer` through its Adj-RIB-Out and
+    /// emits the wire messages.
+    fn flush_peer(
+        &mut self,
+        peer: RouterId,
+        now: SimTime,
+        _rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        let storm = self.cfg.withdrawal_storm;
+        let pending: Vec<(Prefix, PendingExport)> = {
+            let p = self.peers.get_mut(&peer).expect("exists");
+            if !p.fsm.is_established() {
+                p.pending.clear();
+                return;
+            }
+            p.flush_count += 1;
+            // The storm bug: periodically re-queue a blind withdrawal for
+            // everything this box thinks is withdrawn.
+            if let Some(n) = storm {
+                if p.flush_count.is_multiple_of(u64::from(n.max(1))) {
+                    let storm_set: Vec<Prefix> = p.storm_set.iter().copied().collect();
+                    for prefix in storm_set {
+                        p.pending
+                            .entry(prefix)
+                            .or_insert(PendingExport::Withdraw { window_start: None });
+                    }
+                }
+            }
+            std::mem::take(&mut p.pending).into_iter().collect()
+        };
+        if pending.is_empty() {
+            // Keep the storm heartbeat alive even through idle windows.
+            if storm.is_some() {
+                let alive = !self.peers[&peer].storm_set.is_empty();
+                if alive {
+                    self.rearm_mrai(peer, now, _rng, effects);
+                }
+            }
+            return;
+        }
+        let mut total = ExportDelta::default();
+        {
+            let p = self.peers.get_mut(&peer).expect("exists");
+            for (prefix, action) in pending {
+                let event = match action {
+                    PendingExport::Announce {
+                        attrs,
+                        window_start,
+                    } => {
+                        // A window whose net effect returned to (or stayed
+                        // at) its start state is the §4.2 duplicate-
+                        // announcement squash; a persisted change is an
+                        // implicit withdrawal the stateless implementation
+                        // propagates explicitly.
+                        let replaced = window_start.as_ref().is_some_and(|start| *start != attrs);
+                        ExportEvent::Reachable { attrs, replaced }
+                    }
+                    PendingExport::Withdraw { .. } => ExportEvent::Unreachable,
+                };
+                if storm.is_some() {
+                    match &event {
+                        ExportEvent::Unreachable => {
+                            p.storm_set.insert(prefix);
+                        }
+                        ExportEvent::Reachable { .. } => {
+                            p.storm_set.remove(&prefix);
+                        }
+                    }
+                }
+                let delta = p.adj_out.on_export(prefix, &event);
+                total.withdraw.extend(delta.withdraw);
+                total.announce.extend(delta.announce);
+            }
+        }
+        self.send_delta(peer, total, now, effects);
+        if storm.is_some() && !self.peers[&peer].storm_set.is_empty() {
+            self.rearm_mrai(peer, now, _rng, effects);
+        }
+    }
+
+    /// Arms the MRAI timer for the next window (storm heartbeat).
+    fn rearm_mrai(
+        &mut self,
+        peer: RouterId,
+        now: SimTime,
+        rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        let p = self.peers.get_mut(&peer).expect("exists");
+        if p.mrai.deadline().is_none() && !p.mrai.is_immediate() {
+            let at = p.mrai.arm(now + 1, rng);
+            p.timer_gen[TimerKind::Mrai.index()] += 1;
+            effects.push(Effect::ArmTimer {
+                peer,
+                kind: TimerKind::Mrai,
+                at,
+                generation: p.timer_gen[TimerKind::Mrai.index()],
+            });
+        }
+    }
+
+    /// Packages an [`ExportDelta`] into UPDATE messages and emits them.
+    fn send_delta(
+        &mut self,
+        peer: RouterId,
+        delta: ExportDelta,
+        now: SimTime,
+        effects: &mut Vec<Effect>,
+    ) {
+        if delta.is_empty() {
+            return;
+        }
+        // Group announcements by identical attributes (one UPDATE each).
+        let mut groups: Vec<(PathAttributes, Vec<Prefix>)> = Vec::new();
+        for (prefix, attrs) in delta.announce {
+            match groups.iter_mut().find(|(a, _)| *a == attrs) {
+                Some((_, v)) => v.push(prefix),
+                None => groups.push((attrs, vec![prefix])),
+            }
+        }
+        let mut updates: Vec<Update> = Vec::new();
+        if !delta.withdraw.is_empty() {
+            updates.push(Update::withdraw(delta.withdraw));
+        }
+        for (attrs, prefixes) in groups {
+            updates.push(Update::announce(attrs, prefixes));
+        }
+        for u in updates {
+            for part in iri_bgp::codec::split_update(&u) {
+                if part.is_empty() {
+                    continue;
+                }
+                let events = part.prefix_event_count() as u64;
+                self.counters.updates_tx += 1;
+                self.counters.announce_tx += part.nlri.len() as u64;
+                self.counters.withdraw_tx += part.withdrawn.len() as u64;
+                let ready_at = self.consume_cpu(now, events.max(1) * self.cfg.cpu.update_cost_us);
+                effects.push(Effect::Send {
+                    peer,
+                    msg: Message::Update(part),
+                    ready_at,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FSM action plumbing
+    // ------------------------------------------------------------------
+
+    fn apply_fsm_actions(
+        &mut self,
+        peer: RouterId,
+        actions: Vec<Action>,
+        now: SimTime,
+        rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        for action in actions {
+            match action {
+                Action::OpenConnection => effects.push(Effect::OpenConnection { peer }),
+                Action::CloseConnection => {
+                    // Transport teardown is implicit in this model; the far
+                    // end notices via its own FSM events.
+                }
+                Action::Send(msg) => {
+                    let ready_at = match &msg {
+                        Message::Keepalive if self.cfg.cpu.keepalive_priority => now,
+                        Message::Keepalive => {
+                            self.counters.keepalives_tx += 1;
+                            self.consume_cpu(now, 10)
+                        }
+                        _ => self.consume_cpu(now, 50),
+                    };
+                    if matches!(msg, Message::Keepalive) && self.cfg.cpu.keepalive_priority {
+                        self.counters.keepalives_tx += 1;
+                    }
+                    effects.push(Effect::Send {
+                        peer,
+                        msg,
+                        ready_at,
+                    });
+                }
+                Action::ArmHoldTimer(d) => {
+                    self.arm_timer(peer, TimerKind::Hold, now + d, effects);
+                }
+                Action::ArmKeepaliveTimer(d) => {
+                    self.arm_timer(peer, TimerKind::Keepalive, now + d, effects);
+                }
+                Action::ArmConnectRetry(d) => {
+                    self.arm_timer(peer, TimerKind::ConnectRetry, now + d, effects);
+                }
+                Action::SessionUp => {
+                    self.on_session_up(peer, now, effects);
+                }
+                Action::SessionDown(_) => {
+                    self.on_session_down(peer, now, rng, effects);
+                }
+            }
+        }
+    }
+
+    fn arm_timer(
+        &mut self,
+        peer: RouterId,
+        kind: TimerKind,
+        at: SimTime,
+        effects: &mut Vec<Effect>,
+    ) {
+        let p = self.peers.get_mut(&peer).expect("exists");
+        p.timer_gen[kind.index()] += 1;
+        effects.push(Effect::ArmTimer {
+            peer,
+            kind,
+            at,
+            generation: p.timer_gen[kind.index()],
+        });
+    }
+
+    /// Session established: transmit the full table ("large state dump").
+    fn on_session_up(&mut self, peer: RouterId, now: SimTime, effects: &mut Vec<Effect>) {
+        let peer_addr = self.peers[&peer].addr;
+        let routes: Vec<(Prefix, PathAttributes)> = self
+            .loc_rib
+            .iter_best()
+            .filter(|(_, best)| best.peer_addr != peer_addr)
+            .map(|(prefix, best)| (prefix, best.attrs.clone()))
+            .collect();
+        let exported: Vec<(Prefix, PathAttributes)> = routes
+            .into_iter()
+            .filter_map(|(prefix, attrs)| {
+                self.export_attrs(peer, prefix, &attrs).map(|a| (prefix, a))
+            })
+            .collect();
+        let delta = {
+            let p = self.peers.get_mut(&peer).expect("exists");
+            p.adj_out.initial_dump(&exported)
+        };
+        self.send_delta(peer, delta, now, effects);
+    }
+
+    /// Session lost: all the peer's routes are withdrawn and the change
+    /// propagates — the storm amplification step.
+    fn on_session_down(
+        &mut self,
+        peer: RouterId,
+        now: SimTime,
+        rng: &mut StdRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        self.counters.session_flaps += 1;
+        let peer_addr = {
+            let p = self.peers.get_mut(&peer).expect("exists");
+            p.adj_in.clear_session();
+            p.adj_out.reset();
+            p.pending.clear();
+            p.mrai.cancel();
+            // Invalidate hold/keepalive/MRAI timers; connect-retry stays.
+            for kind in [TimerKind::Hold, TimerKind::Keepalive, TimerKind::Mrai] {
+                p.timer_gen[kind.index()] += 1;
+            }
+            p.addr
+        };
+        let changes = self.loc_rib.drop_peer(peer_addr);
+        for (prefix, change) in changes {
+            self.propagate_change(prefix, &change, Some(peer), now, rng, effects);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn router(asn: u32) -> Router {
+        Router::new(
+            RouterId(asn),
+            RouterConfig::well_behaved(
+                &format!("AS{asn}"),
+                Asn(asn),
+                Ipv4Addr::new(192, 41, 177, asn as u8),
+            ),
+        )
+    }
+
+    #[test]
+    fn add_peer_and_start_emits_open_connection() {
+        let mut r = router(1);
+        r.add_peer(
+            RouterId(2),
+            LinkId(0),
+            Asn(2),
+            Ipv4Addr::new(192, 41, 177, 2),
+            false,
+        );
+        let fx = r.start_sessions(0, &mut rng());
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::OpenConnection { peer } if *peer == RouterId(2))));
+        assert_eq!(
+            r.session_state(RouterId(2)),
+            Some(iri_session::fsm::State::Connect)
+        );
+    }
+
+    #[test]
+    fn originate_before_session_is_silent() {
+        let mut r = router(1);
+        r.add_peer(
+            RouterId(2),
+            LinkId(0),
+            Asn(2),
+            Ipv4Addr::new(192, 41, 177, 2),
+            false,
+        );
+        let fx = r.originate("10.0.0.0/8".parse().unwrap(), 0, &mut rng());
+        // No established session: nothing to send, but Loc-RIB has it.
+        assert!(fx.iter().all(|f| !matches!(f, Effect::Send { .. })));
+        assert_eq!(r.loc_rib().reachable_count(), 1);
+    }
+
+    #[test]
+    fn cpu_accumulates_microseconds() {
+        let mut r = router(1);
+        // 200 µs × 4 = 800 µs → still within ms 1.
+        let t1 = r.consume_cpu(0, 800);
+        assert_eq!(t1, 1);
+        let t2 = r.consume_cpu(0, 800);
+        assert_eq!(t2, 2, "costs must accumulate, not reset per call");
+    }
+
+    #[test]
+    fn crash_model_triggers_and_recovers() {
+        let mut r = router(1);
+        r.cfg.crash = Some(CrashModel {
+            updates_per_sec_threshold: 100,
+            window_ms: 1000,
+            reboot_ms: 5000,
+        });
+        r.add_peer(
+            RouterId(2),
+            LinkId(0),
+            Asn(2),
+            Ipv4Addr::new(192, 41, 177, 2),
+            false,
+        );
+        // Feed far more than 100 events in the window.
+        let mut crashed_at = None;
+        for i in 0..50 {
+            let update = Update::withdraw(
+                (0..10u32).map(|k| Prefix::from_raw(0x0a00_0000 | ((i * 10 + k) << 8), 24)),
+            );
+            let fx = r.handle_message(
+                RouterId(2),
+                Message::Update(update),
+                i as SimTime,
+                &mut rng(),
+            );
+            if fx.iter().any(|f| matches!(f, Effect::Crashed { .. })) {
+                crashed_at = Some(i);
+                break;
+            }
+        }
+        assert!(crashed_at.is_some(), "router must crash under 500 events/s");
+        assert!(r.is_crashed());
+        assert_eq!(r.counters.crashes, 1);
+        // Messages while crashed are ignored.
+        let fx = r.handle_message(RouterId(2), Message::Keepalive, 100, &mut rng());
+        assert!(fx.is_empty());
+        // Recovery restarts sessions.
+        let fx = r.recover(6000, &mut rng());
+        assert!(!r.is_crashed());
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::OpenConnection { .. })));
+    }
+
+    #[test]
+    fn counters_track_rx() {
+        let mut r = router(1);
+        r.add_peer(
+            RouterId(2),
+            LinkId(0),
+            Asn(2),
+            Ipv4Addr::new(192, 41, 177, 2),
+            false,
+        );
+        let update = Update::withdraw(["10.0.0.0/8".parse().unwrap()]);
+        r.handle_message(RouterId(2), Message::Update(update), 0, &mut rng());
+        assert_eq!(r.counters.updates_rx, 1);
+        assert_eq!(r.counters.prefix_events_rx, 1);
+    }
+
+    #[test]
+    fn stateless_config_builds_stateless_adj_out() {
+        let cfg = RouterConfig::pathological("P", Asn(9), Ipv4Addr::new(1, 1, 1, 9));
+        assert_eq!(cfg.adj_out, AdjOutMode::Stateless);
+        assert_eq!(cfg.timer_profile, TimerProfile::pathological_30s());
+    }
+
+    #[test]
+    fn route_server_config_is_transparent_profile() {
+        let cfg = RouterConfig::route_server("RS", Asn(237), Ipv4Addr::new(1, 1, 1, 1));
+        assert_eq!(cfg.role, Role::RouteServer);
+        assert!(cfg.crash.is_none());
+        assert!(cfg.cpu.keepalive_priority);
+    }
+}

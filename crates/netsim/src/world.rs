@@ -1,0 +1,937 @@
+//! The world: routers, links, monitors and the event loop that binds them.
+//!
+//! A [`World`] is a deterministic function of (construction calls, seed):
+//! the same scenario replayed with the same seed produces the identical
+//! event sequence, message for message — a property the reproducibility
+//! integration tests assert.
+
+use crate::engine::{EventQueue, SimTime};
+use crate::link::{CsuFault, Link, LinkId};
+use crate::monitor::Monitor;
+use crate::router::{Effect, Router, RouterConfig, RouterId, TimerKind};
+use iri_bgp::message::Message;
+use iri_bgp::types::Prefix;
+use iri_mrt::PeerState;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Events the world processes.
+#[derive(Debug)]
+enum Ev {
+    /// Message arrival at `to`.
+    Deliver {
+        link: LinkId,
+        epoch: u64,
+        from: RouterId,
+        to: RouterId,
+        msg: Message,
+    },
+    /// Session timer expiry.
+    Timer {
+        router: RouterId,
+        peer: RouterId,
+        kind: TimerKind,
+        generation: u64,
+    },
+    /// Transport (TCP) established toward `peer`.
+    TransportUp {
+        router: RouterId,
+        peer: RouterId,
+        link: LinkId,
+        epoch: u64,
+    },
+    /// Transport lost toward `peer`.
+    TransportDown { router: RouterId, peer: RouterId },
+    /// Carrier loss (injected outage; pairs with a scheduled LinkUp).
+    LinkDown(LinkId),
+    /// Carrier restored.
+    LinkUp(LinkId),
+    /// CSU-driven carrier loss (self-rescheduling while the fault is
+    /// attached).
+    CsuDown(LinkId),
+    /// Detach a link's CSU fault (the circuit got fixed).
+    CsuStop(LinkId),
+    /// Reboot complete.
+    RouterRecover(RouterId),
+    /// Operator-injected crash (fault injection).
+    CrashNow(RouterId),
+    /// Locally originate a prefix.
+    Originate { router: RouterId, prefix: Prefix },
+    /// Locally originate a prefix with explicit attributes (customer-AS
+    /// origination through a provider border router).
+    OriginateWith {
+        router: RouterId,
+        prefix: Prefix,
+        attrs: Box<iri_bgp::attrs::PathAttributes>,
+    },
+    /// Withdraw a locally originated prefix.
+    WithdrawOrigin { router: RouterId, prefix: Prefix },
+}
+
+/// Aggregate world statistics.
+#[derive(Debug, Default, Clone)]
+pub struct WorldStats {
+    /// Messages delivered to routers.
+    pub delivered: u64,
+    /// Messages dropped because their link (or its TCP epoch) died in
+    /// flight.
+    pub dropped_in_flight: u64,
+    /// Messages dropped at send time because the link was down.
+    pub dropped_at_send: u64,
+}
+
+/// The simulation world.
+///
+/// ```
+/// use iri_netsim::{RouterConfig, World, MINUTE, SECOND};
+/// use iri_bgp::types::{Asn, Prefix};
+/// use std::net::Ipv4Addr;
+///
+/// let mut world = World::new(7);
+/// let a = world.add_router(RouterConfig::well_behaved("A", Asn(1), Ipv4Addr::new(10, 0, 0, 1)));
+/// let b = world.add_router(RouterConfig::well_behaved("B", Asn(2), Ipv4Addr::new(10, 0, 0, 2)));
+/// world.connect(a, b, 5);
+/// let prefix: Prefix = "192.0.2.0/24".parse().unwrap();
+/// world.schedule_originate(10 * SECOND, a, prefix);
+/// world.start();
+/// world.run_until(2 * MINUTE);
+/// assert!(world.router(b).loc_rib().best(prefix).is_some());
+/// ```
+pub struct World {
+    queue: EventQueue<Ev>,
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    /// Access (customer tail-circuit) links: when they flap, the attached
+    /// router's originated prefixes flap with them.
+    access: HashMap<LinkId, (RouterId, Vec<Prefix>)>,
+    monitors: HashMap<u32, Monitor>,
+    rng: StdRng,
+    /// Aggregate statistics.
+    pub stats: WorldStats,
+}
+
+impl World {
+    /// New empty world with a seed governing all randomness.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        World {
+            queue: EventQueue::new(),
+            routers: Vec::new(),
+            links: Vec::new(),
+            access: HashMap::new(),
+            monitors: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Adds a router.
+    pub fn add_router(&mut self, cfg: RouterConfig) -> RouterId {
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router::new(id, cfg));
+        id
+    }
+
+    /// Immutable router access.
+    #[must_use]
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    /// Mutable router access (configuration-time only).
+    pub fn router_mut(&mut self, id: RouterId) -> &mut Router {
+        &mut self.routers[id.0 as usize]
+    }
+
+    /// All routers.
+    #[must_use]
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// Immutable link access.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Connects two routers with a bidirectional peering session.
+    pub fn connect(&mut self, a: RouterId, b: RouterId, latency_ms: SimTime) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, a.0, b.0, latency_ms));
+        let (a_asn, a_addr, a_is_rs) = {
+            let r = self.router(a);
+            (
+                r.cfg.asn,
+                r.cfg.addr,
+                r.cfg.role == crate::router::Role::RouteServer,
+            )
+        };
+        let (b_asn, b_addr, b_is_rs) = {
+            let r = self.router(b);
+            (
+                r.cfg.asn,
+                r.cfg.addr,
+                r.cfg.role == crate::router::Role::RouteServer,
+            )
+        };
+        self.routers[a.0 as usize].add_peer(b, id, b_asn, b_addr, b_is_rs);
+        self.routers[b.0 as usize].add_peer(a, id, a_asn, a_addr, a_is_rs);
+        id
+    }
+
+    /// Creates a customer access link hanging off `router`: when the link
+    /// flaps, `prefixes` are withdrawn/re-originated by the router. Used to
+    /// model CSU-afflicted leased lines to customers.
+    pub fn add_access_link(
+        &mut self,
+        router: RouterId,
+        prefixes: Vec<Prefix>,
+        csu: Option<CsuFault>,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        let mut link = Link::new(id, router.0, router.0, 0);
+        if let Some(f) = csu {
+            link = link.with_csu(f);
+        }
+        self.links.push(link);
+        self.access.insert(id, (router, prefixes));
+        id
+    }
+
+    /// Attaches a monitor tap to a router (typically a route server).
+    pub fn attach_monitor(&mut self, router: RouterId) {
+        self.monitors.insert(router.0, Monitor::new(router));
+    }
+
+    /// Read access to a monitor.
+    #[must_use]
+    pub fn monitor(&self, router: RouterId) -> Option<&Monitor> {
+        self.monitors.get(&router.0)
+    }
+
+    /// Takes a monitor out of the world (for analysis after a run).
+    pub fn take_monitor(&mut self, router: RouterId) -> Option<Monitor> {
+        self.monitors.remove(&router.0)
+    }
+
+    /// Dumps `router`'s current Loc-RIB as MRT TABLE_DUMP records — the
+    /// "routing table snapshots" the paper cross-checked its update logs
+    /// against. `base_unix_time` anchors simulated time 0.
+    #[must_use]
+    pub fn table_dump(&self, router: RouterId, base_unix_time: u32) -> Vec<iri_mrt::MrtRecord> {
+        let r = self.router(router);
+        let timestamp = base_unix_time + (self.now() / 1000) as u32;
+        r.loc_rib()
+            .iter_best()
+            .enumerate()
+            .map(|(seq, (prefix, best))| {
+                iri_mrt::MrtRecord::TableDump(iri_mrt::TableDumpEntry {
+                    timestamp,
+                    view: 0,
+                    sequence: seq as u16,
+                    prefix,
+                    originated: timestamp,
+                    peer_ip: best.peer_addr,
+                    peer_asn: best.peer_asn,
+                    attrs: best.attrs.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Starts every session and arms CSU schedules. Call once after wiring.
+    pub fn start(&mut self) {
+        // CSU faults schedule their first carrier loss.
+        for link in &self.links {
+            if let Some(csu) = link.csu {
+                let at = csu.next_down(0);
+                self.queue.schedule_at(at, Ev::CsuDown(link.id));
+            }
+        }
+        // Access-link prefixes are originated at t=0.
+        let access: Vec<(RouterId, Vec<Prefix>)> = self.access.values().cloned().collect();
+        for (router, prefixes) in access {
+            for prefix in prefixes {
+                self.queue.schedule_at(0, Ev::Originate { router, prefix });
+            }
+        }
+        for i in 0..self.routers.len() {
+            let fx = self.routers[i].start_sessions(self.queue.now(), &mut self.rng);
+            self.apply_effects(RouterId(i as u32), fx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // External scheduling API (scenario drivers)
+    // ------------------------------------------------------------------
+
+    /// Schedules a local origination at `at`.
+    pub fn schedule_originate(&mut self, at: SimTime, router: RouterId, prefix: Prefix) {
+        self.queue.schedule_at(at, Ev::Originate { router, prefix });
+    }
+
+    /// Schedules a local origination with explicit attributes (e.g. a
+    /// customer AS path or a changed MED for policy-fluctuation
+    /// experiments).
+    pub fn schedule_originate_with(
+        &mut self,
+        at: SimTime,
+        router: RouterId,
+        prefix: Prefix,
+        attrs: iri_bgp::attrs::PathAttributes,
+    ) {
+        self.queue.schedule_at(
+            at,
+            Ev::OriginateWith {
+                router,
+                prefix,
+                attrs: Box::new(attrs),
+            },
+        );
+    }
+
+    /// Schedules a local withdrawal at `at`.
+    pub fn schedule_withdraw(&mut self, at: SimTime, router: RouterId, prefix: Prefix) {
+        self.queue
+            .schedule_at(at, Ev::WithdrawOrigin { router, prefix });
+    }
+
+    /// Schedules a route flap: withdrawal at `at`, re-announcement after
+    /// `down_for` — the WADup generator.
+    pub fn schedule_flap(
+        &mut self,
+        at: SimTime,
+        router: RouterId,
+        prefix: Prefix,
+        down_for: SimTime,
+    ) {
+        self.schedule_withdraw(at, router, prefix);
+        self.schedule_originate(at + down_for, router, prefix);
+    }
+
+    /// Schedules a link outage window.
+    pub fn schedule_link_flap(&mut self, at: SimTime, link: LinkId, down_for: SimTime) {
+        self.queue.schedule_at(at, Ev::LinkDown(link));
+        self.queue.schedule_at(at + down_for, Ev::LinkUp(link));
+    }
+
+    /// Schedules the repair of a CSU-afflicted circuit: the fault detaches
+    /// and the link stays up from then on.
+    pub fn schedule_csu_stop(&mut self, at: SimTime, link: LinkId) {
+        self.queue.schedule_at(at, Ev::CsuStop(link));
+    }
+
+    /// Schedules a router crash (operator-injected fault).
+    pub fn schedule_crash(&mut self, at: SimTime, router: RouterId) {
+        self.queue.schedule_at(at, Ev::CrashNow(router));
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Runs until simulated time `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some((now, ev)) = self.queue.pop_until(t) {
+            self.dispatch(now, ev);
+        }
+        self.queue.advance_clock(t);
+    }
+
+    /// Runs until the queue drains (careful: periodic timers keep worlds
+    /// alive forever; prefer [`World::run_until`]).
+    pub fn run_to_quiescence(&mut self, hard_limit: SimTime) {
+        self.run_until(hard_limit);
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::CrashNow(router) => {
+                if !self.routers[router.0 as usize].is_crashed() {
+                    let fx = self.routers[router.0 as usize].crash(now);
+                    self.apply_effects(router, fx);
+                }
+            }
+            Ev::Deliver {
+                link,
+                epoch,
+                from,
+                to,
+                msg,
+            } => {
+                let l = &self.links[link.0 as usize];
+                if !l.up || l.epoch != epoch {
+                    self.stats.dropped_in_flight += 1;
+                    return;
+                }
+                if self.routers[to.0 as usize].is_crashed() {
+                    self.stats.dropped_in_flight += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                if let Some(mon) = self.monitors.get_mut(&to.0) {
+                    let peer = &self.routers[from.0 as usize];
+                    mon.record(now, peer.cfg.asn, peer.cfg.addr, &msg);
+                }
+                let before = self.session_fsm_state(to, from);
+                let fx = self.routers[to.0 as usize].handle_message(from, msg, now, &mut self.rng);
+                self.record_transition(now, to, from, before);
+                self.apply_effects(to, fx);
+            }
+            Ev::Timer {
+                router,
+                peer,
+                kind,
+                generation,
+            } => {
+                let before = self.session_fsm_state(router, peer);
+                let fx = self.routers[router.0 as usize].handle_timer(
+                    peer,
+                    kind,
+                    generation,
+                    now,
+                    &mut self.rng,
+                );
+                self.record_transition(now, router, peer, before);
+                self.apply_effects(router, fx);
+            }
+            Ev::TransportUp {
+                router,
+                peer,
+                link,
+                epoch,
+            } => {
+                let l = &self.links[link.0 as usize];
+                if !l.up || l.epoch != epoch || self.routers[router.0 as usize].is_crashed() {
+                    return;
+                }
+                let before = self.session_fsm_state(router, peer);
+                let fx = self.routers[router.0 as usize].handle_transport(
+                    peer,
+                    true,
+                    now,
+                    &mut self.rng,
+                );
+                self.record_transition(now, router, peer, before);
+                self.apply_effects(router, fx);
+            }
+            Ev::TransportDown { router, peer } => {
+                if self.routers[router.0 as usize].is_crashed() {
+                    return;
+                }
+                let before = self.session_fsm_state(router, peer);
+                let fx = self.routers[router.0 as usize].handle_transport(
+                    peer,
+                    false,
+                    now,
+                    &mut self.rng,
+                );
+                self.record_transition(now, router, peer, before);
+                self.apply_effects(router, fx);
+            }
+            Ev::LinkDown(link) => {
+                self.carrier_loss(now, link);
+            }
+            Ev::CsuDown(link) => {
+                // Ignore if the fault was repaired while this was queued.
+                let Some(csu) = self.links[link.0 as usize].csu else {
+                    return;
+                };
+                self.carrier_loss(now, link);
+                self.queue.schedule_at(now + csu.down_ms, Ev::LinkUp(link));
+            }
+            Ev::CsuStop(link) => {
+                self.links[link.0 as usize].csu = None;
+                if !self.links[link.0 as usize].up {
+                    self.queue.schedule_at(now, Ev::LinkUp(link));
+                }
+            }
+            Ev::LinkUp(link) => {
+                self.links[link.0 as usize].bring_up();
+                if let Some((router, prefixes)) = self.access.get(&link).cloned() {
+                    for prefix in prefixes {
+                        self.queue
+                            .schedule_at(now, Ev::Originate { router, prefix });
+                    }
+                }
+                // CSU oscillation: schedule the next carrier loss.
+                if let Some(csu) = self.links[link.0 as usize].csu {
+                    let at = csu.next_down(now + 1);
+                    self.queue.schedule_at(at, Ev::CsuDown(link));
+                }
+            }
+            Ev::RouterRecover(router) => {
+                if self.routers[router.0 as usize].is_crashed() {
+                    let fx = self.routers[router.0 as usize].recover(now, &mut self.rng);
+                    self.apply_effects(router, fx);
+                }
+            }
+            Ev::Originate { router, prefix } => {
+                let fx = self.routers[router.0 as usize].originate(prefix, now, &mut self.rng);
+                self.apply_effects(router, fx);
+            }
+            Ev::OriginateWith {
+                router,
+                prefix,
+                attrs,
+            } => {
+                let fx = self.routers[router.0 as usize].originate_with(
+                    prefix,
+                    *attrs,
+                    now,
+                    &mut self.rng,
+                );
+                self.apply_effects(router, fx);
+            }
+            Ev::WithdrawOrigin { router, prefix } => {
+                let fx =
+                    self.routers[router.0 as usize].withdraw_origin(prefix, now, &mut self.rng);
+                self.apply_effects(router, fx);
+            }
+        }
+    }
+
+    /// Shared carrier-loss handling for injected and CSU outages.
+    fn carrier_loss(&mut self, now: SimTime, link: LinkId) {
+        self.links[link.0 as usize].take_down();
+        if let Some((router, prefixes)) = self.access.get(&link).cloned() {
+            // Customer tail circuit lost: withdraw its prefixes.
+            for prefix in prefixes {
+                let fx =
+                    self.routers[router.0 as usize].withdraw_origin(prefix, now, &mut self.rng);
+                self.apply_effects(router, fx);
+            }
+        } else {
+            // Peering link: both ends lose transport promptly.
+            let (a, b) = {
+                let l = &self.links[link.0 as usize];
+                (RouterId(l.a), RouterId(l.b))
+            };
+            self.queue
+                .schedule_at(now, Ev::TransportDown { router: a, peer: b });
+            self.queue
+                .schedule_at(now, Ev::TransportDown { router: b, peer: a });
+        }
+    }
+
+    fn session_fsm_state(
+        &self,
+        router: RouterId,
+        peer: RouterId,
+    ) -> Option<iri_session::fsm::State> {
+        if self.monitors.contains_key(&router.0) {
+            self.routers[router.0 as usize].session_state(peer)
+        } else {
+            None
+        }
+    }
+
+    fn record_transition(
+        &mut self,
+        now: SimTime,
+        router: RouterId,
+        peer: RouterId,
+        before: Option<iri_session::fsm::State>,
+    ) {
+        let Some(before) = before else { return };
+        let Some(after) = self.routers[router.0 as usize].session_state(peer) else {
+            return;
+        };
+        if before != after {
+            let (peer_asn, peer_addr) = {
+                let p = &self.routers[peer.0 as usize];
+                (p.cfg.asn, p.cfg.addr)
+            };
+            if let Some(mon) = self.monitors.get_mut(&router.0) {
+                mon.record_state_change(
+                    now,
+                    peer_asn,
+                    peer_addr,
+                    fsm_to_mrt(before),
+                    fsm_to_mrt(after),
+                );
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, router: RouterId, effects: Vec<Effect>) {
+        for fx in effects {
+            match fx {
+                Effect::Send {
+                    peer,
+                    msg,
+                    ready_at,
+                } => {
+                    let Some(link_id) = self.routers[router.0 as usize].peer_link(peer) else {
+                        continue;
+                    };
+                    let l = &self.links[link_id.0 as usize];
+                    if !l.up {
+                        self.stats.dropped_at_send += 1;
+                        continue;
+                    }
+                    let at = ready_at.max(self.queue.now()) + l.latency_ms;
+                    self.queue.schedule_at(
+                        at,
+                        Ev::Deliver {
+                            link: link_id,
+                            epoch: l.epoch,
+                            from: router,
+                            to: peer,
+                            msg,
+                        },
+                    );
+                }
+                Effect::ArmTimer {
+                    peer,
+                    kind,
+                    at,
+                    generation,
+                } => {
+                    self.queue.schedule_at(
+                        at,
+                        Ev::Timer {
+                            router,
+                            peer,
+                            kind,
+                            generation,
+                        },
+                    );
+                }
+                Effect::OpenConnection { peer } => {
+                    let Some(link_id) = self.routers[router.0 as usize].peer_link(peer) else {
+                        continue;
+                    };
+                    let l = &self.links[link_id.0 as usize];
+                    let rtt = 2 * l.latency_ms;
+                    if l.up && !self.routers[peer.0 as usize].is_crashed() {
+                        let epoch = l.epoch;
+                        self.queue.schedule_at(
+                            self.queue.now() + rtt,
+                            Ev::TransportUp {
+                                router,
+                                peer,
+                                link: link_id,
+                                epoch,
+                            },
+                        );
+                        self.queue.schedule_at(
+                            self.queue.now() + rtt,
+                            Ev::TransportUp {
+                                router: peer,
+                                peer: router,
+                                link: link_id,
+                                epoch,
+                            },
+                        );
+                    } else {
+                        // Connect failure detected after the handshake
+                        // timeout.
+                        self.queue.schedule_at(
+                            self.queue.now() + rtt.max(1),
+                            Ev::TransportDown { router, peer },
+                        );
+                    }
+                }
+                Effect::Crashed { until } => {
+                    self.queue.schedule_at(until, Ev::RouterRecover(router));
+                    // Peers see the TCP connections die after one link
+                    // latency.
+                    let peer_ids: Vec<RouterId> =
+                        self.routers[router.0 as usize].peer_ids().collect();
+                    for peer in peer_ids {
+                        if let Some(link_id) = self.routers[router.0 as usize].peer_link(peer) {
+                            let latency = self.links[link_id.0 as usize].latency_ms;
+                            self.queue.schedule_at(
+                                self.queue.now() + latency,
+                                Ev::TransportDown {
+                                    router: peer,
+                                    peer: router,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Maps FSM states to MRT state codes.
+fn fsm_to_mrt(s: iri_session::fsm::State) -> PeerState {
+    use iri_session::fsm::State::*;
+    match s {
+        Idle => PeerState::Idle,
+        Connect => PeerState::Connect,
+        Active => PeerState::Active,
+        OpenSent => PeerState::OpenSent,
+        OpenConfirm => PeerState::OpenConfirm,
+        Established => PeerState::Established,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MINUTE, SECOND};
+    use iri_bgp::types::Asn;
+    use std::net::Ipv4Addr;
+
+    fn two_router_world() -> (World, RouterId, RouterId) {
+        let mut w = World::new(1);
+        let a = w.add_router(RouterConfig::well_behaved(
+            "A",
+            Asn(701),
+            Ipv4Addr::new(192, 41, 177, 1),
+        ));
+        let b = w.add_router(RouterConfig::well_behaved(
+            "B",
+            Asn(1239),
+            Ipv4Addr::new(192, 41, 177, 2),
+        ));
+        w.connect(a, b, 5);
+        (w, a, b)
+    }
+
+    #[test]
+    fn sessions_establish() {
+        let (mut w, a, b) = two_router_world();
+        w.start();
+        w.run_until(10 * SECOND);
+        assert!(w.router(a).session_established(b));
+        assert!(w.router(b).session_established(a));
+    }
+
+    #[test]
+    fn originated_route_propagates() {
+        let (mut w, a, b) = two_router_world();
+        w.start();
+        w.run_until(5 * SECOND);
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        w.schedule_originate(6 * SECOND, a, pfx);
+        w.run_until(2 * MINUTE);
+        let best = w.router(b).loc_rib().best(pfx).expect("B must learn 10/8");
+        assert_eq!(best.attrs.as_path.to_string(), "701");
+        assert_eq!(best.attrs.next_hop, Ipv4Addr::new(192, 41, 177, 1));
+    }
+
+    #[test]
+    fn withdrawal_propagates() {
+        let (mut w, a, b) = two_router_world();
+        w.start();
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        w.schedule_originate(6 * SECOND, a, pfx);
+        w.schedule_withdraw(3 * MINUTE, a, pfx);
+        w.run_until(6 * MINUTE);
+        assert!(w.router(b).loc_rib().best(pfx).is_none());
+    }
+
+    #[test]
+    fn monitor_sees_updates() {
+        let (mut w, a, b) = two_router_world();
+        w.attach_monitor(b);
+        w.start();
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        w.schedule_originate(6 * SECOND, a, pfx);
+        w.run_until(2 * MINUTE);
+        let mon = w.monitor(b).unwrap();
+        assert!(mon.prefix_event_count() >= 1);
+        assert!(mon
+            .state_changes
+            .iter()
+            .any(|s| s.new_state == PeerState::Established));
+    }
+
+    #[test]
+    fn link_flap_drops_and_reestablishes_session() {
+        let (mut w, a, b) = two_router_world();
+        w.start();
+        w.run_until(10 * SECOND);
+        assert!(w.router(a).session_established(b));
+        let link = w.router(a).peer_link(b).unwrap();
+        w.schedule_link_flap(11 * SECOND, link, 2 * SECOND);
+        w.run_until(12 * SECOND);
+        assert!(!w.router(a).session_established(b));
+        // Connect-retry (120 s) brings it back.
+        w.run_until(5 * MINUTE);
+        assert!(w.router(a).session_established(b));
+        assert!(w.router(a).counters.session_flaps >= 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = |seed: u64| {
+            let mut w = World::new(seed);
+            let a = w.add_router(RouterConfig::well_behaved(
+                "A",
+                Asn(701),
+                Ipv4Addr::new(192, 41, 177, 1),
+            ));
+            let b = w.add_router(RouterConfig::pathological(
+                "B",
+                Asn(690),
+                Ipv4Addr::new(192, 41, 177, 2),
+            ));
+            w.attach_monitor(a);
+            w.connect(a, b, 5);
+            w.start();
+            for i in 0..20 {
+                w.schedule_flap(
+                    10 * SECOND + i * 7 * SECOND,
+                    b,
+                    "192.42.113.0/24".parse().unwrap(),
+                    3 * SECOND,
+                );
+            }
+            w.run_until(10 * MINUTE);
+            let mon = w.take_monitor(a).unwrap();
+            (
+                w.events_processed(),
+                mon.updates.len(),
+                mon.prefix_event_count(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        // Different seed may differ (jitter), but must still complete.
+        let _ = run(43);
+    }
+
+    #[test]
+    fn access_link_csu_oscillation_hidden_by_stateful_mrai() {
+        // A *stateful* router with a 30 s MRAI absorbs sub-window CSU flaps:
+        // the W→A squash is identical to the advertised state, so nothing is
+        // sent — the paper's "artificial route dampening mechanism".
+        let (mut w, a, b) = two_router_world();
+        w.attach_monitor(b);
+        let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+        w.add_access_link(a, vec![pfx], Some(CsuFault::beat_30s(40 * SECOND)));
+        w.start();
+        w.run_until(10 * MINUTE);
+        let mon = w.monitor(b).unwrap();
+        let events = mon.prefix_event_count();
+        assert!(
+            events <= 3,
+            "stateful+MRAI must hide CSU flaps, got {events}"
+        );
+    }
+
+    #[test]
+    fn access_link_csu_oscillation_leaks_through_stateless() {
+        // The same CSU fault behind a *stateless* router leaks a W+A pair
+        // every timer window — the periodic WADup/AADup engine of §4.2.
+        let mut w = World::new(11);
+        let a = w.add_router(RouterConfig::pathological(
+            "A",
+            Asn(690),
+            Ipv4Addr::new(192, 41, 177, 1),
+        ));
+        let b = w.add_router(RouterConfig::well_behaved(
+            "B",
+            Asn(1239),
+            Ipv4Addr::new(192, 41, 177, 2),
+        ));
+        w.connect(a, b, 5);
+        w.attach_monitor(b);
+        let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+        w.add_access_link(a, vec![pfx], Some(CsuFault::beat_30s(40 * SECOND)));
+        w.start();
+        w.run_until(10 * MINUTE);
+        let mon = w.monitor(b).unwrap();
+        let events = mon.prefix_event_count();
+        assert!(
+            events >= 10,
+            "stateless must leak periodic flaps, got {events}"
+        );
+    }
+
+    #[test]
+    fn csu_stop_repairs_the_circuit() {
+        let mut w = World::new(21);
+        let a = w.add_router(RouterConfig::pathological(
+            "A",
+            Asn(690),
+            Ipv4Addr::new(192, 41, 177, 1),
+        ));
+        let b = w.add_router(RouterConfig::well_behaved(
+            "B",
+            Asn(1239),
+            Ipv4Addr::new(192, 41, 177, 2),
+        ));
+        w.connect(a, b, 5);
+        w.attach_monitor(b);
+        let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+        let link = w.add_access_link(a, vec![pfx], Some(CsuFault::beat_30s(MINUTE)));
+        // The circuit is repaired after 6 minutes.
+        w.schedule_csu_stop(6 * MINUTE, link);
+        w.start();
+        w.run_until(30 * MINUTE);
+        // After the repair the prefix is stably reachable…
+        assert!(w.router(b).loc_rib().best(pfx).is_some());
+        // …and the post-repair log is quiet: no update in the last 20 min.
+        let last_update = w
+            .monitor(b)
+            .unwrap()
+            .updates
+            .iter()
+            .map(|u| u.time_ms)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            last_update < 10 * MINUTE,
+            "no churn after the repair (last update at {last_update} ms)"
+        );
+    }
+
+    #[test]
+    fn three_routers_converge_on_shortest_path() {
+        let mut w = World::new(7);
+        let a = w.add_router(RouterConfig::well_behaved(
+            "A",
+            Asn(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        ));
+        let b = w.add_router(RouterConfig::well_behaved(
+            "B",
+            Asn(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        let c = w.add_router(RouterConfig::well_behaved(
+            "C",
+            Asn(3),
+            Ipv4Addr::new(10, 0, 0, 3),
+        ));
+        w.connect(a, b, 5);
+        w.connect(b, c, 5);
+        w.connect(a, c, 5);
+        w.start();
+        let pfx: Prefix = "10.7.0.0/16".parse().unwrap();
+        w.schedule_originate(10 * SECOND, c, pfx);
+        w.run_until(5 * MINUTE);
+        // A must reach the prefix directly via C (path "3"), not via B.
+        let best = w.router(a).loc_rib().best(pfx).expect("A learns route");
+        assert_eq!(best.attrs.as_path.to_string(), "3");
+        // B likewise.
+        let best_b = w.router(b).loc_rib().best(pfx).unwrap();
+        assert_eq!(best_b.attrs.as_path.to_string(), "3");
+        // Failover: C-A link dies; A reroutes via B.
+        let link_ac = w.router(a).peer_link(c).unwrap();
+        w.schedule_link_flap(6 * MINUTE, link_ac, 30 * MINUTE);
+        w.run_until(10 * MINUTE);
+        let best = w.router(a).loc_rib().best(pfx).expect("A reroutes via B");
+        assert_eq!(best.attrs.as_path.to_string(), "2 3");
+    }
+}

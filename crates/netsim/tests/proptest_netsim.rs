@@ -1,0 +1,177 @@
+//! Property tests on the simulator: after arbitrary flap schedules and a
+//! quiescence window, routing state must converge to exactly the surviving
+//! originations, sessions must be re-established, and the deterministic
+//! replay property must hold.
+
+use iri_bgp::types::{Asn, Prefix};
+use iri_netsim::{RouterConfig, World, MINUTE, SECOND};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// (prefix index, flap time offset s, down duration s)
+fn arb_flaps() -> impl Strategy<Value = Vec<(u8, u16, u16)>> {
+    prop::collection::vec((0u8..6, 0u16..600, 5u16..120), 0..25)
+}
+
+fn build_world(
+    pathological: bool,
+    seed: u64,
+) -> (World, Vec<iri_netsim::RouterId>, iri_netsim::RouterId) {
+    let mut w = World::new(seed);
+    let rs = w.add_router(RouterConfig::route_server(
+        "RS",
+        Asn(237),
+        Ipv4Addr::new(10, 0, 0, 250),
+    ));
+    w.attach_monitor(rs);
+    let mut providers = Vec::new();
+    for i in 0..3u32 {
+        let cfg = if pathological && i == 0 {
+            RouterConfig::pathological(
+                &format!("P{i}"),
+                Asn(100 + i),
+                Ipv4Addr::new(10, 0, 0, 1 + i as u8),
+            )
+        } else {
+            RouterConfig::well_behaved(
+                &format!("P{i}"),
+                Asn(100 + i),
+                Ipv4Addr::new(10, 0, 0, 1 + i as u8),
+            )
+        };
+        let id = w.add_router(cfg);
+        w.connect(id, rs, 1);
+        providers.push(id);
+    }
+    (w, providers, rs)
+}
+
+fn prefix(i: u8) -> Prefix {
+    Prefix::from_raw(0x0a00_0000 | (u32::from(i) << 16), 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quiescent_state_matches_surviving_originations(
+        flaps in arb_flaps(),
+        pathological in any::<bool>(),
+    ) {
+        let (mut w, providers, rs) = build_world(pathological, 99);
+        // Each of 6 prefixes lives at provider i%3 and is originated at 5s.
+        for i in 0..6u8 {
+            w.schedule_originate(5 * SECOND, providers[usize::from(i) % 3], prefix(i));
+        }
+        for &(pi, at_s, down_s) in &flaps {
+            let p = prefix(pi % 6);
+            let router = providers[usize::from(pi % 6) % 3];
+            w.schedule_flap(
+                MINUTE + u64::from(at_s) * SECOND,
+                router,
+                p,
+                u64::from(down_s) * SECOND,
+            );
+        }
+        w.start();
+        // Run: all flaps end by MINUTE + 600s + 120s; add convergence slack.
+        w.run_until(MINUTE + 720 * SECOND + 10 * MINUTE);
+
+        // 1. All sessions are up at the end.
+        for &p in &providers {
+            prop_assert!(w.router(p).session_established(rs), "session must recover");
+        }
+        // 2. The route server knows exactly the 6 prefixes (all flaps ended
+        //    with a re-announcement).
+        prop_assert_eq!(w.router(rs).loc_rib().reachable_count(), 6);
+        for i in 0..6u8 {
+            let best = w.router(rs).loc_rib().best(prefix(i));
+            prop_assert!(best.is_some(), "prefix {i} must be reachable");
+            // The path is [provider] (one hop; origination path is empty).
+            let path = &best.unwrap().attrs.as_path;
+            prop_assert_eq!(path.decision_len(), 1);
+            prop_assert_eq!(path.first(), Some(Asn(100 + u32::from(i) % 3)));
+        }
+        // 3. Every provider learned every other provider's prefixes through
+        //    the route server (transparent: path length still 1).
+        for (pi, &p) in providers.iter().enumerate() {
+            for i in 0..6u8 {
+                if usize::from(i) % 3 != pi {
+                    prop_assert!(
+                        w.router(p).loc_rib().best(prefix(i)).is_some(),
+                        "provider {pi} must learn prefix {i} via the RS"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_determinism(flaps in arb_flaps(), seed in 0u64..1000) {
+        let run = |seed: u64| {
+            let (mut w, providers, rs) = build_world(true, seed);
+            for i in 0..6u8 {
+                w.schedule_originate(5 * SECOND, providers[usize::from(i) % 3], prefix(i));
+            }
+            for &(pi, at_s, down_s) in &flaps {
+                w.schedule_flap(
+                    MINUTE + u64::from(at_s) * SECOND,
+                    providers[usize::from(pi % 6) % 3],
+                    prefix(pi % 6),
+                    u64::from(down_s) * SECOND,
+                );
+            }
+            w.start();
+            w.run_until(30 * MINUTE);
+            let mon = w.take_monitor(rs).unwrap();
+            (
+                w.events_processed(),
+                mon.updates.len(),
+                mon.prefix_event_count(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn withdrawals_never_exceed_announcement_context(
+        flaps in arb_flaps(),
+    ) {
+        // A well-behaved (all-stateful) world never produces WWDup at the
+        // monitor once classifier state is warm: every withdrawal matches a
+        // prior announcement on the same session.
+        let (mut w, providers, rs) = build_world(false, 7);
+        for i in 0..6u8 {
+            w.schedule_originate(5 * SECOND, providers[usize::from(i) % 3], prefix(i));
+        }
+        for &(pi, at_s, down_s) in &flaps {
+            w.schedule_flap(
+                2 * MINUTE + u64::from(at_s) * SECOND,
+                providers[usize::from(pi % 6) % 3],
+                prefix(pi % 6),
+                u64::from(down_s) * SECOND,
+            );
+        }
+        w.start();
+        w.run_until(30 * MINUTE);
+        let mon = w.take_monitor(rs).unwrap();
+        // Count withdrawals per (peer, prefix) never preceded by an
+        // announcement from the same peer.
+        use std::collections::HashSet;
+        let mut announced: HashSet<(Asn, Prefix)> = HashSet::new();
+        let mut blind = 0;
+        for u in &mon.updates {
+            if let iri_bgp::message::Message::Update(up) = &u.message {
+                for &p in &up.withdrawn {
+                    if !announced.contains(&(u.peer_asn, p)) {
+                        blind += 1;
+                    }
+                }
+                for &p in &up.nlri {
+                    announced.insert((u.peer_asn, p));
+                }
+            }
+        }
+        prop_assert_eq!(blind, 0, "stateful-only worlds must not blind-withdraw");
+    }
+}

@@ -1,0 +1,306 @@
+//! CIDR route aggregation ("supernetting").
+//!
+//! "Aggregation is a powerful tool to combat instability because it can
+//! reduce the overall number of networks visible in the core Internet" and
+//! it "effectively limits the visibility of instability stemming from
+//! unstable customer circuits or routers to the scope of a single autonomous
+//! system." This module provides the two operations the simulator's
+//! provider-edge routers use:
+//!
+//! - [`aggregate_set`]: collapse a set of prefixes into the minimal covering
+//!   set by merging complete sibling pairs bottom-up (exact aggregation —
+//!   no over-claiming of address space).
+//! - [`Aggregator`]: a configured supernet that is advertised as long as at
+//!   least one component prefix is reachable, hiding component-level flaps.
+
+use crate::trie::PrefixTrie;
+use iri_bgp::types::Prefix;
+use std::collections::BTreeSet;
+
+/// Collapses `prefixes` into the minimal exact covering set: merges sibling
+/// pairs into parents repeatedly and removes prefixes covered by another
+/// member. The result covers exactly the same address space.
+///
+/// ```
+/// use iri_rib::aggregate::aggregate_set;
+/// use iri_bgp::types::Prefix;
+///
+/// let parts: Vec<Prefix> = ["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"]
+///     .iter().map(|s| s.parse().unwrap()).collect();
+/// let agg = aggregate_set(parts);
+/// assert_eq!(agg.len(), 1);
+/// assert_eq!(agg[0].to_string(), "10.0.0.0/22");
+/// ```
+#[must_use]
+pub fn aggregate_set<I: IntoIterator<Item = Prefix>>(prefixes: I) -> Vec<Prefix> {
+    let mut set: BTreeSet<(u8, u32)> = prefixes.into_iter().map(|p| (p.len(), p.bits())).collect();
+
+    // Iterate longest-first so sibling merges cascade upward in one pass
+    // per level.
+    loop {
+        let mut changed = false;
+        // Remove covered prefixes: build a trie of current members and keep
+        // only those without a shorter covering member.
+        let trie: PrefixTrie<()> = set
+            .iter()
+            .map(|&(l, b)| (Prefix::from_raw(b, l), ()))
+            .collect();
+        let mut next: BTreeSet<(u8, u32)> = BTreeSet::new();
+        for &(l, b) in &set {
+            let p = Prefix::from_raw(b, l);
+            let covered_by_other = match trie.longest_match(p) {
+                // longest_match(p) finds most specific stored prefix along
+                // p's own bit path, which may be p itself.
+                Some((m, ())) if m != p => true,
+                _ => {
+                    // Check all shorter lengths along the path explicitly:
+                    // longest_match returns the most specific, which is p
+                    // itself when stored; probe the parent chain instead.
+                    let mut q = p.parent();
+                    let mut found = false;
+                    while let Some(anc) = q {
+                        if trie.contains(anc) {
+                            found = true;
+                            break;
+                        }
+                        q = anc.parent();
+                    }
+                    found
+                }
+            };
+            if covered_by_other {
+                changed = true;
+            } else {
+                next.insert((l, b));
+            }
+        }
+        set = next;
+
+        // Merge complete sibling pairs.
+        let mut merged: BTreeSet<(u8, u32)> = BTreeSet::new();
+        let mut consumed: BTreeSet<(u8, u32)> = BTreeSet::new();
+        for &(l, b) in &set {
+            if consumed.contains(&(l, b)) {
+                continue;
+            }
+            let p = Prefix::from_raw(b, l);
+            if let Some(sib) = p.sibling() {
+                let sib_key = (sib.len(), sib.bits());
+                if set.contains(&sib_key) && !consumed.contains(&sib_key) {
+                    let parent = p.parent().expect("len>0 since sibling exists");
+                    merged.insert((parent.len(), parent.bits()));
+                    consumed.insert((l, b));
+                    consumed.insert(sib_key);
+                    changed = true;
+                    continue;
+                }
+            }
+            merged.insert((l, b));
+        }
+        set = merged;
+        if !changed {
+            break;
+        }
+    }
+    set.into_iter()
+        .map(|(l, b)| Prefix::from_raw(b, l))
+        .collect()
+}
+
+/// A configured aggregate: a supernet advertised while any component is
+/// reachable.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    /// The advertised supernet.
+    pub supernet: Prefix,
+    /// Currently reachable component prefixes.
+    components: BTreeSet<Prefix>,
+}
+
+/// Visible effect of a component change on the aggregate advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateChange {
+    /// The supernet just became advertisable.
+    Appeared,
+    /// The supernet just lost its last component.
+    Vanished,
+    /// No externally visible change — instability absorbed. This case is
+    /// the whole point of aggregation: component flaps stay invisible.
+    Hidden,
+    /// The prefix is not covered by this aggregate.
+    NotCovered,
+}
+
+impl Aggregator {
+    /// New aggregate with no reachable components.
+    #[must_use]
+    pub fn new(supernet: Prefix) -> Self {
+        Aggregator {
+            supernet,
+            components: BTreeSet::new(),
+        }
+    }
+
+    /// Whether the supernet is currently advertised.
+    #[must_use]
+    pub fn advertised(&self) -> bool {
+        !self.components.is_empty()
+    }
+
+    /// Number of reachable components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// A component became reachable.
+    pub fn component_up(&mut self, prefix: Prefix) -> AggregateChange {
+        if !self.supernet.contains(prefix) {
+            return AggregateChange::NotCovered;
+        }
+        let was_empty = self.components.is_empty();
+        self.components.insert(prefix);
+        if was_empty {
+            AggregateChange::Appeared
+        } else {
+            AggregateChange::Hidden
+        }
+    }
+
+    /// A component became unreachable.
+    pub fn component_down(&mut self, prefix: Prefix) -> AggregateChange {
+        if !self.supernet.contains(prefix) {
+            return AggregateChange::NotCovered;
+        }
+        self.components.remove(&prefix);
+        if self.components.is_empty() {
+            AggregateChange::Vanished
+        } else {
+            AggregateChange::Hidden
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn agg(input: &[&str]) -> Vec<String> {
+        aggregate_set(input.iter().map(|s| p(s)))
+            .into_iter()
+            .map(|q| q.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn sibling_pair_merges() {
+        assert_eq!(agg(&["10.0.0.0/24", "10.0.1.0/24"]), vec!["10.0.0.0/23"]);
+    }
+
+    #[test]
+    fn cascade_merges_to_single_supernet() {
+        assert_eq!(
+            agg(&["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"]),
+            vec!["10.0.0.0/22"]
+        );
+    }
+
+    #[test]
+    fn non_siblings_stay_separate() {
+        // /24s at 1 and 2 are not siblings (sibling pairs are (0,1),(2,3)).
+        assert_eq!(
+            agg(&["10.0.1.0/24", "10.0.2.0/24"]),
+            vec!["10.0.1.0/24", "10.0.2.0/24"]
+        );
+    }
+
+    #[test]
+    fn covered_prefixes_are_absorbed() {
+        assert_eq!(agg(&["10.0.0.0/8", "10.1.0.0/16"]), vec!["10.0.0.0/8"]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        assert_eq!(agg(&["10.0.0.0/8", "10.0.0.0/8"]), vec!["10.0.0.0/8"]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(agg(&[]).is_empty());
+    }
+
+    #[test]
+    fn mixed_scenario() {
+        // Two mergeable /24s + one covered /25 + one lone /24 elsewhere.
+        assert_eq!(
+            agg(&[
+                "10.0.0.0/24",
+                "10.0.1.0/24",
+                "10.0.0.0/25",
+                "192.168.5.0/24"
+            ]),
+            vec!["10.0.0.0/23", "192.168.5.0/24"]
+        );
+    }
+
+    #[test]
+    fn aggregation_preserves_coverage() {
+        let input: Vec<Prefix> = (0u32..64)
+            .map(|i| Prefix::from_raw(0x0a00_0000 | (i << 10), 22))
+            .collect();
+        let out = aggregate_set(input.iter().copied());
+        assert_eq!(out, vec![p("10.0.0.0/16")]);
+        for q in &input {
+            assert!(out.iter().any(|o| o.contains(*q)));
+        }
+    }
+
+    #[test]
+    fn aggregator_hides_component_flaps() {
+        let mut a = Aggregator::new(p("198.32.0.0/16"));
+        assert!(!a.advertised());
+        assert_eq!(
+            a.component_up(p("198.32.1.0/24")),
+            AggregateChange::Appeared
+        );
+        assert_eq!(a.component_up(p("198.32.2.0/24")), AggregateChange::Hidden);
+        // One component flaps: externally invisible.
+        assert_eq!(
+            a.component_down(p("198.32.2.0/24")),
+            AggregateChange::Hidden
+        );
+        assert_eq!(a.component_up(p("198.32.2.0/24")), AggregateChange::Hidden);
+        // Last component gone: aggregate vanishes.
+        assert_eq!(
+            a.component_down(p("198.32.2.0/24")),
+            AggregateChange::Hidden
+        );
+        assert_eq!(
+            a.component_down(p("198.32.1.0/24")),
+            AggregateChange::Vanished
+        );
+        assert!(!a.advertised());
+    }
+
+    #[test]
+    fn aggregator_rejects_uncovered() {
+        let mut a = Aggregator::new(p("198.32.0.0/16"));
+        assert_eq!(
+            a.component_up(p("10.0.0.0/24")),
+            AggregateChange::NotCovered
+        );
+        assert_eq!(a.component_count(), 0);
+    }
+
+    #[test]
+    fn aggregator_idempotent_component_up() {
+        let mut a = Aggregator::new(p("198.32.0.0/16"));
+        a.component_up(p("198.32.1.0/24"));
+        assert_eq!(a.component_up(p("198.32.1.0/24")), AggregateChange::Hidden);
+        assert_eq!(a.component_count(), 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! Route-flap damping (Villamizar/Chandra/Govindan, reference 24 of the
+//! paper; standardised later as RFC 2439).
+//!
+//! "These algorithms 'hold-down', or refuse to believe, updates about routes
+//! that exceed certain parameters of instability … Route dampening
+//! algorithms, however, are not a panacea. Dampening algorithms can
+//! introduce artificial connectivity problems, as 'legitimate' announcements
+//! about a new network may be delayed due to earlier dampened instability."
+//!
+//! The implementation is the classic penalty model: each flap adds a fixed
+//! penalty; the penalty decays exponentially with a configurable half-life;
+//! a route whose penalty exceeds the *suppress* threshold is held down until
+//! decay brings it under the *reuse* threshold (bounded by a maximum
+//! suppress time). The `ablation_damping` bench measures both sides of the
+//! trade-off: updates saved vs reachability delay added.
+
+use iri_bgp::types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Milliseconds of simulated time (matches `iri-netsim`'s clock).
+pub type Millis = u64;
+
+/// Damping parameters. Defaults mirror the classic Cisco values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DampingConfig {
+    /// Penalty added per withdrawal flap.
+    pub withdrawal_penalty: f64,
+    /// Penalty added per re-announcement or attribute-change flap.
+    pub announcement_penalty: f64,
+    /// Penalty above which a route is suppressed.
+    pub suppress_threshold: f64,
+    /// Penalty below which a suppressed route is reusable.
+    pub reuse_threshold: f64,
+    /// Exponential decay half-life.
+    pub half_life: Millis,
+    /// Hard cap on suppression time.
+    pub max_suppress: Millis,
+    /// Penalty ceiling (prevents unbounded accumulation).
+    pub max_penalty: f64,
+}
+
+impl Default for DampingConfig {
+    fn default() -> Self {
+        DampingConfig {
+            withdrawal_penalty: 1000.0,
+            announcement_penalty: 500.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: 15 * 60 * 1000,
+            max_suppress: 60 * 60 * 1000,
+            max_penalty: 12_000.0,
+        }
+    }
+}
+
+/// The kind of flap being recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlapKind {
+    /// Route withdrawn.
+    Withdrawal,
+    /// Route announced or re-announced with changed attributes.
+    Announcement,
+}
+
+/// Verdict for an arriving update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DampingVerdict {
+    /// Propagate normally.
+    Pass,
+    /// Hold down: the route is suppressed until roughly the given time.
+    Suppressed {
+        /// Earliest estimated reuse time.
+        reuse_at: Millis,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct FlapState {
+    penalty: f64,
+    last_update: Millis,
+    suppressed_since: Option<Millis>,
+}
+
+/// Per-peer (or per-session) damping engine tracking penalties per prefix.
+///
+/// ```
+/// use iri_rib::damping::{DampingConfig, DampingVerdict, FlapKind, RouteDamper};
+///
+/// let mut damper = RouteDamper::new(DampingConfig::default());
+/// let prefix = "192.42.113.0/24".parse().unwrap();
+/// // The first flaps pass; sustained flapping crosses the suppress
+/// // threshold and the route is held down.
+/// assert_eq!(damper.record_flap(prefix, FlapKind::Withdrawal, 0), DampingVerdict::Pass);
+/// assert_eq!(damper.record_flap(prefix, FlapKind::Withdrawal, 1_000), DampingVerdict::Pass);
+/// assert!(matches!(
+///     damper.record_flap(prefix, FlapKind::Withdrawal, 2_000),
+///     DampingVerdict::Suppressed { .. }
+/// ));
+/// // The penalty decays; after enough quiet time the route is reusable.
+/// assert!(!damper.is_suppressed(prefix, 2 * 3_600_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteDamper {
+    config: DampingConfig,
+    state: HashMap<Prefix, FlapState>,
+    /// Updates suppressed so far (for reports).
+    suppressed_count: u64,
+}
+
+impl RouteDamper {
+    /// New engine with the given parameters.
+    #[must_use]
+    pub fn new(config: DampingConfig) -> Self {
+        RouteDamper {
+            config,
+            state: HashMap::new(),
+            suppressed_count: 0,
+        }
+    }
+
+    /// Total updates suppressed so far.
+    #[must_use]
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed_count
+    }
+
+    /// Number of prefixes currently tracked.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Current (decayed) penalty for a prefix.
+    #[must_use]
+    pub fn penalty(&self, prefix: Prefix, now: Millis) -> f64 {
+        self.state.get(&prefix).map_or(0.0, |s| {
+            decay(
+                s.penalty,
+                now.saturating_sub(s.last_update),
+                self.config.half_life,
+            )
+        })
+    }
+
+    /// Whether the prefix is currently suppressed.
+    #[must_use]
+    pub fn is_suppressed(&self, prefix: Prefix, now: Millis) -> bool {
+        match self.state.get(&prefix) {
+            Some(s) if s.suppressed_since.is_some() => {
+                let pen = decay(
+                    s.penalty,
+                    now.saturating_sub(s.last_update),
+                    self.config.half_life,
+                );
+                let since = s.suppressed_since.expect("checked");
+                pen >= self.config.reuse_threshold
+                    && now.saturating_sub(since) < self.config.max_suppress
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a flap at `now` and returns the verdict for this update.
+    pub fn record_flap(&mut self, prefix: Prefix, kind: FlapKind, now: Millis) -> DampingVerdict {
+        let add = match kind {
+            FlapKind::Withdrawal => self.config.withdrawal_penalty,
+            FlapKind::Announcement => self.config.announcement_penalty,
+        };
+        let entry = self.state.entry(prefix).or_insert(FlapState {
+            penalty: 0.0,
+            last_update: now,
+            suppressed_since: None,
+        });
+        let decayed = decay(
+            entry.penalty,
+            now.saturating_sub(entry.last_update),
+            self.config.half_life,
+        );
+        // A hold-down already released by decay (or by the max-suppress cap)
+        // stays released: a fresh flap must re-cross the *suppress*
+        // threshold, not merely the reuse threshold (RFC 2439 semantics).
+        let still_held = match entry.suppressed_since {
+            Some(since) => {
+                decayed >= self.config.reuse_threshold
+                    && now.saturating_sub(since) < self.config.max_suppress
+            }
+            None => false,
+        };
+        if !still_held {
+            entry.suppressed_since = None;
+        }
+        entry.penalty = (decayed + add).min(self.config.max_penalty);
+        entry.last_update = now;
+
+        let currently_suppressed = still_held;
+        let newly_suppressed =
+            !currently_suppressed && entry.penalty >= self.config.suppress_threshold;
+
+        if currently_suppressed || newly_suppressed {
+            if newly_suppressed {
+                entry.suppressed_since = Some(now);
+            } else {
+                // Flapping while held down does not extend the max-suppress
+                // window start, matching deployed implementations.
+            }
+            let penalty = entry.penalty;
+            self.suppressed_count += 1;
+            let reuse_at = now + self.time_to_reuse(penalty);
+            DampingVerdict::Suppressed { reuse_at }
+        } else {
+            entry.suppressed_since = None;
+            DampingVerdict::Pass
+        }
+    }
+
+    /// Sweeps fully-decayed entries (penalty < half the reuse threshold) to
+    /// bound memory, as real implementations do on their reuse lists.
+    pub fn sweep(&mut self, now: Millis) {
+        let half_life = self.config.half_life;
+        let floor = self.config.reuse_threshold / 2.0;
+        self.state
+            .retain(|_, s| decay(s.penalty, now.saturating_sub(s.last_update), half_life) >= floor);
+    }
+
+    fn time_to_reuse(&self, penalty: f64) -> Millis {
+        if penalty <= self.config.reuse_threshold {
+            return 0;
+        }
+        // penalty * 2^(-t/half_life) = reuse  =>  t = half_life * log2(p/r)
+        let ratio = penalty / self.config.reuse_threshold;
+        let t = (self.config.half_life as f64) * ratio.log2();
+        (t as Millis).min(self.config.max_suppress)
+    }
+}
+
+fn decay(penalty: f64, elapsed: Millis, half_life: Millis) -> f64 {
+    if half_life == 0 {
+        return 0.0;
+    }
+    penalty * (-(elapsed as f64) / (half_life as f64) * std::f64::consts::LN_2).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cfg() -> DampingConfig {
+        DampingConfig::default()
+    }
+
+    #[test]
+    fn single_flap_passes() {
+        let mut d = RouteDamper::new(cfg());
+        assert_eq!(
+            d.record_flap(p("10.0.0.0/8"), FlapKind::Withdrawal, 0),
+            DampingVerdict::Pass
+        );
+        assert!(!d.is_suppressed(p("10.0.0.0/8"), 1));
+    }
+
+    #[test]
+    fn rapid_flaps_suppress() {
+        // Three withdrawals in quick succession cross the 2000 threshold
+        // (two cannot: 1000 + decayed-just-under-1000 < 2000) — matching the
+        // deployed defaults where the third flap suppresses.
+        let mut d = RouteDamper::new(cfg());
+        let pfx = p("10.0.0.0/8");
+        assert_eq!(
+            d.record_flap(pfx, FlapKind::Withdrawal, 0),
+            DampingVerdict::Pass
+        );
+        assert_eq!(
+            d.record_flap(pfx, FlapKind::Withdrawal, 1000),
+            DampingVerdict::Pass
+        );
+        let v = d.record_flap(pfx, FlapKind::Withdrawal, 2000);
+        assert!(matches!(v, DampingVerdict::Suppressed { .. }), "{v:?}");
+        assert!(d.is_suppressed(pfx, 3000));
+        assert_eq!(d.suppressed_count(), 1);
+    }
+
+    #[test]
+    fn penalty_decays_with_half_life() {
+        let mut d = RouteDamper::new(cfg());
+        let pfx = p("10.0.0.0/8");
+        d.record_flap(pfx, FlapKind::Withdrawal, 0);
+        let p0 = d.penalty(pfx, 0);
+        let p1 = d.penalty(pfx, cfg().half_life);
+        assert!((p0 - 1000.0).abs() < 1e-9);
+        assert!((p1 - 500.0).abs() < 1.0, "after one half-life: {p1}");
+    }
+
+    #[test]
+    fn suppressed_route_reused_after_decay() {
+        let mut d = RouteDamper::new(cfg());
+        let pfx = p("10.0.0.0/8");
+        for i in 0..3 {
+            d.record_flap(pfx, FlapKind::Withdrawal, i * 100);
+        }
+        assert!(d.is_suppressed(pfx, 300));
+        // Penalty ≈ 3000; needs 2 half-lives to fall below reuse 750.
+        let later = 300 + 2 * cfg().half_life + 60_000;
+        assert!(!d.is_suppressed(pfx, later));
+        // A single new flap after decay passes again.
+        assert_eq!(
+            d.record_flap(pfx, FlapKind::Announcement, later),
+            DampingVerdict::Pass
+        );
+    }
+
+    #[test]
+    fn max_suppress_bounds_holddown() {
+        let mut c = cfg();
+        c.max_suppress = 10_000;
+        c.half_life = 100 * 60 * 1000; // very slow decay
+        let mut d = RouteDamper::new(c);
+        let pfx = p("10.0.0.0/8");
+        for i in 0..5 {
+            d.record_flap(pfx, FlapKind::Withdrawal, i);
+        }
+        assert!(d.is_suppressed(pfx, 100));
+        assert!(
+            !d.is_suppressed(pfx, 10_010),
+            "max_suppress must cap holddown"
+        );
+    }
+
+    #[test]
+    fn penalty_is_capped() {
+        let mut d = RouteDamper::new(cfg());
+        let pfx = p("10.0.0.0/8");
+        for i in 0..100 {
+            d.record_flap(pfx, FlapKind::Withdrawal, i);
+        }
+        assert!(d.penalty(pfx, 100) <= cfg().max_penalty);
+    }
+
+    #[test]
+    fn announcement_penalty_is_smaller() {
+        let mut d = RouteDamper::new(cfg());
+        d.record_flap(p("10.0.0.0/8"), FlapKind::Announcement, 0);
+        let pa = d.penalty(p("10.0.0.0/8"), 0);
+        d.record_flap(p("11.0.0.0/8"), FlapKind::Withdrawal, 0);
+        let pw = d.penalty(p("11.0.0.0/8"), 0);
+        assert!(pa < pw);
+    }
+
+    #[test]
+    fn reuse_at_estimate_is_monotonic_in_penalty() {
+        let d = RouteDamper::new(cfg());
+        let t1 = d.time_to_reuse(2000.0);
+        let t2 = d.time_to_reuse(4000.0);
+        assert!(t2 > t1);
+        assert_eq!(d.time_to_reuse(500.0), 0);
+    }
+
+    #[test]
+    fn sweep_drops_cold_entries() {
+        let mut d = RouteDamper::new(cfg());
+        d.record_flap(p("10.0.0.0/8"), FlapKind::Withdrawal, 0);
+        d.record_flap(p("11.0.0.0/8"), FlapKind::Withdrawal, 0);
+        assert_eq!(d.tracked(), 2);
+        // After ~3 half-lives penalty is 125 < 375 floor.
+        d.sweep(3 * cfg().half_life);
+        assert_eq!(d.tracked(), 0);
+    }
+
+    #[test]
+    fn distinct_prefixes_tracked_independently() {
+        let mut d = RouteDamper::new(cfg());
+        let a = p("10.0.0.0/8");
+        let b = p("11.0.0.0/8");
+        d.record_flap(a, FlapKind::Withdrawal, 0);
+        d.record_flap(a, FlapKind::Withdrawal, 10);
+        d.record_flap(a, FlapKind::Withdrawal, 20);
+        assert!(d.is_suppressed(a, 30));
+        assert!(!d.is_suppressed(b, 30));
+        assert_eq!(
+            d.record_flap(b, FlapKind::Withdrawal, 30),
+            DampingVerdict::Pass
+        );
+    }
+
+    #[test]
+    fn legitimate_announcement_delayed_by_prior_instability() {
+        // The "not a panacea" behaviour: after a burst of flaps, even a
+        // legitimate announcement is suppressed.
+        let mut d = RouteDamper::new(cfg());
+        let pfx = p("192.42.113.0/24");
+        for i in 0..4 {
+            d.record_flap(pfx, FlapKind::Withdrawal, i * 50);
+        }
+        let v = d.record_flap(pfx, FlapKind::Announcement, 300);
+        match v {
+            DampingVerdict::Suppressed { reuse_at } => assert!(reuse_at > 300),
+            DampingVerdict::Pass => panic!("expected suppression"),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The BGP best-path decision process (RFC 4271 §9.1, era-appropriate
+//! subset).
+//!
+//! "After each router makes a new local decision on the best route to a
+//! destination, the router will send that route … to each of its peers."
+//! The decision process is therefore the engine that converts topology
+//! events into the update streams the paper measures. The tie-breaking
+//! ladder implemented here:
+//!
+//! 1. highest LOCAL_PREF (default 100),
+//! 2. shortest AS path (AS_SET counts 1),
+//! 3. lowest ORIGIN (IGP < EGP < INCOMPLETE),
+//! 4. lowest MED (only compared between routes from the same neighbor AS;
+//!    missing MED treated as 0, the common vendor default of the era),
+//! 5. lowest peer router ID,
+//! 6. lowest peer address (as a final total-order guarantee).
+
+use iri_bgp::attrs::PathAttributes;
+use iri_bgp::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::net::Ipv4Addr;
+
+/// Default LOCAL_PREF applied when the attribute is absent.
+pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// A route under consideration: attributes plus bookkeeping about the peer
+/// that advertised it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteCandidate {
+    /// Full attribute set as received (after inbound policy).
+    pub attrs: PathAttributes,
+    /// Advertising peer's AS.
+    pub peer_asn: Asn,
+    /// Advertising peer's router ID (tie-breaker 5).
+    pub peer_router_id: Ipv4Addr,
+    /// Advertising peer's session address (tie-breaker 6).
+    pub peer_addr: Ipv4Addr,
+}
+
+impl RouteCandidate {
+    /// Effective LOCAL_PREF.
+    #[must_use]
+    pub fn local_pref(&self) -> u32 {
+        self.attrs.local_pref.unwrap_or(DEFAULT_LOCAL_PREF)
+    }
+
+    /// Effective MED (missing treated as 0).
+    #[must_use]
+    pub fn med(&self) -> u32 {
+        self.attrs.med.unwrap_or(0)
+    }
+}
+
+/// Compares two candidates; `Ordering::Less` means `a` is **preferred**.
+///
+/// The order is total: two distinct candidates from distinct peers never
+/// compare equal, which guarantees deterministic convergence in the
+/// simulator ("only the severely restrictive shortest-path route selection
+/// algorithm is provably safe" — we keep policies inside the safe subset by
+/// default and let experiments opt into unconstrained ones).
+#[must_use]
+pub fn compare_routes(a: &RouteCandidate, b: &RouteCandidate) -> Ordering {
+    // 1. Highest LOCAL_PREF wins.
+    b.local_pref()
+        .cmp(&a.local_pref())
+        // 2. Shortest AS path wins.
+        .then_with(|| {
+            a.attrs
+                .as_path
+                .decision_len()
+                .cmp(&b.attrs.as_path.decision_len())
+        })
+        // 3. Lowest origin wins.
+        .then_with(|| a.attrs.origin.cmp(&b.attrs.origin))
+        // 4. Lowest MED, same-neighbor-AS only.
+        .then_with(|| {
+            if a.peer_asn == b.peer_asn {
+                a.med().cmp(&b.med())
+            } else {
+                Ordering::Equal
+            }
+        })
+        // 5. Lowest router ID.
+        .then_with(|| a.peer_router_id.cmp(&b.peer_router_id))
+        // 6. Lowest peer address.
+        .then_with(|| a.peer_addr.cmp(&b.peer_addr))
+}
+
+/// Selects the best route from a candidate set, or `None` if empty.
+#[must_use]
+pub fn best_route<'a, I>(candidates: I) -> Option<&'a RouteCandidate>
+where
+    I: IntoIterator<Item = &'a RouteCandidate>,
+{
+    candidates.into_iter().min_by(|a, b| compare_routes(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::attrs::Origin;
+    use iri_bgp::path::AsPath;
+
+    fn cand(path: &[u32], peer: u32, rid: [u8; 4]) -> RouteCandidate {
+        RouteCandidate {
+            attrs: PathAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence(path.iter().map(|&a| Asn(a))),
+                Ipv4Addr::new(10, 0, 0, 1),
+            ),
+            peer_asn: Asn(peer),
+            peer_router_id: Ipv4Addr::from(rid),
+            peer_addr: Ipv4Addr::from(rid),
+        }
+    }
+
+    #[test]
+    fn shorter_path_preferred() {
+        let a = cand(&[701], 701, [1, 1, 1, 1]);
+        let b = cand(&[1239, 701], 1239, [2, 2, 2, 2]);
+        assert_eq!(compare_routes(&a, &b), Ordering::Less);
+        assert_eq!(best_route([&a, &b]), Some(&a));
+    }
+
+    #[test]
+    fn local_pref_beats_path_length() {
+        let mut long = cand(&[1239, 701, 42], 1239, [2, 2, 2, 2]);
+        long.attrs.local_pref = Some(200);
+        let short = cand(&[701], 701, [1, 1, 1, 1]);
+        assert_eq!(compare_routes(&long, &short), Ordering::Less);
+    }
+
+    #[test]
+    fn origin_breaks_equal_length() {
+        let igp = cand(&[701], 701, [2, 2, 2, 2]);
+        let mut inc = cand(&[1239], 1239, [1, 1, 1, 1]);
+        inc.attrs.origin = Origin::Incomplete;
+        assert_eq!(compare_routes(&igp, &inc), Ordering::Less);
+    }
+
+    #[test]
+    fn med_compared_within_same_neighbor_as_only() {
+        let mut a = cand(&[701, 5], 701, [2, 2, 2, 2]);
+        a.attrs.med = Some(10);
+        let mut b = cand(&[701, 6], 701, [1, 1, 1, 1]);
+        b.attrs.med = Some(20);
+        // Same neighbor AS: lower MED wins despite higher router id.
+        assert_eq!(compare_routes(&a, &b), Ordering::Less);
+
+        let mut c = cand(&[1239, 6], 1239, [1, 1, 1, 1]);
+        c.attrs.med = Some(20);
+        // Different neighbor AS: MED skipped, falls to router id.
+        assert_eq!(compare_routes(&a, &c), Ordering::Greater);
+    }
+
+    #[test]
+    fn missing_med_is_zero() {
+        let a = cand(&[701, 5], 701, [2, 2, 2, 2]); // no MED = 0
+        let mut b = cand(&[701, 6], 701, [1, 1, 1, 1]);
+        b.attrs.med = Some(1);
+        assert_eq!(compare_routes(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn router_id_then_addr_total_order() {
+        let a = cand(&[701], 701, [1, 1, 1, 1]);
+        let mut b = cand(&[702], 702, [1, 1, 1, 1]);
+        b.peer_addr = Ipv4Addr::new(9, 9, 9, 9);
+        // Same path length, origin; MED skipped (different AS); same router
+        // id; falls to peer addr.
+        assert_eq!(compare_routes(&a, &b), Ordering::Less);
+        assert_eq!(compare_routes(&b, &a), Ordering::Greater);
+    }
+
+    #[test]
+    fn as_set_counts_one() {
+        use iri_bgp::path::PathSegment;
+        let mut a = cand(&[], 701, [1, 1, 1, 1]);
+        a.attrs.as_path = AsPath::from_segments([
+            PathSegment::Sequence(vec![Asn(701)]),
+            PathSegment::Set(vec![Asn(1), Asn(2), Asn(3)]),
+        ]);
+        let b = cand(&[1239, 42, 7], 1239, [2, 2, 2, 2]);
+        // a has decision length 2, b has 3.
+        assert_eq!(compare_routes(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn best_route_empty_is_none() {
+        let v: Vec<RouteCandidate> = vec![];
+        assert_eq!(best_route(v.iter()), None);
+    }
+
+    #[test]
+    fn best_route_single() {
+        let v = vec![cand(&[701], 701, [1, 1, 1, 1])];
+        assert_eq!(best_route(v.iter()), Some(&v[0]));
+    }
+
+    #[test]
+    fn decision_is_deterministic_under_permutation() {
+        let cands = vec![
+            cand(&[701, 2], 701, [3, 3, 3, 3]),
+            cand(&[1239, 2], 1239, [2, 2, 2, 2]),
+            cand(&[3561, 2], 3561, [1, 1, 1, 1]),
+        ];
+        let best1 = best_route(cands.iter()).unwrap().clone();
+        let mut rev = cands.clone();
+        rev.reverse();
+        let best2 = best_route(rev.iter()).unwrap().clone();
+        assert_eq!(best1, best2);
+        assert_eq!(best1.peer_router_id, Ipv4Addr::new(1, 1, 1, 1));
+    }
+}

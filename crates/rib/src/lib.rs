@@ -1,0 +1,36 @@
+//! # iri-rib — routing information bases and route processing
+//!
+//! The substrate every BGP speaker in the reproduction stands on: prefix
+//! tries, the three conceptual RIBs of RFC 4271 (Adj-RIB-In, Loc-RIB,
+//! Adj-RIB-Out), the best-path decision process, routing policy, CIDR
+//! aggregation, and route-flap damping.
+//!
+//! Two pieces are direct embodiments of mechanisms the paper discusses:
+//!
+//! - [`adj_out`] implements **both** a stateful Adj-RIB-Out and the
+//!   **stateless BGP** variant of §4.2 — the router implementation that
+//!   "will transmit withdrawals to all BGP peers regardless of whether they
+//!   had previously sent the peer an announcement for the route", the
+//!   identified source of the WWDup pathology.
+//! - [`damping`] implements the route-dampening hold-down of reference 24
+//!   (draft-ietf-idr-route-dampen, later RFC 2439), which the paper
+//!   evaluates as "not a panacea".
+
+#![warn(missing_docs)]
+
+pub mod adj_in;
+pub mod adj_out;
+pub mod aggregate;
+pub mod damping;
+pub mod decision;
+pub mod loc_rib;
+pub mod policy;
+pub mod stats;
+pub mod trie;
+
+pub use adj_in::AdjRibIn;
+pub use adj_out::{AdjRibOut, ExportDelta, ExportEvent, StatefulAdjOut, StatelessAdjOut};
+pub use decision::{best_route, compare_routes, RouteCandidate};
+pub use loc_rib::LocRib;
+pub use policy::{Policy, PolicyAction, PolicyRule, RouteMatcher};
+pub use trie::PrefixTrie;

@@ -1,0 +1,255 @@
+//! Default-free routing-table census.
+//!
+//! Produces the table-level denominators the paper's figures divide by:
+//! "The Internet 'default-free' routing tables currently contain
+//! approximately 42,000 prefixes with 1500 unique ASPATHs interconnecting
+//! 1300 different autonomous systems" — plus the multihoming census of
+//! Figure 10 ("more than 25 percent of prefixes are currently multi-homed").
+
+use crate::loc_rib::LocRib;
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// A snapshot census of a default-free table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableCensus {
+    /// Total reachable prefixes.
+    pub prefixes: usize,
+    /// Distinct AS paths among best routes.
+    pub unique_paths: usize,
+    /// Distinct ASes appearing anywhere in best-route paths.
+    pub autonomous_systems: usize,
+    /// Prefixes with more than one available path (multihomed).
+    pub multihomed: usize,
+    /// Prefixes per origin AS (for table-share computations, Figure 6).
+    pub per_origin: BTreeMap<Asn, usize>,
+}
+
+impl TableCensus {
+    /// Fraction of prefixes that are multihomed.
+    #[must_use]
+    pub fn multihomed_fraction(&self) -> f64 {
+        if self.prefixes == 0 {
+            0.0
+        } else {
+            self.multihomed as f64 / self.prefixes as f64
+        }
+    }
+
+    /// The table share of `asn`: fraction of prefixes it originates.
+    #[must_use]
+    pub fn table_share(&self, asn: Asn) -> f64 {
+        if self.prefixes == 0 {
+            return 0.0;
+        }
+        *self.per_origin.get(&asn).unwrap_or(&0) as f64 / self.prefixes as f64
+    }
+}
+
+/// Computes a census from a Loc-RIB.
+#[must_use]
+pub fn census(rib: &LocRib) -> TableCensus {
+    let mut unique_paths: HashSet<&AsPath> = HashSet::new();
+    let mut ases: HashSet<Asn> = HashSet::new();
+    let mut per_origin: BTreeMap<Asn, usize> = BTreeMap::new();
+    let mut prefixes = 0usize;
+    for (_, best) in rib.iter_best() {
+        prefixes += 1;
+        unique_paths.insert(&best.attrs.as_path);
+        for asn in best.attrs.as_path.iter() {
+            ases.insert(asn);
+        }
+        if let Some(origin) = best.attrs.as_path.origin_as() {
+            *per_origin.entry(origin).or_default() += 1;
+        }
+    }
+    let multihomed = rib.iter_path_counts().filter(|&(_, n)| n > 1).count();
+    TableCensus {
+        prefixes,
+        unique_paths: unique_paths.len(),
+        autonomous_systems: ases.len(),
+        multihomed,
+        per_origin,
+    }
+}
+
+/// Aggregation-quality census (§4.1): "portions of the Internet address
+/// space are not well-aggregated and contain considerably more routes than
+/// theoretically necessary."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregationQuality {
+    /// Globally visible prefixes as announced.
+    pub visible: usize,
+    /// Prefixes after ideal exact aggregation (per origin AS).
+    pub minimal: usize,
+}
+
+impl AggregationQuality {
+    /// `visible / minimal` — 1.0 is perfect aggregation; the mid-90s
+    /// Internet sat well above it.
+    #[must_use]
+    pub fn excess_ratio(&self) -> f64 {
+        if self.minimal == 0 {
+            1.0
+        } else {
+            self.visible as f64 / self.minimal as f64
+        }
+    }
+}
+
+/// Measures aggregation quality over a table: prefixes are grouped by
+/// origin AS (aggregation across ASes is not legitimate) and each group is
+/// collapsed with exact CIDR aggregation.
+#[must_use]
+pub fn aggregation_quality<I>(entries: I) -> AggregationQuality
+where
+    I: IntoIterator<Item = (Prefix, Option<Asn>)>,
+{
+    let mut by_origin: BTreeMap<Option<Asn>, Vec<Prefix>> = BTreeMap::new();
+    let mut visible = 0usize;
+    for (p, origin) in entries {
+        by_origin.entry(origin).or_default().push(p);
+        visible += 1;
+    }
+    let minimal = by_origin
+        .into_values()
+        .map(|v| crate::aggregate::aggregate_set(v).len())
+        .sum();
+    AggregationQuality { visible, minimal }
+}
+
+/// Census over an explicit `(prefix, path, path_count)` list — used when the
+/// table view comes from MRT TABLE_DUMP records rather than a live RIB.
+#[must_use]
+pub fn census_from_entries<'a, I>(entries: I) -> TableCensus
+where
+    I: IntoIterator<Item = (Prefix, &'a AsPath, usize)>,
+{
+    let mut unique_paths: HashSet<&AsPath> = HashSet::new();
+    let mut ases: HashSet<Asn> = HashSet::new();
+    let mut per_origin: BTreeMap<Asn, usize> = BTreeMap::new();
+    let mut prefixes = 0usize;
+    let mut multihomed = 0usize;
+    for (_, path, path_count) in entries {
+        prefixes += 1;
+        unique_paths.insert(path);
+        for asn in path.iter() {
+            ases.insert(asn);
+        }
+        if let Some(origin) = path.origin_as() {
+            *per_origin.entry(origin).or_default() += 1;
+        }
+        if path_count > 1 {
+            multihomed += 1;
+        }
+    }
+    TableCensus {
+        prefixes,
+        unique_paths: unique_paths.len(),
+        autonomous_systems: ases.len(),
+        multihomed,
+        per_origin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::RouteCandidate;
+    use iri_bgp::attrs::{Origin, PathAttributes};
+    use std::net::Ipv4Addr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cand(path: &[u32], rid: u8) -> RouteCandidate {
+        RouteCandidate {
+            attrs: PathAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence(path.iter().map(|&a| Asn(a))),
+                Ipv4Addr::new(10, 0, 0, rid),
+            ),
+            peer_asn: Asn(path[0]),
+            peer_router_id: Ipv4Addr::new(rid, rid, rid, rid),
+            peer_addr: Ipv4Addr::new(rid, rid, rid, rid),
+        }
+    }
+
+    fn peer(rid: u8) -> Ipv4Addr {
+        Ipv4Addr::new(rid, rid, rid, rid)
+    }
+
+    #[test]
+    fn census_counts_everything() {
+        let mut rib = LocRib::new();
+        rib.upsert(p("10.0.0.0/8"), peer(1), cand(&[701, 100], 1));
+        rib.upsert(p("10.0.0.0/8"), peer(2), cand(&[1239, 100], 2)); // multihomed
+        rib.upsert(p("11.0.0.0/8"), peer(1), cand(&[701, 100], 1)); // same path as 10/8 best
+        rib.upsert(p("12.0.0.0/8"), peer(2), cand(&[1239, 200], 2));
+        let c = census(&rib);
+        assert_eq!(c.prefixes, 3);
+        assert_eq!(c.multihomed, 1);
+        assert!((c.multihomed_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // Best for 10/8 is 701 100 (shorter tie by router id 1); paths:
+        // {701 100} (x2) and {1239 200} → 2 unique.
+        assert_eq!(c.unique_paths, 2);
+        assert_eq!(c.autonomous_systems, 4); // 701, 100, 1239, 200
+        assert_eq!(c.per_origin[&Asn(100)], 2);
+        assert_eq!(c.per_origin[&Asn(200)], 1);
+        assert!((c.table_share(Asn(100)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.table_share(Asn(999)), 0.0);
+    }
+
+    #[test]
+    fn empty_rib_census() {
+        let c = census(&LocRib::new());
+        assert_eq!(c.prefixes, 0);
+        assert_eq!(c.multihomed_fraction(), 0.0);
+        assert_eq!(c.table_share(Asn(1)), 0.0);
+    }
+
+    #[test]
+    fn aggregation_quality_census() {
+        // Four sibling /24s of one AS collapse to one /22; a swamp /24 of
+        // another AS stands alone.
+        let entries = vec![
+            (p("24.0.0.0/24"), Some(Asn(100))),
+            (p("24.0.1.0/24"), Some(Asn(100))),
+            (p("24.0.2.0/24"), Some(Asn(100))),
+            (p("24.0.3.0/24"), Some(Asn(100))),
+            (p("192.0.5.0/24"), Some(Asn(200))),
+        ];
+        let q = aggregation_quality(entries);
+        assert_eq!(q.visible, 5);
+        assert_eq!(q.minimal, 2);
+        assert!((q.excess_ratio() - 2.5).abs() < 1e-12);
+        // Same prefixes under *different* origins must not merge.
+        let entries = vec![
+            (p("24.0.0.0/24"), Some(Asn(100))),
+            (p("24.0.1.0/24"), Some(Asn(101))),
+        ];
+        let q = aggregation_quality(entries);
+        assert_eq!(q.minimal, 2);
+        // Empty table.
+        let q = aggregation_quality(Vec::<(Prefix, Option<Asn>)>::new());
+        assert_eq!(q.excess_ratio(), 1.0);
+    }
+
+    #[test]
+    fn census_from_entries_matches_live() {
+        let path_a = AsPath::from_sequence([Asn(701), Asn(100)]);
+        let path_b = AsPath::from_sequence([Asn(1239), Asn(200)]);
+        let c = census_from_entries([
+            (p("10.0.0.0/8"), &path_a, 2),
+            (p("11.0.0.0/8"), &path_a, 1),
+            (p("12.0.0.0/8"), &path_b, 1),
+        ]);
+        assert_eq!(c.prefixes, 3);
+        assert_eq!(c.multihomed, 1);
+        assert_eq!(c.unique_paths, 2);
+        assert_eq!(c.autonomous_systems, 4);
+    }
+}

@@ -1,0 +1,262 @@
+//! Property tests on the core routing data structures: trie consistency
+//! against a model map, aggregation exactness, decision-process totality,
+//! and damping invariants.
+
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_rib::aggregate::aggregate_set;
+use iri_rib::damping::{DampingConfig, FlapKind, RouteDamper};
+use iri_rib::decision::{best_route, compare_routes, RouteCandidate};
+use iri_rib::loc_rib::LocRib;
+use iri_rib::trie::PrefixTrie;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    // Bias toward short prefixes so containment actually occurs.
+    (any::<u32>(), 0u8..=24).prop_map(|(b, l)| Prefix::from_raw(b, l))
+}
+
+fn small_prefix() -> impl Strategy<Value = Prefix> {
+    // A small universe (few distinct networks) to force collisions.
+    (0u32..16, 20u8..=24).prop_map(|(i, l)| Prefix::from_raw(0x0a00_0000 | (i << 8), l))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Prefix, u32),
+    Remove(Prefix),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (small_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+            small_prefix().prop_map(Op::Remove),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn trie_matches_model_map(ops in arb_ops()) {
+        let mut trie = PrefixTrie::new();
+        let mut model: BTreeMap<(u32, u8), u32> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(p, v) => {
+                    let got = trie.insert(p, v);
+                    let want = model.insert((p.bits(), p.len()), v);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove(p) => {
+                    let got = trie.remove(p);
+                    let want = model.remove(&(p.bits(), p.len()));
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+        // Full-content equality and sorted iteration order.
+        let got: Vec<((u32, u8), u32)> =
+            trie.iter().map(|(p, &v)| ((p.bits(), p.len()), v)).collect();
+        let want: Vec<((u32, u8), u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn trie_longest_match_agrees_with_linear_scan(
+        entries in prop::collection::btree_map(arb_prefix().prop_map(|p| (p.bits(), p.len())), any::<u32>(), 0..50),
+        dest in any::<u32>(),
+    ) {
+        let trie: PrefixTrie<u32> = entries
+            .iter()
+            .map(|(&(b, l), &v)| (Prefix::from_raw(b, l), v))
+            .collect();
+        let dest_p = Prefix::from_raw(dest, 32);
+        let got = trie.longest_match(dest_p).map(|(p, &v)| (p, v));
+        let want = entries
+            .iter()
+            .map(|(&(b, l), &v)| (Prefix::from_raw(b, l), v))
+            .filter(|(p, _)| p.contains_addr(Ipv4Addr::from(dest)))
+            .max_by_key(|(p, _)| p.len());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn aggregation_exactly_preserves_address_space(
+        prefixes in prop::collection::vec(small_prefix(), 0..40)
+    ) {
+        let out = aggregate_set(prefixes.iter().copied());
+        // 1. Every input is covered by some output.
+        for p in &prefixes {
+            prop_assert!(out.iter().any(|o| o.contains(*p)), "{p} uncovered");
+        }
+        // 2. No over-claiming: every output address is in some input.
+        //    Check by sampling output corner addresses.
+        for o in &out {
+            let lo = o.bits();
+            let hi = o.bits() | !(if o.len() == 0 { 0 } else { u32::MAX << (32 - o.len()) });
+            for addr in [lo, hi, lo + (hi - lo) / 2] {
+                let covered = prefixes.iter().any(|p| p.contains_addr(Ipv4Addr::from(addr)));
+                prop_assert!(covered, "aggregate {o} claims {}", Ipv4Addr::from(addr));
+            }
+        }
+        // 3. Minimality: no two outputs are sibling pairs, none covered by another.
+        for (i, a) in out.iter().enumerate() {
+            for (j, b) in out.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.contains(*b));
+                    prop_assert_ne!(Some(*b), a.sibling());
+                }
+            }
+        }
+        // 4. Idempotence.
+        let again = aggregate_set(out.iter().copied());
+        prop_assert_eq!(again, out);
+    }
+
+    #[test]
+    fn decision_total_order_and_permutation_invariance(
+        seed_paths in prop::collection::vec((1u32..100, 1usize..5), 1..8)
+    ) {
+        let cands: Vec<RouteCandidate> = seed_paths
+            .iter()
+            .enumerate()
+            .map(|(i, &(asn, len))| RouteCandidate {
+                attrs: PathAttributes::new(
+                    Origin::Igp,
+                    AsPath::from_sequence((0..len).map(|k| Asn(asn + k as u32))),
+                    Ipv4Addr::new(10, 0, 0, i as u8),
+                ),
+                peer_asn: Asn(asn),
+                peer_router_id: Ipv4Addr::new(10, 0, 1, i as u8),
+                peer_addr: Ipv4Addr::new(10, 0, 2, i as u8),
+            })
+            .collect();
+        let best = best_route(cands.iter()).unwrap();
+        // Best is minimal against every candidate.
+        for c in &cands {
+            prop_assert_ne!(compare_routes(c, best), std::cmp::Ordering::Less);
+        }
+        // Reversal produces the same best.
+        let mut rev = cands.clone();
+        rev.reverse();
+        prop_assert_eq!(best_route(rev.iter()).unwrap(), best);
+        // Antisymmetry on every pair.
+        for a in &cands {
+            for b in &cands {
+                let ab = compare_routes(a, b);
+                let ba = compare_routes(b, a);
+                prop_assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn loc_rib_reachable_count_matches_iteration(
+        events in prop::collection::vec(
+            (0u8..4, 0u8..3, any::<bool>()),
+            0..100,
+        )
+    ) {
+        // events: (prefix index, peer index, announce?)
+        let mut rib = LocRib::new();
+        let prefixes: Vec<Prefix> = (0..4u32)
+            .map(|i| Prefix::from_raw(0x0a00_0000 | (i << 16), 16))
+            .collect();
+        for (pi, peer_i, announce) in events {
+            let prefix = prefixes[pi as usize];
+            let peer = Ipv4Addr::new(10, 9, 9, peer_i);
+            if announce {
+                let cand = RouteCandidate {
+                    attrs: PathAttributes::new(
+                        Origin::Igp,
+                        AsPath::from_sequence([Asn(u32::from(peer_i) + 1)]),
+                        peer,
+                    ),
+                    peer_asn: Asn(u32::from(peer_i) + 1),
+                    peer_router_id: peer,
+                    peer_addr: peer,
+                };
+                rib.upsert(prefix, peer, cand);
+            } else {
+                rib.withdraw(prefix, peer);
+            }
+            prop_assert_eq!(rib.reachable_count(), rib.iter_best().count());
+        }
+    }
+
+    #[test]
+    fn damping_penalty_never_negative_or_above_cap(
+        flaps in prop::collection::vec((0u64..100_000, any::<bool>()), 1..100)
+    ) {
+        let cfg = DampingConfig::default();
+        let cap = cfg.max_penalty;
+        let mut d = RouteDamper::new(cfg);
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut sorted = flaps.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        for (t, w) in sorted {
+            let kind = if w { FlapKind::Withdrawal } else { FlapKind::Announcement };
+            d.record_flap(pfx, kind, t);
+            let p = d.penalty(pfx, t);
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn damping_eventually_releases(
+        n_flaps in 1usize..20,
+    ) {
+        let cfg = DampingConfig::default();
+        let max_suppress = cfg.max_suppress;
+        let half_life = cfg.half_life;
+        let mut d = RouteDamper::new(cfg);
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        for i in 0..n_flaps {
+            d.record_flap(pfx, FlapKind::Withdrawal, i as u64 * 10);
+        }
+        let last = n_flaps as u64 * 10;
+        // After max_suppress plus several half-lives, always released.
+        let horizon = last + max_suppress + 10 * half_life;
+        prop_assert!(!d.is_suppressed(pfx, horizon));
+    }
+
+    #[test]
+    fn loc_rib_drop_peer_equals_individual_withdrawals(
+        prefixes in prop::collection::btree_set(0u32..8, 1..6)
+    ) {
+        let mk = |i: u32| Prefix::from_raw(0x0a00_0000 | (i << 16), 16);
+        let peer1 = Ipv4Addr::new(1, 1, 1, 1);
+        let peer2 = Ipv4Addr::new(2, 2, 2, 2);
+        let cand = |asn: u32, addr: Ipv4Addr| RouteCandidate {
+            attrs: PathAttributes::new(Origin::Igp, AsPath::from_sequence([Asn(asn)]), addr),
+            peer_asn: Asn(asn),
+            peer_router_id: addr,
+            peer_addr: addr,
+        };
+        let mut a = LocRib::new();
+        let mut b = LocRib::new();
+        for &i in &prefixes {
+            a.upsert(mk(i), peer1, cand(1, peer1));
+            a.upsert(mk(i), peer2, cand(2, peer2));
+            b.upsert(mk(i), peer1, cand(1, peer1));
+            b.upsert(mk(i), peer2, cand(2, peer2));
+        }
+        a.drop_peer(peer1);
+        for &i in &prefixes {
+            b.withdraw(mk(i), peer1);
+        }
+        let va: HashMap<Prefix, Asn> = a.iter_best().map(|(p, c)| (p, c.peer_asn)).collect();
+        let vb: HashMap<Prefix, Asn> = b.iter_best().map(|(p, c)| (p, c.peer_asn)).collect();
+        prop_assert_eq!(va, vb);
+        prop_assert_eq!(a.reachable_count(), prefixes.len());
+    }
+}

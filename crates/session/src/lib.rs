@@ -1,0 +1,29 @@
+//! # iri-session — BGP peering session machinery
+//!
+//! The RFC 4271 finite state machine (Idle → Connect → Active → OpenSent →
+//! OpenConfirm → Established) and the timers that drive it, written against
+//! a *virtual* clock so the deterministic simulator in `iri-netsim` can run
+//! thousands of sessions reproducibly.
+//!
+//! Two timer behaviours from the paper are first-class here:
+//!
+//! - **Hold-timer expiry under load** — "routers delay routing Keep-Alive
+//!   packets and are subsequently flagged as down, or unreachable by other
+//!   routers" — the proximate mechanism of route-flap storms. The FSM
+//!   emits [`fsm::Action::SessionDown`] with
+//!   [`iri_bgp::message::NotificationCode::HoldTimerExpired`] exactly as a
+//!   real border router would.
+//! - **The unjittered 30-second update-packing timer** of §4.2 — "a popular
+//!   router vendor's inclusion of an unjittered 30 second interval timer on
+//!   BGP's update processing" — modelled by [`timers::MraiTimer`] in both
+//!   jittered and pathological unjittered variants; it is the origin of the
+//!   30/60-second inter-arrival modes of Figure 8.
+
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod selfsync;
+pub mod timers;
+
+pub use fsm::{Action, Event, SessionConfig, SessionFsm, State};
+pub use timers::{MraiTimer, TimerProfile};

@@ -1,0 +1,246 @@
+//! Self-synchronisation of periodic routing messages (Floyd & Jacobson),
+//! the paper's third conjecture for the 30/60-second periodicity:
+//!
+//! > "Unjittered timers in a router may also lead to self-synchronization.
+//! > … the unjittered interval timer used on a large number of inter-domain
+//! > border routers may introduce a weak coupling between those routers
+//! > through the periodic transmission of the BGP updates. Our analysis
+//! > suggests that these Internet routers will fulfill the requirements of
+//! > the Periodic Message model and may undergo abrupt synchronization."
+//!
+//! This module implements the Floyd–Jacobson **Periodic Message Model**:
+//! each router runs a nominal period `T`; when its timer fires it prepares
+//! and transmits its update (taking `t_c` of CPU), and any update *received
+//! while preparing* must be processed first (adding `t_c2` each), delaying
+//! the transmission and thereby shifting the router's next firing toward
+//! the cluster that triggered the delay. Weak coupling + unjittered timers
+//! ⇒ routers clump into synchronized clusters; sufficient randomisation
+//! (jitter) keeps them spread.
+//!
+//! The observable is the phase-dispersion statistic
+//! [`phase_dispersion`] ∈ [0, 1]: 1 = perfectly synchronized (all firings
+//! at one phase of the period), ~0 = uniformly spread.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of the periodic message model.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfSyncConfig {
+    /// Number of routers.
+    pub routers: usize,
+    /// Nominal period (ms) — 30 000 for the era's timers.
+    pub period_ms: f64,
+    /// Time to prepare/transmit one's own update (ms).
+    pub prep_ms: f64,
+    /// Extra processing time per update received during preparation (ms)
+    /// — the weak coupling.
+    pub coupling_ms: f64,
+    /// Uniform jitter applied to each period, as a fraction of the period
+    /// (0 = the pathological unjittered timer).
+    pub jitter: f64,
+    /// Symmetric per-period load noise (ms): small random variation in a
+    /// router's effective period from varying table sizes and CPU load —
+    /// the random walk that carries routers into capture range. Distinct
+    /// from `jitter`, which is the *deliberate* randomisation of the fixed
+    /// timers (Floyd–Jacobson's proposed fix).
+    pub drift_ms: f64,
+}
+
+impl Default for SelfSyncConfig {
+    fn default() -> Self {
+        SelfSyncConfig {
+            routers: 30,
+            period_ms: 30_000.0,
+            prep_ms: 120.0,
+            coupling_ms: 40.0,
+            jitter: 0.0,
+            drift_ms: 150.0,
+        }
+    }
+}
+
+/// Result of a run: dispersion sampled once per nominal period.
+#[derive(Debug, Clone)]
+pub struct SelfSyncRun {
+    /// Phase-dispersion trajectory (one sample per period).
+    pub dispersion: Vec<f64>,
+}
+
+impl SelfSyncRun {
+    /// Mean dispersion over the last quarter of the run.
+    #[must_use]
+    pub fn final_dispersion(&self) -> f64 {
+        let n = self.dispersion.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.dispersion[n - (n / 4).max(1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Kuramoto-style order parameter of firing phases within the period:
+/// `|Σ e^{2πi·phase/T}| / N`.
+#[must_use]
+pub fn phase_dispersion(phases: &[f64], period: f64) -> f64 {
+    if phases.is_empty() {
+        return 0.0;
+    }
+    let (mut re, mut im) = (0.0f64, 0.0f64);
+    for &p in phases {
+        let theta = 2.0 * std::f64::consts::PI * (p % period) / period;
+        re += theta.cos();
+        im += theta.sin();
+    }
+    (re * re + im * im).sqrt() / phases.len() as f64
+}
+
+/// Runs the periodic message model for `periods` nominal periods and
+/// returns the dispersion trajectory.
+pub fn run_model(cfg: &SelfSyncConfig, periods: usize, rng: &mut StdRng) -> SelfSyncRun {
+    // next_fire[i]: absolute time of router i's next timer expiry.
+    let mut next_fire: Vec<f64> = (0..cfg.routers)
+        .map(|_| rng.random_range(0.0..cfg.period_ms))
+        .collect();
+    let mut dispersion = Vec::with_capacity(periods);
+    let mut sample_at = cfg.period_ms;
+    let horizon = cfg.period_ms * periods as f64;
+    let mut now;
+
+    loop {
+        // Pop the earliest firing.
+        let (idx, &t) = next_fire
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        now = t;
+        if now >= horizon {
+            break;
+        }
+        while now >= sample_at {
+            dispersion.push(phase_dispersion(&next_fire, cfg.period_ms));
+            sample_at += cfg.period_ms;
+        }
+        // A transmission round (Floyd–Jacobson): the leader transmits for
+        // `prep_ms`; any router whose own timer expires while a
+        // transmission is in flight must first process the incoming
+        // update(s) (`coupling_ms`), then transmit its own — so its actual
+        // firing, and therefore its re-armed timer, clusters just after
+        // the leader's. Joiners are re-armed a full period ahead, so the
+        // round terminates (a router joins at most once per round).
+        let mut round_end = now + cfg.prep_ms;
+        let draw_rearm = |rng: &mut StdRng| {
+            let jitter = if cfg.jitter > 0.0 {
+                rng.random_range(-cfg.jitter..=0.0) * cfg.period_ms
+            } else {
+                0.0
+            };
+            let drift = if cfg.drift_ms > 0.0 {
+                rng.random_range(-cfg.drift_ms..=cfg.drift_ms)
+            } else {
+                0.0
+            };
+            cfg.period_ms + jitter + drift
+        };
+        let mut participants = vec![idx];
+        loop {
+            let joiner = next_fire
+                .iter()
+                .enumerate()
+                .filter(|&(j, &tj)| j != idx && tj > now && tj <= round_end)
+                .filter(|(j, _)| !participants.contains(j))
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j);
+            let Some(j) = joiner else { break };
+            // j processes the in-flight update(s), then transmits its own,
+            // extending the round.
+            round_end += cfg.coupling_ms + cfg.prep_ms;
+            participants.push(j);
+        }
+        // On the shared exchange LAN every participant hears the whole
+        // round; each restarts its interval timer only after processing
+        // all of it (the Floyd–Jacobson broadcast coupling) — so the whole
+        // cluster re-arms from the round's end, plus its own load noise.
+        for j in participants {
+            next_fire[j] = round_end + draw_rearm(rng);
+        }
+    }
+    SelfSyncRun { dispersion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dispersion_statistic_extremes() {
+        // All at the same phase: 1.
+        let sync = vec![5_000.0; 20];
+        assert!((phase_dispersion(&sync, 30_000.0) - 1.0).abs() < 1e-12);
+        // Evenly spread: ~0.
+        let spread: Vec<f64> = (0..20).map(|i| i as f64 * 1_500.0).collect();
+        assert!(phase_dispersion(&spread, 30_000.0) < 1e-9);
+        assert_eq!(phase_dispersion(&[], 30_000.0), 0.0);
+    }
+
+    #[test]
+    fn unjittered_routers_synchronize() {
+        let mut rng = StdRng::seed_from_u64(1996);
+        let cfg = SelfSyncConfig::default();
+        let run = run_model(&cfg, 600, &mut rng);
+        let early = run.dispersion[..20].iter().sum::<f64>() / 20.0;
+        let late = run.final_dispersion();
+        assert!(
+            late > early + 0.3,
+            "coupling must drive synchronization: {early:.2} → {late:.2}"
+        );
+        assert!(late > 0.6, "final clustering must be strong: {late:.2}");
+    }
+
+    #[test]
+    fn jitter_prevents_synchronization() {
+        let mut rng = StdRng::seed_from_u64(1996);
+        let cfg = SelfSyncConfig {
+            jitter: 0.25,
+            ..SelfSyncConfig::default()
+        };
+        let run = run_model(&cfg, 600, &mut rng);
+        assert!(
+            run.final_dispersion() < 0.5,
+            "jitter must keep routers spread: {:.2}",
+            run.final_dispersion()
+        );
+    }
+
+    #[test]
+    fn no_coupling_no_synchronization() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = SelfSyncConfig {
+            coupling_ms: 0.0,
+            prep_ms: 0.0,
+            ..SelfSyncConfig::default()
+        };
+        let run = run_model(&cfg, 400, &mut rng);
+        // Without coupling the initial random phases persist.
+        let early = run.dispersion[..10.min(run.dispersion.len())]
+            .iter()
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            (run.final_dispersion() - early).abs() < 0.15,
+            "no coupling: dispersion must not drift ({early:.2} → {:.2})",
+            run.final_dispersion()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = SelfSyncConfig::default();
+        let a = run_model(&cfg, 100, &mut StdRng::seed_from_u64(3)).dispersion;
+        let b = run_model(&cfg, 100, &mut StdRng::seed_from_u64(3)).dispersion;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,268 @@
+//! Session timers against a virtual millisecond clock.
+//!
+//! [`MraiTimer`] models the update-packing ("MinRouteAdvertisementInterval"
+//! -style) timer of §4.2. Real implementations jitter this timer to avoid
+//! the self-synchronisation of Floyd & Jacobson (reference 6 of the paper); the vendor implicated
+//! by the paper shipped it *unjittered at 30 seconds*, which both imposes
+//! the 30/60 s periodicity on update inter-arrivals and can act as "an
+//! artificial route dampening mechanism" that converts an A1→A2→A1 flutter
+//! into an AADup and a W→A→W flutter into a WWDup.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds of virtual time.
+pub type Millis = u64;
+
+/// How a router's periodic update timer behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TimerProfile {
+    /// The pathological fixed-interval timer (`interval` exactly).
+    Unjittered {
+        /// Fixed period.
+        interval: Millis,
+    },
+    /// A jittered timer: uniform in `[interval * (1 - jitter), interval]`,
+    /// the RFC 4271 §9.2.1.1 recommendation (jitter typically 0.25).
+    Jittered {
+        /// Base period.
+        interval: Millis,
+        /// Fractional jitter (0.0–1.0).
+        jitter: f64,
+    },
+    /// No batching at all: every update goes out immediately.
+    Immediate,
+}
+
+impl TimerProfile {
+    /// The classic pathological profile: unjittered 30 s.
+    #[must_use]
+    pub fn pathological_30s() -> Self {
+        TimerProfile::Unjittered { interval: 30_000 }
+    }
+
+    /// The post-fix profile: 30 s with 25 % jitter.
+    #[must_use]
+    pub fn jittered_30s() -> Self {
+        TimerProfile::Jittered {
+            interval: 30_000,
+            jitter: 0.25,
+        }
+    }
+
+    /// Draws the next firing delay.
+    pub fn next_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> Millis {
+        match *self {
+            TimerProfile::Unjittered { interval } => interval,
+            TimerProfile::Jittered { interval, jitter } => {
+                let j = jitter.clamp(0.0, 1.0);
+                let low = ((interval as f64) * (1.0 - j)) as Millis;
+                rng.random_range(low..=interval)
+            }
+            TimerProfile::Immediate => 0,
+        }
+    }
+}
+
+/// The update-packing timer: outbound route changes accumulate while the
+/// timer runs and flush when it fires.
+///
+/// The **unjittered** profile models the implicated vendor's free-running
+/// *interval* timer: firings are locked to a fixed grid
+/// (`phase + k·interval`), so everything a router emits is quantised to
+/// 30-second boundaries — the direct origin of the exact 30/60-second
+/// inter-arrival modes of Figure 8 and a precondition for the
+/// Floyd–Jacobson self-synchronisation the paper conjectures. Jittered
+/// timers are one-shot (armed relative to the triggering update), as in
+/// the fixed implementations.
+#[derive(Debug, Clone)]
+pub struct MraiTimer {
+    profile: TimerProfile,
+    /// Grid offset for the free-running (unjittered) profile.
+    phase: Millis,
+    /// When the running timer fires, if armed.
+    deadline: Option<Millis>,
+}
+
+impl MraiTimer {
+    /// New timer with the given profile, not yet armed, grid phase 0.
+    #[must_use]
+    pub fn new(profile: TimerProfile) -> Self {
+        MraiTimer {
+            profile,
+            phase: 0,
+            deadline: None,
+        }
+    }
+
+    /// New timer whose free-running grid is offset by `phase_seed`
+    /// (reduced modulo the interval; ignored by jittered/immediate
+    /// profiles). Real boxes derive this from their boot time.
+    #[must_use]
+    pub fn with_phase(profile: TimerProfile, phase_seed: Millis) -> Self {
+        let phase = match profile {
+            TimerProfile::Unjittered { interval } if interval > 0 => phase_seed % interval,
+            _ => 0,
+        };
+        MraiTimer {
+            profile,
+            phase,
+            deadline: None,
+        }
+    }
+
+    /// The configured profile.
+    #[must_use]
+    pub fn profile(&self) -> TimerProfile {
+        self.profile
+    }
+
+    /// Current deadline, if armed.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Millis> {
+        self.deadline
+    }
+
+    /// Whether updates should be sent immediately (no batching).
+    #[must_use]
+    pub fn is_immediate(&self) -> bool {
+        matches!(self.profile, TimerProfile::Immediate)
+    }
+
+    /// Arms the timer at `now` if not already armed; returns the deadline.
+    ///
+    /// Unjittered timers snap to the next point of their free-running grid
+    /// strictly after `now`; jittered timers fire a drawn delay after the
+    /// triggering event.
+    pub fn arm<R: Rng + ?Sized>(&mut self, now: Millis, rng: &mut R) -> Millis {
+        match self.deadline {
+            Some(d) => d,
+            None => {
+                let d = match self.profile {
+                    TimerProfile::Unjittered { interval } if interval > 0 => {
+                        if now < self.phase {
+                            self.phase
+                        } else {
+                            let k = (now - self.phase) / interval + 1;
+                            self.phase + k * interval
+                        }
+                    }
+                    _ => now + self.profile.next_delay(rng),
+                };
+                self.deadline = Some(d);
+                d
+            }
+        }
+    }
+
+    /// Fires the timer if `now` has reached the deadline; returns whether
+    /// it fired (and disarms it).
+    pub fn fire(&mut self, now: Millis) -> bool {
+        match self.deadline {
+            Some(d) if now >= d => {
+                self.deadline = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disarms without firing (session reset).
+    pub fn cancel(&mut self) {
+        self.deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unjittered_is_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = TimerProfile::pathological_30s();
+        for _ in 0..10 {
+            assert_eq!(p.next_delay(&mut rng), 30_000);
+        }
+    }
+
+    #[test]
+    fn jittered_is_in_band_and_varies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = TimerProfile::jittered_30s();
+        let draws: Vec<Millis> = (0..100).map(|_| p.next_delay(&mut rng)).collect();
+        for &d in &draws {
+            assert!((22_500..=30_000).contains(&d), "{d}");
+        }
+        assert!(draws.iter().any(|&d| d != draws[0]), "must vary");
+    }
+
+    #[test]
+    fn immediate_is_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(TimerProfile::Immediate.next_delay(&mut rng), 0);
+    }
+
+    #[test]
+    fn arm_is_idempotent_until_fire() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = MraiTimer::new(TimerProfile::pathological_30s());
+        // Free-running grid (phase 0): arming at 1 s fires at the next
+        // 30-second boundary.
+        let d1 = t.arm(1000, &mut rng);
+        assert_eq!(d1, 30_000);
+        // Re-arming while armed keeps the original deadline.
+        assert_eq!(t.arm(5000, &mut rng), 30_000);
+        assert!(!t.fire(29_999));
+        assert!(t.fire(30_000));
+        assert_eq!(t.deadline(), None);
+        // After firing, a new arm snaps to the *next* grid point.
+        assert_eq!(t.arm(30_000, &mut rng), 60_000);
+        assert_eq!(t.fire(60_000), true);
+        assert_eq!(t.arm(60_001, &mut rng), 90_000);
+    }
+
+    #[test]
+    fn unjittered_grid_respects_phase() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = MraiTimer::with_phase(TimerProfile::pathological_30s(), 77_012);
+        // phase = 77_012 % 30_000 = 17_012; grid = 17_012 + k·30_000.
+        assert_eq!(t.arm(0, &mut rng), 47_012 - 30_000);
+        t.cancel();
+        assert_eq!(t.arm(20_000, &mut rng), 47_012);
+        t.cancel();
+        assert_eq!(t.arm(47_012, &mut rng), 77_012);
+    }
+
+    #[test]
+    fn jittered_is_relative_not_grid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = MraiTimer::with_phase(TimerProfile::jittered_30s(), 12_345);
+        let d = t.arm(100_000, &mut rng);
+        assert!((122_500..=130_000).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = MraiTimer::new(TimerProfile::pathological_30s());
+        t.arm(0, &mut rng);
+        t.cancel();
+        assert!(!t.fire(100_000));
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn jitter_clamped() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = TimerProfile::Jittered {
+            interval: 1000,
+            jitter: 5.0, // clamped to 1.0 → band [0, 1000]
+        };
+        for _ in 0..50 {
+            assert!(p.next_delay(&mut rng) <= 1000);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Tiered AS-graph generation.
+//!
+//! The default-free Internet of the paper: "approximately 42,000 prefixes
+//! with 1500 unique ASPATHs interconnecting 1300 different autonomous
+//! systems", with routing tables "dominated by six to eight ISPs". We model
+//! an exchange point's worth of that world: N provider border routers (a
+//! few large, many small — Zipf-weighted table shares), each fronting a set
+//! of customer ASes whose prefixes the provider originates, and a growing
+//! population of multihomed customers attached to two providers.
+
+use crate::prefixes::PrefixAllocator;
+use iri_bgp::types::{Asn, Prefix};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Graph-generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Provider border routers at the exchange.
+    pub providers: usize,
+    /// Total customer prefixes (the scaled "42,000").
+    pub prefixes: usize,
+    /// Fraction of providers running the pathological router profile.
+    pub pathological_fraction: f64,
+    /// Fraction of prefixes multihomed *by the end* of the run
+    /// (paper: >25 %; growth to that level is linear, see
+    /// [`crate::growth`]).
+    pub multihomed_fraction: f64,
+    /// Fraction of prefixes from the unaggregatable pre-CIDR swamp.
+    pub swamp_fraction: f64,
+    /// Zipf skew for provider table shares (0 = uniform; ~0.9 reproduces
+    /// "dominated by six to eight ISPs").
+    pub zipf_skew: f64,
+    /// RNG seed for graph construction (independent of the event seed).
+    pub seed: u64,
+}
+
+impl GraphConfig {
+    /// The default 1/10-scale Mae-East-like configuration.
+    #[must_use]
+    pub fn default_scaled(scale: f64) -> Self {
+        GraphConfig {
+            providers: ((60.0 * scale).round() as usize).max(3),
+            prefixes: ((42_000.0 * scale).round() as usize).max(50),
+            pathological_fraction: 0.6,
+            multihomed_fraction: 0.28,
+            swamp_fraction: 0.35,
+            zipf_skew: 0.9,
+            seed: 0x1996_0401,
+        }
+    }
+}
+
+/// A provider border router at the exchange.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderSpec {
+    /// Display name.
+    pub name: String,
+    /// AS number.
+    pub asn: Asn,
+    /// Whether it runs the §4.2 pathological profile.
+    pub pathological: bool,
+    /// This provider's CIDR block.
+    pub block: Prefix,
+    /// Relative table-share weight (Zipf).
+    pub weight: f64,
+    /// Instability quality multiplier, *independent of size*: aggregation
+    /// quality, customer-base age and operational practice vary per ISP
+    /// ("ISP-B … has been able to provide address space from under its own
+    /// set of aggregated CIDR blocks, perhaps hiding internal instability
+    /// through better aggregation"). This is what decorrelates update share
+    /// from table share in Figure 6.
+    #[serde(default = "default_instability_factor")]
+    pub instability_factor: f64,
+}
+
+fn default_instability_factor() -> f64 {
+    1.0
+}
+
+/// A customer AS and its prefixes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CustomerSpec {
+    /// The customer's AS (origin AS in announcements).
+    pub asn: Asn,
+    /// Its prefixes.
+    pub prefixes: Vec<Prefix>,
+    /// Primary provider (index into [`AsGraph::providers`]).
+    pub primary: usize,
+    /// Secondary provider for multihomed customers.
+    pub secondary: Option<usize>,
+    /// Day index (from run start) at which the customer becomes
+    /// multihomed; `None` = single-homed throughout. Multihomed-from-day-0
+    /// customers model the existing base.
+    pub multihome_from_day: Option<u32>,
+    /// Relative share of instability events hitting this customer
+    /// (flakiness — instability is well-distributed, so this stays within
+    /// a small factor of 1).
+    pub flakiness: f64,
+}
+
+impl CustomerSpec {
+    /// Providers originating this customer's prefixes on `day`.
+    #[must_use]
+    pub fn providers_on_day(&self, day: u32) -> Vec<usize> {
+        match (self.secondary, self.multihome_from_day) {
+            (Some(s), Some(d0)) if day >= d0 => vec![self.primary, s],
+            _ => vec![self.primary],
+        }
+    }
+
+    /// Whether multihomed on `day`.
+    #[must_use]
+    pub fn is_multihomed(&self, day: u32) -> bool {
+        self.providers_on_day(day).len() > 1
+    }
+}
+
+/// The generated graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsGraph {
+    /// Provider border routers.
+    pub providers: Vec<ProviderSpec>,
+    /// Customer ASes.
+    pub customers: Vec<CustomerSpec>,
+}
+
+impl AsGraph {
+    /// Generates a graph from `cfg` (deterministic in `cfg.seed`).
+    #[must_use]
+    pub fn generate(cfg: &GraphConfig) -> AsGraph {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut alloc = PrefixAllocator::new();
+
+        // Providers with Zipf weights: w_i = 1 / (i+1)^skew.
+        let mut instability_rng = StdRng::seed_from_u64(cfg.seed ^ 0xabcd);
+        let providers: Vec<ProviderSpec> = (0..cfg.providers)
+            .map(|i| {
+                let weight = 1.0 / ((i + 1) as f64).powf(cfg.zipf_skew);
+                let instability_factor = instability_rng.random_range(-1.2f64..1.2).exp();
+                let mut name = format!("Provider-{}", (b'A' + (i % 26) as u8) as char);
+                if i >= 26 {
+                    name.push_str(&(i / 26).to_string());
+                }
+                ProviderSpec {
+                    name,
+                    asn: Asn(100 + i as u32),
+                    pathological: ((i as f64) + 0.5) / (cfg.providers as f64)
+                        < cfg.pathological_fraction,
+                    block: alloc.provider_block(),
+                    weight,
+                    instability_factor,
+                }
+            })
+            .collect();
+        let total_weight: f64 = providers.iter().map(|p| p.weight).sum();
+
+        // Customers: one prefix per customer by default, a few with more.
+        // Assign each prefix to a provider ∝ weight; mark swamp prefixes;
+        // choose multihoming onset days uniformly over a 270-day horizon
+        // so growth is linear.
+        let mut customers = Vec::new();
+        let mut next_customer_asn = 2000u32;
+        let mut per_provider_alloc = vec![0u32; cfg.providers];
+        let mut remaining = cfg.prefixes;
+        while remaining > 0 {
+            let n_prefixes = if rng.random_bool(0.1) {
+                rng.random_range(2..=4).min(remaining)
+            } else {
+                1
+            };
+            remaining -= n_prefixes;
+            // Pick primary provider by weight.
+            let mut pick = rng.random_range(0.0..total_weight);
+            let mut primary = 0;
+            for (i, p) in providers.iter().enumerate() {
+                if pick < p.weight {
+                    primary = i;
+                    break;
+                }
+                pick -= p.weight;
+            }
+            let mut prefixes = Vec::with_capacity(n_prefixes);
+            for _ in 0..n_prefixes {
+                let p = if rng.random_bool(cfg.swamp_fraction) {
+                    alloc.swamp()
+                } else {
+                    let k = per_provider_alloc[primary];
+                    per_provider_alloc[primary] += 1;
+                    match PrefixAllocator::customer_subblock(providers[primary].block, k, 24) {
+                        Some(q) => q,
+                        None => alloc.swamp(), // block exhausted: fall back
+                    }
+                };
+                prefixes.push(p);
+            }
+            let multihomed = rng.random_bool(cfg.multihomed_fraction);
+            let (secondary, multihome_from_day) = if multihomed && cfg.providers > 1 {
+                let mut s = rng.random_range(0..cfg.providers);
+                while s == primary {
+                    s = rng.random_range(0..cfg.providers);
+                }
+                // ~60 % of the final multihomed base predates the run; the
+                // rest arrives linearly over 270 days.
+                let onset = if rng.random_bool(0.6) {
+                    0
+                } else {
+                    rng.random_range(1..270)
+                };
+                (Some(s), Some(onset))
+            } else {
+                (None, None)
+            };
+            let asn = Asn(next_customer_asn);
+            next_customer_asn += 1;
+            customers.push(CustomerSpec {
+                asn,
+                prefixes,
+                primary,
+                secondary,
+                multihome_from_day,
+                // Log-normal-ish flakiness centred on 1.
+                flakiness: (rng.random_range(-1.0f64..1.0)).exp(),
+            });
+        }
+        AsGraph {
+            providers,
+            customers,
+        }
+    }
+
+    /// Total prefixes in the graph.
+    #[must_use]
+    pub fn prefix_count(&self) -> usize {
+        self.customers.iter().map(|c| c.prefixes.len()).sum()
+    }
+
+    /// Prefixes multihomed on `day`.
+    #[must_use]
+    pub fn multihomed_count(&self, day: u32) -> usize {
+        self.customers
+            .iter()
+            .filter(|c| c.is_multihomed(day))
+            .map(|c| c.prefixes.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GraphConfig {
+        GraphConfig::default_scaled(0.05)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g1 = AsGraph::generate(&cfg());
+        let g2 = AsGraph::generate(&cfg());
+        assert_eq!(g1.providers.len(), g2.providers.len());
+        assert_eq!(g1.customers.len(), g2.customers.len());
+        assert_eq!(
+            g1.customers[0].prefixes, g2.customers[0].prefixes,
+            "same seed must give same graph"
+        );
+    }
+
+    #[test]
+    fn prefix_count_matches_config() {
+        let c = cfg();
+        let g = AsGraph::generate(&c);
+        assert_eq!(g.prefix_count(), c.prefixes);
+    }
+
+    #[test]
+    fn provider_weights_are_zipf_dominated() {
+        let g = AsGraph::generate(&GraphConfig::default_scaled(0.2));
+        // The top 8 providers must hold a majority of the weight.
+        let total: f64 = g.providers.iter().map(|p| p.weight).sum();
+        let top8: f64 = g.providers.iter().take(8).map(|p| p.weight).sum();
+        assert!(top8 / total > 0.5, "top8 share {}", top8 / total);
+    }
+
+    #[test]
+    fn pathological_fraction_respected() {
+        let c = GraphConfig {
+            providers: 10,
+            pathological_fraction: 0.5,
+            ..cfg()
+        };
+        let g = AsGraph::generate(&c);
+        let bad = g.providers.iter().filter(|p| p.pathological).count();
+        assert_eq!(bad, 5);
+        // The pathological routers are the first (largest) providers, per
+        // the paper's observation that the implicated vendor was the
+        // market leader.
+        assert!(g.providers[0].pathological);
+        assert!(!g.providers[9].pathological);
+    }
+
+    #[test]
+    fn multihoming_grows_linearly() {
+        let g = AsGraph::generate(&GraphConfig::default_scaled(0.2));
+        let d0 = g.multihomed_count(0);
+        let d135 = g.multihomed_count(135);
+        let d269 = g.multihomed_count(269);
+        assert!(d0 < d135 && d135 < d269, "{d0} {d135} {d269}");
+        // Final fraction near the configured 28 %.
+        let frac = d269 as f64 / g.prefix_count() as f64;
+        assert!((0.18..=0.40).contains(&frac), "{frac}");
+        // Roughly linear: midpoint between the endpoints.
+        let expected_mid = (d0 + d269) / 2;
+        let err = (d135 as i64 - expected_mid as i64).abs() as f64 / d269 as f64;
+        assert!(err < 0.15, "midpoint deviation {err}");
+    }
+
+    #[test]
+    fn customers_attach_to_distinct_providers() {
+        let g = AsGraph::generate(&cfg());
+        for c in &g.customers {
+            if let Some(s) = c.secondary {
+                assert_ne!(s, c.primary);
+            }
+            assert!(c.primary < g.providers.len());
+        }
+    }
+
+    #[test]
+    fn providers_on_day_transitions() {
+        let c = CustomerSpec {
+            asn: Asn(2000),
+            prefixes: vec!["192.0.1.0/24".parse().unwrap()],
+            primary: 0,
+            secondary: Some(2),
+            multihome_from_day: Some(10),
+            flakiness: 1.0,
+        };
+        assert_eq!(c.providers_on_day(9), vec![0]);
+        assert_eq!(c.providers_on_day(10), vec![0, 2]);
+        assert!(!c.is_multihomed(0));
+        assert!(c.is_multihomed(100));
+    }
+
+    #[test]
+    fn customer_asns_unique() {
+        let g = AsGraph::generate(&cfg());
+        let mut asns: Vec<u32> = g.customers.iter().map(|c| c.asn.0).collect();
+        let n = asns.len();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), n);
+    }
+}

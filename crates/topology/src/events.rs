@@ -1,0 +1,366 @@
+//! The usage-correlated instability intensity model.
+//!
+//! "It is somewhat surprising that the measured routing instability
+//! corresponds so closely to the trends seen in Internet bandwidth usage
+//! and packet loss." Figures 3–5 show: a diurnal bell peaking in North
+//! American afternoon/evening, near-silence from midnight to 6 am EST,
+//! light weekends (with occasional Saturday spikes), a persistent 10 am
+//! maintenance-window line, a linear upward trend over the seven months,
+//! a summer-vacation lull in the 5 pm–midnight educational traffic, and
+//! bold vertical stripes at a major ISP's infrastructure upgrade at the
+//! end of May / beginning of June.
+//!
+//! [`UsageModel::intensity`] composes all of these into a dimensionless
+//! multiplier ≥ 0 for any (day, minute-of-day); scenario drivers multiply
+//! it by a base event rate to draw failure events.
+
+use serde::{Deserialize, Serialize};
+
+/// Day of week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl Weekday {
+    /// Whether this is Saturday or Sunday.
+    #[must_use]
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Sat | Weekday::Sun)
+    }
+}
+
+/// Calendar anchored at the measurement period: day 0 = Monday,
+/// **1 April 1996** (the paper's density plot starts in April).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Calendar;
+
+/// Days in each 1996 month starting April (Apr..Dec).
+const MONTH_LENGTHS: [(u32, &str); 9] = [
+    (30, "April"),
+    (31, "May"),
+    (30, "June"),
+    (31, "July"),
+    (31, "August"),
+    (30, "September"),
+    (31, "October"),
+    (30, "November"),
+    (31, "December"),
+];
+
+impl Calendar {
+    /// Weekday of day `d` (day 0 = Monday).
+    #[must_use]
+    pub fn weekday(d: u32) -> Weekday {
+        match d % 7 {
+            0 => Weekday::Mon,
+            1 => Weekday::Tue,
+            2 => Weekday::Wed,
+            3 => Weekday::Thu,
+            4 => Weekday::Fri,
+            5 => Weekday::Sat,
+            _ => Weekday::Sun,
+        }
+    }
+
+    /// `(month name, day-of-month)` for day index `d`; months past December
+    /// wrap (not used by the 9-month experiments).
+    #[must_use]
+    pub fn month_day(d: u32) -> (&'static str, u32) {
+        let mut rem = d;
+        for (len, name) in MONTH_LENGTHS {
+            if rem < len {
+                return (name, rem + 1);
+            }
+            rem -= len;
+        }
+        ("overflow", rem + 1)
+    }
+
+    /// Whether day `d` falls in the paper's end-of-May / early-June ISP
+    /// infrastructure-upgrade incident (≈ May 28 – June 4).
+    #[must_use]
+    pub fn is_upgrade_incident(d: u32) -> bool {
+        (57..=64).contains(&d) // day 57 = May 28, day 64 = June 4
+    }
+
+    /// U.S. holidays in the measurement window ("the magnitude of routing
+    /// information exhibits the same significant weekly, daily and holiday
+    /// cycles as network usage"): Memorial Day (May 27), Independence Day
+    /// (July 4), Labor Day (September 2).
+    #[must_use]
+    pub fn is_holiday(d: u32) -> bool {
+        matches!(d, 56 | 94 | 154)
+    }
+
+    /// Whether day `d` is in the "summer vacation" window (mid-June to
+    /// early August) with reduced evening educational traffic.
+    #[must_use]
+    pub fn is_summer_lull(d: u32) -> bool {
+        let (m, _) = Calendar::month_day(d);
+        matches!(m, "June" | "July") || (m == "August" && Calendar::month_day(d).1 <= 10)
+    }
+}
+
+/// The composed intensity model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UsageModel {
+    /// Linear growth per day (paper: "routing instability increased
+    /// linearly during the seven month period"); 0.004 ≈ ×2 over 7 months.
+    pub growth_per_day: f64,
+    /// Weekend attenuation (≈ 0.45).
+    pub weekend_factor: f64,
+    /// Peak-to-trough ratio of the diurnal bell.
+    pub diurnal_depth: f64,
+    /// Multiplier applied during the 10 am maintenance window.
+    pub maintenance_boost: f64,
+    /// Multiplier on upgrade-incident days.
+    pub incident_boost: f64,
+    /// Evening attenuation during the summer lull.
+    pub summer_evening_factor: f64,
+    /// Probability-like weight of a Saturday spike (scenario drivers
+    /// threshold on a hash of the day).
+    pub saturday_spike_boost: f64,
+}
+
+impl Default for UsageModel {
+    fn default() -> Self {
+        UsageModel {
+            growth_per_day: 0.004,
+            weekend_factor: 0.3,
+            diurnal_depth: 4.0,
+            maintenance_boost: 3.0,
+            incident_boost: 8.0,
+            summer_evening_factor: 0.6,
+            saturday_spike_boost: 4.0,
+        }
+    }
+}
+
+impl UsageModel {
+    /// Diurnal multiplier for `minute` of day (0..1440), all times EST.
+    /// Quiet 00:00–06:00, ramp through the morning, broad peak from noon
+    /// to midnight ("from noon to midnight are the densest hours").
+    #[must_use]
+    pub fn diurnal(&self, minute: u32) -> f64 {
+        let h = f64::from(minute) / 60.0;
+        // Piecewise bell: trough at 3 h, rise 6–12 h, plateau 12–24 h
+        // decaying slightly after 21 h.
+        let shape = if h < 6.0 {
+            0.2 * (h / 6.0) * (h / 6.0)
+        } else if h < 12.0 {
+            0.2 + 0.8 * ((h - 6.0) / 6.0)
+        } else if h < 21.0 {
+            1.0
+        } else {
+            1.0 - 0.25 * ((h - 21.0) / 3.0)
+        };
+        // Map [trough, 1] so peak/trough = diurnal_depth.
+        let trough = 1.0 / self.diurnal_depth;
+        trough + (1.0 - trough) * shape
+    }
+
+    /// Whether `minute` falls in the 10 am maintenance window
+    /// (10:00–10:20).
+    #[must_use]
+    pub fn in_maintenance_window(minute: u32) -> bool {
+        (600..620).contains(&minute)
+    }
+
+    /// Deterministic pseudo-random check whether Saturday `d` hosts a
+    /// localized spike ("Saturdays often have high amounts of temporally
+    /// localized instability") — roughly every other Saturday.
+    #[must_use]
+    pub fn saturday_spike(d: u32) -> bool {
+        Calendar::weekday(d) == Weekday::Sat
+            && (d.wrapping_mul(2_654_435_761) >> 16).is_multiple_of(2)
+    }
+
+    /// The full multiplier for (day `d`, `minute` of day).
+    #[must_use]
+    pub fn intensity(&self, d: u32, minute: u32) -> f64 {
+        let mut x = 1.0 + self.growth_per_day * f64::from(d);
+        let wd = Calendar::weekday(d);
+        if wd.is_weekend() || Calendar::is_holiday(d) {
+            x *= self.weekend_factor;
+        }
+        let mut diurnal = self.diurnal(minute);
+        if Calendar::is_summer_lull(d) && (1020..1440).contains(&minute) {
+            diurnal *= self.summer_evening_factor;
+        }
+        x *= diurnal;
+        if Self::in_maintenance_window(minute) && !wd.is_weekend() && !Calendar::is_holiday(d) {
+            x *= self.maintenance_boost;
+        }
+        if Calendar::is_upgrade_incident(d) {
+            x *= self.incident_boost;
+        }
+        if Self::saturday_spike(d) && (780..840).contains(&minute) {
+            // A sharp early-afternoon Saturday burst.
+            x *= self.saturday_spike_boost;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_weekdays() {
+        assert_eq!(Calendar::weekday(0), Weekday::Mon); // Apr 1 1996
+        assert_eq!(Calendar::weekday(5), Weekday::Sat);
+        assert_eq!(Calendar::weekday(6), Weekday::Sun);
+        assert_eq!(Calendar::weekday(7), Weekday::Mon);
+        assert!(Weekday::Sat.is_weekend());
+        assert!(!Weekday::Fri.is_weekend());
+    }
+
+    #[test]
+    fn calendar_months() {
+        assert_eq!(Calendar::month_day(0), ("April", 1));
+        assert_eq!(Calendar::month_day(29), ("April", 30));
+        assert_eq!(Calendar::month_day(30), ("May", 1));
+        assert_eq!(Calendar::month_day(60), ("May", 31));
+        assert_eq!(Calendar::month_day(61), ("June", 1));
+        assert_eq!(Calendar::month_day(152), ("August", 31));
+        assert_eq!(Calendar::month_day(153), ("September", 1));
+    }
+
+    #[test]
+    fn upgrade_incident_is_end_of_may() {
+        assert!(!Calendar::is_upgrade_incident(56));
+        assert!(Calendar::is_upgrade_incident(57)); // May 28
+        assert!(Calendar::is_upgrade_incident(64)); // Jun 4
+        assert!(!Calendar::is_upgrade_incident(65));
+        let (m, day) = Calendar::month_day(57);
+        assert_eq!((m, day), ("May", 28));
+    }
+
+    #[test]
+    fn diurnal_night_quiet_afternoon_dense() {
+        let m = UsageModel::default();
+        let night = m.diurnal(3 * 60);
+        let morning = m.diurnal(9 * 60);
+        let afternoon = m.diurnal(15 * 60);
+        assert!(night < morning && morning < afternoon);
+        assert!(
+            afternoon / night > 3.0,
+            "peak/trough = {}",
+            afternoon / night
+        );
+        // Noon–9pm is the plateau.
+        assert_eq!(m.diurnal(13 * 60), m.diurnal(20 * 60));
+    }
+
+    #[test]
+    fn weekends_are_lighter() {
+        let m = UsageModel::default();
+        // Tue day 1 vs Sun day 6, same minute, no other factors.
+        let weekday = m.intensity(1, 15 * 60);
+        let sunday = m.intensity(6, 15 * 60);
+        assert!(sunday < weekday * 0.6);
+    }
+
+    #[test]
+    fn growth_is_linear() {
+        let m = UsageModel::default();
+        let d0 = m.intensity(0, 15 * 60);
+        let d100 = m.intensity(2 * 7, 15 * 60); // same weekday (Mon)
+        let d200 = m.intensity(4 * 7, 15 * 60);
+        let delta1 = d100 - d0;
+        let delta2 = d200 - d100;
+        assert!((delta1 - delta2).abs() < 1e-9, "constant slope");
+        assert!(delta1 > 0.0);
+    }
+
+    #[test]
+    fn maintenance_line_only_weekdays() {
+        let m = UsageModel::default();
+        let mon_10am = m.intensity(0, 605);
+        let mon_0955 = m.intensity(0, 595);
+        assert!(mon_10am > 2.0 * mon_0955);
+        let sat_10am = m.intensity(5, 605);
+        let sat_0955 = m.intensity(5, 595);
+        assert!(
+            (sat_10am / sat_0955 - 1.0).abs() < 0.2,
+            "no spike on weekend"
+        );
+    }
+
+    #[test]
+    fn incident_days_dominate() {
+        let m = UsageModel::default();
+        let normal = m.intensity(50, 15 * 60);
+        let incident = m.intensity(58, 15 * 60);
+        assert!(incident > 4.0 * normal);
+    }
+
+    #[test]
+    fn summer_evenings_are_sparser() {
+        let m = UsageModel::default();
+        // Same weekday: day 28 (Mon, April) vs day 91 (Mon, July 1).
+        assert_eq!(Calendar::weekday(28), Calendar::weekday(91));
+        assert_eq!(Calendar::month_day(91).0, "July");
+        let spring_evening = m.intensity(28, 19 * 60);
+        let summer_evening = m.intensity(91, 19 * 60);
+        // Remove the growth trend before comparing.
+        let g = |d: u32| 1.0 + m.growth_per_day * f64::from(d);
+        assert!(summer_evening / g(91) < spring_evening / g(28) * 0.8);
+    }
+
+    #[test]
+    fn saturday_spikes_exist_and_only_on_saturdays() {
+        let mut any = false;
+        for d in 0..270 {
+            if UsageModel::saturday_spike(d) {
+                assert_eq!(Calendar::weekday(d), Weekday::Sat);
+                any = true;
+            }
+        }
+        assert!(any, "some Saturday must spike");
+    }
+
+    #[test]
+    fn holidays_are_quiet_like_weekends() {
+        let m = UsageModel::default();
+        // July 4 1996 (day 94) was a Thursday; compare to the prior
+        // Thursday (day 87).
+        assert_eq!(Calendar::weekday(94), Weekday::Thu);
+        assert!(Calendar::is_holiday(94));
+        assert!(!Calendar::is_holiday(87));
+        let holiday = m.intensity(94, 15 * 60);
+        let workday = m.intensity(87, 15 * 60);
+        assert!(holiday < workday * 0.6, "{holiday} vs {workday}");
+        // Memorial Day and Labor Day are Mondays.
+        assert_eq!(Calendar::weekday(56), Weekday::Mon);
+        assert_eq!(Calendar::weekday(154), Weekday::Mon);
+        assert_eq!(Calendar::month_day(56), ("May", 27));
+        assert_eq!(Calendar::month_day(94), ("July", 4));
+        assert_eq!(Calendar::month_day(154), ("September", 2));
+    }
+
+    #[test]
+    fn intensity_always_positive() {
+        let m = UsageModel::default();
+        for d in (0..270).step_by(13) {
+            for minute in (0..1440).step_by(97) {
+                assert!(m.intensity(d, minute) > 0.0);
+            }
+        }
+    }
+}

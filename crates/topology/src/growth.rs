@@ -1,0 +1,98 @@
+//! Multihoming growth (Figure 10).
+//!
+//! "Our analysis indicates that more than 25 percent of networks are
+//! currently multi-homed and that the rate of increase in multi-homing is
+//! at best linear." The per-day multihomed-prefix series is a property of
+//! the [`crate::asgraph::AsGraph`] (each customer carries its onset day);
+//! this module provides the series extraction and a least-squares linearity
+//! check used by tests and EXPERIMENTS.md.
+
+use crate::asgraph::AsGraph;
+
+/// Per-day multihomed prefix counts for days `0..days`, with the end-of-May
+/// upgrade-incident spike applied (the paper's Figure 10 shows transient
+/// spikes at the upgrade: multihomed paths surged as operators shuffled
+/// connectivity).
+#[must_use]
+pub fn multihomed_series(graph: &AsGraph, days: u32) -> Vec<usize> {
+    (0..days)
+        .map(|d| {
+            let base = graph.multihomed_count(d);
+            if crate::events::Calendar::is_upgrade_incident(d) {
+                // Transient extra paths during the upgrade shuffle.
+                base + base / 5
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope and R² of a series (used to assert "at best
+/// linear").
+#[must_use]
+pub fn linear_fit(series: &[usize]) -> (f64, f64) {
+    let n = series.len() as f64;
+    if series.len() < 2 {
+        return (0.0, 1.0);
+    }
+    let xs: Vec<f64> = (0..series.len()).map(|i| i as f64).collect();
+    let ys: Vec<f64> = series.iter().map(|&y| y as f64).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    (slope, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asgraph::GraphConfig;
+
+    #[test]
+    fn series_grows_linearly_with_spike() {
+        let g = AsGraph::generate(&GraphConfig::default_scaled(0.2));
+        let series = multihomed_series(&g, 270);
+        assert_eq!(series.len(), 270);
+        let (slope, r2) = linear_fit(&series);
+        assert!(slope > 0.0, "growth must be positive");
+        assert!(r2 > 0.9, "must be near-linear, r2={r2}");
+        // Spike at the upgrade.
+        assert!(series[58] > series[56], "{} vs {}", series[58], series[56]);
+        assert!(series[58] > series[66]);
+    }
+
+    #[test]
+    fn linear_fit_on_exact_line() {
+        let series: Vec<usize> = (0..100).map(|i| 10 + 3 * i).collect();
+        let (slope, r2) = linear_fit(&series);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert_eq!(linear_fit(&[]), (0.0, 1.0));
+        assert_eq!(linear_fit(&[5]), (0.0, 1.0));
+        let (slope, r2) = linear_fit(&[7, 7, 7, 7]);
+        assert_eq!(slope, 0.0);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+}

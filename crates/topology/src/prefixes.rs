@@ -1,0 +1,142 @@
+//! IPv4 address allocation in the 1996 Internet.
+//!
+//! Two regimes coexist in the paper's routing tables:
+//!
+//! - **Provider CIDR blocks** (post-RFC-1338): each provider holds a large
+//!   supernet and carves customer sub-blocks out of it. These are
+//!   aggregatable — the provider *could* hide customer flaps behind the
+//!   supernet.
+//! - **The pre-CIDR swamp**: "the lack of hierarchical allocation of the
+//!   early, pre-CIDR IP address space exacerbates the current poor level of
+//!   aggregation" — class-C /24s handed out by the InterNIC directly, owned
+//!   by customers independently of any provider, hence globally visible and
+//!   unaggregatable (192/8–193/8 territory).
+
+use iri_bgp::types::Prefix;
+
+/// Deterministic address allocator.
+#[derive(Debug)]
+pub struct PrefixAllocator {
+    /// Next provider block index (providers get /12s under 32/4... we use
+    /// sequential /16s under 24/8 and 25/8 — era-plausible space).
+    next_block: u32,
+    /// Next swamp /24 index under 192.0.0.0/8 (skipping 192.0.0/24).
+    next_swamp: u32,
+}
+
+impl Default for PrefixAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixAllocator {
+    /// Fresh allocator.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefixAllocator {
+            next_block: 0,
+            next_swamp: 1,
+        }
+    }
+
+    /// Allocates a provider's /16 CIDR block (24.0/16, 24.1/16, …).
+    pub fn provider_block(&mut self) -> Prefix {
+        let i = self.next_block;
+        self.next_block += 1;
+        // 24.0.0.0/8 then 25.0.0.0/8 etc., /16 per provider.
+        let octet1 = 24 + (i >> 8);
+        let octet2 = i & 0xff;
+        Prefix::from_raw((octet1 << 24) | (octet2 << 16), 16)
+    }
+
+    /// Carves the `k`-th customer sub-block of length `len` (17..=24) from a
+    /// provider /16. Returns `None` when the block is exhausted.
+    #[must_use]
+    pub fn customer_subblock(block: Prefix, k: u32, len: u8) -> Option<Prefix> {
+        debug_assert_eq!(block.len(), 16);
+        debug_assert!((17..=24).contains(&len));
+        let slots = 1u32 << (len - 16);
+        if k >= slots {
+            return None;
+        }
+        let stride = 1u32 << (32 - len);
+        Some(Prefix::from_raw(block.bits() + k * stride, len))
+    }
+
+    /// Allocates a swamp /24 (192.0.1.0/24, 192.0.2.0/24, … climbing
+    /// through 192/8 and 193/8).
+    pub fn swamp(&mut self) -> Prefix {
+        let i = self.next_swamp;
+        self.next_swamp += 1;
+        let octet1 = 192 + (i >> 16);
+        let rest = i & 0xffff;
+        Prefix::from_raw((octet1 << 24) | (rest << 8), 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_blocks_are_distinct_slash16s() {
+        let mut a = PrefixAllocator::new();
+        let b1 = a.provider_block();
+        let b2 = a.provider_block();
+        assert_eq!(b1.to_string(), "24.0.0.0/16");
+        assert_eq!(b2.to_string(), "24.1.0.0/16");
+        assert!(!b1.contains(b2) && !b2.contains(b1));
+        // Exhaust one /8 worth and roll into the next.
+        for _ in 0..254 {
+            a.provider_block();
+        }
+        assert_eq!(a.provider_block().to_string(), "25.0.0.0/16");
+    }
+
+    #[test]
+    fn customer_subblocks_tile_the_block() {
+        let block: Prefix = "24.5.0.0/16".parse().unwrap();
+        let c0 = PrefixAllocator::customer_subblock(block, 0, 24).unwrap();
+        let c1 = PrefixAllocator::customer_subblock(block, 1, 24).unwrap();
+        let c255 = PrefixAllocator::customer_subblock(block, 255, 24).unwrap();
+        assert_eq!(c0.to_string(), "24.5.0.0/24");
+        assert_eq!(c1.to_string(), "24.5.1.0/24");
+        assert_eq!(c255.to_string(), "24.5.255.0/24");
+        assert!(PrefixAllocator::customer_subblock(block, 256, 24).is_none());
+        assert!(block.contains(c0) && block.contains(c255));
+    }
+
+    #[test]
+    fn subblock_lengths() {
+        let block: Prefix = "24.5.0.0/16".parse().unwrap();
+        let c = PrefixAllocator::customer_subblock(block, 1, 20).unwrap();
+        assert_eq!(c.to_string(), "24.5.16.0/20");
+        assert!(PrefixAllocator::customer_subblock(block, 16, 20).is_none());
+    }
+
+    #[test]
+    fn swamp_prefixes_are_classful_24s() {
+        let mut a = PrefixAllocator::new();
+        let s1 = a.swamp();
+        let s2 = a.swamp();
+        assert_eq!(s1.to_string(), "192.0.1.0/24");
+        assert_eq!(s2.to_string(), "192.0.2.0/24");
+        assert_eq!(s1.len(), 24);
+        // After 65535 more we reach 193/8.
+        for _ in 0..65_534 {
+            a.swamp();
+        }
+        let s = a.swamp();
+        assert!(s.to_string().starts_with("193."), "{s}");
+    }
+
+    #[test]
+    fn swamp_and_blocks_disjoint() {
+        let mut a = PrefixAllocator::new();
+        let block = a.provider_block();
+        let swamp = a.swamp();
+        assert!(!block.contains(swamp));
+        assert!(!swamp.contains(block));
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the *Internet Routing Instability* reproduction.
+//!
+//! Re-exports the member crates; see the README for the map. The
+//! `examples/` and `tests/` directories of this package exercise the whole
+//! stack end to end.
+
+pub use iri_bench as bench;
+pub use iri_bgp as bgp;
+pub use iri_core as core;
+pub use iri_mrt as mrt;
+pub use iri_netsim as netsim;
+pub use iri_rib as rib;
+pub use iri_session as session;
+pub use iri_topology as topology;

@@ -1,0 +1,108 @@
+//! §3/§6 of the paper: the route-caching forwarding architecture and why
+//! pathological updates are comparatively benign.
+//!
+//! "Since pathological, or redundant, routing information does not affect
+//! a router's forwarding tables or cache, the overall impact of this
+//! phenomena may be relatively benign … these pathological updates will
+//! not trigger router cache churn and the resultant cache misses and
+//! subsequent packet loss."
+
+use iri_bgp::types::{Asn, Prefix};
+use iri_netsim::{RouterConfig, World, MINUTE, SECOND};
+use std::net::Ipv4Addr;
+
+fn world_with_victim() -> (
+    World,
+    iri_netsim::RouterId,
+    iri_netsim::RouterId,
+    iri_netsim::RouterId,
+) {
+    let mut w = World::new(3);
+    // The source runs the pathological profile *with* the withdrawal-storm
+    // misconfiguration on a fast cadence, so one real withdrawal turns into
+    // a stream of redundant re-withdrawals.
+    let mut cfg = RouterConfig::pathological("source", Asn(666), Ipv4Addr::new(10, 0, 0, 1));
+    cfg.withdrawal_storm = Some(2); // re-blast every ~minute
+    let source = w.add_router(cfg);
+    let victim = w.add_router(RouterConfig::well_behaved(
+        "victim",
+        Asn(100),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    let far = w.add_router(RouterConfig::well_behaved(
+        "far",
+        Asn(200),
+        Ipv4Addr::new(10, 0, 0, 3),
+    ));
+    w.connect(source, victim, 1);
+    w.connect(victim, far, 1);
+    (w, source, victim, far)
+}
+
+/// Redundant withdrawals (WWDup at the receiver) do not touch the
+/// forwarding cache; real flaps do — churn counts the difference.
+#[test]
+fn pathological_updates_do_not_churn_the_cache() {
+    // World A: a prefix that genuinely flaps 10 times.
+    let (mut wa, source, victim, _far) = world_with_victim();
+    let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+    wa.schedule_originate(10 * SECOND, source, pfx);
+    for k in 0..10u64 {
+        wa.schedule_flap(MINUTE + k * 2 * MINUTE, source, pfx, 50 * SECOND);
+    }
+    wa.run_until(0);
+    wa.start();
+    wa.run_until(30 * MINUTE);
+    let churn_flaps = wa.router(victim).counters.cache_invalidations;
+
+    // World B: one legitimate announce + one legitimate withdraw; the
+    // storm bug then re-withdraws the dead prefix every minute — pure
+    // redundant (WWDup) load at the victim.
+    let (mut wb, source, victim, _far) = world_with_victim();
+    let doomed: Prefix = "198.51.100.0/24".parse().unwrap();
+    wb.schedule_originate(10 * SECOND, source, pfx);
+    wb.schedule_originate(10 * SECOND, source, doomed);
+    wb.schedule_withdraw(2 * MINUTE, source, doomed);
+    wb.start();
+    wb.run_until(30 * MINUTE);
+    let victim_b = wb.router(victim);
+    let churn_redundant = victim_b.counters.cache_invalidations;
+    let spurious = victim_b.counters.spurious_withdrawals_rx;
+
+    assert!(
+        churn_flaps > churn_redundant + 10,
+        "real flaps must churn the cache far more: {churn_flaps} vs {churn_redundant}"
+    );
+    // The redundant withdrawals did arrive (they consumed CPU)…
+    assert!(
+        spurious > 0,
+        "the victim must actually receive the redundant withdrawals"
+    );
+    // …but the only cache activity in world B is the legitimate announce/
+    // withdraw pair plus the stable announcement.
+    assert!(
+        churn_redundant <= 3,
+        "redundant updates must not churn the cache: {churn_redundant}"
+    );
+}
+
+/// "Even pathological updates require some minimal router resources":
+/// the CPU busy-line advances for redundant traffic even though the
+/// forwarding state never changes.
+#[test]
+fn pathological_updates_still_consume_cpu() {
+    let (mut w, source, victim, _far) = world_with_victim();
+    let doomed: Prefix = "203.0.113.0/24".parse().unwrap();
+    w.schedule_originate(10 * SECOND, source, doomed);
+    w.schedule_withdraw(2 * MINUTE, source, doomed);
+    w.start();
+    w.run_until(40 * MINUTE);
+    let v = w.router(victim);
+    assert!(v.counters.updates_rx > 10, "storm updates must arrive");
+    // The announce + legit withdraw churn twice; the storm adds nothing.
+    assert!(v.counters.cache_invalidations <= 2);
+    assert!(
+        v.counters.spurious_withdrawals_rx > 10,
+        "the re-blasted withdrawals are spurious at the victim"
+    );
+}

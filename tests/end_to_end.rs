@@ -1,0 +1,283 @@
+//! End-to-end integration tests spanning every crate: simulator → monitor
+//! → MRT → classifier → statistics.
+
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::input::events_from_mrt;
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_mrt::{MrtReader, MrtWriter};
+use iri_netsim::{
+    build_exchange, provider_mix, CsuFault, ExchangePoint, RouterConfig, World, HOUR, MINUTE,
+    SECOND,
+};
+use std::net::Ipv4Addr;
+
+/// The full measurement pipeline: a simulated exchange hour survives an
+/// MRT round-trip and classifies identically to the in-memory log.
+#[test]
+fn pipeline_mrt_roundtrip_preserves_classification() {
+    let mut world = World::new(42);
+    let cfgs = provider_mix(ExchangePoint::Aads, 0.15, 0.5, 6000);
+    let ex = build_exchange(&mut world, ExchangePoint::Aads, cfgs);
+    for (i, &p) in ex.providers.iter().enumerate() {
+        let pfx = Prefix::from_raw(0x0a00_0000 | ((i as u32) << 16), 16);
+        world.schedule_originate(5 * SECOND, p, pfx);
+        world.schedule_flap(2 * MINUTE, p, pfx, 45 * SECOND);
+        world.schedule_flap(10 * MINUTE, p, pfx, 90 * SECOND);
+    }
+    world.start();
+    world.run_until(HOUR);
+    let monitor = world.take_monitor(ex.route_server).unwrap();
+    assert!(monitor.prefix_event_count() > 0);
+
+    // In-memory classification.
+    let direct_events = iri_bench::logged_to_events(&monitor.updates);
+    let mut c1 = Classifier::new();
+    let direct = c1.classify_all(&direct_events);
+
+    // Through the MRT file format.
+    let records = monitor.to_mrt(Asn(237), Ipv4Addr::new(9, 9, 9, 9), 833_000_000);
+    let mut buf = Vec::new();
+    let mut w = MrtWriter::new(&mut buf);
+    for r in &records {
+        w.write(r).unwrap();
+    }
+    let mut reader = MrtReader::new(buf.as_slice());
+    let replayed: Vec<_> = reader.iter().collect::<Result<_, _>>().unwrap();
+    let mrt_events = events_from_mrt(&replayed, 833_000_000);
+    let mut c2 = Classifier::new();
+    let via_mrt = c2.classify_all(&mrt_events);
+
+    // Same event count and identical per-class totals (timestamps lose
+    // sub-second precision through MRT, but ordering within the log is
+    // preserved, so classes match).
+    assert_eq!(direct.len(), via_mrt.len());
+    for class in UpdateClass::ALL {
+        assert_eq!(c1.count(class), c2.count(class), "{class}");
+    }
+}
+
+/// A scripted single-prefix history produces exactly the paper's classes
+/// at the monitor, end to end through the simulator.
+#[test]
+fn scripted_flap_classifies_as_wadup() {
+    let mut world = World::new(7);
+    let origin = world.add_router(RouterConfig::well_behaved(
+        "origin",
+        Asn(100),
+        Ipv4Addr::new(10, 0, 0, 1),
+    ));
+    let rs = world.add_router(RouterConfig::route_server(
+        "RS",
+        Asn(237),
+        Ipv4Addr::new(10, 0, 0, 250),
+    ));
+    world.attach_monitor(rs);
+    world.connect(origin, rs, 1);
+    let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+    world.schedule_originate(10 * SECOND, origin, pfx);
+    // One clean flap with an outage far longer than the MRAI window.
+    world.schedule_withdraw(5 * MINUTE, origin, pfx);
+    world.schedule_originate(8 * MINUTE, origin, pfx);
+    world.run_until(0);
+    world.start();
+    world.run_until(15 * MINUTE);
+
+    let monitor = world.take_monitor(rs).unwrap();
+    let events = iri_bench::logged_to_events(&monitor.updates);
+    let mut c = Classifier::new();
+    let classified = c.classify_all(&events);
+    let classes: Vec<UpdateClass> = classified.iter().map(|e| e.class).collect();
+    assert_eq!(
+        classes,
+        vec![
+            UpdateClass::NewAnnounce,
+            UpdateClass::Withdraw,
+            UpdateClass::WaDup
+        ],
+        "A, W, A-same must classify as NewAnnounce, Withdraw, WADup"
+    );
+}
+
+/// The stateless-echo WWDup mechanism end to end: a flap at one provider
+/// produces blind withdrawals from stateless peers that never announced
+/// the prefix.
+#[test]
+fn stateless_peers_echo_wwdup() {
+    let mut world = World::new(9);
+    let rs = world.add_router(RouterConfig::route_server(
+        "RS",
+        Asn(237),
+        Ipv4Addr::new(10, 0, 0, 250),
+    ));
+    world.attach_monitor(rs);
+    let origin = world.add_router(RouterConfig::well_behaved(
+        "origin",
+        Asn(100),
+        Ipv4Addr::new(10, 0, 0, 1),
+    ));
+    let echo = world.add_router(RouterConfig::pathological(
+        "echo",
+        Asn(200),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    world.connect(origin, rs, 1);
+    world.connect(echo, rs, 1);
+    let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+    world.schedule_originate(10 * SECOND, origin, pfx);
+    for k in 0..5u64 {
+        world.schedule_flap(2 * MINUTE + k * 2 * MINUTE, origin, pfx, 50 * SECOND);
+    }
+    world.start();
+    world.run_until(20 * MINUTE);
+
+    let monitor = world.take_monitor(rs).unwrap();
+    let events = iri_bench::logged_to_events(&monitor.updates);
+    let mut c = Classifier::new();
+    let classified = c.classify_all(&events);
+    let wwdup_from_echo = classified
+        .iter()
+        .filter(|e| e.class == UpdateClass::WwDup && e.peer.asn == Asn(200))
+        .count();
+    assert!(
+        wwdup_from_echo >= 4,
+        "the stateless peer must blind-withdraw each flap (got {wwdup_from_echo})"
+    );
+    // And it must never have announced the prefix.
+    let announced_by_echo = classified
+        .iter()
+        .any(|e| e.peer.asn == Asn(200) && e.class.is_announcement());
+    assert!(
+        !announced_by_echo,
+        "the echo peer never announces — exactly the ISP-Y trace"
+    );
+}
+
+/// Multihomed failover end to end: primary dies, the route survives via
+/// the secondary, and the exchange sees the path change.
+#[test]
+fn multihomed_failover_preserves_reachability() {
+    let mut world = World::new(11);
+    let rs = world.add_router(RouterConfig::route_server(
+        "RS",
+        Asn(237),
+        Ipv4Addr::new(10, 0, 0, 250),
+    ));
+    world.attach_monitor(rs);
+    let p1 = world.add_router(RouterConfig::well_behaved(
+        "P1",
+        Asn(100),
+        Ipv4Addr::new(10, 0, 0, 1),
+    ));
+    let p2 = world.add_router(RouterConfig::well_behaved(
+        "P2",
+        Asn(200),
+        Ipv4Addr::new(10, 0, 0, 2),
+    ));
+    world.connect(p1, rs, 1);
+    world.connect(p2, rs, 1);
+    let pfx: Prefix = "198.32.5.0/24".parse().unwrap();
+    // Customer AS 3000 behind both providers; longer path via P2.
+    let attrs1 = iri_bgp::attrs::PathAttributes::new(
+        iri_bgp::attrs::Origin::Igp,
+        iri_bgp::path::AsPath::from_sequence([Asn(3000)]),
+        Ipv4Addr::new(10, 0, 0, 1),
+    );
+    let mut attrs2 = attrs1.clone();
+    attrs2.as_path = iri_bgp::path::AsPath::from_sequence([Asn(3000), Asn(3000)]);
+    attrs2.next_hop = Ipv4Addr::new(10, 0, 0, 2);
+    world.schedule_originate_with(10 * SECOND, p1, pfx, attrs1);
+    world.schedule_originate_with(10 * SECOND, p2, pfx, attrs2);
+    world.start();
+    world.run_until(2 * MINUTE);
+
+    // Both paths visible at the route server (multihomed).
+    assert_eq!(world.router(rs).loc_rib().path_count(pfx), 2);
+    let best = world.router(rs).loc_rib().best(pfx).unwrap().clone();
+    assert_eq!(best.attrs.as_path.to_string(), "100 3000");
+
+    // Primary withdraws: reachability survives via P2.
+    world.schedule_withdraw(3 * MINUTE, p1, pfx);
+    world.run_until(6 * MINUTE);
+    let best = world
+        .router(rs)
+        .loc_rib()
+        .best(pfx)
+        .expect("still reachable");
+    assert_eq!(best.attrs.as_path.to_string(), "200 3000 3000");
+}
+
+/// CSU oscillation through a stateless provider shows the 30-second
+/// inter-arrival signature at the monitor.
+#[test]
+fn csu_thirty_second_periodicity_at_monitor() {
+    let mut world = World::new(13);
+    let rs = world.add_router(RouterConfig::route_server(
+        "RS",
+        Asn(237),
+        Ipv4Addr::new(10, 0, 0, 250),
+    ));
+    world.attach_monitor(rs);
+    let origin = world.add_router(RouterConfig::pathological(
+        "origin",
+        Asn(100),
+        Ipv4Addr::new(10, 0, 0, 1),
+    ));
+    world.connect(origin, rs, 1);
+    let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+    world.add_access_link(origin, vec![pfx], Some(CsuFault::beat_30s(MINUTE)));
+    world.start();
+    world.run_until(30 * MINUTE);
+
+    let monitor = world.take_monitor(rs).unwrap();
+    let events = iri_bench::logged_to_events(&monitor.updates);
+    let mut c = Classifier::new();
+    let classified = c.classify_all(&events);
+    // Inter-arrival mass concentrates in the 30s/1m bins.
+    let mut mass_30_60 = 0.0;
+    let mut total = 0.0;
+    for class in UpdateClass::ALL {
+        let d = iri_core::stats::interarrival::day_interarrival(&classified, class);
+        if d.gaps > 0 {
+            mass_30_60 += (d.proportions[2] + d.proportions[3]) * d.gaps as f64;
+            total += d.gaps as f64;
+        }
+    }
+    assert!(total > 10.0, "the oscillator must generate traffic");
+    assert!(
+        mass_30_60 / total > 0.8,
+        "30s/1m bins must dominate: {:.2}",
+        mass_30_60 / total
+    );
+}
+
+/// Determinism across the whole stack: same seed, same classified stream.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut world = World::new(0xd5ee_d);
+        let cfgs = provider_mix(ExchangePoint::MaeWest, 0.1, 0.6, 5000);
+        let ex = build_exchange(&mut world, ExchangePoint::MaeWest, cfgs);
+        for (i, &p) in ex.providers.iter().enumerate() {
+            let pfx = Prefix::from_raw(0x0a00_0000 | ((i as u32) << 16), 16);
+            world.schedule_originate(SECOND, p, pfx);
+            world.schedule_flap(MINUTE + (i as u64) * 10 * SECOND, p, pfx, 40 * SECOND);
+        }
+        world.add_access_link(
+            ex.providers[0],
+            vec!["192.42.113.0/24".parse().unwrap()],
+            Some(CsuFault::beat_30s(30 * SECOND)),
+        );
+        world.start();
+        world.run_until(20 * MINUTE);
+        let monitor = world.take_monitor(ex.route_server).unwrap();
+        let events = iri_bench::logged_to_events(&monitor.updates);
+        let mut c = Classifier::new();
+        let classified = c.classify_all(&events);
+        classified
+            .iter()
+            .map(|e| (e.time_ms, e.peer.asn.0, e.prefix.bits(), e.class))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

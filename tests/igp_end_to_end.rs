@@ -1,0 +1,111 @@
+//! Integration: the IGP substrate driving BGP through the full simulator,
+//! and incident detection over simulated days.
+
+use iri_bench::logged_to_events;
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::Asn;
+use iri_core::stats::incidents::detect_incidents;
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_igp::redistribute::mutual_redistribution_experiment;
+use iri_igp::rip::{RipNetwork, UPDATE_PERIOD_MS};
+use iri_netsim::{RouterConfig, World, HOUR, MINUTE};
+use std::net::Ipv4Addr;
+
+/// The IGP→BGP→exchange pipeline: RIP convergence events become BGP
+/// originations which classify sensibly at the route server.
+#[test]
+fn igp_events_drive_bgp_updates() {
+    let (out_a, _) = mutual_redistribution_experiment(5 * 60_000, 90 * 60_000);
+    assert!(!out_a.is_empty());
+
+    let mut world = World::new(5);
+    let border = world.add_router(RouterConfig::well_behaved(
+        "border",
+        Asn(100),
+        Ipv4Addr::new(10, 0, 0, 1),
+    ));
+    let rs = world.add_router(RouterConfig::route_server(
+        "RS",
+        Asn(237),
+        Ipv4Addr::new(10, 0, 0, 250),
+    ));
+    world.attach_monitor(rs);
+    world.connect(border, rs, 1);
+    for e in &out_a {
+        match e.med {
+            Some(med) => {
+                let mut attrs = PathAttributes::new(
+                    Origin::Incomplete,
+                    AsPath::from_sequence([Asn(65_001)]),
+                    Ipv4Addr::new(10, 0, 0, 1),
+                );
+                attrs.med = Some(med);
+                world.schedule_originate_with(2 * MINUTE + e.time_ms, border, e.prefix, attrs);
+            }
+            None => world.schedule_withdraw(2 * MINUTE + e.time_ms, border, e.prefix),
+        }
+    }
+    world.start();
+    world.run_until(2 * HOUR);
+    let monitor = world.take_monitor(rs).unwrap();
+    let events = logged_to_events(&monitor.updates);
+    assert!(!events.is_empty());
+    let mut c = Classifier::new();
+    let classified = c.classify_all(&events);
+    // MED-only churn through a stateful border → AADup policy fluctuations.
+    assert!(c.count(UpdateClass::AaDup) > 0);
+    assert!(c.policy_change_count() > 0);
+    let _ = classified;
+}
+
+/// RIP timers quantise all IGP-side changes to whole seconds of the
+/// 30-second advertisement grid.
+#[test]
+fn rip_changes_are_grid_timed() {
+    let mut net = RipNetwork::new();
+    let a = net.add_node(4_000);
+    let b = net.add_node(11_000);
+    let c = net.add_node(23_000);
+    net.add_link(a, b, 1);
+    net.add_link(b, c, 1);
+    net.attach_prefix(a, "10.50.0.0/16".parse().unwrap());
+    net.run_until(10 * UPDATE_PERIOD_MS);
+    let changes = net.take_changes();
+    assert!(!changes.is_empty());
+    for ch in changes.iter().filter(|c| c.time_ms > 0) {
+        let on_some_grid = [4_000u64, 11_000, 23_000]
+            .iter()
+            .any(|phase| ch.time_ms >= *phase && (ch.time_ms - phase) % UPDATE_PERIOD_MS == 0);
+        assert!(
+            on_some_grid,
+            "change at {} not on any node grid",
+            ch.time_ms
+        );
+    }
+}
+
+/// §4.1 incident detection over real simulated days: an upgrade-incident
+/// day triggers the order-of-magnitude detector where a normal day does
+/// not.
+#[test]
+fn incident_detector_fires_on_upgrade_day() {
+    let (cfg, graph) = iri_bench::ExperimentConfig::at_scale(0.02);
+    let normal = iri_bench::summarize_day(&cfg.scenario, &graph, 43); // mid-May weekday
+    let incident = iri_bench::summarize_day(&cfg.scenario, &graph, 59); // May 30
+
+    let normal_bins = normal.instability_bins;
+    let incident_bins = incident.instability_bins;
+    let normal_incidents = detect_incidents(&normal_bins, 10.0, 36);
+    let incident_incidents = detect_incidents(&incident_bins, 10.0, 36);
+    assert!(
+        incident_incidents.len() > normal_incidents.len()
+            || incident_bins.iter().sum::<u64>() > 5 * normal_bins.iter().sum::<u64>(),
+        "the upgrade day must register as pathological: {} vs {} incidents, {} vs {} volume",
+        incident_incidents.len(),
+        normal_incidents.len(),
+        incident_bins.iter().sum::<u64>(),
+        normal_bins.iter().sum::<u64>(),
+    );
+}

@@ -1,0 +1,124 @@
+//! Shape tests on the full scenario pipeline at test-friendly scale:
+//! the statistical signatures every figure relies on must be present even
+//! in small runs.
+
+use iri_bench::{summarize_day, ExperimentConfig};
+use iri_core::taxonomy::UpdateClass;
+use iri_topology::asgraph::{AsGraph, GraphConfig};
+use iri_topology::scenario::ScenarioConfig;
+
+fn small() -> (ScenarioConfig, AsGraph) {
+    let graph = AsGraph::generate(&GraphConfig::default_scaled(0.02));
+    let mut cfg = ScenarioConfig::default_for(graph.prefix_count());
+    cfg.warmup_minutes = 15;
+    (cfg, graph)
+}
+
+#[test]
+fn duplicates_dominate_diffs() {
+    let (cfg, graph) = small();
+    let s = summarize_day(&cfg, &graph, 17);
+    let b = &s.breakdown;
+    let dup = b.get(UpdateClass::AaDup) + b.get(UpdateClass::WaDup) + b.get(UpdateClass::WwDup);
+    let diff = b.get(UpdateClass::AaDiff) + b.get(UpdateClass::WaDiff);
+    assert!(
+        dup > 5 * diff.max(1),
+        "pathological duplicates must dominate: {dup} vs {diff}"
+    );
+}
+
+#[test]
+fn thirty_second_bins_dominate_interarrival() {
+    let (cfg, graph) = small();
+    let s = summarize_day(&cfg, &graph, 17);
+    // WADup and AADup (indices 2 and 3 in FIGURE_CATEGORIES) are timer-locked.
+    for ci in [2usize, 3] {
+        let d = &s.interarrivals[ci];
+        if d.gaps < 50 {
+            continue;
+        }
+        let mass = d.proportions[2] + d.proportions[3];
+        assert!(
+            mass > 0.4,
+            "class {:?}: 30s+1m mass {mass:.2} too small over {} gaps",
+            d.class,
+            d.gaps
+        );
+    }
+}
+
+#[test]
+fn most_routes_stay_stable() {
+    let (cfg, graph) = small();
+    let s = summarize_day(&cfg, &graph, 17);
+    assert!(
+        s.affected.stable_fraction() > 0.6,
+        "most routes must be instability-free: {:.2}",
+        s.affected.stable_fraction()
+    );
+    // Forwarding-instability classes touch small fractions.
+    assert!(s.affected.fraction(UpdateClass::WaDiff) < 0.3);
+    assert!(s.affected.fraction(UpdateClass::AaDiff) < 0.3);
+}
+
+#[test]
+fn persistence_mostly_under_five_minutes() {
+    let (cfg, graph) = small();
+    let s = summarize_day(&cfg, &graph, 17);
+    assert!(
+        s.persistence_under_5min > 0.5,
+        "most multi-event episodes must resolve within 5 minutes: {:.2}",
+        s.persistence_under_5min
+    );
+}
+
+#[test]
+fn update_volume_exceeds_topology_expectation() {
+    let (cfg, graph) = small();
+    let s = summarize_day(&cfg, &graph, 17);
+    let per_prefix = s.total_events as f64 / s.census.prefixes.max(1) as f64;
+    assert!(
+        per_prefix > 5.0,
+        "updates must exceed one-per-topology-change by far: {per_prefix:.1}/prefix/day"
+    );
+}
+
+#[test]
+fn incident_day_has_more_updates() {
+    let (cfg, graph) = small();
+    // Day 58 is inside the May 28 – Jun 4 upgrade incident; day 50 is not.
+    let normal = summarize_day(&cfg, &graph, 50);
+    let incident = summarize_day(&cfg, &graph, 58);
+    let normal_instability: u64 = normal.instability_bins.iter().sum();
+    let incident_instability: u64 = incident.instability_bins.iter().sum();
+    assert!(
+        incident_instability > normal_instability,
+        "the upgrade incident must dominate: {incident_instability} vs {normal_instability}"
+    );
+}
+
+#[test]
+fn damping_reduces_visible_instability() {
+    let (mut cfg, graph) = small();
+    let base = summarize_day(&cfg, &graph, 17);
+    cfg.damping = true;
+    let damped = summarize_day(&cfg, &graph, 17);
+    // Damping at the providers absorbs repeated flaps before they cross
+    // the exchange a second time; total classified events must drop.
+    assert!(
+        damped.total_events < base.total_events,
+        "damping must reduce update volume: {} vs {}",
+        damped.total_events,
+        base.total_events
+    );
+}
+
+#[test]
+fn table_census_is_sane() {
+    let (cfg, graph) = small();
+    let s = summarize_day(&cfg, &graph, 17);
+    assert!(s.census.prefixes as f64 >= graph.prefix_count() as f64 * 0.9);
+    assert!(s.census.autonomous_systems > graph.providers.len());
+    assert!(s.census.unique_paths > graph.providers.len());
+    assert!(s.census.multihomed > 0);
+}
