@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification + lint gate. Run before every push.
+#
+#   ./ci.sh            # build, test, clippy
+#
+# The workspace builds fully offline (crates.io stand-ins live in shims/),
+# so this needs no network access.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy -q --workspace --all-targets -- -D warnings"
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

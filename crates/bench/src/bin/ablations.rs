@@ -219,8 +219,8 @@ fn ablation_aggregation() {
 }
 
 /// 6. The "draconian" prefix-length filter: "a number of ISPs have
-/// implemented a more draconian version of enforcing stability by
-/// filtering all route announcements longer than a given prefix length."
+///    implemented a more draconian version of enforcing stability by
+///    filtering all route announcements longer than a given prefix length."
 fn ablation_length_filter() {
     banner(
         "Ablation 6 — prefix-length filtering",

@@ -7,70 +7,163 @@
 //! incidents, inter-arrival modes, and episode persistence.
 //!
 //! ```sh
-//! mrtstat <file.mrt> [--base-time <unix-secs>]
-//! mrtstat --demo           # generate a demo log in-memory and analyze it
+//! mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N]
+//! mrtstat --demo [--jobs N]    # generate a demo log in-memory and analyze it
 //! ```
+//!
+//! With `--jobs N` the file is analyzed by the `iri-pipeline` engine:
+//! records are decoded in chunks on the ingest thread and classified by N
+//! sharded workers, producing the identical report plus stage telemetry.
+//! `--jobs 0` picks one worker per CPU.
 
 use iri_bench::{arg_u64, logged_to_events};
-use iri_core::input::events_from_mrt;
-use iri_core::stats::bins::{instability_filter, ten_minute_bins};
-use iri_core::stats::daily::provider_daily_totals;
+use iri_core::input::{events_from_mrt, UpdateEvent};
+use iri_core::stats::bins::{instability_filter, ten_minute_bins, SLOTS_PER_DAY};
+use iri_core::stats::daily::ProviderDailyRow;
 use iri_core::stats::incidents::detect_incidents;
-use iri_core::stats::interarrival::{day_interarrival, BIN_LABELS};
-use iri_core::stats::persistence::{episodes, persistence_below};
+use iri_core::stats::interarrival::{DayInterarrival, BIN_LABELS};
+use iri_core::stats::persistence::{persistence_below, Episode};
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_mrt::MrtReader;
+use iri_pipeline::{analyze_mrt, PipelineConfig, DEFAULT_QUIET_MS};
 use std::fs::File;
 use std::io::BufReader;
 
+/// Everything the report needs, produced by either engine.
+struct Report {
+    classifier: Classifier,
+    span_ms: u64,
+    provider_rows: Vec<ProviderDailyRow>,
+    instability_bins: Box<[u64; SLOTS_PER_DAY]>,
+    interarrivals: Vec<DayInterarrival>,
+    episodes: Vec<Episode>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let events = if args.iter().any(|a| a == "--demo") {
-        demo_events()
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|_| arg_u64(&args, "--jobs", 0) as usize);
+    let demo = args.iter().any(|a| a == "--demo");
+
+    let report = if demo {
+        let events = demo_events();
+        match jobs {
+            Some(jobs) => parallel_report_events(&events, jobs),
+            None => sequential_report(&events),
+        }
     } else {
         let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
-            eprintln!("usage: mrtstat <file.mrt> [--base-time <unix-secs>] | mrtstat --demo");
+            eprintln!(
+                "usage: mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] | mrtstat --demo"
+            );
             std::process::exit(2);
         };
         let base = arg_u64(&args, "--base-time", 0) as u32;
+        // MrtReader issues many small reads per record; unbuffered File
+        // I/O here costs a syscall per read, so always wrap in BufReader.
         let file = File::open(path).unwrap_or_else(|e| {
             eprintln!("mrtstat: cannot open {path}: {e}");
             std::process::exit(1);
         });
         let mut reader = MrtReader::new(BufReader::new(file));
-        let mut records = Vec::new();
-        loop {
-            match reader.next_record() {
-                Ok(Some(r)) => records.push(r),
-                Ok(None) => break,
-                Err(e) => {
-                    eprintln!("mrtstat: warning: stopping at malformed record: {e}");
-                    break;
+        match jobs {
+            Some(jobs) => {
+                let (result, records) =
+                    analyze_mrt(&mut reader, base, &PipelineConfig::with_jobs(jobs));
+                println!("{path}: {records} MRT records");
+                report_from_pipeline(result)
+            }
+            None => {
+                let mut records = Vec::new();
+                loop {
+                    match reader.next_record() {
+                        Ok(Some(r)) => records.push(r),
+                        Ok(None) => break,
+                        Err(e) => {
+                            eprintln!("mrtstat: warning: stopping at malformed record: {e}");
+                            break;
+                        }
+                    }
                 }
+                let base = if base == 0 {
+                    records.first().map_or(0, iri_mrt::MrtRecord::timestamp)
+                } else {
+                    base
+                };
+                println!("{path}: {} MRT records (base time {base})", records.len());
+                sequential_report(&events_from_mrt(&records, base))
             }
         }
-        let base = if base == 0 {
-            records.first().map_or(0, iri_mrt::MrtRecord::timestamp)
-        } else {
-            base
-        };
-        println!("{path}: {} MRT records (base time {base})", records.len());
-        events_from_mrt(&records, base)
     };
 
-    if events.is_empty() {
+    if report.classifier.total() == 0 {
         println!("no prefix events found.");
         return;
     }
+    print_report(&report);
+}
+
+/// Classic single-threaded engine: classify in stream order, then run the
+/// batch statistics functions.
+fn sequential_report(events: &[UpdateEvent]) -> Report {
+    use iri_core::stats::daily::provider_daily_totals;
+    use iri_core::stats::interarrival::day_interarrival;
+    use iri_core::stats::persistence::episodes;
 
     let mut classifier = Classifier::new();
-    let classified = classifier.classify_all(&events);
+    let classified = classifier.classify_all(events);
     let span_ms = events.last().map_or(0, |e| e.time_ms) + 1;
+    Report {
+        span_ms,
+        provider_rows: provider_daily_totals(&classified),
+        instability_bins: Box::new(ten_minute_bins(&classified, instability_filter)),
+        interarrivals: UpdateClass::FIGURE_CATEGORIES
+            .iter()
+            .map(|&c| day_interarrival(&classified, c))
+            .collect(),
+        episodes: episodes(&classified, DEFAULT_QUIET_MS),
+        classifier,
+    }
+}
+
+/// Pipeline engine over in-memory events (demo mode).
+fn parallel_report_events(events: &[UpdateEvent], jobs: usize) -> Report {
+    report_from_pipeline(iri_pipeline::analyze_events(
+        events,
+        &PipelineConfig::with_jobs(jobs),
+    ))
+}
+
+/// Folds a pipeline result into the common report and prints telemetry.
+fn report_from_pipeline(result: iri_pipeline::AnalysisResult) -> Report {
+    let iri_pipeline::AnalysisResult {
+        classifier,
+        sinks,
+        metrics,
+    } = result;
+    print!("\n{}", metrics.render());
+    Report {
+        span_ms: sinks.span_ms(),
+        provider_rows: sinks.daily.finish(),
+        instability_bins: Box::new(sinks.bins.finish()),
+        interarrivals: UpdateClass::FIGURE_CATEGORIES
+            .iter()
+            .map(|&c| sinks.interarrival.finish(c))
+            .collect(),
+        episodes: sinks.episodes.finish(),
+        classifier,
+    }
+}
+
+fn print_report(report: &Report) {
+    let classifier = &report.classifier;
     println!(
         "\n{} prefix events over {:.1} hours from {} (peer, prefix) pairs",
-        classified.len(),
-        span_ms as f64 / 3_600_000.0,
+        classifier.total(),
+        report.span_ms as f64 / 3_600_000.0,
         classifier.tracked_pairs()
     );
 
@@ -103,7 +196,7 @@ fn main() {
     );
 
     println!("\n-- per-peer totals --");
-    for row in provider_daily_totals(&classified) {
+    for row in &report.provider_rows {
         println!(
             "  {:<10} announce {:>8}  withdraw {:>8}  unique {:>6}  W/A {:>6.1}",
             row.asn.to_string(),
@@ -115,8 +208,7 @@ fn main() {
     }
 
     println!("\n-- instability incidents (≥10x baseline, 10-min slots) --");
-    let bins = ten_minute_bins(&classified, instability_filter);
-    let incidents = detect_incidents(&bins, 10.0, 36);
+    let incidents = detect_incidents(report.instability_bins.as_ref(), 10.0, 36);
     if incidents.is_empty() {
         println!("  none detected");
     } else {
@@ -133,8 +225,10 @@ fn main() {
     }
 
     println!("\n-- inter-arrival modes --");
-    for class in UpdateClass::FIGURE_CATEGORIES {
-        let d = day_interarrival(&classified, class);
+    for (class, d) in UpdateClass::FIGURE_CATEGORIES
+        .iter()
+        .zip(&report.interarrivals)
+    {
         if d.gaps == 0 {
             continue;
         }
@@ -155,16 +249,15 @@ fn main() {
         );
     }
 
-    let eps = episodes(&classified, 5 * 60 * 1000);
     println!(
         "\n-- persistence: {:.0}% of multi-event episodes under 5 minutes ({} episodes) --",
-        100.0 * persistence_below(&eps, 5 * 60 * 1000),
-        eps.len()
+        100.0 * persistence_below(&report.episodes, DEFAULT_QUIET_MS),
+        report.episodes.len()
     );
 }
 
 /// Generates an in-memory demo: one simulated exchange hour.
-fn demo_events() -> Vec<iri_core::input::UpdateEvent> {
+fn demo_events() -> Vec<UpdateEvent> {
     use iri_netsim::{build_exchange, provider_mix, CsuFault, ExchangePoint, World, HOUR, MINUTE};
     println!("(demo mode: simulating one hour at a scaled Mae-East)");
     let mut world = World::new(0xdead_beef);

@@ -6,10 +6,16 @@
 //! ```sh
 //! run_scenario --print-default > scenario.json   # dump the default config
 //! run_scenario scenario.json --day 45            # run one day of it
+//! run_scenario scenario.json --day 45 --days 7 --jobs 4   # a parallel week
 //! ```
+//!
+//! With `--days N` the binary runs N consecutive days starting at `--day`
+//! through the `iri-pipeline` parallel map (`--jobs` workers, 0 = one per
+//! CPU) and prints one summary row per day plus the pipeline telemetry.
 //!
 //! The config file holds `{ "graph": GraphConfig, "scenario": ScenarioConfig }`.
 
+use iri_bench::summary::summarize_day;
 use iri_bench::{arg_u64, logged_to_events};
 use iri_core::stats::breakdown::breakdown;
 use iri_core::stats::incidents::detect_incidents;
@@ -55,6 +61,11 @@ fn main() {
     });
 
     let graph = AsGraph::generate(&file.graph);
+    let days = arg_u64(&args, "--days", 1) as u32;
+    if days > 1 {
+        run_parallel_days(&file, &graph, day, days, arg_u64(&args, "--jobs", 0) as usize);
+        return;
+    }
     println!(
         "graph: {} providers, {} customers, {} prefixes; running day {day} at {}",
         graph.providers.len(),
@@ -84,4 +95,48 @@ fn main() {
         result.census.multihomed,
         incidents.len()
     );
+}
+
+/// Parallel multi-day mode: each day is an independent seeded simulation,
+/// dealt to `jobs` workers by `iri-pipeline`'s ordered map.
+fn run_parallel_days(file: &ExperimentFile, graph: &AsGraph, start_day: u32, days: u32, jobs: usize) {
+    println!(
+        "graph: {} providers, {} customers, {} prefixes; running days {start_day}..{} at {}",
+        graph.providers.len(),
+        graph.customers.len(),
+        graph.prefix_count(),
+        start_day + days,
+        file.scenario.exchange.name(),
+    );
+    let scenario = &file.scenario;
+    let (summaries, metrics) = iri_pipeline::par_map(
+        (start_day..start_day + days).collect(),
+        jobs,
+        |day| summarize_day(scenario, graph, day),
+    );
+    println!("\n{}", metrics.render());
+    println!("  day   events  instab%  pathological%  peak/s  incidents");
+    for s in &summaries {
+        let total = s.breakdown.total().max(1) as f64;
+        let instab: u64 = UpdateClass::ALL
+            .iter()
+            .filter(|c| c.is_instability())
+            .map(|&c| s.breakdown.get(c))
+            .sum();
+        let path: u64 = UpdateClass::ALL
+            .iter()
+            .filter(|c| c.is_pathological())
+            .map(|&c| s.breakdown.get(c))
+            .sum();
+        let incidents = detect_incidents(&s.instability_bins, 10.0, 36);
+        println!(
+            "  {:>3} {:>8} {:>7.1} {:>13.1} {:>7} {:>10}",
+            s.day,
+            s.total_events,
+            100.0 * instab as f64 / total,
+            100.0 * path as f64 / total,
+            s.peak_events_per_sec,
+            incidents.len()
+        );
+    }
 }

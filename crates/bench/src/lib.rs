@@ -9,13 +9,13 @@
 //!        → iri-core events → classifier → per-day summary
 //! ```
 //!
-//! Multi-day experiments run days in parallel with crossbeam scoped
-//! threads; each simulated day is independent (its own seeded world), so
-//! results are deterministic regardless of thread scheduling.
+//! Multi-day experiments run days in parallel through `iri-pipeline`'s
+//! ordered parallel map; each simulated day is independent (its own
+//! seeded world), so results are deterministic regardless of scheduling.
 
 pub mod summary;
 
-pub use summary::{run_days, summarize_day, DaySummary, ExperimentConfig};
+pub use summary::{run_days, run_days_with_metrics, summarize_day, DaySummary, ExperimentConfig};
 
 use iri_core::input::{PeerKey, UpdateEvent};
 use iri_netsim::monitor::LoggedUpdate;

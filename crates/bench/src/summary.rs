@@ -170,24 +170,22 @@ pub fn run_days(
     graph: &AsGraph,
     days: impl Iterator<Item = u32>,
 ) -> Vec<DaySummary> {
+    run_days_with_metrics(cfg, graph, days).0
+}
+
+/// [`run_days`], also returning the pipeline's worker telemetry. Days are
+/// dealt to `cfg.threads` workers through `iri-pipeline`'s ordered
+/// parallel map — work-stealing beats the old static chunking when day
+/// lengths are uneven, and the telemetry shows per-worker busy time.
+#[must_use]
+pub fn run_days_with_metrics(
+    cfg: &ExperimentConfig,
+    graph: &AsGraph,
+    days: impl Iterator<Item = u32>,
+) -> (Vec<DaySummary>, iri_pipeline::PipelineMetrics) {
     let days: Vec<u32> = days.collect();
-    let mut out: Vec<Option<DaySummary>> = Vec::with_capacity(days.len());
-    out.resize_with(days.len(), || None);
-    let chunk = days.len().div_ceil(cfg.threads.max(1)).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, day_chunk) in out.chunks_mut(chunk).zip(days.chunks(chunk)) {
-            let scenario = &cfg.scenario;
-            scope.spawn(move |_| {
-                for (slot, &day) in slot_chunk.iter_mut().zip(day_chunk) {
-                    *slot = Some(summarize_day(scenario, graph, day));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter()
-        .map(|s| s.expect("all days filled"))
-        .collect()
+    let scenario = &cfg.scenario;
+    iri_pipeline::par_map(days, cfg.threads, |day| summarize_day(scenario, graph, day))
 }
 
 #[cfg(test)]

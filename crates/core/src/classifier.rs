@@ -43,7 +43,9 @@ enum PairState {
 #[derive(Default)]
 pub struct Classifier {
     state: HashMap<(PeerKey, Prefix), PairState>,
-    counts: HashMap<UpdateClass, u64>,
+    // Fixed-size table indexed by `UpdateClass::index()`: the per-event hot
+    // path increments a slot instead of probing a hash map.
+    counts: [u64; UpdateClass::COUNT],
     policy_changes: u64,
     total: u64,
 }
@@ -64,7 +66,7 @@ impl Classifier {
     /// Events classified into `class` so far.
     #[must_use]
     pub fn count(&self, class: UpdateClass) -> u64 {
-        *self.counts.get(&class).unwrap_or(&0)
+        self.counts[class.index()]
     }
 
     /// AADup events whose non-forwarding attributes changed (policy
@@ -124,7 +126,7 @@ impl Classifier {
             }
         };
         self.state.insert(key, next);
-        *self.counts.entry(class).or_default() += 1;
+        self.counts[class.index()] += 1;
         if policy_change {
             self.policy_changes += 1;
         }
@@ -144,6 +146,23 @@ impl Classifier {
         I: IntoIterator<Item = &'a UpdateEvent>,
     {
         events.into_iter().map(|e| self.classify(e)).collect()
+    }
+
+    /// Folds another classifier's tallies and pair state into this one.
+    ///
+    /// Intended for sharded parallel classification where each worker saw
+    /// a **disjoint** set of (peer, prefix) pairs: the merged classifier
+    /// then reports exactly the counts and tracked pairs a single
+    /// classifier would have produced over the full stream. If the pair
+    /// sets overlap, `other`'s state wins for the shared pairs (the counts
+    /// still sum, but no sequential run corresponds to the merged state).
+    pub fn merge(&mut self, other: Classifier) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            *mine += theirs;
+        }
+        self.policy_changes += other.policy_changes;
+        self.total += other.total;
+        self.state.extend(other.state);
     }
 }
 

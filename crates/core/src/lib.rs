@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod classifier;
+pub mod fxhash;
 pub mod input;
 pub mod report;
 pub mod stats;

@@ -12,6 +12,7 @@
 //! | [`affected`] | Figure 9 (proportion of routes experiencing events) |
 //! | [`persistence`] | §4.1 episode persistence ("under five minutes") |
 //! | [`incidents`] | §4.1 pathological-routing-incident detection (order-of-magnitude excursions) |
+//! | [`sinks`] | mergeable streaming accumulators for sharded parallel analysis |
 
 pub mod affected;
 pub mod bins;
@@ -23,3 +24,4 @@ pub mod density;
 pub mod incidents;
 pub mod interarrival;
 pub mod persistence;
+pub mod sinks;

@@ -1,0 +1,613 @@
+//! Mergeable streaming accumulators ("sinks") for the per-figure
+//! statistics.
+//!
+//! The batch functions in the sibling modules ([`super::breakdown`],
+//! [`super::daily`], [`super::interarrival`], [`super::affected`],
+//! [`super::cdf`], …) take a complete `&[ClassifiedEvent]` slice. The
+//! parallel pipeline instead feeds each classified event to a sink as it
+//! streams past, and folds per-shard sinks together at the end with
+//! `merge`.
+//!
+//! Every sink here is **exactly equivalent** to its batch counterpart
+//! under sharded evaluation, provided the shard assignment keeps all
+//! events of a given `(prefix, peer-AS)` pair — and a fortiori of a given
+//! `(peer, prefix)` pair — in one shard, and each shard sees its events in
+//! stream order. The stateful sinks (inter-arrival gaps, episodes) key
+//! their state by `(Prefix, Asn)`, so per-pair subsequences are identical
+//! to the sequential run; the rest are sums and set unions, which commute
+//! across shards.
+
+use crate::classifier::ClassifiedEvent;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::stats::affected::AffectedDay;
+use crate::stats::bins::{SLOTS_PER_DAY, TEN_MINUTES_MS};
+use crate::stats::breakdown::ClassBreakdown;
+use crate::stats::cdf::PrefixAsCdf;
+use crate::stats::daily::ProviderDailyRow;
+use crate::stats::interarrival::{bin_index, DayInterarrival};
+use crate::stats::persistence::Episode;
+use crate::taxonomy::UpdateClass;
+use iri_bgp::types::{Asn, Prefix};
+use std::collections::BTreeMap;
+
+/// Streaming counterpart of [`super::breakdown::breakdown`].
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownSink {
+    counts: [u64; UpdateClass::COUNT],
+}
+
+impl BreakdownSink {
+    /// Empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tallies one event.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        self.counts[e.class.index()] += 1;
+    }
+
+    /// Folds another shard's tallies into this one.
+    pub fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// The accumulated breakdown.
+    #[must_use]
+    pub fn finish(&self) -> ClassBreakdown {
+        let mut counts = BTreeMap::new();
+        for class in UpdateClass::ALL {
+            let n = self.counts[class.index()];
+            if n > 0 {
+                counts.insert(class, n);
+            }
+        }
+        ClassBreakdown { counts }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct DailyAcc {
+    announce: u64,
+    withdraw: u64,
+    prefixes: FxHashSet<Prefix>,
+}
+
+/// Streaming counterpart of [`super::daily::provider_daily_totals`].
+#[derive(Debug, Clone, Default)]
+pub struct DailySink {
+    acc: BTreeMap<Asn, DailyAcc>,
+}
+
+impl DailySink {
+    /// Empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tallies one event.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        let a = self.acc.entry(e.peer.asn).or_default();
+        if e.class.is_announcement() {
+            a.announce += 1;
+        } else {
+            a.withdraw += 1;
+        }
+        a.prefixes.insert(e.prefix);
+    }
+
+    /// Folds another shard's tallies: counts add, prefix sets union.
+    pub fn merge(&mut self, other: Self) {
+        for (asn, theirs) in other.acc {
+            let mine = self.acc.entry(asn).or_default();
+            mine.announce += theirs.announce;
+            mine.withdraw += theirs.withdraw;
+            mine.prefixes.extend(theirs.prefixes);
+        }
+    }
+
+    /// Table 1 rows, sorted by ASN.
+    #[must_use]
+    pub fn finish(&self) -> Vec<ProviderDailyRow> {
+        self.acc
+            .iter()
+            .map(|(&asn, a)| ProviderDailyRow {
+                asn,
+                announce: a.announce,
+                withdraw: a.withdraw,
+                unique_prefixes: a.prefixes.len(),
+            })
+            .collect()
+    }
+}
+
+/// Streaming counterpart of [`super::interarrival::day_interarrival`],
+/// accumulating all classes in one pass.
+#[derive(Debug, Clone, Default)]
+pub struct InterarrivalSink {
+    last_seen: FxHashMap<(Prefix, Asn), u64>,
+    counts: [[u64; 12]; UpdateClass::COUNT],
+    gaps: [u64; UpdateClass::COUNT],
+}
+
+impl InterarrivalSink {
+    /// Empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event; a gap is measured against the pair's previous
+    /// event and attributed to this (the later) event's class.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        let key = (e.prefix, e.peer.asn);
+        if let Some(&prev) = self.last_seen.get(&key) {
+            let idx = e.class.index();
+            self.counts[idx][bin_index(e.time_ms.saturating_sub(prev))] += 1;
+            self.gaps[idx] += 1;
+        }
+        self.last_seen.insert(key, e.time_ms);
+    }
+
+    /// Folds another shard's bin counts. The per-pair `last_seen` state
+    /// needs no reconciliation when shards own disjoint pairs.
+    pub fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        for (mine, theirs) in self.gaps.iter_mut().zip(other.gaps) {
+            *mine += theirs;
+        }
+        self.last_seen.extend(other.last_seen);
+    }
+
+    /// One class's inter-arrival distribution.
+    #[must_use]
+    pub fn finish(&self, class: UpdateClass) -> DayInterarrival {
+        let idx = class.index();
+        let gaps = self.gaps[idx];
+        let mut proportions = [0.0; 12];
+        if gaps > 0 {
+            for (p, &c) in proportions.iter_mut().zip(&self.counts[idx]) {
+                *p = c as f64 / gaps as f64;
+            }
+        }
+        DayInterarrival {
+            class,
+            proportions,
+            gaps,
+        }
+    }
+}
+
+/// Streaming counterpart of [`super::affected::affected_day`] and
+/// [`super::affected::affected_tuples`].
+///
+/// Only two set inserts per event (the per-class prefix set and the
+/// (prefix, AS) tuple set); the "any category / any instability / any
+/// forwarding" unions are derived once in [`AffectedSink::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct AffectedSink {
+    per_class: [FxHashSet<Prefix>; UpdateClass::COUNT],
+    tuples: FxHashSet<(Prefix, Asn)>,
+}
+
+impl AffectedSink {
+    /// Empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event's prefix into the relevant sets.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        self.per_class[e.class.index()].insert(e.prefix);
+        if !matches!(e.class, UpdateClass::NewAnnounce) {
+            self.tuples.insert((e.prefix, e.peer.asn));
+        }
+    }
+
+    /// Unions another shard's sets into this one.
+    pub fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.per_class.iter_mut().zip(other.per_class) {
+            mine.extend(theirs);
+        }
+        self.tuples.extend(other.tuples);
+    }
+
+    /// Union of the class sets selected by `pick`.
+    fn union_len(&self, pick: impl Fn(UpdateClass) -> bool) -> usize {
+        let mut all: FxHashSet<Prefix> = FxHashSet::default();
+        for class in UpdateClass::ALL {
+            if pick(class) {
+                all.extend(self.per_class[class.index()].iter().copied());
+            }
+        }
+        all.len()
+    }
+
+    /// The day's affected-route proportions.
+    #[must_use]
+    pub fn finish(&self, table_size: usize, day: u32) -> AffectedDay {
+        let denom = table_size.max(1) as f64;
+        let any = self.union_len(|c| !matches!(c, UpdateClass::NewAnnounce));
+        let unstable = self.union_len(UpdateClass::is_instability);
+        let forwarding = self.union_len(UpdateClass::is_forwarding_instability);
+        AffectedDay {
+            day,
+            table_size,
+            per_class: UpdateClass::ALL
+                .iter()
+                .map(|&c| (c, self.per_class[c.index()].len() as f64 / denom))
+                .collect(),
+            any_category: (any as f64 / denom).min(1.0),
+            any_instability: (unstable as f64 / denom).min(1.0),
+            any_forwarding: (forwarding as f64 / denom).min(1.0),
+        }
+    }
+
+    /// Fraction of (prefix, AS) tuples touched, over `tuple_count` known
+    /// tuples — matches [`super::affected::affected_tuples`].
+    #[must_use]
+    pub fn tuples_fraction(&self, tuple_count: usize) -> f64 {
+        (self.tuples.len() as f64 / tuple_count.max(1) as f64).min(1.0)
+    }
+}
+
+/// Streaming counterpart of [`super::cdf::prefix_as_cdf`], accumulating
+/// all classes in one pass. Counts live in a hash map (one cheap insert
+/// per event on the hot path); the sorted distribution a CDF needs is
+/// built once in [`CdfSink::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct CdfSink {
+    per_pair: FxHashMap<(UpdateClass, Prefix, Asn), u64>,
+}
+
+impl CdfSink {
+    /// Empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one event against its (class, prefix, AS) key.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        *self
+            .per_pair
+            .entry((e.class, e.prefix, e.peer.asn))
+            .or_default() += 1;
+    }
+
+    /// Adds another shard's per-pair counts.
+    pub fn merge(&mut self, other: Self) {
+        for (key, n) in other.per_pair {
+            *self.per_pair.entry(key).or_default() += n;
+        }
+    }
+
+    /// One class's Prefix+AS distribution.
+    #[must_use]
+    pub fn finish(&self, class: UpdateClass) -> PrefixAsCdf {
+        let mut pair_counts: Vec<u64> = self
+            .per_pair
+            .iter()
+            .filter(|((c, _, _), _)| *c == class)
+            .map(|(_, &n)| n)
+            .collect();
+        pair_counts.sort_unstable();
+        let total = pair_counts.iter().sum();
+        PrefixAsCdf {
+            class,
+            pair_counts,
+            total,
+        }
+    }
+}
+
+/// Streaming counterpart of [`super::persistence::episodes`].
+#[derive(Debug, Clone)]
+pub struct EpisodeSink {
+    quiet_ms: u64,
+    open: FxHashMap<(Prefix, Asn), Episode>,
+    done: Vec<Episode>,
+}
+
+impl EpisodeSink {
+    /// Sink segmenting episodes at gaps larger than `quiet_ms`.
+    #[must_use]
+    pub fn new(quiet_ms: u64) -> Self {
+        EpisodeSink {
+            quiet_ms,
+            open: FxHashMap::default(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Extends or closes the pair's current episode.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        let key = (e.prefix, e.peer.asn);
+        match self.open.get_mut(&key) {
+            Some(ep) if e.time_ms.saturating_sub(ep.end_ms) <= self.quiet_ms => {
+                ep.end_ms = e.time_ms;
+                ep.events += 1;
+            }
+            existing => {
+                if let Some(ep) = existing {
+                    self.done.push(*ep);
+                }
+                self.open.insert(
+                    key,
+                    Episode {
+                        prefix: e.prefix,
+                        asn: e.peer.asn,
+                        start_ms: e.time_ms,
+                        end_ms: e.time_ms,
+                        events: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Combines another shard's episodes (closed and still-open).
+    pub fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.quiet_ms, other.quiet_ms);
+        self.done.extend(other.done);
+        self.open.extend(other.open);
+    }
+
+    /// All episodes, sorted like [`super::persistence::episodes`]. Ties on
+    /// the sort key may order differently than a sequential run (both are
+    /// already tie-unstable there); every duration statistic is unaffected.
+    #[must_use]
+    pub fn finish(&self) -> Vec<Episode> {
+        let mut done = self.done.clone();
+        done.extend(self.open.values().copied());
+        done.sort_by_key(|ep| (ep.start_ms, ep.prefix.bits(), ep.asn.0));
+        done
+    }
+}
+
+/// Streaming counterpart of [`super::bins::ten_minute_bins`] with the
+/// paper's instability filter.
+#[derive(Debug, Clone)]
+pub struct BinsSink {
+    slots: Box<[u64; SLOTS_PER_DAY]>,
+}
+
+impl Default for BinsSink {
+    fn default() -> Self {
+        BinsSink {
+            slots: Box::new([0; SLOTS_PER_DAY]),
+        }
+    }
+}
+
+impl BinsSink {
+    /// Empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts instability events into their ten-minute slot.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        if e.class.is_instability() {
+            let slot = (e.time_ms / TEN_MINUTES_MS) as usize;
+            if slot < SLOTS_PER_DAY {
+                self.slots[slot] += 1;
+            }
+        }
+    }
+
+    /// Adds another shard's slot counts.
+    pub fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// The per-slot instability counts.
+    #[must_use]
+    pub fn finish(&self) -> [u64; SLOTS_PER_DAY] {
+        *self.slots
+    }
+}
+
+/// Every sink the analysis pipeline maintains, advanced in one call per
+/// classified event.
+#[derive(Debug, Clone)]
+pub struct StreamSinks {
+    /// Class counts (Figure 2 / §4 headline numbers).
+    pub breakdown: BreakdownSink,
+    /// Per-ISP daily totals (Table 1).
+    pub daily: DailySink,
+    /// Inter-arrival histograms (Figure 8).
+    pub interarrival: InterarrivalSink,
+    /// Affected-route proportions (Figure 9).
+    pub affected: AffectedSink,
+    /// Prefix+AS distributions (Figure 7).
+    pub cdf: CdfSink,
+    /// Instability episodes (§4.1 persistence).
+    pub episodes: EpisodeSink,
+    /// Ten-minute instability bins (incident detection input).
+    pub bins: BinsSink,
+    /// Events recorded.
+    pub events: u64,
+    /// Largest event time seen (ms).
+    pub max_time_ms: u64,
+}
+
+impl StreamSinks {
+    /// Fresh sinks; `quiet_ms` is the episode-segmentation threshold.
+    #[must_use]
+    pub fn new(quiet_ms: u64) -> Self {
+        StreamSinks {
+            breakdown: BreakdownSink::new(),
+            daily: DailySink::new(),
+            interarrival: InterarrivalSink::new(),
+            affected: AffectedSink::new(),
+            cdf: CdfSink::new(),
+            episodes: EpisodeSink::new(quiet_ms),
+            bins: BinsSink::new(),
+            events: 0,
+            max_time_ms: 0,
+        }
+    }
+
+    /// Feeds one classified event to every sink.
+    pub fn record(&mut self, e: &ClassifiedEvent) {
+        self.breakdown.record(e);
+        self.daily.record(e);
+        self.interarrival.record(e);
+        self.affected.record(e);
+        self.cdf.record(e);
+        self.episodes.record(e);
+        self.bins.record(e);
+        self.events += 1;
+        self.max_time_ms = self.max_time_ms.max(e.time_ms);
+    }
+
+    /// The observed stream span in milliseconds (`max_time + 1`, the
+    /// convention the CLIs use for an inclusive last event), or 0 when no
+    /// events were recorded.
+    #[must_use]
+    pub fn span_ms(&self) -> u64 {
+        if self.events == 0 {
+            0
+        } else {
+            self.max_time_ms + 1
+        }
+    }
+
+    /// Folds another shard's sinks into this one.
+    pub fn merge(&mut self, other: Self) {
+        self.breakdown.merge(other.breakdown);
+        self.daily.merge(other.daily);
+        self.interarrival.merge(other.interarrival);
+        self.affected.merge(other.affected);
+        self.cdf.merge(other.cdf);
+        self.episodes.merge(other.episodes);
+        self.bins.merge(other.bins);
+        self.events += other.events;
+        self.max_time_ms = self.max_time_ms.max(other.max_time_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PeerKey;
+    use crate::stats::affected::{affected_day, affected_tuples};
+    use crate::stats::bins::{instability_filter, ten_minute_bins};
+    use crate::stats::cdf::prefix_as_cdf;
+    use crate::stats::daily::provider_daily_totals;
+    use crate::stats::interarrival::day_interarrival;
+    use crate::stats::persistence::episodes;
+    use std::net::Ipv4Addr;
+
+    fn ev(t: u64, asn: u32, pfx: u32, class: UpdateClass) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: t,
+            peer: PeerKey {
+                asn: Asn(asn),
+                addr: Ipv4Addr::new(10, 0, 0, asn as u8),
+            },
+            prefix: Prefix::from_raw(0x0a00_0000 | (pfx << 8), 24),
+            class,
+            policy_change: false,
+        }
+    }
+
+    fn sample_stream() -> Vec<ClassifiedEvent> {
+        use UpdateClass::*;
+        let classes = [
+            NewAnnounce,
+            AaDup,
+            Withdraw,
+            WaDup,
+            AaDiff,
+            WwDup,
+            WaDiff,
+            AaDup,
+        ];
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            out.push(ev(
+                i * 7_000,
+                1 + (i % 3) as u32,
+                (i % 17) as u32,
+                classes[(i % 8) as usize],
+            ));
+        }
+        out
+    }
+
+    /// Splits the stream into per-(prefix, AS) shards, feeds each shard its
+    /// own sinks, merges, and checks every figure matches the batch
+    /// functions over the full stream.
+    #[test]
+    fn sharded_sinks_match_batch_functions() {
+        let stream = sample_stream();
+        let quiet = 5 * 60 * 1000;
+        let shards = 4usize;
+
+        let mut merged = StreamSinks::new(quiet);
+        let mut parts: Vec<StreamSinks> =
+            (0..shards).map(|_| StreamSinks::new(quiet)).collect();
+        for e in &stream {
+            let shard = (e.prefix.bits() as usize ^ e.peer.asn.0 as usize) % shards;
+            parts[shard].record(e);
+        }
+        for part in parts {
+            merged.merge(part);
+        }
+
+        assert_eq!(merged.events, stream.len() as u64);
+        let bd = merged.breakdown.finish();
+        for class in UpdateClass::ALL {
+            assert_eq!(
+                bd.get(class),
+                stream.iter().filter(|e| e.class == class).count() as u64
+            );
+        }
+        assert_eq!(merged.daily.finish(), provider_daily_totals(&stream));
+        for class in UpdateClass::FIGURE_CATEGORIES {
+            let seq = day_interarrival(&stream, class);
+            let par = merged.interarrival.finish(class);
+            assert_eq!(par.gaps, seq.gaps, "{class:?}");
+            assert_eq!(par.proportions, seq.proportions, "{class:?}");
+            let seq_cdf = prefix_as_cdf(&stream, class);
+            let par_cdf = merged.cdf.finish(class);
+            assert_eq!(par_cdf.pair_counts, seq_cdf.pair_counts, "{class:?}");
+            assert_eq!(par_cdf.total, seq_cdf.total, "{class:?}");
+        }
+        let seq_aff = affected_day(&stream, 100, 3);
+        let par_aff = merged.affected.finish(100, 3);
+        assert_eq!(par_aff.per_class, seq_aff.per_class);
+        assert_eq!(par_aff.any_category, seq_aff.any_category);
+        assert_eq!(par_aff.any_instability, seq_aff.any_instability);
+        assert_eq!(par_aff.any_forwarding, seq_aff.any_forwarding);
+        assert_eq!(
+            merged.affected.tuples_fraction(64),
+            affected_tuples(&stream, 64)
+        );
+        assert_eq!(
+            merged.bins.finish(),
+            ten_minute_bins(&stream, instability_filter)
+        );
+        let mut seq_eps = episodes(&stream, quiet);
+        let mut par_eps = merged.episodes.finish();
+        let full_key =
+            |e: &Episode| (e.start_ms, e.prefix.bits(), e.prefix.len(), e.asn.0, e.end_ms, e.events);
+        seq_eps.sort_by_key(full_key);
+        par_eps.sort_by_key(full_key);
+        assert_eq!(par_eps, seq_eps);
+    }
+}

@@ -49,6 +49,15 @@ pub enum UpdateClass {
 }
 
 impl UpdateClass {
+    /// Number of classes (the length of [`UpdateClass::ALL`]).
+    pub const COUNT: usize = 7;
+
+    /// Dense index in `0..COUNT`, for array-backed per-class tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// All classes, in the paper's reporting order.
     pub const ALL: [UpdateClass; 7] = [
         UpdateClass::AaDiff,

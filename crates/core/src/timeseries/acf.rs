@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn white_noise_decorrelates() {
-        let s: Vec<f64> = (0..2000).map(|t| noise(t)).collect();
+        let s: Vec<f64> = (0..2000).map(noise).collect();
         let acf = autocorrelation(&s, 20);
         for &r in &acf[1..] {
             assert!(r.abs() < 0.1, "{r}");

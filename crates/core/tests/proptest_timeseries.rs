@@ -4,7 +4,7 @@
 
 use iri_core::timeseries::acf::autocorrelation;
 use iri_core::timeseries::detrend::log_detrend;
-use iri_core::timeseries::fft::{fft_real, Complex};
+use iri_core::timeseries::fft::fft_real;
 use iri_core::timeseries::mem::burg_spectrum;
 use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
 use iri_core::timeseries::ssa::{jacobi_eigen, ssa_components};
@@ -69,7 +69,7 @@ proptest! {
     fn acf_bounded_and_symmetric_in_sign(series in prop::collection::vec(-50.0f64..50.0, 8..200)) {
         let acf = autocorrelation(&series, 20);
         for &r in &acf {
-            prop_assert!(r <= 1.0 + 1e-9 && r >= -1.0 - 1e-9, "{r}");
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{r}");
         }
         // Negating the series leaves the ACF unchanged.
         let neg: Vec<f64> = series.iter().map(|x| -x).collect();

@@ -13,13 +13,23 @@ use std::io::Read;
 use std::net::Ipv4Addr;
 
 /// Reads MRT records from any [`Read`] source.
+///
+/// # Performance
+///
+/// The reader issues at least two small `read` calls per record (a 12-byte
+/// header, then the body). On an unbuffered [`std::fs::File`] each becomes
+/// its own syscall, which dominates decode time on multi-million-record
+/// logs — wrap files in [`std::io::BufReader`] (as every binary in this
+/// workspace does) before handing them here. In-memory sources
+/// (`&[u8]`) need no wrapping.
 pub struct MrtReader<R: Read> {
     source: R,
     records_read: u64,
 }
 
 impl<R: Read> MrtReader<R> {
-    /// Wraps a source.
+    /// Wraps a source. For files, pass `BufReader::new(file)` — see the
+    /// type-level performance note.
     pub fn new(source: R) -> Self {
         MrtReader {
             source,

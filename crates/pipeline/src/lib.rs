@@ -1,0 +1,526 @@
+//! `iri-pipeline` — sharded parallel streaming analysis.
+//!
+//! The paper's taxonomy is order-dependent *per (peer, prefix) pair*: an
+//! event's class depends on the pair's previous state, never on other
+//! pairs. That makes the classification embarrassingly parallel under one
+//! invariant — **all events of a pair must reach the same worker, in
+//! stream order**. The pipeline:
+//!
+//! 1. **Ingests** the stream on one thread (an in-memory slice or a
+//!    chunked MRT reader), assigns every event to a shard by hashing its
+//!    `(peer AS, prefix)` key, and hands fixed-size batches to workers
+//!    over bounded channels (backpressure, no unbounded queues).
+//! 2. **Workers** each own a private [`Classifier`] and
+//!    [`StreamSinks`]; no locks, no shared state.
+//! 3. **Merge** folds per-shard classifiers and sinks into totals
+//!    identical to a sequential run (`Classifier::merge`, sinks'
+//!    `merge`).
+//! 4. **Telemetry** ([`PipelineMetrics`]) reports per-stage records/sec,
+//!    batch occupancy, queue-full stalls, and worker busy time.
+//!
+//! Sharding hashes `(peer AS, prefix)` — deliberately *coarser* than the
+//! classifier's `(peer, prefix)` state key — because the inter-arrival,
+//! episode and CDF statistics key their state by `(prefix, AS)`; the
+//! coarser key keeps both granularities shard-local, so the merged report
+//! is exactly the sequential one. See DESIGN.md "Parallel analysis
+//! pipeline".
+//!
+//! The discrete-event *simulation* stays single-threaded: its global
+//! event queue is causally ordered. Multi-day experiment harnesses
+//! parallelise across whole days with [`par_map`] instead.
+
+use iri_bgp::message::Message;
+use iri_core::input::{events_from_update, PeerKey, UpdateEvent};
+use iri_core::stats::sinks::StreamSinks;
+use iri_core::Classifier;
+use iri_mrt::{MrtReader, MrtRecord};
+use std::borrow::Borrow;
+use std::io::Read;
+use std::time::Instant;
+
+pub mod telemetry;
+
+pub use telemetry::{PipelineMetrics, StageMetrics, WorkerMetrics};
+
+/// Five minutes — the default episode-segmentation quiet threshold.
+pub const DEFAULT_QUIET_MS: u64 = 5 * 60 * 1000;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Worker count (shards). 0 means "one per available CPU".
+    pub jobs: usize,
+    /// Events per batch handed to a worker.
+    pub batch_size: usize,
+    /// Batches each worker channel buffers before the ingest stage blocks.
+    pub queue_depth: usize,
+    /// Episode quiet threshold for the persistence sink (ms).
+    pub quiet_ms: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            jobs: 0,
+            batch_size: 8192,
+            queue_depth: 8,
+            quiet_ms: DEFAULT_QUIET_MS,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Config with an explicit worker count.
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        PipelineConfig {
+            jobs,
+            ..Self::default()
+        }
+    }
+
+    /// The effective worker count (resolves `jobs == 0`).
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// Result of a pipeline run: merged classifier state, merged statistic
+/// sinks, and stage telemetry.
+pub struct AnalysisResult {
+    /// Merged classifier (counts, policy changes, tracked pairs).
+    pub classifier: Classifier,
+    /// Merged statistic sinks, ready to `finish()`.
+    pub sinks: StreamSinks,
+    /// Stage telemetry for this run.
+    pub metrics: PipelineMetrics,
+}
+
+/// Deterministic shard assignment: all events of one `(peer AS, prefix)`
+/// pair — and therefore of one `(peer, prefix)` pair — land in the same
+/// shard. SplitMix64 over the packed key; independent of process, platform
+/// and `jobs`, so runs are reproducible.
+#[must_use]
+pub fn shard_of(event: &UpdateEvent, jobs: usize) -> usize {
+    let packed = (u64::from(event.peer.asn.0) << 38)
+        ^ (u64::from(event.prefix.bits()) << 6)
+        ^ u64::from(event.prefix.len());
+    let mut z = packed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % jobs.max(1) as u64) as usize
+}
+
+/// One worker's loop: classify every event of every batch into the
+/// worker-private classifier and sinks, recording busy time.
+fn run_worker<T: Borrow<UpdateEvent>>(
+    rx: &crossbeam::channel::Receiver<Vec<T>>,
+    worker: usize,
+    quiet_ms: u64,
+) -> (Classifier, StreamSinks, WorkerMetrics) {
+    let mut classifier = Classifier::new();
+    let mut sinks = StreamSinks::new(quiet_ms);
+    let mut metrics = WorkerMetrics::new(worker);
+    for batch in rx.iter() {
+        let t0 = Instant::now();
+        for event in &batch {
+            let classified = classifier.classify(event.borrow());
+            sinks.record(&classified);
+        }
+        metrics.events += batch.len() as u64;
+        metrics.batches += 1;
+        metrics.busy_ms += t0.elapsed().as_millis() as u64;
+    }
+    (classifier, sinks, metrics)
+}
+
+/// Sends a full batch, charging any queue-full wait to the ingest stage's
+/// stall counter.
+fn send_batch<T>(
+    tx: &crossbeam::channel::Sender<Vec<T>>,
+    batch: Vec<T>,
+    ingest: &mut StageMetrics,
+) {
+    ingest.records += batch.len() as u64;
+    ingest.batches += 1;
+    match tx.try_send(batch) {
+        Ok(()) => {}
+        Err(crossbeam::channel::TrySendError::Full(batch)) => {
+            let t0 = Instant::now();
+            // Blocking send: backpressure from a slow worker.
+            let _ = tx.send(batch);
+            ingest.stall_ms += t0.elapsed().as_millis() as u64;
+        }
+        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+            // Worker panicked; the scope join below will surface it.
+        }
+    }
+}
+
+/// Generic core: runs `produce` on the calling thread to feed per-shard
+/// batches, with `jobs` workers classifying concurrently.
+fn run_pipeline<T, F>(cfg: &PipelineConfig, produce: F) -> AnalysisResult
+where
+    T: Borrow<UpdateEvent> + Send,
+    F: FnOnce(&mut dyn FnMut(usize, T), usize),
+{
+    let jobs = cfg.effective_jobs();
+    let batch_size = cfg.batch_size.max(1);
+    let wall = Instant::now();
+    let mut ingest = StageMetrics::default();
+    let mut results: Vec<Option<(Classifier, StreamSinks, WorkerMetrics)>> = Vec::new();
+    results.resize_with(jobs, || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for worker in 0..jobs {
+            let (tx, rx) = crossbeam::channel::bounded::<Vec<T>>(cfg.queue_depth.max(1));
+            let quiet_ms = cfg.quiet_ms;
+            txs.push(tx);
+            handles.push(scope.spawn(move |_| run_worker(&rx, worker, quiet_ms)));
+        }
+
+        let ingest_t0 = Instant::now();
+        let mut pending: Vec<Vec<T>> = (0..jobs)
+            .map(|_| Vec::with_capacity(batch_size))
+            .collect();
+        {
+            let mut push = |shard: usize, event: T| {
+                let batch = &mut pending[shard];
+                batch.push(event);
+                if batch.len() >= batch_size {
+                    let full = std::mem::replace(batch, Vec::with_capacity(batch_size));
+                    send_batch(&txs[shard], full, &mut ingest);
+                }
+            };
+            produce(&mut push, jobs);
+        }
+        for (shard, batch) in pending.into_iter().enumerate() {
+            if !batch.is_empty() {
+                send_batch(&txs[shard], batch, &mut ingest);
+            }
+        }
+        drop(txs);
+        ingest.busy_ms = ingest_t0.elapsed().as_millis() as u64;
+
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("pipeline worker panicked"));
+        }
+    })
+    .expect("pipeline worker panicked");
+
+    // Merge in fixed worker order so the result is deterministic.
+    let mut classifier = Classifier::new();
+    let mut sinks = StreamSinks::new(cfg.quiet_ms);
+    let mut workers = Vec::with_capacity(jobs);
+    for slot in results {
+        let (c, s, m) = slot.expect("worker result");
+        classifier.merge(c);
+        sinks.merge(s);
+        workers.push(m);
+    }
+    let metrics = PipelineMetrics {
+        jobs,
+        batch_size,
+        queue_depth: cfg.queue_depth.max(1),
+        wall_ms: wall.elapsed().as_millis() as u64,
+        total_events: ingest.records,
+        ingest,
+        workers,
+    };
+    AnalysisResult {
+        classifier,
+        sinks,
+        metrics,
+    }
+}
+
+/// Analyzes an in-memory event stream with `cfg.jobs` workers. The merged
+/// result equals a sequential [`Classifier::classify_all`] pass plus the
+/// batch statistics functions, for any worker count.
+#[must_use]
+pub fn analyze_events(events: &[UpdateEvent], cfg: &PipelineConfig) -> AnalysisResult {
+    run_pipeline::<&UpdateEvent, _>(cfg, |push, jobs| {
+        for event in events {
+            push(shard_of(event, jobs), event);
+        }
+    })
+}
+
+/// Analyzes an MRT stream with chunked ingestion: records are read and
+/// decoded incrementally on the ingest thread (never materialising the
+/// whole file), sharded, and classified by `cfg.jobs` workers.
+///
+/// `base_time` anchors relative MRT timestamps, like
+/// [`events_from_mrt`](iri_core::input::events_from_mrt); pass the first
+/// record's timestamp (or 0 to use it automatically). Returns the result
+/// plus the number of MRT records read. Stops at the first malformed
+/// record, matching the CLI readers' tolerance.
+pub fn analyze_mrt<R: Read>(
+    reader: &mut MrtReader<R>,
+    base_time: u32,
+    cfg: &PipelineConfig,
+) -> (AnalysisResult, u64) {
+    let mut records_read = 0u64;
+    let mut base = base_time;
+    let result = run_pipeline::<UpdateEvent, _>(cfg, |push, jobs| loop {
+        match reader.next_record() {
+            Ok(Some(record)) => {
+                records_read += 1;
+                if base == 0 {
+                    base = record.timestamp();
+                }
+                if let MrtRecord::Bgp4mpMessage(m) = record {
+                    if let Message::Update(update) = &m.message {
+                        let time_ms = u64::from(m.timestamp.saturating_sub(base)) * 1000;
+                        let peer = PeerKey {
+                            asn: m.peer_asn,
+                            addr: m.peer_ip,
+                        };
+                        for event in events_from_update(time_ms, peer, update) {
+                            push(shard_of(&event, jobs), event);
+                        }
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("pipeline: warning: stopping at malformed record: {e}");
+                break;
+            }
+        }
+    });
+    (result, records_read)
+}
+
+/// Ordered parallel map over independent items — the engine behind the
+/// multi-day experiment harness. Items are dealt to `jobs` workers through
+/// a bounded queue; results come back in input order. Telemetry reports
+/// per-worker busy time and item counts.
+pub fn par_map<T, U, F>(items: Vec<T>, jobs: usize, f: F) -> (Vec<U>, PipelineMetrics)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let jobs = if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    };
+    let jobs = jobs.min(items.len().max(1));
+    let n = items.len();
+    let wall = Instant::now();
+    let mut ingest = StageMetrics::default();
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut worker_metrics: Vec<Option<WorkerMetrics>> = Vec::new();
+    worker_metrics.resize_with(jobs, || None);
+
+    crossbeam::thread::scope(|scope| {
+        let (task_tx, task_rx) = crossbeam::channel::bounded::<(usize, T)>(jobs * 2);
+        let (out_tx, out_rx) = crossbeam::channel::bounded::<(usize, usize, U, u64)>(jobs * 2);
+        let f = &f;
+        let mut handles = Vec::with_capacity(jobs);
+        for worker in 0..jobs {
+            let task_rx = task_rx.clone();
+            let out_tx = out_tx.clone();
+            handles.push(scope.spawn(move |_| {
+                for (idx, item) in task_rx.iter() {
+                    let t0 = Instant::now();
+                    let out = f(item);
+                    let busy = t0.elapsed().as_millis() as u64;
+                    if out_tx.send((worker, idx, out, busy)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(task_rx);
+        drop(out_tx);
+
+        let ingest_t0 = Instant::now();
+        let mut produced = 0usize;
+        let mut items = items.into_iter().enumerate();
+        let mut collected = 0usize;
+        while collected < n {
+            // Keep the task queue primed, then drain one result.
+            while produced < n {
+                let (idx, item) = items.next().expect("item count");
+                ingest.records += 1;
+                ingest.batches += 1;
+                match task_tx.try_send((idx, item)) {
+                    Ok(()) => produced += 1,
+                    Err(crossbeam::channel::TrySendError::Full(back)) => {
+                        let t0 = Instant::now();
+                        let _ = task_tx.send(back);
+                        ingest.stall_ms += t0.elapsed().as_millis() as u64;
+                        produced += 1;
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                        produced += 1;
+                    }
+                }
+                if produced - collected >= jobs * 2 {
+                    break;
+                }
+            }
+            if let Ok((worker, idx, out, busy)) = out_rx.recv() {
+                slots[idx] = Some(out);
+                let m = worker_metrics[worker].get_or_insert_with(|| WorkerMetrics::new(worker));
+                m.events += 1;
+                m.batches += 1;
+                m.busy_ms += busy;
+                collected += 1;
+            } else {
+                break;
+            }
+        }
+        drop(task_tx);
+        ingest.busy_ms = ingest_t0.elapsed().as_millis() as u64;
+        for handle in handles {
+            handle.join().expect("par_map worker panicked");
+        }
+    })
+    .expect("par_map worker panicked");
+
+    let results: Vec<U> = slots
+        .into_iter()
+        .map(|s| s.expect("par_map result"))
+        .collect();
+    let metrics = PipelineMetrics {
+        jobs,
+        batch_size: 1,
+        queue_depth: jobs * 2,
+        wall_ms: wall.elapsed().as_millis() as u64,
+        total_events: n as u64,
+        ingest,
+        workers: (0..jobs)
+            .map(|w| {
+                worker_metrics[w]
+                    .take()
+                    .unwrap_or_else(|| WorkerMetrics::new(w))
+            })
+            .collect(),
+    };
+    (results, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::attrs::{Origin, PathAttributes};
+    use iri_bgp::path::AsPath;
+    use iri_bgp::types::{Asn, Prefix};
+    use iri_core::input::PeerKey;
+    use iri_core::stats::daily::provider_daily_totals;
+    use iri_core::taxonomy::UpdateClass;
+    use std::net::Ipv4Addr;
+
+    fn attrs(asn: u32, hop: u8) -> PathAttributes {
+        PathAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence([Asn(asn)]),
+            Ipv4Addr::new(10, 0, 0, hop),
+        )
+    }
+
+    fn synthetic_stream(n: u64) -> Vec<UpdateEvent> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let peer = PeerKey {
+                asn: Asn(100 + (i % 5) as u32),
+                addr: Ipv4Addr::new(192, 0, 2, (i % 5) as u8),
+            };
+            let prefix = Prefix::from_raw(0x0a00_0000 | (((i % 97) as u32) << 8), 24);
+            let t = i * 250;
+            out.push(if i % 3 == 0 {
+                UpdateEvent::withdraw(t, peer, prefix)
+            } else {
+                UpdateEvent::announce(t, peer, prefix, attrs(100 + (i % 5) as u32, (i % 7) as u8))
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_complete() {
+        let events = synthetic_stream(500);
+        for jobs in 1..=8 {
+            for e in &events {
+                let s = shard_of(e, jobs);
+                assert!(s < jobs);
+                assert_eq!(s, shard_of(e, jobs));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_stays_in_one_shard() {
+        let events = synthetic_stream(500);
+        for jobs in 2..=6 {
+            let mut seen: std::collections::HashMap<(u32, u32, u8), usize> =
+                std::collections::HashMap::new();
+            for e in &events {
+                let key = (e.peer.asn.0, e.prefix.bits(), e.prefix.len());
+                let shard = shard_of(e, jobs);
+                assert_eq!(*seen.entry(key).or_insert(shard), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_counts() {
+        let events = synthetic_stream(10_000);
+        let mut seq = Classifier::new();
+        let classified = seq.classify_all(&events);
+        let seq_rows = provider_daily_totals(&classified);
+        for jobs in [1usize, 2, 3, 5, 8] {
+            let mut cfg = PipelineConfig::with_jobs(jobs);
+            cfg.batch_size = 64; // small batches to exercise backpressure
+            cfg.queue_depth = 2;
+            let result = analyze_events(&events, &cfg);
+            assert_eq!(result.classifier.total(), seq.total(), "jobs={jobs}");
+            for class in UpdateClass::ALL {
+                assert_eq!(
+                    result.classifier.count(class),
+                    seq.count(class),
+                    "jobs={jobs} {class:?}"
+                );
+            }
+            assert_eq!(
+                result.classifier.tracked_pairs(),
+                seq.tracked_pairs(),
+                "jobs={jobs}"
+            );
+            assert_eq!(result.sinks.daily.finish(), seq_rows, "jobs={jobs}");
+            assert_eq!(result.metrics.total_events, events.len() as u64);
+            assert_eq!(result.metrics.jobs, jobs);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let (out, metrics) = par_map(items, 4, |x| x * x);
+        assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<u64>>());
+        assert_eq!(metrics.total_events, 200);
+        assert_eq!(metrics.workers.len(), 4);
+        let done: u64 = metrics.workers.iter().map(|w| w.events).sum();
+        assert_eq!(done, 200);
+    }
+
+    #[test]
+    fn par_map_handles_fewer_items_than_jobs() {
+        let (out, metrics) = par_map(vec![7u32], 8, |x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(metrics.jobs, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Stage telemetry: what the pipeline spent its time on.
+//!
+//! Every run produces a [`PipelineMetrics`] — a serialisable record of
+//! per-stage throughput (records/sec), batch occupancy, queue-full stalls
+//! (backpressure from slow workers) and per-worker busy time. CLIs print
+//! it with [`PipelineMetrics::render`]; automation can serialise it to
+//! JSON.
+
+use serde::Serialize;
+
+/// Counters for the ingest stage (read + decode + shard + enqueue).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StageMetrics {
+    /// Records (events or items) pushed through the stage.
+    pub records: u64,
+    /// Batches emitted downstream.
+    pub batches: u64,
+    /// Total time spent blocked on a full worker queue (ms).
+    pub stall_ms: u64,
+    /// Wall time the stage was active (ms).
+    pub busy_ms: u64,
+}
+
+impl StageMetrics {
+    /// Records per second over the stage's active time.
+    #[must_use]
+    pub fn records_per_sec(&self) -> f64 {
+        if self.busy_ms == 0 {
+            0.0
+        } else {
+            self.records as f64 * 1000.0 / self.busy_ms as f64
+        }
+    }
+}
+
+/// Counters for one worker (shard).
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerMetrics {
+    /// Worker index (also the shard index).
+    pub worker: usize,
+    /// Events classified.
+    pub events: u64,
+    /// Batches consumed.
+    pub batches: u64,
+    /// Time spent classifying, excluding channel waits (ms).
+    pub busy_ms: u64,
+}
+
+impl WorkerMetrics {
+    /// Fresh zeroed counters for worker `worker`.
+    #[must_use]
+    pub fn new(worker: usize) -> Self {
+        WorkerMetrics {
+            worker,
+            events: 0,
+            batches: 0,
+            busy_ms: 0,
+        }
+    }
+}
+
+/// Telemetry for one pipeline run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineMetrics {
+    /// Worker (shard) count.
+    pub jobs: usize,
+    /// Configured events per batch.
+    pub batch_size: usize,
+    /// Configured per-worker queue depth (batches).
+    pub queue_depth: usize,
+    /// End-to-end wall time (ms).
+    pub wall_ms: u64,
+    /// Total events pushed through the pipeline.
+    pub total_events: u64,
+    /// Ingest-stage counters.
+    pub ingest: StageMetrics,
+    /// Per-worker counters, indexed by shard.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl PipelineMetrics {
+    /// End-to-end events per second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms == 0 {
+            0.0
+        } else {
+            self.total_events as f64 * 1000.0 / self.wall_ms as f64
+        }
+    }
+
+    /// Mean batch fill as a fraction of `batch_size` (1.0 = every batch
+    /// full). Low occupancy means the stream ended before batches filled
+    /// or sharding is too fine for the batch size.
+    #[must_use]
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.ingest.batches == 0 || self.batch_size == 0 {
+            0.0
+        } else {
+            self.ingest.records as f64 / (self.ingest.batches as f64 * self.batch_size as f64)
+        }
+    }
+
+    /// Human-readable multi-line report for CLI output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeline: {} workers, batch {}, queue depth {}",
+            self.jobs, self.batch_size, self.queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "  wall {} ms, {} events ({}/s end-to-end)",
+            self.wall_ms,
+            self.total_events,
+            format_rate(self.events_per_sec())
+        );
+        let _ = writeln!(
+            out,
+            "  ingest: {} batches ({:.0}% occupancy), {}/s, stalled {} ms on full queues",
+            self.ingest.batches,
+            self.mean_batch_occupancy() * 100.0,
+            format_rate(self.ingest.records_per_sec()),
+            self.ingest.stall_ms
+        );
+        for w in &self.workers {
+            let share = if self.wall_ms == 0 {
+                0.0
+            } else {
+                w.busy_ms as f64 * 100.0 / self.wall_ms as f64
+            };
+            let _ = writeln!(
+                out,
+                "  worker {}: {} events in {} batches, busy {} ms ({share:.0}% of wall)",
+                w.worker, w.events, w.batches, w.busy_ms
+            );
+        }
+        out
+    }
+}
+
+/// `12_345_678.0` → `"12.3M"`, etc.
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineMetrics {
+        PipelineMetrics {
+            jobs: 2,
+            batch_size: 100,
+            queue_depth: 4,
+            wall_ms: 1000,
+            total_events: 1500,
+            ingest: StageMetrics {
+                records: 1500,
+                batches: 20,
+                stall_ms: 3,
+                busy_ms: 500,
+            },
+            workers: vec![
+                WorkerMetrics {
+                    worker: 0,
+                    events: 700,
+                    batches: 9,
+                    busy_ms: 400,
+                },
+                WorkerMetrics {
+                    worker: 1,
+                    events: 800,
+                    batches: 11,
+                    busy_ms: 450,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rates_and_occupancy() {
+        let m = sample();
+        assert!((m.events_per_sec() - 1500.0).abs() < 1e-9);
+        assert!((m.mean_batch_occupancy() - 0.75).abs() < 1e-9);
+        assert!((m.ingest.records_per_sec() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = PipelineMetrics {
+            jobs: 1,
+            batch_size: 0,
+            queue_depth: 1,
+            wall_ms: 0,
+            total_events: 0,
+            ingest: StageMetrics::default(),
+            workers: vec![],
+        };
+        assert_eq!(m.events_per_sec(), 0.0);
+        assert_eq!(m.mean_batch_occupancy(), 0.0);
+        assert_eq!(m.ingest.records_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_every_stage() {
+        let text = sample().render();
+        assert!(text.contains("2 workers"));
+        assert!(text.contains("ingest:"));
+        assert!(text.contains("worker 0"));
+        assert!(text.contains("worker 1"));
+        assert!(text.contains("occupancy"));
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let json = serde_json::to_string(&sample()).unwrap();
+        assert!(json.contains("\"jobs\":2"));
+        assert!(json.contains("\"stall_ms\":3"));
+        assert!(json.contains("\"workers\":["));
+    }
+}

@@ -126,7 +126,7 @@ impl AdjRibIn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iri_bgp::attrs::{Origin, PathAttributes};
+    use iri_bgp::attrs::Origin;
     use iri_bgp::message::UpdateBuilder;
     use iri_bgp::path::AsPath;
 

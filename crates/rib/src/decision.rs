@@ -194,7 +194,7 @@ mod tests {
 
     #[test]
     fn best_route_single() {
-        let v = vec![cand(&[701], 701, [1, 1, 1, 1])];
+        let v = [cand(&[701], 701, [1, 1, 1, 1])];
         assert_eq!(best_route(v.iter()), Some(&v[0]));
     }
 

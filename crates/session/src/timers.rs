@@ -220,7 +220,7 @@ mod tests {
         assert_eq!(t.deadline(), None);
         // After firing, a new arm snaps to the *next* grid point.
         assert_eq!(t.arm(30_000, &mut rng), 60_000);
-        assert_eq!(t.fire(60_000), true);
+        assert!(t.fire(60_000));
         assert_eq!(t.arm(60_001, &mut rng), 90_000);
     }
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use iri_bgp::types::{Asn, Prefix};
+use iri_bgp::types::Prefix;
 use iri_core::input::events_from_mrt;
 use iri_core::stats::breakdown::breakdown;
 use iri_core::taxonomy::UpdateClass;

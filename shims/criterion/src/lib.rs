@@ -1,0 +1,271 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, `criterion_group!` / `criterion_main!` — with simple
+//! wall-clock timing: each benchmark runs a short calibration pass, then
+//! `sample_size` timed samples, and reports the median per-iteration time
+//! (plus derived throughput) to stdout. No statistics engine, plots, or
+//! saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// How much work one iteration represents, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Hint for `iter_batched` setup cost; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap per-iteration setup.
+    SmallInput,
+    /// Expensive per-iteration setup.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with untimed fresh input from `setup` each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 30,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let (group, entry) = match name.split_once('/') {
+            Some((g, e)) => (g.to_string(), e.to_string()),
+            None => (name.clone(), name),
+        };
+        run_benchmark(&group, &entry, None, 30, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into(), self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Target wall time per sample; keeps total runtime bounded while letting
+/// sub-microsecond routines accumulate enough iterations to time reliably.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+fn run_benchmark<F>(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: find an iteration count filling roughly SAMPLE_TARGET.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (SAMPLE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format_rate(n as f64 / (median / 1e9), "B/s"),
+        Throughput::Elements(n) => format_rate(n as f64 / (median / 1e9), "elem/s"),
+    });
+    match rate {
+        Some(rate) => println!(
+            "{group}/{id}: median {} / iter, {rate} ({sample_size} samples x {iters} iters)",
+            format_ns(median)
+        ),
+        None => println!(
+            "{group}/{id}: median {} / iter ({sample_size} samples x {iters} iters)",
+            format_ns(median)
+        ),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Bundles benchmark functions under one name, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut ran = 0u64;
+        g.bench_function("counts", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |mut v| {
+                    assert_eq!(v.len(), 3);
+                    v.push(4);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

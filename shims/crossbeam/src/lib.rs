@@ -1,0 +1,325 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Two pieces this workspace needs:
+//!
+//! * [`thread::scope`] — the crossbeam 0.8 scoped-thread API (spawn
+//!   closures take a `&Scope` argument, the call returns
+//!   `thread::Result<T>`), implemented on top of `std::thread::scope`.
+//! * [`channel`] — bounded MPMC channels with blocking send/recv and
+//!   disconnect semantics, implemented with a mutex-guarded ring plus
+//!   condvars. Throughput is far below lock-free crossbeam, but the
+//!   pipeline moves large batches per message precisely so channel
+//!   overhead is amortised.
+
+/// Scoped threads mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result of a scope: `Err` when any spawned thread panicked.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle passed to the scope closure; spawns scoped workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker. The closure's argument mirrors crossbeam's
+        /// nested-scope handle; call sites here use `|_|` so it is `()`.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope handle, joining all spawned threads before
+    /// returning. Panics in workers surface as `Err`, like crossbeam 0.8
+    /// (std's scope would propagate them; we catch to keep the seed
+    /// call sites' `.expect("worker panicked")` meaningful).
+    pub fn scope<'env, F, T>(f: F) -> Result<T>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Bounded MPMC channels mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error from sending into a channel with no receivers left.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error from receiving on an empty channel with no senders left.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Result of a non-blocking [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Channel is at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    /// Sending half; clone for multiple producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clone for multiple consumers.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded channel: sends block while `capacity` items are
+    /// queued, giving pipelines backpressure instead of unbounded growth.
+    #[must_use]
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "bounded channel needs capacity >= 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the item is queued or every receiver is gone.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                if state.items.len() < self.shared.capacity {
+                    state.items.push_back(item);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).unwrap();
+            }
+        }
+
+        /// Queues without blocking; reports a full or disconnected channel.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if state.items.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(item));
+            }
+            state.items.push_back(item);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or all senders are gone and the
+        /// queue has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Iterates until the channel is drained and disconnected.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received items; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError, TrySendError};
+    use super::thread;
+
+    #[test]
+    fn scope_joins_workers() {
+        let mut counts = vec![0u32; 4];
+        thread::scope(|scope| {
+            for slot in counts.iter_mut() {
+                scope.spawn(move |_| *slot += 1);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn scope_reports_worker_panic() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn channel_backpressure_across_threads() {
+        let (tx, rx) = bounded::<u64>(4);
+        let total: u64 = thread::scope(|scope| {
+            let producer = {
+                let tx = tx;
+                scope.spawn(move |_| {
+                    for i in 0..1000u64 {
+                        tx.send(i).unwrap();
+                    }
+                })
+            };
+            let consumer = scope.spawn(move |_| rx.iter().sum::<u64>());
+            producer.join().unwrap();
+            consumer.join().unwrap()
+        })
+        .expect("no panics");
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn multi_consumer_drains_everything() {
+        let (tx, rx) = bounded::<u64>(8);
+        let sum: u64 = thread::scope(|scope| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move |_| rx.iter().sum::<u64>())
+                })
+                .collect();
+            drop(rx);
+            for i in 0..500u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            workers.into_iter().map(|w| w.join().unwrap()).sum()
+        })
+        .expect("no panics");
+        assert_eq!(sum, 499 * 500 / 2);
+    }
+}

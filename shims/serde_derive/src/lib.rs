@@ -1,0 +1,558 @@
+//! Derive macros for the workspace's offline `serde` stand-in.
+//!
+//! `syn`/`quote` are unavailable offline, so this parses the item's token
+//! stream by hand. Supported shapes — everything this workspace derives on:
+//! named/tuple/unit structs and enums with unit, tuple, or named-field
+//! variants, all without generics. Honors `#[serde(default)]` and
+//! `#[serde(default = "path")]` on named struct fields; fields of type
+//! `Option<…>` default to `None` when the key is missing, matching real
+//! serde. Any other shape produces a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    /// `Some(None)` for bare `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    is_option: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Trait::Serialize => gen_serialize(&item),
+                Trait::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated code parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips attributes, returning any `#[serde(default…)]` annotation seen.
+    fn skip_attrs(&mut self) -> Option<Option<String>> {
+        let mut default = None;
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if let Some(d) = parse_serde_default(&g.stream()) {
+                    default = Some(d);
+                }
+            }
+        }
+        default
+    }
+
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde shim derive: expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Recognizes `serde ( default )` / `serde ( default = "path" )` inside an
+/// attribute's `[...]` group.
+fn parse_serde_default(stream: &TokenStream) -> Option<Option<String>> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(kw)] if kw.to_string() == "default" => Some(None),
+                [TokenTree::Ident(kw), TokenTree::Punct(eq), TokenTree::Literal(path)]
+                    if kw.to_string() == "default" && eq.as_char() == '=' =>
+                {
+                    let raw = path.to_string();
+                    Some(Some(raw.trim_matches('"').to_owned()))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if c.at_punct('<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct(name, parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct(name, count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct(name)),
+            other => Err(format!(
+                "serde shim derive: unsupported struct body for `{name}`: {other:?}"
+            )),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, parse_variants(g.stream())?))
+            }
+            other => Err(format!(
+                "serde shim derive: unsupported enum body for `{name}`: {other:?}"
+            )),
+        },
+        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Skips a type, tracking angle-bracket depth so commas inside generics
+/// don't terminate the field. Returns the first identifier of the type
+/// (enough to recognize `Option<…>`).
+fn skip_type(c: &mut Cursor) -> String {
+    let mut head = String::new();
+    let mut depth = 0i32;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Ident(i) if head.is_empty() => head = i.to_string(),
+            _ => {}
+        }
+        c.next();
+    }
+    head
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let default = c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        let head = skip_type(&mut c);
+        fields.push(Field {
+            name,
+            default,
+            is_option: head == "Option",
+        });
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        skip_type(&mut c);
+        count += 1;
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        while c.peek().is_some() && !c.at_punct(',') {
+            c.next();
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct(name, n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Map(::std::vec![{}]))])",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+/// The `None =>` arm for one named field: default expression or error.
+fn missing_field_expr(field: &Field, context: &str) -> String {
+    match &field.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::core::default::Default::default()".to_owned(),
+        None if field.is_option => "::std::option::Option::None".to_owned(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing({:?}, {context:?}))",
+            field.name
+        ),
+    }
+}
+
+fn gen_named_field_inits(fields: &[Field], source: &str, context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: match {source}.get({n:?}) {{\n\
+                     ::std::option::Option::Some(x) => <_ as ::serde::Deserialize>::from_value(x)?,\n\
+                     ::std::option::Option::None => {{ {} }}\n\
+                 }}",
+                missing_field_expr(f, context),
+                n = f.name,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let inits = gen_named_field_inits(fields, "v", name);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_map().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"map\", {name:?}, v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(<_ as ::serde::Deserialize>::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct(name, n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("<_ as ::serde::Deserialize>::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", {name:?}, v))?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{n:?} => ::std::result::Result::Ok({name}::{n})", n = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(<_ as ::serde::Deserialize>::from_value(payload)?))"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("<_ as ::serde::Deserialize>::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", {vname:?}, payload))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError::custom(\"wrong variant arity\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let context = format!("{name}::{vname}");
+                            let inits = gen_named_field_inits(fields, "payload", &context);
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     if payload.as_map().is_none() {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError::expected(\"map\", {vname:?}, payload));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                             return match s {{\n\
+                                 {unit}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(entries) = v.as_map() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 return match tag.as_str() {{\n\
+                                     {data}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::expected(\"enum\", {name:?}, v))\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                },
+            )
+        }
+    }
+}

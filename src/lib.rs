@@ -9,6 +9,7 @@ pub use iri_bgp as bgp;
 pub use iri_core as core;
 pub use iri_mrt as mrt;
 pub use iri_netsim as netsim;
+pub use iri_pipeline as pipeline;
 pub use iri_rib as rib;
 pub use iri_session as session;
 pub use iri_topology as topology;

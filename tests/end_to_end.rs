@@ -255,7 +255,7 @@ fn csu_thirty_second_periodicity_at_monitor() {
 #[test]
 fn full_stack_determinism() {
     let run = || {
-        let mut world = World::new(0xd5ee_d);
+        let mut world = World::new(0xd_5eed);
         let cfgs = provider_mix(ExchangePoint::MaeWest, 0.1, 0.6, 5000);
         let ex = build_exchange(&mut world, ExchangePoint::MaeWest, cfgs);
         for (i, &p) in ex.providers.iter().enumerate() {

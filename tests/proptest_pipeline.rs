@@ -1,0 +1,146 @@
+//! Property test: the sharded parallel pipeline is *exactly* equivalent to
+//! the sequential classifier + batch statistics, for arbitrary event
+//! streams and every worker count 1–8.
+//!
+//! This is the load-bearing guarantee of `iri-pipeline`: sharding by
+//! `(peer AS, prefix)` keeps every stateful statistic shard-local, so the
+//! merged result must match the sequential run bit for bit — class counts,
+//! Table 1 rows, inter-arrival histograms, CDFs, affected-route sets,
+//! ten-minute bins, and episodes (modulo sort-key ties, which are
+//! tie-unstable even sequentially, so both sides are sorted by a total
+//! key before comparing).
+
+use internet_routing_instability::core::input::{PeerKey, UpdateEvent};
+use internet_routing_instability::core::stats::affected::{affected_day, affected_tuples};
+use internet_routing_instability::core::stats::bins::{instability_filter, ten_minute_bins};
+use internet_routing_instability::core::stats::cdf::prefix_as_cdf;
+use internet_routing_instability::core::stats::daily::provider_daily_totals;
+use internet_routing_instability::core::stats::interarrival::day_interarrival;
+use internet_routing_instability::core::stats::persistence::{episodes, Episode};
+use internet_routing_instability::core::taxonomy::UpdateClass;
+use internet_routing_instability::core::Classifier;
+use internet_routing_instability::pipeline::{analyze_events, PipelineConfig, DEFAULT_QUIET_MS};
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Raw event description: (time gap ms, peer 0–5, prefix 0–23, action).
+/// Action 0 is a withdrawal; 1–5 announce one of five distinct routes, so
+/// streams hit every taxonomy class (duplicates, diffs, WWDup, …).
+fn raw_stream() -> impl Strategy<Value = Vec<(u32, u8, u8, u8)>> {
+    proptest::collection::vec((0u32..400_000, 0u8..6, 0u8..24, 0u8..6), 0..400)
+}
+
+fn build_events(raw: &[(u32, u8, u8, u8)]) -> Vec<UpdateEvent> {
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(raw.len());
+    for &(gap, peer, prefix, action) in raw {
+        t += u64::from(gap);
+        let peer = PeerKey {
+            asn: Asn(7000 + u32::from(peer % 3)), // 2 peers share an AS
+            addr: Ipv4Addr::new(192, 0, 2, peer),
+        };
+        let prefix = Prefix::from_raw(0x0a00_0000 | (u32::from(prefix) << 16), 16);
+        out.push(if action == 0 {
+            UpdateEvent::withdraw(t, peer, prefix)
+        } else {
+            let attrs = PathAttributes::new(
+                Origin::Igp,
+                AsPath::from_sequence([Asn(u32::from(action)), peer.asn]),
+                Ipv4Addr::new(10, 0, 0, action),
+            );
+            UpdateEvent::announce(t, peer, prefix, attrs)
+        });
+    }
+    out
+}
+
+/// Total sort key: episode comparison must not depend on tie order.
+fn episode_key(e: &Episode) -> (u64, u32, u8, u32, u64, u32) {
+    (
+        e.start_ms,
+        e.prefix.bits(),
+        e.prefix.len(),
+        e.asn.0,
+        e.end_ms,
+        e.events,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_equals_sequential_for_all_worker_counts(raw in raw_stream()) {
+        let events = build_events(&raw);
+
+        // Sequential reference: classify in stream order, batch statistics.
+        let mut seq = Classifier::new();
+        let classified = seq.classify_all(&events);
+        let seq_daily = provider_daily_totals(&classified);
+        let seq_bins = ten_minute_bins(&classified, instability_filter);
+        let mut seq_eps = episodes(&classified, DEFAULT_QUIET_MS);
+        seq_eps.sort_by_key(episode_key);
+
+        for jobs in 1..=8usize {
+            let mut cfg = PipelineConfig::with_jobs(jobs);
+            cfg.batch_size = 17; // deliberately tiny: exercise batch edges
+            cfg.queue_depth = 2;
+            let result = analyze_events(&events, &cfg);
+
+            // Classifier state.
+            prop_assert_eq!(result.classifier.total(), seq.total());
+            prop_assert_eq!(result.classifier.tracked_pairs(), seq.tracked_pairs());
+            prop_assert_eq!(
+                result.classifier.policy_change_count(),
+                seq.policy_change_count()
+            );
+            for class in UpdateClass::ALL {
+                prop_assert_eq!(result.classifier.count(class), seq.count(class));
+            }
+
+            // Per-figure sinks against the batch functions.
+            let sinks = &result.sinks;
+            prop_assert_eq!(sinks.events, events.len() as u64);
+            for class in UpdateClass::ALL {
+                prop_assert_eq!(
+                    sinks.breakdown.finish().get(class),
+                    classified.iter().filter(|e| e.class == class).count() as u64
+                );
+            }
+            prop_assert_eq!(sinks.daily.finish(), seq_daily.clone());
+            for class in UpdateClass::FIGURE_CATEGORIES {
+                let par_ia = sinks.interarrival.finish(class);
+                let seq_ia = day_interarrival(&classified, class);
+                prop_assert_eq!(par_ia.gaps, seq_ia.gaps);
+                prop_assert_eq!(par_ia.proportions, seq_ia.proportions);
+                let par_cdf = sinks.cdf.finish(class);
+                let seq_cdf = prefix_as_cdf(&classified, class);
+                prop_assert_eq!(par_cdf.pair_counts, seq_cdf.pair_counts);
+                prop_assert_eq!(par_cdf.total, seq_cdf.total);
+            }
+            let par_aff = sinks.affected.finish(64, 0);
+            let seq_aff = affected_day(&classified, 64, 0);
+            prop_assert_eq!(par_aff.per_class, seq_aff.per_class);
+            prop_assert_eq!(par_aff.any_category, seq_aff.any_category);
+            prop_assert_eq!(par_aff.any_instability, seq_aff.any_instability);
+            prop_assert_eq!(par_aff.any_forwarding, seq_aff.any_forwarding);
+            prop_assert_eq!(
+                sinks.affected.tuples_fraction(64),
+                affected_tuples(&classified, 64)
+            );
+            prop_assert_eq!(sinks.bins.finish(), seq_bins);
+            let mut par_eps = sinks.episodes.finish();
+            par_eps.sort_by_key(episode_key);
+            prop_assert_eq!(&par_eps, &seq_eps);
+
+            // Telemetry accounting is complete and consistent.
+            prop_assert_eq!(result.metrics.jobs, jobs);
+            prop_assert_eq!(result.metrics.total_events, events.len() as u64);
+            let worked: u64 = result.metrics.workers.iter().map(|w| w.events).sum();
+            prop_assert_eq!(worked, events.len() as u64);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! the statistical signatures every figure relies on must be present even
 //! in small runs.
 
-use iri_bench::{summarize_day, ExperimentConfig};
+use iri_bench::summarize_day;
 use iri_core::taxonomy::UpdateClass;
 use iri_topology::asgraph::{AsGraph, GraphConfig};
 use iri_topology::scenario::ScenarioConfig;
