@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-1 verification + lint gate. Run before every push.
 #
-#   ./ci.sh            # build, test, clippy
+#   ./ci.sh            # build, test, clippy, fmt, doc
 #
 # The workspace builds fully offline (crates.io stand-ins live in shims/),
 # so this needs no network access.
@@ -17,5 +17,11 @@ cargo test -q --workspace
 
 echo "==> cargo clippy -q --workspace --all-targets -- -D warnings"
 cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --workspace
 
 echo "ci: all green"

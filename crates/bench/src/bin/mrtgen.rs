@@ -1,82 +1,42 @@
 //! `mrtgen` — generate synthetic MRT BGP logs for pipeline benchmarking.
 //!
-//! Produces a BGP4MP MESSAGE log shaped like an exchange-point tap: a pool
-//! of peers re-announcing and withdrawing a pool of prefixes with
-//! alternating routes, so the taxonomy sees every class. Deterministic for
-//! a given `--seed`.
+//! A thin CLI over [`iri_bench::genlog`]: a BGP4MP MESSAGE log shaped like
+//! an exchange-point tap, deterministic for a given `--seed`.
 //!
 //! ```sh
 //! mrtgen out.mrt --records 1000000 --peers 16 --prefixes 20000
 //! mrtstat out.mrt --jobs 4
 //! ```
 
-use iri_bench::arg_u64;
-use iri_bgp::attrs::{Origin, PathAttributes};
-use iri_bgp::message::{Message, Update};
-use iri_bgp::path::AsPath;
-use iri_bgp::types::{Asn, Prefix};
-use iri_mrt::{Bgp4mpMessage, MrtRecord, MrtWriter};
-use rand::prelude::*;
+use iri_bench::{arg_u64, write_synthetic_log, GenLogConfig};
+use iri_mrt::MrtWriter;
 use std::fs::File;
 use std::io::BufWriter;
-use std::net::Ipv4Addr;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
-        eprintln!(
-            "usage: mrtgen <out.mrt> [--records N] [--peers P] [--prefixes K] [--seed S]"
-        );
+        eprintln!("usage: mrtgen <out.mrt> [--records N] [--peers P] [--prefixes K] [--seed S]");
         std::process::exit(2);
     };
-    let records = arg_u64(&args, "--records", 1_000_000);
-    let peers = arg_u64(&args, "--peers", 16).max(1) as u32;
-    let prefixes = arg_u64(&args, "--prefixes", 20_000).max(1) as u32;
-    let seed = arg_u64(&args, "--seed", 0x1997);
-    let base_time = 833_000_000u32; // mid-1996, like the study
-
+    let cfg = GenLogConfig {
+        records: arg_u64(&args, "--records", 1_000_000),
+        peers: arg_u64(&args, "--peers", 16) as u32,
+        prefixes: arg_u64(&args, "--prefixes", 20_000) as u32,
+        seed: arg_u64(&args, "--seed", 0x1997),
+    };
     let file = File::create(path).unwrap_or_else(|e| {
         eprintln!("mrtgen: cannot create {path}: {e}");
         std::process::exit(1);
     });
     let mut writer = MrtWriter::new(BufWriter::new(file));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut time = base_time;
-    for i in 0..records {
-        if i % 3 == 0 {
-            time += u32::from(rng.random_bool(0.4));
-        }
-        let peer_idx = rng.random_range(0..peers);
-        let prefix = Prefix::from_raw(0x0a00_0000 | (rng.random_range(0..prefixes) << 8), 24);
-        // ~40% withdrawals (the paper's dominant pathology is WWDup);
-        // announcements flip between two routes to mix Diffs and Dups.
-        let message = if rng.random_bool(0.4) {
-            Message::Update(Update::withdraw([prefix]))
-        } else {
-            let variant = rng.random_range(1..=2);
-            let attrs = PathAttributes::new(
-                Origin::Igp,
-                AsPath::from_sequence([Asn(65_000 + variant), Asn(7000 + peer_idx)]),
-                Ipv4Addr::new(10, 0, 0, variant as u8),
-            );
-            Message::Update(Update::announce(attrs, [prefix]))
-        };
-        let rec = MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
-            timestamp: time,
-            peer_asn: Asn(7000 + peer_idx),
-            local_asn: Asn(237),
-            peer_ip: Ipv4Addr::new(192, 41, 177, (peer_idx % 250) as u8 + 1),
-            local_ip: Ipv4Addr::new(192, 41, 177, 250),
-            message,
-        });
-        writer.write(&rec).unwrap_or_else(|e| {
-            eprintln!("mrtgen: write failed: {e:?}");
-            std::process::exit(1);
-        });
-    }
+    let (written, span) = write_synthetic_log(&mut writer, &cfg).unwrap_or_else(|e| {
+        eprintln!("mrtgen: write failed: {e:?}");
+        std::process::exit(1);
+    });
     println!(
-        "{path}: {} records, {peers} peers, {prefixes} prefixes, {}s span",
-        writer.records_written(),
-        time - base_time
+        "{path}: {written} records, {} peers, {} prefixes, {span}s span",
+        cfg.peers.max(1),
+        cfg.prefixes.max(1)
     );
 }

@@ -7,14 +7,16 @@
 //! incidents, inter-arrival modes, and episode persistence.
 //!
 //! ```sh
-//! mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N]
+//! mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] [--metrics-json <out.json>]
 //! mrtstat --demo [--jobs N]    # generate a demo log in-memory and analyze it
 //! ```
 //!
 //! With `--jobs N` the file is analyzed by the `iri-pipeline` engine:
 //! records are decoded in chunks on the ingest thread and classified by N
 //! sharded workers, producing the identical report plus stage telemetry.
-//! `--jobs 0` picks one worker per CPU.
+//! `--jobs 0` picks one worker per CPU. `--metrics-json` writes the run's
+//! telemetry (and, in pipeline mode, the fine-grained registry snapshot
+//! with per-batch latency histograms) as JSON for automation.
 
 use iri_bench::{arg_u64, logged_to_events};
 use iri_core::input::{events_from_mrt, UpdateEvent};
@@ -26,7 +28,9 @@ use iri_core::stats::persistence::{persistence_below, Episode};
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_mrt::MrtReader;
-use iri_pipeline::{analyze_mrt, PipelineConfig, DEFAULT_QUIET_MS};
+use iri_obs::RegistrySnapshot;
+use iri_pipeline::{analyze_mrt, PipelineConfig, PipelineMetrics, DEFAULT_QUIET_MS};
+use serde::Serialize;
 use std::fs::File;
 use std::io::BufReader;
 
@@ -38,6 +42,25 @@ struct Report {
     instability_bins: Box<[u64; SLOTS_PER_DAY]>,
     interarrivals: Vec<DayInterarrival>,
     episodes: Vec<Episode>,
+    /// Pipeline telemetry (pipeline engine only).
+    metrics: Option<PipelineMetrics>,
+    /// Fine-grained metrics snapshot (pipeline engine with obs only).
+    registry: Option<RegistrySnapshot>,
+}
+
+/// The `--metrics-json` payload.
+#[derive(Serialize)]
+struct MetricsDump {
+    pipeline: Option<PipelineMetrics>,
+    registry: Option<RegistrySnapshot>,
+}
+
+/// `--key value` string argument.
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn main() {
@@ -47,17 +70,27 @@ fn main() {
         .position(|a| a == "--jobs")
         .map(|_| arg_u64(&args, "--jobs", 0) as usize);
     let demo = args.iter().any(|a| a == "--demo");
+    let metrics_json = arg_str(&args, "--metrics-json");
+    // The JSON dump wants the fine-grained registry, so requesting it
+    // turns on pipeline observability.
+    let obs = metrics_json.is_some();
+    let cfg = |jobs| {
+        let mut cfg = PipelineConfig::with_jobs(jobs);
+        cfg.obs = obs;
+        cfg
+    };
 
     let report = if demo {
         let events = demo_events();
         match jobs {
-            Some(jobs) => parallel_report_events(&events, jobs),
+            Some(jobs) => report_from_pipeline(iri_pipeline::analyze_events(&events, &cfg(jobs))),
             None => sequential_report(&events),
         }
     } else {
         let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
             eprintln!(
-                "usage: mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] | mrtstat --demo"
+                "usage: mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] \
+                 [--metrics-json <out.json>] | mrtstat --demo"
             );
             std::process::exit(2);
         };
@@ -71,8 +104,7 @@ fn main() {
         let mut reader = MrtReader::new(BufReader::new(file));
         match jobs {
             Some(jobs) => {
-                let (result, records) =
-                    analyze_mrt(&mut reader, base, &PipelineConfig::with_jobs(jobs));
+                let (result, records) = analyze_mrt(&mut reader, base, &cfg(jobs));
                 println!("{path}: {records} MRT records");
                 report_from_pipeline(result)
             }
@@ -99,6 +131,18 @@ fn main() {
         }
     };
 
+    if let Some(path) = metrics_json {
+        let dump = MetricsDump {
+            pipeline: report.metrics.clone(),
+            registry: report.registry.clone(),
+        };
+        let json = serde_json::to_string_pretty(&dump).expect("serialise metrics");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("mrtstat: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("metrics written to {path}");
+    }
     if report.classifier.total() == 0 {
         println!("no prefix events found.");
         return;
@@ -126,15 +170,9 @@ fn sequential_report(events: &[UpdateEvent]) -> Report {
             .collect(),
         episodes: episodes(&classified, DEFAULT_QUIET_MS),
         classifier,
+        metrics: None,
+        registry: None,
     }
-}
-
-/// Pipeline engine over in-memory events (demo mode).
-fn parallel_report_events(events: &[UpdateEvent], jobs: usize) -> Report {
-    report_from_pipeline(iri_pipeline::analyze_events(
-        events,
-        &PipelineConfig::with_jobs(jobs),
-    ))
 }
 
 /// Folds a pipeline result into the common report and prints telemetry.
@@ -143,6 +181,7 @@ fn report_from_pipeline(result: iri_pipeline::AnalysisResult) -> Report {
         classifier,
         sinks,
         metrics,
+        registry,
     } = result;
     print!("\n{}", metrics.render());
     Report {
@@ -155,6 +194,8 @@ fn report_from_pipeline(result: iri_pipeline::AnalysisResult) -> Report {
             .collect(),
         episodes: sinks.episodes.finish(),
         classifier,
+        metrics: Some(metrics),
+        registry: registry.is_enabled().then(|| registry.snapshot()),
     }
 }
 

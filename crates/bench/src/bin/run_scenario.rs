@@ -12,6 +12,8 @@
 //! With `--days N` the binary runs N consecutive days starting at `--day`
 //! through the `iri-pipeline` parallel map (`--jobs` workers, 0 = one per
 //! CPU) and prints one summary row per day plus the pipeline telemetry.
+//! `--metrics-json <path>` writes that telemetry (single-day runs: the
+//! per-class breakdown) as JSON for automation.
 //!
 //! The config file holds `{ "graph": GraphConfig, "scenario": ScenarioConfig }`.
 
@@ -21,6 +23,7 @@ use iri_core::stats::breakdown::breakdown;
 use iri_core::stats::incidents::detect_incidents;
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
+use iri_pipeline::PipelineMetrics;
 use iri_topology::asgraph::{AsGraph, GraphConfig};
 use iri_topology::scenario::ScenarioConfig;
 use serde::{Deserialize, Serialize};
@@ -29,6 +32,41 @@ use serde::{Deserialize, Serialize};
 struct ExperimentFile {
     graph: GraphConfig,
     scenario: ScenarioConfig,
+}
+
+/// The `--metrics-json` payload.
+#[derive(Serialize)]
+struct MetricsDump {
+    day: u32,
+    days: u32,
+    total_events: u64,
+    /// Per-class event counts, in [`UpdateClass::ALL`] order.
+    classes: Vec<ClassCount>,
+    /// Parallel-map telemetry (multi-day runs only).
+    pipeline: Option<PipelineMetrics>,
+}
+
+#[derive(Serialize)]
+struct ClassCount {
+    class: UpdateClass,
+    count: u64,
+}
+
+/// `--key value` string argument.
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn write_metrics(path: &str, dump: &MetricsDump) {
+    let json = serde_json::to_string_pretty(dump).expect("serialise metrics");
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("run_scenario: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("metrics written to {path}");
 }
 
 fn main() {
@@ -62,8 +100,16 @@ fn main() {
 
     let graph = AsGraph::generate(&file.graph);
     let days = arg_u64(&args, "--days", 1) as u32;
+    let metrics_json = arg_str(&args, "--metrics-json");
     if days > 1 {
-        run_parallel_days(&file, &graph, day, days, arg_u64(&args, "--jobs", 0) as usize);
+        run_parallel_days(
+            &file,
+            &graph,
+            day,
+            days,
+            arg_u64(&args, "--jobs", 0) as usize,
+            metrics_json.as_deref(),
+        );
         return;
     }
     println!(
@@ -95,11 +141,34 @@ fn main() {
         result.census.multihomed,
         incidents.len()
     );
+    if let Some(path) = metrics_json {
+        let dump = MetricsDump {
+            day,
+            days: 1,
+            total_events: b.total(),
+            classes: UpdateClass::ALL
+                .iter()
+                .map(|&class| ClassCount {
+                    class,
+                    count: b.get(class),
+                })
+                .collect(),
+            pipeline: None,
+        };
+        write_metrics(&path, &dump);
+    }
 }
 
 /// Parallel multi-day mode: each day is an independent seeded simulation,
 /// dealt to `jobs` workers by `iri-pipeline`'s ordered map.
-fn run_parallel_days(file: &ExperimentFile, graph: &AsGraph, start_day: u32, days: u32, jobs: usize) {
+fn run_parallel_days(
+    file: &ExperimentFile,
+    graph: &AsGraph,
+    start_day: u32,
+    days: u32,
+    jobs: usize,
+    metrics_json: Option<&str>,
+) {
     println!(
         "graph: {} providers, {} customers, {} prefixes; running days {start_day}..{} at {}",
         graph.providers.len(),
@@ -109,11 +178,10 @@ fn run_parallel_days(file: &ExperimentFile, graph: &AsGraph, start_day: u32, day
         file.scenario.exchange.name(),
     );
     let scenario = &file.scenario;
-    let (summaries, metrics) = iri_pipeline::par_map(
-        (start_day..start_day + days).collect(),
-        jobs,
-        |day| summarize_day(scenario, graph, day),
-    );
+    let (summaries, metrics) =
+        iri_pipeline::par_map((start_day..start_day + days).collect(), jobs, |day| {
+            summarize_day(scenario, graph, day)
+        });
     println!("\n{}", metrics.render());
     println!("  day   events  instab%  pathological%  peak/s  incidents");
     for s in &summaries {
@@ -138,5 +206,21 @@ fn run_parallel_days(file: &ExperimentFile, graph: &AsGraph, start_day: u32, day
             s.peak_events_per_sec,
             incidents.len()
         );
+    }
+    if let Some(path) = metrics_json {
+        let dump = MetricsDump {
+            day: start_day,
+            days,
+            total_events: summaries.iter().map(|s| s.breakdown.total()).sum(),
+            classes: UpdateClass::ALL
+                .iter()
+                .map(|&class| ClassCount {
+                    class,
+                    count: summaries.iter().map(|s| s.breakdown.get(class)).sum(),
+                })
+                .collect(),
+            pipeline: Some(metrics),
+        };
+        write_metrics(path, &dump);
     }
 }

@@ -1,0 +1,176 @@
+//! `tracescope` — observability drill-down on the canonical pathology run.
+//!
+//! Runs the shared [`iri_bench::obs_scenario`] world (a route server watching
+//! a storm-bugged AS, a CSU-afflicted AS, and a well-behaved AS), then prints
+//! what the new `iri-obs` layer saw:
+//!
+//! - the cause × class attribution table (the paper's §4 taxonomy annotated
+//!   with root-cause provenance),
+//! - per-router top talkers from the monitor log,
+//! - world latency and damping metrics from the registry,
+//! - a timeline summary of the trace ring buffer.
+//!
+//! ```sh
+//! tracescope [--seed S] [--tail N]
+//! ```
+//!
+//! Everything is deterministic for a given `--seed`: trace timestamps are
+//! simulated time, never wall clock.
+
+use iri_bench::{arg_u64, logged_to_events_with_causes, CauseBreakdown};
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_netsim::{Cause, TraceKind};
+use iri_obs::Registry;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_u64(&args, "--seed", 0x1997);
+    let tail = arg_u64(&args, "--tail", 8) as usize;
+
+    println!("tracescope: pathology scenario, seed {seed:#x}, 30 simulated minutes");
+    let mut scenario = iri_bench::run_pathology(seed);
+    let monitor = scenario
+        .world
+        .take_monitor(scenario.route_server)
+        .expect("route server is monitored");
+
+    // ---- cause × class attribution -----------------------------------
+    let (events, causes) = logged_to_events_with_causes(&monitor.updates);
+    let mut classifier = Classifier::new();
+    let classified = classifier.classify_all(&events);
+    let tally = CauseBreakdown::tally(&classified, &causes);
+
+    println!(
+        "\n{} prefix events from {} logged UPDATEs",
+        classified.len(),
+        monitor
+            .updates
+            .iter()
+            .filter(|u| matches!(u.message, iri_bgp::message::Message::Update(_)))
+            .count()
+    );
+    println!("\n-- cause x class attribution --");
+    print!("  {:<14}", "cause");
+    for class in UpdateClass::ALL {
+        print!(" {:>9}", class.label());
+    }
+    println!(" {:>9}", "total");
+    for cause in Cause::ALL {
+        let total = tally.cause_total(cause);
+        if total == 0 {
+            continue;
+        }
+        print!("  {:<14}", cause.label());
+        for class in UpdateClass::ALL {
+            print!(" {:>9}", tally.get(cause, class));
+        }
+        println!(" {:>9}", total);
+    }
+
+    let wwdup_timer = tally.attribution(UpdateClass::WwDup, Cause::TimerInterval);
+    println!(
+        "\n  WWDup -> TimerInterval attribution: {:.1}% (storm bug re-blasting on the flush grid)",
+        100.0 * wwdup_timer
+    );
+    let unknown = tally.cause_total(Cause::Unknown);
+    println!(
+        "  events with unknown cause: {unknown} ({:.1}%)",
+        100.0 * unknown as f64 / classified.len().max(1) as f64
+    );
+
+    // ---- per-router top talkers --------------------------------------
+    println!("\n-- per-router top talkers --");
+    let mut talkers: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for u in &monitor.updates {
+        if matches!(u.message, iri_bgp::message::Message::Update(_)) {
+            talkers.entry(u.peer_asn.0).or_default().0 += 1;
+        }
+    }
+    for ev in &classified {
+        talkers.entry(ev.peer.asn.0).or_default().1 += 1;
+    }
+    let mut rows: Vec<_> = talkers.into_iter().collect();
+    rows.sort_by_key(|&(asn, (updates, _))| (std::cmp::Reverse(updates), asn));
+    println!("  {:<8} {:>10} {:>14}", "peer", "updates", "prefix events");
+    for (asn, (updates, events)) in rows {
+        println!("  AS{:<6} {updates:>10} {events:>14}", asn);
+    }
+
+    // ---- latency + damping metrics -----------------------------------
+    println!("\n-- world metrics --");
+    let now = scenario.world.now();
+    if let Some(h) = scenario.world.registry().histogram_ref("world.tx_delay_ms") {
+        println!(
+            "  tx delay: {} sends, p50 {} ms, p99 {} ms, max {} ms",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max()
+        );
+    }
+    for name in [
+        "world.delivered",
+        "world.timer_fires",
+        "world.link_transitions",
+    ] {
+        if let Some(v) = scenario.world.registry().counter_value(name) {
+            println!("  {name}: {v}");
+        }
+    }
+    let mut damping = Registry::new();
+    for id in [
+        scenario.route_server,
+        scenario.storm_router,
+        scenario.csu_router,
+        scenario.quiet_router,
+    ] {
+        scenario.world.router(id).export_damping(&mut damping, now);
+    }
+    let snap = damping.snapshot();
+    if snap.counters.is_empty() && snap.gauges.is_empty() {
+        println!("  damping: no peers have dampers configured");
+    } else {
+        for c in &snap.counters {
+            println!("  {}: {}", c.name, c.value);
+        }
+        for g in &snap.gauges {
+            println!("  {}: {}", g.name, g.value);
+        }
+    }
+
+    // ---- trace timeline summary --------------------------------------
+    let tracer = scenario.world.tracer();
+    println!(
+        "\n-- trace ring buffer: {} events held, {} evicted (capacity {}) --",
+        tracer.len(),
+        tracer.dropped(),
+        tracer.capacity()
+    );
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in tracer.events() {
+        *by_kind.entry(kind_name(&ev.kind)).or_default() += 1;
+    }
+    for (kind, n) in &by_kind {
+        println!("  {kind:<18} {n:>8}");
+    }
+    println!("\n-- last {tail} trace events --");
+    for ev in tracer.events().skip(tracer.len().saturating_sub(tail)) {
+        println!("  {ev}");
+    }
+}
+
+/// Stable short name for a trace event kind, for the tally table.
+fn kind_name(kind: &TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Fsm { .. } => "fsm-transition",
+        TraceKind::TimerFired { .. } => "timer-fired",
+        TraceKind::LinkDown { .. } => "link-down",
+        TraceKind::LinkUp { .. } => "link-up",
+        TraceKind::CpuOverload { .. } => "cpu-overload",
+        TraceKind::RouterRecovered => "router-recovered",
+        TraceKind::DampingSuppressed { .. } => "damping-suppressed",
+        TraceKind::QueueStall { .. } => "queue-stall",
+    }
+}

@@ -13,17 +13,31 @@
 //! ordered parallel map; each simulated day is independent (its own
 //! seeded world), so results are deterministic regardless of scheduling.
 
+pub mod genlog;
+pub mod obs_scenario;
 pub mod summary;
 
+pub use genlog::{write_synthetic_log, GenLogConfig};
+pub use obs_scenario::{run_pathology, CauseBreakdown, ObsScenario};
 pub use summary::{run_days, run_days_with_metrics, summarize_day, DaySummary, ExperimentConfig};
 
 use iri_core::input::{PeerKey, UpdateEvent};
 use iri_netsim::monitor::LoggedUpdate;
+use iri_obs::Cause;
 
 /// Converts monitor log entries into the analysis crate's prefix events.
 #[must_use]
 pub fn logged_to_events(log: &[LoggedUpdate]) -> Vec<UpdateEvent> {
+    logged_to_events_with_causes(log).0
+}
+
+/// Like [`logged_to_events`], but also returns each event's causal
+/// provenance tag, aligned index-for-index with the event vector (every
+/// prefix event inside one wire UPDATE inherits that UPDATE's cause).
+#[must_use]
+pub fn logged_to_events_with_causes(log: &[LoggedUpdate]) -> (Vec<UpdateEvent>, Vec<Cause>) {
     let mut out = Vec::with_capacity(log.len());
+    let mut causes = Vec::with_capacity(log.len());
     for entry in log {
         if let iri_bgp::message::Message::Update(u) = &entry.message {
             let peer = PeerKey {
@@ -31,9 +45,10 @@ pub fn logged_to_events(log: &[LoggedUpdate]) -> Vec<UpdateEvent> {
                 addr: entry.peer_addr,
             };
             out.extend(iri_core::input::events_from_update(entry.time_ms, peer, u));
+            causes.resize(out.len(), entry.cause);
         }
     }
-    out
+    (out, causes)
 }
 
 /// Parses `--key value` style arguments with defaults, e.g.
@@ -92,16 +107,19 @@ mod tests {
                 peer_asn: Asn(701),
                 peer_addr: Ipv4Addr::new(1, 1, 1, 1),
                 message: Message::Keepalive,
+                cause: Cause::Unknown,
             },
             LoggedUpdate {
                 time_ms: 6,
                 peer_asn: Asn(701),
                 peer_addr: Ipv4Addr::new(1, 1, 1, 1),
                 message: Message::Update(Update::withdraw(["10.0.0.0/8".parse().unwrap()])),
+                cause: Cause::LinkFlap,
             },
         ];
-        let events = logged_to_events(&log);
+        let (events, causes) = logged_to_events_with_causes(&log);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].time_ms, 6);
+        assert_eq!(causes, vec![Cause::LinkFlap]);
     }
 }

@@ -559,8 +559,7 @@ mod tests {
         let shards = 4usize;
 
         let mut merged = StreamSinks::new(quiet);
-        let mut parts: Vec<StreamSinks> =
-            (0..shards).map(|_| StreamSinks::new(quiet)).collect();
+        let mut parts: Vec<StreamSinks> = (0..shards).map(|_| StreamSinks::new(quiet)).collect();
         for e in &stream {
             let shard = (e.prefix.bits() as usize ^ e.peer.asn.0 as usize) % shards;
             parts[shard].record(e);
@@ -604,8 +603,16 @@ mod tests {
         );
         let mut seq_eps = episodes(&stream, quiet);
         let mut par_eps = merged.episodes.finish();
-        let full_key =
-            |e: &Episode| (e.start_ms, e.prefix.bits(), e.prefix.len(), e.asn.0, e.end_ms, e.events);
+        let full_key = |e: &Episode| {
+            (
+                e.start_ms,
+                e.prefix.bits(),
+                e.prefix.len(),
+                e.asn.0,
+                e.end_ms,
+                e.events,
+            )
+        };
         seq_eps.sort_by_key(full_key);
         par_eps.sort_by_key(full_key);
         assert_eq!(par_eps, seq_eps);

@@ -57,6 +57,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     processed: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -74,6 +75,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: 0,
             processed: 0,
+            high_water: 0,
         }
     }
 
@@ -101,6 +103,13 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Largest pending-event count ever reached — the queue's memory
+    /// footprint, and a storm-severity signal for observability reports.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at absolute time `at`. Scheduling in the past is a
     /// logic error and clamps to `now` (preserving causality).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
@@ -108,6 +117,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `event` `delay` milliseconds from now.
@@ -212,6 +222,22 @@ mod tests {
         assert_eq!(q.now(), 500);
         q.advance_clock(100);
         assert_eq!(q.now(), 500);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        for t in 0..5 {
+            q.schedule_at(t, t);
+        }
+        assert_eq!(q.high_water(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_water(), 5, "draining must not lower the mark");
+        for t in 10..20 {
+            q.schedule_at(t, t);
+        }
+        assert_eq!(q.high_water(), 13);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod world;
 
 pub use engine::{SimTime, DAY, HOUR, MINUTE, SECOND};
 pub use exchange::{build_exchange, provider_mix, BuiltExchange, ExchangePoint};
+pub use iri_obs::{Cause, Registry, TraceEvent, TraceKind, Tracer};
 pub use link::{CsuFault, Link, LinkId};
 pub use monitor::{LoggedUpdate, Monitor};
 pub use router::{

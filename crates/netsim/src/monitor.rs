@@ -7,12 +7,19 @@
 //! with millisecond timestamps, and can export the log as MRT records for
 //! offline analysis — the measurement boundary between `iri-netsim` and
 //! `iri-core`.
+//!
+//! Where the real study had to *infer* mechanisms from periodicity, the
+//! simulated tap also captures each update's causal provenance tag
+//! ([`Cause`]): the wire format has no such field, so
+//! [`Monitor::to_mrt_with_causes`] exports the causes as a sidecar vector
+//! aligned record-for-record with the MRT log.
 
 use crate::engine::SimTime;
 use crate::router::RouterId;
 use iri_bgp::message::Message;
 use iri_bgp::types::Asn;
 use iri_mrt::{Bgp4mpMessage, Bgp4mpStateChange, MrtRecord, PeerState};
+use iri_obs::Cause;
 use std::net::Ipv4Addr;
 
 /// One logged message.
@@ -26,6 +33,9 @@ pub struct LoggedUpdate {
     pub peer_addr: Ipv4Addr,
     /// The message.
     pub message: Message,
+    /// Root-cause provenance stamped by the sender ([`Cause::Unknown`] for
+    /// control messages).
+    pub cause: Cause,
 }
 
 /// One logged session transition.
@@ -68,13 +78,14 @@ impl Monitor {
         }
     }
 
-    /// Records an inbound message.
+    /// Records an inbound message with its provenance tag.
     pub fn record(
         &mut self,
         time_ms: SimTime,
         peer_asn: Asn,
         peer_addr: Ipv4Addr,
         message: &Message,
+        cause: Cause,
     ) {
         if self.log_all_messages || matches!(message, Message::Update(_)) {
             self.updates.push(LoggedUpdate {
@@ -82,6 +93,7 @@ impl Monitor {
                 peer_asn,
                 peer_addr,
                 message: message.clone(),
+                cause,
             });
         }
     }
@@ -125,7 +137,22 @@ impl Monitor {
         local_addr: Ipv4Addr,
         base_unix_time: u32,
     ) -> Vec<MrtRecord> {
-        let mut out: Vec<(SimTime, MrtRecord)> =
+        self.to_mrt_with_causes(local_asn, local_addr, base_unix_time)
+            .0
+    }
+
+    /// Exports the log as MRT records plus a cause sidecar, aligned
+    /// record-for-record. MRT has no provenance field, so the tags cross
+    /// the measurement boundary beside the log rather than inside it;
+    /// state-change records carry [`Cause::Unknown`].
+    #[must_use]
+    pub fn to_mrt_with_causes(
+        &self,
+        local_asn: Asn,
+        local_addr: Ipv4Addr,
+        base_unix_time: u32,
+    ) -> (Vec<MrtRecord>, Vec<Cause>) {
+        let mut out: Vec<(SimTime, MrtRecord, Cause)> =
             Vec::with_capacity(self.updates.len() + self.state_changes.len());
         for u in &self.updates {
             out.push((
@@ -138,6 +165,7 @@ impl Monitor {
                     local_ip: local_addr,
                     message: u.message.clone(),
                 }),
+                u.cause,
             ));
         }
         for s in &self.state_changes {
@@ -152,48 +180,105 @@ impl Monitor {
                     old_state: s.old_state,
                     new_state: s.new_state,
                 }),
+                Cause::Unknown,
             ));
         }
-        out.sort_by_key(|(t, _)| *t);
-        out.into_iter().map(|(_, r)| r).collect()
+        out.sort_by_key(|(t, _, _)| *t);
+        out.into_iter().map(|(_, r, c)| (r, c)).unzip()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iri_bgp::message::Update;
+    use iri_bgp::message::{Notification, NotificationCode, Open, Update};
 
     fn update_msg() -> Message {
         Message::Update(Update::withdraw(["10.0.0.0/8".parse().unwrap()]))
     }
 
+    fn addr() -> Ipv4Addr {
+        Ipv4Addr::new(1, 1, 1, 1)
+    }
+
     #[test]
     fn records_updates_skips_keepalives_by_default() {
         let mut m = Monitor::new(RouterId(0));
-        m.record(5, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &update_msg());
-        m.record(6, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &Message::Keepalive);
+        m.record(5, Asn(701), addr(), &update_msg(), Cause::Withdrawal);
+        m.record(6, Asn(701), addr(), &Message::Keepalive, Cause::Unknown);
         assert_eq!(m.updates.len(), 1);
         assert_eq!(m.prefix_event_count(), 1);
+        assert_eq!(m.updates[0].cause, Cause::Withdrawal);
     }
 
     #[test]
     fn log_all_messages_keeps_keepalives() {
         let mut m = Monitor::new(RouterId(0));
         m.log_all_messages = true;
-        m.record(6, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &Message::Keepalive);
+        m.record(6, Asn(701), addr(), &Message::Keepalive, Cause::Unknown);
         assert_eq!(m.updates.len(), 1);
         assert_eq!(m.prefix_event_count(), 0);
     }
 
     #[test]
+    fn log_all_messages_captures_open_and_notification() {
+        let mut m = Monitor::new(RouterId(0));
+        m.log_all_messages = true;
+        let open = Message::Open(Open {
+            version: 4,
+            asn: Asn(701),
+            hold_time: 180,
+            router_id: addr(),
+        });
+        let notif = Message::Notification(Notification::new(NotificationCode::HoldTimerExpired));
+        m.record(1, Asn(701), addr(), &open, Cause::Unknown);
+        m.record(2, Asn(701), addr(), &Message::Keepalive, Cause::Unknown);
+        m.record(3, Asn(701), addr(), &update_msg(), Cause::LinkFlap);
+        m.record(4, Asn(701), addr(), &notif, Cause::Unknown);
+        assert_eq!(m.updates.len(), 4);
+        assert!(matches!(m.updates[0].message, Message::Open(_)));
+        assert!(matches!(m.updates[1].message, Message::Keepalive));
+        assert!(matches!(m.updates[2].message, Message::Update(_)));
+        assert!(matches!(m.updates[3].message, Message::Notification(_)));
+        // Only the UPDATE contributes prefix events; only it carries a
+        // known cause.
+        assert_eq!(m.prefix_event_count(), 1);
+        assert!(m.updates[2].cause.is_known());
+        assert!(!m.updates[3].cause.is_known());
+    }
+
+    #[test]
+    fn state_changes_keep_arrival_order() {
+        let mut m = Monitor::new(RouterId(0));
+        let transitions = [
+            (PeerState::Idle, PeerState::Connect),
+            (PeerState::Connect, PeerState::OpenSent),
+            (PeerState::OpenSent, PeerState::OpenConfirm),
+            (PeerState::OpenConfirm, PeerState::Established),
+        ];
+        for (i, (old, new)) in transitions.iter().enumerate() {
+            m.record_state_change(i as SimTime * 10, Asn(701), addr(), *old, *new);
+        }
+        assert_eq!(m.state_changes.len(), 4);
+        for (logged, (old, new)) in m.state_changes.iter().zip(&transitions) {
+            assert_eq!(logged.old_state, *old);
+            assert_eq!(logged.new_state, *new);
+        }
+        // Consecutive transitions chain: each new_state is the next
+        // old_state.
+        for w in m.state_changes.windows(2) {
+            assert_eq!(w[0].new_state, w[1].old_state);
+        }
+    }
+
+    #[test]
     fn mrt_export_is_time_sorted_with_base_offset() {
         let mut m = Monitor::new(RouterId(0));
-        m.record(2500, Asn(701), Ipv4Addr::new(1, 1, 1, 1), &update_msg());
+        m.record(2500, Asn(701), addr(), &update_msg(), Cause::CsuDrift);
         m.record_state_change(
             1000,
             Asn(701),
-            Ipv4Addr::new(1, 1, 1, 1),
+            addr(),
             PeerState::OpenConfirm,
             PeerState::Established,
         );
@@ -203,5 +288,30 @@ mod tests {
         assert_eq!(recs[1].timestamp(), 833_000_002);
         assert!(matches!(recs[0], MrtRecord::Bgp4mpStateChange(_)));
         assert!(matches!(recs[1], MrtRecord::Bgp4mpMessage(_)));
+    }
+
+    #[test]
+    fn cause_sidecar_stays_aligned_through_time_sort() {
+        let mut m = Monitor::new(RouterId(0));
+        m.record(2500, Asn(701), addr(), &update_msg(), Cause::CsuDrift);
+        m.record(500, Asn(701), addr(), &update_msg(), Cause::TimerInterval);
+        m.record_state_change(
+            1000,
+            Asn(701),
+            addr(),
+            PeerState::OpenConfirm,
+            PeerState::Established,
+        );
+        let (recs, causes) = m.to_mrt_with_causes(Asn(237), Ipv4Addr::new(9, 9, 9, 9), 0);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(causes.len(), 3);
+        // Sorted: update@500 (TimerInterval), state@1000 (Unknown),
+        // update@2500 (CsuDrift).
+        assert!(matches!(recs[0], MrtRecord::Bgp4mpMessage(_)));
+        assert_eq!(causes[0], Cause::TimerInterval);
+        assert!(matches!(recs[1], MrtRecord::Bgp4mpStateChange(_)));
+        assert_eq!(causes[1], Cause::Unknown);
+        assert!(matches!(recs[2], MrtRecord::Bgp4mpMessage(_)));
+        assert_eq!(causes[2], Cause::CsuDrift);
     }
 }

@@ -34,6 +34,7 @@ use iri_bgp::message::{Message, Update};
 use iri_bgp::path::AsPath;
 use iri_bgp::types::{Asn, Prefix};
 use iri_bgp::validate::{validate_inbound, PeerContext, ValidationError};
+use iri_obs::{Cause, TraceKind};
 use iri_rib::adj_in::AdjRibIn;
 use iri_rib::adj_out::{AdjRibOut, ExportDelta, ExportEvent, StatefulAdjOut, StatelessAdjOut};
 use iri_rib::damping::{DampingVerdict, FlapKind, RouteDamper};
@@ -215,6 +216,17 @@ impl TimerKind {
             TimerKind::Mrai => 3,
         }
     }
+
+    /// Timer name for trace events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TimerKind::Hold => "hold",
+            TimerKind::Keepalive => "keepalive",
+            TimerKind::ConnectRetry => "connect_retry",
+            TimerKind::Mrai => "mrai",
+        }
+    }
 }
 
 /// Instructions returned to the world.
@@ -229,6 +241,9 @@ pub enum Effect {
         msg: Message,
         /// Earliest transmission time.
         ready_at: SimTime,
+        /// Root-cause provenance of the message (meaningful for UPDATEs;
+        /// control messages carry [`Cause::Unknown`]).
+        cause: Cause,
     },
     /// Schedule a timer event.
     ArmTimer {
@@ -251,7 +266,12 @@ pub enum Effect {
     Crashed {
         /// Reboot completion time.
         until: SimTime,
+        /// Why it crashed (propagated to peers' withdrawal waves).
+        cause: Cause,
     },
+    /// A router-internal observability event for the world's tracer to
+    /// stamp with time and router identity.
+    Trace(TraceKind),
 }
 
 /// Net pending action for one prefix within the current timer window.
@@ -267,9 +287,11 @@ enum PendingExport {
     Announce {
         attrs: PathAttributes,
         window_start: Option<PathAttributes>,
+        cause: Cause,
     },
     Withdraw {
         window_start: Option<PathAttributes>,
+        cause: Cause,
     },
 }
 
@@ -277,7 +299,13 @@ impl PendingExport {
     fn window_start(&self) -> Option<PathAttributes> {
         match self {
             PendingExport::Announce { window_start, .. }
-            | PendingExport::Withdraw { window_start } => window_start.clone(),
+            | PendingExport::Withdraw { window_start, .. } => window_start.clone(),
+        }
+    }
+
+    fn cause(&self) -> Cause {
+        match self {
+            PendingExport::Announce { cause, .. } | PendingExport::Withdraw { cause, .. } => *cause,
         }
     }
 }
@@ -340,6 +368,27 @@ struct Peer {
 /// Address used as the Loc-RIB "peer" for locally originated routes.
 fn local_peer_addr() -> Ipv4Addr {
     Ipv4Addr::UNSPECIFIED
+}
+
+/// The most common per-prefix cause across an UPDATE's prefixes (ties break
+/// toward the lower [`Cause::index`], deterministically). Prefixes with no
+/// recorded provenance count toward `fallback`.
+fn dominant_cause(part: &Update, causes: &BTreeMap<Prefix, Cause>, fallback: Cause) -> Cause {
+    let mut counts = [0usize; Cause::COUNT];
+    for pfx in part.withdrawn.iter().chain(part.nlri.iter()) {
+        let c = causes.get(pfx).copied().unwrap_or(fallback);
+        counts[c.index()] += 1;
+    }
+    let mut best = fallback;
+    let mut best_count = 0usize;
+    for cause in Cause::ALL {
+        let n = counts[cause.index()];
+        if n > best_count {
+            best = cause;
+            best_count = n;
+        }
+    }
+    best
 }
 
 /// The router.
@@ -483,6 +532,18 @@ impl Router {
         self.peers.get(&peer).map(|p| p.link)
     }
 
+    /// Exports the per-peer damping state into `registry`, scoped as
+    /// `damping.as<local>.peer_as<remote>`. A no-op for peers without a
+    /// configured damper.
+    pub fn export_damping(&self, registry: &mut iri_obs::Registry, now: SimTime) {
+        for p in self.peers.values() {
+            if let Some(d) = &p.damper {
+                let scope = format!("damping.as{}.peer_as{}", self.cfg.asn.0, p.asn.0);
+                d.export_metrics(registry, &scope, now);
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // CPU model
     // ------------------------------------------------------------------
@@ -526,16 +587,19 @@ impl Router {
                 .expect("listed")
                 .fsm
                 .handle(FsmEvent::Start);
-            self.apply_fsm_actions(pid, actions, now, rng, &mut effects);
+            self.apply_fsm_actions(pid, actions, Cause::FsmReset, now, rng, &mut effects);
         }
         effects
     }
 
-    /// Transport toward `peer` came up or went down.
+    /// Transport toward `peer` came up or went down. `cause` names the
+    /// mechanism behind a loss (link flap, CSU drift, a crashed peer…) and
+    /// is propagated onto the resulting withdrawal wave.
     pub fn handle_transport(
         &mut self,
         peer: RouterId,
         up: bool,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Effect> {
@@ -548,9 +612,14 @@ impl Router {
         } else {
             FsmEvent::TcpClosed
         };
+        let down_cause = if cause.is_known() {
+            cause
+        } else {
+            Cause::FsmReset
+        };
         if let Some(p) = self.peers.get_mut(&peer) {
             let actions = p.fsm.handle(ev);
-            self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+            self.apply_fsm_actions(peer, actions, down_cause, now, rng, &mut effects);
         }
         effects
     }
@@ -582,25 +651,27 @@ impl Router {
             }
             TimerKind::Hold => {
                 let actions = p.fsm.handle(FsmEvent::HoldTimerExpired);
-                self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+                self.apply_fsm_actions(peer, actions, Cause::FsmReset, now, rng, &mut effects);
             }
             TimerKind::Keepalive => {
                 let actions = p.fsm.handle(FsmEvent::KeepaliveTimerFired);
-                self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+                self.apply_fsm_actions(peer, actions, Cause::FsmReset, now, rng, &mut effects);
             }
             TimerKind::ConnectRetry => {
                 let actions = p.fsm.handle(FsmEvent::ConnectRetryExpired);
-                self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+                self.apply_fsm_actions(peer, actions, Cause::FsmReset, now, rng, &mut effects);
             }
         }
         effects
     }
 
-    /// A BGP message arrived from `peer`.
+    /// A BGP message arrived from `peer`, carrying the provenance `cause`
+    /// the sender stamped on it — relays preserve the root mechanism.
     pub fn handle_message(
         &mut self,
         peer: RouterId,
         msg: Message,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Effect> {
@@ -619,10 +690,10 @@ impl Router {
             let _ready =
                 self.consume_cpu(now, u64::from(events).max(1) * self.cfg.cpu.update_cost_us);
             if self.note_load(now, events.max(1)) {
-                return self.crash(now);
+                return self.crash(now, Cause::CpuOverload);
             }
             if established {
-                self.process_update(peer, update.clone(), now, rng, &mut effects);
+                self.process_update(peer, update.clone(), cause, now, rng, &mut effects);
             }
         }
 
@@ -632,15 +703,20 @@ impl Router {
             .expect("checked")
             .fsm
             .handle(FsmEvent::MessageReceived(msg));
-        self.apply_fsm_actions(peer, actions, now, rng, &mut effects);
+        self.apply_fsm_actions(peer, actions, Cause::FsmReset, now, rng, &mut effects);
         effects
     }
 
-    /// Crashes the router immediately.
-    pub fn crash(&mut self, now: SimTime) -> Vec<Effect> {
+    /// Crashes the router immediately; `cause` is propagated to the peers'
+    /// withdrawal waves.
+    pub fn crash(&mut self, now: SimTime, cause: Cause) -> Vec<Effect> {
         let reboot = self.cfg.crash.map_or(120_000, |c| c.reboot_ms);
         self.crashed = true;
         self.counters.crashes += 1;
+        let load_per_sec = self
+            .cfg
+            .crash
+            .map_or(0, |c| self.recent_load_sum * 1000 / c.window_ms.max(1));
         self.recent_load.clear();
         self.recent_load_sum = 0;
         // Everything volatile is lost.
@@ -663,9 +739,15 @@ impl Router {
             peer.mrai.cancel();
             peer.timer_gen = peer.timer_gen.map(|g| g + 1); // invalidate all timers
         }
-        vec![Effect::Crashed {
+        let mut fx = Vec::with_capacity(2);
+        if cause == Cause::CpuOverload {
+            fx.push(Effect::Trace(TraceKind::CpuOverload { load: load_per_sec }));
+        }
+        fx.push(Effect::Crashed {
             until: now + reboot,
-        }]
+            cause,
+        });
+        fx
     }
 
     /// Reboot finished: re-originate local routes and restart sessions.
@@ -705,8 +787,15 @@ impl Router {
     }
 
     /// Originates `prefix` locally (a customer network behind this AS) and
-    /// propagates to peers.
-    pub fn originate(&mut self, prefix: Prefix, now: SimTime, rng: &mut StdRng) -> Vec<Effect> {
+    /// propagates to peers. `cause` names what drove the origination (a
+    /// scheduled event, a CSU-flapped access circuit coming back…).
+    pub fn originate(
+        &mut self,
+        prefix: Prefix,
+        cause: Cause,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Effect> {
         let mut effects = Vec::new();
         if self.crashed {
             return effects;
@@ -721,7 +810,7 @@ impl Router {
         self.originated.insert(prefix, attrs.clone());
         self.remembered_attrs.insert(prefix, attrs.clone());
         let change = self.install_local(prefix, attrs);
-        self.propagate_change(prefix, &change, None, now, rng, &mut effects);
+        self.propagate_change(prefix, &change, cause, now, rng, &mut effects);
         effects
     }
 
@@ -731,6 +820,7 @@ impl Router {
         &mut self,
         prefix: Prefix,
         attrs: PathAttributes,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Effect> {
@@ -741,7 +831,7 @@ impl Router {
         self.originated.insert(prefix, attrs.clone());
         self.remembered_attrs.insert(prefix, attrs.clone());
         let change = self.install_local(prefix, attrs);
-        self.propagate_change(prefix, &change, None, now, rng, &mut effects);
+        self.propagate_change(prefix, &change, cause, now, rng, &mut effects);
         effects
     }
 
@@ -749,6 +839,7 @@ impl Router {
     pub fn withdraw_origin(
         &mut self,
         prefix: Prefix,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Effect> {
@@ -758,7 +849,7 @@ impl Router {
         }
         self.originated.remove(&prefix);
         let change = self.loc_rib.withdraw(prefix, local_peer_addr());
-        self.propagate_change(prefix, &change, None, now, rng, &mut effects);
+        self.propagate_change(prefix, &change, cause, now, rng, &mut effects);
         effects
     }
 
@@ -770,6 +861,7 @@ impl Router {
         &mut self,
         from: RouterId,
         update: Update,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
         effects: &mut Vec<Effect>,
@@ -805,13 +897,23 @@ impl Router {
                 for &pfx in &update.withdrawn {
                     match damper.record_flap(pfx, FlapKind::Withdrawal, now) {
                         DampingVerdict::Pass => keep_wd.push(pfx),
-                        DampingVerdict::Suppressed { .. } => {}
+                        DampingVerdict::Suppressed { reuse_at } => {
+                            effects.push(Effect::Trace(TraceKind::DampingSuppressed {
+                                prefix: pfx.to_string(),
+                                reuse_at,
+                            }));
+                        }
                     }
                 }
                 for &pfx in &update.nlri {
                     match damper.record_flap(pfx, FlapKind::Announcement, now) {
                         DampingVerdict::Pass => keep_nlri.push(pfx),
-                        DampingVerdict::Suppressed { .. } => {}
+                        DampingVerdict::Suppressed { reuse_at } => {
+                            effects.push(Effect::Trace(TraceKind::DampingSuppressed {
+                                prefix: pfx.to_string(),
+                                reuse_at,
+                            }));
+                        }
                     }
                 }
             }
@@ -837,7 +939,7 @@ impl Router {
         // 4. Loc-RIB + propagation.
         for prefix in delta.withdrawn {
             let change = self.loc_rib.withdraw(prefix, peer_addr);
-            self.propagate_change(prefix, &change, Some(from), now, rng, effects);
+            self.propagate_change(prefix, &change, cause, now, rng, effects);
         }
         for prefix in delta.changed {
             let cand = self.peers[&from]
@@ -856,7 +958,7 @@ impl Router {
                 }
                 None => self.loc_rib.withdraw(prefix, peer_addr),
             };
-            self.propagate_change(prefix, &change, Some(from), now, rng, effects);
+            self.propagate_change(prefix, &change, cause, now, rng, effects);
         }
     }
 
@@ -866,7 +968,7 @@ impl Router {
         &mut self,
         prefix: Prefix,
         change: &BestChange,
-        learned_from: Option<RouterId>,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
         effects: &mut Vec<Effect>,
@@ -892,7 +994,6 @@ impl Router {
             _ => None,
         };
 
-        let _ = learned_from; // receiver-side loop suppression covers echoes
         let peer_ids: Vec<RouterId> = self.peers.keys().copied().collect();
         for pid in peer_ids {
             if !self.peers[&pid].fsm.is_established() {
@@ -916,14 +1017,17 @@ impl Router {
                         Some(attrs) => PendingExport::Announce {
                             attrs,
                             window_start: start_hint,
+                            cause,
                         },
                         None => PendingExport::Withdraw {
                             window_start: start_hint,
+                            cause,
                         },
                     }
                 }
                 None => PendingExport::Withdraw {
                     window_start: start_hint,
+                    cause,
                 },
             };
             self.queue_pending(pid, prefix, pending, now, rng, effects);
@@ -965,17 +1069,27 @@ impl Router {
     ) {
         {
             let p = self.peers.get_mut(&peer).expect("exists");
-            // The window keeps the start state of its *first* queued change;
-            // subsequent intra-window changes only move the net result.
+            // The window keeps the start state — and the root cause — of its
+            // *first* queued change; subsequent intra-window changes only
+            // move the net result.
             let entry = match p.pending.remove(&prefix) {
                 Some(existing) => {
                     let window_start = existing.window_start();
+                    let cause = if existing.cause().is_known() {
+                        existing.cause()
+                    } else {
+                        action.cause()
+                    };
                     match action {
                         PendingExport::Announce { attrs, .. } => PendingExport::Announce {
                             attrs,
                             window_start,
+                            cause,
                         },
-                        PendingExport::Withdraw { .. } => PendingExport::Withdraw { window_start },
+                        PendingExport::Withdraw { .. } => PendingExport::Withdraw {
+                            window_start,
+                            cause,
+                        },
                     }
                 }
                 None => action,
@@ -1018,14 +1132,16 @@ impl Router {
             }
             p.flush_count += 1;
             // The storm bug: periodically re-queue a blind withdrawal for
-            // everything this box thinks is withdrawn.
+            // everything this box thinks is withdrawn. Nothing changed in
+            // the RIB — these exist solely because the timer fired.
             if let Some(n) = storm {
                 if p.flush_count.is_multiple_of(u64::from(n.max(1))) {
                     let storm_set: Vec<Prefix> = p.storm_set.iter().copied().collect();
                     for prefix in storm_set {
-                        p.pending
-                            .entry(prefix)
-                            .or_insert(PendingExport::Withdraw { window_start: None });
+                        p.pending.entry(prefix).or_insert(PendingExport::Withdraw {
+                            window_start: None,
+                            cause: Cause::TimerInterval,
+                        });
                     }
                 }
             }
@@ -1042,6 +1158,8 @@ impl Router {
             return;
         }
         let mut total = ExportDelta::default();
+        let causes: BTreeMap<Prefix, Cause> =
+            pending.iter().map(|(p, a)| (*p, a.cause())).collect();
         {
             let p = self.peers.get_mut(&peer).expect("exists");
             for (prefix, action) in pending {
@@ -1049,6 +1167,7 @@ impl Router {
                     PendingExport::Announce {
                         attrs,
                         window_start,
+                        ..
                     } => {
                         // A window whose net effect returned to (or stayed
                         // at) its start state is the §4.2 duplicate-
@@ -1075,7 +1194,7 @@ impl Router {
                 total.announce.extend(delta.announce);
             }
         }
-        self.send_delta(peer, total, now, effects);
+        self.send_delta(peer, total, now, &causes, Cause::Unknown, effects);
         if storm.is_some() && !self.peers[&peer].storm_set.is_empty() {
             self.rearm_mrai(peer, now, _rng, effects);
         }
@@ -1103,11 +1222,16 @@ impl Router {
     }
 
     /// Packages an [`ExportDelta`] into UPDATE messages and emits them.
+    /// Each wire UPDATE is stamped with the dominant per-prefix cause
+    /// (`fallback` covers prefixes with no recorded provenance, e.g. the
+    /// initial table dump).
     fn send_delta(
         &mut self,
         peer: RouterId,
         delta: ExportDelta,
         now: SimTime,
+        causes: &BTreeMap<Prefix, Cause>,
+        fallback: Cause,
         effects: &mut Vec<Effect>,
     ) {
         if delta.is_empty() {
@@ -1137,11 +1261,13 @@ impl Router {
                 self.counters.updates_tx += 1;
                 self.counters.announce_tx += part.nlri.len() as u64;
                 self.counters.withdraw_tx += part.withdrawn.len() as u64;
+                let cause = dominant_cause(&part, causes, fallback);
                 let ready_at = self.consume_cpu(now, events.max(1) * self.cfg.cpu.update_cost_us);
                 effects.push(Effect::Send {
                     peer,
                     msg: Message::Update(part),
                     ready_at,
+                    cause,
                 });
             }
         }
@@ -1151,10 +1277,13 @@ impl Router {
     // FSM action plumbing
     // ------------------------------------------------------------------
 
+    /// `down_cause` is stamped on the withdrawal wave if any of `actions`
+    /// takes the session down.
     fn apply_fsm_actions(
         &mut self,
         peer: RouterId,
         actions: Vec<Action>,
+        down_cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
         effects: &mut Vec<Effect>,
@@ -1182,6 +1311,7 @@ impl Router {
                         peer,
                         msg,
                         ready_at,
+                        cause: Cause::Unknown,
                     });
                 }
                 Action::ArmHoldTimer(d) => {
@@ -1197,7 +1327,7 @@ impl Router {
                     self.on_session_up(peer, now, effects);
                 }
                 Action::SessionDown(_) => {
-                    self.on_session_down(peer, now, rng, effects);
+                    self.on_session_down(peer, down_cause, now, rng, effects);
                 }
             }
         }
@@ -1239,14 +1369,23 @@ impl Router {
             let p = self.peers.get_mut(&peer).expect("exists");
             p.adj_out.initial_dump(&exported)
         };
-        self.send_delta(peer, delta, now, effects);
+        self.send_delta(
+            peer,
+            delta,
+            now,
+            &BTreeMap::new(),
+            Cause::InitialDump,
+            effects,
+        );
     }
 
     /// Session lost: all the peer's routes are withdrawn and the change
-    /// propagates — the storm amplification step.
+    /// propagates — the storm amplification step. `cause` names what killed
+    /// the session.
     fn on_session_down(
         &mut self,
         peer: RouterId,
+        cause: Cause,
         now: SimTime,
         rng: &mut StdRng,
         effects: &mut Vec<Effect>,
@@ -1266,7 +1405,7 @@ impl Router {
         };
         let changes = self.loc_rib.drop_peer(peer_addr);
         for (prefix, change) in changes {
-            self.propagate_change(prefix, &change, Some(peer), now, rng, effects);
+            self.propagate_change(prefix, &change, cause, now, rng, effects);
         }
     }
 }
@@ -1321,7 +1460,12 @@ mod tests {
             Ipv4Addr::new(192, 41, 177, 2),
             false,
         );
-        let fx = r.originate("10.0.0.0/8".parse().unwrap(), 0, &mut rng());
+        let fx = r.originate(
+            "10.0.0.0/8".parse().unwrap(),
+            Cause::Origination,
+            0,
+            &mut rng(),
+        );
         // No established session: nothing to send, but Loc-RIB has it.
         assert!(fx.iter().all(|f| !matches!(f, Effect::Send { .. })));
         assert_eq!(r.loc_rib().reachable_count(), 1);
@@ -1361,6 +1505,7 @@ mod tests {
             let fx = r.handle_message(
                 RouterId(2),
                 Message::Update(update),
+                Cause::Withdrawal,
                 i as SimTime,
                 &mut rng(),
             );
@@ -1373,7 +1518,13 @@ mod tests {
         assert!(r.is_crashed());
         assert_eq!(r.counters.crashes, 1);
         // Messages while crashed are ignored.
-        let fx = r.handle_message(RouterId(2), Message::Keepalive, 100, &mut rng());
+        let fx = r.handle_message(
+            RouterId(2),
+            Message::Keepalive,
+            Cause::Unknown,
+            100,
+            &mut rng(),
+        );
         assert!(fx.is_empty());
         // Recovery restarts sessions.
         let fx = r.recover(6000, &mut rng());
@@ -1394,9 +1545,46 @@ mod tests {
             false,
         );
         let update = Update::withdraw(["10.0.0.0/8".parse().unwrap()]);
-        r.handle_message(RouterId(2), Message::Update(update), 0, &mut rng());
+        r.handle_message(
+            RouterId(2),
+            Message::Update(update),
+            Cause::Withdrawal,
+            0,
+            &mut rng(),
+        );
         assert_eq!(r.counters.updates_rx, 1);
         assert_eq!(r.counters.prefix_events_rx, 1);
+    }
+
+    #[test]
+    fn dominant_cause_picks_majority_with_stable_ties() {
+        let mut causes = BTreeMap::new();
+        let p1: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p2: Prefix = "10.1.0.0/16".parse().unwrap();
+        let p3: Prefix = "10.2.0.0/16".parse().unwrap();
+        causes.insert(p1, Cause::TimerInterval);
+        causes.insert(p2, Cause::TimerInterval);
+        causes.insert(p3, Cause::CsuDrift);
+        let part = Update::withdraw([p1, p2, p3]);
+        assert_eq!(
+            dominant_cause(&part, &causes, Cause::Unknown),
+            Cause::TimerInterval
+        );
+        // Tie: LinkFlap (index 3) beats TimerInterval (index 7).
+        causes.insert(p2, Cause::LinkFlap);
+        causes.insert(p3, Cause::LinkFlap);
+        causes.insert(p1, Cause::TimerInterval);
+        let two = Update::withdraw([p1, p2]);
+        assert_eq!(
+            dominant_cause(&two, &causes, Cause::Unknown),
+            Cause::LinkFlap
+        );
+        // Unmapped prefixes take the fallback.
+        let unmapped = Update::withdraw(["172.16.0.0/12".parse().unwrap()]);
+        assert_eq!(
+            dominant_cause(&unmapped, &BTreeMap::new(), Cause::InitialDump),
+            Cause::InitialDump
+        );
     }
 
     #[test]

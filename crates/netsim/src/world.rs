@@ -4,6 +4,17 @@
 //! the same scenario replayed with the same seed produces the identical
 //! event sequence, message for message — a property the reproducibility
 //! integration tests assert.
+//!
+//! # Observability
+//!
+//! The world owns the run's [`Tracer`] and [`Registry`] (both disabled
+//! until [`World::enable_obs`] is called, costing a single branch per
+//! would-be event). Every trace event is stamped with [`SimTime`] — never
+//! wall clock — so traces from the same seed are byte-identical across
+//! runs and machines. Causal provenance flows the other way: scenario
+//! drivers stamp a [`Cause`] on each injected event, routers thread it
+//! through their pending-change windows, and the [`Monitor`] logs it next
+//! to every captured UPDATE.
 
 use crate::engine::{EventQueue, SimTime};
 use crate::link::{CsuFault, Link, LinkId};
@@ -12,6 +23,7 @@ use crate::router::{Effect, Router, RouterConfig, RouterId, TimerKind};
 use iri_bgp::message::Message;
 use iri_bgp::types::Prefix;
 use iri_mrt::PeerState;
+use iri_obs::{Cause, CounterId, GaugeId, HistogramId, Registry, TraceKind, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -26,6 +38,7 @@ enum Ev {
         from: RouterId,
         to: RouterId,
         msg: Message,
+        cause: Cause,
     },
     /// Session timer expiry.
     Timer {
@@ -41,8 +54,13 @@ enum Ev {
         link: LinkId,
         epoch: u64,
     },
-    /// Transport lost toward `peer`.
-    TransportDown { router: RouterId, peer: RouterId },
+    /// Transport lost toward `peer`. `cause` names the root mechanism that
+    /// killed the connection (link flap, CSU oscillation, peer crash…).
+    TransportDown {
+        router: RouterId,
+        peer: RouterId,
+        cause: Cause,
+    },
     /// Carrier loss (injected outage; pairs with a scheduled LinkUp).
     LinkDown(LinkId),
     /// Carrier restored.
@@ -57,16 +75,25 @@ enum Ev {
     /// Operator-injected crash (fault injection).
     CrashNow(RouterId),
     /// Locally originate a prefix.
-    Originate { router: RouterId, prefix: Prefix },
+    Originate {
+        router: RouterId,
+        prefix: Prefix,
+        cause: Cause,
+    },
     /// Locally originate a prefix with explicit attributes (customer-AS
     /// origination through a provider border router).
     OriginateWith {
         router: RouterId,
         prefix: Prefix,
         attrs: Box<iri_bgp::attrs::PathAttributes>,
+        cause: Cause,
     },
     /// Withdraw a locally originated prefix.
-    WithdrawOrigin { router: RouterId, prefix: Prefix },
+    WithdrawOrigin {
+        router: RouterId,
+        prefix: Prefix,
+        cause: Cause,
+    },
 }
 
 /// Aggregate world statistics.
@@ -79,6 +106,34 @@ pub struct WorldStats {
     pub dropped_in_flight: u64,
     /// Messages dropped at send time because the link was down.
     pub dropped_at_send: u64,
+}
+
+/// Pre-registered metric ids — resolved once at construction so the hot
+/// path never does a name lookup.
+struct ObsIds {
+    delivered: CounterId,
+    dropped_in_flight: CounterId,
+    dropped_at_send: CounterId,
+    timer_fires: CounterId,
+    link_transitions: CounterId,
+    crashes: CounterId,
+    tx_delay_ms: HistogramId,
+    queue_high_water: GaugeId,
+}
+
+impl ObsIds {
+    fn register(registry: &mut Registry) -> Self {
+        ObsIds {
+            delivered: registry.counter("world.delivered"),
+            dropped_in_flight: registry.counter("world.dropped_in_flight"),
+            dropped_at_send: registry.counter("world.dropped_at_send"),
+            timer_fires: registry.counter("world.timer_fires"),
+            link_transitions: registry.counter("world.link_transitions"),
+            crashes: registry.counter("world.crashes"),
+            tx_delay_ms: registry.histogram("world.tx_delay_ms"),
+            queue_high_water: registry.gauge("world.queue_high_water"),
+        }
+    }
 }
 
 /// The simulation world.
@@ -107,14 +162,20 @@ pub struct World {
     access: HashMap<LinkId, (RouterId, Vec<Prefix>)>,
     monitors: HashMap<u32, Monitor>,
     rng: StdRng,
+    tracer: Tracer,
+    registry: Registry,
+    obs: ObsIds,
     /// Aggregate statistics.
     pub stats: WorldStats,
 }
 
 impl World {
-    /// New empty world with a seed governing all randomness.
+    /// New empty world with a seed governing all randomness. Observability
+    /// starts disabled; see [`World::enable_obs`].
     #[must_use]
     pub fn new(seed: u64) -> Self {
+        let mut registry = Registry::disabled();
+        let obs = ObsIds::register(&mut registry);
         World {
             queue: EventQueue::new(),
             routers: Vec::new(),
@@ -122,8 +183,37 @@ impl World {
             access: HashMap::new(),
             monitors: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            tracer: Tracer::disabled(),
+            registry,
+            obs,
             stats: WorldStats::default(),
         }
+    }
+
+    /// Turns on the metrics registry and installs a tracing ring buffer of
+    /// `trace_capacity` events. Call before [`World::start`]; tracing mid-run
+    /// works but misses earlier events.
+    pub fn enable_obs(&mut self, trace_capacity: usize) {
+        self.registry.set_enabled(true);
+        self.tracer = Tracer::new(trace_capacity);
+    }
+
+    /// Read access to the trace ring buffer.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Read access to the metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access (for scenario drivers that fold in their own
+    /// metrics, e.g. [`Router::export_damping`]).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
     }
 
     /// Current simulated time.
@@ -223,6 +313,12 @@ impl World {
         self.monitors.get(&router.0)
     }
 
+    /// Mutable access to a monitor (e.g. to set
+    /// [`Monitor::log_all_messages`]).
+    pub fn monitor_mut(&mut self, router: RouterId) -> Option<&mut Monitor> {
+        self.monitors.get_mut(&router.0)
+    }
+
     /// Takes a monitor out of the world (for analysis after a run).
     pub fn take_monitor(&mut self, router: RouterId) -> Option<Monitor> {
         self.monitors.remove(&router.0)
@@ -266,7 +362,14 @@ impl World {
         let access: Vec<(RouterId, Vec<Prefix>)> = self.access.values().cloned().collect();
         for (router, prefixes) in access {
             for prefix in prefixes {
-                self.queue.schedule_at(0, Ev::Originate { router, prefix });
+                self.queue.schedule_at(
+                    0,
+                    Ev::Originate {
+                        router,
+                        prefix,
+                        cause: Cause::Origination,
+                    },
+                );
             }
         }
         for i in 0..self.routers.len() {
@@ -281,7 +384,14 @@ impl World {
 
     /// Schedules a local origination at `at`.
     pub fn schedule_originate(&mut self, at: SimTime, router: RouterId, prefix: Prefix) {
-        self.queue.schedule_at(at, Ev::Originate { router, prefix });
+        self.queue.schedule_at(
+            at,
+            Ev::Originate {
+                router,
+                prefix,
+                cause: Cause::Origination,
+            },
+        );
     }
 
     /// Schedules a local origination with explicit attributes (e.g. a
@@ -300,14 +410,21 @@ impl World {
                 router,
                 prefix,
                 attrs: Box::new(attrs),
+                cause: Cause::Origination,
             },
         );
     }
 
     /// Schedules a local withdrawal at `at`.
     pub fn schedule_withdraw(&mut self, at: SimTime, router: RouterId, prefix: Prefix) {
-        self.queue
-            .schedule_at(at, Ev::WithdrawOrigin { router, prefix });
+        self.queue.schedule_at(
+            at,
+            Ev::WithdrawOrigin {
+                router,
+                prefix,
+                cause: Cause::Withdrawal,
+            },
+        );
     }
 
     /// Schedules a route flap: withdrawal at `at`, re-announcement after
@@ -350,6 +467,8 @@ impl World {
             self.dispatch(now, ev);
         }
         self.queue.advance_clock(t);
+        let high_water = self.queue.high_water() as i64;
+        self.registry.raise(self.obs.queue_high_water, high_water);
     }
 
     /// Runs until the queue drains (careful: periodic timers keep worlds
@@ -358,11 +477,21 @@ impl World {
         self.run_until(hard_limit);
     }
 
+    /// Stamps a trace event with sim time and the router's AS number.
+    fn trace(&mut self, now: SimTime, router: RouterId, kind: TraceKind) {
+        if self.tracer.is_enabled() {
+            let asn = self.routers[router.0 as usize].cfg.asn.0;
+            self.tracer.record(now, asn, kind);
+        }
+    }
+
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::CrashNow(router) => {
                 if !self.routers[router.0 as usize].is_crashed() {
-                    let fx = self.routers[router.0 as usize].crash(now);
+                    // Operator-injected fault: the cause is the reset
+                    // itself, not load.
+                    let fx = self.routers[router.0 as usize].crash(now, Cause::FsmReset);
                     self.apply_effects(router, fx);
                 }
             }
@@ -372,23 +501,33 @@ impl World {
                 from,
                 to,
                 msg,
+                cause,
             } => {
                 let l = &self.links[link.0 as usize];
                 if !l.up || l.epoch != epoch {
                     self.stats.dropped_in_flight += 1;
+                    self.registry.inc(self.obs.dropped_in_flight);
                     return;
                 }
                 if self.routers[to.0 as usize].is_crashed() {
                     self.stats.dropped_in_flight += 1;
+                    self.registry.inc(self.obs.dropped_in_flight);
                     return;
                 }
                 self.stats.delivered += 1;
+                self.registry.inc(self.obs.delivered);
                 if let Some(mon) = self.monitors.get_mut(&to.0) {
                     let peer = &self.routers[from.0 as usize];
-                    mon.record(now, peer.cfg.asn, peer.cfg.addr, &msg);
+                    mon.record(now, peer.cfg.asn, peer.cfg.addr, &msg, cause);
                 }
                 let before = self.session_fsm_state(to, from);
-                let fx = self.routers[to.0 as usize].handle_message(from, msg, now, &mut self.rng);
+                let fx = self.routers[to.0 as usize].handle_message(
+                    from,
+                    msg,
+                    cause,
+                    now,
+                    &mut self.rng,
+                );
                 self.record_transition(now, to, from, before);
                 self.apply_effects(to, fx);
             }
@@ -398,6 +537,18 @@ impl World {
                 kind,
                 generation,
             } => {
+                if self.tracer.is_enabled() {
+                    let peer_asn = self.routers[peer.0 as usize].cfg.asn.0;
+                    self.trace(
+                        now,
+                        router,
+                        TraceKind::TimerFired {
+                            peer: peer_asn,
+                            timer: kind.name(),
+                        },
+                    );
+                }
+                self.registry.inc(self.obs.timer_fires);
                 let before = self.session_fsm_state(router, peer);
                 let fx = self.routers[router.0 as usize].handle_timer(
                     peer,
@@ -423,13 +574,18 @@ impl World {
                 let fx = self.routers[router.0 as usize].handle_transport(
                     peer,
                     true,
+                    Cause::Unknown,
                     now,
                     &mut self.rng,
                 );
                 self.record_transition(now, router, peer, before);
                 self.apply_effects(router, fx);
             }
-            Ev::TransportDown { router, peer } => {
+            Ev::TransportDown {
+                router,
+                peer,
+                cause,
+            } => {
                 if self.routers[router.0 as usize].is_crashed() {
                     return;
                 }
@@ -437,6 +593,7 @@ impl World {
                 let fx = self.routers[router.0 as usize].handle_transport(
                     peer,
                     false,
+                    cause,
                     now,
                     &mut self.rng,
                 );
@@ -462,10 +619,36 @@ impl World {
             }
             Ev::LinkUp(link) => {
                 self.links[link.0 as usize].bring_up();
+                self.registry.inc(self.obs.link_transitions);
+                let csu = self.links[link.0 as usize].csu.is_some();
+                if self.tracer.is_enabled() {
+                    let owner = RouterId(self.links[link.0 as usize].a);
+                    self.trace(
+                        now,
+                        owner,
+                        TraceKind::LinkUp {
+                            link: link.0 as usize,
+                            csu,
+                        },
+                    );
+                }
                 if let Some((router, prefixes)) = self.access.get(&link).cloned() {
+                    // Re-origination caused by the tail circuit coming
+                    // back: attribute it to the mechanism that flapped it.
+                    let cause = if csu {
+                        Cause::CsuDrift
+                    } else {
+                        Cause::LinkFlap
+                    };
                     for prefix in prefixes {
-                        self.queue
-                            .schedule_at(now, Ev::Originate { router, prefix });
+                        self.queue.schedule_at(
+                            now,
+                            Ev::Originate {
+                                router,
+                                prefix,
+                                cause,
+                            },
+                        );
                     }
                 }
                 // CSU oscillation: schedule the next carrier loss.
@@ -477,29 +660,45 @@ impl World {
             Ev::RouterRecover(router) => {
                 if self.routers[router.0 as usize].is_crashed() {
                     let fx = self.routers[router.0 as usize].recover(now, &mut self.rng);
+                    self.trace(now, router, TraceKind::RouterRecovered);
                     self.apply_effects(router, fx);
                 }
             }
-            Ev::Originate { router, prefix } => {
-                let fx = self.routers[router.0 as usize].originate(prefix, now, &mut self.rng);
+            Ev::Originate {
+                router,
+                prefix,
+                cause,
+            } => {
+                let fx =
+                    self.routers[router.0 as usize].originate(prefix, cause, now, &mut self.rng);
                 self.apply_effects(router, fx);
             }
             Ev::OriginateWith {
                 router,
                 prefix,
                 attrs,
+                cause,
             } => {
                 let fx = self.routers[router.0 as usize].originate_with(
                     prefix,
                     *attrs,
+                    cause,
                     now,
                     &mut self.rng,
                 );
                 self.apply_effects(router, fx);
             }
-            Ev::WithdrawOrigin { router, prefix } => {
-                let fx =
-                    self.routers[router.0 as usize].withdraw_origin(prefix, now, &mut self.rng);
+            Ev::WithdrawOrigin {
+                router,
+                prefix,
+                cause,
+            } => {
+                let fx = self.routers[router.0 as usize].withdraw_origin(
+                    prefix,
+                    cause,
+                    now,
+                    &mut self.rng,
+                );
                 self.apply_effects(router, fx);
             }
         }
@@ -508,11 +707,33 @@ impl World {
     /// Shared carrier-loss handling for injected and CSU outages.
     fn carrier_loss(&mut self, now: SimTime, link: LinkId) {
         self.links[link.0 as usize].take_down();
+        self.registry.inc(self.obs.link_transitions);
+        let csu = self.links[link.0 as usize].csu.is_some();
+        let cause = if csu {
+            Cause::CsuDrift
+        } else {
+            Cause::LinkFlap
+        };
+        if self.tracer.is_enabled() {
+            let owner = RouterId(self.links[link.0 as usize].a);
+            self.trace(
+                now,
+                owner,
+                TraceKind::LinkDown {
+                    link: link.0 as usize,
+                    csu,
+                },
+            );
+        }
         if let Some((router, prefixes)) = self.access.get(&link).cloned() {
             // Customer tail circuit lost: withdraw its prefixes.
             for prefix in prefixes {
-                let fx =
-                    self.routers[router.0 as usize].withdraw_origin(prefix, now, &mut self.rng);
+                let fx = self.routers[router.0 as usize].withdraw_origin(
+                    prefix,
+                    cause,
+                    now,
+                    &mut self.rng,
+                );
                 self.apply_effects(router, fx);
             }
         } else {
@@ -521,10 +742,22 @@ impl World {
                 let l = &self.links[link.0 as usize];
                 (RouterId(l.a), RouterId(l.b))
             };
-            self.queue
-                .schedule_at(now, Ev::TransportDown { router: a, peer: b });
-            self.queue
-                .schedule_at(now, Ev::TransportDown { router: b, peer: a });
+            self.queue.schedule_at(
+                now,
+                Ev::TransportDown {
+                    router: a,
+                    peer: b,
+                    cause,
+                },
+            );
+            self.queue.schedule_at(
+                now,
+                Ev::TransportDown {
+                    router: b,
+                    peer: a,
+                    cause,
+                },
+            );
         }
     }
 
@@ -533,7 +766,7 @@ impl World {
         router: RouterId,
         peer: RouterId,
     ) -> Option<iri_session::fsm::State> {
-        if self.monitors.contains_key(&router.0) {
+        if self.monitors.contains_key(&router.0) || self.tracer.is_enabled() {
             self.routers[router.0 as usize].session_state(peer)
         } else {
             None
@@ -556,6 +789,15 @@ impl World {
                 let p = &self.routers[peer.0 as usize];
                 (p.cfg.asn, p.cfg.addr)
             };
+            self.trace(
+                now,
+                router,
+                TraceKind::Fsm {
+                    peer: peer_asn.0,
+                    from: before.name(),
+                    to: after.name(),
+                },
+            );
             if let Some(mon) = self.monitors.get_mut(&router.0) {
                 mon.record_state_change(
                     now,
@@ -575,6 +817,7 @@ impl World {
                     peer,
                     msg,
                     ready_at,
+                    cause,
                 } => {
                     let Some(link_id) = self.routers[router.0 as usize].peer_link(peer) else {
                         continue;
@@ -582,9 +825,13 @@ impl World {
                     let l = &self.links[link_id.0 as usize];
                     if !l.up {
                         self.stats.dropped_at_send += 1;
+                        self.registry.inc(self.obs.dropped_at_send);
                         continue;
                     }
-                    let at = ready_at.max(self.queue.now()) + l.latency_ms;
+                    let now = self.queue.now();
+                    self.registry
+                        .observe(self.obs.tx_delay_ms, ready_at.saturating_sub(now));
+                    let at = ready_at.max(now) + l.latency_ms;
                     self.queue.schedule_at(
                         at,
                         Ev::Deliver {
@@ -593,6 +840,7 @@ impl World {
                             from: router,
                             to: peer,
                             msg,
+                            cause,
                         },
                     );
                 }
@@ -643,14 +891,20 @@ impl World {
                         // timeout.
                         self.queue.schedule_at(
                             self.queue.now() + rtt.max(1),
-                            Ev::TransportDown { router, peer },
+                            Ev::TransportDown {
+                                router,
+                                peer,
+                                cause: Cause::FsmReset,
+                            },
                         );
                     }
                 }
-                Effect::Crashed { until } => {
+                Effect::Crashed { until, cause } => {
+                    self.registry.inc(self.obs.crashes);
                     self.queue.schedule_at(until, Ev::RouterRecover(router));
                     // Peers see the TCP connections die after one link
-                    // latency.
+                    // latency, and their withdrawal waves inherit the
+                    // crash's root cause.
                     let peer_ids: Vec<RouterId> =
                         self.routers[router.0 as usize].peer_ids().collect();
                     for peer in peer_ids {
@@ -661,10 +915,15 @@ impl World {
                                 Ev::TransportDown {
                                     router: peer,
                                     peer: router,
+                                    cause,
                                 },
                             );
                         }
                     }
+                }
+                Effect::Trace(kind) => {
+                    let now = self.queue.now();
+                    self.trace(now, router, kind);
                 }
             }
         }
@@ -757,6 +1016,96 @@ mod tests {
     }
 
     #[test]
+    fn monitored_updates_carry_known_causes() {
+        let (mut w, a, b) = two_router_world();
+        w.attach_monitor(b);
+        w.start();
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        w.schedule_originate(6 * SECOND, a, pfx);
+        w.schedule_withdraw(3 * MINUTE, a, pfx);
+        w.run_until(6 * MINUTE);
+        let mon = w.monitor(b).unwrap();
+        assert!(mon.prefix_event_count() >= 2);
+        for u in &mon.updates {
+            assert!(
+                u.cause.is_known(),
+                "UPDATE at t={} carries default cause",
+                u.time_ms
+            );
+        }
+        assert!(mon.updates.iter().any(|u| u.cause == Cause::Origination));
+        assert!(mon.updates.iter().any(|u| u.cause == Cause::Withdrawal));
+    }
+
+    #[test]
+    fn obs_disabled_collects_nothing() {
+        let (mut w, a, _b) = two_router_world();
+        w.start();
+        w.schedule_originate(6 * SECOND, a, "10.0.0.0/8".parse().unwrap());
+        w.run_until(2 * MINUTE);
+        assert!(w.tracer().is_empty());
+        assert_eq!(w.registry().counter_value("world.delivered"), Some(0));
+        assert!(w.stats.delivered > 0, "stats still work without obs");
+    }
+
+    #[test]
+    fn obs_enabled_traces_fsm_and_timers() {
+        let (mut w, a, b) = two_router_world();
+        w.enable_obs(4096);
+        w.start();
+        w.schedule_originate(6 * SECOND, a, "10.0.0.0/8".parse().unwrap());
+        w.run_until(2 * MINUTE);
+        assert!(w.registry().counter_value("world.delivered").unwrap() > 0);
+        assert!(w.registry().counter_value("world.timer_fires").unwrap() > 0);
+        let events: Vec<_> = w.tracer().events().collect();
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            TraceKind::Fsm {
+                to: "Established",
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::TimerFired { .. })));
+        // Determinism contract: every event timestamp is sim time within
+        // the run window.
+        assert!(events.iter().all(|e| e.time <= 2 * MINUTE));
+        let _ = b;
+    }
+
+    #[test]
+    fn link_flap_traced_and_attributed() {
+        let (mut w, a, b) = two_router_world();
+        w.enable_obs(4096);
+        w.attach_monitor(b);
+        w.start();
+        let pfx: Prefix = "10.0.0.0/8".parse().unwrap();
+        w.schedule_originate(6 * SECOND, a, pfx);
+        w.run_until(30 * SECOND);
+        let link = w.router(a).peer_link(b).unwrap();
+        w.schedule_link_flap(MINUTE, link, 2 * SECOND);
+        w.run_until(10 * MINUTE);
+        let events: Vec<_> = w.tracer().events().collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::LinkDown { csu: false, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::LinkUp { csu: false, .. })));
+        assert!(
+            w.registry()
+                .counter_value("world.link_transitions")
+                .unwrap()
+                >= 2
+        );
+        // After the session re-establishes, B relearns the prefix via the
+        // initial table dump.
+        let mon = w.monitor(b).unwrap();
+        assert!(mon.updates.iter().any(|u| u.cause == Cause::InitialDump));
+    }
+
+    #[test]
     fn link_flap_drops_and_reestablishes_session() {
         let (mut w, a, b) = two_router_world();
         w.start();
@@ -811,6 +1160,47 @@ mod tests {
     }
 
     #[test]
+    fn tracing_does_not_change_the_event_history() {
+        // Determinism contract: observability is read-only. The same seed
+        // with and without tracing produces the identical message history.
+        let run = |obs: bool| {
+            let mut w = World::new(42);
+            let a = w.add_router(RouterConfig::well_behaved(
+                "A",
+                Asn(701),
+                Ipv4Addr::new(192, 41, 177, 1),
+            ));
+            let b = w.add_router(RouterConfig::pathological(
+                "B",
+                Asn(690),
+                Ipv4Addr::new(192, 41, 177, 2),
+            ));
+            if obs {
+                w.enable_obs(65536);
+            }
+            w.attach_monitor(a);
+            w.connect(a, b, 5);
+            w.start();
+            for i in 0..20 {
+                w.schedule_flap(
+                    10 * SECOND + i * 7 * SECOND,
+                    b,
+                    "192.42.113.0/24".parse().unwrap(),
+                    3 * SECOND,
+                );
+            }
+            w.run_until(10 * MINUTE);
+            let mon = w.take_monitor(a).unwrap();
+            (
+                w.events_processed(),
+                mon.updates.len(),
+                mon.prefix_event_count(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn access_link_csu_oscillation_hidden_by_stateful_mrai() {
         // A *stateful* router with a 30 s MRAI absorbs sub-window CSU flaps:
         // the W→A squash is identical to the advertised state, so nothing is
@@ -856,6 +1246,42 @@ mod tests {
             events >= 10,
             "stateless must leak periodic flaps, got {events}"
         );
+    }
+
+    #[test]
+    fn csu_flap_updates_attributed_to_csu_drift() {
+        let mut w = World::new(11);
+        let a = w.add_router(RouterConfig::pathological(
+            "A",
+            Asn(690),
+            Ipv4Addr::new(192, 41, 177, 1),
+        ));
+        let b = w.add_router(RouterConfig::well_behaved(
+            "B",
+            Asn(1239),
+            Ipv4Addr::new(192, 41, 177, 2),
+        ));
+        w.connect(a, b, 5);
+        w.attach_monitor(b);
+        w.enable_obs(65536);
+        let pfx: Prefix = "192.42.113.0/24".parse().unwrap();
+        w.add_access_link(a, vec![pfx], Some(CsuFault::beat_30s(40 * SECOND)));
+        w.start();
+        w.run_until(10 * MINUTE);
+        let mon = w.monitor(b).unwrap();
+        let csu_updates = mon
+            .updates
+            .iter()
+            .filter(|u| u.cause == Cause::CsuDrift)
+            .count();
+        assert!(
+            csu_updates >= 5,
+            "CSU-driven churn must be attributed, got {csu_updates}"
+        );
+        assert!(w
+            .tracer()
+            .events()
+            .any(|e| matches!(e.kind, TraceKind::LinkDown { csu: true, .. })));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Causal provenance tags for BGP updates.
+//!
+//! The paper's §4.2 is an exercise in *attribution*: the bulk of the update
+//! volume traces back to a handful of mechanisms — stateless BGP
+//! implementations re-blasting state on every timer window, the unjittered
+//! 30-second interval timer, CSU clock-drift link oscillation. A [`Cause`]
+//! rides along with every update the simulator emits, from the router that
+//! generated it through every relay to the monitor tap, so the analysis can
+//! print a cause breakdown next to the WADiff/WADup/WWDup taxonomy instead
+//! of inferring mechanisms from periodicity alone.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an update was emitted.
+///
+/// The tag names the *root* mechanism, not the proximate trigger: an update
+/// that a well-behaved router relays because a CSU-afflicted circuit two
+/// hops away dropped carrier still carries [`Cause::CsuDrift`].
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Cause {
+    /// No provenance recorded (the default; should not appear on UPDATEs in
+    /// an instrumented run).
+    #[default]
+    Unknown,
+    /// A scenario-scheduled local origination (new customer network).
+    Origination,
+    /// A scenario-scheduled local withdrawal (customer network removed).
+    Withdrawal,
+    /// Carrier transition on an ordinary access or peering link.
+    LinkFlap,
+    /// Carrier oscillation driven by a CSU clock-drift fault (§4.2).
+    CsuDrift,
+    /// Session FSM reset: hold-timer expiry, transport loss, or the
+    /// withdrawal wave after a peer's session died.
+    FsmReset,
+    /// The full-table transfer when a session reaches Established.
+    InitialDump,
+    /// Emitted solely because a periodic timer window fired, with no
+    /// triggering route change — the stateless-BGP / unjittered-30 s
+    /// retransmission pathology.
+    TimerInterval,
+    /// Overload-induced: the emitting router (or its peer) crashed under
+    /// update load.
+    CpuOverload,
+}
+
+impl Cause {
+    /// Number of causes (length of [`Cause::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Every cause, in reporting order.
+    pub const ALL: [Cause; Cause::COUNT] = [
+        Cause::Unknown,
+        Cause::Origination,
+        Cause::Withdrawal,
+        Cause::LinkFlap,
+        Cause::CsuDrift,
+        Cause::FsmReset,
+        Cause::InitialDump,
+        Cause::TimerInterval,
+        Cause::CpuOverload,
+    ];
+
+    /// Dense index in `0..COUNT` for array-backed breakdown tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether a provenance was actually recorded.
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        self != Cause::Unknown
+    }
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::Unknown => "Unknown",
+            Cause::Origination => "Origination",
+            Cause::Withdrawal => "Withdrawal",
+            Cause::LinkFlap => "LinkFlap",
+            Cause::CsuDrift => "CsuDrift",
+            Cause::FsmReset => "FsmReset",
+            Cause::InitialDump => "InitialDump",
+            Cause::TimerInterval => "TimerInterval",
+            Cause::CpuOverload => "CpuOverload",
+        }
+    }
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unknown_and_unknown_only() {
+        assert_eq!(Cause::default(), Cause::Unknown);
+        for c in Cause::ALL {
+            assert_eq!(c.is_known(), c != Cause::Unknown, "{c}");
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_match_all() {
+        for (i, c) in Cause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(Cause::ALL.len(), Cause::COUNT);
+    }
+
+    #[test]
+    fn serialises_by_variant_name() {
+        let json = serde_json::to_string(&Cause::TimerInterval).unwrap();
+        assert!(json.contains("TimerInterval"), "{json}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # iri-obs — deterministic observability for the simulator and pipeline
+//!
+//! The paper's core move is instrumentation: tap the route servers, log
+//! everything, then *attribute* the pathological update volume to specific
+//! root causes (stateless BGP, the unjittered 30 s timer, CSU clock drift).
+//! This crate is the reproduction's equivalent of that measurement
+//! apparatus, shared by `iri-netsim` and `iri-pipeline`:
+//!
+//! - [`registry`] — named counters, gauges and log-linear histograms with
+//!   near-zero overhead when disabled, serialisable to JSON;
+//! - [`trace`] — a bounded ring buffer of typed [`TraceEvent`]s stamped
+//!   with simulated time (FSM transitions, timer fires, link oscillations,
+//!   CPU-overload episodes, damping hold-downs, queue stalls);
+//! - [`cause`] — the [`Cause`] provenance tag threaded from
+//!   `netsim::router` through `Monitor` to the MRT boundary, so every
+//!   logged BGP update can be attributed to the mechanism that emitted it;
+//! - [`stage`] — the shared per-stage throughput counters the analysis
+//!   pipeline's telemetry is built on.
+//!
+//! ## Determinism contract
+//!
+//! Trace events are stamped with **simulated milliseconds** ([`SimTime`]),
+//! never wall-clock time: the same scenario with the same seed produces the
+//! byte-identical trace. Registry *values* fed from the simulator follow the
+//! same rule; only pipeline telemetry (worker busy time, queue stalls)
+//! measures real elapsed time, because there the wall clock *is* the
+//! quantity under study.
+
+#![warn(missing_docs)]
+
+pub mod cause;
+pub mod registry;
+pub mod stage;
+pub mod trace;
+
+pub use cause::Cause;
+pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry, RegistrySnapshot};
+pub use stage::{StageMetrics, WorkerMetrics};
+pub use trace::{TraceEvent, TraceKind, Tracer};
+
+/// Milliseconds of simulated time (mirrors `iri_netsim::SimTime` without a
+/// dependency on the simulator).
+pub type SimTime = u64;

@@ -1,0 +1,603 @@
+//! The metrics registry: named counters, gauges and log-linear histograms.
+//!
+//! Hot paths pre-register their metrics once and hold the returned id — a
+//! plain index — so recording is an array write behind a single `enabled`
+//! branch. A disabled registry accepts every call and does nothing, which
+//! is what lets the simulator and pipeline keep their instrumentation
+//! compiled in at <5% overhead (measured in `BENCH_obs.json`) and free when
+//! off.
+//!
+//! Registries from independent workers [`merge`](Registry::merge) by metric
+//! name: counters add, gauges keep the maximum (a merged gauge is a
+//! high-water mark), histograms pool their buckets. Snapshots serialise to
+//! JSON for automation (`--metrics-json`).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+// Log-linear bucket layout: values below LINEAR_CUTOFF get exact buckets;
+// above, each power-of-two octave is split into SUB_BUCKETS linear
+// sub-buckets (≤ 1/16 relative error), like HdrHistogram's scheme.
+const LINEAR_CUTOFF: u64 = 64;
+const SUB_BUCKETS: usize = 16;
+const SUB_SHIFT: u32 = 4; // log2(SUB_BUCKETS)
+const FIRST_OCTAVE: u32 = 6; // log2(LINEAR_CUTOFF)
+
+/// A log-linear histogram of `u64` observations.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // ≥ FIRST_OCTAVE
+        let sub = ((v >> (msb - SUB_SHIFT)) as usize) & (SUB_BUCKETS - 1);
+        LINEAR_CUTOFF as usize + ((msb - FIRST_OCTAVE) as usize) * SUB_BUCKETS + sub
+    }
+}
+
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        idx as u64
+    } else {
+        let rel = idx - LINEAR_CUTOFF as usize;
+        let octave = FIRST_OCTAVE + (rel / SUB_BUCKETS) as u32;
+        let sub = (rel % SUB_BUCKETS) as u64;
+        (1u64 << octave) + (sub << (octave - SUB_SHIFT))
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing quantile `q` (clamped to 0..=1).
+    /// Exact below 64; ≤ 1/16 relative error above.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_lower_bound(idx).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Pools another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// The registry. See the [module docs](self) for the usage model.
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, Histogram)>,
+    by_name: BTreeMap<String, (Kind, usize)>,
+}
+
+impl Registry {
+    /// New enabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            ..Registry::default()
+        }
+    }
+
+    /// New disabled registry: registration works, recording is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Registry::default()
+    }
+
+    /// Whether recording is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off (registrations and accumulated values are
+    /// kept either way).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Registers (or looks up) a counter. Idempotent by name.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&(kind, idx)) = self.by_name.get(name) {
+            assert_eq!(kind, Kind::Counter, "{name} registered as {kind:?}");
+            return CounterId(idx);
+        }
+        let idx = self.counters.len();
+        self.counters.push((name.to_owned(), 0));
+        self.by_name.insert(name.to_owned(), (Kind::Counter, idx));
+        CounterId(idx)
+    }
+
+    /// Registers (or looks up) a gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&(kind, idx)) = self.by_name.get(name) {
+            assert_eq!(kind, Kind::Gauge, "{name} registered as {kind:?}");
+            return GaugeId(idx);
+        }
+        let idx = self.gauges.len();
+        self.gauges.push((name.to_owned(), 0));
+        self.by_name.insert(name.to_owned(), (Kind::Gauge, idx));
+        GaugeId(idx)
+    }
+
+    /// Registers (or looks up) a histogram.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(&(kind, idx)) = self.by_name.get(name) {
+            assert_eq!(kind, Kind::Histogram, "{name} registered as {kind:?}");
+            return HistogramId(idx);
+        }
+        let idx = self.histograms.len();
+        self.histograms.push((name.to_owned(), Histogram::new()));
+        self.by_name.insert(name.to_owned(), (Kind::Histogram, idx));
+        HistogramId(idx)
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        if self.enabled {
+            self.counters[id.0].1 += delta;
+        }
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: i64) {
+        if self.enabled {
+            self.gauges[id.0].1 = value;
+        }
+    }
+
+    /// Raises a gauge to `value` if larger (high-water-mark semantics).
+    #[inline]
+    pub fn raise(&mut self, id: GaugeId, value: i64) {
+        if self.enabled {
+            let g = &mut self.gauges[id.0].1;
+            *g = (*g).max(value);
+        }
+    }
+
+    /// Records a histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        if self.enabled {
+            self.histograms[id.0].1.observe(value);
+        }
+    }
+
+    /// Current counter value by name.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.by_name.get(name) {
+            Some(&(Kind::Counter, idx)) => Some(self.counters[idx].1),
+            _ => None,
+        }
+    }
+
+    /// Current gauge value by name.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        match self.by_name.get(name) {
+            Some(&(Kind::Gauge, idx)) => Some(self.gauges[idx].1),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name.
+    #[must_use]
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        match self.by_name.get(name) {
+            Some(&(Kind::Histogram, idx)) => Some(&self.histograms[idx].1),
+            _ => None,
+        }
+    }
+
+    /// Folds another registry in by metric name: counters add, gauges keep
+    /// the maximum, histograms pool. Metrics only present in `other` are
+    /// registered here.
+    pub fn merge(&mut self, other: &Registry) {
+        let was_enabled = self.enabled;
+        // Merging must land even into a currently-disabled accumulator.
+        self.enabled = true;
+        for (name, value) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *value);
+        }
+        for (name, value) in &other.gauges {
+            let id = self.gauge(name);
+            self.raise(id, *value);
+        }
+        for (name, hist) in &other.histograms {
+            let id = self.histogram(name);
+            self.histograms[id.0].1.merge(hist);
+        }
+        self.enabled = was_enabled;
+    }
+
+    /// Serialisable snapshot, metrics sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, &(kind, idx)) in &self.by_name {
+            match kind {
+                Kind::Counter => counters.push(CounterSnapshot {
+                    name: name.clone(),
+                    value: self.counters[idx].1,
+                }),
+                Kind::Gauge => gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: self.gauges[idx].1,
+                }),
+                Kind::Histogram => {
+                    let h = &self.histograms[idx].1;
+                    histograms.push(HistogramSnapshot {
+                        name: name.clone(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                    });
+                }
+            }
+        }
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Human-readable multi-line report (only non-zero metrics).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for c in &snap.counters {
+            if c.value > 0 {
+                let _ = writeln!(out, "  {:<40} {:>12}", c.name, c.value);
+            }
+        }
+        for g in &snap.gauges {
+            if g.value != 0 {
+                let _ = writeln!(out, "  {:<40} {:>12}", g.name, g.value);
+            }
+        }
+        for h in &snap.histograms {
+            if h.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} n={} min={} p50={} p90={} p99={} max={}",
+                    h.name, h.count, h.min, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Point-in-time serialisable view of a [`Registry`].
+#[derive(Debug, Clone, Serialize)]
+pub struct RegistrySnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last (or high-water) value.
+    pub value: i64,
+}
+
+/// One histogram summary in a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median (bucket lower bound).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut r = Registry::new();
+        let c = r.counter("sim.delivered");
+        let g = r.gauge("sim.queue_high_water");
+        r.add(c, 5);
+        r.inc(c);
+        r.set(g, 7);
+        r.raise(g, 3); // lower: ignored
+        r.raise(g, 11);
+        assert_eq!(r.counter_value("sim.delivered"), Some(6));
+        assert_eq!(r.gauge_value("sim.queue_high_water"), Some(11));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.inc(b);
+        assert_eq!(r.counter_value("x"), Some(2));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = Registry::disabled();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        r.add(c, 100);
+        r.set(g, 5);
+        r.observe(h, 42);
+        assert_eq!(r.counter_value("c"), Some(0));
+        assert_eq!(r.gauge_value("g"), Some(0));
+        assert_eq!(r.histogram_ref("h").unwrap().count(), 0);
+        r.set_enabled(true);
+        r.inc(c);
+        assert_eq!(r.counter_value("c"), Some(1));
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_exact_below_cutoff() {
+        for v in 0..LINEAR_CUTOFF {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+        let mut prev = 0;
+        for v in [64u64, 100, 1000, 65_536, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket index must not decrease at {v}");
+            prev = idx;
+            let lower = bucket_lower_bound(idx);
+            assert!(lower <= v, "{lower} > {v}");
+            // ≤ 1/16 relative error.
+            assert!(
+                (v - lower) as f64 <= v as f64 / 16.0 + 1.0,
+                "{v} vs {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((450..=550).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((900..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_pools_buckets() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.observe(v);
+            b.observe(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 0);
+        assert!(a.max() >= 1099);
+        assert!(a.quantile(0.9) >= 1000);
+    }
+
+    #[test]
+    fn merge_by_name() {
+        let mut a = Registry::new();
+        let ca = a.counter("n");
+        a.add(ca, 3);
+        let mut b = Registry::new();
+        let cb = b.counter("n");
+        b.add(cb, 4);
+        let only_b = b.counter("only_b");
+        b.inc(only_b);
+        let gb = b.gauge("peak");
+        b.set(gb, 9);
+        let hb = b.histogram("lat");
+        b.observe(hb, 5);
+        a.merge(&b);
+        assert_eq!(a.counter_value("n"), Some(7));
+        assert_eq!(a.counter_value("only_b"), Some(1));
+        assert_eq!(a.gauge_value("peak"), Some(9));
+        assert_eq!(a.histogram_ref("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let mut r = Registry::new();
+        let c = r.counter("a.count");
+        r.add(c, 2);
+        let h = r.histogram("a.lat_ms");
+        r.observe(h, 10);
+        r.observe(h, 20);
+        let json = serde_json::to_string(&r.snapshot()).unwrap();
+        assert!(json.contains("\"a.count\""), "{json}");
+        assert!(json.contains("\"histograms\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+        let rendered = r.render();
+        assert!(rendered.contains("a.count"));
+        assert!(rendered.contains("n=2"));
+    }
+}

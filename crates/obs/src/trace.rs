@@ -1,0 +1,307 @@
+//! Structured event tracer: a bounded ring buffer of typed events.
+//!
+//! The tracer records *mechanism* events — FSM transitions, timer fires,
+//! link oscillations, overload episodes, damping hold-downs — as opposed to
+//! the per-update [`Cause`](crate::Cause) tags, which ride on the messages
+//! themselves. Together they reconstruct the paper's attribution story: the
+//! trace shows the 30-second heartbeat, the causes show which updates it
+//! emitted.
+//!
+//! Per the crate-level determinism contract, every event is stamped with
+//! simulated milliseconds; a disabled tracer rejects events at the cost of
+//! one branch.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A session FSM changed state (names from `iri_session::fsm::State`).
+    Fsm {
+        /// Remote AS number of the session peer.
+        peer: u32,
+        /// State before the transition.
+        from: &'static str,
+        /// State after the transition.
+        to: &'static str,
+    },
+    /// A router timer fired.
+    TimerFired {
+        /// Remote AS the timer belongs to (0 for router-wide timers).
+        peer: u32,
+        /// Timer name (e.g. "flush", "hold", "keepalive").
+        timer: &'static str,
+    },
+    /// A link lost carrier.
+    LinkDown {
+        /// Link index in the world's link table.
+        link: usize,
+        /// Whether a CSU clock-drift fault drove the transition.
+        csu: bool,
+    },
+    /// A link regained carrier.
+    LinkUp {
+        /// Link index in the world's link table.
+        link: usize,
+        /// Whether a CSU clock-drift fault drove the transition.
+        csu: bool,
+    },
+    /// A router crashed under update load.
+    CpuOverload {
+        /// Updates/sec observed when the router died.
+        load: u64,
+    },
+    /// A crashed router came back and restarted its sessions.
+    RouterRecovered,
+    /// Route-flap damping suppressed a prefix.
+    DampingSuppressed {
+        /// The suppressed prefix, rendered as text.
+        prefix: String,
+        /// Simulated time at which the route becomes reusable.
+        reuse_at: SimTime,
+    },
+    /// A pipeline stage blocked on a full queue.
+    QueueStall {
+        /// Stage name (e.g. "ingest").
+        stage: &'static str,
+        /// How long the stage was blocked (ms).
+        waited_ms: u64,
+    },
+}
+
+impl TraceKind {
+    /// Short kind label for summaries and breakdown tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Fsm { .. } => "fsm",
+            TraceKind::TimerFired { .. } => "timer",
+            TraceKind::LinkDown { .. } => "link_down",
+            TraceKind::LinkUp { .. } => "link_up",
+            TraceKind::CpuOverload { .. } => "cpu_overload",
+            TraceKind::RouterRecovered => "recovered",
+            TraceKind::DampingSuppressed { .. } => "damping",
+            TraceKind::QueueStall { .. } => "queue_stall",
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Fsm { peer, from, to } => write!(f, "fsm peer=AS{peer} {from}->{to}"),
+            TraceKind::TimerFired { peer, timer } => write!(f, "timer {timer} peer=AS{peer}"),
+            TraceKind::LinkDown { link, csu } => {
+                write!(f, "link {link} down{}", if *csu { " (csu)" } else { "" })
+            }
+            TraceKind::LinkUp { link, csu } => {
+                write!(f, "link {link} up{}", if *csu { " (csu)" } else { "" })
+            }
+            TraceKind::CpuOverload { load } => write!(f, "cpu overload at {load} upd/s"),
+            TraceKind::RouterRecovered => f.write_str("router recovered"),
+            TraceKind::DampingSuppressed { prefix, reuse_at } => {
+                write!(f, "damping suppressed {prefix} until t={reuse_at}")
+            }
+            TraceKind::QueueStall { stage, waited_ms } => {
+                write!(f, "{stage} stalled {waited_ms} ms")
+            }
+        }
+    }
+}
+
+/// One trace record: when, where, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated milliseconds (never wall clock).
+    pub time: SimTime,
+    /// AS number of the router the event occurred on (0 for events with no
+    /// single owner, e.g. pipeline stalls).
+    pub router: u32,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t={:>8}ms AS{:<5}] {}",
+            self.time, self.router, self.kind
+        )
+    }
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s. When full, the oldest event is
+/// evicted — the newest events are always retained, and [`Tracer::dropped`]
+/// counts the evictions.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Enabled tracer retaining at most `capacity` events (capacity 0
+    /// drops everything it records).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Disabled tracer: [`record`](Tracer::record) is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether recording is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event, evicting the oldest if the buffer is full.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, router: u32, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+            if self.capacity == 0 {
+                return;
+            }
+        }
+        self.buf.push_back(TraceEvent { time, router, kind });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted (or rejected at capacity 0) so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire() -> TraceKind {
+        TraceKind::TimerFired {
+            peer: 0,
+            timer: "flush",
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let mut tr = Tracer::new(3);
+        for t in 0..10u64 {
+            tr.record(t, 100, fire());
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 7);
+        let times: Vec<u64> = tr.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![7, 8, 9], "oldest evicted, newest retained");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::disabled();
+        tr.record(1, 1, TraceKind::RouterRecovered);
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut tr = Tracer::new(0);
+        tr.record(1, 1, TraceKind::RouterRecovered);
+        tr.record(2, 1, TraceKind::RouterRecovered);
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 2);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let ev = TraceEvent {
+            time: 30_000,
+            router: 3847,
+            kind: TraceKind::Fsm {
+                peer: 237,
+                from: "OpenConfirm",
+                to: "Established",
+            },
+        };
+        let s = ev.to_string();
+        assert!(s.contains("t=   30000ms"), "{s}");
+        assert!(s.contains("AS3847"), "{s}");
+        assert!(s.contains("OpenConfirm->Established"), "{s}");
+        assert_eq!(ev.kind.label(), "fsm");
+    }
+
+    #[test]
+    fn kind_labels_cover_variants() {
+        let kinds = [
+            TraceKind::TimerFired {
+                peer: 1,
+                timer: "hold",
+            },
+            TraceKind::LinkDown { link: 0, csu: true },
+            TraceKind::LinkUp {
+                link: 0,
+                csu: false,
+            },
+            TraceKind::CpuOverload { load: 300 },
+            TraceKind::DampingSuppressed {
+                prefix: "10.0.0.0/8".into(),
+                reuse_at: 60_000,
+            },
+            TraceKind::QueueStall {
+                stage: "ingest",
+                waited_ms: 12,
+            },
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(TraceKind::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len(), "labels must be distinct");
+        for k in &kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -34,6 +34,7 @@ use iri_core::input::{events_from_update, PeerKey, UpdateEvent};
 use iri_core::stats::sinks::StreamSinks;
 use iri_core::Classifier;
 use iri_mrt::{MrtReader, MrtRecord};
+use iri_obs::Registry;
 use std::borrow::Borrow;
 use std::io::Read;
 use std::time::Instant;
@@ -56,6 +57,10 @@ pub struct PipelineConfig {
     pub queue_depth: usize,
     /// Episode quiet threshold for the persistence sink (ms).
     pub quiet_ms: u64,
+    /// Collect fine-grained observability (per-batch latency histograms)
+    /// into [`AnalysisResult::registry`]. Off by default: disabled
+    /// registries cost one branch per batch.
+    pub obs: bool,
 }
 
 impl Default for PipelineConfig {
@@ -65,6 +70,7 @@ impl Default for PipelineConfig {
             batch_size: 8192,
             queue_depth: 8,
             quiet_ms: DEFAULT_QUIET_MS,
+            obs: false,
         }
     }
 }
@@ -99,6 +105,9 @@ pub struct AnalysisResult {
     pub sinks: StreamSinks,
     /// Stage telemetry for this run.
     pub metrics: PipelineMetrics,
+    /// Merged fine-grained metrics (per-batch latency histograms, stall
+    /// times). Empty unless [`PipelineConfig::obs`] was set.
+    pub registry: Registry,
 }
 
 /// Deterministic shard assignment: all events of one `(peer AS, prefix)`
@@ -118,15 +127,26 @@ pub fn shard_of(event: &UpdateEvent, jobs: usize) -> usize {
 }
 
 /// One worker's loop: classify every event of every batch into the
-/// worker-private classifier and sinks, recording busy time.
+/// worker-private classifier and sinks, recording busy time. With `obs`
+/// set, each batch's classification latency also lands in a worker-private
+/// registry histogram (merged after the join — no shared state on the hot
+/// path).
 fn run_worker<T: Borrow<UpdateEvent>>(
     rx: &crossbeam::channel::Receiver<Vec<T>>,
     worker: usize,
     quiet_ms: u64,
-) -> (Classifier, StreamSinks, WorkerMetrics) {
+    obs: bool,
+) -> (Classifier, StreamSinks, WorkerMetrics, Registry) {
     let mut classifier = Classifier::new();
     let mut sinks = StreamSinks::new(quiet_ms);
     let mut metrics = WorkerMetrics::new(worker);
+    let mut registry = if obs {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let batch_us = registry.histogram("pipeline.worker.batch_us");
+    let batch_events = registry.histogram("pipeline.worker.batch_events");
     for batch in rx.iter() {
         let t0 = Instant::now();
         for event in &batch {
@@ -136,8 +156,10 @@ fn run_worker<T: Borrow<UpdateEvent>>(
         metrics.events += batch.len() as u64;
         metrics.batches += 1;
         metrics.busy_ms += t0.elapsed().as_millis() as u64;
+        registry.observe(batch_us, t0.elapsed().as_micros() as u64);
+        registry.observe(batch_events, batch.len() as u64);
     }
-    (classifier, sinks, metrics)
+    (classifier, sinks, metrics, registry)
 }
 
 /// Sends a full batch, charging any queue-full wait to the ingest stage's
@@ -174,7 +196,7 @@ where
     let batch_size = cfg.batch_size.max(1);
     let wall = Instant::now();
     let mut ingest = StageMetrics::default();
-    let mut results: Vec<Option<(Classifier, StreamSinks, WorkerMetrics)>> = Vec::new();
+    let mut results: Vec<Option<(Classifier, StreamSinks, WorkerMetrics, Registry)>> = Vec::new();
     results.resize_with(jobs, || None);
 
     crossbeam::thread::scope(|scope| {
@@ -183,14 +205,13 @@ where
         for worker in 0..jobs {
             let (tx, rx) = crossbeam::channel::bounded::<Vec<T>>(cfg.queue_depth.max(1));
             let quiet_ms = cfg.quiet_ms;
+            let obs = cfg.obs;
             txs.push(tx);
-            handles.push(scope.spawn(move |_| run_worker(&rx, worker, quiet_ms)));
+            handles.push(scope.spawn(move |_| run_worker(&rx, worker, quiet_ms, obs)));
         }
 
         let ingest_t0 = Instant::now();
-        let mut pending: Vec<Vec<T>> = (0..jobs)
-            .map(|_| Vec::with_capacity(batch_size))
-            .collect();
+        let mut pending: Vec<Vec<T>> = (0..jobs).map(|_| Vec::with_capacity(batch_size)).collect();
         {
             let mut push = |shard: usize, event: T| {
                 let batch = &mut pending[shard];
@@ -220,11 +241,17 @@ where
     let mut classifier = Classifier::new();
     let mut sinks = StreamSinks::new(cfg.quiet_ms);
     let mut workers = Vec::with_capacity(jobs);
+    let mut registry = if cfg.obs {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
     for slot in results {
-        let (c, s, m) = slot.expect("worker result");
+        let (c, s, m, r) = slot.expect("worker result");
         classifier.merge(c);
         sinks.merge(s);
         workers.push(m);
+        registry.merge(&r);
     }
     let metrics = PipelineMetrics {
         jobs,
@@ -235,10 +262,14 @@ where
         ingest,
         workers,
     };
+    if cfg.obs {
+        metrics.to_registry(&mut registry);
+    }
     AnalysisResult {
         classifier,
         sinks,
         metrics,
+        registry,
     }
 }
 
@@ -504,6 +535,37 @@ mod tests {
             assert_eq!(result.metrics.total_events, events.len() as u64);
             assert_eq!(result.metrics.jobs, jobs);
         }
+    }
+
+    #[test]
+    fn obs_registry_collects_batch_histograms() {
+        let events = synthetic_stream(5_000);
+        let mut cfg = PipelineConfig::with_jobs(3);
+        cfg.batch_size = 128;
+        cfg.obs = true;
+        let result = analyze_events(&events, &cfg);
+        let h = result
+            .registry
+            .histogram_ref("pipeline.worker.batch_events")
+            .expect("histogram registered");
+        // Every batch observed once, across all workers.
+        assert_eq!(h.count(), result.metrics.ingest.batches);
+        assert_eq!(h.sum(), events.len() as u64);
+        assert_eq!(
+            result.registry.counter_value("pipeline.total_events"),
+            Some(events.len() as u64)
+        );
+        // Off by default: same run without obs yields an empty registry.
+        cfg.obs = false;
+        let quiet = analyze_events(&events, &cfg);
+        assert!(!quiet.registry.is_enabled());
+        assert_eq!(
+            quiet
+                .registry
+                .histogram_ref("pipeline.worker.batch_events")
+                .map_or(0, iri_obs::Histogram::count),
+            0
+        );
     }
 
     #[test]

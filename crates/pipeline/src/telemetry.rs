@@ -1,63 +1,25 @@
 //! Stage telemetry: what the pipeline spent its time on.
 //!
-//! Every run produces a [`PipelineMetrics`] — a serialisable record of
-//! per-stage throughput (records/sec), batch occupancy, queue-full stalls
-//! (backpressure from slow workers) and per-worker busy time. CLIs print
-//! it with [`PipelineMetrics::render`]; automation can serialise it to
-//! JSON.
+//! The per-stage counter types ([`StageMetrics`], [`WorkerMetrics`]) live
+//! in `iri-obs` and are shared with the simulator's registry; this module
+//! assembles them into a per-run [`PipelineMetrics`] — a serialisable
+//! record of per-stage throughput (records/sec), batch occupancy,
+//! queue-full stalls (backpressure from slow workers) and per-worker busy
+//! time. CLIs print it with [`PipelineMetrics::render`]; automation can
+//! serialise it to JSON or fold it into a shared [`Registry`] with
+//! [`PipelineMetrics::to_registry`].
+//!
+//! Unlike the simulator's tracer (which stamps virtual [`SimTime`]
+//! timestamps), pipeline telemetry measures *wall* time: host throughput
+//! is the quantity under study here, and it is the one deliberate
+//! exception to the repo's sim-time-only determinism contract.
+//!
+//! [`SimTime`]: iri_obs::SimTime
 
+use iri_obs::Registry;
 use serde::Serialize;
 
-/// Counters for the ingest stage (read + decode + shard + enqueue).
-#[derive(Debug, Clone, Default, Serialize)]
-pub struct StageMetrics {
-    /// Records (events or items) pushed through the stage.
-    pub records: u64,
-    /// Batches emitted downstream.
-    pub batches: u64,
-    /// Total time spent blocked on a full worker queue (ms).
-    pub stall_ms: u64,
-    /// Wall time the stage was active (ms).
-    pub busy_ms: u64,
-}
-
-impl StageMetrics {
-    /// Records per second over the stage's active time.
-    #[must_use]
-    pub fn records_per_sec(&self) -> f64 {
-        if self.busy_ms == 0 {
-            0.0
-        } else {
-            self.records as f64 * 1000.0 / self.busy_ms as f64
-        }
-    }
-}
-
-/// Counters for one worker (shard).
-#[derive(Debug, Clone, Serialize)]
-pub struct WorkerMetrics {
-    /// Worker index (also the shard index).
-    pub worker: usize,
-    /// Events classified.
-    pub events: u64,
-    /// Batches consumed.
-    pub batches: u64,
-    /// Time spent classifying, excluding channel waits (ms).
-    pub busy_ms: u64,
-}
-
-impl WorkerMetrics {
-    /// Fresh zeroed counters for worker `worker`.
-    #[must_use]
-    pub fn new(worker: usize) -> Self {
-        WorkerMetrics {
-            worker,
-            events: 0,
-            batches: 0,
-            busy_ms: 0,
-        }
-    }
-}
+pub use iri_obs::{StageMetrics, WorkerMetrics};
 
 /// Telemetry for one pipeline run.
 #[derive(Debug, Clone, Serialize)]
@@ -98,6 +60,34 @@ impl PipelineMetrics {
             0.0
         } else {
             self.ingest.records as f64 / (self.ingest.batches as f64 * self.batch_size as f64)
+        }
+    }
+
+    /// Folds the run's counters into `registry` under `pipeline.*` names,
+    /// so a combined metrics dump (simulation + analysis) can come from a
+    /// single [`Registry::snapshot`].
+    pub fn to_registry(&self, registry: &mut Registry) {
+        let pairs: [(&str, u64); 7] = [
+            ("pipeline.total_events", self.total_events),
+            ("pipeline.wall_ms", self.wall_ms),
+            ("pipeline.ingest.records", self.ingest.records),
+            ("pipeline.ingest.batches", self.ingest.batches),
+            ("pipeline.ingest.stall_ms", self.ingest.stall_ms),
+            ("pipeline.ingest.busy_ms", self.ingest.busy_ms),
+            (
+                "pipeline.worker.events",
+                self.workers.iter().map(|w| w.events).sum(),
+            ),
+        ];
+        for (name, value) in pairs {
+            let id = registry.counter(name);
+            registry.add(id, value);
+        }
+        let jobs = registry.gauge("pipeline.jobs");
+        registry.set(jobs, self.jobs as i64);
+        let busy = registry.histogram("pipeline.worker.busy_ms");
+        for w in &self.workers {
+            registry.observe(busy, w.busy_ms);
         }
     }
 
@@ -212,6 +202,20 @@ mod tests {
     }
 
     #[test]
+    fn sub_millisecond_ingest_reports_finite_rate() {
+        // The shared StageMetrics floors busy time at 1 ms: a stage that
+        // processed records faster than the clock resolution must not
+        // report 0 records/sec.
+        let m = StageMetrics {
+            records: 500,
+            batches: 1,
+            stall_ms: 0,
+            busy_ms: 0,
+        };
+        assert!((m.records_per_sec() - 500_000.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn render_mentions_every_stage() {
         let text = sample().render();
         assert!(text.contains("2 workers"));
@@ -227,5 +231,19 @@ mod tests {
         assert!(json.contains("\"jobs\":2"));
         assert!(json.contains("\"stall_ms\":3"));
         assert!(json.contains("\"workers\":["));
+    }
+
+    #[test]
+    fn to_registry_exports_run_counters() {
+        let mut r = Registry::new();
+        sample().to_registry(&mut r);
+        assert_eq!(r.counter_value("pipeline.total_events"), Some(1500));
+        assert_eq!(r.counter_value("pipeline.ingest.stall_ms"), Some(3));
+        assert_eq!(r.counter_value("pipeline.worker.events"), Some(1500));
+        assert_eq!(r.gauge_value("pipeline.jobs"), Some(2));
+        assert_eq!(
+            r.histogram_ref("pipeline.worker.busy_ms").unwrap().count(),
+            2
+        );
     }
 }

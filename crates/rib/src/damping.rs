@@ -214,6 +214,23 @@ impl RouteDamper {
         }
     }
 
+    /// Exports the damper's state into an observability registry under
+    /// `scope` (e.g. `"damping.as690.peer_as701"`): cumulative suppressed
+    /// updates, tracked prefixes, and how many are held down at `now`.
+    pub fn export_metrics(&self, registry: &mut iri_obs::Registry, scope: &str, now: Millis) {
+        let suppressed = registry.counter(&format!("{scope}.suppressed_updates"));
+        registry.add(suppressed, self.suppressed_count);
+        let tracked = registry.gauge(&format!("{scope}.tracked_prefixes"));
+        registry.set(tracked, self.tracked() as i64);
+        let held = self
+            .state
+            .keys()
+            .filter(|&&pfx| self.is_suppressed(pfx, now))
+            .count();
+        let held_down = registry.gauge(&format!("{scope}.held_down"));
+        registry.set(held_down, held as i64);
+    }
+
     /// Sweeps fully-decayed entries (penalty < half the reuse threshold) to
     /// bound memory, as real implementations do on their reuse lists.
     pub fn sweep(&mut self, now: Millis) {

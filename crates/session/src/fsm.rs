@@ -32,6 +32,21 @@ pub enum State {
     Established,
 }
 
+impl State {
+    /// RFC state name, for trace events and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Idle => "Idle",
+            State::Connect => "Connect",
+            State::Active => "Active",
+            State::OpenSent => "OpenSent",
+            State::OpenConfirm => "OpenConfirm",
+            State::Established => "Established",
+        }
+    }
+}
+
 /// Inputs to the FSM.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {

@@ -127,7 +127,9 @@ impl Cursor {
     fn expect_ident(&mut self) -> Result<String, String> {
         match self.next() {
             Some(TokenTree::Ident(i)) => Ok(i.to_string()),
-            other => Err(format!("serde shim derive: expected identifier, found {other:?}")),
+            other => Err(format!(
+                "serde shim derive: expected identifier, found {other:?}"
+            )),
         }
     }
 }
@@ -186,7 +188,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 "serde shim derive: unsupported enum body for `{name}`: {other:?}"
             )),
         },
-        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
     }
 }
 
