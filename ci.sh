@@ -24,4 +24,12 @@ cargo fmt --check
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --workspace
 
+echo "==> store equivalence at paper scale (3M records, release)"
+IRI_EQUIV_RECORDS=3000000 cargo test --release -q -p iri-bench --test store_equivalence
+
+echo "==> bench_store (regenerates BENCH_store.json)"
+cargo run --release -q -p iri-bench --bin bench_store
+python3 -m json.tool BENCH_store.json > /dev/null
+echo "    BENCH_store.json is well-formed JSON"
+
 echo "ci: all green"

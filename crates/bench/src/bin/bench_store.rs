@@ -1,0 +1,281 @@
+//! `bench_store` — segment-store benchmark (`BENCH_store.json`).
+//!
+//! Generates a synthetic MRT log (3M records by default, same generator as
+//! `mrtgen`), then prices the `iri-store` subsystem end to end:
+//!
+//! - **ingest**: classify + archive in one pass at 1 and 4 workers,
+//!   against the plain streaming analysis as the baseline;
+//! - **equivalence**: the report replayed from the store must render
+//!   byte-identical to the streaming report;
+//! - **queries**: grouped counts and time-windowed scans, recording how
+//!   much of the archive the zone maps pruned (`prune_ratio` must be > 0
+//!   for the windowed queries — that is the whole point of the format);
+//! - **compaction**: a no-op on an already-canonical store.
+//!
+//! ```sh
+//! bench_store [--records N] [--out BENCH_store.json] [--dir target/bench_store.store]
+//! ```
+
+use iri_bench::{
+    arg_str, arg_u64, report_from_analysis, report_from_store, write_synthetic_log, GenLogConfig,
+};
+use iri_bgp::types::Asn;
+use iri_mrt::{MrtReader, MrtWriter};
+use iri_pipeline::PipelineConfig;
+use iri_store::{compact, ingest_mrt, IngestConfig, Query, ScanStats, Store};
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::time::Instant;
+
+/// One timed ingest configuration.
+#[derive(Serialize)]
+struct IngestRun {
+    jobs: usize,
+    wall_ms: u64,
+    records_per_sec: f64,
+}
+
+/// One timed query.
+#[derive(Serialize)]
+struct QueryRun {
+    name: &'static str,
+    wall_us: u64,
+    rows_matched: u64,
+    prune_ratio: f64,
+    segments_scanned: u64,
+    bytes_scanned: u64,
+}
+
+/// The `BENCH_store.json` payload.
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    records: u64,
+    events: u64,
+    seed: u64,
+    gen_wall_ms: u64,
+    mrt_bytes: u64,
+    store_bytes: u64,
+    bytes_per_event: f64,
+    streaming_wall_ms: u64,
+    ingest: Vec<IngestRun>,
+    replay_wall_ms: u64,
+    reports_identical: bool,
+    compact_wall_ms: u64,
+    compact_was_noop: bool,
+    queries: Vec<QueryRun>,
+    /// Best prune ratio among the time-windowed queries — the acceptance
+    /// gate: the zone maps must eliminate work on windowed queries.
+    windowed_prune_ratio: f64,
+}
+
+fn query_run(name: &'static str, wall_us: u64, stats: &ScanStats) -> QueryRun {
+    QueryRun {
+        name,
+        wall_us,
+        rows_matched: stats.rows_matched,
+        prune_ratio: stats.prune_ratio(),
+        segments_scanned: stats.segments_scanned,
+        bytes_scanned: stats.bytes_scanned,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = GenLogConfig {
+        records: arg_u64(&args, "--records", 3_000_000),
+        ..GenLogConfig::default()
+    };
+    let out = arg_str(&args, "--out").unwrap_or_else(|| "BENCH_store.json".to_owned());
+    let dir = arg_str(&args, "--dir").unwrap_or_else(|| "target/bench_store.store".to_owned());
+    let dir = Path::new(&dir);
+    let log_path = "target/bench_store.mrt";
+
+    println!(
+        "bench_store: generating {} records at {log_path}",
+        cfg.records
+    );
+    let gen_start = Instant::now();
+    let file = File::create(log_path).unwrap_or_else(|e| {
+        eprintln!("bench_store: cannot create {log_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut writer = MrtWriter::new(BufWriter::new(file));
+    let (written, span) = write_synthetic_log(&mut writer, &cfg).expect("generate log");
+    drop(writer);
+    let gen_wall_ms = gen_start.elapsed().as_millis() as u64;
+    let mrt_bytes = std::fs::metadata(log_path).map_or(0, |m| m.len());
+    println!(
+        "  {written} records, {span}s span, {gen_wall_ms} ms, {} KiB",
+        mrt_bytes / 1024
+    );
+
+    // Streaming baseline: the plain pipeline report, no archiving.
+    let streaming_start = Instant::now();
+    let mut reader = MrtReader::new(BufReader::new(File::open(log_path).unwrap()));
+    let (baseline, _records) =
+        iri_pipeline::analyze_mrt(&mut reader, 0, &PipelineConfig::with_jobs(4));
+    let streaming_wall_ms = streaming_start.elapsed().as_millis().max(1) as u64;
+    let baseline_render = report_from_analysis(&baseline).render();
+    println!("  streaming report (jobs=4): {streaming_wall_ms} ms");
+
+    // Ingest at 1 and 4 workers (the 4-worker store is the one queried).
+    let mut ingest_runs = Vec::new();
+    let mut events = 0u64;
+    for jobs in [1usize, 4] {
+        let mut reader = MrtReader::new(BufReader::new(File::open(log_path).unwrap()));
+        let start = Instant::now();
+        let outcome = ingest_mrt(
+            dir,
+            &mut reader,
+            0,
+            &IngestConfig::default().with_jobs(jobs),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("bench_store: ingest: {e}");
+            std::process::exit(1);
+        });
+        let wall_ms = start.elapsed().as_millis().max(1) as u64;
+        events = outcome.manifest.total_events;
+        println!(
+            "  ingest jobs={jobs}: {wall_ms} ms ({:.0} records/s, {} segments)",
+            written as f64 * 1000.0 / wall_ms as f64,
+            outcome.manifest.segments.len()
+        );
+        ingest_runs.push(IngestRun {
+            jobs,
+            wall_ms,
+            records_per_sec: written as f64 * 1000.0 / wall_ms as f64,
+        });
+    }
+    let store_bytes: u64 = {
+        let store = Store::open(dir).expect("open store");
+        store.manifest().segments.iter().map(|s| s.bytes).sum()
+    };
+    println!(
+        "  store: {} KiB ({:.2} bytes/event vs {:.2} MRT bytes/record)",
+        store_bytes / 1024,
+        store_bytes as f64 / events.max(1) as f64,
+        mrt_bytes as f64 / written.max(1) as f64
+    );
+
+    // Equivalence: replaying the archive must reproduce the streaming
+    // report byte for byte.
+    let mut store = Store::open(dir).expect("open store");
+    let replay_start = Instant::now();
+    let (replayed, _stats) = report_from_store(&mut store).expect("replay store");
+    let replay_wall_ms = replay_start.elapsed().as_millis().max(1) as u64;
+    let reports_identical = replayed.render() == baseline_render;
+    println!("  replayed report: {replay_wall_ms} ms, identical: {reports_identical}");
+    assert!(
+        reports_identical,
+        "store-backed report must match the streaming report byte for byte"
+    );
+
+    // Compaction on a store the writer just produced is a no-op: every
+    // chain is already canonical at the configured segment size.
+    let compact_start = Instant::now();
+    let creport = compact(dir, store.manifest().segment_rows).expect("compact");
+    let compact_wall_ms = compact_start.elapsed().as_millis().max(1) as u64;
+    let compact_was_noop = creport.shards_rewritten == 0;
+
+    // Queries. The span is in seconds in the generator; windowed queries
+    // take a 1-hour slice out of the middle of the trace.
+    let span_ms = store.manifest().max_time_ms - store.manifest().min_time_ms;
+    let mid = store.manifest().min_time_ms + span_ms / 2;
+    let hour = Query::default().time_range_ms(mid, mid + 3_600_000);
+    let mut queries = Vec::new();
+
+    let start = Instant::now();
+    let (_counts, stats) = store.count_by_class(&Query::default()).expect("query");
+    queries.push(query_run(
+        "count_by_class_full",
+        start.elapsed().as_micros() as u64,
+        &stats,
+    ));
+
+    let start = Instant::now();
+    let (_counts, stats) = store.count_by_class(&hour).expect("query");
+    queries.push(query_run(
+        "count_by_class_1h",
+        start.elapsed().as_micros() as u64,
+        &stats,
+    ));
+
+    let start = Instant::now();
+    let (peer_rows, stats) = store.count_by_peer(&hour).expect("query");
+    queries.push(query_run(
+        "count_by_peer_1h",
+        start.elapsed().as_micros() as u64,
+        &stats,
+    ));
+
+    // The busiest peer from the previous query — the generator's peer ASNs
+    // start at 7000, so a hard-coded ASN would bloom-prune to zero rows.
+    let busiest = peer_rows.first().map_or(Asn(7000), |&(asn, _)| asn);
+    let start = Instant::now();
+    let (_total, stats) = store.sum_bytes(&hour.clone().peer(busiest)).expect("query");
+    queries.push(query_run(
+        "sum_bytes_peer_1h",
+        start.elapsed().as_micros() as u64,
+        &stats,
+    ));
+
+    let start = Instant::now();
+    let (_series, stats) = store.time_series(&hour, 60_000).expect("query");
+    queries.push(query_run(
+        "time_series_1h_1m",
+        start.elapsed().as_micros() as u64,
+        &stats,
+    ));
+
+    for q in &queries {
+        println!(
+            "  query {:<22} {:>8} us  pruned {:>5.1}%  {} rows",
+            q.name,
+            q.wall_us,
+            100.0 * q.prune_ratio,
+            q.rows_matched
+        );
+    }
+    let windowed_prune_ratio = queries
+        .iter()
+        .filter(|q| q.name.ends_with("_1h") || q.name.ends_with("_1m"))
+        .map(|q| q.prune_ratio)
+        .fold(0.0f64, f64::max);
+    assert!(
+        windowed_prune_ratio > 0.0,
+        "zone maps must prune time-windowed queries"
+    );
+
+    let report = BenchReport {
+        schema: "bench-store-v1",
+        records: written,
+        events,
+        seed: cfg.seed,
+        gen_wall_ms,
+        mrt_bytes,
+        store_bytes,
+        bytes_per_event: store_bytes as f64 / events.max(1) as f64,
+        streaming_wall_ms,
+        ingest: ingest_runs,
+        replay_wall_ms,
+        reports_identical,
+        compact_wall_ms,
+        compact_was_noop,
+        queries,
+        windowed_prune_ratio,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("bench_store: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "bench_store: wrote {out}; windowed prune ratio {:.1}%, reports identical: {}",
+        100.0 * report.windowed_prune_ratio,
+        report.reports_identical
+    );
+}

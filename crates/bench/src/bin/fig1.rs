@@ -8,13 +8,12 @@
 use iri_netsim::{build_exchange, provider_mix, ExchangePoint, World, SECOND};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = iri_bench::arg_f64(&args, "--scale", 0.1);
-    iri_bench::banner(
+    let args = iri_bench::experiment_args(
         "Figure 1 — Map of major U.S. Internet exchange points",
         "five exchanges; Mae-East largest with 60+ providers; route servers \
          peer with >90% of providers",
     );
+    let scale = iri_bench::arg_f64(&args, "--scale", 0.1);
 
     println!(
         "{:<14} {:>16} {:>14} {:>18} {:>14}",

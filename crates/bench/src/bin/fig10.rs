@@ -5,21 +5,19 @@
 //! comes from the growth model, cross-validated against route-server
 //! censuses from sampled simulated days.
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_topology::growth::{linear_fit, multihomed_series};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.05);
-    let days = arg_u64(&args, "--days", 270) as u32; // Apr–Dec
-    banner(
+    let ex = experiment(
         "Figure 10 — multihomed prefixes (Apr–Dec 1996)",
         ">25% of prefixes multihomed; growth at best linear; end-of-May \
          spike from the upgrade incident",
+        0.05,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
-    let series = multihomed_series(&graph, days);
+    let days = arg_u64(&ex.args, "--days", 270) as u32; // Apr–Dec
+    let graph = &ex.graph;
+    let series = multihomed_series(graph, days);
     let total = graph.prefix_count();
 
     // Print a weekly-sampled series with a sparkline.
@@ -55,7 +53,7 @@ fn main() {
 
     // Cross-validate against simulated route-server censuses.
     let check_days = [10u32, 100, 200];
-    let summaries = run_days(&cfg, &graph, check_days.iter().copied());
+    let summaries = ex.run_days(check_days.iter().copied());
     println!("\ncross-check against simulated RS table censuses:");
     for s in &summaries {
         let model = graph.multihomed_count(s.day);

@@ -4,23 +4,21 @@
 //! WWDup (excluded from the plot, reported alongside) is the largest class
 //! overall.
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::report::render_figure2;
 use iri_core::stats::breakdown::ClassBreakdown;
 use iri_core::taxonomy::UpdateClass;
 use iri_topology::events::Calendar;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.1);
-    let days_per_month = arg_u64(&args, "--days-per-month", 3) as u32;
-    banner(
+    let ex = experiment(
         "Figure 2 — breakdown of Mae-East routing updates (Apr–Sep 1996)",
         "AADup and WADup consistently dominate AADiff/WADiff; WWDup is the \
          overall majority (excluded from the plot)",
+        0.1,
     );
+    let days_per_month = arg_u64(&ex.args, "--days-per-month", 3) as u32;
 
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
     // Sample days from each month April..September.
     let month_starts = [0u32, 30, 61, 91, 122, 153];
     let month_names = ["April", "May", "June", "July", "August", "September"];
@@ -28,7 +26,8 @@ fn main() {
         .iter()
         .flat_map(|&start| (0..days_per_month).map(move |i| start + 2 + i * 7))
         .collect();
-    let summaries = run_days(&cfg, &graph, sample_days.iter().copied());
+    let summaries = ex.run_days(sample_days.iter().copied());
+    let graph = &ex.graph;
 
     let mut periods: Vec<(String, ClassBreakdown)> = Vec::new();
     for (mi, &start) in month_starts.iter().enumerate() {

@@ -7,28 +7,26 @@
 //! rises with the linear growth trend (paper: 345 → 770 updates per
 //! 10-minute aggregate from March to September).
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::stats::density::density_grid;
 use iri_topology::events::Calendar;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.03);
-    let days = arg_u64(&args, "--days", 161) as u32; // 23 weeks: Apr 1 – mid-Sep
-    let start = arg_u64(&args, "--start", 0) as u32; // Apr 1
-    banner(
+    let ex = experiment(
         "Figure 3 — instability density (10-minute aggregates, detrended log)",
         "quiet nights, dense business hours, light weekends, bold incident \
          stripes end of May, 10am maintenance line, linear growth",
+        0.03,
     );
+    let days = arg_u64(&ex.args, "--days", 161) as u32; // 23 weeks: Apr 1 – mid-Sep
+    let start = arg_u64(&ex.args, "--start", 0) as u32; // Apr 1
 
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
     // The 1996 collectors lost whole days ("our data collection
     // infrastructure failed for the day…"); model the white columns with a
     // deterministic ~6% day-loss process and skip simulating those days.
     let lost = |d: u32| d.wrapping_mul(2_654_435_761) % 17 == 3;
     let run_list: Vec<u32> = (start..start + days).filter(|&d| !lost(d)).collect();
-    let summaries = run_days(&cfg, &graph, run_list.iter().copied());
+    let summaries = ex.run_days(run_list.iter().copied());
     let mut day_bins: Vec<Option<[u64; 144]>> = Vec::with_capacity(days as usize);
     let mut si = 0usize;
     for d in start..start + days {

@@ -5,22 +5,19 @@
 //! Shape targets: weekday bell curves peaking in the afternoon; low
 //! weekends; Saturdays may carry a temporally localized spike.
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_topology::events::Calendar;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.05);
-    // Day 124 = Saturday August 3 1996, the paper's week.
-    let start = arg_u64(&args, "--start", 124) as u32;
-    banner(
+    let ex = experiment(
         "Figure 4 — representative week of instability updates (10-min bins)",
         "bell-shaped weekday curves peaking in the afternoon; quiet \
          weekends; Saturday spike possible (Aug 3–9, 1996)",
+        0.05,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
-    let summaries = run_days(&cfg, &graph, start..start + 7);
+    // Day 124 = Saturday August 3 1996, the paper's week.
+    let start = arg_u64(&ex.args, "--start", 124) as u32;
+    let summaries = ex.run_days(start..start + 7);
 
     let mut weekday_total = 0u64;
     let mut weekend_total = 0u64;

@@ -6,7 +6,7 @@
 //! components split into a weekly pair (ranks 1–2) and daily components
 //! (ranks 3–5).
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::report::{render_figure5a, render_figure5b};
 use iri_core::timeseries::detrend::log_detrend;
 use iri_core::timeseries::mem::burg_spectrum;
@@ -14,18 +14,15 @@ use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
 use iri_core::timeseries::ssa::ssa_components;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.03);
-    let start = arg_u64(&args, "--start", 122) as u32; // Aug 1
-    let days = arg_u64(&args, "--days", 56) as u32; // 8 weeks Aug–Sep
-    banner(
+    let ex = experiment(
         "Figure 5 — spectra and SSA of hourly update aggregates (Aug–Sep)",
         "FFT and MEM both find significant frequencies at 24 hours and 7 \
          days; SSA components 1–2 are the weekly cycle, 3–5 the daily",
+        0.03,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
-    let summaries = run_days(&cfg, &graph, start..start + days);
+    let start = arg_u64(&ex.args, "--start", 122) as u32; // Aug 1
+    let days = arg_u64(&ex.args, "--days", 56) as u32; // 8 weeks Aug–Sep
+    let summaries = ex.run_days(start..start + days);
 
     // Hourly series across the whole window.
     let mut hourly: Vec<f64> = Vec::with_capacity(summaries.len() * 24);

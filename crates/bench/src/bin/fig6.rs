@@ -5,23 +5,21 @@
 //! between table share and update share); no single AS dominates all four
 //! categories; the big-ISP cluster is visible at large x.
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::stats::contribution::{consistent_dominator, share_correlation, ContributionPoint};
 use iri_core::taxonomy::UpdateClass;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.12);
-    let start = arg_u64(&args, "--start", 122) as u32; // Aug 1
-    let days = arg_u64(&args, "--days", 10) as u32;
-    banner(
+    let ex = experiment(
         "Figure 6 — AS table share vs update share (per day, per class)",
         "no correlation between AS size and update share; no single AS \
          dominates all four categories",
+        0.12,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
-    let summaries = run_days(&cfg, &graph, start..start + days);
+    let start = arg_u64(&ex.args, "--start", 122) as u32; // Aug 1
+    let days = arg_u64(&ex.args, "--days", 10) as u32;
+    let summaries = ex.run_days(start..start + days);
+    let graph = &ex.graph;
 
     // The summary flattens the four categories in FIGURE_CATEGORIES order,
     // one block of |providers| points per class.

@@ -6,23 +6,20 @@
 //! categories (AADup/WADup) carry heavy tails where high-count pairs
 //! contribute several percent.
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::report::render_figure7;
 use iri_core::taxonomy::UpdateClass;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.05);
-    let start = arg_u64(&args, "--start", 122) as u32;
-    let days = arg_u64(&args, "--days", 10) as u32;
-    banner(
+    let ex = experiment(
         "Figure 7 — Prefix+AS cumulative update distributions (August)",
         "80–100% of instability from pairs with <50 daily events; WADiff \
          plateaus fastest; AADup/WADup carry heavy tails",
+        0.05,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
-    let summaries = run_days(&cfg, &graph, start..start + days);
+    let start = arg_u64(&ex.args, "--start", 122) as u32;
+    let days = arg_u64(&ex.args, "--days", 10) as u32;
+    let summaries = ex.run_days(start..start + days);
 
     // Aggregate view: median cumulative-at-50 per class across days.
     for (ci, class) in UpdateClass::FIGURE_CATEGORIES.iter().enumerate() {

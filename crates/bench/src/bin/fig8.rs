@@ -5,24 +5,21 @@
 //! half of the mass in every category — the signature of the unjittered
 //! 30-second interval timer (and CSU beats locked to it).
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::report::render_figure8;
 use iri_core::stats::interarrival::{summarize_interarrival, DayInterarrival};
 use iri_core::taxonomy::UpdateClass;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.05);
-    let start = arg_u64(&args, "--start", 122) as u32;
-    let days = arg_u64(&args, "--days", 10) as u32;
-    banner(
+    let ex = experiment(
         "Figure 8 — update inter-arrival histograms (Prefix+AS, log bins)",
         "the 30s and 1m bins dominate every category, together holding \
          about half the mass (30/60-second periodicity)",
+        0.05,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
-    let summaries = run_days(&cfg, &graph, start..start + days);
+    let start = arg_u64(&ex.args, "--start", 122) as u32;
+    let days = arg_u64(&ex.args, "--days", 10) as u32;
+    let summaries = ex.run_days(start..start + days);
 
     for (ci, class) in UpdateClass::FIGURE_CATEGORIES.iter().enumerate() {
         let daily: Vec<DayInterarrival> = summaries

@@ -6,26 +6,23 @@
 //! (median ≈50 %); over 80 % of routes are instability-free on a typical
 //! day.
 
-use iri_bench::{arg_f64, arg_u64, banner, run_days, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::taxonomy::UpdateClass;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.05);
-    let days_per_month = arg_u64(&args, "--days-per-month", 3) as u32;
-    banner(
+    let ex = experiment(
         "Figure 9 — proportion of routes affected per day (Apr–Sep)",
         "3–10% WADiff, 5–20% AADiff, any-category 35–100% (median ~50%), \
          >80% of routes stable",
+        0.05,
     );
-
-    let (cfg, graph) = ExperimentConfig::at_scale(scale);
+    let days_per_month = arg_u64(&ex.args, "--days-per-month", 3) as u32;
     let month_starts = [0u32, 30, 61, 91, 122, 153];
     let sample_days: Vec<u32> = month_starts
         .iter()
         .flat_map(|&m| (0..days_per_month).map(move |i| m + 3 + i * 9))
         .collect();
-    let summaries = run_days(&cfg, &graph, sample_days.iter().copied());
+    let summaries = ex.run_days(sample_days.iter().copied());
 
     println!(
         "{:>5} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",

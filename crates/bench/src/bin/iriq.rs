@@ -1,0 +1,280 @@
+//! `iriq` — query CLI for `iri-store` segment archives.
+//!
+//! Answers the paper's slices straight from a classified archive (written
+//! by `mrtstat --store`, `tracescope --store`, or a figure binary's
+//! `--store` day cache) without re-parsing or re-simulating anything:
+//!
+//! ```sh
+//! iriq <dir> info                          # manifest + layout
+//! iriq <dir> count-by-class [filters]      # §4 taxonomy breakdown
+//! iriq <dir> count-by-cause [filters]      # provenance attribution
+//! iriq <dir> top-peers   [--limit N]       # Figure 4's by-peer shape
+//! iriq <dir> top-prefixes [--limit N]      # Figure 5's by-prefix shape
+//! iriq <dir> bytes [filters]               # §3 bandwidth view
+//! iriq <dir> series --bin-ms N [--spectrum]  # §5.2 FFT-of-ACF periods
+//! ```
+//!
+//! Filters compose conjunctively: `--from-ms A --to-ms B` (half-open),
+//! `--day D` (shorthand for one cached simulated day), `--peer ASN`,
+//! `--prefix a.b.c.d/len`, `--class AADup`, `--cause CsuDrift`. Add
+//! `--stats` to print how much of the archive the zone maps pruned.
+
+use iri_bench::{arg_str, arg_u64};
+use iri_core::taxonomy::UpdateClass;
+use iri_core::timeseries::detrend::log_detrend;
+use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
+use iri_obs::Cause;
+use iri_store::{Query, ScanStats, Store};
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: iriq <dir> <info|count-by-class|count-by-cause|top-peers|top-prefixes|bytes|series>\n\
+         filters: [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix P] \
+         [--class NAME] [--cause NAME] [--stats]\n\
+         series:  --bin-ms N [--spectrum]   top-*: [--limit N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_class(name: &str) -> UpdateClass {
+    UpdateClass::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("iriq: unknown class {name:?}; one of:");
+            for c in UpdateClass::ALL {
+                eprintln!("  {}", c.label());
+            }
+            std::process::exit(2);
+        })
+}
+
+fn parse_cause(name: &str) -> Cause {
+    Cause::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("iriq: unknown cause {name:?}; one of:");
+            for c in Cause::ALL {
+                eprintln!("  {}", c.label());
+            }
+            std::process::exit(2);
+        })
+}
+
+/// Builds the conjunctive filter from the command line.
+fn query_from_args(args: &[String]) -> Query {
+    let mut q = Query::default();
+    if let Some(day) = arg_str(args, "--day") {
+        let day: u64 = day.parse().unwrap_or_else(|_| usage());
+        let day_ms = iri_bench::store_cache::DAY_MS;
+        q = q.time_range_ms(day * day_ms, (day + 1) * day_ms);
+    }
+    let from = arg_u64(args, "--from-ms", q.from_ms);
+    let to = arg_u64(
+        args,
+        "--to-ms",
+        if q.to_ms == u64::MAX {
+            u64::MAX
+        } else {
+            q.to_ms
+        },
+    );
+    q = q.time_range_ms(from, to);
+    if let Some(asn) = arg_str(args, "--peer") {
+        let asn = asn
+            .trim_start_matches("AS")
+            .parse()
+            .unwrap_or_else(|_| usage());
+        q = q.peer(iri_bgp::types::Asn(asn));
+    }
+    if let Some(p) = arg_str(args, "--prefix") {
+        q = q.prefix(p.parse().unwrap_or_else(|_| usage()));
+    }
+    if let Some(c) = arg_str(args, "--class") {
+        q = q.class(parse_class(&c));
+    }
+    if let Some(c) = arg_str(args, "--cause") {
+        q = q.cause(parse_cause(&c));
+    }
+    q
+}
+
+fn print_stats(args: &[String], stats: &ScanStats) {
+    if !args.iter().any(|a| a == "--stats") {
+        return;
+    }
+    println!(
+        "\n[scan] {} segments: {} pruned, {} zone-answered, {} scanned \
+         (prune ratio {:.1}%); {} of {} KiB read, {} rows tested, {} matched",
+        stats.segments_total,
+        stats.segments_pruned,
+        stats.segments_zone_answered,
+        stats.segments_scanned,
+        100.0 * stats.prune_ratio(),
+        stats.bytes_scanned / 1024,
+        stats.bytes_total / 1024,
+        stats.rows_scanned,
+        stats.rows_matched
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(dir), Some(cmd)) = (args.get(1), args.get(2)) else {
+        usage()
+    };
+    let mut store = Store::open(Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("iriq: cannot open store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let q = query_from_args(&args);
+
+    match cmd.as_str() {
+        "info" => {
+            let m = store.manifest();
+            println!("store:        {dir}");
+            println!("events:       {}", m.total_events);
+            println!(
+                "segments:     {} ({} rows each)",
+                m.segments.len(),
+                m.segment_rows
+            );
+            println!(
+                "time span:    {} – {} ms ({:.1} h)",
+                m.min_time_ms,
+                m.max_time_ms,
+                (m.max_time_ms.saturating_sub(m.min_time_ms)) as f64 / 3_600_000.0
+            );
+            println!("mrt records:  {}", m.records_read);
+            let bytes: u64 = m.segments.iter().map(|s| s.bytes).sum();
+            println!(
+                "on disk:      {} KiB ({:.1} bytes/event)",
+                bytes / 1024,
+                bytes as f64 / m.total_events.max(1) as f64
+            );
+            let shards = m
+                .segments
+                .iter()
+                .map(|s| s.shard)
+                .collect::<std::collections::BTreeSet<_>>();
+            println!("shards used:  {} of {}", shards.len(), m.logical_shards);
+        }
+        "count-by-class" => {
+            let (counts, stats) = store.count_by_class(&q).unwrap_or_else(|e| {
+                eprintln!("iriq: {e}");
+                std::process::exit(1);
+            });
+            let total: u64 = counts.iter().sum();
+            for class in UpdateClass::ALL {
+                let n = counts[class.index()];
+                if n > 0 {
+                    println!(
+                        "{:<14} {:>10}  ({:>5.1}%)",
+                        class.label(),
+                        n,
+                        100.0 * n as f64 / total.max(1) as f64
+                    );
+                }
+            }
+            println!("{:<14} {total:>10}", "total");
+            print_stats(&args, &stats);
+        }
+        "count-by-cause" => {
+            let (counts, stats) = store.count_by_cause(&q).unwrap_or_else(|e| {
+                eprintln!("iriq: {e}");
+                std::process::exit(1);
+            });
+            let total: u64 = counts.iter().sum();
+            for cause in Cause::ALL {
+                let n = counts[cause.index()];
+                if n > 0 {
+                    println!(
+                        "{:<14} {:>10}  ({:>5.1}%)",
+                        cause.label(),
+                        n,
+                        100.0 * n as f64 / total.max(1) as f64
+                    );
+                }
+            }
+            println!("{:<14} {total:>10}", "total");
+            print_stats(&args, &stats);
+        }
+        "top-peers" => {
+            let limit = arg_u64(&args, "--limit", 10) as usize;
+            let (rows, stats) = store.count_by_peer(&q).unwrap_or_else(|e| {
+                eprintln!("iriq: {e}");
+                std::process::exit(1);
+            });
+            for (asn, n) in rows.iter().take(limit) {
+                println!("{:<10} {n:>10}", asn.to_string());
+            }
+            print_stats(&args, &stats);
+        }
+        "top-prefixes" => {
+            let limit = arg_u64(&args, "--limit", 10) as usize;
+            let (rows, stats) = store.count_by_prefix(&q).unwrap_or_else(|e| {
+                eprintln!("iriq: {e}");
+                std::process::exit(1);
+            });
+            for (prefix, n) in rows.iter().take(limit) {
+                println!("{prefix:<20} {n:>10}");
+            }
+            print_stats(&args, &stats);
+        }
+        "bytes" => {
+            let (total, stats) = store.sum_bytes(&q).unwrap_or_else(|e| {
+                eprintln!("iriq: {e}");
+                std::process::exit(1);
+            });
+            println!("{total} NLRI wire bytes match");
+            print_stats(&args, &stats);
+        }
+        "series" => {
+            let bin_ms = arg_u64(&args, "--bin-ms", 3_600_000);
+            let (series, stats) = store.time_series(&q, bin_ms).unwrap_or_else(|e| {
+                eprintln!("iriq: {e}");
+                std::process::exit(1);
+            });
+            let total: u64 = series.iter().sum();
+            let max = series.iter().copied().max().unwrap_or(0);
+            println!(
+                "{} bins of {bin_ms} ms: {total} events, peak bin {max}",
+                series.len()
+            );
+            // Down-sampled sparkline so long series stay one line.
+            let stride = series.len().div_ceil(64).max(1);
+            let spark: String = series
+                .chunks(stride)
+                .map(|c| {
+                    let v: u64 = c.iter().sum();
+                    let level = if max == 0 {
+                        0
+                    } else {
+                        v * 9 / (max * c.len() as u64)
+                    };
+                    char::from_digit(level.min(9) as u32, 10).unwrap_or('9')
+                })
+                .collect();
+            println!("sparkline: {spark}");
+            if args.iter().any(|a| a == "--spectrum") && series.len() >= 8 {
+                // The §5.2 treatment: log + least-squares detrend, then
+                // FFT-of-ACF, reported as dominant periods in bins.
+                let samples: Vec<f64> = series.iter().map(|&v| v as f64).collect();
+                let detrended = log_detrend(&samples);
+                let spectrum = acf_spectrum(&detrended.residuals, samples.len() / 2);
+                for p in dominant_periods(&spectrum, 3) {
+                    println!(
+                        "dominant period: {:.1} bins ({:.1} h at this bin size), power {:.3}",
+                        p.period(),
+                        p.period() * bin_ms as f64 / 3_600_000.0,
+                        p.power
+                    );
+                }
+            }
+            print_stats(&args, &stats);
+        }
+        _ => usage(),
+    }
+}

@@ -8,7 +8,9 @@
 //!
 //! ```sh
 //! mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] [--metrics-json <out.json>]
-//! mrtstat --demo [--jobs N]    # generate a demo log in-memory and analyze it
+//! mrtstat <file.mrt> --store <dir>   # analyze AND archive into a segment store
+//! mrtstat --store <dir>              # re-derive the report from an archive
+//! mrtstat --demo [--jobs N]          # generate a demo log in-memory and analyze it
 //! ```
 //!
 //! With `--jobs N` the file is analyzed by the `iri-pipeline` engine:
@@ -17,36 +19,27 @@
 //! `--jobs 0` picks one worker per CPU. `--metrics-json` writes the run's
 //! telemetry (and, in pipeline mode, the fine-grained registry snapshot
 //! with per-batch latency histograms) as JSON for automation.
+//!
+//! `--store <dir>` with an input file classifies once and persists the
+//! classified stream as an `iri-store` columnar archive in the same pass;
+//! without an input file the report is reconstructed by replaying the
+//! archive — byte-identical to the streaming report, without re-parsing
+//! the MRT log. All three engines render through the same
+//! `iri_bench::report` module.
 
-use iri_bench::{arg_u64, logged_to_events};
+use iri_bench::{
+    arg_str, arg_u64, logged_to_events, report_from_analysis, report_from_events,
+    report_from_store, UpdateReport,
+};
 use iri_core::input::{events_from_mrt, UpdateEvent};
-use iri_core::stats::bins::{instability_filter, ten_minute_bins, SLOTS_PER_DAY};
-use iri_core::stats::daily::ProviderDailyRow;
-use iri_core::stats::incidents::detect_incidents;
-use iri_core::stats::interarrival::{DayInterarrival, BIN_LABELS};
-use iri_core::stats::persistence::{persistence_below, Episode};
-use iri_core::taxonomy::UpdateClass;
-use iri_core::Classifier;
 use iri_mrt::MrtReader;
 use iri_obs::RegistrySnapshot;
-use iri_pipeline::{analyze_mrt, PipelineConfig, PipelineMetrics, DEFAULT_QUIET_MS};
+use iri_pipeline::{AnalysisResult, PipelineConfig, PipelineMetrics};
+use iri_store::{IngestConfig, Store};
 use serde::Serialize;
 use std::fs::File;
 use std::io::BufReader;
-
-/// Everything the report needs, produced by either engine.
-struct Report {
-    classifier: Classifier,
-    span_ms: u64,
-    provider_rows: Vec<ProviderDailyRow>,
-    instability_bins: Box<[u64; SLOTS_PER_DAY]>,
-    interarrivals: Vec<DayInterarrival>,
-    episodes: Vec<Episode>,
-    /// Pipeline telemetry (pipeline engine only).
-    metrics: Option<PipelineMetrics>,
-    /// Fine-grained metrics snapshot (pipeline engine with obs only).
-    registry: Option<RegistrySnapshot>,
-}
+use std::path::Path;
 
 /// The `--metrics-json` payload.
 #[derive(Serialize)]
@@ -55,12 +48,23 @@ struct MetricsDump {
     registry: Option<RegistrySnapshot>,
 }
 
-/// `--key value` string argument.
-fn arg_str(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Pipeline telemetry captured alongside the report.
+#[derive(Default)]
+struct Telemetry {
+    metrics: Option<PipelineMetrics>,
+    registry: Option<RegistrySnapshot>,
+}
+
+impl Telemetry {
+    /// Prints the stage telemetry and keeps it for `--metrics-json`.
+    fn capture(&mut self, result: &AnalysisResult) {
+        print!("\n{}", result.metrics.render());
+        self.metrics = Some(result.metrics.clone());
+        self.registry = result
+            .registry
+            .is_enabled()
+            .then(|| result.registry.snapshot());
+    }
 }
 
 fn main() {
@@ -71,6 +75,7 @@ fn main() {
         .map(|_| arg_u64(&args, "--jobs", 0) as usize);
     let demo = args.iter().any(|a| a == "--demo");
     let metrics_json = arg_str(&args, "--metrics-json");
+    let store_dir = arg_str(&args, "--store");
     // The JSON dump wants the fine-grained registry, so requesting it
     // turns on pipeline observability.
     let obs = metrics_json.is_some();
@@ -79,62 +84,94 @@ fn main() {
         cfg.obs = obs;
         cfg
     };
+    let path = args.get(1).filter(|p| !p.starts_with("--")).cloned();
 
-    let report = if demo {
+    let mut telemetry = Telemetry::default();
+    let report: UpdateReport = if demo {
         let events = demo_events();
         match jobs {
-            Some(jobs) => report_from_pipeline(iri_pipeline::analyze_events(&events, &cfg(jobs))),
-            None => sequential_report(&events),
+            Some(jobs) => {
+                let result = iri_pipeline::analyze_events(&events, &cfg(jobs));
+                telemetry.capture(&result);
+                report_from_analysis(&result)
+            }
+            None => report_from_events(&events),
         }
+    } else if path.is_none() && store_dir.is_some() {
+        report_from_archive(store_dir.as_deref().unwrap())
     } else {
-        let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+        let Some(path) = path else {
             eprintln!(
                 "usage: mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] \
-                 [--metrics-json <out.json>] | mrtstat --demo"
+                 [--metrics-json <out.json>] [--store <dir>] \
+                 | mrtstat --store <dir> | mrtstat --demo"
             );
             std::process::exit(2);
         };
         let base = arg_u64(&args, "--base-time", 0) as u32;
         // MrtReader issues many small reads per record; unbuffered File
         // I/O here costs a syscall per read, so always wrap in BufReader.
-        let file = File::open(path).unwrap_or_else(|e| {
+        let file = File::open(&path).unwrap_or_else(|e| {
             eprintln!("mrtstat: cannot open {path}: {e}");
             std::process::exit(1);
         });
         let mut reader = MrtReader::new(BufReader::new(file));
-        match jobs {
-            Some(jobs) => {
-                let (result, records) = analyze_mrt(&mut reader, base, &cfg(jobs));
-                println!("{path}: {records} MRT records");
-                report_from_pipeline(result)
-            }
-            None => {
-                let mut records = Vec::new();
-                loop {
-                    match reader.next_record() {
-                        Ok(Some(r)) => records.push(r),
-                        Ok(None) => break,
-                        Err(e) => {
-                            eprintln!("mrtstat: warning: stopping at malformed record: {e}");
-                            break;
+        if let Some(dir) = &store_dir {
+            // One pass over the log: classify, report, AND archive.
+            let ing = IngestConfig {
+                pipeline: cfg(jobs.unwrap_or(0)),
+                ..IngestConfig::default()
+            };
+            let outcome = iri_store::ingest_mrt(Path::new(dir), &mut reader, base, &ing)
+                .unwrap_or_else(|e| {
+                    eprintln!("mrtstat: ingest into {dir}: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "{path}: {} MRT records archived to {dir} ({} segments, {} events)",
+                outcome.records_read,
+                outcome.manifest.segments.len(),
+                outcome.manifest.total_events
+            );
+            telemetry.capture(&outcome.analysis);
+            report_from_analysis(&outcome.analysis)
+        } else {
+            match jobs {
+                Some(jobs) => {
+                    let (result, records) =
+                        iri_pipeline::analyze_mrt(&mut reader, base, &cfg(jobs));
+                    println!("{path}: {records} MRT records");
+                    telemetry.capture(&result);
+                    report_from_analysis(&result)
+                }
+                None => {
+                    let mut records = Vec::new();
+                    loop {
+                        match reader.next_record() {
+                            Ok(Some(r)) => records.push(r),
+                            Ok(None) => break,
+                            Err(e) => {
+                                eprintln!("mrtstat: warning: stopping at malformed record: {e}");
+                                break;
+                            }
                         }
                     }
+                    let base = if base == 0 {
+                        records.first().map_or(0, iri_mrt::MrtRecord::timestamp)
+                    } else {
+                        base
+                    };
+                    println!("{path}: {} MRT records (base time {base})", records.len());
+                    report_from_events(&events_from_mrt(&records, base))
                 }
-                let base = if base == 0 {
-                    records.first().map_or(0, iri_mrt::MrtRecord::timestamp)
-                } else {
-                    base
-                };
-                println!("{path}: {} MRT records (base time {base})", records.len());
-                sequential_report(&events_from_mrt(&records, base))
             }
         }
     };
 
     if let Some(path) = metrics_json {
         let dump = MetricsDump {
-            pipeline: report.metrics.clone(),
-            registry: report.registry.clone(),
+            pipeline: telemetry.metrics.clone(),
+            registry: telemetry.registry.clone(),
         };
         let json = serde_json::to_string_pretty(&dump).expect("serialise metrics");
         std::fs::write(&path, json).unwrap_or_else(|e| {
@@ -143,158 +180,37 @@ fn main() {
         });
         println!("metrics written to {path}");
     }
-    if report.classifier.total() == 0 {
+    if report.totals.total == 0 {
         println!("no prefix events found.");
         return;
     }
-    print_report(&report);
+    print!("{}", report.render());
 }
 
-/// Classic single-threaded engine: classify in stream order, then run the
-/// batch statistics functions.
-fn sequential_report(events: &[UpdateEvent]) -> Report {
-    use iri_core::stats::daily::provider_daily_totals;
-    use iri_core::stats::interarrival::day_interarrival;
-    use iri_core::stats::persistence::episodes;
-
-    let mut classifier = Classifier::new();
-    let classified = classifier.classify_all(events);
-    let span_ms = events.last().map_or(0, |e| e.time_ms) + 1;
-    Report {
-        span_ms,
-        provider_rows: provider_daily_totals(&classified),
-        instability_bins: Box::new(ten_minute_bins(&classified, instability_filter)),
-        interarrivals: UpdateClass::FIGURE_CATEGORIES
-            .iter()
-            .map(|&c| day_interarrival(&classified, c))
-            .collect(),
-        episodes: episodes(&classified, DEFAULT_QUIET_MS),
-        classifier,
-        metrics: None,
-        registry: None,
-    }
-}
-
-/// Folds a pipeline result into the common report and prints telemetry.
-fn report_from_pipeline(result: iri_pipeline::AnalysisResult) -> Report {
-    let iri_pipeline::AnalysisResult {
-        classifier,
-        sinks,
-        metrics,
-        registry,
-    } = result;
-    print!("\n{}", metrics.render());
-    Report {
-        span_ms: sinks.span_ms(),
-        provider_rows: sinks.daily.finish(),
-        instability_bins: Box::new(sinks.bins.finish()),
-        interarrivals: UpdateClass::FIGURE_CATEGORIES
-            .iter()
-            .map(|&c| sinks.interarrival.finish(c))
-            .collect(),
-        episodes: sinks.episodes.finish(),
-        classifier,
-        metrics: Some(metrics),
-        registry: registry.is_enabled().then(|| registry.snapshot()),
-    }
-}
-
-fn print_report(report: &Report) {
-    let classifier = &report.classifier;
+/// Rebuilds the report from an existing archive, no MRT input needed.
+fn report_from_archive(dir: &str) -> UpdateReport {
+    let mut store = Store::open(Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("mrtstat: cannot open store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let m = store.manifest();
     println!(
-        "\n{} prefix events over {:.1} hours from {} (peer, prefix) pairs",
-        classifier.total(),
-        report.span_ms as f64 / 3_600_000.0,
-        classifier.tracked_pairs()
+        "{dir}: {} stored events in {} segments ({} MRT records at ingest)",
+        m.total_events,
+        m.segments.len(),
+        m.records_read
     );
-
-    println!("\n-- taxonomy breakdown --");
-    let total = classifier.total().max(1);
-    for class in UpdateClass::ALL {
-        let n = classifier.count(class);
-        if n > 0 {
-            println!(
-                "  {:<14} {:>9}  ({:>5.1}%)",
-                class.label(),
-                n,
-                100.0 * n as f64 / total as f64
-            );
-        }
-    }
+    let (report, stats) = report_from_store(&mut store).unwrap_or_else(|e| {
+        eprintln!("mrtstat: replaying store {dir}: {e}");
+        std::process::exit(1);
+    });
     println!(
-        "  instability {} / pathological {} / policy fluctuations {}",
-        UpdateClass::ALL
-            .iter()
-            .filter(|c| c.is_instability())
-            .map(|&c| classifier.count(c))
-            .sum::<u64>(),
-        UpdateClass::ALL
-            .iter()
-            .filter(|c| c.is_pathological())
-            .map(|&c| classifier.count(c))
-            .sum::<u64>(),
-        classifier.policy_change_count()
+        "replayed {} rows from {} segments ({} KiB)",
+        stats.rows_matched,
+        stats.segments_scanned,
+        stats.bytes_scanned / 1024
     );
-
-    println!("\n-- per-peer totals --");
-    for row in &report.provider_rows {
-        println!(
-            "  {:<10} announce {:>8}  withdraw {:>8}  unique {:>6}  W/A {:>6.1}",
-            row.asn.to_string(),
-            row.announce,
-            row.withdraw,
-            row.unique_prefixes,
-            row.withdraw_ratio()
-        );
-    }
-
-    println!("\n-- instability incidents (≥10x baseline, 10-min slots) --");
-    let incidents = detect_incidents(report.instability_bins.as_ref(), 10.0, 36);
-    if incidents.is_empty() {
-        println!("  none detected");
-    } else {
-        for inc in &incidents {
-            println!(
-                "  slots {:>3}–{:<3} ({} min): peak {} = {:.0}x baseline",
-                inc.start_slot,
-                inc.end_slot,
-                inc.duration_slots() * 10,
-                inc.peak,
-                inc.magnitude()
-            );
-        }
-    }
-
-    println!("\n-- inter-arrival modes --");
-    for (class, d) in UpdateClass::FIGURE_CATEGORIES
-        .iter()
-        .zip(&report.interarrivals)
-    {
-        if d.gaps == 0 {
-            continue;
-        }
-        let best = d
-            .proportions
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, p)| (BIN_LABELS[i], p))
-            .unwrap();
-        println!(
-            "  {:<8} {} gaps; modal bin {} ({:.0}%); 30s+1m mass {:.0}%",
-            class.label(),
-            d.gaps,
-            best.0,
-            100.0 * best.1,
-            100.0 * (d.proportions[2] + d.proportions[3])
-        );
-    }
-
-    println!(
-        "\n-- persistence: {:.0}% of multi-event episodes under 5 minutes ({} episodes) --",
-        100.0 * persistence_below(&report.episodes, DEFAULT_QUIET_MS),
-        report.episodes.len()
-    );
+    report
 }
 
 /// Generates an in-memory demo: one simulated exchange hour.

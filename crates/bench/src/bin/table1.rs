@@ -8,22 +8,21 @@
 //! ISP dominates the day with a ratio in the thousands, (c) well-behaved
 //! ISPs sit near parity.
 
-use iri_bench::{arg_f64, arg_u64, banner, summarize_day, ExperimentConfig};
+use iri_bench::{arg_u64, experiment};
 use iri_core::report::render_table1;
 use iri_topology::scenario::IncidentSpec;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = arg_f64(&args, "--scale", 0.05);
-    let day = arg_u64(&args, "--day", 306) as u32; // Feb 1 1997 ≈ day 306
-    banner(
+    let ex = experiment(
         "Table 1 — per-ISP update totals for one day",
         "ISP-I: announce 259, withdraw 2,479,023, unique 14,112; several \
          ISPs withdraw 10x+ what they announce; quiet ISPs near parity",
+        0.05,
     );
+    let day = arg_u64(&ex.args, "--day", 306) as u32; // Feb 1 1997 ≈ day 306
 
-    let (cfg, mut graph) = ExperimentConfig::at_scale(scale);
-    let mut scenario = cfg.scenario.clone();
+    let mut graph = ex.graph.clone();
+    let mut scenario = ex.cfg.scenario.clone();
     // The incident provider — the paper's ISP-I: a *small* stateless ISP
     // with almost nothing of its own to announce, whose misconfigured
     // router echoes and re-echoes withdrawals for everyone else's
@@ -46,7 +45,7 @@ fn main() {
         prefixes: 0, // no oscillators of its own; the echoes are the storm
     });
 
-    let summary = summarize_day(&scenario, &graph, day);
+    let summary = ex.summarize_day_in(&scenario, &graph, day);
     let names = |asn: iri_bgp::types::Asn| -> String {
         graph.providers.iter().find(|p| p.asn == asn).map_or_else(
             || asn.to_string(),

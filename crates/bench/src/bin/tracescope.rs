@@ -11,13 +11,16 @@
 //! - a timeline summary of the trace ring buffer.
 //!
 //! ```sh
-//! tracescope [--seed S] [--tail N]
+//! tracescope [--seed S] [--tail N] [--store <dir>]
 //! ```
 //!
 //! Everything is deterministic for a given `--seed`: trace timestamps are
-//! simulated time, never wall clock.
+//! simulated time, never wall clock. With `--store <dir>` the classified,
+//! cause-tagged event stream is also archived as an `iri-store` segment
+//! store, so `iriq` can slice the attribution offline (e.g.
+//! `iriq <dir> count-by-class --cause csu-drift`).
 
-use iri_bench::{arg_u64, logged_to_events_with_causes, CauseBreakdown};
+use iri_bench::{arg_str, arg_u64, logged_to_events_with_causes, CauseBreakdown};
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_netsim::{Cause, TraceKind};
@@ -41,6 +44,25 @@ fn main() {
     let mut classifier = Classifier::new();
     let classified = classifier.classify_all(&events);
     let tally = CauseBreakdown::tally(&classified, &causes);
+
+    if let Some(dir) = arg_str(&args, "--store") {
+        use iri_store::{StoreWriter, StoredEvent, DEFAULT_SEGMENT_ROWS};
+        let dir = std::path::PathBuf::from(dir);
+        let mut writer =
+            StoreWriter::create(&dir, DEFAULT_SEGMENT_ROWS).expect("create store directory");
+        for (c, &cause) in classified.iter().zip(&causes) {
+            writer
+                .push(&StoredEvent::from_classified(c, cause))
+                .expect("write segment");
+        }
+        let manifest = writer.commit(0).expect("commit store");
+        println!(
+            "archived {} cause-tagged events to {} ({} segments)",
+            manifest.total_events,
+            dir.display(),
+            manifest.segments.len()
+        );
+    }
 
     println!(
         "\n{} prefix events from {} logged UPDATEs",

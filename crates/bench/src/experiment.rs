@@ -1,0 +1,114 @@
+//! Shared figure-binary harness: argument parsing, the banner, the scaled
+//! topology, and the `--store` day cache — the boilerplate every
+//! `fig*`/`table1` binary used to repeat, factored into one place so the
+//! segment-store hook applies to all of them at once.
+
+use crate::store_cache::summarize_days_cached;
+use crate::summary::{summarize_day, DaySummary, ExperimentConfig};
+use crate::{arg_f64, arg_str, banner};
+use iri_topology::asgraph::AsGraph;
+use iri_topology::scenario::ScenarioConfig;
+use std::path::PathBuf;
+
+/// Everything a figure binary starts from.
+pub struct Experiment {
+    /// Raw command-line arguments (for figure-specific flags).
+    pub args: Vec<String>,
+    /// Scale factor relative to the 1996 Internet.
+    pub scale: f64,
+    /// Experiment configuration at that scale.
+    pub cfg: ExperimentConfig,
+    /// The generated provider/customer topology.
+    pub graph: AsGraph,
+    /// Segment-store day cache directory (`--store <dir>`), if any.
+    pub store_dir: Option<PathBuf>,
+}
+
+/// The lightweight half of [`experiment`] for binaries that build their
+/// own world (e.g. `fig1`): parses the arguments and prints the banner.
+#[must_use]
+pub fn experiment_args(title: &str, paper: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    banner(title, paper);
+    args
+}
+
+/// Standard figure-binary preamble: banner, `--scale` (defaulting to
+/// `default_scale`), `--store <dir>`, and the scaled topology.
+#[must_use]
+pub fn experiment(title: &str, paper: &str, default_scale: f64) -> Experiment {
+    let args = experiment_args(title, paper);
+    let scale = arg_f64(&args, "--scale", default_scale);
+    let store_dir = arg_str(&args, "--store").map(PathBuf::from);
+    let (cfg, graph) = ExperimentConfig::at_scale(scale);
+    Experiment {
+        args,
+        scale,
+        cfg,
+        graph,
+        store_dir,
+    }
+}
+
+impl Experiment {
+    /// Runs `days` with the experiment's own scenario and topology,
+    /// through the store cache when `--store` was given.
+    #[must_use]
+    pub fn run_days(&self, days: impl Iterator<Item = u32>) -> Vec<DaySummary> {
+        let scenario = self.cfg.scenario.clone();
+        let graph = &self.graph;
+        self.run_days_in(&scenario, graph, days)
+    }
+
+    /// [`Experiment::run_days`] with a custom scenario/topology (for
+    /// binaries like `table1` that inject incident providers). The store
+    /// cache fingerprints the scenario and topology, so customized runs
+    /// never collide with the default ones in the same directory.
+    #[must_use]
+    pub fn run_days_in(
+        &self,
+        scenario: &ScenarioConfig,
+        graph: &AsGraph,
+        days: impl Iterator<Item = u32>,
+    ) -> Vec<DaySummary> {
+        let days: Vec<u32> = days.collect();
+        match &self.store_dir {
+            Some(dir) => {
+                let (summaries, hit) =
+                    summarize_days_cached(scenario, graph, self.cfg.threads, &days, dir)
+                        .unwrap_or_else(|e| panic!("store cache at {}: {e}", dir.display()));
+                println!(
+                    "[store] {} at {} ({} days)",
+                    if hit {
+                        "cache hit — replayed"
+                    } else {
+                        "cache miss — simulated + archived"
+                    },
+                    dir.display(),
+                    days.len()
+                );
+                summaries
+            }
+            None => {
+                let scenario = scenario.clone();
+                iri_pipeline::par_map(days, self.cfg.threads, |day| {
+                    summarize_day(&scenario, graph, day)
+                })
+                .0
+            }
+        }
+    }
+
+    /// One day through the same path as [`Experiment::run_days_in`].
+    #[must_use]
+    pub fn summarize_day_in(
+        &self,
+        scenario: &ScenarioConfig,
+        graph: &AsGraph,
+        day: u32,
+    ) -> DaySummary {
+        self.run_days_in(scenario, graph, std::iter::once(day))
+            .pop()
+            .expect("one day in, one summary out")
+    }
+}

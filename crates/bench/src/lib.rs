@@ -13,12 +13,18 @@
 //! ordered parallel map; each simulated day is independent (its own
 //! seeded world), so results are deterministic regardless of scheduling.
 
+pub mod experiment;
 pub mod genlog;
 pub mod obs_scenario;
+pub mod report;
+pub mod store_cache;
 pub mod summary;
 
+pub use experiment::{experiment, experiment_args, Experiment};
 pub use genlog::{write_synthetic_log, GenLogConfig};
 pub use obs_scenario::{run_pathology, CauseBreakdown, ObsScenario};
+pub use report::{report_from_analysis, report_from_events, report_from_store, UpdateReport};
+pub use store_cache::summarize_days_cached;
 pub use summary::{run_days, run_days_with_metrics, summarize_day, DaySummary, ExperimentConfig};
 
 use iri_core::input::{PeerKey, UpdateEvent};
@@ -60,6 +66,15 @@ pub fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// String variant of [`arg_f64`]: `None` when the flag is absent.
+#[must_use]
+pub fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Integer variant of [`arg_f64`].

@@ -1,0 +1,276 @@
+//! The shared `mrtstat`-style update report: one struct, one renderer,
+//! three producers (sequential batch, streaming pipeline, segment store).
+//!
+//! Every producer must yield the same rendered text for the same event
+//! stream — the store-vs-streaming equivalence test holds the rendered
+//! reports byte-identical, so this module is the single source of truth
+//! for the report's shape.
+
+use iri_bgp::types::Prefix;
+use iri_core::fxhash::FxHashSet;
+use iri_core::input::{PeerKey, UpdateEvent};
+use iri_core::stats::bins::SLOTS_PER_DAY;
+use iri_core::stats::daily::ProviderDailyRow;
+use iri_core::stats::incidents::detect_incidents;
+use iri_core::stats::interarrival::{DayInterarrival, BIN_LABELS};
+use iri_core::stats::persistence::{persistence_below, Episode};
+use iri_core::stats::sinks::StreamSinks;
+use iri_core::taxonomy::UpdateClass;
+use iri_core::Classifier;
+use iri_pipeline::{AnalysisResult, DEFAULT_QUIET_MS};
+use iri_store::{ScanStats, Store, StoreError};
+use std::fmt::Write as _;
+
+/// Classifier-level totals, detached from the classifier so they can also
+/// be reconstructed from stored columns.
+pub struct ReportTotals {
+    /// All prefix events.
+    pub total: u64,
+    /// Events per class, indexed by [`UpdateClass::index`].
+    pub class_counts: [u64; UpdateClass::COUNT],
+    /// AADup events whose non-forwarding attributes changed.
+    pub policy_changes: u64,
+    /// Distinct (peer, prefix) pairs seen.
+    pub tracked_pairs: u64,
+}
+
+impl From<&Classifier> for ReportTotals {
+    fn from(c: &Classifier) -> Self {
+        let mut class_counts = [0u64; UpdateClass::COUNT];
+        for class in UpdateClass::ALL {
+            class_counts[class.index()] = c.count(class);
+        }
+        ReportTotals {
+            total: c.total(),
+            class_counts,
+            policy_changes: c.policy_change_count(),
+            tracked_pairs: c.tracked_pairs() as u64,
+        }
+    }
+}
+
+/// Everything the §4/§5 report needs, produced by any engine.
+pub struct UpdateReport {
+    /// Event totals.
+    pub totals: ReportTotals,
+    /// Trace span (largest event time + 1).
+    pub span_ms: u64,
+    /// Table 1 rows.
+    pub provider_rows: Vec<ProviderDailyRow>,
+    /// Ten-minute instability bins.
+    pub instability_bins: Box<[u64; SLOTS_PER_DAY]>,
+    /// Inter-arrival histograms for the four figure categories.
+    pub interarrivals: Vec<DayInterarrival>,
+    /// Instability episodes.
+    pub episodes: Vec<Episode>,
+}
+
+impl UpdateReport {
+    /// Builds the report from finished streaming sinks plus totals.
+    fn from_sinks(totals: ReportTotals, sinks: &StreamSinks) -> Self {
+        UpdateReport {
+            totals,
+            span_ms: sinks.span_ms(),
+            provider_rows: sinks.daily.finish(),
+            instability_bins: Box::new(sinks.bins.finish()),
+            interarrivals: UpdateClass::FIGURE_CATEGORIES
+                .iter()
+                .map(|&c| sinks.interarrival.finish(c))
+                .collect(),
+            episodes: sinks.episodes.finish(),
+        }
+    }
+
+    /// Renders the canonical text report. Identical wording and layout
+    /// for every producer.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let totals = &self.totals;
+        let _ = writeln!(
+            out,
+            "\n{} prefix events over {:.1} hours from {} (peer, prefix) pairs",
+            totals.total,
+            self.span_ms as f64 / 3_600_000.0,
+            totals.tracked_pairs
+        );
+
+        let _ = writeln!(out, "\n-- taxonomy breakdown --");
+        let total = totals.total.max(1);
+        for class in UpdateClass::ALL {
+            let n = totals.class_counts[class.index()];
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>9}  ({:>5.1}%)",
+                    class.label(),
+                    n,
+                    100.0 * n as f64 / total as f64
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  instability {} / pathological {} / policy fluctuations {}",
+            UpdateClass::ALL
+                .iter()
+                .filter(|c| c.is_instability())
+                .map(|&c| totals.class_counts[c.index()])
+                .sum::<u64>(),
+            UpdateClass::ALL
+                .iter()
+                .filter(|c| c.is_pathological())
+                .map(|&c| totals.class_counts[c.index()])
+                .sum::<u64>(),
+            totals.policy_changes
+        );
+
+        let _ = writeln!(out, "\n-- per-peer totals --");
+        for row in &self.provider_rows {
+            let _ = writeln!(
+                out,
+                "  {:<10} announce {:>8}  withdraw {:>8}  unique {:>6}  W/A {:>6.1}",
+                row.asn.to_string(),
+                row.announce,
+                row.withdraw,
+                row.unique_prefixes,
+                row.withdraw_ratio()
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\n-- instability incidents (≥10x baseline, 10-min slots) --"
+        );
+        let incidents = detect_incidents(self.instability_bins.as_ref(), 10.0, 36);
+        if incidents.is_empty() {
+            let _ = writeln!(out, "  none detected");
+        } else {
+            for inc in &incidents {
+                let _ = writeln!(
+                    out,
+                    "  slots {:>3}–{:<3} ({} min): peak {} = {:.0}x baseline",
+                    inc.start_slot,
+                    inc.end_slot,
+                    inc.duration_slots() * 10,
+                    inc.peak,
+                    inc.magnitude()
+                );
+            }
+        }
+
+        let _ = writeln!(out, "\n-- inter-arrival modes --");
+        for (class, d) in UpdateClass::FIGURE_CATEGORIES
+            .iter()
+            .zip(&self.interarrivals)
+        {
+            if d.gaps == 0 {
+                continue;
+            }
+            let best = d
+                .proportions
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, p)| (BIN_LABELS[i], p))
+                .unwrap();
+            let _ = writeln!(
+                out,
+                "  {:<8} {} gaps; modal bin {} ({:.0}%); 30s+1m mass {:.0}%",
+                class.label(),
+                d.gaps,
+                best.0,
+                100.0 * best.1,
+                100.0 * (d.proportions[2] + d.proportions[3])
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\n-- persistence: {:.0}% of multi-event episodes under 5 minutes ({} episodes) --",
+            100.0 * persistence_below(&self.episodes, DEFAULT_QUIET_MS),
+            self.episodes.len()
+        );
+        out
+    }
+}
+
+/// Classic single-threaded engine: classify in stream order, then reduce
+/// through the same streaming sinks the pipeline uses.
+#[must_use]
+pub fn report_from_events(events: &[UpdateEvent]) -> UpdateReport {
+    let mut classifier = Classifier::new();
+    let mut sinks = StreamSinks::new(DEFAULT_QUIET_MS);
+    for event in events {
+        let classified = classifier.classify(event);
+        sinks.record(&classified);
+    }
+    UpdateReport::from_sinks(ReportTotals::from(&classifier), &sinks)
+}
+
+/// Folds a pipeline result into the common report.
+#[must_use]
+pub fn report_from_analysis(result: &AnalysisResult) -> UpdateReport {
+    UpdateReport::from_sinks(ReportTotals::from(&result.classifier), &result.sinks)
+}
+
+/// Rebuilds the report from a segment store by replaying the stored
+/// classified stream through fresh sinks.
+///
+/// Shard-ordered replay preserves each (peer, prefix) pair's stream order
+/// — the only order the sinks depend on — so the report is identical to
+/// the one the streaming engines computed when the store was written.
+pub fn report_from_store(store: &mut Store) -> Result<(UpdateReport, ScanStats), StoreError> {
+    let mut sinks = StreamSinks::new(DEFAULT_QUIET_MS);
+    let mut class_counts = [0u64; UpdateClass::COUNT];
+    let mut policy_changes = 0u64;
+    let mut pairs: FxHashSet<(PeerKey, Prefix)> = FxHashSet::default();
+    let stats = store.replay(|ev| {
+        class_counts[ev.class.index()] += 1;
+        policy_changes += u64::from(ev.policy_change);
+        pairs.insert((ev.peer, ev.prefix));
+        sinks.record(&ev.to_classified());
+    })?;
+    let totals = ReportTotals {
+        total: class_counts.iter().sum(),
+        class_counts,
+        policy_changes,
+        tracked_pairs: pairs.len() as u64,
+    };
+    Ok((UpdateReport::from_sinks(totals, &sinks), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_core::input::events_from_mrt;
+    use iri_mrt::{MrtReader, MrtRecord, MrtWriter};
+
+    fn demo_log(records: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        let cfg = crate::GenLogConfig {
+            records,
+            peers: 5,
+            prefixes: 300,
+            ..crate::GenLogConfig::default()
+        };
+        crate::write_synthetic_log(&mut w, &cfg).unwrap();
+        buf
+    }
+
+    #[test]
+    fn sequential_and_pipeline_render_identically() {
+        let log = demo_log(4_000);
+        let mut reader = MrtReader::new(log.as_slice());
+        let records: Vec<MrtRecord> = reader.iter().collect::<Result<_, _>>().unwrap();
+        let events = events_from_mrt(&records, crate::genlog::BASE_TIME);
+        let sequential = report_from_events(&events).render();
+
+        let cfg = iri_pipeline::PipelineConfig::with_jobs(3);
+        let result = iri_pipeline::analyze_events(&events, &cfg);
+        let parallel = report_from_analysis(&result).render();
+        assert_eq!(sequential, parallel);
+        assert!(sequential.contains("taxonomy breakdown"));
+    }
+}

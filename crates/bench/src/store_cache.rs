@@ -1,0 +1,216 @@
+//! Store-backed day cache for the figure binaries.
+//!
+//! Multi-day experiments spend almost all their time simulating and
+//! classifying; the figures themselves are cheap reductions. With
+//! `--store <dir>` a figure binary persists every classified day into an
+//! `iri-store` segment archive once, then later runs (or other figures
+//! sharing the scenario) replay the classified stream from disk with
+//! zone-map-pruned per-day scans instead of re-simulating.
+//!
+//! The cache key is a fingerprint of the scenario configuration and the
+//! topology's shape; a mismatch (or a requested day missing from the
+//! archive) falls back to simulation and rewrites the store.
+
+use crate::summary::{classified_day, reduce_day, DaySummary};
+use iri_core::classifier::ClassifiedEvent;
+use iri_rib::stats::TableCensus;
+use iri_store::{Query, Store, StoreError, StoreWriter, StoredEvent, DEFAULT_SEGMENT_ROWS};
+use iri_topology::asgraph::AsGraph;
+use iri_topology::scenario::ScenarioConfig;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+
+/// One simulated day in store time: day `d`'s events live at absolute
+/// times `[d * DAY_MS, (d + 1) * DAY_MS)`.
+pub const DAY_MS: u64 = 86_400_000;
+
+/// Sidecar metadata file describing which days the archive holds.
+pub const CACHE_META_FILE: &str = "DAYS.json";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DayMeta {
+    day: u32,
+    census: TableCensus,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheMeta {
+    fingerprint: u64,
+    days: Vec<DayMeta>,
+}
+
+/// Cache identity: the scenario's full debug form plus the topology's
+/// shape. Anything that changes the simulated event stream must change
+/// this, or a stale archive would silently masquerade as fresh data.
+fn fingerprint(scenario: &ScenarioConfig, graph: &AsGraph) -> u64 {
+    let mut h = iri_core::fxhash::FxHasher::default();
+    format!("{scenario:?}").hash(&mut h);
+    graph.providers.len().hash(&mut h);
+    graph.customers.len().hash(&mut h);
+    graph.prefix_count().hash(&mut h);
+    h.finish()
+}
+
+fn read_cache_meta(dir: &Path) -> Option<CacheMeta> {
+    let text = fs::read_to_string(dir.join(CACHE_META_FILE)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Summarizes `days` through the archive at `dir`: replays a cached
+/// classified stream when the fingerprint and day set match, otherwise
+/// simulates with `threads` workers and (re)writes the archive. Returns
+/// the summaries in the order of `days` plus whether the cache was hit.
+///
+/// Hit and miss produce identical summaries: the store preserves each
+/// (peer, prefix) pair's event order (pairs never split across shards)
+/// and replayed events are re-sorted chronologically, which is the only
+/// ordering the day statistics depend on.
+pub fn summarize_days_cached(
+    scenario: &ScenarioConfig,
+    graph: &AsGraph,
+    threads: usize,
+    days: &[u32],
+    dir: &Path,
+) -> Result<(Vec<DaySummary>, bool), StoreError> {
+    let fp = fingerprint(scenario, graph);
+    if let Some(meta) = read_cache_meta(dir) {
+        let covers =
+            meta.fingerprint == fp && days.iter().all(|d| meta.days.iter().any(|m| m.day == *d));
+        if covers {
+            let mut store = Store::open(dir)?;
+            let mut out = Vec::with_capacity(days.len());
+            for &day in days {
+                let census = meta
+                    .days
+                    .iter()
+                    .find(|m| m.day == day)
+                    .map(|m| m.census.clone())
+                    .expect("day checked above");
+                let base = u64::from(day) * DAY_MS;
+                let query = Query::default().time_range_ms(base, base + DAY_MS);
+                let mut events: Vec<ClassifiedEvent> = Vec::new();
+                store.scan(&query, |ev| {
+                    let mut c = ev.to_classified();
+                    c.time_ms -= base;
+                    events.push(c);
+                })?;
+                // Shard order → chronological order; the stable sort keeps
+                // each pair's stream order (a pair lives in one shard).
+                events.sort_by_key(|e| e.time_ms);
+                out.push(reduce_day(day, &events, census, graph));
+            }
+            return Ok((out, true));
+        }
+    }
+
+    // Miss: simulate every requested day, archive, then reduce.
+    let mut day_list: Vec<u32> = days.to_vec();
+    day_list.sort_unstable();
+    day_list.dedup();
+    let (results, _metrics) = iri_pipeline::par_map(day_list.clone(), threads.max(1), |day| {
+        classified_day(scenario, graph, day)
+    });
+
+    let mut writer = StoreWriter::create(dir, DEFAULT_SEGMENT_ROWS)?;
+    let mut day_metas = Vec::with_capacity(day_list.len());
+    for (&day, (classified, causes, census)) in day_list.iter().zip(&results) {
+        let base = u64::from(day) * DAY_MS;
+        for (c, &cause) in classified.iter().zip(causes) {
+            let mut row = StoredEvent::from_classified(c, cause);
+            row.time_ms += base;
+            writer.push(&row)?;
+        }
+        day_metas.push(DayMeta {
+            day,
+            census: census.clone(),
+        });
+    }
+    writer.commit(0)?;
+    let meta = CacheMeta {
+        fingerprint: fp,
+        days: day_metas,
+    };
+    let text = serde_json::to_string_pretty(&meta).map_err(|e| StoreError::Json(e.to_string()))?;
+    fs::write(dir.join(CACHE_META_FILE), text)?;
+
+    let out = days
+        .iter()
+        .map(|&d| {
+            let idx = day_list.binary_search(&d).expect("day_list covers days");
+            let (classified, _causes, census) = &results[idx];
+            reduce_day(d, classified, census.clone(), graph)
+        })
+        .collect();
+    Ok((out, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::ExperimentConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "iri-store-cache-{}-{}-{}",
+            tag,
+            std::process::id(),
+            n
+        ))
+    }
+
+    #[test]
+    fn cache_hit_reproduces_simulated_summaries() {
+        let (cfg, graph) = ExperimentConfig::at_scale(0.01);
+        let mut scen = cfg.scenario.clone();
+        scen.warmup_minutes = 10;
+        let dir = temp_dir("hit");
+        let days = [1u32, 3];
+
+        let (cold, hit0) = summarize_days_cached(&scen, &graph, 2, &days, &dir).unwrap();
+        assert!(!hit0, "first run must simulate");
+        let (warm, hit1) = summarize_days_cached(&scen, &graph, 2, &days, &dir).unwrap();
+        assert!(hit1, "second run must replay the archive");
+
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.total_events, b.total_events);
+            assert_eq!(a.breakdown.counts, b.breakdown.counts);
+            assert_eq!(a.instability_bins, b.instability_bins);
+            assert_eq!(a.peak_events_per_sec, b.peak_events_per_sec);
+            assert_eq!(a.census, b.census);
+            assert_eq!(a.persistence_under_5min, b.persistence_under_5min);
+            assert_eq!(a.affected_tuples, b.affected_tuples);
+            for (x, y) in a.provider_rows.iter().zip(&b.provider_rows) {
+                assert_eq!(
+                    (x.asn, x.announce, x.withdraw),
+                    (y.asn, y.announce, y.withdraw)
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_scenario_invalidates_the_cache() {
+        let (cfg, graph) = ExperimentConfig::at_scale(0.01);
+        let mut scen = cfg.scenario.clone();
+        scen.warmup_minutes = 10;
+        let dir = temp_dir("inval");
+        let days = [0u32];
+        let (_, hit0) = summarize_days_cached(&scen, &graph, 1, &days, &dir).unwrap();
+        assert!(!hit0);
+        // A different scenario must not be served from the old archive.
+        scen.warmup_minutes = 20;
+        let (_, hit1) = summarize_days_cached(&scen, &graph, 1, &days, &dir).unwrap();
+        assert!(!hit1, "fingerprint change must force re-simulation");
+        // A day outside the archive must also miss.
+        let (_, hit2) = summarize_days_cached(&scen, &graph, 1, &[0, 5], &dir).unwrap();
+        assert!(!hit2, "missing day must force re-simulation");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

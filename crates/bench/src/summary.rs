@@ -1,8 +1,9 @@
 //! Per-day experiment summaries: everything any figure needs, reduced
 //! inside the per-day worker so multi-month runs stay small in memory.
 
-use crate::logged_to_events;
+use crate::logged_to_events_with_causes;
 use iri_bgp::types::Asn;
+use iri_core::classifier::ClassifiedEvent;
 use iri_core::classifier::Classifier;
 use iri_core::stats::affected::{affected_day, affected_tuples, AffectedDay};
 use iri_core::stats::bins::{instability_filter, ten_minute_bins, SLOTS_PER_DAY};
@@ -13,6 +14,7 @@ use iri_core::stats::daily::{provider_daily_totals, ProviderDailyRow};
 use iri_core::stats::interarrival::{day_interarrival, DayInterarrival};
 use iri_core::stats::persistence::{episodes, persistence_below};
 use iri_core::taxonomy::UpdateClass;
+use iri_obs::Cause;
 use iri_topology::asgraph::AsGraph;
 use iri_topology::scenario::{run_day, ScenarioConfig};
 use std::collections::BTreeMap;
@@ -100,65 +102,95 @@ pub fn provider_table_shares(graph: &AsGraph, _day: u32) -> BTreeMap<Asn, f64> {
         .collect()
 }
 
-/// Runs one day end to end and reduces it to a [`DaySummary`].
+/// Runs one day's simulation and classification, returning the measured
+/// day's classified events (times relative to measurement start), their
+/// aligned causal provenance tags, and the route-server table census.
 ///
 /// The classifier is warmed on the full log (including the settling
 /// period) so that per-pair state is correct at measurement start — the
 /// 1996 instrumentation observed continuously, so a withdrawal at 00:01
 /// for a route announced the previous evening is a legitimate Withdraw,
-/// not a spurious WWDup. Only events inside the measured 24 h are counted.
+/// not a spurious WWDup. Only events inside the measured 24 h are kept.
 #[must_use]
-pub fn summarize_day(cfg: &ScenarioConfig, graph: &AsGraph, day: u32) -> DaySummary {
+pub fn classified_day(
+    cfg: &ScenarioConfig,
+    graph: &AsGraph,
+    day: u32,
+) -> (
+    Vec<ClassifiedEvent>,
+    Vec<Cause>,
+    iri_rib::stats::TableCensus,
+) {
     let result = run_day(cfg, graph, day);
-    let all_events = logged_to_events(&result.monitor.updates);
+    let (all_events, all_causes) = logged_to_events_with_causes(&result.monitor.updates);
     let mut classifier = Classifier::new();
     let warmup = result.warmup_ms;
-    let classified: Vec<_> = all_events
-        .iter()
-        .map(|e| classifier.classify(e))
-        .filter(|c| c.time_ms >= warmup)
-        .map(|mut c| {
+    let mut classified = Vec::new();
+    let mut causes = Vec::new();
+    for (event, &cause) in all_events.iter().zip(&all_causes) {
+        let mut c = classifier.classify(event);
+        if c.time_ms >= warmup {
             c.time_ms -= warmup;
-            c
-        })
-        .collect();
+            classified.push(c);
+            causes.push(cause);
+        }
+    }
+    (classified, causes, result.census)
+}
 
+/// Runs one day end to end and reduces it to a [`DaySummary`].
+#[must_use]
+pub fn summarize_day(cfg: &ScenarioConfig, graph: &AsGraph, day: u32) -> DaySummary {
+    let (classified, _causes, census) = classified_day(cfg, graph, day);
+    reduce_day(day, &classified, census, graph)
+}
+
+/// Reduces one measured day's classified events to a [`DaySummary`] —
+/// the pure statistics half of [`summarize_day`], shared with the
+/// store-backed day cache which replays `classified` from disk.
+#[must_use]
+pub fn reduce_day(
+    day: u32,
+    classified: &[ClassifiedEvent],
+    census: iri_rib::stats::TableCensus,
+    graph: &AsGraph,
+) -> DaySummary {
     let shares = provider_table_shares(graph, day);
     let mut contribution = Vec::new();
     let mut cdfs = Vec::new();
     let mut interarrivals = Vec::new();
     for class in UpdateClass::FIGURE_CATEGORIES {
-        contribution.extend(contribution_points(&classified, class, &shares, day));
-        cdfs.push(prefix_as_cdf(&classified, class));
-        interarrivals.push(day_interarrival(&classified, class));
+        contribution.extend(contribution_points(classified, class, &shares, day));
+        cdfs.push(prefix_as_cdf(classified, class));
+        interarrivals.push(day_interarrival(classified, class));
     }
 
     // Peak 1-second rate (the paper: "bursts of updates at rates exceeding
     // 100 prefix announcements a second").
     let mut per_sec: BTreeMap<u64, u64> = BTreeMap::new();
-    for e in &classified {
+    for e in classified {
         *per_sec.entry(e.time_ms / 1000).or_default() += 1;
     }
     let peak_events_per_sec = per_sec.values().copied().max().unwrap_or(0);
 
-    let eps = episodes(&classified, 5 * 60 * 1000);
+    let eps = episodes(classified, 5 * 60 * 1000);
 
     DaySummary {
         day,
         total_events: classified.len() as u64,
-        breakdown: breakdown(&classified),
-        instability_bins: ten_minute_bins(&classified, instability_filter),
-        provider_rows: provider_daily_totals(&classified),
+        breakdown: breakdown(classified),
+        instability_bins: ten_minute_bins(classified, instability_filter),
+        provider_rows: provider_daily_totals(classified),
         cdfs,
         interarrivals,
         contribution,
-        affected: affected_day(&classified, result.census.prefixes.max(1), day),
+        affected: affected_day(classified, census.prefixes.max(1), day),
         affected_tuples: affected_tuples(
-            &classified,
-            result.census.prefixes.max(1), // tuples ≈ prefixes at the RS view
+            classified,
+            census.prefixes.max(1), // tuples ≈ prefixes at the RS view
         ),
         persistence_under_5min: persistence_below(&eps, 5 * 60 * 1000),
-        census: result.census,
+        census,
         peak_events_per_sec,
     }
 }

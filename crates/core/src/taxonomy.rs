@@ -58,6 +58,23 @@ impl UpdateClass {
         self as usize
     }
 
+    /// Inverse of [`UpdateClass::index`], for decoding persisted class
+    /// columns. Note [`UpdateClass::ALL`] is in *reporting* order, not
+    /// index order, so this is the only safe index-to-class mapping.
+    #[must_use]
+    pub fn from_index(i: usize) -> Option<UpdateClass> {
+        Some(match i {
+            0 => UpdateClass::WaDiff,
+            1 => UpdateClass::AaDiff,
+            2 => UpdateClass::WaDup,
+            3 => UpdateClass::AaDup,
+            4 => UpdateClass::WwDup,
+            5 => UpdateClass::Withdraw,
+            6 => UpdateClass::NewAnnounce,
+            _ => return None,
+        })
+    }
+
     /// All classes, in the paper's reporting order.
     pub const ALL: [UpdateClass; 7] = [
         UpdateClass::AaDiff,
@@ -141,6 +158,14 @@ mod tests {
         assert!(AaDup.is_pathological() && WwDup.is_pathological());
         assert!(!Withdraw.is_instability() && !Withdraw.is_pathological());
         assert!(!NewAnnounce.is_instability());
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        for c in UpdateClass::ALL {
+            assert_eq!(UpdateClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(UpdateClass::from_index(UpdateClass::COUNT), None);
     }
 
     #[test]

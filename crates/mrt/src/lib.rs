@@ -41,7 +41,7 @@ pub mod read;
 pub mod record;
 pub mod write;
 
-pub use read::MrtReader;
+pub use read::{MrtReader, MAX_BODY_LEN};
 pub use record::{
     Bgp4mpMessage, Bgp4mpStateChange, MrtError, MrtRecord, PeerState, TableDumpEntry,
 };

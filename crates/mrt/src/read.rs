@@ -27,6 +27,13 @@ pub struct MrtReader<R: Read> {
     records_read: u64,
 }
 
+/// Largest record body the reader will accept. A BGP message is at most
+/// 4096 bytes and a TABLE_DUMP entry's attribute block at most 64 KiB, so
+/// any header claiming more is corruption — without this cap a single
+/// flipped length byte makes the reader allocate up to 4 GiB before
+/// discovering the body isn't there.
+pub const MAX_BODY_LEN: usize = 1 << 20;
+
 impl<R: Read> MrtReader<R> {
     /// Wraps a source. For files, pass `BufReader::new(file)` — see the
     /// type-level performance note.
@@ -59,6 +66,9 @@ impl<R: Read> MrtReader<R> {
         let mrt_type = h.get_u16();
         let sub = h.get_u16();
         let len = h.get_u32() as usize;
+        if len > MAX_BODY_LEN {
+            return Err(MrtError::Oversized { len: len as u32 });
+        }
         let mut body = vec![0u8; len];
         match read_exact_or_eof(&mut self.source, &mut body)? {
             ReadOutcome::Full => {}
@@ -331,6 +341,29 @@ mod tests {
         MrtWriter::new(&mut buf).write(&msg_record(1)).unwrap();
         let mut r = MrtReader::new(&buf[..buf.len() - 3]);
         assert!(matches!(r.next_record(), Err(MrtError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_length_is_error_not_allocation() {
+        // A header claiming a 4 GiB body must fail fast, not allocate.
+        let mut buf = BytesMut::new();
+        buf.put_u32(833_155_200);
+        buf.put_u16(type_code::BGP4MP);
+        buf.put_u16(subtype::BGP4MP_MESSAGE);
+        buf.put_u32(u32::MAX);
+        let mut r = MrtReader::new(&buf[..]);
+        match r.next_record() {
+            Err(MrtError::Oversized { len }) => assert_eq!(len, u32::MAX),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_body_len_passes_real_records() {
+        // The cap is far above anything the writer can produce.
+        let mut buf = Vec::new();
+        MrtWriter::new(&mut buf).write(&msg_record(1)).unwrap();
+        assert!(buf.len() - 12 < super::MAX_BODY_LEN);
     }
 
     #[test]

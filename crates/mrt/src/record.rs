@@ -188,6 +188,13 @@ pub enum MrtError {
     Bgp(DecodeError),
     /// STATE_CHANGE carried an unknown state code.
     BadState(u16),
+    /// Record header claims a body larger than
+    /// [`MAX_BODY_LEN`](crate::read::MAX_BODY_LEN) — corruption, not a
+    /// record this format can produce.
+    Oversized {
+        /// The length the header claimed.
+        len: u32,
+    },
 }
 
 impl fmt::Display for MrtError {
@@ -201,6 +208,9 @@ impl fmt::Display for MrtError {
             MrtError::Malformed(what) => write!(f, "malformed MRT record: {what}"),
             MrtError::Bgp(e) => write!(f, "embedded BGP message: {e}"),
             MrtError::BadState(c) => write!(f, "unknown peer state code {c}"),
+            MrtError::Oversized { len } => {
+                write!(f, "record body length {len} exceeds the format maximum")
+            }
         }
     }
 }

@@ -153,6 +153,24 @@ proptest! {
     }
 
     #[test]
+    fn corrupt_length_fields_error_without_panic(
+        record in arb_record(),
+        claimed_len in any::<u32>(),
+    ) {
+        // Rewrite the header's length field to an arbitrary value: the
+        // reader must return an error (Truncated, Oversized, decode
+        // failure, …) or a record — never panic, never huge-allocate.
+        let mut buf = Vec::new();
+        MrtWriter::new(&mut buf).write(&record).unwrap();
+        buf[8..12].copy_from_slice(&claimed_len.to_be_bytes());
+        let mut reader = MrtReader::new(buf.as_slice());
+        if let Err(iri_mrt::MrtError::Oversized { len }) = reader.next_record() {
+            prop_assert!(claimed_len as usize > iri_mrt::MAX_BODY_LEN);
+            prop_assert_eq!(len, claimed_len);
+        }
+    }
+
+    #[test]
     fn reader_never_panics_on_truncated_valid_stream(
         records in prop::collection::vec(arb_record(), 1..5),
         cut_fraction in 0.0f64..1.0,

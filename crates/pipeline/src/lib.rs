@@ -32,7 +32,7 @@
 use iri_bgp::message::Message;
 use iri_core::input::{events_from_update, PeerKey, UpdateEvent};
 use iri_core::stats::sinks::StreamSinks;
-use iri_core::Classifier;
+use iri_core::{ClassifiedEvent, Classifier};
 use iri_mrt::{MrtReader, MrtRecord};
 use iri_obs::Registry;
 use std::borrow::Borrow;
@@ -76,7 +76,11 @@ impl Default for PipelineConfig {
 }
 
 impl PipelineConfig {
-    /// Config with an explicit worker count.
+    /// Config with the given worker count. `jobs == 0` is **not** a
+    /// zero-worker pipeline: it means "one worker per available CPU",
+    /// resolved by [`PipelineConfig::effective_jobs`] at run time. Every
+    /// run entry point derives its actual worker count from
+    /// `effective_jobs()`, never from the raw field.
     #[must_use]
     pub fn with_jobs(jobs: usize) -> Self {
         PipelineConfig {
@@ -85,15 +89,55 @@ impl PipelineConfig {
         }
     }
 
-    /// The effective worker count (resolves `jobs == 0`).
+    /// The effective worker count (resolves `jobs == 0` to the CPU count
+    /// via [`resolve_jobs`]). Always ≥ 1.
     #[must_use]
     pub fn effective_jobs(&self) -> usize {
-        if self.jobs > 0 {
-            self.jobs
-        } else {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        }
+        resolve_jobs(self.jobs)
     }
+}
+
+/// Resolves a worker-count knob: positive values pass through, 0 becomes
+/// "one per available CPU" (and 1 when parallelism can't be probed). Every
+/// place a worker count is derived — [`PipelineConfig::effective_jobs`],
+/// [`par_map`], downstream consumers like the store ingest — uses this one
+/// resolution, so a `jobs: 0` config means the same thing everywhere.
+///
+/// Anything that must be *deterministic across machines* (e.g. on-disk
+/// layouts) must not key off the resolved value: it varies with the CPU
+/// count. The store sink names segments by fixed logical shard instead.
+#[must_use]
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// A per-worker consumer of classified events, running inside the shard
+/// workers alongside the built-in statistics sinks. The store's segment
+/// writers implement this to persist events as they stream past.
+///
+/// Each worker owns one sink (built by the factory passed to
+/// [`analyze_events_with_sink`] / [`analyze_mrt_with_sink`]); `record` sees
+/// that worker's events in stream order, and `finish` fires once after the
+/// worker's last event. Sinks are returned to the caller in worker order.
+pub trait ClassifiedSink: Send {
+    /// Called for every classified event, in the worker's stream order.
+    fn record(&mut self, event: &UpdateEvent, classified: &ClassifiedEvent);
+
+    /// Called once when the worker's input is exhausted.
+    fn finish(&mut self) {}
+}
+
+/// The no-op sink behind the plain analysis entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ClassifiedSink for NullSink {
+    #[inline]
+    fn record(&mut self, _event: &UpdateEvent, _classified: &ClassifiedEvent) {}
 }
 
 /// Result of a pipeline run: merged classifier state, merged statistic
@@ -131,12 +175,13 @@ pub fn shard_of(event: &UpdateEvent, jobs: usize) -> usize {
 /// set, each batch's classification latency also lands in a worker-private
 /// registry histogram (merged after the join — no shared state on the hot
 /// path).
-fn run_worker<T: Borrow<UpdateEvent>>(
+fn run_worker<T: Borrow<UpdateEvent>, S: ClassifiedSink>(
     rx: &crossbeam::channel::Receiver<Vec<T>>,
     worker: usize,
     quiet_ms: u64,
     obs: bool,
-) -> (Classifier, StreamSinks, WorkerMetrics, Registry) {
+    mut sink: S,
+) -> WorkerResult<S> {
     let mut classifier = Classifier::new();
     let mut sinks = StreamSinks::new(quiet_ms);
     let mut metrics = WorkerMetrics::new(worker);
@@ -152,6 +197,7 @@ fn run_worker<T: Borrow<UpdateEvent>>(
         for event in &batch {
             let classified = classifier.classify(event.borrow());
             sinks.record(&classified);
+            sink.record(event.borrow(), &classified);
         }
         metrics.events += batch.len() as u64;
         metrics.batches += 1;
@@ -159,7 +205,8 @@ fn run_worker<T: Borrow<UpdateEvent>>(
         registry.observe(batch_us, t0.elapsed().as_micros() as u64);
         registry.observe(batch_events, batch.len() as u64);
     }
-    (classifier, sinks, metrics, registry)
+    sink.finish();
+    (classifier, sinks, metrics, registry, sink)
 }
 
 /// Sends a full batch, charging any queue-full wait to the ingest stage's
@@ -185,29 +232,43 @@ fn send_batch<T>(
     }
 }
 
+/// Everything one worker hands back when its queue closes.
+type WorkerResult<S> = (Classifier, StreamSinks, WorkerMetrics, Registry, S);
+
 /// Generic core: runs `produce` on the calling thread to feed per-shard
-/// batches, with `jobs` workers classifying concurrently.
-fn run_pipeline<T, F>(cfg: &PipelineConfig, produce: F) -> AnalysisResult
+/// batches, with `jobs` workers classifying concurrently. Each worker owns
+/// the sink `factory(worker, jobs)` builds; sinks come back in worker
+/// order alongside the merged analysis result.
+fn run_pipeline<T, F, S, SF>(
+    cfg: &PipelineConfig,
+    produce: F,
+    factory: SF,
+) -> (AnalysisResult, Vec<S>)
 where
     T: Borrow<UpdateEvent> + Send,
     F: FnOnce(&mut dyn FnMut(usize, T), usize),
+    S: ClassifiedSink,
+    SF: Fn(usize, usize) -> S + Sync,
 {
     let jobs = cfg.effective_jobs();
     let batch_size = cfg.batch_size.max(1);
     let wall = Instant::now();
     let mut ingest = StageMetrics::default();
-    let mut results: Vec<Option<(Classifier, StreamSinks, WorkerMetrics, Registry)>> = Vec::new();
+    let mut results: Vec<Option<WorkerResult<S>>> = Vec::new();
     results.resize_with(jobs, || None);
 
     crossbeam::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(jobs);
         let mut handles = Vec::with_capacity(jobs);
+        let factory = &factory;
         for worker in 0..jobs {
             let (tx, rx) = crossbeam::channel::bounded::<Vec<T>>(cfg.queue_depth.max(1));
             let quiet_ms = cfg.quiet_ms;
             let obs = cfg.obs;
             txs.push(tx);
-            handles.push(scope.spawn(move |_| run_worker(&rx, worker, quiet_ms, obs)));
+            handles.push(
+                scope.spawn(move |_| run_worker(&rx, worker, quiet_ms, obs, factory(worker, jobs))),
+            );
         }
 
         let ingest_t0 = Instant::now();
@@ -241,17 +302,19 @@ where
     let mut classifier = Classifier::new();
     let mut sinks = StreamSinks::new(cfg.quiet_ms);
     let mut workers = Vec::with_capacity(jobs);
+    let mut worker_sinks = Vec::with_capacity(jobs);
     let mut registry = if cfg.obs {
         Registry::new()
     } else {
         Registry::disabled()
     };
     for slot in results {
-        let (c, s, m, r) = slot.expect("worker result");
+        let (c, s, m, r, ws) = slot.expect("worker result");
         classifier.merge(c);
         sinks.merge(s);
         workers.push(m);
         registry.merge(&r);
+        worker_sinks.push(ws);
     }
     let metrics = PipelineMetrics {
         jobs,
@@ -265,12 +328,15 @@ where
     if cfg.obs {
         metrics.to_registry(&mut registry);
     }
-    AnalysisResult {
-        classifier,
-        sinks,
-        metrics,
-        registry,
-    }
+    (
+        AnalysisResult {
+            classifier,
+            sinks,
+            metrics,
+            registry,
+        },
+        worker_sinks,
+    )
 }
 
 /// Analyzes an in-memory event stream with `cfg.jobs` workers. The merged
@@ -278,11 +344,35 @@ where
 /// batch statistics functions, for any worker count.
 #[must_use]
 pub fn analyze_events(events: &[UpdateEvent], cfg: &PipelineConfig) -> AnalysisResult {
-    run_pipeline::<&UpdateEvent, _>(cfg, |push, jobs| {
-        for event in events {
-            push(shard_of(event, jobs), event);
-        }
-    })
+    analyze_events_with_sink(events, cfg, shard_of, |_, _| NullSink).0
+}
+
+/// [`analyze_events`] with a custom per-worker [`ClassifiedSink`] and
+/// shard assignment.
+///
+/// `shard` maps each event to a worker in `0..jobs`; it must keep all
+/// events of one `(peer AS, prefix)` pair on one worker ([`shard_of`] does,
+/// as does any `fixed_shard % jobs` scheme). `factory(worker, jobs)` builds
+/// worker `worker`'s sink; the sinks come back in worker order.
+pub fn analyze_events_with_sink<S, SF>(
+    events: &[UpdateEvent],
+    cfg: &PipelineConfig,
+    shard: impl Fn(&UpdateEvent, usize) -> usize,
+    factory: SF,
+) -> (AnalysisResult, Vec<S>)
+where
+    S: ClassifiedSink,
+    SF: Fn(usize, usize) -> S + Sync,
+{
+    run_pipeline::<&UpdateEvent, _, S, SF>(
+        cfg,
+        |push, jobs| {
+            for event in events {
+                push(shard(event, jobs), event);
+            }
+        },
+        factory,
+    )
 }
 
 /// Analyzes an MRT stream with chunked ingestion: records are read and
@@ -299,36 +389,60 @@ pub fn analyze_mrt<R: Read>(
     base_time: u32,
     cfg: &PipelineConfig,
 ) -> (AnalysisResult, u64) {
+    let (result, _, records) =
+        analyze_mrt_with_sink(reader, base_time, cfg, shard_of, |_, _| NullSink);
+    (result, records)
+}
+
+/// [`analyze_mrt`] with a custom per-worker [`ClassifiedSink`] and shard
+/// assignment — the store's ingest path. See
+/// [`analyze_events_with_sink`] for the `shard` / `factory` contract.
+pub fn analyze_mrt_with_sink<R, S, SF>(
+    reader: &mut MrtReader<R>,
+    base_time: u32,
+    cfg: &PipelineConfig,
+    shard: impl Fn(&UpdateEvent, usize) -> usize,
+    factory: SF,
+) -> (AnalysisResult, Vec<S>, u64)
+where
+    R: Read,
+    S: ClassifiedSink,
+    SF: Fn(usize, usize) -> S + Sync,
+{
     let mut records_read = 0u64;
     let mut base = base_time;
-    let result = run_pipeline::<UpdateEvent, _>(cfg, |push, jobs| loop {
-        match reader.next_record() {
-            Ok(Some(record)) => {
-                records_read += 1;
-                if base == 0 {
-                    base = record.timestamp();
-                }
-                if let MrtRecord::Bgp4mpMessage(m) = record {
-                    if let Message::Update(update) = &m.message {
-                        let time_ms = u64::from(m.timestamp.saturating_sub(base)) * 1000;
-                        let peer = PeerKey {
-                            asn: m.peer_asn,
-                            addr: m.peer_ip,
-                        };
-                        for event in events_from_update(time_ms, peer, update) {
-                            push(shard_of(&event, jobs), event);
+    let (result, sinks) = run_pipeline::<UpdateEvent, _, S, SF>(
+        cfg,
+        |push, jobs| loop {
+            match reader.next_record() {
+                Ok(Some(record)) => {
+                    records_read += 1;
+                    if base == 0 {
+                        base = record.timestamp();
+                    }
+                    if let MrtRecord::Bgp4mpMessage(m) = record {
+                        if let Message::Update(update) = &m.message {
+                            let time_ms = u64::from(m.timestamp.saturating_sub(base)) * 1000;
+                            let peer = PeerKey {
+                                asn: m.peer_asn,
+                                addr: m.peer_ip,
+                            };
+                            for event in events_from_update(time_ms, peer, update) {
+                                push(shard(&event, jobs), event);
+                            }
                         }
                     }
                 }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("pipeline: warning: stopping at malformed record: {e}");
+                    break;
+                }
             }
-            Ok(None) => break,
-            Err(e) => {
-                eprintln!("pipeline: warning: stopping at malformed record: {e}");
-                break;
-            }
-        }
-    });
-    (result, records_read)
+        },
+        factory,
+    );
+    (result, sinks, records_read)
 }
 
 /// Ordered parallel map over independent items — the engine behind the
@@ -341,12 +455,7 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let jobs = if jobs > 0 {
-        jobs
-    } else {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    };
-    let jobs = jobs.min(items.len().max(1));
+    let jobs = resolve_jobs(jobs).min(items.len().max(1));
     let n = items.len();
     let wall = Instant::now();
     let mut ingest = StageMetrics::default();
@@ -566,6 +675,101 @@ mod tests {
                 .map_or(0, iri_obs::Histogram::count),
             0
         );
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_cpu_count_everywhere() {
+        // Satellite contract: `jobs == 0` always resolves through
+        // `resolve_jobs`, never runs zero workers, and every derived
+        // worker count agrees.
+        let resolved = resolve_jobs(0);
+        assert!(resolved >= 1);
+        assert_eq!(PipelineConfig::with_jobs(0).effective_jobs(), resolved);
+        assert_eq!(PipelineConfig::default().effective_jobs(), resolved);
+        assert_eq!(PipelineConfig::with_jobs(3).effective_jobs(), 3);
+        assert_eq!(resolve_jobs(7), 7);
+
+        let events = synthetic_stream(500);
+        let result = analyze_events(&events, &PipelineConfig::with_jobs(0));
+        assert_eq!(result.metrics.jobs, resolved);
+        assert_eq!(result.metrics.workers.len(), resolved);
+
+        let (_, metrics) = par_map((0..100u64).collect(), 0, |x| x);
+        assert_eq!(metrics.jobs, resolved.min(100));
+    }
+
+    /// A sink that records every event it sees, to check sink wiring:
+    /// per-worker stream order, classified classes, and `finish`.
+    struct CollectSink {
+        worker: usize,
+        seen: Vec<(u64, UpdateClass)>,
+        finished: bool,
+    }
+
+    impl ClassifiedSink for CollectSink {
+        fn record(&mut self, event: &UpdateEvent, classified: &ClassifiedEvent) {
+            assert_eq!(event.time_ms, classified.time_ms);
+            self.seen.push((classified.time_ms, classified.class));
+        }
+        fn finish(&mut self) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn sinks_see_every_event_in_worker_order() {
+        let events = synthetic_stream(4_000);
+        let mut cfg = PipelineConfig::with_jobs(3);
+        cfg.batch_size = 128;
+        let (result, sinks) =
+            analyze_events_with_sink(&events, &cfg, shard_of, |worker, _| CollectSink {
+                worker,
+                seen: Vec::new(),
+                finished: false,
+            });
+        assert_eq!(sinks.len(), 3);
+        let mut total = 0;
+        for (i, s) in sinks.iter().enumerate() {
+            assert_eq!(s.worker, i, "sinks return in worker order");
+            assert!(s.finished);
+            // Per-worker stream order: times never go backwards.
+            assert!(s.seen.windows(2).all(|w| w[0].0 <= w[1].0));
+            total += s.seen.len();
+        }
+        assert_eq!(total as u64, result.classifier.total());
+        // Sink classes tally to the classifier's counts.
+        for class in UpdateClass::ALL {
+            let from_sinks: u64 = sinks
+                .iter()
+                .flat_map(|s| &s.seen)
+                .filter(|(_, c)| *c == class)
+                .count() as u64;
+            assert_eq!(from_sinks, result.classifier.count(class), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn custom_shard_fn_preserves_equivalence() {
+        // The store's scheme: fixed logical shard, then % jobs.
+        let events = synthetic_stream(5_000);
+        let mut seq = Classifier::new();
+        seq.classify_all(&events);
+        for jobs in [1usize, 2, 5] {
+            let (result, _) = analyze_events_with_sink(
+                &events,
+                &PipelineConfig::with_jobs(jobs),
+                |e, jobs| shard_of(e, 16) % jobs,
+                |_, _| NullSink,
+            );
+            assert_eq!(result.classifier.total(), seq.total());
+            for class in UpdateClass::ALL {
+                assert_eq!(
+                    result.classifier.count(class),
+                    seq.count(class),
+                    "jobs={jobs}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Ingest: routing classified events into per-shard segment writers.
+//!
+//! Two paths produce identical stores:
+//!
+//! - [`ingest_mrt`] runs the sharded streaming pipeline with a
+//!   [`StoreSink`] in every worker. The shard function routes each event
+//!   to worker `logical_shard % jobs`, so every logical shard's stream —
+//!   and therefore every segment file — is identical at any `--jobs`.
+//! - [`StoreWriter`] is the single-threaded writer behind the sink, also
+//!   used directly when events already carry causal provenance (simulator
+//!   traces, figure caches).
+//!
+//! [`compact`] rewrites shards whose segment chain has ragged row counts
+//! into the canonical form: every segment full at `target_rows` except the
+//! shard's last. Because segment encoding is a pure function of the row
+//! stream, compaction output depends only on the logical store content.
+
+use crate::query::{write_manifest, Manifest, SegmentMeta};
+use crate::segment::{segment_file_name, SegmentBuilder, SegmentData};
+use crate::{
+    logical_shard, shard_of_event, StoreError, StoredEvent, DEFAULT_SEGMENT_ROWS, LOGICAL_SHARDS,
+    MANIFEST_FILE,
+};
+use iri_core::classifier::ClassifiedEvent;
+use iri_core::input::UpdateEvent;
+use iri_mrt::MrtReader;
+use iri_obs::cause::Cause;
+use iri_pipeline::{analyze_mrt_with_sink, AnalysisResult, ClassifiedSink, PipelineConfig};
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Ingest tuning: pipeline worker settings plus the segment roll size.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Worker pool configuration for the streaming pipeline.
+    pub pipeline: PipelineConfig,
+    /// Rows per segment before the writer rolls to a new file. Part of
+    /// the store's identity: two stores are byte-comparable only if they
+    /// were written (or compacted) with the same value.
+    pub segment_rows: u32,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            pipeline: PipelineConfig::default(),
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Sets the worker count (0 = one per CPU).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pipeline.jobs = jobs;
+        self
+    }
+
+    /// Sets the segment roll size.
+    #[must_use]
+    pub fn with_segment_rows(mut self, rows: u32) -> Self {
+        self.segment_rows = rows.max(1);
+        self
+    }
+}
+
+/// Removes stale store files so re-ingest into an existing directory
+/// cannot leave orphaned segments behind the new manifest.
+fn prepare_dir(dir: &Path) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == MANIFEST_FILE || name.ends_with(".seg") {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic per-shard segment writer.
+///
+/// Events are routed by [`logical_shard`]; each shard accumulates rows in
+/// a [`SegmentBuilder`] and rolls to a numbered file every `segment_rows`
+/// rows. One writer may own any subset of the shards — ingest workers each
+/// own the shards congruent to their worker index — since shards never
+/// share files or sequence counters.
+#[derive(Debug)]
+pub struct StoreWriter {
+    dir: PathBuf,
+    segment_rows: u32,
+    builders: Vec<Option<SegmentBuilder>>,
+    seqs: Vec<u32>,
+    metas: Vec<SegmentMeta>,
+}
+
+impl StoreWriter {
+    /// Creates a store directory (clearing any previous store in it) and
+    /// a writer over all shards. For single-threaded ingest of
+    /// pre-classified streams; pair with [`StoreWriter::commit`].
+    pub fn create(dir: &Path, segment_rows: u32) -> Result<Self, StoreError> {
+        prepare_dir(dir)?;
+        Ok(StoreWriter::attach(dir, segment_rows))
+    }
+
+    /// A writer over an already-prepared directory; does not clear
+    /// existing files. Used by the per-worker ingest sinks.
+    #[must_use]
+    pub fn attach(dir: &Path, segment_rows: u32) -> Self {
+        StoreWriter {
+            dir: dir.to_path_buf(),
+            segment_rows: segment_rows.max(1),
+            builders: (0..LOGICAL_SHARDS).map(|_| None).collect(),
+            seqs: vec![0; LOGICAL_SHARDS],
+            metas: Vec::new(),
+        }
+    }
+
+    /// Appends one event, rolling its shard's segment if full.
+    pub fn push(&mut self, ev: &StoredEvent) -> Result<(), StoreError> {
+        let shard = logical_shard(ev.peer.asn, ev.prefix);
+        let builder = self.builders[shard].get_or_insert_with(|| SegmentBuilder::new(shard as u16));
+        builder.push(ev);
+        if builder.rows() >= self.segment_rows {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    fn flush_shard(&mut self, shard: usize) -> Result<(), StoreError> {
+        let Some(builder) = self.builders[shard].take() else {
+            return Ok(());
+        };
+        if builder.is_empty() {
+            return Ok(());
+        }
+        let seq = self.seqs[shard];
+        let file = segment_file_name(shard, seq);
+        let (bytes, meta) = builder.encode(file.clone(), seq);
+        fs::write(self.dir.join(&file), &bytes)?;
+        self.metas.push(meta);
+        self.seqs[shard] = seq + 1;
+        Ok(())
+    }
+
+    /// Flushes every shard's partial segment to disk.
+    pub fn flush_all(&mut self) -> Result<(), StoreError> {
+        for shard in 0..LOGICAL_SHARDS {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Takes the manifest entries written so far (after [`flush_all`]).
+    ///
+    /// [`flush_all`]: StoreWriter::flush_all
+    #[must_use]
+    pub fn take_metas(&mut self) -> Vec<SegmentMeta> {
+        std::mem::take(&mut self.metas)
+    }
+
+    /// Flushes everything and writes the manifest. `records_read` is
+    /// carried into the manifest for provenance (0 if unknown).
+    pub fn commit(mut self, records_read: u64) -> Result<Manifest, StoreError> {
+        self.flush_all()?;
+        let metas = self.take_metas();
+        write_manifest(&self.dir, metas, self.segment_rows, records_read)
+    }
+}
+
+/// Per-worker pipeline sink that persists every classified event. MRT
+/// ingest has no simulator provenance, so rows carry [`Cause::Unknown`].
+#[derive(Debug)]
+pub struct StoreSink {
+    writer: StoreWriter,
+    error: Option<StoreError>,
+}
+
+impl StoreSink {
+    /// A sink writing into `dir` (which must already be prepared).
+    #[must_use]
+    pub fn new(dir: &Path, segment_rows: u32) -> Self {
+        StoreSink {
+            writer: StoreWriter::attach(dir, segment_rows),
+            error: None,
+        }
+    }
+
+    fn into_metas(mut self) -> Result<Vec<SegmentMeta>, StoreError> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.writer.take_metas()),
+        }
+    }
+}
+
+impl ClassifiedSink for StoreSink {
+    fn record(&mut self, _event: &UpdateEvent, classified: &ClassifiedEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let row = StoredEvent::from_classified(classified, Cause::Unknown);
+        if let Err(e) = self.writer.push(&row) {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.flush_all() {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// What [`ingest_mrt`] hands back: the manifest just written plus the
+/// full streaming-analysis result computed in the same pass.
+pub struct IngestOutcome {
+    /// Manifest of the store just written.
+    pub manifest: Manifest,
+    /// The streaming analysis computed alongside ingest — one pass over
+    /// the log yields both the archive and the report.
+    pub analysis: AnalysisResult,
+    /// MRT records read from the input.
+    pub records_read: u64,
+}
+
+/// Ingests an MRT update log into a store directory using the sharded
+/// parallel pipeline, returning the manifest and the streaming analysis.
+///
+/// Events are routed to workers by `logical_shard % jobs`, so the segment
+/// files are byte-identical at any worker count.
+pub fn ingest_mrt<R: Read>(
+    dir: &Path,
+    reader: &mut MrtReader<R>,
+    base_time: u32,
+    cfg: &IngestConfig,
+) -> Result<IngestOutcome, StoreError> {
+    prepare_dir(dir)?;
+    let segment_rows = cfg.segment_rows.max(1);
+    let (analysis, sinks, records_read) = analyze_mrt_with_sink(
+        reader,
+        base_time,
+        &cfg.pipeline,
+        |event, jobs| shard_of_event(event) % jobs,
+        |_worker, _jobs| StoreSink::new(dir, segment_rows),
+    );
+    let mut metas = Vec::new();
+    for sink in sinks {
+        metas.extend(sink.into_metas()?);
+    }
+    let manifest = write_manifest(dir, metas, segment_rows, records_read)?;
+    Ok(IngestOutcome {
+        manifest,
+        analysis,
+        records_read,
+    })
+}
+
+/// What [`compact`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Shards whose segment chains were rewritten.
+    pub shards_rewritten: usize,
+    /// Segment files before compaction.
+    pub segments_before: usize,
+    /// Segment files after compaction.
+    pub segments_after: usize,
+}
+
+/// Rewrites every shard whose segment chain is not in canonical form —
+/// all segments holding exactly `target_rows` rows except the shard's
+/// last — by re-encoding its row stream into fresh segments.
+///
+/// Deterministic: the output bytes are a pure function of the store's
+/// logical content and `target_rows`. Compacting two stores that hold the
+/// same events (e.g. written with different original segment sizes)
+/// yields byte-identical directories; compacting twice is a no-op.
+pub fn compact(dir: &Path, target_rows: u32) -> Result<CompactReport, StoreError> {
+    let target_rows = target_rows.max(1);
+    let manifest = crate::query::read_manifest(dir)?;
+    let segments_before = manifest.segments.len();
+
+    let mut by_shard: Vec<Vec<&SegmentMeta>> = (0..LOGICAL_SHARDS).map(|_| Vec::new()).collect();
+    for meta in &manifest.segments {
+        let shard = meta.shard as usize;
+        if shard >= LOGICAL_SHARDS {
+            return Err(StoreError::Corrupt(format!(
+                "manifest segment shard {shard} out of range"
+            )));
+        }
+        by_shard[shard].push(meta);
+    }
+
+    let mut new_metas: Vec<SegmentMeta> = Vec::new();
+    let mut shards_rewritten = 0usize;
+    for (shard, metas) in by_shard.iter().enumerate() {
+        let canonical = metas.iter().enumerate().all(|(i, m)| {
+            m.seq == i as u32 && (i + 1 == metas.len() || m.rows == u64::from(target_rows))
+        }) && metas
+            .last()
+            .is_none_or(|m| m.rows <= u64::from(target_rows));
+        if canonical {
+            new_metas.extend(metas.iter().map(|m| (*m).clone()));
+            continue;
+        }
+        shards_rewritten += 1;
+
+        // Decode the shard's full row stream in segment order.
+        let mut rows: Vec<StoredEvent> = Vec::new();
+        for meta in metas {
+            let bytes = fs::read(dir.join(&meta.file))?;
+            let seg = SegmentData::decode(&bytes)?;
+            for i in 0..seg.len() {
+                rows.push(seg.event(i));
+            }
+        }
+        for meta in metas {
+            fs::remove_file(dir.join(&meta.file))?;
+        }
+
+        // Re-encode into canonical segments.
+        let mut seq = 0u32;
+        let mut builder = SegmentBuilder::new(shard as u16);
+        for row in &rows {
+            builder.push(row);
+            if builder.rows() >= target_rows {
+                let file = segment_file_name(shard, seq);
+                let (bytes, meta) =
+                    std::mem::replace(&mut builder, SegmentBuilder::new(shard as u16))
+                        .encode(file.clone(), seq);
+                fs::write(dir.join(&file), &bytes)?;
+                new_metas.push(meta);
+                seq += 1;
+            }
+        }
+        if !builder.is_empty() {
+            let file = segment_file_name(shard, seq);
+            let (bytes, meta) = builder.encode(file.clone(), seq);
+            fs::write(dir.join(&file), &bytes)?;
+            new_metas.push(meta);
+        }
+    }
+
+    let segments_after = new_metas.len();
+    write_manifest(dir, new_metas, target_rows, manifest.records_read)?;
+    Ok(CompactReport {
+        shards_rewritten,
+        segments_before,
+        segments_after,
+    })
+}

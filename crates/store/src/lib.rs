@@ -1,0 +1,232 @@
+//! # iri-store — embedded columnar segment store for classified update streams
+//!
+//! The paper's measurement apparatus was a database: *"The probe machines
+//! forward routing updates to a central database … where they are logged"*
+//! (§3). Nine months of Mae-East instrumentation produced tens of millions
+//! of updates, and every figure in the paper is a different slice of that
+//! one archive — counts by class per day (Fig 2), per peer (Fig 4), per
+//! prefix (Fig 5), time-of-day bins (Fig 8), fine-grained time series fed
+//! to FFT/autocorrelation (§5.2). Re-parsing the raw logs for every slice
+//! is what this crate removes: classify once, store the classified stream
+//! in a compressed columnar form, then answer every slice with a pruned
+//! scan.
+//!
+//! ## Layout
+//!
+//! A store is a directory of immutable **segment files** plus a
+//! `MANIFEST.json`. Events are routed to one of [`LOGICAL_SHARDS`] logical
+//! shards by a hash of their (peer AS, prefix) pair — the same pair
+//! locality the streaming pipeline uses — and each shard's event stream is
+//! cut into segments of a fixed row count. Inside a segment every field is
+//! a separate column: delta-compressed timestamps, dictionary-encoded
+//! peers and prefixes, one byte per row for the packed (class, cause)
+//! pair, a bit-packed policy-change flag, and varint NLRI sizes. Each
+//! segment footer carries **zone maps** (min/max time, per-class and
+//! per-cause counts, peer/prefix membership bitmaps) that the manifest
+//! replicates so queries prune segments without touching the files.
+//!
+//! Because the shard count and segment row count are fixed, the encoded
+//! bytes depend only on the logical event stream — not on `--jobs`, not on
+//! the machine. Ingesting the same log twice produces byte-identical
+//! segments; so does [`compact`]ing two stores that started from different
+//! segment sizes. See `DESIGN.md` for the format contract.
+//!
+//! ```no_run
+//! use iri_store::{Query, Store};
+//!
+//! let mut store = Store::open(std::path::Path::new("trace.store")).unwrap();
+//! let q = Query::default().time_range_ms(0, 86_400_000);
+//! let (counts, stats) = store.count_by_class(&q).unwrap();
+//! println!("WWDup day 0: {} (pruned {:.0}% of segments)",
+//!     counts[iri_core::taxonomy::UpdateClass::WwDup.index()],
+//!     stats.prune_ratio() * 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod query;
+pub mod segment;
+
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::classifier::ClassifiedEvent;
+use iri_core::input::{PeerKey, UpdateEvent};
+use iri_core::taxonomy::UpdateClass;
+use iri_obs::cause::Cause;
+use std::fmt;
+use std::io;
+
+pub use ingest::{compact, ingest_mrt, CompactReport, IngestConfig, IngestOutcome, StoreWriter};
+pub use query::{Manifest, Query, ScanStats, SegmentMeta, Store};
+pub use segment::{SegmentBuilder, SegmentData};
+
+/// Number of logical shards an event stream is split into. Part of the
+/// on-disk format: changing it changes every segment boundary and file
+/// name, so it is fixed independently of the worker count — ingest at any
+/// `--jobs` produces the same files.
+pub const LOGICAL_SHARDS: usize = 32;
+
+/// Default rows per segment before the writer rolls to a new file.
+pub const DEFAULT_SEGMENT_ROWS: u32 = 65_536;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Anything that can go wrong opening, writing, or querying a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A segment or manifest failed structural validation.
+    Corrupt(String),
+    /// The manifest failed to serialize or parse.
+    Json(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::Json(what) => write!(f, "manifest JSON error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// SplitMix64 finalizer — the store's only hash function, used for shard
+/// routing and the zone-map membership bitmaps. Fixed forever: it is part
+/// of the on-disk format.
+#[must_use]
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The logical shard an event belongs to, as a function of its
+/// (peer AS, prefix) pair only. All events of one pair land in one shard,
+/// preserving the per-pair ordering the classifier and the episode /
+/// inter-arrival statistics depend on.
+#[must_use]
+pub fn logical_shard(asn: Asn, prefix: Prefix) -> usize {
+    let packed =
+        (u64::from(asn.0) << 38) ^ (u64::from(prefix.bits()) << 6) ^ u64::from(prefix.len());
+    (splitmix64(packed) % LOGICAL_SHARDS as u64) as usize
+}
+
+/// [`logical_shard`] keyed off a raw pipeline event.
+#[must_use]
+pub fn shard_of_event(event: &UpdateEvent) -> usize {
+    logical_shard(event.peer.asn, event.prefix)
+}
+
+/// Wire size of one NLRI entry as RFC 4271 encodes it: a length octet plus
+/// `ceil(len / 8)` address octets. This is the "size" column — the paper's
+/// bandwidth estimates (§3: "updates … at times exceeding 30 MB per hour")
+/// are byte counts, not update counts.
+#[must_use]
+pub fn nlri_wire_bytes(prefix: Prefix) -> u32 {
+    1 + u32::from(prefix.len()).div_ceil(8)
+}
+
+/// One classified update event as the store persists it: the classifier
+/// output plus the causal provenance tag and the on-wire NLRI size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredEvent {
+    /// Event time in ms since the trace epoch.
+    pub time_ms: u64,
+    /// Sending peer.
+    pub peer: PeerKey,
+    /// Affected prefix.
+    pub prefix: Prefix,
+    /// Taxonomy class (§4).
+    pub class: UpdateClass,
+    /// Causal provenance, [`Cause::Unknown`] for plain MRT ingest.
+    pub cause: Cause,
+    /// AADup with non-forwarding attribute change (policy fluctuation).
+    pub policy_change: bool,
+    /// NLRI wire bytes for this event.
+    pub size: u32,
+}
+
+impl StoredEvent {
+    /// Builds a row from classifier output, deriving the size column.
+    #[must_use]
+    pub fn from_classified(c: &ClassifiedEvent, cause: Cause) -> Self {
+        StoredEvent {
+            time_ms: c.time_ms,
+            peer: c.peer,
+            prefix: c.prefix,
+            class: c.class,
+            cause,
+            policy_change: c.policy_change,
+            size: nlri_wire_bytes(c.prefix),
+        }
+    }
+
+    /// Projects the row back to the classifier-output view the streaming
+    /// statistics sinks consume, for store-backed report reconstruction.
+    #[must_use]
+    pub fn to_classified(&self) -> ClassifiedEvent {
+        ClassifiedEvent {
+            time_ms: self.time_ms,
+            peer: self.peer,
+            prefix: self.prefix,
+            class: self.class,
+            policy_change: self.policy_change,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn logical_shard_is_pair_local_and_in_range() {
+        let p1 = Prefix::from_raw(0xc0a8_0000, 16);
+        let p2 = Prefix::from_raw(0x0a00_0000, 8);
+        for asn in [1u32, 701, 65_000] {
+            let s = logical_shard(Asn(asn), p1);
+            assert!(s < LOGICAL_SHARDS);
+            // Same pair, same shard — independent of anything else.
+            assert_eq!(s, logical_shard(Asn(asn), p1));
+            // Routing keys off the pair, so the event view must agree.
+            let ev = UpdateEvent::withdraw(
+                5,
+                PeerKey {
+                    asn: Asn(asn),
+                    addr: Ipv4Addr::new(10, 0, 0, 1),
+                },
+                p2,
+            );
+            assert_eq!(shard_of_event(&ev), logical_shard(Asn(asn), p2));
+        }
+    }
+
+    #[test]
+    fn nlri_sizes_match_rfc4271_encoding() {
+        assert_eq!(nlri_wire_bytes(Prefix::from_raw(0, 0)), 1);
+        assert_eq!(nlri_wire_bytes(Prefix::from_raw(0x0a00_0000, 8)), 2);
+        assert_eq!(nlri_wire_bytes(Prefix::from_raw(0xc0a8_0000, 17)), 4);
+        assert_eq!(nlri_wire_bytes(Prefix::from_raw(0xc0a8_0100, 24)), 4);
+        assert_eq!(nlri_wire_bytes(Prefix::from_raw(1, 32)), 5);
+    }
+}

@@ -1,0 +1,686 @@
+//! Query engine: manifest, zone-map pruning, scans, and aggregations.
+//!
+//! Every query walks the manifest in (shard, seq) order and decides, per
+//! segment, one of three fates:
+//!
+//! 1. **pruned** — the zone maps prove no row can match; the file is
+//!    never opened;
+//! 2. **zone-answered** — for grouped counts with no row-level
+//!    predicates, a segment fully inside the time window is answered
+//!    from its footer counts alone;
+//! 3. **scanned** — the file is decoded and rows are filtered
+//!    column-wise.
+//!
+//! [`ScanStats`] reports the split, and [`ScanStats::prune_ratio`] is the
+//! number the `bench_store` harness tracks: the fraction of the archive a
+//! time-windowed query never had to read.
+
+use crate::segment::{
+    bloom_contains, peer_bloom_hash, prefix_bloom_hash, SegmentData, BLOOM_WORDS,
+};
+use crate::{StoreError, StoredEvent, LOGICAL_SHARDS, MANIFEST_FILE};
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::fxhash::FxHashMap;
+use iri_core::taxonomy::UpdateClass;
+use iri_obs::cause::Cause;
+use iri_obs::registry::{CounterId, HistogramId, Registry};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Manifest version this crate writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One segment's manifest entry: location plus the zone maps replicated
+/// from the segment footer so pruning needs no file I/O.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Logical shard.
+    pub shard: u32,
+    /// Position in the shard's segment chain.
+    pub seq: u32,
+    /// Row count.
+    pub rows: u64,
+    /// Encoded file size in bytes.
+    pub bytes: u64,
+    /// Smallest event time in the segment (ms).
+    pub min_time_ms: u64,
+    /// Largest event time in the segment (ms).
+    pub max_time_ms: u64,
+    /// Rows per taxonomy class, indexed by [`UpdateClass::index`].
+    pub class_counts: [u64; UpdateClass::COUNT],
+    /// Rows per cause, indexed by [`Cause::index`].
+    pub cause_counts: [u64; Cause::COUNT],
+    /// Rows with the policy-change flag set.
+    pub policy_changes: u64,
+    /// 256-bit membership bitmap over peer AS numbers.
+    pub peer_bloom: [u64; BLOOM_WORDS],
+    /// 256-bit membership bitmap over prefixes.
+    pub prefix_bloom: [u64; BLOOM_WORDS],
+}
+
+/// The store's root metadata, `MANIFEST.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Logical shard count the store was written with.
+    pub logical_shards: u32,
+    /// Segment roll size the store was written with.
+    pub segment_rows: u32,
+    /// MRT records read by the ingest that produced the store (0 if the
+    /// store was written from an in-memory event stream).
+    pub records_read: u64,
+    /// Total rows across all segments.
+    pub total_events: u64,
+    /// Smallest event time in the store (ms; 0 if empty).
+    pub min_time_ms: u64,
+    /// Largest event time in the store (ms; 0 if empty).
+    pub max_time_ms: u64,
+    /// Every segment, sorted by (shard, seq).
+    pub segments: Vec<SegmentMeta>,
+}
+
+/// Reads and validates `MANIFEST.json` from a store directory.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = fs::read_to_string(&path)?;
+    let manifest: Manifest =
+        serde_json::from_str(&text).map_err(|e| StoreError::Json(e.to_string()))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported manifest version {}",
+            manifest.version
+        )));
+    }
+    if manifest.logical_shards != LOGICAL_SHARDS as u32 {
+        return Err(StoreError::Corrupt(format!(
+            "manifest written with {} logical shards, this build uses {}",
+            manifest.logical_shards, LOGICAL_SHARDS
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Sorts segment entries canonically, derives store-level totals, and
+/// writes `MANIFEST.json`. Returns the manifest written.
+pub fn write_manifest(
+    dir: &Path,
+    mut segments: Vec<SegmentMeta>,
+    segment_rows: u32,
+    records_read: u64,
+) -> Result<Manifest, StoreError> {
+    segments.sort_by_key(|m| (m.shard, m.seq));
+    let total_events: u64 = segments.iter().map(|m| m.rows).sum();
+    let min_time_ms = segments
+        .iter()
+        .filter(|m| m.rows > 0)
+        .map(|m| m.min_time_ms)
+        .min()
+        .unwrap_or(0);
+    let max_time_ms = segments.iter().map(|m| m.max_time_ms).max().unwrap_or(0);
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        logical_shards: LOGICAL_SHARDS as u32,
+        segment_rows,
+        records_read,
+        total_events,
+        min_time_ms,
+        max_time_ms,
+        segments,
+    };
+    let text =
+        serde_json::to_string_pretty(&manifest).map_err(|e| StoreError::Json(e.to_string()))?;
+    fs::write(dir.join(MANIFEST_FILE), text)?;
+    Ok(manifest)
+}
+
+/// A conjunctive filter over the stored columns. The default matches
+/// everything; builder methods narrow it. Time ranges are half-open
+/// `[from_ms, to_ms)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Inclusive lower time bound (ms).
+    pub from_ms: u64,
+    /// Exclusive upper time bound (ms).
+    pub to_ms: u64,
+    /// Keep only rows from this peer AS.
+    pub peer_asn: Option<Asn>,
+    /// Keep only rows for this exact prefix.
+    pub prefix: Option<Prefix>,
+    /// Keep only rows of this taxonomy class.
+    pub class: Option<UpdateClass>,
+    /// Keep only rows with this causal provenance.
+    pub cause: Option<Cause>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            from_ms: 0,
+            to_ms: u64::MAX,
+            peer_asn: None,
+            prefix: None,
+            class: None,
+            cause: None,
+        }
+    }
+}
+
+impl Query {
+    /// Restricts to `[from_ms, to_ms)`.
+    #[must_use]
+    pub fn time_range_ms(mut self, from_ms: u64, to_ms: u64) -> Self {
+        self.from_ms = from_ms;
+        self.to_ms = to_ms;
+        self
+    }
+
+    /// Restricts to one peer AS.
+    #[must_use]
+    pub fn peer(mut self, asn: Asn) -> Self {
+        self.peer_asn = Some(asn);
+        self
+    }
+
+    /// Restricts to one prefix (exact match, not containment).
+    #[must_use]
+    pub fn prefix(mut self, prefix: Prefix) -> Self {
+        self.prefix = Some(prefix);
+        self
+    }
+
+    /// Restricts to one taxonomy class.
+    #[must_use]
+    pub fn class(mut self, class: UpdateClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Restricts to one cause.
+    #[must_use]
+    pub fn cause(mut self, cause: Cause) -> Self {
+        self.cause = Some(cause);
+        self
+    }
+
+    /// Whether the query has row-level predicates beyond the time range.
+    #[must_use]
+    fn has_row_predicates(&self) -> bool {
+        self.peer_asn.is_some()
+            || self.prefix.is_some()
+            || self.class.is_some()
+            || self.cause.is_some()
+    }
+
+    /// Whether the zone maps prove no row of `seg` can match.
+    fn prunes(&self, seg: &SegmentMeta) -> bool {
+        if seg.rows == 0 || seg.max_time_ms < self.from_ms || seg.min_time_ms >= self.to_ms {
+            return true;
+        }
+        if let Some(c) = self.class {
+            if seg.class_counts[c.index()] == 0 {
+                return true;
+            }
+        }
+        if let Some(c) = self.cause {
+            if seg.cause_counts[c.index()] == 0 {
+                return true;
+            }
+        }
+        if let Some(asn) = self.peer_asn {
+            if !bloom_contains(&seg.peer_bloom, peer_bloom_hash(asn)) {
+                return true;
+            }
+        }
+        if let Some(p) = self.prefix {
+            if !bloom_contains(&seg.prefix_bloom, prefix_bloom_hash(p)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `seg` lies entirely inside the time window.
+    fn covers_time(&self, seg: &SegmentMeta) -> bool {
+        self.from_ms <= seg.min_time_ms && seg.max_time_ms < self.to_ms
+    }
+}
+
+/// Work accounting for one query: how much of the archive the zone maps
+/// saved it from reading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ScanStats {
+    /// Segments in the manifest.
+    pub segments_total: u64,
+    /// Segments eliminated by zone maps without file I/O.
+    pub segments_pruned: u64,
+    /// Segments answered from footer counts alone (grouped counts only).
+    pub segments_zone_answered: u64,
+    /// Segments decoded and row-filtered.
+    pub segments_scanned: u64,
+    /// Total encoded bytes in the manifest.
+    pub bytes_total: u64,
+    /// Encoded bytes actually read.
+    pub bytes_scanned: u64,
+    /// Rows decoded and tested.
+    pub rows_scanned: u64,
+    /// Rows that matched the query.
+    pub rows_matched: u64,
+}
+
+impl ScanStats {
+    /// Fraction of segments the query never opened (pruned or answered
+    /// from the zone maps), in `[0, 1]`.
+    #[must_use]
+    pub fn prune_ratio(&self) -> f64 {
+        if self.segments_total == 0 {
+            return 0.0;
+        }
+        (self.segments_pruned + self.segments_zone_answered) as f64 / self.segments_total as f64
+    }
+}
+
+struct StoreMetrics {
+    queries: CounterId,
+    segments_pruned: CounterId,
+    segments_zone_answered: CounterId,
+    segments_scanned: CounterId,
+    rows_scanned: CounterId,
+    bytes_scanned: CounterId,
+    scan_us: HistogramId,
+}
+
+/// An open store: the manifest plus the query entry points.
+///
+/// Queries take `&mut self` only to feed the [`Registry`] telemetry; the
+/// on-disk store is immutable while open.
+pub struct Store {
+    dir: PathBuf,
+    manifest: Manifest,
+    registry: Registry,
+    metrics: StoreMetrics,
+}
+
+impl Store {
+    /// Opens a store directory by reading its manifest.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let manifest = read_manifest(dir)?;
+        let mut registry = Registry::new();
+        let metrics = StoreMetrics {
+            queries: registry.counter("store.query.count"),
+            segments_pruned: registry.counter("store.query.segments_pruned"),
+            segments_zone_answered: registry.counter("store.query.segments_zone_answered"),
+            segments_scanned: registry.counter("store.query.segments_scanned"),
+            rows_scanned: registry.counter("store.query.rows_scanned"),
+            bytes_scanned: registry.counter("store.query.bytes_scanned"),
+            scan_us: registry.histogram("store.query.scan_us"),
+        };
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            manifest,
+            registry,
+            metrics,
+        })
+    }
+
+    /// The manifest read at open.
+    #[must_use]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Query telemetry accumulated on this handle.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn load_segment(&self, meta: &SegmentMeta) -> Result<SegmentData, StoreError> {
+        let bytes = fs::read(self.dir.join(&meta.file))?;
+        let seg = SegmentData::decode(&bytes)?;
+        if seg.len() as u64 != meta.rows {
+            return Err(StoreError::Corrupt(format!(
+                "segment {} holds {} rows, manifest says {}",
+                meta.file,
+                seg.len(),
+                meta.rows
+            )));
+        }
+        Ok(seg)
+    }
+
+    fn finish_stats(&mut self, stats: &ScanStats, started: Instant) {
+        self.registry.inc(self.metrics.queries);
+        self.registry
+            .add(self.metrics.segments_pruned, stats.segments_pruned);
+        self.registry.add(
+            self.metrics.segments_zone_answered,
+            stats.segments_zone_answered,
+        );
+        self.registry
+            .add(self.metrics.segments_scanned, stats.segments_scanned);
+        self.registry
+            .add(self.metrics.rows_scanned, stats.rows_scanned);
+        self.registry
+            .add(self.metrics.bytes_scanned, stats.bytes_scanned);
+        self.registry.observe(
+            self.metrics.scan_us,
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+
+    /// Streams every matching row, in (shard, seq, row) order — i.e. each
+    /// logical shard's stream order, shard by shard. `visit` runs once per
+    /// matching row.
+    pub fn scan<F>(&mut self, query: &Query, mut visit: F) -> Result<ScanStats, StoreError>
+    where
+        F: FnMut(&StoredEvent),
+    {
+        self.scan_inner(query, false, |_seg_meta| {}, &mut visit)
+    }
+
+    /// [`Store::scan`] over the whole store: replays every stored event
+    /// in shard order, the order store-backed report reconstruction uses.
+    pub fn replay<F>(&mut self, visit: F) -> Result<ScanStats, StoreError>
+    where
+        F: FnMut(&StoredEvent),
+    {
+        self.scan(&Query::default(), visit)
+    }
+
+    fn scan_inner<F, Z>(
+        &mut self,
+        query: &Query,
+        zone_answer: bool,
+        mut on_zone: Z,
+        visit: &mut F,
+    ) -> Result<ScanStats, StoreError>
+    where
+        F: FnMut(&StoredEvent),
+        Z: FnMut(&SegmentMeta),
+    {
+        let started = Instant::now();
+        let mut stats = ScanStats::default();
+        let segments = std::mem::take(&mut self.manifest.segments);
+        let result = (|| {
+            for meta in &segments {
+                stats.segments_total += 1;
+                stats.bytes_total += meta.bytes;
+                if query.prunes(meta) {
+                    stats.segments_pruned += 1;
+                    continue;
+                }
+                if zone_answer && !query.has_row_predicates() && query.covers_time(meta) {
+                    stats.segments_zone_answered += 1;
+                    stats.rows_matched += meta.rows;
+                    on_zone(meta);
+                    continue;
+                }
+                let seg = self.load_segment(meta)?;
+                stats.segments_scanned += 1;
+                stats.bytes_scanned += meta.bytes;
+                stats.rows_scanned += seg.len() as u64;
+
+                // Resolve dictionary-level predicates once per segment.
+                let peer_id = match query.peer_asn {
+                    Some(asn) => {
+                        let ids: Vec<u32> = seg
+                            .peer_dict
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| p.asn == asn)
+                            .map(|(i, _)| i as u32)
+                            .collect();
+                        if ids.is_empty() {
+                            continue;
+                        }
+                        Some(ids)
+                    }
+                    None => None,
+                };
+                let prefix_id = match query.prefix {
+                    Some(p) => match seg.prefix_dict.iter().position(|&d| d == p) {
+                        Some(i) => Some(i as u32),
+                        None => continue,
+                    },
+                    None => None,
+                };
+
+                for i in 0..seg.len() {
+                    let t = seg.times[i];
+                    if t < query.from_ms || t >= query.to_ms {
+                        continue;
+                    }
+                    if let Some(ids) = &peer_id {
+                        if !ids.contains(&seg.peer_ids[i]) {
+                            continue;
+                        }
+                    }
+                    if let Some(id) = prefix_id {
+                        if seg.prefix_ids[i] != id {
+                            continue;
+                        }
+                    }
+                    if let Some(c) = query.class {
+                        if seg.classes[i] != c {
+                            continue;
+                        }
+                    }
+                    if let Some(c) = query.cause {
+                        if seg.causes[i] != c {
+                            continue;
+                        }
+                    }
+                    stats.rows_matched += 1;
+                    visit(&seg.event(i));
+                }
+            }
+            Ok(())
+        })();
+        self.manifest.segments = segments;
+        self.finish_stats(&stats, started);
+        result.map(|()| stats)
+    }
+
+    /// Matching rows per taxonomy class, indexed by
+    /// [`UpdateClass::index`]. Segments fully inside the time window are
+    /// answered from footer counts without being read when the query has
+    /// no row-level predicates.
+    pub fn count_by_class(
+        &mut self,
+        query: &Query,
+    ) -> Result<([u64; UpdateClass::COUNT], ScanStats), StoreError> {
+        let mut counts = [0u64; UpdateClass::COUNT];
+        let mut zone = [0u64; UpdateClass::COUNT];
+        let stats = self.scan_inner(
+            query,
+            true,
+            |meta| {
+                for (acc, n) in zone.iter_mut().zip(meta.class_counts) {
+                    *acc += n;
+                }
+            },
+            &mut |ev: &StoredEvent| counts[ev.class.index()] += 1,
+        )?;
+        for (acc, n) in counts.iter_mut().zip(zone) {
+            *acc += n;
+        }
+        Ok((counts, stats))
+    }
+
+    /// Matching rows per cause, indexed by [`Cause::index`].
+    pub fn count_by_cause(
+        &mut self,
+        query: &Query,
+    ) -> Result<([u64; Cause::COUNT], ScanStats), StoreError> {
+        let mut counts = [0u64; Cause::COUNT];
+        let mut zone = [0u64; Cause::COUNT];
+        let stats = self.scan_inner(
+            query,
+            true,
+            |meta| {
+                for (acc, n) in zone.iter_mut().zip(meta.cause_counts) {
+                    *acc += n;
+                }
+            },
+            &mut |ev: &StoredEvent| counts[ev.cause.index()] += 1,
+        )?;
+        for (acc, n) in counts.iter_mut().zip(zone) {
+            *acc += n;
+        }
+        Ok((counts, stats))
+    }
+
+    /// Matching rows per peer AS, sorted by descending count then AS —
+    /// the Figure 4 "instability by peer" shape.
+    pub fn count_by_peer(
+        &mut self,
+        query: &Query,
+    ) -> Result<(Vec<(Asn, u64)>, ScanStats), StoreError> {
+        let mut counts: FxHashMap<Asn, u64> = FxHashMap::default();
+        let stats = self.scan(query, |ev| *counts.entry(ev.peer.asn).or_insert(0) += 1)?;
+        let mut rows: Vec<(Asn, u64)> = counts.into_iter().collect();
+        rows.sort_by_key(|&(asn, n)| (std::cmp::Reverse(n), asn));
+        Ok((rows, stats))
+    }
+
+    /// Matching rows per prefix, sorted by descending count then prefix —
+    /// the Figure 5 "instability by prefix" shape.
+    pub fn count_by_prefix(
+        &mut self,
+        query: &Query,
+    ) -> Result<(Vec<(Prefix, u64)>, ScanStats), StoreError> {
+        let mut counts: FxHashMap<Prefix, u64> = FxHashMap::default();
+        let stats = self.scan(query, |ev| *counts.entry(ev.prefix).or_insert(0) += 1)?;
+        let mut rows: Vec<(Prefix, u64)> = counts.into_iter().collect();
+        rows.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+        Ok((rows, stats))
+    }
+
+    /// Total NLRI wire bytes matching the query — the §3 bandwidth view.
+    pub fn sum_bytes(&mut self, query: &Query) -> Result<(u64, ScanStats), StoreError> {
+        let mut total = 0u64;
+        let stats = self.scan(query, |ev| total += u64::from(ev.size))?;
+        Ok((total, stats))
+    }
+
+    /// Matching rows bucketed into fixed `bin_ms` bins starting at the
+    /// query's lower bound (or the store's first event when unbounded).
+    /// The vector is sized to cover the effective time span and feeds
+    /// `iri_core::timeseries` (FFT / autocorrelation, §5.2).
+    pub fn time_series(
+        &mut self,
+        query: &Query,
+        bin_ms: u64,
+    ) -> Result<(Vec<u64>, ScanStats), StoreError> {
+        let bin_ms = bin_ms.max(1);
+        let start = if query.from_ms > 0 {
+            query.from_ms
+        } else {
+            self.manifest.min_time_ms
+        };
+        let end = query
+            .to_ms
+            .min(self.manifest.max_time_ms.saturating_add(1))
+            .max(start);
+        let bins = (end - start).div_ceil(bin_ms);
+        let mut series = vec![0u64; usize::try_from(bins).unwrap_or(0)];
+        let stats = self.scan(query, |ev| {
+            if ev.time_ms >= start {
+                let idx = ((ev.time_ms - start) / bin_ms) as usize;
+                if let Some(slot) = series.get_mut(idx) {
+                    *slot += 1;
+                }
+            }
+        })?;
+        Ok((series, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let meta = SegmentMeta {
+            file: "s00-000000.seg".into(),
+            shard: 0,
+            seq: 0,
+            rows: 10,
+            bytes: 321,
+            min_time_ms: 5,
+            max_time_ms: 99,
+            class_counts: [1, 2, 3, 4, 0, 0, 0],
+            cause_counts: [10, 0, 0, 0, 0, 0, 0, 0, 0],
+            policy_changes: 2,
+            peer_bloom: [1, 0, 0, 2],
+            prefix_bloom: [0, 4, 0, 8],
+        };
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            logical_shards: LOGICAL_SHARDS as u32,
+            segment_rows: 4096,
+            records_read: 7,
+            total_events: 10,
+            min_time_ms: 5,
+            max_time_ms: 99,
+            segments: vec![meta],
+        };
+        let text = serde_json::to_string_pretty(&manifest).unwrap();
+        let back: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn query_builder_narrows_and_prunes_on_zones() {
+        let seg = SegmentMeta {
+            file: "s01-000000.seg".into(),
+            shard: 1,
+            seq: 0,
+            rows: 100,
+            bytes: 1000,
+            min_time_ms: 1_000,
+            max_time_ms: 2_000,
+            class_counts: [0, 0, 0, 0, 50, 50, 0],
+            cause_counts: [100, 0, 0, 0, 0, 0, 0, 0, 0],
+            policy_changes: 0,
+            peer_bloom: [u64::MAX; 4],
+            prefix_bloom: [u64::MAX; 4],
+        };
+        // Time window disjoint → pruned.
+        assert!(Query::default().time_range_ms(0, 1_000).prunes(&seg));
+        assert!(Query::default().time_range_ms(2_001, 9_000).prunes(&seg));
+        // Overlapping window → kept.
+        assert!(!Query::default().time_range_ms(1_500, 1_600).prunes(&seg));
+        // Class with zero zone count → pruned; present class → kept.
+        assert!(Query::default().class(UpdateClass::WaDiff).prunes(&seg));
+        assert!(!Query::default().class(UpdateClass::WwDup).prunes(&seg));
+        // Cause with zero zone count → pruned.
+        assert!(Query::default().cause(Cause::CsuDrift).prunes(&seg));
+        // Saturated blooms never prune.
+        assert!(!Query::default().peer(Asn(64_000)).prunes(&seg));
+        // Full coverage check.
+        assert!(Query::default().covers_time(&seg));
+        assert!(!Query::default()
+            .time_range_ms(1_001, u64::MAX)
+            .covers_time(&seg));
+    }
+
+    #[test]
+    fn prune_ratio_counts_zone_answers() {
+        let stats = ScanStats {
+            segments_total: 10,
+            segments_pruned: 6,
+            segments_zone_answered: 2,
+            segments_scanned: 2,
+            ..ScanStats::default()
+        };
+        assert!((stats.prune_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(ScanStats::default().prune_ratio(), 0.0);
+    }
+}

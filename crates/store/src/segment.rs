@@ -1,0 +1,703 @@
+//! Columnar segment encoding.
+//!
+//! One segment holds up to `segment_rows` events of one logical shard, in
+//! stream order. The file is self-contained (dictionaries travel with the
+//! segment) and immutable once written:
+//!
+//! ```text
+//! "IRSG" | version u16 | shard u16 | rows u32
+//! peer dictionary    : count u32, then (asn u32, addr u32) per entry
+//! prefix dictionary  : count u32, then (bits u32, len u8) per entry
+//! column table       : 6 × u32 byte lengths
+//! columns            : time Δ-zigzag-varint | peer id varint | prefix id
+//!                      varint | (cause<<3|class) u8 | policy bitmap |
+//!                      size varint
+//! footer (zone maps) : min/max time u64, class counts 7×u64, cause
+//!                      counts 9×u64, policy count u64, peer bloom 4×u64,
+//!                      prefix bloom 4×u64
+//! checksum u64       : FxHash of every preceding byte
+//! ```
+//!
+//! All integers little-endian. Dictionary ids are assigned in first-seen
+//! order, so the encoding is a pure function of the row sequence — the
+//! determinism contract ingest and compaction rely on.
+
+use crate::{splitmix64, StoreError, StoredEvent};
+use iri_bgp::types::Prefix;
+use iri_core::fxhash::{FxHashMap, FxHasher};
+use iri_core::input::PeerKey;
+use iri_core::taxonomy::UpdateClass;
+use iri_obs::cause::Cause;
+use std::hash::Hasher;
+use std::net::Ipv4Addr;
+
+/// Segment file magic.
+pub const MAGIC: [u8; 4] = *b"IRSG";
+
+/// Current segment format version.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// Number of 64-bit words in a zone-map membership bitmap (256 bits).
+pub const BLOOM_WORDS: usize = 4;
+
+/// Sets/tests bit `hash & 255` of a 256-bit membership bitmap.
+#[must_use]
+fn bloom_slot(hash: u64) -> (usize, u64) {
+    let bit = (hash & 255) as usize;
+    (bit / 64, 1u64 << (bit % 64))
+}
+
+/// Hash used for the peer membership bitmap. Keyed off the AS number
+/// alone so a query by peer AS can consult it.
+#[must_use]
+pub fn peer_bloom_hash(asn: iri_bgp::types::Asn) -> u64 {
+    splitmix64(0x7065_6572 ^ u64::from(asn.0))
+}
+
+/// Hash used for the prefix membership bitmap.
+#[must_use]
+pub fn prefix_bloom_hash(prefix: Prefix) -> u64 {
+    splitmix64((u64::from(prefix.bits()) << 8) | u64::from(prefix.len()))
+}
+
+/// Whether a membership bitmap may contain the hashed key.
+#[must_use]
+pub fn bloom_contains(bloom: &[u64; BLOOM_WORDS], hash: u64) -> bool {
+    let (word, mask) = bloom_slot(hash);
+    bloom[word] & mask != 0
+}
+
+fn bloom_insert(bloom: &mut [u64; BLOOM_WORDS], hash: u64) {
+    let (word, mask) = bloom_slot(hash);
+    bloom[word] |= mask;
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-folds a signed delta into the unsigned varint space.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(StoreError::Corrupt(format!(
+                "segment truncated reading {what} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, StoreError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(StoreError::Corrupt(format!("varint overflow in {what}")));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Accumulates one segment's rows, columns, dictionaries, and zone maps,
+/// then [`SegmentBuilder::encode`]s them into an immutable file image.
+#[derive(Debug)]
+pub struct SegmentBuilder {
+    shard: u16,
+    rows: u32,
+    prev_time: u64,
+    col_time: Vec<u8>,
+    col_peer: Vec<u8>,
+    col_prefix: Vec<u8>,
+    col_cc: Vec<u8>,
+    col_policy: Vec<u8>,
+    col_size: Vec<u8>,
+    peer_dict: Vec<PeerKey>,
+    peer_ids: FxHashMap<PeerKey, u32>,
+    prefix_dict: Vec<Prefix>,
+    prefix_ids: FxHashMap<Prefix, u32>,
+    min_time: u64,
+    max_time: u64,
+    class_counts: [u64; UpdateClass::COUNT],
+    cause_counts: [u64; Cause::COUNT],
+    policy_changes: u64,
+    peer_bloom: [u64; BLOOM_WORDS],
+    prefix_bloom: [u64; BLOOM_WORDS],
+}
+
+impl SegmentBuilder {
+    /// A fresh builder for one logical shard.
+    #[must_use]
+    pub fn new(shard: u16) -> Self {
+        SegmentBuilder {
+            shard,
+            rows: 0,
+            prev_time: 0,
+            col_time: Vec::new(),
+            col_peer: Vec::new(),
+            col_prefix: Vec::new(),
+            col_cc: Vec::new(),
+            col_policy: Vec::new(),
+            col_size: Vec::new(),
+            peer_dict: Vec::new(),
+            peer_ids: FxHashMap::default(),
+            prefix_dict: Vec::new(),
+            prefix_ids: FxHashMap::default(),
+            min_time: u64::MAX,
+            max_time: 0,
+            class_counts: [0; UpdateClass::COUNT],
+            cause_counts: [0; Cause::COUNT],
+            policy_changes: 0,
+            peer_bloom: [0; BLOOM_WORDS],
+            prefix_bloom: [0; BLOOM_WORDS],
+        }
+    }
+
+    /// Rows pushed so far.
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Whether nothing has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends one event to every column.
+    pub fn push(&mut self, ev: &StoredEvent) {
+        let delta = ev.time_ms as i64 - self.prev_time as i64;
+        put_varint(&mut self.col_time, zigzag(delta));
+        self.prev_time = ev.time_ms;
+
+        let next_peer = self.peer_dict.len() as u32;
+        let peer_id = *self.peer_ids.entry(ev.peer).or_insert(next_peer);
+        if peer_id == next_peer {
+            self.peer_dict.push(ev.peer);
+            bloom_insert(&mut self.peer_bloom, peer_bloom_hash(ev.peer.asn));
+        }
+        put_varint(&mut self.col_peer, u64::from(peer_id));
+
+        let next_prefix = self.prefix_dict.len() as u32;
+        let prefix_id = *self.prefix_ids.entry(ev.prefix).or_insert(next_prefix);
+        if prefix_id == next_prefix {
+            self.prefix_dict.push(ev.prefix);
+            bloom_insert(&mut self.prefix_bloom, prefix_bloom_hash(ev.prefix));
+        }
+        put_varint(&mut self.col_prefix, u64::from(prefix_id));
+
+        self.col_cc
+            .push(((ev.cause.index() as u8) << 3) | ev.class.index() as u8);
+
+        if self.rows.is_multiple_of(8) {
+            self.col_policy.push(0);
+        }
+        if ev.policy_change {
+            *self.col_policy.last_mut().expect("bitmap byte") |= 1 << (self.rows % 8);
+            self.policy_changes += 1;
+        }
+
+        put_varint(&mut self.col_size, u64::from(ev.size));
+
+        self.min_time = self.min_time.min(ev.time_ms);
+        self.max_time = self.max_time.max(ev.time_ms);
+        self.class_counts[ev.class.index()] += 1;
+        self.cause_counts[ev.cause.index()] += 1;
+        self.rows += 1;
+    }
+
+    /// Encodes the segment file image and its manifest entry. Consumes the
+    /// builder: segments are immutable once encoded.
+    #[must_use]
+    pub fn encode(self, file: String, seq: u32) -> (Vec<u8>, crate::query::SegmentMeta) {
+        let mut buf = Vec::with_capacity(
+            64 + self.col_time.len()
+                + self.col_peer.len()
+                + self.col_prefix.len()
+                + self.col_cc.len()
+                + self.col_policy.len()
+                + self.col_size.len()
+                + self.peer_dict.len() * 8
+                + self.prefix_dict.len() * 5,
+        );
+        buf.extend_from_slice(&MAGIC);
+        put_u16(&mut buf, SEGMENT_VERSION);
+        put_u16(&mut buf, self.shard);
+        put_u32(&mut buf, self.rows);
+
+        put_u32(&mut buf, self.peer_dict.len() as u32);
+        for p in &self.peer_dict {
+            put_u32(&mut buf, p.asn.0);
+            put_u32(&mut buf, u32::from(p.addr));
+        }
+        put_u32(&mut buf, self.prefix_dict.len() as u32);
+        for p in &self.prefix_dict {
+            put_u32(&mut buf, p.bits());
+            buf.push(p.len());
+        }
+
+        for col in [
+            &self.col_time,
+            &self.col_peer,
+            &self.col_prefix,
+            &self.col_cc,
+            &self.col_policy,
+            &self.col_size,
+        ] {
+            put_u32(&mut buf, col.len() as u32);
+        }
+        for col in [
+            &self.col_time,
+            &self.col_peer,
+            &self.col_prefix,
+            &self.col_cc,
+            &self.col_policy,
+            &self.col_size,
+        ] {
+            buf.extend_from_slice(col);
+        }
+
+        let min_time = if self.rows == 0 { 0 } else { self.min_time };
+        put_u64(&mut buf, min_time);
+        put_u64(&mut buf, self.max_time);
+        for c in self.class_counts {
+            put_u64(&mut buf, c);
+        }
+        for c in self.cause_counts {
+            put_u64(&mut buf, c);
+        }
+        put_u64(&mut buf, self.policy_changes);
+        for w in self.peer_bloom {
+            put_u64(&mut buf, w);
+        }
+        for w in self.prefix_bloom {
+            put_u64(&mut buf, w);
+        }
+        let sum = checksum(&buf);
+        put_u64(&mut buf, sum);
+
+        let meta = crate::query::SegmentMeta {
+            file,
+            shard: u32::from(self.shard),
+            seq,
+            rows: u64::from(self.rows),
+            bytes: buf.len() as u64,
+            min_time_ms: min_time,
+            max_time_ms: self.max_time,
+            class_counts: self.class_counts,
+            cause_counts: self.cause_counts,
+            policy_changes: self.policy_changes,
+            peer_bloom: self.peer_bloom,
+            prefix_bloom: self.prefix_bloom,
+        };
+        (buf, meta)
+    }
+}
+
+/// A decoded segment: dictionaries plus fully materialised column vectors.
+/// Rows are reconstructed on demand by [`SegmentData::event`] so scans can
+/// filter on columns without building every [`StoredEvent`].
+#[derive(Debug)]
+pub struct SegmentData {
+    /// Logical shard this segment belongs to.
+    pub shard: u16,
+    /// Peer dictionary in first-seen order.
+    pub peer_dict: Vec<PeerKey>,
+    /// Prefix dictionary in first-seen order.
+    pub prefix_dict: Vec<Prefix>,
+    /// Absolute event times, ms.
+    pub times: Vec<u64>,
+    /// Per-row peer dictionary ids.
+    pub peer_ids: Vec<u32>,
+    /// Per-row prefix dictionary ids.
+    pub prefix_ids: Vec<u32>,
+    /// Per-row taxonomy class.
+    pub classes: Vec<UpdateClass>,
+    /// Per-row causal provenance.
+    pub causes: Vec<Cause>,
+    /// Per-row policy-change flag.
+    pub policy: Vec<bool>,
+    /// Per-row NLRI wire bytes.
+    pub sizes: Vec<u32>,
+}
+
+impl SegmentData {
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the segment holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Materialises row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn event(&self, i: usize) -> StoredEvent {
+        StoredEvent {
+            time_ms: self.times[i],
+            peer: self.peer_dict[self.peer_ids[i] as usize],
+            prefix: self.prefix_dict[self.prefix_ids[i] as usize],
+            class: self.classes[i],
+            cause: self.causes[i],
+            policy_change: self.policy[i],
+            size: self.sizes[i],
+        }
+    }
+
+    /// Decodes and validates a segment file image.
+    pub fn decode(bytes: &[u8]) -> Result<SegmentData, StoreError> {
+        if bytes.len() < 8 + 8 {
+            return Err(StoreError::Corrupt("segment shorter than header".into()));
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if checksum(body) != stored_sum {
+            return Err(StoreError::Corrupt("segment checksum mismatch".into()));
+        }
+
+        let mut cur = Cur::new(body);
+        if cur.take(4, "magic")? != MAGIC {
+            return Err(StoreError::Corrupt("bad segment magic".into()));
+        }
+        let version = cur.u16("version")?;
+        if version != SEGMENT_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported segment version {version}"
+            )));
+        }
+        let shard = cur.u16("shard")?;
+        let rows = cur.u32("row count")? as usize;
+
+        let n_peers = cur.u32("peer dict size")? as usize;
+        if (n_peers > rows && rows > 0) || n_peers > body.len() {
+            return Err(StoreError::Corrupt(
+                "peer dictionary larger than rows".into(),
+            ));
+        }
+        let mut peer_dict = Vec::with_capacity(n_peers);
+        for _ in 0..n_peers {
+            let asn = iri_bgp::types::Asn(cur.u32("peer asn")?);
+            let addr = Ipv4Addr::from(cur.u32("peer addr")?);
+            peer_dict.push(PeerKey { asn, addr });
+        }
+        let n_prefixes = cur.u32("prefix dict size")? as usize;
+        if (n_prefixes > rows && rows > 0) || n_prefixes > body.len() {
+            return Err(StoreError::Corrupt(
+                "prefix dictionary larger than rows".into(),
+            ));
+        }
+        let mut prefix_dict = Vec::with_capacity(n_prefixes);
+        for _ in 0..n_prefixes {
+            let bits = cur.u32("prefix bits")?;
+            let len = cur.u8("prefix len")?;
+            if len > 32 {
+                return Err(StoreError::Corrupt(format!("prefix length {len} > 32")));
+            }
+            prefix_dict.push(Prefix::from_raw(bits, len));
+        }
+
+        let mut col_lens = [0usize; 6];
+        for l in &mut col_lens {
+            *l = cur.u32("column length")? as usize;
+        }
+        let mut cols = Vec::with_capacity(6);
+        for &l in &col_lens {
+            cols.push(Cur::new(cur.take(l, "column bytes")?));
+        }
+        let mut cols = cols.into_iter();
+        let (mut c_time, mut c_peer, mut c_prefix, mut c_cc, mut c_policy, mut c_size) = (
+            cols.next().unwrap(),
+            cols.next().unwrap(),
+            cols.next().unwrap(),
+            cols.next().unwrap(),
+            cols.next().unwrap(),
+            cols.next().unwrap(),
+        );
+
+        let mut times = Vec::with_capacity(rows);
+        let mut peer_ids = Vec::with_capacity(rows);
+        let mut prefix_ids = Vec::with_capacity(rows);
+        let mut classes = Vec::with_capacity(rows);
+        let mut causes = Vec::with_capacity(rows);
+        let mut policy = Vec::with_capacity(rows);
+        let mut sizes = Vec::with_capacity(rows);
+
+        let mut prev_time = 0i64;
+        for i in 0..rows {
+            let delta = unzigzag(c_time.varint("time column")?);
+            prev_time = prev_time
+                .checked_add(delta)
+                .ok_or_else(|| StoreError::Corrupt("time column overflows".into()))?;
+            if prev_time < 0 {
+                return Err(StoreError::Corrupt("negative time in time column".into()));
+            }
+            times.push(prev_time as u64);
+
+            let pid = c_peer.varint("peer column")?;
+            if pid >= n_peers as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "peer id {pid} out of dictionary range"
+                )));
+            }
+            peer_ids.push(pid as u32);
+
+            let xid = c_prefix.varint("prefix column")?;
+            if xid >= n_prefixes as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "prefix id {xid} out of dictionary range"
+                )));
+            }
+            prefix_ids.push(xid as u32);
+
+            let cc = c_cc.u8("class/cause column")?;
+            let class = UpdateClass::from_index((cc & 0x07) as usize)
+                .ok_or_else(|| StoreError::Corrupt(format!("invalid class index {}", cc & 0x07)))?;
+            let cause_idx = (cc >> 3) as usize;
+            let cause = Cause::ALL
+                .get(cause_idx)
+                .copied()
+                .ok_or_else(|| StoreError::Corrupt(format!("invalid cause index {cause_idx}")))?;
+            classes.push(class);
+            causes.push(cause);
+
+            if i.is_multiple_of(8) {
+                c_policy.u8("policy bitmap")?;
+            }
+            let byte = c_policy.buf[c_policy.pos - 1];
+            policy.push(byte & (1 << (i % 8)) != 0);
+
+            sizes.push(c_size.varint("size column")? as u32);
+        }
+
+        Ok(SegmentData {
+            shard,
+            peer_dict,
+            prefix_dict,
+            times,
+            peer_ids,
+            prefix_ids,
+            classes,
+            causes,
+            policy,
+            sizes,
+        })
+    }
+}
+
+/// Canonical segment file name: `s{shard:02}-{seq:06}.seg`.
+#[must_use]
+pub fn segment_file_name(shard: usize, seq: u32) -> String {
+    format!("s{shard:02}-{seq:06}.seg")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_bgp::types::Asn;
+
+    fn ev(t: u64, asn: u32, bits: u32, len: u8, class: UpdateClass, cause: Cause) -> StoredEvent {
+        let prefix = Prefix::from_raw(bits, len);
+        StoredEvent {
+            time_ms: t,
+            peer: PeerKey {
+                asn: Asn(asn),
+                addr: Ipv4Addr::new(192, 41, 177, (asn % 250) as u8 + 1),
+            },
+            prefix,
+            class,
+            cause,
+            policy_change: class == UpdateClass::AaDup && t.is_multiple_of(3),
+            size: crate::nlri_wire_bytes(prefix),
+        }
+    }
+
+    fn sample_rows() -> Vec<StoredEvent> {
+        let mut rows = Vec::new();
+        for i in 0..500u64 {
+            rows.push(ev(
+                1_000 + i * 37 % 9_000,
+                701 + (i % 5) as u32,
+                (0xc000_0000u32).wrapping_add((i as u32 % 17) << 16),
+                if i % 3 == 0 { 16 } else { 24 },
+                UpdateClass::from_index((i % 7) as usize).unwrap(),
+                Cause::ALL[(i % 9) as usize],
+            ));
+        }
+        rows
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_column() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new(7);
+        for r in &rows {
+            b.push(r);
+        }
+        let (bytes, meta) = b.encode(segment_file_name(7, 0), 0);
+        assert_eq!(meta.rows, rows.len() as u64);
+        assert_eq!(meta.bytes, bytes.len() as u64);
+        let seg = SegmentData::decode(&bytes).unwrap();
+        assert_eq!(seg.shard, 7);
+        assert_eq!(seg.len(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(seg.event(i), *r, "row {i}");
+        }
+    }
+
+    #[test]
+    fn zone_maps_summarise_contents() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new(0);
+        for r in &rows {
+            b.push(r);
+        }
+        let (_, meta) = b.encode(segment_file_name(0, 3), 3);
+        let min = rows.iter().map(|r| r.time_ms).min().unwrap();
+        let max = rows.iter().map(|r| r.time_ms).max().unwrap();
+        assert_eq!((meta.min_time_ms, meta.max_time_ms), (min, max));
+        for c in UpdateClass::ALL {
+            let n = rows.iter().filter(|r| r.class == c).count() as u64;
+            assert_eq!(meta.class_counts[c.index()], n, "{c}");
+        }
+        for c in Cause::ALL {
+            let n = rows.iter().filter(|r| r.cause == c).count() as u64;
+            assert_eq!(meta.cause_counts[c.index()], n, "{c}");
+        }
+        assert_eq!(
+            meta.policy_changes,
+            rows.iter().filter(|r| r.policy_change).count() as u64
+        );
+        for r in &rows {
+            assert!(bloom_contains(
+                &meta.peer_bloom,
+                peer_bloom_hash(r.peer.asn)
+            ));
+            assert!(bloom_contains(
+                &meta.prefix_bloom,
+                prefix_bloom_hash(r.prefix)
+            ));
+        }
+        // An AS that never appears should (with these values) miss the bloom.
+        assert!(!bloom_contains(
+            &meta.peer_bloom,
+            peer_bloom_hash(Asn(64_499))
+        ));
+    }
+
+    #[test]
+    fn encoding_is_a_pure_function_of_the_row_stream() {
+        let rows = sample_rows();
+        let build = || {
+            let mut b = SegmentBuilder::new(2);
+            for r in &rows {
+                b.push(r);
+            }
+            b.encode(segment_file_name(2, 0), 0).0
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked_on() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new(1);
+        for r in &rows {
+            b.push(r);
+        }
+        let (bytes, _) = b.encode(segment_file_name(1, 0), 0);
+        // Flip one byte anywhere: checksum catches it.
+        for pos in [0, 5, bytes.len() / 2, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(SegmentData::decode(&bad).is_err(), "flip at {pos}");
+        }
+        // Truncations at every length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(SegmentData::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let (bytes, meta) = SegmentBuilder::new(4).encode(segment_file_name(4, 0), 0);
+        assert_eq!(meta.rows, 0);
+        let seg = SegmentData::decode(&bytes).unwrap();
+        assert!(seg.is_empty());
+    }
+}

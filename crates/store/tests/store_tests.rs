@@ -1,0 +1,336 @@
+//! End-to-end store tests: parallel ingest determinism, scan/aggregation
+//! correctness against brute force, zone-map pruning, and compaction.
+
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::message::{Message, Update};
+use iri_bgp::path::AsPath;
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::taxonomy::UpdateClass;
+use iri_mrt::{Bgp4mpMessage, MrtReader, MrtRecord, MrtWriter};
+use iri_obs::cause::Cause;
+use iri_store::{compact, ingest_mrt, IngestConfig, Query, Store, StoredEvent, LOGICAL_SHARDS};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BASE_TIME: u32 = 833_000_000;
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "iri-store-test-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic synthetic update log: a few peers announcing and
+/// withdrawing a pool of prefixes, with enough repetition to hit every
+/// taxonomy class.
+fn synthetic_log(records: usize) -> Vec<u8> {
+    let mut state = 0x5eed_1234_u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let peers: Vec<(Asn, Ipv4Addr)> = (0..6)
+        .map(|i| (Asn(701 + i), Ipv4Addr::new(192, 41, 177, 1 + i as u8)))
+        .collect();
+    let mut buf = Vec::new();
+    let mut w = MrtWriter::new(&mut buf);
+    for i in 0..records {
+        let r = rng();
+        let (peer_asn, peer_ip) = peers[(r % peers.len() as u64) as usize];
+        let prefix = Prefix::from_raw(0xc000_0000 + (((r as u32 >> 3) % 200) << 8), 24);
+        let timestamp = BASE_TIME + (i / 10) as u32;
+        let update = if r % 5 == 0 {
+            Update {
+                withdrawn: vec![prefix],
+                attrs: None,
+                nlri: vec![],
+            }
+        } else {
+            // A small AS-path pool so re-announcements are often duplicates.
+            let origin = Asn(7000 + (r % 3) as u32);
+            Update {
+                withdrawn: vec![],
+                attrs: Some(PathAttributes::new(
+                    Origin::Igp,
+                    AsPath::from_sequence([peer_asn, origin]),
+                    peer_ip,
+                )),
+                nlri: vec![prefix],
+            }
+        };
+        w.write(&MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+            timestamp,
+            peer_asn,
+            local_asn: Asn(237),
+            peer_ip,
+            local_ip: Ipv4Addr::new(192, 41, 177, 249),
+            message: Message::Update(update),
+        }))
+        .unwrap();
+    }
+    buf
+}
+
+fn ingest(dir: &Path, log: &[u8], jobs: usize, segment_rows: u32) -> iri_store::IngestOutcome {
+    let mut reader = MrtReader::new(log);
+    let cfg = IngestConfig::default()
+        .with_jobs(jobs)
+        .with_segment_rows(segment_rows);
+    ingest_mrt(dir, &mut reader, BASE_TIME, &cfg).unwrap()
+}
+
+/// Sorted (file name, bytes) listing of a store directory.
+fn dir_contents(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn replay_all(dir: &Path) -> Vec<StoredEvent> {
+    let mut store = Store::open(dir).unwrap();
+    let mut events = Vec::new();
+    store.replay(|ev| events.push(*ev)).unwrap();
+    events
+}
+
+#[test]
+fn parallel_ingest_is_byte_identical_at_any_jobs() {
+    let log = synthetic_log(20_000);
+    let dirs: Vec<PathBuf> = [1usize, 3, 4, 8]
+        .iter()
+        .map(|&jobs| {
+            let dir = temp_store_dir(&format!("jobs{jobs}"));
+            ingest(&dir, &log, jobs, 1_000);
+            dir
+        })
+        .collect();
+    let reference = dir_contents(&dirs[0]);
+    assert!(
+        reference
+            .iter()
+            .filter(|(n, _)| n.ends_with(".seg"))
+            .count()
+            > 1,
+        "test should produce multiple segments"
+    );
+    for dir in &dirs[1..] {
+        assert_eq!(dir_contents(dir), reference, "{}", dir.display());
+    }
+    for dir in dirs {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+#[test]
+fn scan_and_aggregations_match_brute_force() {
+    let log = synthetic_log(8_000);
+    let dir = temp_store_dir("agg");
+    let outcome = ingest(&dir, &log, 2, 500);
+    let all = replay_all(&dir);
+    assert_eq!(all.len() as u64, outcome.manifest.total_events);
+    assert!(outcome.records_read == 8_000);
+
+    // Every stored row carries the derived size and MRT's unknown cause.
+    for ev in &all {
+        assert_eq!(ev.size, iri_store::nlri_wire_bytes(ev.prefix));
+        assert_eq!(ev.cause, Cause::Unknown);
+    }
+
+    let mut store = Store::open(&dir).unwrap();
+    let span = outcome.manifest.max_time_ms - outcome.manifest.min_time_ms;
+    let from = outcome.manifest.min_time_ms + span / 4;
+    let to = outcome.manifest.min_time_ms + span / 2;
+    let some_peer = all[0].peer.asn;
+    let some_prefix = all[all.len() / 2].prefix;
+
+    let cases = vec![
+        Query::default(),
+        Query::default().time_range_ms(from, to),
+        Query::default().class(UpdateClass::WwDup),
+        Query::default().peer(some_peer).time_range_ms(from, to),
+        Query::default().prefix(some_prefix),
+        Query::default()
+            .class(UpdateClass::AaDup)
+            .peer(some_peer)
+            .cause(Cause::Unknown),
+    ];
+    for q in cases {
+        let expect: Vec<StoredEvent> = all
+            .iter()
+            .filter(|e| {
+                e.time_ms >= q.from_ms
+                    && e.time_ms < q.to_ms
+                    && q.peer_asn.is_none_or(|a| e.peer.asn == a)
+                    && q.prefix.is_none_or(|p| e.prefix == p)
+                    && q.class.is_none_or(|c| e.class == c)
+                    && q.cause.is_none_or(|c| e.cause == c)
+            })
+            .copied()
+            .collect();
+        let mut got = Vec::new();
+        let stats = store.scan(&q, |ev| got.push(*ev)).unwrap();
+        assert_eq!(got, expect, "{q:?}");
+        assert_eq!(stats.rows_matched as usize, expect.len(), "{q:?}");
+    }
+
+    // Grouped counts agree with the brute-force tally.
+    let q = Query::default().time_range_ms(from, to);
+    let (by_class, _) = store.count_by_class(&q).unwrap();
+    let (by_peer, _) = store.count_by_peer(&q).unwrap();
+    let (series, _) = store.time_series(&q, 1_000).unwrap();
+    let in_window: Vec<&StoredEvent> = all
+        .iter()
+        .filter(|e| e.time_ms >= from && e.time_ms < to)
+        .collect();
+    for c in UpdateClass::ALL {
+        let n = in_window.iter().filter(|e| e.class == c).count() as u64;
+        assert_eq!(by_class[c.index()], n, "{c}");
+    }
+    let peer_total: u64 = by_peer.iter().map(|&(_, n)| n).sum();
+    assert_eq!(peer_total, in_window.len() as u64);
+    assert_eq!(
+        series.iter().sum::<u64>(),
+        in_window.len() as u64,
+        "time series buckets every in-window event"
+    );
+}
+
+#[test]
+fn zone_maps_prune_time_windowed_queries() {
+    let log = synthetic_log(12_000);
+    let dir = temp_store_dir("prune");
+    let outcome = ingest(&dir, &log, 4, 250);
+    let mut store = Store::open(&dir).unwrap();
+
+    // A narrow slice of the trace must skip most segment files.
+    let span = outcome.manifest.max_time_ms + 1 - outcome.manifest.min_time_ms;
+    let from = outcome.manifest.min_time_ms + span / 2;
+    let q = Query::default().time_range_ms(from, from + span / 20);
+    let stats = store.scan(&q, |_| {}).unwrap();
+    assert!(stats.rows_matched > 0, "window should be non-empty");
+    assert!(
+        stats.segments_pruned > 0 && stats.prune_ratio() > 0.0,
+        "narrow window should prune: {stats:?}"
+    );
+    assert!(stats.bytes_scanned < stats.bytes_total);
+
+    // Grouped counts over the full range are answered from footers alone.
+    let (counts, stats) = store.count_by_class(&Query::default()).unwrap();
+    assert_eq!(counts.iter().sum::<u64>(), outcome.manifest.total_events);
+    assert_eq!(stats.bytes_scanned, 0, "zone-answerable: {stats:?}");
+    assert_eq!(
+        stats.segments_zone_answered + stats.segments_pruned,
+        stats.segments_total
+    );
+    assert!((stats.prune_ratio() - 1.0).abs() < 1e-12);
+
+    // A peer absent from the trace prunes everything via the blooms.
+    let stats = store
+        .scan(&Query::default().peer(Asn(64_499)), |_| {
+            panic!("no rows should match")
+        })
+        .unwrap();
+    assert_eq!(stats.segments_scanned, 0, "{stats:?}");
+
+    // Telemetry recorded the queries.
+    let reg = store.registry();
+    assert_eq!(reg.counter_value("store.query.count"), Some(3));
+    assert!(reg.counter_value("store.query.segments_pruned").unwrap() > 0);
+}
+
+#[test]
+fn compaction_is_canonical_and_content_preserving() {
+    let log = synthetic_log(10_000);
+    let dir_a = temp_store_dir("compact-a");
+    let dir_b = temp_store_dir("compact-b");
+    // Same events, different original segment geometry.
+    ingest(&dir_a, &log, 1, 300);
+    ingest(&dir_b, &log, 4, 700);
+    assert_ne!(dir_contents(&dir_a), dir_contents(&dir_b));
+
+    let before = replay_all(&dir_a);
+    let report_a = compact(&dir_a, 2_000).unwrap();
+    let report_b = compact(&dir_b, 2_000).unwrap();
+    assert!(report_a.shards_rewritten > 0);
+    assert!(report_a.segments_after <= report_a.segments_before);
+
+    // Canonical form: both stores are now byte-identical.
+    assert_eq!(dir_contents(&dir_a), dir_contents(&dir_b));
+    assert_eq!(report_a.segments_after, report_b.segments_after);
+
+    // Content survived.
+    assert_eq!(replay_all(&dir_a), before);
+
+    // Compacting again is a no-op.
+    let again = compact(&dir_a, 2_000).unwrap();
+    assert_eq!(again.shards_rewritten, 0);
+    assert_eq!(dir_contents(&dir_a), dir_contents(&dir_b));
+
+    // Every segment except possibly each shard's last is full.
+    let manifest = Store::open(&dir_a).unwrap().manifest().clone();
+    for shard in 0..LOGICAL_SHARDS as u32 {
+        let segs: Vec<_> = manifest
+            .segments
+            .iter()
+            .filter(|m| m.shard == shard)
+            .collect();
+        for m in segs.iter().take(segs.len().saturating_sub(1)) {
+            assert_eq!(m.rows, 2_000, "{}", m.file);
+        }
+    }
+    std::fs::remove_dir_all(dir_a).unwrap();
+    std::fs::remove_dir_all(dir_b).unwrap();
+}
+
+#[test]
+fn reingest_clears_stale_segments() {
+    let dir = temp_store_dir("reingest");
+    ingest(&dir, &synthetic_log(5_000), 2, 100);
+    let first_files = dir_contents(&dir).len();
+    // A smaller second ingest must not leave first-run segments behind.
+    ingest(&dir, &synthetic_log(500), 2, 100);
+    let listing = dir_contents(&dir);
+    assert!(listing.len() < first_files);
+    let manifest = Store::open(&dir).unwrap().manifest().clone();
+    assert_eq!(
+        listing.iter().filter(|(n, _)| n.ends_with(".seg")).count(),
+        manifest.segments.len()
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn open_rejects_corrupt_segments_and_manifests() {
+    let dir = temp_store_dir("corrupt");
+    ingest(&dir, &synthetic_log(2_000), 1, 200);
+    let manifest = Store::open(&dir).unwrap().manifest().clone();
+    let victim = dir.join(&manifest.segments[0].file);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+    let mut store = Store::open(&dir).unwrap();
+    let err = store.replay(|_| {}).unwrap_err();
+    assert!(matches!(err, iri_store::StoreError::Corrupt(_)), "{err}");
+
+    std::fs::write(dir.join(iri_store::MANIFEST_FILE), "{not json").unwrap();
+    assert!(Store::open(&dir).is_err());
+    std::fs::remove_dir_all(dir).unwrap();
+}
