@@ -24,6 +24,12 @@ cargo fmt --check
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --workspace
 
+echo "==> fault-injection suite (crash matrix, retries, corruption properties)"
+cargo test -q -p iri-store --test fault_injection
+
+echo "==> crash-recovery matrix in release mode"
+cargo test --release -q -p iri-store --test fault_injection crash_matrix
+
 echo "==> store equivalence at paper scale (3M records, release)"
 IRI_EQUIV_RECORDS=3000000 cargo test --release -q -p iri-bench --test store_equivalence
 

@@ -179,7 +179,10 @@ fn timed_run(log_path: &str, jobs: usize, obs: bool) -> (u64, u64) {
     let mut cfg = PipelineConfig::with_jobs(jobs);
     cfg.obs = obs;
     let start = Instant::now();
-    let (result, _records) = analyze_mrt(&mut reader, 0, &cfg);
+    let (result, _records) = analyze_mrt(&mut reader, 0, &cfg).unwrap_or_else(|e| {
+        eprintln!("bench_obs: {e}");
+        std::process::exit(1);
+    });
     let wall = start.elapsed().as_millis() as u64;
     (wall.max(1), result.classifier.total())
 }

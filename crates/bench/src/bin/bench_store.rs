@@ -116,7 +116,8 @@ fn main() {
     let streaming_start = Instant::now();
     let mut reader = MrtReader::new(BufReader::new(File::open(log_path).unwrap()));
     let (baseline, _records) =
-        iri_pipeline::analyze_mrt(&mut reader, 0, &PipelineConfig::with_jobs(4));
+        iri_pipeline::analyze_mrt(&mut reader, 0, &PipelineConfig::with_jobs(4))
+            .expect("streaming baseline");
     let streaming_wall_ms = streaming_start.elapsed().as_millis().max(1) as u64;
     let baseline_render = report_from_analysis(&baseline).render();
     println!("  streaming report (jobs=4): {streaming_wall_ms} ms");

@@ -5,7 +5,7 @@
 //! `--store` day cache) without re-parsing or re-simulating anything:
 //!
 //! ```sh
-//! iriq <dir> info                          # manifest + layout
+//! iriq <dir> info                          # manifest + layout + recovery state
 //! iriq <dir> count-by-class [filters]      # §4 taxonomy breakdown
 //! iriq <dir> count-by-cause [filters]      # provenance attribution
 //! iriq <dir> top-peers   [--limit N]       # Figure 4's by-peer shape
@@ -14,110 +14,38 @@
 //! iriq <dir> series --bin-ms N [--spectrum]  # §5.2 FFT-of-ACF periods
 //! ```
 //!
-//! Filters compose conjunctively: `--from-ms A --to-ms B` (half-open),
-//! `--day D` (shorthand for one cached simulated day), `--peer ASN`,
+//! Filters are the shared [`iri_bench::cli`] grammar and compose
+//! conjunctively: `--from-ms A --to-ms B` (half-open), `--day D`
+//! (shorthand for one cached simulated day), `--peer ASN`,
 //! `--prefix a.b.c.d/len`, `--class AADup`, `--cause CsuDrift`. Add
-//! `--stats` to print how much of the archive the zone maps pruned.
+//! `--stats` to print how much of the archive the zone maps pruned (and
+//! whether any segments were quarantined), `--strict` to fail fast on a
+//! store that needs crash recovery instead of serving the repaired rest.
+//!
+//! Exit codes: 0 ok, 2 usage, then the store taxonomy — 3 I/O, 4
+//! corrupt, 5 quarantined/strict, 6 JSON, 7 ingest.
 
-use iri_bench::{arg_str, arg_u64};
+use iri_bench::cli::{self, QueryFilter};
+use iri_bench::{arg_u64, exit_store_error};
 use iri_core::taxonomy::UpdateClass;
 use iri_core::timeseries::detrend::log_detrend;
 use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
 use iri_obs::Cause;
-use iri_store::{Query, ScanStats, Store};
+use iri_store::StoreError;
 use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
         "usage: iriq <dir> <info|count-by-class|count-by-cause|top-peers|top-prefixes|bytes|series>\n\
          filters: [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix P] \
-         [--class NAME] [--cause NAME] [--stats]\n\
+         [--class NAME] [--cause NAME] [--strict] [--stats]\n\
          series:  --bin-ms N [--spectrum]   top-*: [--limit N]"
     );
-    std::process::exit(2);
+    std::process::exit(cli::EXIT_USAGE);
 }
 
-fn parse_class(name: &str) -> UpdateClass {
-    UpdateClass::ALL
-        .into_iter()
-        .find(|c| c.label().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| {
-            eprintln!("iriq: unknown class {name:?}; one of:");
-            for c in UpdateClass::ALL {
-                eprintln!("  {}", c.label());
-            }
-            std::process::exit(2);
-        })
-}
-
-fn parse_cause(name: &str) -> Cause {
-    Cause::ALL
-        .into_iter()
-        .find(|c| c.label().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| {
-            eprintln!("iriq: unknown cause {name:?}; one of:");
-            for c in Cause::ALL {
-                eprintln!("  {}", c.label());
-            }
-            std::process::exit(2);
-        })
-}
-
-/// Builds the conjunctive filter from the command line.
-fn query_from_args(args: &[String]) -> Query {
-    let mut q = Query::default();
-    if let Some(day) = arg_str(args, "--day") {
-        let day: u64 = day.parse().unwrap_or_else(|_| usage());
-        let day_ms = iri_bench::store_cache::DAY_MS;
-        q = q.time_range_ms(day * day_ms, (day + 1) * day_ms);
-    }
-    let from = arg_u64(args, "--from-ms", q.from_ms);
-    let to = arg_u64(
-        args,
-        "--to-ms",
-        if q.to_ms == u64::MAX {
-            u64::MAX
-        } else {
-            q.to_ms
-        },
-    );
-    q = q.time_range_ms(from, to);
-    if let Some(asn) = arg_str(args, "--peer") {
-        let asn = asn
-            .trim_start_matches("AS")
-            .parse()
-            .unwrap_or_else(|_| usage());
-        q = q.peer(iri_bgp::types::Asn(asn));
-    }
-    if let Some(p) = arg_str(args, "--prefix") {
-        q = q.prefix(p.parse().unwrap_or_else(|_| usage()));
-    }
-    if let Some(c) = arg_str(args, "--class") {
-        q = q.class(parse_class(&c));
-    }
-    if let Some(c) = arg_str(args, "--cause") {
-        q = q.cause(parse_cause(&c));
-    }
-    q
-}
-
-fn print_stats(args: &[String], stats: &ScanStats) {
-    if !args.iter().any(|a| a == "--stats") {
-        return;
-    }
-    println!(
-        "\n[scan] {} segments: {} pruned, {} zone-answered, {} scanned \
-         (prune ratio {:.1}%); {} of {} KiB read, {} rows tested, {} matched",
-        stats.segments_total,
-        stats.segments_pruned,
-        stats.segments_zone_answered,
-        stats.segments_scanned,
-        100.0 * stats.prune_ratio(),
-        stats.bytes_scanned / 1024,
-        stats.bytes_total / 1024,
-        stats.rows_scanned,
-        stats.rows_matched
-    );
+fn fail(e: StoreError) -> ! {
+    exit_store_error("iriq", &e)
 }
 
 fn main() {
@@ -125,16 +53,33 @@ fn main() {
     let (Some(dir), Some(cmd)) = (args.get(1), args.get(2)) else {
         usage()
     };
-    let mut store = Store::open(Path::new(dir)).unwrap_or_else(|e| {
-        eprintln!("iriq: cannot open store {dir}: {e}");
-        std::process::exit(1);
+    let filter = QueryFilter::from_args(&args).unwrap_or_else(|msg| {
+        eprintln!("iriq: {msg}");
+        usage()
     });
-    let q = query_from_args(&args);
+    let mut store = filter.open(Path::new(dir)).unwrap_or_else(|e| fail(e));
+    if !store.recovery().is_clean() {
+        let r = store.recovery();
+        eprintln!(
+            "iriq: note: recovery repaired this store ({} file(s) quarantined{})",
+            r.quarantined.len(),
+            if r.repaired_manifest {
+                ", manifest rewritten"
+            } else {
+                ""
+            }
+        );
+        for q in &r.quarantined {
+            eprintln!("iriq:   quarantine/{}: {}", q.file, q.reason);
+        }
+    }
+    let q = filter.query().clone();
 
     match cmd.as_str() {
         "info" => {
             let m = store.manifest();
             println!("store:        {dir}");
+            println!("generation:   {}", m.generation);
             println!("events:       {}", m.total_events);
             println!(
                 "segments:     {} ({} rows each)",
@@ -160,12 +105,13 @@ fn main() {
                 .map(|s| s.shard)
                 .collect::<std::collections::BTreeSet<_>>();
             println!("shards used:  {} of {}", shards.len(), m.logical_shards);
+            let quarantined = store.recovery().quarantined.len();
+            if quarantined > 0 {
+                println!("quarantined:  {quarantined} file(s) — see quarantine/");
+            }
         }
         "count-by-class" => {
-            let (counts, stats) = store.count_by_class(&q).unwrap_or_else(|e| {
-                eprintln!("iriq: {e}");
-                std::process::exit(1);
-            });
+            let (counts, stats) = store.count_by_class(&q).unwrap_or_else(|e| fail(e));
             let total: u64 = counts.iter().sum();
             for class in UpdateClass::ALL {
                 let n = counts[class.index()];
@@ -179,13 +125,10 @@ fn main() {
                 }
             }
             println!("{:<14} {total:>10}", "total");
-            print_stats(&args, &stats);
+            cli::print_scan_stats(&filter, &stats);
         }
         "count-by-cause" => {
-            let (counts, stats) = store.count_by_cause(&q).unwrap_or_else(|e| {
-                eprintln!("iriq: {e}");
-                std::process::exit(1);
-            });
+            let (counts, stats) = store.count_by_cause(&q).unwrap_or_else(|e| fail(e));
             let total: u64 = counts.iter().sum();
             for cause in Cause::ALL {
                 let n = counts[cause.index()];
@@ -199,44 +142,32 @@ fn main() {
                 }
             }
             println!("{:<14} {total:>10}", "total");
-            print_stats(&args, &stats);
+            cli::print_scan_stats(&filter, &stats);
         }
         "top-peers" => {
             let limit = arg_u64(&args, "--limit", 10) as usize;
-            let (rows, stats) = store.count_by_peer(&q).unwrap_or_else(|e| {
-                eprintln!("iriq: {e}");
-                std::process::exit(1);
-            });
+            let (rows, stats) = store.count_by_peer(&q).unwrap_or_else(|e| fail(e));
             for (asn, n) in rows.iter().take(limit) {
                 println!("{:<10} {n:>10}", asn.to_string());
             }
-            print_stats(&args, &stats);
+            cli::print_scan_stats(&filter, &stats);
         }
         "top-prefixes" => {
             let limit = arg_u64(&args, "--limit", 10) as usize;
-            let (rows, stats) = store.count_by_prefix(&q).unwrap_or_else(|e| {
-                eprintln!("iriq: {e}");
-                std::process::exit(1);
-            });
+            let (rows, stats) = store.count_by_prefix(&q).unwrap_or_else(|e| fail(e));
             for (prefix, n) in rows.iter().take(limit) {
                 println!("{prefix:<20} {n:>10}");
             }
-            print_stats(&args, &stats);
+            cli::print_scan_stats(&filter, &stats);
         }
         "bytes" => {
-            let (total, stats) = store.sum_bytes(&q).unwrap_or_else(|e| {
-                eprintln!("iriq: {e}");
-                std::process::exit(1);
-            });
+            let (total, stats) = store.sum_bytes(&q).unwrap_or_else(|e| fail(e));
             println!("{total} NLRI wire bytes match");
-            print_stats(&args, &stats);
+            cli::print_scan_stats(&filter, &stats);
         }
         "series" => {
             let bin_ms = arg_u64(&args, "--bin-ms", 3_600_000);
-            let (series, stats) = store.time_series(&q, bin_ms).unwrap_or_else(|e| {
-                eprintln!("iriq: {e}");
-                std::process::exit(1);
-            });
+            let (series, stats) = store.time_series(&q, bin_ms).unwrap_or_else(|e| fail(e));
             let total: u64 = series.iter().sum();
             let max = series.iter().copied().max().unwrap_or(0);
             println!(
@@ -273,7 +204,7 @@ fn main() {
                     );
                 }
             }
-            print_stats(&args, &stats);
+            cli::print_scan_stats(&filter, &stats);
         }
         _ => usage(),
     }

@@ -9,33 +9,35 @@
 //! ```sh
 //! mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] [--metrics-json <out.json>]
 //! mrtstat <file.mrt> --store <dir>   # analyze AND archive into a segment store
-//! mrtstat --store <dir>              # re-derive the report from an archive
+//! mrtstat --store <dir> [filters]    # re-derive the report from an archive
 //! mrtstat --demo [--jobs N]          # generate a demo log in-memory and analyze it
 //! ```
 //!
-//! With `--jobs N` the file is analyzed by the `iri-pipeline` engine:
-//! records are decoded in chunks on the ingest thread and classified by N
-//! sharded workers, producing the identical report plus stage telemetry.
-//! `--jobs 0` picks one worker per CPU. `--metrics-json` writes the run's
-//! telemetry (and, in pipeline mode, the fine-grained registry snapshot
-//! with per-batch latency histograms) as JSON for automation.
+//! All three paths run behind the shared [`iri_bench::engine`] API:
+//! without `--jobs` the [`SequentialEngine`], with `--jobs N` the
+//! [`PipelineEngine`] (N sharded workers; `--jobs 0` picks one per CPU),
+//! and store replay the [`StoreReplayEngine`] — every engine renders the
+//! identical report for the same logical stream. Store replay accepts
+//! the shared filter grammar (`--class`, `--peer`, `--day`, `--strict`,
+//! `--stats`, …) so a report can be cut to a slice of the archive.
 //!
-//! `--store <dir>` with an input file classifies once and persists the
-//! classified stream as an `iri-store` columnar archive in the same pass;
-//! without an input file the report is reconstructed by replaying the
-//! archive — byte-identical to the streaming report, without re-parsing
-//! the MRT log. All three engines render through the same
-//! `iri_bench::report` module.
+//! `--metrics-json` writes the run's telemetry (and, in pipeline mode,
+//! the fine-grained registry snapshot with per-batch latency histograms)
+//! as JSON for automation.
+//!
+//! Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt store, 5
+//! quarantined/strict, 6 JSON, 7 pipeline/ingest.
 
+use iri_bench::cli::{self, QueryFilter};
 use iri_bench::{
-    arg_str, arg_u64, logged_to_events, report_from_analysis, report_from_events,
-    report_from_store, UpdateReport,
+    arg_str, arg_u64, logged_to_events, report_from_analysis, AnalysisEngine, EngineInput,
+    EngineOutput, PipelineEngine, SequentialEngine, StoreReplayEngine, UpdateReport,
 };
-use iri_core::input::{events_from_mrt, UpdateEvent};
+use iri_core::input::UpdateEvent;
 use iri_mrt::MrtReader;
 use iri_obs::RegistrySnapshot;
 use iri_pipeline::{AnalysisResult, PipelineConfig, PipelineMetrics};
-use iri_store::{IngestConfig, Store};
+use iri_store::IngestConfig;
 use serde::Serialize;
 use std::fs::File;
 use std::io::BufReader;
@@ -67,6 +69,39 @@ impl Telemetry {
     }
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] \
+         [--metrics-json <out.json>] [--store <dir>] \
+         | mrtstat --store <dir> [filters] | mrtstat --demo\n\
+         filters: [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix P] \
+         [--class NAME] [--cause NAME] [--strict] [--stats]"
+    );
+    std::process::exit(cli::EXIT_USAGE);
+}
+
+/// Picks the engine the flags ask for and runs it, with uniform error
+/// reporting and exit codes.
+fn run_engine(jobs: Option<usize>, obs: bool, input: EngineInput<'_>) -> EngineOutput {
+    let mut seq = SequentialEngine;
+    let mut pipe;
+    let mut replay = StoreReplayEngine;
+    let engine: &mut dyn AnalysisEngine = match (&input, jobs) {
+        (EngineInput::Store { .. }, _) => &mut replay,
+        (_, Some(jobs)) => {
+            let mut cfg = PipelineConfig::with_jobs(jobs);
+            cfg.obs = obs;
+            pipe = PipelineEngine::new(cfg);
+            &mut pipe
+        }
+        _ => &mut seq,
+    };
+    engine.run(input).unwrap_or_else(|e| {
+        eprintln!("mrtstat: {e}");
+        std::process::exit(e.exit_code());
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = args
@@ -79,92 +114,68 @@ fn main() {
     // The JSON dump wants the fine-grained registry, so requesting it
     // turns on pipeline observability.
     let obs = metrics_json.is_some();
-    let cfg = |jobs| {
-        let mut cfg = PipelineConfig::with_jobs(jobs);
-        cfg.obs = obs;
-        cfg
-    };
     let path = args.get(1).filter(|p| !p.starts_with("--")).cloned();
 
     let mut telemetry = Telemetry::default();
     let report: UpdateReport = if demo {
         let events = demo_events();
-        match jobs {
-            Some(jobs) => {
-                let result = iri_pipeline::analyze_events(&events, &cfg(jobs));
-                telemetry.capture(&result);
-                report_from_analysis(&result)
-            }
-            None => report_from_events(&events),
+        let out = run_engine(jobs, obs, EngineInput::Events(&events));
+        if let Some(result) = &out.analysis {
+            telemetry.capture(result);
         }
+        out.report
     } else if path.is_none() && store_dir.is_some() {
-        report_from_archive(store_dir.as_deref().unwrap())
+        report_from_archive(&args, store_dir.as_deref().unwrap())
     } else {
-        let Some(path) = path else {
-            eprintln!(
-                "usage: mrtstat <file.mrt> [--base-time <unix-secs>] [--jobs N] \
-                 [--metrics-json <out.json>] [--store <dir>] \
-                 | mrtstat --store <dir> | mrtstat --demo"
-            );
-            std::process::exit(2);
-        };
+        let Some(path) = path else { usage() };
         let base = arg_u64(&args, "--base-time", 0) as u32;
-        // MrtReader issues many small reads per record; unbuffered File
-        // I/O here costs a syscall per read, so always wrap in BufReader.
-        let file = File::open(&path).unwrap_or_else(|e| {
-            eprintln!("mrtstat: cannot open {path}: {e}");
-            std::process::exit(1);
-        });
-        let mut reader = MrtReader::new(BufReader::new(file));
         if let Some(dir) = &store_dir {
             // One pass over the log: classify, report, AND archive.
+            // Ingest is inherently pipeline-shaped, so this path does not
+            // go through the engine trait.
+            let mut cfg = PipelineConfig::with_jobs(jobs.unwrap_or(0));
+            cfg.obs = obs;
             let ing = IngestConfig {
-                pipeline: cfg(jobs.unwrap_or(0)),
+                pipeline: cfg,
                 ..IngestConfig::default()
             };
+            // MrtReader issues many small reads per record; unbuffered
+            // File I/O costs a syscall per read, so wrap in BufReader.
+            let file = File::open(&path).unwrap_or_else(|e| {
+                eprintln!("mrtstat: cannot open {path}: {e}");
+                std::process::exit(3);
+            });
+            let mut reader = MrtReader::new(BufReader::new(file));
             let outcome = iri_store::ingest_mrt(Path::new(dir), &mut reader, base, &ing)
-                .unwrap_or_else(|e| {
-                    eprintln!("mrtstat: ingest into {dir}: {e}");
-                    std::process::exit(1);
-                });
+                .unwrap_or_else(|e| cli::exit_store_error("mrtstat", &e));
             println!(
-                "{path}: {} MRT records archived to {dir} ({} segments, {} events)",
+                "{path}: {} MRT records archived to {dir} ({} segments, {} events, generation {})",
                 outcome.records_read,
                 outcome.manifest.segments.len(),
-                outcome.manifest.total_events
+                outcome.manifest.total_events,
+                outcome.manifest.generation
             );
+            if outcome.retries > 0 {
+                println!("ingest retried {} transient I/O error(s)", outcome.retries);
+            }
             telemetry.capture(&outcome.analysis);
             report_from_analysis(&outcome.analysis)
         } else {
-            match jobs {
-                Some(jobs) => {
-                    let (result, records) =
-                        iri_pipeline::analyze_mrt(&mut reader, base, &cfg(jobs));
-                    println!("{path}: {records} MRT records");
-                    telemetry.capture(&result);
-                    report_from_analysis(&result)
-                }
-                None => {
-                    let mut records = Vec::new();
-                    loop {
-                        match reader.next_record() {
-                            Ok(Some(r)) => records.push(r),
-                            Ok(None) => break,
-                            Err(e) => {
-                                eprintln!("mrtstat: warning: stopping at malformed record: {e}");
-                                break;
-                            }
-                        }
-                    }
-                    let base = if base == 0 {
-                        records.first().map_or(0, iri_mrt::MrtRecord::timestamp)
-                    } else {
-                        base
-                    };
-                    println!("{path}: {} MRT records (base time {base})", records.len());
-                    report_from_events(&events_from_mrt(&records, base))
-                }
+            let out = run_engine(
+                jobs,
+                obs,
+                EngineInput::MrtFile {
+                    path: Path::new(&path),
+                    base_time: base,
+                },
+            );
+            if let Some(records) = out.records_read {
+                println!("{path}: {records} MRT records");
             }
+            if let Some(result) = &out.analysis {
+                telemetry.capture(result);
+            }
+            out.report
         }
     };
 
@@ -176,7 +187,7 @@ fn main() {
         let json = serde_json::to_string_pretty(&dump).expect("serialise metrics");
         std::fs::write(&path, json).unwrap_or_else(|e| {
             eprintln!("mrtstat: cannot write {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(3);
         });
         println!("metrics written to {path}");
     }
@@ -187,30 +198,33 @@ fn main() {
     print!("{}", report.render());
 }
 
-/// Rebuilds the report from an existing archive, no MRT input needed.
-fn report_from_archive(dir: &str) -> UpdateReport {
-    let mut store = Store::open(Path::new(dir)).unwrap_or_else(|e| {
-        eprintln!("mrtstat: cannot open store {dir}: {e}");
-        std::process::exit(1);
+/// Rebuilds the report from an existing archive via the store-replay
+/// engine, honouring the shared filter grammar — no MRT input needed.
+fn report_from_archive(args: &[String], dir: &str) -> UpdateReport {
+    let filter = QueryFilter::from_args(args).unwrap_or_else(|msg| {
+        eprintln!("mrtstat: {msg}");
+        usage()
     });
-    let m = store.manifest();
-    println!(
-        "{dir}: {} stored events in {} segments ({} MRT records at ingest)",
-        m.total_events,
-        m.segments.len(),
-        m.records_read
+    let out = run_engine(
+        None,
+        false,
+        EngineInput::Store {
+            dir: Path::new(dir),
+            filter: &filter,
+        },
     );
-    let (report, stats) = report_from_store(&mut store).unwrap_or_else(|e| {
-        eprintln!("mrtstat: replaying store {dir}: {e}");
-        std::process::exit(1);
-    });
-    println!(
-        "replayed {} rows from {} segments ({} KiB)",
-        stats.rows_matched,
-        stats.segments_scanned,
-        stats.bytes_scanned / 1024
-    );
-    report
+    if let Some(stats) = &out.scan_stats {
+        println!(
+            "{dir}: replayed {} rows from {} segments ({} KiB)",
+            stats.rows_matched,
+            stats.segments_scanned,
+            stats.bytes_scanned / 1024
+        );
+        if filter.wants_stats() {
+            println!("{}", cli::render_scan_stats(stats));
+        }
+    }
+    out.report
 }
 
 /// Generates an in-memory demo: one simulated exchange hour.

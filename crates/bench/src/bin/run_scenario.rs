@@ -181,7 +181,8 @@ fn run_parallel_days(
     let (summaries, metrics) =
         iri_pipeline::par_map((start_day..start_day + days).collect(), jobs, |day| {
             summarize_day(scenario, graph, day)
-        });
+        })
+        .expect("simulation worker panicked");
     println!("\n{}", metrics.render());
     println!("  day   events  instab%  pathological%  peak/s  incidents");
     for s in &summaries {

@@ -20,7 +20,8 @@
 //! store, so `iriq` can slice the attribution offline (e.g.
 //! `iriq <dir> count-by-class --cause csu-drift`).
 
-use iri_bench::{arg_str, arg_u64, logged_to_events_with_causes, CauseBreakdown};
+use iri_bench::cli::QueryFilter;
+use iri_bench::{arg_str, arg_u64, exit_store_error, logged_to_events_with_causes, CauseBreakdown};
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_netsim::{Cause, TraceKind};
@@ -47,21 +48,40 @@ fn main() {
 
     if let Some(dir) = arg_str(&args, "--store") {
         use iri_store::{StoreWriter, StoredEvent, DEFAULT_SEGMENT_ROWS};
+        fn fail(e: iri_store::StoreError) -> ! {
+            exit_store_error("tracescope", &e)
+        }
         let dir = std::path::PathBuf::from(dir);
         let mut writer =
-            StoreWriter::create(&dir, DEFAULT_SEGMENT_ROWS).expect("create store directory");
+            StoreWriter::create(&dir, DEFAULT_SEGMENT_ROWS).unwrap_or_else(|e| fail(e));
         for (c, &cause) in classified.iter().zip(&causes) {
             writer
                 .push(&StoredEvent::from_classified(c, cause))
-                .expect("write segment");
+                .unwrap_or_else(|e| fail(e));
         }
-        let manifest = writer.commit(0).expect("commit store");
+        let manifest = writer.commit(0).unwrap_or_else(|e| fail(e));
         println!(
-            "archived {} cause-tagged events to {} ({} segments)",
+            "archived {} cause-tagged events to {} ({} segments, generation {})",
             manifest.total_events,
             dir.display(),
-            manifest.segments.len()
+            manifest.segments.len(),
+            manifest.generation
         );
+        // Read-back verification through the shared filter grammar: a
+        // strict re-open proves the archive is durable and checksum-clean
+        // before we report success.
+        let verify = QueryFilter::from_args(&args)
+            .unwrap_or_else(|msg| {
+                eprintln!("tracescope: {msg}");
+                std::process::exit(iri_bench::EXIT_USAGE);
+            })
+            .strict(true);
+        let mut store = verify.open(&dir).unwrap_or_else(|e| fail(e));
+        let (counts, _) = store
+            .count_by_class(verify.query())
+            .unwrap_or_else(|e| fail(e));
+        let n: u64 = counts.iter().sum();
+        println!("verified: strict re-open sees {n} events matching the filter");
     }
 
     println!(

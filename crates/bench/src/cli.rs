@@ -1,0 +1,369 @@
+//! Shared command-line plumbing for every binary in this crate: flag
+//! parsing, the typed [`QueryFilter`] builder, scan-stat rendering, and
+//! the store error → exit code mapping.
+//!
+//! Before this module each store-facing binary (`iriq`, `mrtstat`,
+//! `tracescope`) parsed its filter flags into strings and re-derived
+//! `iri_store::Query` its own way. Now there is exactly one grammar:
+//!
+//! ```text
+//! [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix a.b.c.d/len]
+//! [--class NAME] [--cause NAME] [--strict] [--stats]
+//! ```
+//!
+//! and one builder to hold the result. Parse errors return messages (for
+//! the binary to print with its own usage text and exit
+//! [`EXIT_USAGE`]); store errors carry their own exit codes via
+//! [`StoreError::exit_code`].
+
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::taxonomy::UpdateClass;
+use iri_obs::Cause;
+use iri_store::{OpenOptions, Query, ScanStats, Store, StoreError};
+use std::path::Path;
+
+/// Exit code for malformed command lines.
+pub const EXIT_USAGE: i32 = 2;
+
+/// Parses `--key value` style arguments with defaults, e.g.
+/// `arg_f64(&args, "--scale", 0.05)`.
+#[must_use]
+pub fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// String variant of [`arg_f64`]: `None` when the flag is absent.
+#[must_use]
+pub fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Integer variant of [`arg_f64`].
+#[must_use]
+pub fn arg_u64(args: &[String], key: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare flag (no value) is present.
+#[must_use]
+pub fn arg_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+/// Standard experiment banner: what the paper reported vs what we measured.
+pub fn banner(title: &str, paper: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("paper: {paper}");
+    println!("================================================================");
+}
+
+/// Parses a taxonomy class by its label, case-insensitively.
+pub fn parse_class(name: &str) -> Result<UpdateClass, String> {
+    UpdateClass::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let all: Vec<&str> = UpdateClass::ALL.iter().map(|c| c.label()).collect();
+            format!("unknown class {name:?}; one of: {}", all.join(", "))
+        })
+}
+
+/// Parses a cause by its label, case-insensitively.
+pub fn parse_cause(name: &str) -> Result<Cause, String> {
+    Cause::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let all: Vec<&str> = Cause::ALL.iter().map(|c| c.label()).collect();
+            format!("unknown cause {name:?}; one of: {}", all.join(", "))
+        })
+}
+
+/// Typed, conjunctive store filter plus the open/report options every
+/// store-facing binary shares (`--strict`, `--stats`).
+///
+/// Build programmatically:
+///
+/// ```
+/// use iri_bench::cli::QueryFilter;
+/// use iri_core::taxonomy::UpdateClass;
+///
+/// let f = QueryFilter::new()
+///     .class(UpdateClass::WwDup)
+///     .time_range_ms(0, 86_400_000)
+///     .strict(true);
+/// assert!(f.is_strict());
+/// ```
+///
+/// or from a command line with [`QueryFilter::from_args`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryFilter {
+    query: Query,
+    strict: bool,
+    stats: bool,
+}
+
+impl QueryFilter {
+    /// A filter matching everything, tolerant, quiet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts to `[from_ms, to_ms)`.
+    #[must_use]
+    pub fn time_range_ms(mut self, from_ms: u64, to_ms: u64) -> Self {
+        self.query = self.query.time_range_ms(from_ms, to_ms);
+        self
+    }
+
+    /// Restricts to one simulated day (the day-cache window shorthand).
+    #[must_use]
+    pub fn day(self, day: u64) -> Self {
+        let day_ms = crate::store_cache::DAY_MS;
+        self.time_range_ms(day * day_ms, (day + 1) * day_ms)
+    }
+
+    /// Restricts to one peer AS.
+    #[must_use]
+    pub fn peer(mut self, asn: Asn) -> Self {
+        self.query = self.query.peer(asn);
+        self
+    }
+
+    /// Restricts to one prefix (exact match).
+    #[must_use]
+    pub fn prefix(mut self, prefix: Prefix) -> Self {
+        self.query = self.query.prefix(prefix);
+        self
+    }
+
+    /// Restricts to one taxonomy class.
+    #[must_use]
+    pub fn class(mut self, class: UpdateClass) -> Self {
+        self.query = self.query.class(class);
+        self
+    }
+
+    /// Restricts to one cause.
+    #[must_use]
+    pub fn cause(mut self, cause: Cause) -> Self {
+        self.query = self.query.cause(cause);
+        self
+    }
+
+    /// Sets strict (fail-fast) store opening: corrupt or crash-recovered
+    /// stores error out instead of being repaired and served.
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Sets whether scan statistics should be printed.
+    #[must_use]
+    pub fn stats(mut self, stats: bool) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The store query this filter narrows to.
+    #[must_use]
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Whether strict mode was requested.
+    #[must_use]
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Whether scan statistics were requested.
+    #[must_use]
+    pub fn wants_stats(&self) -> bool {
+        self.stats
+    }
+
+    /// Parses the shared filter grammar from a raw argument vector.
+    /// Unknown flags are ignored (binaries layer their own on top);
+    /// malformed values for known flags are errors.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut f = QueryFilter::new();
+        if let Some(day) = arg_str(args, "--day") {
+            let day: u64 = day
+                .parse()
+                .map_err(|_| format!("--day wants a number, got {day:?}"))?;
+            f = f.day(day);
+        }
+        let from = arg_u64(args, "--from-ms", f.query.from_ms);
+        let to = arg_u64(args, "--to-ms", f.query.to_ms);
+        f = f.time_range_ms(from, to);
+        if let Some(asn) = arg_str(args, "--peer") {
+            let n = asn
+                .trim_start_matches("AS")
+                .parse()
+                .map_err(|_| format!("--peer wants an AS number, got {asn:?}"))?;
+            f = f.peer(Asn(n));
+        }
+        if let Some(p) = arg_str(args, "--prefix") {
+            let p = p
+                .parse()
+                .map_err(|_| format!("--prefix wants a.b.c.d/len, got {p:?}"))?;
+            f = f.prefix(p);
+        }
+        if let Some(c) = arg_str(args, "--class") {
+            f = f.class(parse_class(&c)?);
+        }
+        if let Some(c) = arg_str(args, "--cause") {
+            f = f.cause(parse_cause(&c)?);
+        }
+        f = f.strict(arg_flag(args, "--strict"));
+        f = f.stats(arg_flag(args, "--stats"));
+        Ok(f)
+    }
+
+    /// Opens a store honouring this filter's strict flag.
+    pub fn open(&self, dir: &Path) -> Result<Store, StoreError> {
+        Store::open_with(dir, &OpenOptions::new().strict(self.strict))
+    }
+}
+
+/// Renders one query's [`ScanStats`] the way every binary reports them
+/// (the `--stats` flag), including quarantined-segment accounting.
+#[must_use]
+pub fn render_scan_stats(stats: &ScanStats) -> String {
+    let mut out = format!(
+        "[scan] {} segments: {} pruned, {} zone-answered, {} scanned \
+         (prune ratio {:.1}%); {} of {} KiB read, {} rows tested, {} matched",
+        stats.segments_total,
+        stats.segments_pruned,
+        stats.segments_zone_answered,
+        stats.segments_scanned,
+        100.0 * stats.prune_ratio(),
+        stats.bytes_scanned / 1024,
+        stats.bytes_total / 1024,
+        stats.rows_scanned,
+        stats.rows_matched
+    );
+    if stats.segments_quarantined > 0 {
+        out.push_str(&format!(
+            "\n[scan] {} segment(s) quarantined — results exclude them; \
+             re-run with --strict to fail instead",
+            stats.segments_quarantined
+        ));
+    }
+    out
+}
+
+/// Prints [`render_scan_stats`] when the filter asked for it.
+pub fn print_scan_stats(filter: &QueryFilter, stats: &ScanStats) {
+    if filter.wants_stats() {
+        println!("\n{}", render_scan_stats(stats));
+    }
+}
+
+/// Prints a store error the standard way and exits with its
+/// variant-specific code (I/O 3, corrupt 4, quarantined 5, JSON 6,
+/// ingest 7).
+pub fn exit_store_error(prog: &str, e: &StoreError) -> ! {
+    eprintln!("{prog}: {e}");
+    std::process::exit(e.exit_code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args = argv(&["--scale", "0.2", "--days", "14"]);
+        assert_eq!(arg_f64(&args, "--scale", 0.05), 0.2);
+        assert_eq!(arg_u64(&args, "--days", 7), 14);
+        assert_eq!(arg_u64(&args, "--missing", 9), 9);
+        assert_eq!(arg_f64(&args, "--days", 1.0), 14.0);
+    }
+
+    #[test]
+    fn filter_from_args_parses_every_flag() {
+        let args = argv(&[
+            "--from-ms",
+            "100",
+            "--to-ms",
+            "200",
+            "--peer",
+            "AS701",
+            "--prefix",
+            "10.0.0.0/8",
+            "--class",
+            "WWDup",
+            "--cause",
+            "CsuDrift",
+            "--strict",
+            "--stats",
+        ]);
+        let f = QueryFilter::from_args(&args).unwrap();
+        assert_eq!(f.query().from_ms, 100);
+        assert_eq!(f.query().to_ms, 200);
+        assert_eq!(f.query().peer_asn, Some(Asn(701)));
+        assert_eq!(f.query().prefix, Some("10.0.0.0/8".parse().unwrap()));
+        assert_eq!(f.query().class, Some(UpdateClass::WwDup));
+        assert_eq!(f.query().cause, Some(Cause::CsuDrift));
+        assert!(f.is_strict());
+        assert!(f.wants_stats());
+    }
+
+    #[test]
+    fn filter_day_shorthand_sets_the_window() {
+        let f = QueryFilter::from_args(&argv(&["--day", "2"])).unwrap();
+        let day_ms = crate::store_cache::DAY_MS;
+        assert_eq!(f.query().from_ms, 2 * day_ms);
+        assert_eq!(f.query().to_ms, 3 * day_ms);
+    }
+
+    #[test]
+    fn filter_rejects_bad_values_with_messages() {
+        assert!(QueryFilter::from_args(&argv(&["--peer", "abc"]))
+            .unwrap_err()
+            .contains("--peer"));
+        assert!(QueryFilter::from_args(&argv(&["--class", "nope"]))
+            .unwrap_err()
+            .contains("unknown class"));
+        assert!(QueryFilter::from_args(&argv(&["--prefix", "nope"]))
+            .unwrap_err()
+            .contains("--prefix"));
+    }
+
+    #[test]
+    fn scan_stats_render_mentions_quarantine_only_when_present() {
+        let clean = ScanStats {
+            segments_total: 4,
+            segments_scanned: 4,
+            ..ScanStats::default()
+        };
+        assert!(!render_scan_stats(&clean).contains("quarantined"));
+        let hurt = ScanStats {
+            segments_quarantined: 2,
+            ..clean
+        };
+        let text = render_scan_stats(&hurt);
+        assert!(text.contains("2 segment(s) quarantined"));
+        assert!(text.contains("--strict"));
+    }
+}

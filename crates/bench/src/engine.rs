@@ -1,0 +1,353 @@
+//! The unified analysis-engine API.
+//!
+//! Three ways of producing the §4/§5 [`UpdateReport`] grew up separately
+//! — sequential classification, the sharded streaming pipeline, and
+//! store replay — each with its own entry points and error shapes. This
+//! module puts them behind one trait:
+//!
+//! ```no_run
+//! use iri_bench::engine::{AnalysisEngine, EngineInput, PipelineEngine};
+//! use iri_pipeline::PipelineConfig;
+//!
+//! let mut engine = PipelineEngine::new(PipelineConfig::with_jobs(4));
+//! let out = engine
+//!     .run(EngineInput::MrtFile { path: "trace.mrt".as_ref(), base_time: 0 })
+//!     .unwrap();
+//! print!("{}", out.report.render());
+//! ```
+//!
+//! The engines guarantee the same rendered report for the same logical
+//! event stream — the equivalence tests hold them byte-identical — so a
+//! binary can switch engines (`--jobs`, `--store`) without changing what
+//! it prints.
+
+use crate::cli::QueryFilter;
+use crate::report::{
+    report_from_analysis, report_from_events, report_from_store_query, UpdateReport,
+};
+use iri_core::input::{events_from_mrt, UpdateEvent};
+use iri_mrt::{MrtReader, MrtRecord};
+use iri_pipeline::{AnalysisResult, PipelineConfig, PipelineError};
+use iri_store::{ScanStats, StoreError};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+/// What an engine runs on.
+pub enum EngineInput<'a> {
+    /// In-memory prefix events (simulator output, demo streams).
+    Events(&'a [UpdateEvent]),
+    /// An MRT update log on disk. `base_time` 0 means "use the first
+    /// record's timestamp".
+    MrtFile {
+        /// The log file.
+        path: &'a Path,
+        /// Unix seconds the event clock starts at.
+        base_time: u32,
+    },
+    /// A segment-store archive, narrowed and opened per the filter
+    /// (including its `--strict` flag).
+    Store {
+        /// The store directory.
+        dir: &'a Path,
+        /// Row filter + open options.
+        filter: &'a QueryFilter,
+    },
+}
+
+impl EngineInput<'_> {
+    fn kind(&self) -> &'static str {
+        match self {
+            EngineInput::Events(_) => "in-memory events",
+            EngineInput::MrtFile { .. } => "an MRT file",
+            EngineInput::Store { .. } => "a segment store",
+        }
+    }
+}
+
+/// What every engine hands back: the report, plus whatever provenance
+/// the input kind affords.
+pub struct EngineOutput {
+    /// The common §4/§5 report.
+    pub report: UpdateReport,
+    /// MRT records read (MRT inputs only).
+    pub records_read: Option<u64>,
+    /// Full pipeline result with telemetry ([`PipelineEngine`] only).
+    pub analysis: Option<AnalysisResult>,
+    /// Store scan accounting ([`StoreReplayEngine`] only).
+    pub scan_stats: Option<ScanStats>,
+}
+
+impl EngineOutput {
+    fn bare(report: UpdateReport) -> Self {
+        EngineOutput {
+            report,
+            records_read: None,
+            analysis: None,
+            scan_stats: None,
+        }
+    }
+}
+
+/// Why an engine run failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Could not read the input.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The failing error.
+        source: io::Error,
+    },
+    /// The streaming pipeline died.
+    Pipeline(PipelineError),
+    /// The store could not be opened or scanned.
+    Store(StoreError),
+    /// The engine does not handle this input kind.
+    Unsupported {
+        /// The engine asked.
+        engine: &'static str,
+        /// The input kind it was given.
+        input: &'static str,
+    },
+}
+
+impl EngineError {
+    /// Process exit code for this failure, aligned with
+    /// [`StoreError::exit_code`] so every binary maps failures the same
+    /// way.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            EngineError::Io { .. } => 3,
+            EngineError::Store(e) => e.exit_code(),
+            EngineError::Pipeline(_) => 7,
+            EngineError::Unsupported { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            EngineError::Pipeline(e) => write!(f, "{e}"),
+            EngineError::Store(e) => write!(f, "{e}"),
+            EngineError::Unsupported { engine, input } => {
+                write!(f, "the {engine} engine cannot run on {input}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PipelineError> for EngineError {
+    fn from(e: PipelineError) -> Self {
+        EngineError::Pipeline(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+/// A producer of the common report. All engines yield identical
+/// rendered reports for the same logical event stream.
+pub trait AnalysisEngine {
+    /// Short engine name for messages and telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Runs the engine over one input.
+    fn run(&mut self, input: EngineInput<'_>) -> Result<EngineOutput, EngineError>;
+}
+
+/// Reads MRT records until EOF or the first malformed record (matching
+/// the historical tolerant CLI behaviour), resolving base time 0 to the
+/// first record's timestamp.
+fn read_mrt_file(path: &Path, base_time: u32) -> Result<(Vec<MrtRecord>, u32), EngineError> {
+    let file = File::open(path).map_err(|e| EngineError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    let mut reader = MrtReader::new(BufReader::new(file));
+    let mut records = Vec::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some(r)) => records.push(r),
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("warning: stopping at malformed MRT record: {e}");
+                break;
+            }
+        }
+    }
+    let base = if base_time == 0 {
+        records.first().map_or(0, MrtRecord::timestamp)
+    } else {
+        base_time
+    };
+    Ok((records, base))
+}
+
+/// Classic single-threaded engine: classify in stream order, reduce
+/// through the streaming sinks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SequentialEngine;
+
+impl AnalysisEngine for SequentialEngine {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run(&mut self, input: EngineInput<'_>) -> Result<EngineOutput, EngineError> {
+        match input {
+            EngineInput::Events(events) => Ok(EngineOutput::bare(report_from_events(events))),
+            EngineInput::MrtFile { path, base_time } => {
+                let (records, base) = read_mrt_file(path, base_time)?;
+                let events = events_from_mrt(&records, base);
+                let mut out = EngineOutput::bare(report_from_events(&events));
+                out.records_read = Some(records.len() as u64);
+                Ok(out)
+            }
+            other => Err(EngineError::Unsupported {
+                engine: self.name(),
+                input: other.kind(),
+            }),
+        }
+    }
+}
+
+/// The sharded streaming pipeline with stage telemetry.
+#[derive(Debug, Clone)]
+pub struct PipelineEngine {
+    /// Worker pool configuration.
+    pub cfg: PipelineConfig,
+}
+
+impl PipelineEngine {
+    /// An engine over the given pool configuration.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig) -> Self {
+        PipelineEngine { cfg }
+    }
+}
+
+impl AnalysisEngine for PipelineEngine {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn run(&mut self, input: EngineInput<'_>) -> Result<EngineOutput, EngineError> {
+        match input {
+            EngineInput::Events(events) => {
+                let result = iri_pipeline::analyze_events(events, &self.cfg)?;
+                let mut out = EngineOutput::bare(report_from_analysis(&result));
+                out.analysis = Some(result);
+                Ok(out)
+            }
+            EngineInput::MrtFile { path, base_time } => {
+                let file = File::open(path).map_err(|e| EngineError::Io {
+                    path: path.to_path_buf(),
+                    source: e,
+                })?;
+                let mut reader = MrtReader::new(BufReader::new(file));
+                let (result, records) =
+                    iri_pipeline::analyze_mrt(&mut reader, base_time, &self.cfg)?;
+                let mut out = EngineOutput::bare(report_from_analysis(&result));
+                out.records_read = Some(records);
+                out.analysis = Some(result);
+                Ok(out)
+            }
+            other => Err(EngineError::Unsupported {
+                engine: self.name(),
+                input: other.kind(),
+            }),
+        }
+    }
+}
+
+/// Report reconstruction by replaying a segment-store archive — no MRT
+/// parsing, no simulation, honouring the filter's row predicates and
+/// strict flag.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreReplayEngine;
+
+impl AnalysisEngine for StoreReplayEngine {
+    fn name(&self) -> &'static str {
+        "store-replay"
+    }
+
+    fn run(&mut self, input: EngineInput<'_>) -> Result<EngineOutput, EngineError> {
+        match input {
+            EngineInput::Store { dir, filter } => {
+                let mut store = filter.open(dir)?;
+                let (report, stats) = report_from_store_query(&mut store, filter.query())?;
+                let mut out = EngineOutput::bare(report);
+                out.scan_stats = Some(stats);
+                Ok(out)
+            }
+            other => Err(EngineError::Unsupported {
+                engine: self.name(),
+                input: other.kind(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_refuse_foreign_inputs_with_usage_code() {
+        let Err(err) = StoreReplayEngine.run(EngineInput::Events(&[])) else {
+            panic!("store replay cannot run on events");
+        };
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("store-replay"));
+
+        let filter = QueryFilter::new();
+        let Err(err) = SequentialEngine.run(EngineInput::Store {
+            dir: Path::new("/nonexistent"),
+            filter: &filter,
+        }) else {
+            panic!("sequential cannot run on a store");
+        };
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn sequential_and_pipeline_agree_on_events() {
+        let mut log = Vec::new();
+        let mut w = iri_mrt::MrtWriter::new(&mut log);
+        let cfg = crate::GenLogConfig {
+            records: 3_000,
+            peers: 4,
+            prefixes: 200,
+            ..crate::GenLogConfig::default()
+        };
+        crate::write_synthetic_log(&mut w, &cfg).unwrap();
+        let mut reader = MrtReader::new(log.as_slice());
+        let records: Vec<MrtRecord> = reader.iter().collect::<Result<_, _>>().unwrap();
+        let events = events_from_mrt(&records, crate::genlog::BASE_TIME);
+        let seq = SequentialEngine
+            .run(EngineInput::Events(&events))
+            .unwrap()
+            .report
+            .render();
+        let mut pipe = PipelineEngine::new(PipelineConfig::with_jobs(3));
+        let par = pipe
+            .run(EngineInput::Events(&events))
+            .unwrap()
+            .report
+            .render();
+        assert_eq!(seq, par);
+    }
+}

@@ -94,6 +94,7 @@ impl Experiment {
                 iri_pipeline::par_map(days, self.cfg.threads, |day| {
                     summarize_day(&scenario, graph, day)
                 })
+                .expect("simulation worker panicked")
                 .0
             }
         }

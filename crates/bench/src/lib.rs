@@ -13,6 +13,8 @@
 //! ordered parallel map; each simulated day is independent (its own
 //! seeded world), so results are deterministic regardless of scheduling.
 
+pub mod cli;
+pub mod engine;
 pub mod experiment;
 pub mod genlog;
 pub mod obs_scenario;
@@ -20,10 +22,21 @@ pub mod report;
 pub mod store_cache;
 pub mod summary;
 
+pub use cli::{
+    arg_f64, arg_flag, arg_str, arg_u64, banner, exit_store_error, print_scan_stats, QueryFilter,
+    EXIT_USAGE,
+};
+pub use engine::{
+    AnalysisEngine, EngineError, EngineInput, EngineOutput, PipelineEngine, SequentialEngine,
+    StoreReplayEngine,
+};
 pub use experiment::{experiment, experiment_args, Experiment};
 pub use genlog::{write_synthetic_log, GenLogConfig};
 pub use obs_scenario::{run_pathology, CauseBreakdown, ObsScenario};
-pub use report::{report_from_analysis, report_from_events, report_from_store, UpdateReport};
+pub use report::{
+    report_from_analysis, report_from_events, report_from_store, report_from_store_query,
+    UpdateReport,
+};
 pub use store_cache::summarize_days_cached;
 pub use summary::{run_days, run_days_with_metrics, summarize_day, DaySummary, ExperimentConfig};
 
@@ -57,59 +70,9 @@ pub fn logged_to_events_with_causes(log: &[LoggedUpdate]) -> (Vec<UpdateEvent>, 
     (out, causes)
 }
 
-/// Parses `--key value` style arguments with defaults, e.g.
-/// `arg_f64(&args, "--scale", 0.05)`.
-#[must_use]
-pub fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// String variant of [`arg_f64`]: `None` when the flag is absent.
-#[must_use]
-pub fn arg_str(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-/// Integer variant of [`arg_f64`].
-#[must_use]
-pub fn arg_u64(args: &[String], key: &str, default: u64) -> u64 {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Standard experiment banner: what the paper reported vs what we measured.
-pub fn banner(title: &str, paper: &str) {
-    println!("================================================================");
-    println!("{title}");
-    println!("paper: {paper}");
-    println!("================================================================");
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn arg_parsing() {
-        let args: Vec<String> = ["--scale", "0.2", "--days", "14"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
-        assert_eq!(arg_f64(&args, "--scale", 0.05), 0.2);
-        assert_eq!(arg_u64(&args, "--days", 7), 14);
-        assert_eq!(arg_u64(&args, "--missing", 9), 9);
-        assert_eq!(arg_f64(&args, "--days", 1.0), 14.0);
-    }
 
     #[test]
     fn logged_to_events_skips_keepalives() {

@@ -18,7 +18,7 @@ use iri_core::stats::sinks::StreamSinks;
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_pipeline::{AnalysisResult, DEFAULT_QUIET_MS};
-use iri_store::{ScanStats, Store, StoreError};
+use iri_store::{Query, ScanStats, Store, StoreError};
 use std::fmt::Write as _;
 
 /// Classifier-level totals, detached from the classifier so they can also
@@ -221,11 +221,21 @@ pub fn report_from_analysis(result: &AnalysisResult) -> UpdateReport {
 /// — the only order the sinks depend on — so the report is identical to
 /// the one the streaming engines computed when the store was written.
 pub fn report_from_store(store: &mut Store) -> Result<(UpdateReport, ScanStats), StoreError> {
+    report_from_store_query(store, &Query::default())
+}
+
+/// [`report_from_store`] over a narrowed slice of the archive: only rows
+/// matching the query feed the report. With the default query this is
+/// exactly the full replay the equivalence tests pin down.
+pub fn report_from_store_query(
+    store: &mut Store,
+    query: &Query,
+) -> Result<(UpdateReport, ScanStats), StoreError> {
     let mut sinks = StreamSinks::new(DEFAULT_QUIET_MS);
     let mut class_counts = [0u64; UpdateClass::COUNT];
     let mut policy_changes = 0u64;
     let mut pairs: FxHashSet<(PeerKey, Prefix)> = FxHashSet::default();
-    let stats = store.replay(|ev| {
+    let stats = store.scan(query, |ev| {
         class_counts[ev.class.index()] += 1;
         policy_changes += u64::from(ev.policy_change);
         pairs.insert((ev.peer, ev.prefix));
@@ -268,7 +278,7 @@ mod tests {
         let sequential = report_from_events(&events).render();
 
         let cfg = iri_pipeline::PipelineConfig::with_jobs(3);
-        let result = iri_pipeline::analyze_events(&events, &cfg);
+        let result = iri_pipeline::analyze_events(&events, &cfg).unwrap();
         let parallel = report_from_analysis(&result).render();
         assert_eq!(sequential, parallel);
         assert!(sequential.contains("taxonomy breakdown"));

@@ -111,7 +111,8 @@ pub fn summarize_days_cached(
     day_list.dedup();
     let (results, _metrics) = iri_pipeline::par_map(day_list.clone(), threads.max(1), |day| {
         classified_day(scenario, graph, day)
-    });
+    })
+    .map_err(|e| StoreError::Ingest(e.to_string()))?;
 
     let mut writer = StoreWriter::create(dir, DEFAULT_SEGMENT_ROWS)?;
     let mut day_metas = Vec::with_capacity(day_list.len());
@@ -133,7 +134,8 @@ pub fn summarize_days_cached(
         days: day_metas,
     };
     let text = serde_json::to_string_pretty(&meta).map_err(|e| StoreError::Json(e.to_string()))?;
-    fs::write(dir.join(CACHE_META_FILE), text)?;
+    let meta_path = dir.join(CACHE_META_FILE);
+    fs::write(&meta_path, text).map_err(|e| StoreError::io(&meta_path, e))?;
 
     let out = days
         .iter()

@@ -218,6 +218,7 @@ pub fn run_days_with_metrics(
     let days: Vec<u32> = days.collect();
     let scenario = &cfg.scenario;
     iri_pipeline::par_map(days, cfg.threads, |day| summarize_day(scenario, graph, day))
+        .expect("simulation worker panicked")
 }
 
 #[cfg(test)]

@@ -1,0 +1,496 @@
+//! The `StoreFs` I/O trait, its production implementation, and the
+//! fault-injecting wrapper.
+
+use crate::plan::{CommitStep, FaultKind, FaultPlan};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A shared, thread-safe filesystem handle. Ingest workers clone this
+/// into every sink, so one fault plan governs the whole run.
+pub type SharedFs = Arc<dyn StoreFs>;
+
+/// The production filesystem as a [`SharedFs`].
+#[must_use]
+pub fn real_fs() -> SharedFs {
+    Arc::new(RealFs)
+}
+
+/// The narrow filesystem surface the store needs. Production code calls
+/// these instead of `std::fs` so a [`FaultyFs`] can be swapped in
+/// underneath without the store noticing.
+///
+/// Operations that move bytes or mutate the directory — `read`, `write`,
+/// `append`, `sync`, `sync_dir`, `rename`, `remove` — are **counted**:
+/// each consumes one index in the fault injector's operation stream.
+/// `create_dir_all`, `list`, and `exists` are free.
+pub trait StoreFs: fmt::Debug + Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates or truncates `path` with exactly `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Appends `bytes` to `path`, creating it if absent.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flushes a file's data and metadata to stable storage.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// Flushes a directory, making renames within it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (same directory in store use).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// File names (not paths) in a directory, sorted for determinism.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Marks a named point in the ingest commit protocol. A no-op in
+    /// production; [`FaultyFs`] uses it to kill the "process" between
+    /// steps for crash-matrix tests.
+    fn checkpoint(&self, _step: CommitStep) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `std::fs`-backed [`StoreFs`]: the real machine, fsyncs included.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is how rename durability works on POSIX; on
+        // platforms where directories cannot be opened, skip it.
+        #[cfg(unix)]
+        {
+            fs::File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    fired: Vec<bool>,
+    next_op: u64,
+    killed: bool,
+}
+
+/// A [`StoreFs`] that executes a [`FaultPlan`] against the counted
+/// operation stream of an inner filesystem. Thread-safe: ingest workers
+/// sharing one `FaultyFs` consume indices from one global stream, so a
+/// plan means the same thing at any `--jobs` count *for single-threaded
+/// runs*; multi-threaded runs interleave nondeterministically, which is
+/// why the crash-matrix tests drive ingest with one worker.
+pub struct FaultyFs {
+    inner: Box<dyn StoreFs>,
+    state: Mutex<FaultState>,
+}
+
+impl fmt::Debug for FaultyFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().expect("fault state poisoned");
+        f.debug_struct("FaultyFs")
+            .field("next_op", &state.next_op)
+            .field("killed", &state.killed)
+            .field("plan", &state.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+fn simulated_kill(context: &str) -> io::Error {
+    io::Error::other(format!("simulated kill: {context}"))
+}
+
+impl FaultyFs {
+    /// A fault injector over the real filesystem.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyFs::with_inner(Box::new(RealFs), plan)
+    }
+
+    /// A fault injector over any inner filesystem.
+    #[must_use]
+    pub fn with_inner(inner: Box<dyn StoreFs>, plan: FaultPlan) -> Self {
+        let fired = vec![false; plan.faults.len()];
+        FaultyFs {
+            inner,
+            state: Mutex::new(FaultState {
+                plan,
+                fired,
+                next_op: 0,
+                killed: false,
+            }),
+        }
+    }
+
+    /// A pass-through that only counts operations — run a clean ingest
+    /// through this first to learn how many ops a crash matrix must
+    /// cover.
+    #[must_use]
+    pub fn counting() -> Self {
+        FaultyFs::new(FaultPlan::new())
+    }
+
+    /// Counted operations consumed so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("fault state poisoned").next_op
+    }
+
+    /// Whether a kill fault has fired.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.state.lock().expect("fault state poisoned").killed
+    }
+
+    /// Consumes one op index; returns the fault scheduled there, if any.
+    fn begin_op(&self) -> io::Result<Option<FaultKind>> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        if state.killed {
+            return Err(simulated_kill("process is dead"));
+        }
+        let op = state.next_op;
+        state.next_op += 1;
+        let hit = state
+            .plan
+            .faults
+            .iter()
+            .enumerate()
+            .position(|(i, f)| f.at_op == op && !state.fired[i]);
+        Ok(hit.map(|i| {
+            state.fired[i] = true;
+            state.plan.faults[i].kind
+        }))
+    }
+
+    fn kill(&self) {
+        self.state.lock().expect("fault state poisoned").killed = true;
+    }
+
+    fn ensure_alive(&self) -> io::Result<()> {
+        if self.killed() {
+            return Err(simulated_kill("process is dead"));
+        }
+        Ok(())
+    }
+
+    /// Applies a payload fault to an owned byte buffer; `Ok(None)` means
+    /// the operation should fail without touching the payload.
+    fn mangle(&self, kind: FaultKind, mut bytes: Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+        match kind {
+            FaultKind::BitFlip { offset, mask } => {
+                if !bytes.is_empty() {
+                    let i = offset % bytes.len();
+                    bytes[i] ^= if mask == 0 { 1 } else { mask };
+                }
+                Ok(Some(bytes))
+            }
+            FaultKind::Truncate { drop } => {
+                let keep = bytes.len().saturating_sub(drop.max(1));
+                bytes.truncate(keep);
+                Ok(Some(bytes))
+            }
+            FaultKind::Error { kind } => Err(io::Error::new(kind, "injected I/O error")),
+            FaultKind::Kill | FaultKind::TornWrite { .. } => {
+                self.kill();
+                Err(simulated_kill("fault plan"))
+            }
+        }
+    }
+
+    /// Handles faults on counted ops that carry no payload.
+    fn plain_fault(&self, kind: FaultKind) -> io::Error {
+        match kind {
+            FaultKind::Error { kind } => io::Error::new(kind, "injected I/O error"),
+            FaultKind::Kill | FaultKind::TornWrite { .. } => {
+                self.kill();
+                simulated_kill("fault plan")
+            }
+            // Payload faults degrade to a hard error on payload-free ops
+            // so seeded plans always fire something observable.
+            FaultKind::BitFlip { .. } | FaultKind::Truncate { .. } => {
+                io::Error::other("injected fault on payload-free operation")
+            }
+        }
+    }
+}
+
+impl StoreFs for FaultyFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.begin_op()? {
+            None => self.inner.read(path),
+            // Payload-free faults fire whether or not the file exists —
+            // a kill scheduled on a failing read must still kill.
+            Some(
+                kind @ (FaultKind::Error { .. } | FaultKind::Kill | FaultKind::TornWrite { .. }),
+            ) => Err(self.plain_fault(kind)),
+            Some(kind) => {
+                let bytes = self.inner.read(path)?;
+                match self.mangle(kind, bytes)? {
+                    Some(b) => Ok(b),
+                    None => unreachable!("mangle never returns Ok(None)"),
+                }
+            }
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.begin_op()? {
+            None => self.inner.write(path, bytes),
+            Some(FaultKind::TornWrite { keep }) => {
+                let keep = keep.min(bytes.len());
+                let _ = self.inner.write(path, &bytes[..keep]);
+                self.kill();
+                Err(simulated_kill("torn write"))
+            }
+            Some(kind) => match self.mangle(kind, bytes.to_vec())? {
+                Some(b) => self.inner.write(path, &b),
+                None => unreachable!("mangle never returns Ok(None)"),
+            },
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.begin_op()? {
+            None => self.inner.append(path, bytes),
+            Some(FaultKind::TornWrite { keep }) => {
+                let keep = keep.min(bytes.len());
+                let _ = self.inner.append(path, &bytes[..keep]);
+                self.kill();
+                Err(simulated_kill("torn append"))
+            }
+            Some(kind) => match self.mangle(kind, bytes.to_vec())? {
+                Some(b) => self.inner.append(path, &b),
+                None => unreachable!("mangle never returns Ok(None)"),
+            },
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        match self.begin_op()? {
+            None => self.inner.sync(path),
+            Some(kind) => Err(self.plain_fault(kind)),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.begin_op()? {
+            None => self.inner.sync_dir(dir),
+            Some(kind) => Err(self.plain_fault(kind)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.begin_op()? {
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(self.plain_fault(kind)),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.begin_op()? {
+            None => self.inner.remove(path),
+            Some(kind) => Err(self.plain_fault(kind)),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.ensure_alive()?;
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.ensure_alive()?;
+        self.inner.list(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.killed() && self.inner.exists(path)
+    }
+
+    fn checkpoint(&self, step: CommitStep) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        if state.killed {
+            return Err(simulated_kill("process is dead"));
+        }
+        if state.plan.kill_at_step == Some(step) {
+            state.killed = true;
+            return Err(simulated_kill("checkpoint"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RetryPolicy;
+    use std::path::PathBuf;
+
+    /// Unique scratch directory, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "iri-faults-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("scratch dir");
+            Scratch(dir)
+        }
+
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn real_fs_round_trips_and_lists() {
+        let scratch = Scratch::new("real");
+        let fs = RealFs;
+        fs.write(&scratch.path("a.bin"), b"hello").unwrap();
+        fs.append(&scratch.path("a.bin"), b" world").unwrap();
+        fs.sync(&scratch.path("a.bin")).unwrap();
+        fs.sync_dir(&scratch.0).unwrap();
+        assert_eq!(fs.read(&scratch.path("a.bin")).unwrap(), b"hello world");
+        fs.rename(&scratch.path("a.bin"), &scratch.path("b.bin"))
+            .unwrap();
+        assert!(fs.exists(&scratch.path("b.bin")));
+        assert_eq!(fs.list(&scratch.0).unwrap(), vec!["b.bin".to_string()]);
+        fs.remove(&scratch.path("b.bin")).unwrap();
+        assert!(!fs.exists(&scratch.path("b.bin")));
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_and_kills() {
+        let scratch = Scratch::new("torn");
+        let fs = FaultyFs::new(FaultPlan::new().fault_at(0, FaultKind::TornWrite { keep: 3 }));
+        let p = scratch.path("x.bin");
+        assert!(fs.write(&p, b"abcdef").is_err());
+        assert!(fs.killed());
+        assert_eq!(RealFs.read(&p).unwrap(), b"abc");
+        // Everything after death fails.
+        assert!(fs.read(&p).is_err());
+        assert!(fs.list(&scratch.0).is_err());
+    }
+
+    #[test]
+    fn silent_faults_report_success_but_corrupt() {
+        let scratch = Scratch::new("silent");
+        let fs = FaultyFs::new(
+            FaultPlan::new()
+                .fault_at(
+                    0,
+                    FaultKind::BitFlip {
+                        offset: 1,
+                        mask: 0x40,
+                    },
+                )
+                .fault_at(1, FaultKind::Truncate { drop: 2 }),
+        );
+        fs.write(&scratch.path("flip.bin"), b"abcd").unwrap();
+        assert_eq!(RealFs.read(&scratch.path("flip.bin")).unwrap(), b"a\x22cd");
+        fs.write(&scratch.path("cut.bin"), b"abcd").unwrap();
+        assert_eq!(RealFs.read(&scratch.path("cut.bin")).unwrap(), b"ab");
+        assert!(!fs.killed());
+        assert_eq!(fs.ops(), 2);
+    }
+
+    #[test]
+    fn injected_errors_fire_once_at_their_op() {
+        let scratch = Scratch::new("err");
+        let fs = FaultyFs::new(FaultPlan::new().transient_error_at(1));
+        let p = scratch.path("y.bin");
+        fs.write(&p, b"one").unwrap();
+        let err = fs.write(&p, b"two").unwrap_err();
+        assert!(RetryPolicy::is_transient(&err));
+        fs.write(&p, b"three").unwrap();
+        assert_eq!(RealFs.read(&p).unwrap(), b"three");
+    }
+
+    #[test]
+    fn checkpoint_kill_stops_the_world() {
+        let scratch = Scratch::new("step");
+        let fs = FaultyFs::new(FaultPlan::new().kill_at_step(CommitStep::JournalSealed));
+        fs.checkpoint(CommitStep::Begin).unwrap();
+        fs.write(&scratch.path("z.bin"), b"data").unwrap();
+        fs.checkpoint(CommitStep::SegmentsDurable).unwrap();
+        assert!(fs.checkpoint(CommitStep::JournalSealed).is_err());
+        assert!(fs.killed());
+        assert!(fs.write(&scratch.path("late.bin"), b"never").is_err());
+        assert!(!RealFs.exists(&scratch.path("late.bin")));
+    }
+}

@@ -1,0 +1,51 @@
+//! # iri-faults — deterministic fault injection for the segment store
+//!
+//! The paper's probe machines watched real infrastructure fail for nine
+//! months: stateless routers dropping sessions, flap storms, CSU clock
+//! drift. A measurement pipeline that assumes a perfect machine would
+//! have recorded none of it. This crate gives the store the same
+//! discipline the paper demanded of router vendors — inject the faults,
+//! survive them, report them.
+//!
+//! Two halves:
+//!
+//! - [`StoreFs`] is the narrow filesystem trait every store I/O goes
+//!   through. Production code uses [`RealFs`] (plain `std::fs` plus
+//!   fsync); tests swap in [`FaultyFs`], which executes a deterministic
+//!   [`FaultPlan`] against the operation stream.
+//! - [`FaultPlan`] scripts faults by **operation index**: torn write at
+//!   byte N, silent bit flip, silent tail truncation, an injected
+//!   `io::Error` on the Kth op, or a simulated kill — either at an op
+//!   index or at a named ingest [`CommitStep`]. After a kill fires,
+//!   every subsequent operation fails, exactly like a dead process.
+//!
+//! [`RetryPolicy`] rounds it out: bounded retry-with-backoff for the
+//! transient errors the injector (or a real kernel) can produce.
+//!
+//! ```
+//! use iri_faults::{FaultKind, FaultPlan, FaultyFs, StoreFs};
+//! use std::path::Path;
+//!
+//! let fs = FaultyFs::new(FaultPlan::new().fault_at(0, FaultKind::Kill));
+//! assert!(fs.write(Path::new("/tmp/x"), b"never lands").is_err());
+//! assert!(fs.killed());
+//! ```
+
+#![warn(missing_docs)]
+
+mod fs;
+mod plan;
+
+pub use fs::{real_fs, FaultyFs, RealFs, SharedFs, StoreFs};
+pub use plan::{CommitStep, Fault, FaultKind, FaultPlan, RetryPolicy};
+
+/// SplitMix64 finalizer used to derive seeded fault plans. Same mixer the
+/// store uses for shard routing, duplicated here so this crate stays a
+/// leaf dependency.
+#[must_use]
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,308 @@
+//! Fault plans: what goes wrong, and when.
+
+use crate::splitmix64;
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// The named checkpoints of the store's ingest commit protocol, in
+/// order. [`crate::StoreFs::checkpoint`] can kill the "process" at any
+/// of them, which is how the crash-matrix tests cover every gap in the
+/// protocol without racing a real `kill(2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommitStep {
+    /// Ingest has begun: the journal's `begin` record is durable, no
+    /// segment data has been written yet.
+    Begin,
+    /// Every segment file has been written, fsynced, and renamed into
+    /// place.
+    SegmentsDurable,
+    /// The journal's `commit` record — carrying the full manifest — is
+    /// durable. From here on, recovery reproduces the committed store.
+    JournalSealed,
+    /// `MANIFEST.json` has been atomically published.
+    ManifestPublished,
+    /// The journal has been removed; the commit is fully retired.
+    JournalRetired,
+}
+
+impl CommitStep {
+    /// Every step, in protocol order.
+    pub const ALL: [CommitStep; 5] = [
+        CommitStep::Begin,
+        CommitStep::SegmentsDurable,
+        CommitStep::JournalSealed,
+        CommitStep::ManifestPublished,
+        CommitStep::JournalRetired,
+    ];
+}
+
+impl fmt::Display for CommitStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommitStep::Begin => "begin",
+            CommitStep::SegmentsDurable => "segments-durable",
+            CommitStep::JournalSealed => "journal-sealed",
+            CommitStep::ManifestPublished => "manifest-published",
+            CommitStep::JournalRetired => "journal-retired",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A write that dies partway: only the first `keep` bytes reach the
+    /// file, the operation errors, and the process is considered killed
+    /// (no retry can observe a torn write and live).
+    TornWrite {
+        /// Bytes that land before the tear.
+        keep: usize,
+    },
+    /// Silent single-byte corruption of a write payload or read result.
+    /// The operation reports success.
+    BitFlip {
+        /// Byte offset to corrupt (clamped to the payload).
+        offset: usize,
+        /// XOR mask applied to that byte (0 is promoted to 0x01).
+        mask: u8,
+    },
+    /// Silent loss of the last `drop` bytes of a write payload or read
+    /// result — the unsynced tail a power cut eats. The operation
+    /// reports success.
+    Truncate {
+        /// Bytes dropped from the end.
+        drop: usize,
+    },
+    /// The operation fails with this `io::ErrorKind` and nothing touches
+    /// the disk. Transient kinds (`Interrupted`, `WouldBlock`,
+    /// `TimedOut`) are what [`RetryPolicy`] retries.
+    Error {
+        /// Kind of the injected error.
+        kind: io::ErrorKind,
+    },
+    /// The process dies here: this operation and every later one fail.
+    Kill,
+}
+
+/// A [`FaultKind`] scheduled at one position in the operation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Zero-based index into the counted operation stream (reads,
+    /// writes, appends, syncs, renames, removes).
+    pub at_op: u64,
+    /// What happens there.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of failures. Plans are pure data: running the
+/// same plan against the same operation stream injects the same faults,
+/// which is what makes crash-matrix and property tests reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub(crate) faults: Vec<Fault>,
+    pub(crate) kill_at_step: Option<CommitStep>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every operation succeeds.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` at operation `at_op`. Each scheduled fault fires
+    /// at most once; two faults at the same index fire in insertion
+    /// order on successive matching operations.
+    #[must_use]
+    pub fn fault_at(mut self, at_op: u64, kind: FaultKind) -> Self {
+        self.faults.push(Fault { at_op, kind });
+        self
+    }
+
+    /// Kills the process at operation `at_op`.
+    #[must_use]
+    pub fn kill_at_op(self, at_op: u64) -> Self {
+        self.fault_at(at_op, FaultKind::Kill)
+    }
+
+    /// Kills the process when ingest reaches the named commit step.
+    #[must_use]
+    pub fn kill_at_step(mut self, step: CommitStep) -> Self {
+        self.kill_at_step = Some(step);
+        self
+    }
+
+    /// Schedules a transient error (`TimedOut`) at operation `at_op` —
+    /// the failure mode [`RetryPolicy`] exists for.
+    #[must_use]
+    pub fn transient_error_at(self, at_op: u64) -> Self {
+        self.fault_at(
+            at_op,
+            FaultKind::Error {
+                kind: io::ErrorKind::TimedOut,
+            },
+        )
+    }
+
+    /// Derives a one-fault plan from a seed: a pseudo-random fault kind
+    /// at a pseudo-random operation index below `ops`. Deterministic in
+    /// `seed`, for randomized smoke tests that must be replayable.
+    #[must_use]
+    pub fn seeded(seed: u64, ops: u64) -> Self {
+        let ops = ops.max(1);
+        let at_op = splitmix64(seed) % ops;
+        let r = splitmix64(seed ^ 0xfau64.rotate_left(33));
+        let kind = match r % 5 {
+            0 => FaultKind::TornWrite {
+                keep: (splitmix64(r) % 4096) as usize,
+            },
+            1 => FaultKind::BitFlip {
+                offset: (splitmix64(r) % 65_536) as usize,
+                mask: (splitmix64(r ^ 1) % 255) as u8 + 1,
+            },
+            2 => FaultKind::Truncate {
+                drop: (splitmix64(r) % 256) as usize + 1,
+            },
+            3 => FaultKind::Error {
+                kind: io::ErrorKind::TimedOut,
+            },
+            _ => FaultKind::Kill,
+        };
+        FaultPlan::new().fault_at(at_op, kind)
+    }
+
+    /// Whether the plan schedules anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.kill_at_step.is_none()
+    }
+}
+
+/// Bounded retry-with-backoff for transient I/O errors. The store's
+/// segment writer runs its durable writes through this; retries are
+/// counted into `iri-obs` metrics so injected flakiness shows up in the
+/// telemetry, not just the logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff_ms << n`, capped at
+    /// 50 ms so fault-injection suites stay fast.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_ms: 0,
+        }
+    }
+
+    /// Whether an error is worth retrying: the kernel (or the injector)
+    /// says "try again", not "this is broken".
+    #[must_use]
+    pub fn is_transient(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Backoff before the `attempt`-th retry (0-based), in ms.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        (self.base_backoff_ms << attempt.min(16)).min(50)
+    }
+
+    /// Runs `op`, retrying transient failures up to `max_retries` times
+    /// with exponential backoff. Returns the final result and how many
+    /// retries were spent.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u64) {
+        let mut retries = 0u64;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) if Self::is_transient(&e) && retries < u64::from(self.max_retries) => {
+                    std::thread::sleep(Duration::from_millis(self.backoff_ms(retries as u32)));
+                    retries += 1;
+                }
+                Err(e) => return (Err(e), retries),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_varied() {
+        for seed in 0..64u64 {
+            assert_eq!(FaultPlan::seeded(seed, 100), FaultPlan::seeded(seed, 100));
+        }
+        let kinds: std::collections::BTreeSet<u8> = (0..64u64)
+            .map(|s| match FaultPlan::seeded(s, 100).faults[0].kind {
+                FaultKind::TornWrite { .. } => 0,
+                FaultKind::BitFlip { .. } => 1,
+                FaultKind::Truncate { .. } => 2,
+                FaultKind::Error { .. } => 3,
+                FaultKind::Kill => 4,
+            })
+            .collect();
+        assert!(kinds.len() >= 4, "seeds should cover most fault kinds");
+    }
+
+    #[test]
+    fn retry_policy_retries_only_transient_errors() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 0,
+        };
+        let mut calls = 0;
+        let (res, retries) = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "flaky"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        let mut calls = 0;
+        let (res, retries) = policy.run(|| -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::other("hard failure"))
+        });
+        assert!(res.is_err());
+        assert_eq!((calls, retries), (1, 0));
+
+        let (res, retries) =
+            policy.run(|| -> io::Result<()> { Err(io::Error::new(io::ErrorKind::TimedOut, "x")) });
+        assert!(res.is_err());
+        assert_eq!(retries, 2, "gives up after max_retries");
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let policy = RetryPolicy::default();
+        assert!(policy.backoff_ms(0) >= 1);
+        assert!(policy.backoff_ms(40) <= 50);
+    }
+}

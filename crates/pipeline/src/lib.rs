@@ -46,6 +46,51 @@ pub use telemetry::{PipelineMetrics, StageMetrics, WorkerMetrics};
 /// Five minutes — the default episode-segmentation quiet threshold.
 pub const DEFAULT_QUIET_MS: u64 = 5 * 60 * 1000;
 
+/// A pipeline run that could not produce a result — today that means a
+/// worker thread died (panicked) before handing its shard back. Carried
+/// as an error instead of propagating the panic so callers holding
+/// partial state (open store writers, CLI exit paths) can unwind
+/// deliberately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    stage: &'static str,
+    detail: String,
+}
+
+impl PipelineError {
+    fn worker(stage: &'static str, detail: impl Into<String>) -> Self {
+        PipelineError {
+            stage,
+            detail: detail.into(),
+        }
+    }
+
+    /// Which stage failed (`"worker"`, `"par_map"`).
+    #[must_use]
+    pub fn stage(&self) -> &str {
+        self.stage
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline {} failed: {}", self.stage, self.detail)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Renders a panic payload for [`PipelineError`] without re-panicking.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -243,7 +288,7 @@ fn run_pipeline<T, F, S, SF>(
     cfg: &PipelineConfig,
     produce: F,
     factory: SF,
-) -> (AnalysisResult, Vec<S>)
+) -> Result<(AnalysisResult, Vec<S>), PipelineError>
 where
     T: Borrow<UpdateEvent> + Send,
     F: FnOnce(&mut dyn FnMut(usize, T), usize),
@@ -257,7 +302,7 @@ where
     let mut results: Vec<Option<WorkerResult<S>>> = Vec::new();
     results.resize_with(jobs, || None);
 
-    crossbeam::thread::scope(|scope| {
+    let joined = crossbeam::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(jobs);
         let mut handles = Vec::with_capacity(jobs);
         let factory = &factory;
@@ -292,11 +337,22 @@ where
         drop(txs);
         ingest.busy_ms = ingest_t0.elapsed().as_millis() as u64;
 
+        let mut failure = None;
         for (slot, handle) in results.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("pipeline worker panicked"));
+            match handle.join() {
+                Ok(r) => *slot = Some(r),
+                Err(p) => {
+                    failure
+                        .get_or_insert_with(|| PipelineError::worker("worker", panic_detail(&*p)));
+                }
+            }
         }
+        failure
     })
-    .expect("pipeline worker panicked");
+    .map_err(|p| PipelineError::worker("worker", panic_detail(&*p)))?;
+    if let Some(e) = joined {
+        return Err(e);
+    }
 
     // Merge in fixed worker order so the result is deterministic.
     let mut classifier = Classifier::new();
@@ -309,7 +365,12 @@ where
         Registry::disabled()
     };
     for slot in results {
-        let (c, s, m, r, ws) = slot.expect("worker result");
+        let Some((c, s, m, r, ws)) = slot else {
+            return Err(PipelineError::worker(
+                "worker",
+                "worker exited without a result",
+            ));
+        };
         classifier.merge(c);
         sinks.merge(s);
         workers.push(m);
@@ -328,7 +389,7 @@ where
     if cfg.obs {
         metrics.to_registry(&mut registry);
     }
-    (
+    Ok((
         AnalysisResult {
             classifier,
             sinks,
@@ -336,15 +397,18 @@ where
             registry,
         },
         worker_sinks,
-    )
+    ))
 }
 
 /// Analyzes an in-memory event stream with `cfg.jobs` workers. The merged
 /// result equals a sequential [`Classifier::classify_all`] pass plus the
-/// batch statistics functions, for any worker count.
-#[must_use]
-pub fn analyze_events(events: &[UpdateEvent], cfg: &PipelineConfig) -> AnalysisResult {
-    analyze_events_with_sink(events, cfg, shard_of, |_, _| NullSink).0
+/// batch statistics functions, for any worker count. Errs only if a
+/// worker thread dies.
+pub fn analyze_events(
+    events: &[UpdateEvent],
+    cfg: &PipelineConfig,
+) -> Result<AnalysisResult, PipelineError> {
+    Ok(analyze_events_with_sink(events, cfg, shard_of, |_, _| NullSink)?.0)
 }
 
 /// [`analyze_events`] with a custom per-worker [`ClassifiedSink`] and
@@ -359,7 +423,7 @@ pub fn analyze_events_with_sink<S, SF>(
     cfg: &PipelineConfig,
     shard: impl Fn(&UpdateEvent, usize) -> usize,
     factory: SF,
-) -> (AnalysisResult, Vec<S>)
+) -> Result<(AnalysisResult, Vec<S>), PipelineError>
 where
     S: ClassifiedSink,
     SF: Fn(usize, usize) -> S + Sync,
@@ -388,10 +452,10 @@ pub fn analyze_mrt<R: Read>(
     reader: &mut MrtReader<R>,
     base_time: u32,
     cfg: &PipelineConfig,
-) -> (AnalysisResult, u64) {
+) -> Result<(AnalysisResult, u64), PipelineError> {
     let (result, _, records) =
-        analyze_mrt_with_sink(reader, base_time, cfg, shard_of, |_, _| NullSink);
-    (result, records)
+        analyze_mrt_with_sink(reader, base_time, cfg, shard_of, |_, _| NullSink)?;
+    Ok((result, records))
 }
 
 /// [`analyze_mrt`] with a custom per-worker [`ClassifiedSink`] and shard
@@ -403,7 +467,7 @@ pub fn analyze_mrt_with_sink<R, S, SF>(
     cfg: &PipelineConfig,
     shard: impl Fn(&UpdateEvent, usize) -> usize,
     factory: SF,
-) -> (AnalysisResult, Vec<S>, u64)
+) -> Result<(AnalysisResult, Vec<S>, u64), PipelineError>
 where
     R: Read,
     S: ClassifiedSink,
@@ -441,15 +505,19 @@ where
             }
         },
         factory,
-    );
-    (result, sinks, records_read)
+    )?;
+    Ok((result, sinks, records_read))
 }
 
 /// Ordered parallel map over independent items — the engine behind the
 /// multi-day experiment harness. Items are dealt to `jobs` workers through
 /// a bounded queue; results come back in input order. Telemetry reports
 /// per-worker busy time and item counts.
-pub fn par_map<T, U, F>(items: Vec<T>, jobs: usize, f: F) -> (Vec<U>, PipelineMetrics)
+pub fn par_map<T, U, F>(
+    items: Vec<T>,
+    jobs: usize,
+    f: F,
+) -> Result<(Vec<U>, PipelineMetrics), PipelineError>
 where
     T: Send,
     U: Send,
@@ -464,7 +532,7 @@ where
     let mut worker_metrics: Vec<Option<WorkerMetrics>> = Vec::new();
     worker_metrics.resize_with(jobs, || None);
 
-    crossbeam::thread::scope(|scope| {
+    let joined = crossbeam::thread::scope(|scope| {
         let (task_tx, task_rx) = crossbeam::channel::bounded::<(usize, T)>(jobs * 2);
         let (out_tx, out_rx) = crossbeam::channel::bounded::<(usize, usize, U, u64)>(jobs * 2);
         let f = &f;
@@ -493,7 +561,9 @@ where
         while collected < n {
             // Keep the task queue primed, then drain one result.
             while produced < n {
-                let (idx, item) = items.next().expect("item count");
+                let Some((idx, item)) = items.next() else {
+                    break;
+                };
                 ingest.records += 1;
                 ingest.batches += 1;
                 match task_tx.try_send((idx, item)) {
@@ -525,16 +595,31 @@ where
         }
         drop(task_tx);
         ingest.busy_ms = ingest_t0.elapsed().as_millis() as u64;
+        let mut failure = None;
         for handle in handles {
-            handle.join().expect("par_map worker panicked");
+            if let Err(p) = handle.join() {
+                failure.get_or_insert_with(|| PipelineError::worker("par_map", panic_detail(&*p)));
+            }
         }
+        failure
     })
-    .expect("par_map worker panicked");
+    .map_err(|p| PipelineError::worker("par_map", panic_detail(&*p)))?;
+    if let Some(e) = joined {
+        return Err(e);
+    }
 
-    let results: Vec<U> = slots
-        .into_iter()
-        .map(|s| s.expect("par_map result"))
-        .collect();
+    let mut results: Vec<U> = Vec::with_capacity(n);
+    for slot in slots {
+        match slot {
+            Some(v) => results.push(v),
+            None => {
+                return Err(PipelineError::worker(
+                    "par_map",
+                    "worker exited without a result",
+                ))
+            }
+        }
+    }
     let metrics = PipelineMetrics {
         jobs,
         batch_size: 1,
@@ -550,7 +635,7 @@ where
             })
             .collect(),
     };
-    (results, metrics)
+    Ok((results, metrics))
 }
 
 #[cfg(test)]
@@ -626,7 +711,7 @@ mod tests {
             let mut cfg = PipelineConfig::with_jobs(jobs);
             cfg.batch_size = 64; // small batches to exercise backpressure
             cfg.queue_depth = 2;
-            let result = analyze_events(&events, &cfg);
+            let result = analyze_events(&events, &cfg).unwrap();
             assert_eq!(result.classifier.total(), seq.total(), "jobs={jobs}");
             for class in UpdateClass::ALL {
                 assert_eq!(
@@ -652,7 +737,7 @@ mod tests {
         let mut cfg = PipelineConfig::with_jobs(3);
         cfg.batch_size = 128;
         cfg.obs = true;
-        let result = analyze_events(&events, &cfg);
+        let result = analyze_events(&events, &cfg).unwrap();
         let h = result
             .registry
             .histogram_ref("pipeline.worker.batch_events")
@@ -666,7 +751,7 @@ mod tests {
         );
         // Off by default: same run without obs yields an empty registry.
         cfg.obs = false;
-        let quiet = analyze_events(&events, &cfg);
+        let quiet = analyze_events(&events, &cfg).unwrap();
         assert!(!quiet.registry.is_enabled());
         assert_eq!(
             quiet
@@ -690,11 +775,11 @@ mod tests {
         assert_eq!(resolve_jobs(7), 7);
 
         let events = synthetic_stream(500);
-        let result = analyze_events(&events, &PipelineConfig::with_jobs(0));
+        let result = analyze_events(&events, &PipelineConfig::with_jobs(0)).unwrap();
         assert_eq!(result.metrics.jobs, resolved);
         assert_eq!(result.metrics.workers.len(), resolved);
 
-        let (_, metrics) = par_map((0..100u64).collect(), 0, |x| x);
+        let (_, metrics) = par_map((0..100u64).collect(), 0, |x| x).unwrap();
         assert_eq!(metrics.jobs, resolved.min(100));
     }
 
@@ -726,7 +811,8 @@ mod tests {
                 worker,
                 seen: Vec::new(),
                 finished: false,
-            });
+            })
+            .unwrap();
         assert_eq!(sinks.len(), 3);
         let mut total = 0;
         for (i, s) in sinks.iter().enumerate() {
@@ -760,7 +846,8 @@ mod tests {
                 &PipelineConfig::with_jobs(jobs),
                 |e, jobs| shard_of(e, 16) % jobs,
                 |_, _| NullSink,
-            );
+            )
+            .unwrap();
             assert_eq!(result.classifier.total(), seq.total());
             for class in UpdateClass::ALL {
                 assert_eq!(
@@ -772,10 +859,41 @@ mod tests {
         }
     }
 
+    /// A sink that panics partway through, to prove worker deaths come
+    /// back as [`PipelineError`] instead of unwinding through the caller.
+    struct ExplodingSink {
+        remaining: u32,
+    }
+
+    impl ClassifiedSink for ExplodingSink {
+        fn record(&mut self, _event: &UpdateEvent, _classified: &ClassifiedEvent) {
+            if self.remaining == 0 {
+                panic!("sink exploded");
+            }
+            self.remaining -= 1;
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_a_panic() {
+        let events = synthetic_stream(2_000);
+        let err = match analyze_events_with_sink(
+            &events,
+            &PipelineConfig::with_jobs(2),
+            shard_of,
+            |_, _| ExplodingSink { remaining: 10 },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a pipeline error"),
+        };
+        assert_eq!(err.stage(), "worker");
+        assert!(err.to_string().contains("sink exploded"), "{err}");
+    }
+
     #[test]
     fn par_map_preserves_order() {
         let items: Vec<u64> = (0..200).collect();
-        let (out, metrics) = par_map(items, 4, |x| x * x);
+        let (out, metrics) = par_map(items, 4, |x| x * x).unwrap();
         assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<u64>>());
         assert_eq!(metrics.total_events, 200);
         assert_eq!(metrics.workers.len(), 4);
@@ -785,7 +903,7 @@ mod tests {
 
     #[test]
     fn par_map_handles_fewer_items_than_jobs() {
-        let (out, metrics) = par_map(vec![7u32], 8, |x| x + 1);
+        let (out, metrics) = par_map(vec![7u32], 8, |x| x + 1).unwrap();
         assert_eq!(out, vec![8]);
         assert_eq!(metrics.jobs, 1);
     }

@@ -10,12 +10,21 @@
 //!   used directly when events already carry causal provenance (simulator
 //!   traces, figure caches).
 //!
+//! Both paths commit through the crash-safe protocol in
+//! [`crate::durable`]: a journal `begin` record lands before anything is
+//! mutated, every segment is written `*.seg.tmp` → fsync → rename, and
+//! the manifest is journaled before being published. Transient I/O
+//! errors on the segment-write path are retried with bounded backoff
+//! ([`RetryPolicy`]); the retry count surfaces in
+//! [`IngestOutcome::retries`] and the `store.ingest.retries` counter.
+//!
 //! [`compact`] rewrites shards whose segment chain has ragged row counts
 //! into the canonical form: every segment full at `target_rows` except the
 //! shard's last. Because segment encoding is a pure function of the row
 //! stream, compaction output depends only on the logical store content.
 
-use crate::query::{write_manifest, Manifest, SegmentMeta};
+use crate::durable::{self, CommitStep};
+use crate::query::{build_manifest, Manifest, SegmentMeta};
 use crate::segment::{segment_file_name, SegmentBuilder, SegmentData};
 use crate::{
     logical_shard, shard_of_event, StoreError, StoredEvent, DEFAULT_SEGMENT_ROWS, LOGICAL_SHARDS,
@@ -23,14 +32,15 @@ use crate::{
 };
 use iri_core::classifier::ClassifiedEvent;
 use iri_core::input::UpdateEvent;
+use iri_faults::{real_fs, RetryPolicy, SharedFs, StoreFs};
 use iri_mrt::MrtReader;
 use iri_obs::cause::Cause;
 use iri_pipeline::{analyze_mrt_with_sink, AnalysisResult, ClassifiedSink, PipelineConfig};
-use std::fs;
-use std::io::Read;
+use std::io;
 use std::path::{Path, PathBuf};
 
-/// Ingest tuning: pipeline worker settings plus the segment roll size.
+/// Ingest tuning: pipeline worker settings, the segment roll size, and
+/// the I/O layer.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
     /// Worker pool configuration for the streaming pipeline.
@@ -39,6 +49,11 @@ pub struct IngestConfig {
     /// the store's identity: two stores are byte-comparable only if they
     /// were written (or compacted) with the same value.
     pub segment_rows: u32,
+    /// Filesystem the writers go through — swap in
+    /// [`iri_faults::FaultyFs`] to inject failures.
+    pub fs: SharedFs,
+    /// Retry budget for transient I/O errors on the segment-write path.
+    pub retry: RetryPolicy,
 }
 
 impl Default for IngestConfig {
@@ -46,6 +61,8 @@ impl Default for IngestConfig {
         IngestConfig {
             pipeline: PipelineConfig::default(),
             segment_rows: DEFAULT_SEGMENT_ROWS,
+            fs: real_fs(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -64,21 +81,50 @@ impl IngestConfig {
         self.segment_rows = rows.max(1);
         self
     }
+
+    /// Substitutes the filesystem implementation.
+    #[must_use]
+    pub fn with_fs(mut self, fs: SharedFs) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    /// Sets the transient-error retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+fn io_at(path: &Path, e: io::Error) -> StoreError {
+    StoreError::io(path, e)
 }
 
 /// Removes stale store files so re-ingest into an existing directory
-/// cannot leave orphaned segments behind the new manifest.
-fn prepare_dir(dir: &Path) -> Result<(), StoreError> {
-    fs::create_dir_all(dir)?;
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if name == MANIFEST_FILE || name.ends_with(".seg") {
-            fs::remove_file(entry.path())?;
+/// cannot leave orphaned segments behind the new manifest. The journal
+/// (already carrying this commit's `begin` record) and the quarantine
+/// directory are left alone.
+fn prepare_dir(fs: &dyn StoreFs, dir: &Path) -> Result<(), StoreError> {
+    fs.create_dir_all(dir).map_err(|e| io_at(dir, e))?;
+    for name in fs.list(dir).map_err(|e| io_at(dir, e))? {
+        if name == MANIFEST_FILE || name.ends_with(".seg") || name.ends_with(".tmp") {
+            let path = dir.join(&name);
+            fs.remove(&path).map_err(|e| io_at(&path, e))?;
         }
     }
     Ok(())
+}
+
+/// Runs one I/O operation under a retry policy, mapping the final error
+/// to [`StoreError::Io`] at `path` and reporting retries used.
+fn run_retried<T>(
+    retry: &RetryPolicy,
+    path: &Path,
+    op: impl FnMut() -> io::Result<T>,
+) -> (Result<T, StoreError>, u64) {
+    let (res, used) = retry.run(op);
+    (res.map_err(|e| io_at(path, e)), used)
 }
 
 /// Deterministic per-shard segment writer.
@@ -88,34 +134,74 @@ fn prepare_dir(dir: &Path) -> Result<(), StoreError> {
 /// rows. One writer may own any subset of the shards — ingest workers each
 /// own the shards congruent to their worker index — since shards never
 /// share files or sequence counters.
+///
+/// Segment files are committed atomically: written to `<name>.tmp`,
+/// fsynced, then renamed over the final name.
 #[derive(Debug)]
 pub struct StoreWriter {
     dir: PathBuf,
+    fs: SharedFs,
+    retry: RetryPolicy,
     segment_rows: u32,
+    generation: u64,
     builders: Vec<Option<SegmentBuilder>>,
     seqs: Vec<u32>,
     metas: Vec<SegmentMeta>,
+    retries: u64,
 }
 
 impl StoreWriter {
     /// Creates a store directory (clearing any previous store in it) and
     /// a writer over all shards. For single-threaded ingest of
     /// pre-classified streams; pair with [`StoreWriter::commit`].
+    ///
+    /// Begins the commit protocol: the journal `begin` record is durable
+    /// before any existing store file is touched.
     pub fn create(dir: &Path, segment_rows: u32) -> Result<Self, StoreError> {
-        prepare_dir(dir)?;
-        Ok(StoreWriter::attach(dir, segment_rows))
+        Self::create_with(dir, segment_rows, real_fs(), RetryPolicy::default())
+    }
+
+    /// [`StoreWriter::create`] with an explicit filesystem and retry
+    /// policy.
+    pub fn create_with(
+        dir: &Path,
+        segment_rows: u32,
+        fs: SharedFs,
+        retry: RetryPolicy,
+    ) -> Result<Self, StoreError> {
+        fs.create_dir_all(dir).map_err(|e| io_at(dir, e))?;
+        let generation = durable::next_generation(&*fs, dir);
+        durable::journal_begin(&*fs, dir, generation, segment_rows.max(1))?;
+        fs.checkpoint(CommitStep::Begin)
+            .map_err(|e| io_at(dir, e))?;
+        prepare_dir(&*fs, dir)?;
+        let mut w = Self::attach_with(dir, segment_rows, fs, retry);
+        w.generation = generation;
+        Ok(w)
     }
 
     /// A writer over an already-prepared directory; does not clear
-    /// existing files. Used by the per-worker ingest sinks.
+    /// existing files or touch the journal. Used by the per-worker
+    /// ingest sinks, whose commit happens in [`ingest_mrt`].
     #[must_use]
     pub fn attach(dir: &Path, segment_rows: u32) -> Self {
+        Self::attach_with(dir, segment_rows, real_fs(), RetryPolicy::default())
+    }
+
+    /// [`StoreWriter::attach`] with an explicit filesystem and retry
+    /// policy.
+    #[must_use]
+    pub fn attach_with(dir: &Path, segment_rows: u32, fs: SharedFs, retry: RetryPolicy) -> Self {
         StoreWriter {
             dir: dir.to_path_buf(),
+            fs,
+            retry,
             segment_rows: segment_rows.max(1),
+            generation: 1,
             builders: (0..LOGICAL_SHARDS).map(|_| None).collect(),
             seqs: vec![0; LOGICAL_SHARDS],
             metas: Vec::new(),
+            retries: 0,
         }
     }
 
@@ -130,6 +216,22 @@ impl StoreWriter {
         Ok(())
     }
 
+    /// Atomic segment write: `<file>.tmp`, fsync, rename. Each step is
+    /// retried on transient errors.
+    fn write_segment(&mut self, file: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        let dest = self.dir.join(file);
+        let (res, n) = run_retried(&self.retry, &tmp, || self.fs.write(&tmp, bytes));
+        self.retries += n;
+        res?;
+        let (res, n) = run_retried(&self.retry, &tmp, || self.fs.sync(&tmp));
+        self.retries += n;
+        res?;
+        let (res, n) = run_retried(&self.retry, &dest, || self.fs.rename(&tmp, &dest));
+        self.retries += n;
+        res
+    }
+
     fn flush_shard(&mut self, shard: usize) -> Result<(), StoreError> {
         let Some(builder) = self.builders[shard].take() else {
             return Ok(());
@@ -140,7 +242,7 @@ impl StoreWriter {
         let seq = self.seqs[shard];
         let file = segment_file_name(shard, seq);
         let (bytes, meta) = builder.encode(file.clone(), seq);
-        fs::write(self.dir.join(&file), &bytes)?;
+        self.write_segment(&file, &bytes)?;
         self.metas.push(meta);
         self.seqs[shard] = seq + 1;
         Ok(())
@@ -162,12 +264,20 @@ impl StoreWriter {
         std::mem::take(&mut self.metas)
     }
 
-    /// Flushes everything and writes the manifest. `records_read` is
+    /// Transient-error retries spent so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Flushes everything and runs the rest of the commit protocol:
+    /// journal seal, manifest publish, journal retire. `records_read` is
     /// carried into the manifest for provenance (0 if unknown).
     pub fn commit(mut self, records_read: u64) -> Result<Manifest, StoreError> {
         self.flush_all()?;
         let metas = self.take_metas();
-        write_manifest(&self.dir, metas, self.segment_rows, records_read)
+        let manifest = build_manifest(metas, self.segment_rows, records_read, self.generation);
+        durable::commit(&*self.fs, &self.dir, manifest)
     }
 }
 
@@ -183,16 +293,25 @@ impl StoreSink {
     /// A sink writing into `dir` (which must already be prepared).
     #[must_use]
     pub fn new(dir: &Path, segment_rows: u32) -> Self {
+        Self::new_with(dir, segment_rows, real_fs(), RetryPolicy::default())
+    }
+
+    /// [`StoreSink::new`] with an explicit filesystem and retry policy.
+    #[must_use]
+    pub fn new_with(dir: &Path, segment_rows: u32, fs: SharedFs, retry: RetryPolicy) -> Self {
         StoreSink {
-            writer: StoreWriter::attach(dir, segment_rows),
+            writer: StoreWriter::attach_with(dir, segment_rows, fs, retry),
             error: None,
         }
     }
 
-    fn into_metas(mut self) -> Result<Vec<SegmentMeta>, StoreError> {
+    fn into_parts(mut self) -> Result<(Vec<SegmentMeta>, u64), StoreError> {
         match self.error.take() {
             Some(e) => Err(e),
-            None => Ok(self.writer.take_metas()),
+            None => {
+                let retries = self.writer.retries();
+                Ok((self.writer.take_metas(), retries))
+            }
         }
     }
 }
@@ -228,37 +347,64 @@ pub struct IngestOutcome {
     pub analysis: AnalysisResult,
     /// MRT records read from the input.
     pub records_read: u64,
+    /// Transient I/O errors absorbed by retry across all workers (also
+    /// in the `store.ingest.retries` counter of `analysis.registry`).
+    pub retries: u64,
 }
 
 /// Ingests an MRT update log into a store directory using the sharded
 /// parallel pipeline, returning the manifest and the streaming analysis.
 ///
 /// Events are routed to workers by `logical_shard % jobs`, so the segment
-/// files are byte-identical at any worker count.
-pub fn ingest_mrt<R: Read>(
+/// files are byte-identical at any worker count. The whole ingest is one
+/// commit of the crash-safe protocol: a crash at any point leaves a
+/// directory `Store::open` recovers to either the committed store or the
+/// empty store of the begun generation — never a torn mix.
+pub fn ingest_mrt<R: std::io::Read>(
     dir: &Path,
     reader: &mut MrtReader<R>,
     base_time: u32,
     cfg: &IngestConfig,
 ) -> Result<IngestOutcome, StoreError> {
-    prepare_dir(dir)?;
+    let fs = &cfg.fs;
     let segment_rows = cfg.segment_rows.max(1);
+    fs.create_dir_all(dir).map_err(|e| io_at(dir, e))?;
+    let generation = durable::next_generation(&**fs, dir);
+    durable::journal_begin(&**fs, dir, generation, segment_rows)?;
+    fs.checkpoint(CommitStep::Begin)
+        .map_err(|e| io_at(dir, e))?;
+    prepare_dir(&**fs, dir)?;
+
     let (analysis, sinks, records_read) = analyze_mrt_with_sink(
         reader,
         base_time,
         &cfg.pipeline,
         |event, jobs| shard_of_event(event) % jobs,
-        |_worker, _jobs| StoreSink::new(dir, segment_rows),
-    );
+        |_worker, _jobs| StoreSink::new_with(dir, segment_rows, cfg.fs.clone(), cfg.retry),
+    )
+    .map_err(|e| StoreError::Ingest(e.to_string()))?;
+
     let mut metas = Vec::new();
+    let mut retries = 0u64;
     for sink in sinks {
-        metas.extend(sink.into_metas()?);
+        let (m, r) = sink.into_parts()?;
+        metas.extend(m);
+        retries += r;
     }
-    let manifest = write_manifest(dir, metas, segment_rows, records_read)?;
+    let mut analysis = analysis;
+    let retries_id = analysis.registry.counter("store.ingest.retries");
+    analysis.registry.add(retries_id, retries);
+
+    let manifest = durable::commit(
+        &**fs,
+        dir,
+        build_manifest(metas, segment_rows, records_read, generation),
+    )?;
     Ok(IngestOutcome {
         manifest,
         analysis,
         records_read,
+        retries,
     })
 }
 
@@ -280,8 +426,25 @@ pub struct CompactReport {
 /// Deterministic: the output bytes are a pure function of the store's
 /// logical content and `target_rows`. Compacting two stores that hold the
 /// same events (e.g. written with different original segment sizes)
-/// yields byte-identical directories; compacting twice is a no-op.
+/// yields byte-identical directories; compacting twice is a no-op. The
+/// manifest generation is preserved, not bumped, for the same reason.
+///
+/// Unlike ingest, compaction rewrites in place and is *not* crash-atomic
+/// as a whole: a crash mid-compact can lose rewritten shards (recovery
+/// quarantines the partial work), but each segment write and the final
+/// manifest publish are individually atomic, so the store never serves
+/// torn bytes.
 pub fn compact(dir: &Path, target_rows: u32) -> Result<CompactReport, StoreError> {
+    compact_with(dir, target_rows, &real_fs(), RetryPolicy::default())
+}
+
+/// [`compact`] with an explicit filesystem and retry policy.
+pub fn compact_with(
+    dir: &Path,
+    target_rows: u32,
+    fs: &SharedFs,
+    retry: RetryPolicy,
+) -> Result<CompactReport, StoreError> {
     let target_rows = target_rows.max(1);
     let manifest = crate::query::read_manifest(dir)?;
     let segments_before = manifest.segments.len();
@@ -290,12 +453,21 @@ pub fn compact(dir: &Path, target_rows: u32) -> Result<CompactReport, StoreError
     for meta in &manifest.segments {
         let shard = meta.shard as usize;
         if shard >= LOGICAL_SHARDS {
-            return Err(StoreError::Corrupt(format!(
-                "manifest segment shard {shard} out of range"
-            )));
+            return Err(StoreError::corrupt(
+                dir.join(MANIFEST_FILE),
+                format!("manifest segment shard {shard} out of range"),
+            ));
         }
         by_shard[shard].push(meta);
     }
+
+    let write_atomic = |file: &str, bytes: &[u8]| -> Result<(), StoreError> {
+        let tmp = dir.join(format!("{file}.tmp"));
+        let dest = dir.join(file);
+        run_retried(&retry, &tmp, || fs.write(&tmp, bytes)).0?;
+        run_retried(&retry, &tmp, || fs.sync(&tmp)).0?;
+        run_retried(&retry, &dest, || fs.rename(&tmp, &dest)).0
+    };
 
     let mut new_metas: Vec<SegmentMeta> = Vec::new();
     let mut shards_rewritten = 0usize;
@@ -314,14 +486,16 @@ pub fn compact(dir: &Path, target_rows: u32) -> Result<CompactReport, StoreError
         // Decode the shard's full row stream in segment order.
         let mut rows: Vec<StoredEvent> = Vec::new();
         for meta in metas {
-            let bytes = fs::read(dir.join(&meta.file))?;
-            let seg = SegmentData::decode(&bytes)?;
+            let path = dir.join(&meta.file);
+            let bytes = fs.read(&path).map_err(|e| io_at(&path, e))?;
+            let seg = SegmentData::decode(&bytes).map_err(|e| e.with_path(&path))?;
             for i in 0..seg.len() {
                 rows.push(seg.event(i));
             }
         }
         for meta in metas {
-            fs::remove_file(dir.join(&meta.file))?;
+            let path = dir.join(&meta.file);
+            fs.remove(&path).map_err(|e| io_at(&path, e))?;
         }
 
         // Re-encode into canonical segments.
@@ -334,7 +508,7 @@ pub fn compact(dir: &Path, target_rows: u32) -> Result<CompactReport, StoreError
                 let (bytes, meta) =
                     std::mem::replace(&mut builder, SegmentBuilder::new(shard as u16))
                         .encode(file.clone(), seq);
-                fs::write(dir.join(&file), &bytes)?;
+                write_atomic(&file, &bytes)?;
                 new_metas.push(meta);
                 seq += 1;
             }
@@ -342,13 +516,22 @@ pub fn compact(dir: &Path, target_rows: u32) -> Result<CompactReport, StoreError
         if !builder.is_empty() {
             let file = segment_file_name(shard, seq);
             let (bytes, meta) = builder.encode(file.clone(), seq);
-            fs::write(dir.join(&file), &bytes)?;
+            write_atomic(&file, &bytes)?;
             new_metas.push(meta);
         }
     }
 
     let segments_after = new_metas.len();
-    write_manifest(dir, new_metas, target_rows, manifest.records_read)?;
+    durable::commit(
+        &**fs,
+        dir,
+        build_manifest(
+            new_metas,
+            target_rows,
+            manifest.records_read,
+            manifest.generation,
+        ),
+    )?;
     Ok(CompactReport {
         shards_rewritten,
         segments_before,

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod ingest;
 pub mod query;
 pub mod segment;
@@ -55,9 +56,14 @@ use iri_core::taxonomy::UpdateClass;
 use iri_obs::cause::Cause;
 use std::fmt;
 use std::io;
+use std::path::{Path, PathBuf};
 
-pub use ingest::{compact, ingest_mrt, CompactReport, IngestConfig, IngestOutcome, StoreWriter};
-pub use query::{Manifest, Query, ScanStats, SegmentMeta, Store};
+pub use durable::{CommitStep, QuarantinedFile, Recovery, JOURNAL_FILE, QUARANTINE_DIR};
+pub use ingest::{
+    compact, compact_with, ingest_mrt, CompactReport, IngestConfig, IngestOutcome, StoreSink,
+    StoreWriter,
+};
+pub use query::{build_manifest, Manifest, OpenOptions, Query, ScanStats, SegmentMeta, Store};
 pub use segment::{SegmentBuilder, SegmentData};
 
 /// Number of logical shards an event stream is split into. Part of the
@@ -73,22 +79,120 @@ pub const DEFAULT_SEGMENT_ROWS: u32 = 65_536;
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
 
 /// Anything that can go wrong opening, writing, or querying a store.
+///
+/// Non-exhaustive: recovery work keeps growing the failure taxonomy, so
+/// downstream matches must carry a wildcard arm. Every variant that
+/// concerns one file names it, so "corrupt store" is always "corrupt
+/// *which file*".
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StoreError {
-    /// Underlying filesystem error.
-    Io(io::Error),
-    /// A segment or manifest failed structural validation.
-    Corrupt(String),
-    /// The manifest failed to serialize or parse.
+    /// Underlying filesystem error at a known path.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The failing I/O error.
+        source: io::Error,
+    },
+    /// A segment or manifest failed structural validation (checksum,
+    /// magic, version, or metadata cross-check).
+    Corrupt {
+        /// The offending file (empty while decoding an in-memory image).
+        path: PathBuf,
+        /// What failed.
+        what: String,
+    },
+    /// A strict-mode operation refused to proceed because the store
+    /// needs crash recovery or has quarantined files.
+    Quarantined {
+        /// The file that triggered the refusal.
+        path: PathBuf,
+        /// Why it was (or would be) quarantined.
+        what: String,
+    },
+    /// The manifest or journal failed to serialize or parse.
     Json(String),
+    /// The streaming-analysis pipeline died during ingest.
+    Ingest(String),
+}
+
+impl StoreError {
+    /// An [`StoreError::Io`] at `path`.
+    #[must_use]
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A [`StoreError::Corrupt`] at `path`.
+    #[must_use]
+    pub fn corrupt(path: impl Into<PathBuf>, what: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            what: what.into(),
+        }
+    }
+
+    /// A [`StoreError::Quarantined`] at `path`.
+    #[must_use]
+    pub fn quarantined(path: impl Into<PathBuf>, what: impl Into<String>) -> Self {
+        StoreError::Quarantined {
+            path: path.into(),
+            what: what.into(),
+        }
+    }
+
+    /// Fills in the path on variants that were built without one (e.g.
+    /// segment decoding, which sees bytes, not files).
+    #[must_use]
+    pub fn with_path(mut self, path: &Path) -> Self {
+        match &mut self {
+            StoreError::Io { path: p, .. }
+            | StoreError::Corrupt { path: p, .. }
+            | StoreError::Quarantined { path: p, .. }
+                if p.as_os_str().is_empty() =>
+            {
+                *p = path.to_path_buf();
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Distinct process exit code per failure class, shared by every
+    /// CLI so scripts can branch on what went wrong: I/O 3, corruption
+    /// 4, quarantine/strict refusal 5, manifest JSON 6, ingest 7.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            StoreError::Io { .. } => 3,
+            StoreError::Corrupt { .. } => 4,
+            StoreError::Quarantined { .. } => 5,
+            StoreError::Json(_) => 6,
+            StoreError::Ingest(_) => 7,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
-            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O error at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, what } if path.as_os_str().is_empty() => {
+                write!(f, "corrupt store: {what}")
+            }
+            StoreError::Corrupt { path, what } => {
+                write!(f, "corrupt store file {}: {what}", path.display())
+            }
+            StoreError::Quarantined { path, what } => {
+                write!(f, "store needs recovery ({}): {what}", path.display())
+            }
             StoreError::Json(what) => write!(f, "manifest JSON error: {what}"),
+            StoreError::Ingest(what) => write!(f, "store ingest failed: {what}"),
         }
     }
 }
@@ -96,15 +200,9 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StoreError::Io(e) => Some(e),
+            StoreError::Io { source, .. } => Some(source),
             _ => None,
         }
-    }
-}
-
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
     }
 }
 

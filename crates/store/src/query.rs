@@ -15,6 +15,7 @@
 //! number the `bench_store` harness tracks: the fraction of the archive a
 //! time-windowed query never had to read.
 
+use crate::durable::{self, Recovery};
 use crate::segment::{
     bloom_contains, peer_bloom_hash, prefix_bloom_hash, SegmentData, BLOOM_WORDS,
 };
@@ -22,10 +23,12 @@ use crate::{StoreError, StoredEvent, LOGICAL_SHARDS, MANIFEST_FILE};
 use iri_bgp::types::{Asn, Prefix};
 use iri_core::fxhash::FxHashMap;
 use iri_core::taxonomy::UpdateClass;
+use iri_faults::{real_fs, SharedFs};
 use iri_obs::cause::Cause;
 use iri_obs::registry::{CounterId, HistogramId, Registry};
 use serde::{Deserialize, Serialize};
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -67,6 +70,11 @@ pub struct SegmentMeta {
 pub struct Manifest {
     /// Manifest format version.
     pub version: u32,
+    /// Commit generation: bumped by every ingest, preserved by compact.
+    /// Recovery serves the highest generation it can prove durable.
+    /// Absent in pre-journal stores, which read as generation 0.
+    #[serde(default)]
+    pub generation: u64,
     /// Logical shard count the store was written with.
     pub logical_shards: u32,
     /// Segment roll size the store was written with.
@@ -84,35 +92,49 @@ pub struct Manifest {
     pub segments: Vec<SegmentMeta>,
 }
 
-/// Reads and validates `MANIFEST.json` from a store directory.
-pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
-    let path = dir.join(MANIFEST_FILE);
-    let text = fs::read_to_string(&path)?;
+/// Parses and validates manifest bytes. Errors carry no path; callers
+/// attach one with [`StoreError::with_path`].
+pub fn parse_manifest(bytes: &[u8]) -> Result<Manifest, StoreError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| StoreError::corrupt(PathBuf::new(), "manifest is not valid UTF-8"))?;
     let manifest: Manifest =
-        serde_json::from_str(&text).map_err(|e| StoreError::Json(e.to_string()))?;
+        serde_json::from_str(text).map_err(|e| StoreError::Json(e.to_string()))?;
     if manifest.version != MANIFEST_VERSION {
-        return Err(StoreError::Corrupt(format!(
-            "unsupported manifest version {}",
-            manifest.version
-        )));
+        return Err(StoreError::corrupt(
+            PathBuf::new(),
+            format!("unsupported manifest version {}", manifest.version),
+        ));
     }
     if manifest.logical_shards != LOGICAL_SHARDS as u32 {
-        return Err(StoreError::Corrupt(format!(
-            "manifest written with {} logical shards, this build uses {}",
-            manifest.logical_shards, LOGICAL_SHARDS
-        )));
+        return Err(StoreError::corrupt(
+            PathBuf::new(),
+            format!(
+                "manifest written with {} logical shards, this build uses {}",
+                manifest.logical_shards, LOGICAL_SHARDS
+            ),
+        ));
     }
     Ok(manifest)
 }
 
-/// Sorts segment entries canonically, derives store-level totals, and
-/// writes `MANIFEST.json`. Returns the manifest written.
-pub fn write_manifest(
-    dir: &Path,
+/// Reads and validates `MANIFEST.json` from a store directory, with no
+/// recovery pass. Prefer [`Store::open`], which validates segments too.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+    parse_manifest(&bytes).map_err(|e| e.with_path(&path))
+}
+
+/// Sorts segment entries canonically and derives store-level totals:
+/// the one way a [`Manifest`] is constructed, so equal segment sets
+/// always serialize to identical bytes. Pure — writes nothing.
+#[must_use]
+pub fn build_manifest(
     mut segments: Vec<SegmentMeta>,
     segment_rows: u32,
     records_read: u64,
-) -> Result<Manifest, StoreError> {
+    generation: u64,
+) -> Manifest {
     segments.sort_by_key(|m| (m.shard, m.seq));
     let total_events: u64 = segments.iter().map(|m| m.rows).sum();
     let min_time_ms = segments
@@ -122,8 +144,9 @@ pub fn write_manifest(
         .min()
         .unwrap_or(0);
     let max_time_ms = segments.iter().map(|m| m.max_time_ms).max().unwrap_or(0);
-    let manifest = Manifest {
+    Manifest {
         version: MANIFEST_VERSION,
+        generation,
         logical_shards: LOGICAL_SHARDS as u32,
         segment_rows,
         records_read,
@@ -131,11 +154,7 @@ pub fn write_manifest(
         min_time_ms,
         max_time_ms,
         segments,
-    };
-    let text =
-        serde_json::to_string_pretty(&manifest).map_err(|e| StoreError::Json(e.to_string()))?;
-    fs::write(dir.join(MANIFEST_FILE), text)?;
-    Ok(manifest)
+    }
 }
 
 /// A conjunctive filter over the stored columns. The default matches
@@ -262,6 +281,9 @@ pub struct ScanStats {
     pub segments_zone_answered: u64,
     /// Segments decoded and row-filtered.
     pub segments_scanned: u64,
+    /// Segments quarantined: moved aside at open plus any that failed
+    /// decode during this query (skipped, non-strict mode only).
+    pub segments_quarantined: u64,
     /// Total encoded bytes in the manifest.
     pub bytes_total: u64,
     /// Encoded bytes actually read.
@@ -284,53 +306,141 @@ impl ScanStats {
     }
 }
 
+/// Whether a segment-load failure is survivable by skipping the
+/// segment (vs. an environmental error worth surfacing even tolerant).
+fn quarantineable(e: &StoreError) -> bool {
+    match e {
+        StoreError::Corrupt { .. } => true,
+        StoreError::Io { source, .. } => source.kind() == io::ErrorKind::NotFound,
+        _ => false,
+    }
+}
+
 struct StoreMetrics {
     queries: CounterId,
     segments_pruned: CounterId,
     segments_zone_answered: CounterId,
     segments_scanned: CounterId,
+    segments_quarantined: CounterId,
     rows_scanned: CounterId,
     bytes_scanned: CounterId,
     scan_us: HistogramId,
 }
 
-/// An open store: the manifest plus the query entry points.
+/// How to open a [`Store`]: strictness and the I/O layer.
+#[derive(Debug, Clone)]
+pub struct OpenOptions {
+    /// Fail fast instead of quarantining: any condition recovery would
+    /// repair (unretired journal, corrupt or orphaned file) is an error.
+    pub strict: bool,
+    /// The filesystem the store reads through — swap in
+    /// [`iri_faults::FaultyFs`] to inject failures.
+    pub fs: SharedFs,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            strict: false,
+            fs: real_fs(),
+        }
+    }
+}
+
+impl OpenOptions {
+    /// Default options: tolerant recovery over the real filesystem.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets strict (fail-fast) mode.
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Substitutes the filesystem implementation.
+    #[must_use]
+    pub fn fs(mut self, fs: SharedFs) -> Self {
+        self.fs = fs;
+        self
+    }
+}
+
+/// An open store: the recovered manifest plus the query entry points.
 ///
 /// Queries take `&mut self` only to feed the [`Registry`] telemetry; the
 /// on-disk store is immutable while open.
 pub struct Store {
     dir: PathBuf,
+    fs: SharedFs,
+    strict: bool,
     manifest: Manifest,
+    recovery: Recovery,
     registry: Registry,
     metrics: StoreMetrics,
 }
 
 impl Store {
-    /// Opens a store directory by reading its manifest.
+    /// Opens a store directory, running crash recovery if needed:
+    /// journal replay, per-segment checksum validation, and quarantine
+    /// of anything unservable.
     pub fn open(dir: &Path) -> Result<Self, StoreError> {
-        let manifest = read_manifest(dir)?;
+        Self::open_with(dir, &OpenOptions::default())
+    }
+
+    /// [`Store::open`] in strict mode: any recovery condition is an
+    /// error instead of a repair.
+    pub fn open_strict(dir: &Path) -> Result<Self, StoreError> {
+        Self::open_with(dir, &OpenOptions::new().strict(true))
+    }
+
+    /// Opens with explicit [`OpenOptions`].
+    pub fn open_with(dir: &Path, opts: &OpenOptions) -> Result<Self, StoreError> {
+        let fs = opts.fs.clone();
+        let (manifest, recovery) = durable::recover(&*fs, dir, opts.strict)?;
         let mut registry = Registry::new();
         let metrics = StoreMetrics {
             queries: registry.counter("store.query.count"),
             segments_pruned: registry.counter("store.query.segments_pruned"),
             segments_zone_answered: registry.counter("store.query.segments_zone_answered"),
             segments_scanned: registry.counter("store.query.segments_scanned"),
+            segments_quarantined: registry.counter("store.query.segments_quarantined"),
             rows_scanned: registry.counter("store.query.rows_scanned"),
             bytes_scanned: registry.counter("store.query.bytes_scanned"),
             scan_us: registry.histogram("store.query.scan_us"),
         };
+        let recovered = registry.counter("store.recovery.quarantined");
+        registry.add(recovered, recovery.quarantined.len() as u64);
         Ok(Store {
             dir: dir.to_path_buf(),
+            fs,
+            strict: opts.strict,
             manifest,
+            recovery,
             registry,
             metrics,
         })
     }
 
-    /// The manifest read at open.
+    /// The manifest recovery settled on at open.
     #[must_use]
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
+    }
+
+    /// What recovery did while opening this store.
+    #[must_use]
+    pub fn recovery(&self) -> &Recovery {
+        &self.recovery
+    }
+
+    /// Whether the store was opened in strict (fail-fast) mode.
+    #[must_use]
+    pub fn strict(&self) -> bool {
+        self.strict
     }
 
     /// Query telemetry accumulated on this handle.
@@ -340,15 +450,18 @@ impl Store {
     }
 
     fn load_segment(&self, meta: &SegmentMeta) -> Result<SegmentData, StoreError> {
-        let bytes = fs::read(self.dir.join(&meta.file))?;
-        let seg = SegmentData::decode(&bytes)?;
+        let path = self.dir.join(&meta.file);
+        let bytes = self.fs.read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let seg = SegmentData::decode(&bytes).map_err(|e| e.with_path(&path))?;
         if seg.len() as u64 != meta.rows {
-            return Err(StoreError::Corrupt(format!(
-                "segment {} holds {} rows, manifest says {}",
-                meta.file,
-                seg.len(),
-                meta.rows
-            )));
+            return Err(StoreError::corrupt(
+                &path,
+                format!(
+                    "segment holds {} rows, manifest says {}",
+                    seg.len(),
+                    meta.rows
+                ),
+            ));
         }
         Ok(seg)
     }
@@ -363,6 +476,14 @@ impl Store {
         );
         self.registry
             .add(self.metrics.segments_scanned, stats.segments_scanned);
+        // Counter tracks query-time discoveries only; the open-time
+        // baseline is stamped into every ScanStats but counted once at
+        // open under store.recovery.quarantined.
+        let baseline = self.recovery.quarantined.len() as u64;
+        self.registry.add(
+            self.metrics.segments_quarantined,
+            stats.segments_quarantined.saturating_sub(baseline),
+        );
         self.registry
             .add(self.metrics.rows_scanned, stats.rows_scanned);
         self.registry
@@ -404,7 +525,10 @@ impl Store {
         Z: FnMut(&SegmentMeta),
     {
         let started = Instant::now();
-        let mut stats = ScanStats::default();
+        let mut stats = ScanStats {
+            segments_quarantined: self.recovery.quarantined.len() as u64,
+            ..ScanStats::default()
+        };
         let segments = std::mem::take(&mut self.manifest.segments);
         let result = (|| {
             for meta in &segments {
@@ -420,7 +544,18 @@ impl Store {
                     on_zone(meta);
                     continue;
                 }
-                let seg = self.load_segment(meta)?;
+                // A segment that validated at open can still fail here —
+                // damaged after open, or a fault-injected read. Degrade
+                // gracefully unless strict: skip it, report it, and let
+                // the next open() move it to quarantine/.
+                let seg = match self.load_segment(meta) {
+                    Ok(seg) => seg,
+                    Err(e) if !self.strict && quarantineable(&e) => {
+                        stats.segments_quarantined += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 stats.segments_scanned += 1;
                 stats.bytes_scanned += meta.bytes;
                 stats.rows_scanned += seg.len() as u64;
@@ -623,6 +758,7 @@ mod tests {
         };
         let manifest = Manifest {
             version: MANIFEST_VERSION,
+            generation: 3,
             logical_shards: LOGICAL_SHARDS as u32,
             segment_rows: 4096,
             records_read: 7,

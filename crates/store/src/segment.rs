@@ -31,6 +31,16 @@ use iri_obs::cause::Cause;
 use std::hash::Hasher;
 use std::net::Ipv4Addr;
 
+/// A [`StoreError::Corrupt`] with no path: segment code sees byte
+/// images, not files; callers attach the path via
+/// [`StoreError::with_path`].
+fn bad(what: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: std::path::PathBuf::new(),
+        what: what.into(),
+    }
+}
+
 /// Segment file magic.
 pub const MAGIC: [u8; 4] = *b"IRSG";
 
@@ -125,7 +135,7 @@ impl<'a> Cur<'a> {
                 self.pos = end;
                 Ok(s)
             }
-            None => Err(StoreError::Corrupt(format!(
+            None => Err(bad(format!(
                 "segment truncated reading {what} at offset {}",
                 self.pos
             ))),
@@ -137,11 +147,13 @@ impl<'a> Cur<'a> {
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn varint(&mut self, what: &str) -> Result<u64, StoreError> {
@@ -150,7 +162,7 @@ impl<'a> Cur<'a> {
         loop {
             let byte = self.u8(what)?;
             if shift >= 64 || (shift == 63 && byte > 1) {
-                return Err(StoreError::Corrupt(format!("varint overflow in {what}")));
+                return Err(bad(format!("varint overflow in {what}")));
             }
             v |= u64::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {
@@ -261,8 +273,8 @@ impl SegmentBuilder {
         if self.rows.is_multiple_of(8) {
             self.col_policy.push(0);
         }
-        if ev.policy_change {
-            *self.col_policy.last_mut().expect("bitmap byte") |= 1 << (self.rows % 8);
+        if let (true, Some(last)) = (ev.policy_change, self.col_policy.last_mut()) {
+            *last |= 1 << (self.rows % 8);
             self.policy_changes += 1;
         }
 
@@ -423,32 +435,29 @@ impl SegmentData {
     /// Decodes and validates a segment file image.
     pub fn decode(bytes: &[u8]) -> Result<SegmentData, StoreError> {
         if bytes.len() < 8 + 8 {
-            return Err(StoreError::Corrupt("segment shorter than header".into()));
+            return Err(bad("segment shorter than header"));
         }
-        let body = &bytes[..bytes.len() - 8];
-        let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
-        if checksum(body) != stored_sum {
-            return Err(StoreError::Corrupt("segment checksum mismatch".into()));
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let mut sum_bytes = [0u8; 8];
+        sum_bytes.copy_from_slice(tail);
+        if checksum(body) != u64::from_le_bytes(sum_bytes) {
+            return Err(bad("segment checksum mismatch"));
         }
 
         let mut cur = Cur::new(body);
         if cur.take(4, "magic")? != MAGIC {
-            return Err(StoreError::Corrupt("bad segment magic".into()));
+            return Err(bad("bad segment magic"));
         }
         let version = cur.u16("version")?;
         if version != SEGMENT_VERSION {
-            return Err(StoreError::Corrupt(format!(
-                "unsupported segment version {version}"
-            )));
+            return Err(bad(format!("unsupported segment version {version}")));
         }
         let shard = cur.u16("shard")?;
         let rows = cur.u32("row count")? as usize;
 
         let n_peers = cur.u32("peer dict size")? as usize;
         if (n_peers > rows && rows > 0) || n_peers > body.len() {
-            return Err(StoreError::Corrupt(
-                "peer dictionary larger than rows".into(),
-            ));
+            return Err(bad("peer dictionary larger than rows"));
         }
         let mut peer_dict = Vec::with_capacity(n_peers);
         for _ in 0..n_peers {
@@ -458,16 +467,14 @@ impl SegmentData {
         }
         let n_prefixes = cur.u32("prefix dict size")? as usize;
         if (n_prefixes > rows && rows > 0) || n_prefixes > body.len() {
-            return Err(StoreError::Corrupt(
-                "prefix dictionary larger than rows".into(),
-            ));
+            return Err(bad("prefix dictionary larger than rows"));
         }
         let mut prefix_dict = Vec::with_capacity(n_prefixes);
         for _ in 0..n_prefixes {
             let bits = cur.u32("prefix bits")?;
             let len = cur.u8("prefix len")?;
             if len > 32 {
-                return Err(StoreError::Corrupt(format!("prefix length {len} > 32")));
+                return Err(bad(format!("prefix length {len} > 32")));
             }
             prefix_dict.push(Prefix::from_raw(bits, len));
         }
@@ -476,19 +483,12 @@ impl SegmentData {
         for l in &mut col_lens {
             *l = cur.u32("column length")? as usize;
         }
-        let mut cols = Vec::with_capacity(6);
-        for &l in &col_lens {
-            cols.push(Cur::new(cur.take(l, "column bytes")?));
-        }
-        let mut cols = cols.into_iter();
-        let (mut c_time, mut c_peer, mut c_prefix, mut c_cc, mut c_policy, mut c_size) = (
-            cols.next().unwrap(),
-            cols.next().unwrap(),
-            cols.next().unwrap(),
-            cols.next().unwrap(),
-            cols.next().unwrap(),
-            cols.next().unwrap(),
-        );
+        let mut c_time = Cur::new(cur.take(col_lens[0], "time column bytes")?);
+        let mut c_peer = Cur::new(cur.take(col_lens[1], "peer column bytes")?);
+        let mut c_prefix = Cur::new(cur.take(col_lens[2], "prefix column bytes")?);
+        let mut c_cc = Cur::new(cur.take(col_lens[3], "class/cause column bytes")?);
+        let mut c_policy = Cur::new(cur.take(col_lens[4], "policy column bytes")?);
+        let mut c_size = Cur::new(cur.take(col_lens[5], "size column bytes")?);
 
         let mut times = Vec::with_capacity(rows);
         let mut peer_ids = Vec::with_capacity(rows);
@@ -503,36 +503,32 @@ impl SegmentData {
             let delta = unzigzag(c_time.varint("time column")?);
             prev_time = prev_time
                 .checked_add(delta)
-                .ok_or_else(|| StoreError::Corrupt("time column overflows".into()))?;
+                .ok_or_else(|| bad("time column overflows"))?;
             if prev_time < 0 {
-                return Err(StoreError::Corrupt("negative time in time column".into()));
+                return Err(bad("negative time in time column"));
             }
             times.push(prev_time as u64);
 
             let pid = c_peer.varint("peer column")?;
             if pid >= n_peers as u64 {
-                return Err(StoreError::Corrupt(format!(
-                    "peer id {pid} out of dictionary range"
-                )));
+                return Err(bad(format!("peer id {pid} out of dictionary range")));
             }
             peer_ids.push(pid as u32);
 
             let xid = c_prefix.varint("prefix column")?;
             if xid >= n_prefixes as u64 {
-                return Err(StoreError::Corrupt(format!(
-                    "prefix id {xid} out of dictionary range"
-                )));
+                return Err(bad(format!("prefix id {xid} out of dictionary range")));
             }
             prefix_ids.push(xid as u32);
 
             let cc = c_cc.u8("class/cause column")?;
             let class = UpdateClass::from_index((cc & 0x07) as usize)
-                .ok_or_else(|| StoreError::Corrupt(format!("invalid class index {}", cc & 0x07)))?;
+                .ok_or_else(|| bad(format!("invalid class index {}", cc & 0x07)))?;
             let cause_idx = (cc >> 3) as usize;
             let cause = Cause::ALL
                 .get(cause_idx)
                 .copied()
-                .ok_or_else(|| StoreError::Corrupt(format!("invalid cause index {cause_idx}")))?;
+                .ok_or_else(|| bad(format!("invalid cause index {cause_idx}")))?;
             classes.push(class);
             causes.push(cause);
 
@@ -558,6 +554,44 @@ impl SegmentData {
             sizes,
         })
     }
+}
+
+/// Header fields recovered by [`validate`], for cross-checking a segment
+/// file against its manifest entry without a full column decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentCheck {
+    /// Logical shard from the header.
+    pub shard: u16,
+    /// Row count from the header.
+    pub rows: u32,
+}
+
+/// Cheap integrity check over a segment file image: length, trailing
+/// checksum (which covers every preceding byte, columns and zone maps
+/// included), magic, and version — without decoding the columns. This is
+/// what `Store::open` runs over every manifest entry before serving
+/// queries, so the cost must stay one hash pass per file.
+pub fn validate(bytes: &[u8]) -> Result<SegmentCheck, StoreError> {
+    if bytes.len() < 12 + 8 {
+        return Err(bad("segment shorter than header"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut sum_bytes = [0u8; 8];
+    sum_bytes.copy_from_slice(tail);
+    if checksum(body) != u64::from_le_bytes(sum_bytes) {
+        return Err(bad("segment checksum mismatch"));
+    }
+    let mut cur = Cur::new(body);
+    if cur.take(4, "magic")? != MAGIC {
+        return Err(bad("bad segment magic"));
+    }
+    let version = cur.u16("version")?;
+    if version != SEGMENT_VERSION {
+        return Err(bad(format!("unsupported segment version {version}")));
+    }
+    let shard = cur.u16("shard")?;
+    let rows = cur.u32("row count")?;
+    Ok(SegmentCheck { shard, rows })
 }
 
 /// Canonical segment file name: `s{shard:02}-{seq:06}.seg`.

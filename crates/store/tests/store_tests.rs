@@ -317,19 +317,45 @@ fn reingest_clears_stale_segments() {
 }
 
 #[test]
-fn open_rejects_corrupt_segments_and_manifests() {
+fn corrupt_segments_quarantine_by_default_and_fail_strict() {
     let dir = temp_store_dir("corrupt");
     ingest(&dir, &synthetic_log(2_000), 1, 200);
     let manifest = Store::open(&dir).unwrap().manifest().clone();
-    let victim = dir.join(&manifest.segments[0].file);
+    let victim_name = manifest.segments[0].file.clone();
+    let victim = dir.join(&victim_name);
     let mut bytes = std::fs::read(&victim).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xff;
     std::fs::write(&victim, &bytes).unwrap();
-    let mut store = Store::open(&dir).unwrap();
-    let err = store.replay(|_| {}).unwrap_err();
-    assert!(matches!(err, iri_store::StoreError::Corrupt(_)), "{err}");
 
+    // Strict open refuses to repair.
+    let Err(err) = Store::open_strict(&dir) else {
+        panic!("strict open must fail on a corrupt segment");
+    };
+    assert!(
+        matches!(err, iri_store::StoreError::Corrupt { .. }),
+        "{err}"
+    );
+
+    // Default open quarantines the bad segment and serves the rest.
+    let mut store = Store::open(&dir).unwrap();
+    let recovery = store.recovery().clone();
+    assert_eq!(recovery.quarantined.len(), 1);
+    assert_eq!(recovery.quarantined[0].file, victim_name);
+    assert!(recovery.repaired_manifest);
+    assert!(dir
+        .join(iri_store::QUARANTINE_DIR)
+        .join(&victim_name)
+        .exists());
+    assert_eq!(store.manifest().segments.len(), manifest.segments.len() - 1);
+    let stats = store.replay(|_| {}).unwrap();
+    assert_eq!(stats.segments_quarantined, 1);
+
+    // The repaired store is clean on the next open.
+    let store = Store::open(&dir).unwrap();
+    assert!(store.recovery().is_clean());
+
+    // A destroyed manifest with no journal is unrecoverable.
     std::fs::write(dir.join(iri_store::MANIFEST_FILE), "{not json").unwrap();
     assert!(Store::open(&dir).is_err());
     std::fs::remove_dir_all(dir).unwrap();

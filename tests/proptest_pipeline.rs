@@ -88,7 +88,7 @@ proptest! {
             let mut cfg = PipelineConfig::with_jobs(jobs);
             cfg.batch_size = 17; // deliberately tiny: exercise batch edges
             cfg.queue_depth = 2;
-            let result = analyze_events(&events, &cfg);
+            let result = analyze_events(&events, &cfg).expect("pipeline run");
 
             // Classifier state.
             prop_assert_eq!(result.classifier.total(), seq.total());
