@@ -38,4 +38,11 @@ cargo run --release -q -p iri-bench --bin bench_store
 python3 -m json.tool BENCH_store.json > /dev/null
 echo "    BENCH_store.json is well-formed JSON"
 
+echo "==> bench_serve --smoke (concurrent serving correctness gate)"
+cargo run --release -q -p iri-bench --bin bench_serve -- --smoke --out target/BENCH_serve_smoke.json
+python3 -m json.tool target/BENCH_serve_smoke.json > /dev/null
+echo "    bench_serve smoke report is well-formed JSON"
+python3 -m json.tool BENCH_serve.json > /dev/null
+echo "    BENCH_serve.json is well-formed JSON"
+
 echo "ci: all green"

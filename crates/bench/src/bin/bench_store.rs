@@ -33,6 +33,7 @@ use std::time::Instant;
 #[derive(Serialize)]
 struct IngestRun {
     jobs: usize,
+    batch_sync: bool,
     wall_ms: u64,
     records_per_sec: f64,
 }
@@ -61,6 +62,11 @@ struct BenchReport {
     bytes_per_event: f64,
     streaming_wall_ms: u64,
     ingest: Vec<IngestRun>,
+    /// Wall-clock ratio of fsync-per-segment ingest to batched-sync
+    /// ingest at 4 workers — the scaling cliff the deferred sync pass
+    /// removes (durability is identical: every segment is synced before
+    /// the journal seals).
+    batched_sync_speedup: f64,
     replay_wall_ms: u64,
     reports_identical: bool,
     compact_wall_ms: u64,
@@ -122,17 +128,22 @@ fn main() {
     let baseline_render = report_from_analysis(&baseline).render();
     println!("  streaming report (jobs=4): {streaming_wall_ms} ms");
 
-    // Ingest at 1 and 4 workers (the 4-worker store is the one queried).
+    // Ingest at 1 and 4 workers, and 4 workers with the old
+    // fsync-per-segment behavior as the batching before/after (the
+    // final, batched 4-worker store is the one queried — content is
+    // byte-identical either way, only sync timing differs).
     let mut ingest_runs = Vec::new();
     let mut events = 0u64;
-    for jobs in [1usize, 4] {
+    for (jobs, batch_sync) in [(1usize, true), (4, false), (4, true)] {
         let mut reader = MrtReader::new(BufReader::new(File::open(log_path).unwrap()));
         let start = Instant::now();
         let outcome = ingest_mrt(
             dir,
             &mut reader,
             0,
-            &IngestConfig::default().with_jobs(jobs),
+            &IngestConfig::default()
+                .with_jobs(jobs)
+                .with_batch_sync(batch_sync),
         )
         .unwrap_or_else(|e| {
             eprintln!("bench_store: ingest: {e}");
@@ -141,16 +152,28 @@ fn main() {
         let wall_ms = start.elapsed().as_millis().max(1) as u64;
         events = outcome.manifest.total_events;
         println!(
-            "  ingest jobs={jobs}: {wall_ms} ms ({:.0} records/s, {} segments)",
+            "  ingest jobs={jobs} batch_sync={batch_sync}: {wall_ms} ms \
+             ({:.0} records/s, {} segments)",
             written as f64 * 1000.0 / wall_ms as f64,
             outcome.manifest.segments.len()
         );
         ingest_runs.push(IngestRun {
             jobs,
+            batch_sync,
             wall_ms,
             records_per_sec: written as f64 * 1000.0 / wall_ms as f64,
         });
     }
+    let batched_sync_speedup = {
+        let wall = |batched: bool| {
+            ingest_runs
+                .iter()
+                .find(|r| r.jobs == 4 && r.batch_sync == batched)
+                .map_or(1, |r| r.wall_ms) as f64
+        };
+        wall(false) / wall(true).max(1.0)
+    };
+    println!("  batched-sync speedup at 4 workers: {batched_sync_speedup:.2}x");
     let store_bytes: u64 = {
         let store = Store::open(dir).expect("open store");
         store.manifest().segments.iter().map(|s| s.bytes).sum()
@@ -252,7 +275,7 @@ fn main() {
     );
 
     let report = BenchReport {
-        schema: "bench-store-v1",
+        schema: "bench-store-v2",
         records: written,
         events,
         seed: cfg.seed,
@@ -262,6 +285,7 @@ fn main() {
         bytes_per_event: store_bytes as f64 / events.max(1) as f64,
         streaming_wall_ms,
         ingest: ingest_runs,
+        batched_sync_speedup,
         replay_wall_ms,
         reports_identical,
         compact_wall_ms,

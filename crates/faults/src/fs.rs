@@ -48,6 +48,11 @@ pub trait StoreFs: fmt::Debug + Send + Sync {
     /// Removes a file.
     fn remove(&self, path: &Path) -> io::Result<()>;
 
+    /// Removes a directory and everything under it. Missing directories
+    /// are not an error. Free (uncounted) like `create_dir_all`: it is
+    /// garbage collection, not part of the commit protocol.
+    fn remove_dir(&self, dir: &Path) -> io::Result<()>;
+
     /// Creates a directory and its parents.
     fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
 
@@ -111,6 +116,13 @@ impl StoreFs for RealFs {
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         fs::remove_file(path)
+    }
+
+    fn remove_dir(&self, dir: &Path) -> io::Result<()> {
+        match fs::remove_dir_all(dir) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
     }
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
@@ -356,6 +368,11 @@ impl StoreFs for FaultyFs {
             None => self.inner.remove(path),
             Some(kind) => Err(self.plain_fault(kind)),
         }
+    }
+
+    fn remove_dir(&self, dir: &Path) -> io::Result<()> {
+        self.ensure_alive()?;
+        self.inner.remove_dir(dir)
     }
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {

@@ -1,0 +1,192 @@
+//! Bounded result cache keyed by `(generation, normalized command)`.
+//!
+//! Because every key embeds the manifest generation the answer was
+//! computed at, commits invalidate for free: a mutation bumps the
+//! generation, new queries form new keys, and the stale entries simply
+//! stop being asked for. Insertion sweeps entries older than the
+//! inserting generation out, so the map never accumulates dead
+//! generations, and a least-recently-used eviction bounds it within one
+//! generation.
+
+use crate::proto::Response;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cache accounting for [`super::proto::StatsBody`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: u64,
+    /// Lookups answered.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries dropped (stale generation or LRU).
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    generation: u64,
+    last_used: u64,
+    resp: Response,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe `(generation, command)` → [`Response`] map.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+fn key(generation: u64, normalized_cmd: &str) -> String {
+    format!("g{generation}:{normalized_cmd}")
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` responses (0 disables it).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|_| panic!("result cache lock poisoned"))
+    }
+
+    /// Looks up a response computed at `generation` for the normalized
+    /// command text, counting a hit or miss.
+    pub fn get(&self, generation: u64, normalized_cmd: &str) -> Option<Response> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key(generation, normalized_cmd)) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let resp = entry.resp.clone();
+                inner.hits += 1;
+                Some(resp)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a response computed at `generation`. Entries from older
+    /// generations are swept out first; within the capacity bound the
+    /// least recently used current-generation entry is evicted.
+    pub fn insert(&self, generation: u64, normalized_cmd: &str, resp: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let before = inner.map.len();
+        inner.map.retain(|_, e| e.generation >= generation);
+        inner.evictions += (before - inner.map.len()) as u64;
+        while inner.map.len() >= self.capacity {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+            inner.evictions += 1;
+        }
+        inner.map.insert(
+            key(generation, normalized_cmd),
+            Entry {
+                generation,
+                last_used: tick,
+                resp,
+            },
+        );
+    }
+
+    /// Current accounting.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            entries: inner.map.len() as u64,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(total: u64) -> Response {
+        Response::Bytes {
+            generation: 1,
+            cached: false,
+            total,
+            stats: iri_store::ScanStats::default(),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(1, "bytes").is_none());
+        cache.insert(1, "bytes", resp(10));
+        assert_eq!(cache.get(1, "bytes"), Some(resp(10)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_advance_invalidates() {
+        let cache = ResultCache::new(4);
+        cache.insert(1, "bytes", resp(10));
+        assert!(cache.get(2, "bytes").is_none());
+        cache.insert(2, "bytes", resp(20));
+        assert_eq!(cache.stats().entries, 1, "old generation swept");
+        assert_eq!(cache.get(2, "bytes"), Some(resp(20)));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_map() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, "a", resp(1));
+        cache.insert(1, "b", resp(2));
+        assert!(cache.get(1, "a").is_some(), "touch a so b is LRU");
+        cache.insert(1, "c", resp(3));
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(1, "b").is_none(), "LRU entry evicted");
+        assert!(cache.get(1, "a").is_some());
+        assert!(cache.get(1, "c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(1, "a", resp(1));
+        assert!(cache.get(1, "a").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,591 @@
+//! The transport-independent service core: admission control, snapshot
+//! pinning, cached execution, and metrics.
+//!
+//! [`ServeCore::handle`] is the whole request pipeline; the TCP server
+//! and the in-process client are both thin shells around it:
+//!
+//! ```text
+//! parse → admit (or Busy) → pin snapshot → cache get → scan → cache put
+//! ```
+//!
+//! Every stage is metered through an [`iri_obs::Registry`]: request and
+//! busy counters, cache hit/miss counters, and pin/exec latency
+//! histograms. Queries run against a [`Snapshot`] pinned at the current
+//! generation, so they are never blocked by — and never block —
+//! concurrent appends, compactions, or re-ingests on the same
+//! [`LiveStore`].
+
+use crate::cache::ResultCache;
+use crate::proto::{
+    Command, Filter, InfoBody, Reply, Request, Response, StatsBody, TopRow, CODE_JSON, CODE_USAGE,
+};
+use iri_core::classifier::Classifier;
+use iri_core::taxonomy::UpdateClass;
+use iri_obs::{Cause, CounterId, HistogramId, Registry};
+use iri_store::{LiveStore, Snapshot, StoreError, StoredEvent};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Requests allowed to execute concurrently.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a slot before `Busy` is returned.
+    pub max_queue: usize,
+    /// Result-cache capacity in responses (0 disables caching).
+    pub cache_entries: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_inflight: 64,
+            max_queue: 256,
+            cache_entries: 256,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+/// Counting semaphore with a bounded wait queue: up to `max_inflight`
+/// permits outstanding, up to `max_queue` waiters blocked for one;
+/// beyond that [`AdmissionGate::admit`] refuses immediately so a
+/// saturated service degrades to fast typed `Busy` replies instead of
+/// unbounded queueing.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    max_inflight: usize,
+    max_queue: usize,
+}
+
+/// RAII execution slot; dropping it wakes one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut s) = self.gate.state.lock() {
+            s.active -= 1;
+        }
+        self.gate.freed.notify_one();
+    }
+}
+
+impl AdmissionGate {
+    /// A gate admitting `max_inflight` concurrent holders and queueing
+    /// at most `max_queue` more.
+    #[must_use]
+    pub fn new(max_inflight: usize, max_queue: usize) -> Self {
+        AdmissionGate {
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+            max_inflight,
+            max_queue,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|_| panic!("admission gate lock poisoned"))
+    }
+
+    /// Takes an execution slot, blocking in the bounded queue when the
+    /// service is full. `Err((active, queued))` means the queue is full
+    /// too and the caller should answer `Busy`.
+    pub fn admit(&self) -> Result<Permit<'_>, (u64, u64)> {
+        let mut s = self.lock();
+        if s.active >= self.max_inflight {
+            if s.queued >= self.max_queue {
+                return Err((s.active as u64, s.queued as u64));
+            }
+            s.queued += 1;
+            while s.active >= self.max_inflight {
+                s = self
+                    .freed
+                    .wait(s)
+                    .unwrap_or_else(|_| panic!("admission gate lock poisoned"));
+            }
+            s.queued -= 1;
+        }
+        s.active += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Current `(active, queued)` occupancy.
+    #[must_use]
+    pub fn occupancy(&self) -> (u64, u64) {
+        let s = self.lock();
+        (s.active as u64, s.queued as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Meters {
+    requests: CounterId,
+    busy: CounterId,
+    parse_errors: CounterId,
+    errors: CounterId,
+    accepts: CounterId,
+    appends: CounterId,
+    append_events: CounterId,
+    compactions: CounterId,
+    pin_us: HistogramId,
+    exec_us: HistogramId,
+}
+
+/// The service: one [`LiveStore`], one stateful classifier for
+/// server-side appends, one result cache, one admission gate.
+pub struct ServeCore {
+    live: LiveStore,
+    classifier: Mutex<Classifier>,
+    cache: ResultCache,
+    gate: AdmissionGate,
+    registry: Mutex<Registry>,
+    meters: Meters,
+    draining: AtomicBool,
+    busy_rejections: Mutex<u64>,
+}
+
+impl std::fmt::Debug for ServeCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeCore")
+            .field("live", &self.live)
+            .field("draining", &self.draining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeCore {
+    /// Wraps an open [`LiveStore`] for serving.
+    #[must_use]
+    pub fn new(live: LiveStore, opts: &ServeOptions) -> Self {
+        let mut registry = Registry::new();
+        let meters = Meters {
+            requests: registry.counter("serve.requests"),
+            busy: registry.counter("serve.busy"),
+            parse_errors: registry.counter("serve.parse_errors"),
+            errors: registry.counter("serve.errors"),
+            accepts: registry.counter("serve.accepts"),
+            appends: registry.counter("serve.appends"),
+            append_events: registry.counter("serve.append_events"),
+            compactions: registry.counter("serve.compactions"),
+            pin_us: registry.histogram("serve.pin_us"),
+            exec_us: registry.histogram("serve.exec_us"),
+        };
+        ServeCore {
+            live,
+            classifier: Mutex::new(Classifier::new()),
+            cache: ResultCache::new(opts.cache_entries),
+            gate: AdmissionGate::new(opts.max_inflight, opts.max_queue),
+            registry: Mutex::new(registry),
+            meters,
+            draining: AtomicBool::new(false),
+            busy_rejections: Mutex::new(0),
+        }
+    }
+
+    /// The underlying live store (benchmarks mutate through it
+    /// directly; tests read its pin accounting).
+    #[must_use]
+    pub fn live(&self) -> &LiveStore {
+        &self.live
+    }
+
+    /// Whether graceful drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins graceful drain: in-flight requests finish, every later
+    /// command except `Ping` is answered [`Response::ShuttingDown`].
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>, what: &str) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|_| panic!("{what} lock poisoned"))
+    }
+
+    fn count(&self, id: CounterId) {
+        Self::lock(&self.registry, "registry").inc(id);
+    }
+
+    fn observe(&self, id: HistogramId, started: Instant) {
+        Self::lock(&self.registry, "registry").observe(
+            id,
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+
+    /// Counts one accepted transport connection (called by servers).
+    pub fn note_accept(&self) {
+        self.count(self.meters.accepts);
+    }
+
+    /// A snapshot of the service metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> iri_obs::RegistrySnapshot {
+        Self::lock(&self.registry, "registry").snapshot()
+    }
+
+    /// Handles one raw request line and renders one reply line (no
+    /// trailing newline). Malformed JSON maps to an `Error` with code
+    /// [`CODE_JSON`] and id 0.
+    pub fn handle_line(&self, line: &str) -> String {
+        let reply = match serde_json::from_str::<Request>(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => {
+                self.count(self.meters.parse_errors);
+                Reply {
+                    id: 0,
+                    resp: Response::Error {
+                        code: CODE_JSON,
+                        message: format!("bad request line: {e}"),
+                    },
+                }
+            }
+        };
+        serde_json::to_string(&reply)
+            .unwrap_or_else(|e| format!("{{\"id\":0,\"resp\":{{\"Error\":{{\"code\":6,\"message\":\"render failed: {e}\"}}}}}}"))
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, req: Request) -> Reply {
+        Reply {
+            id: req.id,
+            resp: self.dispatch(req.cmd),
+        }
+    }
+
+    fn dispatch(&self, cmd: Command) -> Response {
+        self.count(self.meters.requests);
+        if self.is_draining() && !matches!(cmd, Command::Ping) {
+            return Response::ShuttingDown;
+        }
+        match cmd {
+            Command::Ping => Response::Pong,
+            Command::Shutdown => {
+                self.begin_drain();
+                Response::ShuttingDown
+            }
+            Command::Stats => Response::Stats {
+                stats: self.stats(),
+            },
+            cmd => {
+                let permit = match self.gate.admit() {
+                    Ok(p) => p,
+                    Err((active, queued)) => {
+                        self.count(self.meters.busy);
+                        *Self::lock(&self.busy_rejections, "busy counter") += 1;
+                        return Response::Busy { active, queued };
+                    }
+                };
+                let resp = self.execute(cmd);
+                drop(permit);
+                if matches!(resp, Response::Error { .. }) {
+                    self.count(self.meters.errors);
+                }
+                resp
+            }
+        }
+    }
+
+    fn execute(&self, cmd: Command) -> Response {
+        match cmd {
+            Command::Info => self.info(),
+            Command::Append { events } => self.append(&events),
+            Command::Compact { target_rows } => self.compact(target_rows),
+            cmd => self.query(cmd),
+        }
+    }
+
+    fn stats(&self) -> StatsBody {
+        let live = self.live.stats();
+        let cache = self.cache.stats();
+        let (inflight, queued) = self.gate.occupancy();
+        let requests = self
+            .metrics()
+            .counters
+            .iter()
+            .find(|c| c.name == "serve.requests")
+            .map_or(0, |c| c.value);
+        StatsBody {
+            generation: live.generation,
+            active_pins: live.active_pins,
+            min_pinned: live.min_pinned,
+            total_pins: live.total_pins,
+            appends: live.appends,
+            appended_events: live.appended_events,
+            compactions: live.compactions,
+            retired_dirs: live.retired_dirs,
+            gc_removed_dirs: live.gc_removed_dirs,
+            cache_entries: cache.entries,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            requests,
+            busy_rejections: *Self::lock(&self.busy_rejections, "busy counter"),
+            inflight,
+            queued,
+        }
+    }
+
+    fn info(&self) -> Response {
+        let pin = Instant::now();
+        let snap = self.live.snapshot();
+        self.observe(self.meters.pin_us, pin);
+        let m = snap.manifest();
+        Response::Info {
+            info: InfoBody {
+                generation: m.generation,
+                total_events: m.total_events,
+                segments: m.segments.len() as u64,
+                segment_rows: m.segment_rows,
+                min_time_ms: m.min_time_ms,
+                max_time_ms: m.max_time_ms,
+                records_read: m.records_read,
+                bytes: m.segments.iter().map(|s| s.bytes).sum(),
+            },
+        }
+    }
+
+    fn append(&self, events: &[crate::proto::WireEvent]) -> Response {
+        let mut rows: Vec<StoredEvent> = Vec::with_capacity(events.len());
+        {
+            let mut classifier = Self::lock(&self.classifier, "classifier");
+            for ev in events {
+                let update = match ev.to_update() {
+                    Ok(u) => u,
+                    Err(message) => {
+                        return Response::Error {
+                            code: CODE_USAGE,
+                            message,
+                        }
+                    }
+                };
+                let classified = classifier.classify(&update);
+                rows.push(StoredEvent::from_classified(&classified, Cause::Unknown));
+            }
+        }
+        match self.live.append_events(&rows) {
+            Ok(generation) => {
+                self.count(self.meters.appends);
+                Self::lock(&self.registry, "registry")
+                    .add(self.meters.append_events, rows.len() as u64);
+                Response::Appended {
+                    generation,
+                    events: rows.len() as u64,
+                }
+            }
+            Err(e) => store_error(&e),
+        }
+    }
+
+    fn compact(&self, target_rows: Option<u32>) -> Response {
+        let rows = target_rows.unwrap_or_else(|| self.live.manifest().segment_rows);
+        match self.live.compact(rows) {
+            Ok(report) => {
+                self.count(self.meters.compactions);
+                Response::Compacted {
+                    generation: self.live.generation(),
+                    shards_rewritten: report.shards_rewritten as u64,
+                    segments_before: report.segments_before as u64,
+                    segments_after: report.segments_after as u64,
+                }
+            }
+            Err(e) => store_error(&e),
+        }
+    }
+
+    fn query(&self, cmd: Command) -> Response {
+        let normalized = match serde_json::to_string(&cmd) {
+            Ok(s) => s,
+            Err(e) => {
+                return Response::Error {
+                    code: CODE_JSON,
+                    message: format!("command not normalizable: {e}"),
+                }
+            }
+        };
+        let pin = Instant::now();
+        let mut snap = self.live.snapshot();
+        self.observe(self.meters.pin_us, pin);
+        let generation = snap.generation();
+        if cmd.cacheable() {
+            if let Some(mut resp) = self.cache.get(generation, &normalized) {
+                resp.set_cached(true);
+                return resp;
+            }
+        }
+        let exec = Instant::now();
+        let resp = run_query(&mut snap, generation, cmd);
+        self.observe(self.meters.exec_us, exec);
+        if !matches!(resp, Response::Error { .. }) {
+            self.cache.insert(generation, &normalized, resp.clone());
+        }
+        resp
+    }
+}
+
+fn store_error(e: &StoreError) -> Response {
+    Response::Error {
+        code: e.exit_code(),
+        message: e.to_string(),
+    }
+}
+
+fn usage_error(message: String) -> Response {
+    Response::Error {
+        code: CODE_USAGE,
+        message,
+    }
+}
+
+/// Executes one cacheable query against a pinned snapshot.
+fn run_query(snap: &mut Snapshot, generation: u64, cmd: Command) -> Response {
+    let filter = match &cmd {
+        Command::CountByClass { filter }
+        | Command::CountByCause { filter }
+        | Command::TopPeers { filter, .. }
+        | Command::TopPrefixes { filter, .. }
+        | Command::Bytes { filter }
+        | Command::Series { filter, .. } => filter.clone(),
+        _ => Filter::default(),
+    };
+    let q = match filter.to_query() {
+        Ok(q) => q,
+        Err(message) => return usage_error(message),
+    };
+    match cmd {
+        Command::CountByClass { .. } => match snap.count_by_class(&q) {
+            // `ALL` is reporting order, not index order — the reply's
+            // counts must follow its labels, so reorder here.
+            Ok((counts, stats)) => Response::Counts {
+                generation,
+                cached: false,
+                labels: UpdateClass::ALL
+                    .iter()
+                    .map(|c| c.label().to_owned())
+                    .collect(),
+                counts: UpdateClass::ALL.iter().map(|c| counts[c.index()]).collect(),
+                stats,
+            },
+            Err(e) => store_error(&e),
+        },
+        Command::CountByCause { .. } => match snap.count_by_cause(&q) {
+            Ok((counts, stats)) => Response::Counts {
+                generation,
+                cached: false,
+                labels: Cause::ALL.iter().map(|c| c.label().to_owned()).collect(),
+                counts: Cause::ALL.iter().map(|c| counts[c.index()]).collect(),
+                stats,
+            },
+            Err(e) => store_error(&e),
+        },
+        Command::TopPeers { limit, .. } => match snap.count_by_peer(&q) {
+            Ok((rows, stats)) => Response::Top {
+                generation,
+                cached: false,
+                rows: rows
+                    .into_iter()
+                    .take(usize::try_from(limit).unwrap_or(usize::MAX))
+                    .map(|(asn, count)| TopRow {
+                        key: asn.to_string(),
+                        count,
+                    })
+                    .collect(),
+                stats,
+            },
+            Err(e) => store_error(&e),
+        },
+        Command::TopPrefixes { limit, .. } => match snap.count_by_prefix(&q) {
+            Ok((rows, stats)) => Response::Top {
+                generation,
+                cached: false,
+                rows: rows
+                    .into_iter()
+                    .take(usize::try_from(limit).unwrap_or(usize::MAX))
+                    .map(|(prefix, count)| TopRow {
+                        key: prefix.to_string(),
+                        count,
+                    })
+                    .collect(),
+                stats,
+            },
+            Err(e) => store_error(&e),
+        },
+        Command::Bytes { .. } => match snap.sum_bytes(&q) {
+            Ok((total, stats)) => Response::Bytes {
+                generation,
+                cached: false,
+                total,
+                stats,
+            },
+            Err(e) => store_error(&e),
+        },
+        Command::Series { bin_ms, .. } => match snap.time_series(&q, bin_ms) {
+            Ok((bins, stats)) => Response::Series {
+                generation,
+                cached: false,
+                bin_ms,
+                bins,
+                stats,
+            },
+            Err(e) => store_error(&e),
+        },
+        _ => usage_error("not a query command".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn gate_admits_up_to_inflight_then_queues_then_refuses() {
+        let gate = Arc::new(AdmissionGate::new(1, 1));
+        let p1 = gate.admit().expect("first slot");
+        assert_eq!(gate.occupancy(), (1, 0));
+        let g2 = Arc::clone(&gate);
+        let waiter = thread::spawn(move || {
+            let _p = g2.admit().expect("queued slot");
+        });
+        // Wait for the spawned thread to join the queue, then the next
+        // admit must refuse with the live occupancy.
+        while gate.occupancy().1 == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(gate.admit().unwrap_err(), (1, 1));
+        drop(p1);
+        waiter.join().expect("waiter exits");
+        assert_eq!(gate.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn permits_release_on_drop() {
+        let gate = AdmissionGate::new(2, 0);
+        let a = gate.admit().unwrap();
+        let b = gate.admit().unwrap();
+        assert!(gate.admit().is_err());
+        drop(a);
+        let c = gate.admit().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(gate.occupancy(), (0, 0));
+    }
+}

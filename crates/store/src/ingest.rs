@@ -54,6 +54,17 @@ pub struct IngestConfig {
     pub fs: SharedFs,
     /// Retry budget for transient I/O errors on the segment-write path.
     pub retry: RetryPolicy,
+    /// Defer per-segment fsyncs to one batched pass before the journal
+    /// seal (default), instead of fsyncing inline after every segment
+    /// write. Durability is identical — every segment is synced before
+    /// the commit point — but the page cache absorbs the whole round
+    /// first, which removes the fsync-per-segment scaling cliff.
+    pub batch_sync: bool,
+    /// Move segment files this ingest replaces into `retired/g<gen>/`
+    /// instead of deleting them, so pinned reader snapshots of older
+    /// generations keep working. Used by [`crate::LiveStore`]; offline
+    /// ingest deletes (default).
+    pub retire_replaced: bool,
 }
 
 impl Default for IngestConfig {
@@ -63,6 +74,8 @@ impl Default for IngestConfig {
             segment_rows: DEFAULT_SEGMENT_ROWS,
             fs: real_fs(),
             retry: RetryPolicy::default(),
+            batch_sync: true,
+            retire_replaced: false,
         }
     }
 }
@@ -95,22 +108,52 @@ impl IngestConfig {
         self.retry = retry;
         self
     }
+
+    /// Enables or disables batched segment fsync.
+    #[must_use]
+    pub fn with_batch_sync(mut self, batch: bool) -> Self {
+        self.batch_sync = batch;
+        self
+    }
+
+    /// Enables retiring replaced segments for pinned readers.
+    #[must_use]
+    pub fn with_retire_replaced(mut self, retire: bool) -> Self {
+        self.retire_replaced = retire;
+        self
+    }
 }
 
 fn io_at(path: &Path, e: io::Error) -> StoreError {
     StoreError::io(path, e)
 }
 
+/// The directory a commit of generation `gen` parks replaced segments
+/// in: `retired/g<gen>`, zero-padded so lexicographic order is
+/// generation order.
+pub(crate) fn retired_dir_for(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(crate::RETIRED_DIR).join(format!("g{gen:010}"))
+}
+
 /// Removes stale store files so re-ingest into an existing directory
 /// cannot leave orphaned segments behind the new manifest. The journal
 /// (already carrying this commit's `begin` record) and the quarantine
-/// directory are left alone.
-fn prepare_dir(fs: &dyn StoreFs, dir: &Path) -> Result<(), StoreError> {
+/// directory are left alone. With `retire_to`, segment files are moved
+/// there (for still-pinned reader snapshots) instead of deleted.
+fn prepare_dir(fs: &dyn StoreFs, dir: &Path, retire_to: Option<&Path>) -> Result<(), StoreError> {
     fs.create_dir_all(dir).map_err(|e| io_at(dir, e))?;
     for name in fs.list(dir).map_err(|e| io_at(dir, e))? {
-        if name == MANIFEST_FILE || name.ends_with(".seg") || name.ends_with(".tmp") {
-            let path = dir.join(&name);
-            fs.remove(&path).map_err(|e| io_at(&path, e))?;
+        if !(name == MANIFEST_FILE || name.ends_with(".seg") || name.ends_with(".tmp")) {
+            continue;
+        }
+        let path = dir.join(&name);
+        match retire_to {
+            Some(rdir) if name.ends_with(".seg") => {
+                fs.create_dir_all(rdir).map_err(|e| io_at(rdir, e))?;
+                let dest = rdir.join(&name);
+                fs.rename(&path, &dest).map_err(|e| io_at(&path, e))?;
+            }
+            _ => fs.remove(&path).map_err(|e| io_at(&path, e))?,
         }
     }
     Ok(())
@@ -144,9 +187,11 @@ pub struct StoreWriter {
     retry: RetryPolicy,
     segment_rows: u32,
     generation: u64,
+    batch_sync: bool,
     builders: Vec<Option<SegmentBuilder>>,
     seqs: Vec<u32>,
     metas: Vec<SegmentMeta>,
+    pending_sync: Vec<PathBuf>,
     retries: u64,
 }
 
@@ -174,7 +219,7 @@ impl StoreWriter {
         durable::journal_begin(&*fs, dir, generation, segment_rows.max(1))?;
         fs.checkpoint(CommitStep::Begin)
             .map_err(|e| io_at(dir, e))?;
-        prepare_dir(&*fs, dir)?;
+        prepare_dir(&*fs, dir, None)?;
         let mut w = Self::attach_with(dir, segment_rows, fs, retry);
         w.generation = generation;
         Ok(w)
@@ -198,11 +243,34 @@ impl StoreWriter {
             retry,
             segment_rows: segment_rows.max(1),
             generation: 1,
+            batch_sync: true,
             builders: (0..LOGICAL_SHARDS).map(|_| None).collect(),
             seqs: vec![0; LOGICAL_SHARDS],
             metas: Vec::new(),
+            pending_sync: Vec::new(),
             retries: 0,
         }
+    }
+
+    /// Switches between batched (default) and inline per-segment fsync.
+    #[must_use]
+    pub fn with_batch_sync(mut self, batch: bool) -> Self {
+        self.batch_sync = batch;
+        self
+    }
+
+    /// Continues each shard's segment chain at the given sequence
+    /// numbers instead of zero — the live append path, which adds new
+    /// segments after a store's existing ones.
+    pub(crate) fn start_at(&mut self, seqs: Vec<u32>) {
+        assert_eq!(seqs.len(), LOGICAL_SHARDS);
+        self.seqs = seqs;
+    }
+
+    /// Overrides the generation stamped into [`StoreWriter::commit`]'s
+    /// manifest (creation probes it from the directory).
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Appends one event, rolling its shard's segment if full.
@@ -217,19 +285,41 @@ impl StoreWriter {
     }
 
     /// Atomic segment write: `<file>.tmp`, fsync, rename. Each step is
-    /// retried on transient errors.
+    /// retried on transient errors. With batched sync the fsync is
+    /// deferred: the file is queued for [`StoreWriter::sync_pending`],
+    /// which must run before the commit point.
     fn write_segment(&mut self, file: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let tmp = self.dir.join(format!("{file}.tmp"));
         let dest = self.dir.join(file);
         let (res, n) = run_retried(&self.retry, &tmp, || self.fs.write(&tmp, bytes));
         self.retries += n;
         res?;
-        let (res, n) = run_retried(&self.retry, &tmp, || self.fs.sync(&tmp));
-        self.retries += n;
-        res?;
+        if !self.batch_sync {
+            let (res, n) = run_retried(&self.retry, &tmp, || self.fs.sync(&tmp));
+            self.retries += n;
+            res?;
+        }
         let (res, n) = run_retried(&self.retry, &dest, || self.fs.rename(&tmp, &dest));
         self.retries += n;
-        res
+        res?;
+        if self.batch_sync {
+            self.pending_sync.push(dest);
+        }
+        Ok(())
+    }
+
+    /// Fsyncs every segment written since the last call — the batched
+    /// half of the atomic-write protocol. Must complete before
+    /// the journal seals (`durable::commit`); [`StoreWriter::commit`]
+    /// calls it, and [`ingest_mrt`] runs one pass over all workers'
+    /// pending files.
+    pub fn sync_pending(&mut self) -> Result<(), StoreError> {
+        for dest in std::mem::take(&mut self.pending_sync) {
+            let (res, n) = run_retried(&self.retry, &dest, || self.fs.sync(&dest));
+            self.retries += n;
+            res?;
+        }
+        Ok(())
     }
 
     fn flush_shard(&mut self, shard: usize) -> Result<(), StoreError> {
@@ -275,8 +365,24 @@ impl StoreWriter {
     /// carried into the manifest for provenance (0 if unknown).
     pub fn commit(mut self, records_read: u64) -> Result<Manifest, StoreError> {
         self.flush_all()?;
+        self.sync_pending()?;
         let metas = self.take_metas();
         let manifest = build_manifest(metas, self.segment_rows, records_read, self.generation);
+        durable::commit(&*self.fs, &self.dir, manifest)
+    }
+
+    /// Like [`StoreWriter::commit`] but with caller-supplied extra
+    /// manifest entries (the live append path: the previous manifest's
+    /// segments stay, this writer's new segments extend them).
+    pub(crate) fn commit_with_extra(
+        mut self,
+        mut extra: Vec<SegmentMeta>,
+        records_read: u64,
+    ) -> Result<Manifest, StoreError> {
+        self.flush_all()?;
+        self.sync_pending()?;
+        extra.extend(self.take_metas());
+        let manifest = build_manifest(extra, self.segment_rows, records_read, self.generation);
         durable::commit(&*self.fs, &self.dir, manifest)
     }
 }
@@ -305,13 +411,17 @@ impl StoreSink {
         }
     }
 
-    fn into_parts(mut self) -> Result<(Vec<SegmentMeta>, u64), StoreError> {
+    /// Switches between batched (default) and inline per-segment fsync.
+    #[must_use]
+    pub fn with_batch_sync(mut self, batch: bool) -> Self {
+        self.writer.batch_sync = batch;
+        self
+    }
+
+    fn into_writer(mut self) -> Result<StoreWriter, StoreError> {
         match self.error.take() {
             Some(e) => Err(e),
-            None => {
-                let retries = self.writer.retries();
-                Ok((self.writer.take_metas(), retries))
-            }
+            None => Ok(self.writer),
         }
     }
 }
@@ -373,23 +483,32 @@ pub fn ingest_mrt<R: std::io::Read>(
     durable::journal_begin(&**fs, dir, generation, segment_rows)?;
     fs.checkpoint(CommitStep::Begin)
         .map_err(|e| io_at(dir, e))?;
-    prepare_dir(&**fs, dir)?;
+    let retire_to = cfg
+        .retire_replaced
+        .then(|| retired_dir_for(dir, generation));
+    prepare_dir(&**fs, dir, retire_to.as_deref())?;
 
     let (analysis, sinks, records_read) = analyze_mrt_with_sink(
         reader,
         base_time,
         &cfg.pipeline,
         |event, jobs| shard_of_event(event) % jobs,
-        |_worker, _jobs| StoreSink::new_with(dir, segment_rows, cfg.fs.clone(), cfg.retry),
+        |_worker, _jobs| {
+            StoreSink::new_with(dir, segment_rows, cfg.fs.clone(), cfg.retry)
+                .with_batch_sync(cfg.batch_sync)
+        },
     )
     .map_err(|e| StoreError::Ingest(e.to_string()))?;
 
     let mut metas = Vec::new();
     let mut retries = 0u64;
     for sink in sinks {
-        let (m, r) = sink.into_parts()?;
-        metas.extend(m);
-        retries += r;
+        // One batched fsync pass per worker covers every segment that
+        // worker renamed into place — all before the journal seal below.
+        let mut writer = sink.into_writer()?;
+        writer.sync_pending()?;
+        metas.extend(writer.take_metas());
+        retries += writer.retries();
     }
     let mut analysis = analysis;
     let retries_id = analysis.registry.counter("store.ingest.retries");
@@ -419,6 +538,24 @@ pub struct CompactReport {
     pub segments_after: usize,
 }
 
+/// How [`compact_with_opts`] treats generations and replaced files.
+///
+/// Offline compaction (the default) preserves the generation — its
+/// output is a pure function of the logical content, so two stores with
+/// equal content stay byte-identical — and deletes replaced segments.
+/// Live compaction under [`crate::LiveStore`] bumps the generation
+/// (snapshot pins and cache keys hang off it) and retires replaced
+/// segments for still-pinned readers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactOptions {
+    /// Commit the rewrite as a new generation instead of preserving the
+    /// current one.
+    pub bump_generation: bool,
+    /// Move replaced segment files to `retired/g<gen>/` instead of
+    /// deleting them.
+    pub retire_replaced: bool,
+}
+
 /// Rewrites every shard whose segment chain is not in canonical form —
 /// all segments holding exactly `target_rows` rows except the shard's
 /// last — by re-encoding its row stream into fresh segments.
@@ -445,9 +582,33 @@ pub fn compact_with(
     fs: &SharedFs,
     retry: RetryPolicy,
 ) -> Result<CompactReport, StoreError> {
+    compact_with_opts(dir, target_rows, fs, retry, CompactOptions::default()).map(|(r, _)| r)
+}
+
+/// [`compact_with`] with explicit [`CompactOptions`]; also returns the
+/// manifest the rewrite committed (the live path needs it without a
+/// re-read).
+pub fn compact_with_opts(
+    dir: &Path,
+    target_rows: u32,
+    fs: &SharedFs,
+    retry: RetryPolicy,
+    opts: CompactOptions,
+) -> Result<(CompactReport, Manifest), StoreError> {
     let target_rows = target_rows.max(1);
     let manifest = crate::query::read_manifest(dir)?;
     let segments_before = manifest.segments.len();
+    let generation = manifest.generation + u64::from(opts.bump_generation);
+    if opts.bump_generation {
+        // Journal the intent like any other generation-advancing commit:
+        // a crash before the seal recovers the previous generation.
+        durable::journal_begin(&**fs, dir, generation, target_rows)?;
+        fs.checkpoint(CommitStep::Begin)
+            .map_err(|e| io_at(dir, e))?;
+    }
+    let retire_to = opts
+        .retire_replaced
+        .then(|| retired_dir_for(dir, generation));
 
     let mut by_shard: Vec<Vec<&SegmentMeta>> = (0..LOGICAL_SHARDS).map(|_| Vec::new()).collect();
     for meta in &manifest.segments {
@@ -495,7 +656,14 @@ pub fn compact_with(
         }
         for meta in metas {
             let path = dir.join(&meta.file);
-            fs.remove(&path).map_err(|e| io_at(&path, e))?;
+            match &retire_to {
+                Some(rdir) => {
+                    fs.create_dir_all(rdir).map_err(|e| io_at(rdir, e))?;
+                    let dest = rdir.join(&meta.file);
+                    fs.rename(&path, &dest).map_err(|e| io_at(&path, e))?;
+                }
+                None => fs.remove(&path).map_err(|e| io_at(&path, e))?,
+            }
         }
 
         // Re-encode into canonical segments.
@@ -522,19 +690,17 @@ pub fn compact_with(
     }
 
     let segments_after = new_metas.len();
-    durable::commit(
+    let committed = durable::commit(
         &**fs,
         dir,
-        build_manifest(
-            new_metas,
-            target_rows,
-            manifest.records_read,
-            manifest.generation,
-        ),
+        build_manifest(new_metas, target_rows, manifest.records_read, generation),
     )?;
-    Ok(CompactReport {
-        shards_rewritten,
-        segments_before,
-        segments_after,
-    })
+    Ok((
+        CompactReport {
+            shards_rewritten,
+            segments_before,
+            segments_after,
+        },
+        committed,
+    ))
 }

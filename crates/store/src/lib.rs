@@ -46,6 +46,7 @@
 
 pub mod durable;
 pub mod ingest;
+pub mod live;
 pub mod query;
 pub mod segment;
 
@@ -60,9 +61,10 @@ use std::path::{Path, PathBuf};
 
 pub use durable::{CommitStep, QuarantinedFile, Recovery, JOURNAL_FILE, QUARANTINE_DIR};
 pub use ingest::{
-    compact, compact_with, ingest_mrt, CompactReport, IngestConfig, IngestOutcome, StoreSink,
-    StoreWriter,
+    compact, compact_with, compact_with_opts, ingest_mrt, CompactOptions, CompactReport,
+    IngestConfig, IngestOutcome, StoreSink, StoreWriter,
 };
+pub use live::{LiveOptions, LiveStats, LiveStore, PinGuard, Snapshot};
 pub use query::{build_manifest, Manifest, OpenOptions, Query, ScanStats, SegmentMeta, Store};
 pub use segment::{SegmentBuilder, SegmentData};
 
@@ -77,6 +79,13 @@ pub const DEFAULT_SEGMENT_ROWS: u32 = 65_536;
 
 /// Manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Subdirectory where live mutations park segment files still referenced
+/// by pinned reader snapshots: `retired/g<generation>/<file>`, where the
+/// generation names the commit that replaced the file. Recovery ignores
+/// it; [`LiveStore`] deletes a generation's directory once no snapshot
+/// older than it remains pinned, and sweeps the whole tree at open.
+pub const RETIRED_DIR: &str = "retired";
 
 /// Anything that can go wrong opening, writing, or querying a store.
 ///

@@ -271,7 +271,7 @@ impl Query {
 
 /// Work accounting for one query: how much of the archive the zone maps
 /// saved it from reading.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScanStats {
     /// Segments in the manifest.
     pub segments_total: u64,
@@ -381,6 +381,10 @@ pub struct Store {
     recovery: Recovery,
     registry: Registry,
     metrics: StoreMetrics,
+    /// `Some(g)` on pinned-snapshot handles: segments that no longer
+    /// match this manifest (replaced by a newer commit) are looked up in
+    /// `retired/` instead of failing the query.
+    snapshot_gen: Option<u64>,
 }
 
 impl Store {
@@ -422,13 +426,54 @@ impl Store {
             recovery,
             registry,
             metrics,
+            snapshot_gen: None,
         })
+    }
+
+    /// A query handle over a known manifest, with **no** recovery pass
+    /// or I/O at construction. Used by [`crate::LiveStore`] to serve a
+    /// pinned generation while newer commits land in the directory:
+    /// segments the snapshot references that a later commit replaced are
+    /// transparently read from `retired/`.
+    #[must_use]
+    pub(crate) fn pinned_snapshot(dir: &Path, fs: SharedFs, manifest: Manifest) -> Self {
+        let mut registry = Registry::new();
+        let metrics = StoreMetrics {
+            queries: registry.counter("store.query.count"),
+            segments_pruned: registry.counter("store.query.segments_pruned"),
+            segments_zone_answered: registry.counter("store.query.segments_zone_answered"),
+            segments_scanned: registry.counter("store.query.segments_scanned"),
+            segments_quarantined: registry.counter("store.query.segments_quarantined"),
+            rows_scanned: registry.counter("store.query.rows_scanned"),
+            bytes_scanned: registry.counter("store.query.bytes_scanned"),
+            scan_us: registry.histogram("store.query.scan_us"),
+        };
+        let snapshot_gen = Some(manifest.generation);
+        Store {
+            dir: dir.to_path_buf(),
+            fs,
+            strict: false,
+            manifest,
+            recovery: Recovery::default(),
+            registry,
+            metrics,
+            snapshot_gen,
+        }
     }
 
     /// The manifest recovery settled on at open.
     #[must_use]
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
+    }
+
+    /// The commit generation this handle serves. Bumped by every ingest
+    /// and live mutation; preserved by offline [`crate::compact`]. The
+    /// serving layer's snapshot-isolation and cache keys hang off this
+    /// number.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
     }
 
     /// What recovery did while opening this store.
@@ -451,19 +496,76 @@ impl Store {
 
     fn load_segment(&self, meta: &SegmentMeta) -> Result<SegmentData, StoreError> {
         let path = self.dir.join(&meta.file);
-        let bytes = self.fs.read(&path).map_err(|e| StoreError::io(&path, e))?;
-        let seg = SegmentData::decode(&bytes).map_err(|e| e.with_path(&path))?;
-        if seg.len() as u64 != meta.rows {
-            return Err(StoreError::corrupt(
-                &path,
-                format!(
-                    "segment holds {} rows, manifest says {}",
-                    seg.len(),
-                    meta.rows
-                ),
-            ));
+        let primary = (|| {
+            let bytes = self.fs.read(&path).map_err(|e| StoreError::io(&path, e))?;
+            // Pinned snapshots must detect a segment whose name was
+            // reused by a newer commit; the encoding is deterministic,
+            // so byte length + row count identify the pinned version.
+            if self.snapshot_gen.is_some() && bytes.len() as u64 != meta.bytes {
+                return Err(StoreError::corrupt(
+                    &path,
+                    format!(
+                        "segment is {} bytes, pinned manifest says {}",
+                        bytes.len(),
+                        meta.bytes
+                    ),
+                ));
+            }
+            let seg = SegmentData::decode(&bytes).map_err(|e| e.with_path(&path))?;
+            if seg.len() as u64 != meta.rows {
+                return Err(StoreError::corrupt(
+                    &path,
+                    format!(
+                        "segment holds {} rows, manifest says {}",
+                        seg.len(),
+                        meta.rows
+                    ),
+                ));
+            }
+            Ok(seg)
+        })();
+        match primary {
+            Ok(seg) => Ok(seg),
+            Err(e) => match self.snapshot_gen.and_then(|g| self.load_retired(meta, g)) {
+                Some(seg) => Ok(seg),
+                None => Err(e),
+            },
         }
-        Ok(seg)
+    }
+
+    /// Looks for the pinned version of a replaced segment under
+    /// `retired/gNNNNNNNNNN/`. The version a reader pinned at generation
+    /// `g` needs is the one moved aside by the *earliest* commit after
+    /// `g` that touched the file, so candidate directories are walked in
+    /// ascending generation order. Every candidate is validated against
+    /// the pinned manifest entry before being served.
+    fn load_retired(&self, meta: &SegmentMeta, pinned: u64) -> Option<SegmentData> {
+        let root = self.dir.join(crate::RETIRED_DIR);
+        let names = self.fs.list(&root).ok()?;
+        let mut gens: Vec<(u64, String)> = names
+            .into_iter()
+            .filter_map(|n| {
+                let g = n.strip_prefix('g')?.parse::<u64>().ok()?;
+                (g > pinned).then_some((g, n))
+            })
+            .collect();
+        gens.sort();
+        for (_, name) in gens {
+            let path = root.join(&name).join(&meta.file);
+            let Ok(bytes) = self.fs.read(&path) else {
+                continue;
+            };
+            if bytes.len() as u64 != meta.bytes {
+                continue;
+            }
+            let Ok(seg) = SegmentData::decode(&bytes) else {
+                continue;
+            };
+            if seg.len() as u64 == meta.rows {
+                return Some(seg);
+            }
+        }
+        None
     }
 
     fn finish_stats(&mut self, stats: &ScanStats, started: Instant) {
