@@ -45,4 +45,44 @@ echo "    bench_serve smoke report is well-formed JSON"
 python3 -m json.tool BENCH_serve.json > /dev/null
 echo "    BENCH_serve.json is well-formed JSON"
 
+echo "==> bench_watch --smoke (incident detection precision/recall gate)"
+cargo run --release -q -p iri-bench --bin bench_watch -- --smoke --out target/BENCH_watch_smoke.json
+python3 -m json.tool target/BENCH_watch_smoke.json > /dev/null
+echo "    bench_watch smoke report is well-formed JSON"
+python3 -m json.tool BENCH_watch.json > /dev/null
+echo "    BENCH_watch.json is well-formed JSON"
+
+echo "==> bench_obs (observability overhead gate, spans + registry on)"
+cargo run --release -q -p iri-bench --bin bench_obs -- --records 1000000 --iters 3 --out target/BENCH_obs_ci.json
+python3 -c "
+import json, sys
+r = json.load(open('target/BENCH_obs_ci.json'))
+worst = max(r['obs_overhead_pct_jobs1'], r['obs_overhead_pct_jobs4'])
+sys.exit(0 if worst <= r['budget_pct'] else 1)
+" || { echo "    bench_obs: instrumentation overhead above the 5% budget"; exit 1; }
+echo "    observability overhead within the 5% budget"
+
+echo "==> tracescope --connect smoke (live health + metrics surface)"
+rm -rf target/ci_connect.store target/ci_serve.fifo target/ci_serve.log
+mkfifo target/ci_serve.fifo
+./target/release/iri-serve target/ci_connect.store --create-rows 2048 --addr 127.0.0.1:0 \
+    < target/ci_serve.fifo > target/ci_serve.log &
+SERVE_PID=$!
+exec 9> target/ci_serve.fifo
+i=0
+while ! grep -q "listening on" target/ci_serve.log 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "    iri-serve did not come up"; kill "$SERVE_PID"; exit 1; }
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^listening on //p' target/ci_serve.log)
+./target/release/iriq --connect "$SERVE_ADDR" count-by-class > /dev/null
+./target/release/tracescope --connect "$SERVE_ADDR" > target/ci_tracescope.log
+grep -q "span tracer" target/ci_tracescope.log
+grep -q "serve.plan.total_us" target/ci_tracescope.log
+echo "quit" >&9
+exec 9>&-
+wait "$SERVE_PID"
+echo "    tracescope --connect rendered health + metrics from a live server"
+
 echo "ci: all green"

@@ -36,6 +36,26 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// p50/p90/p99 summary of one latency histogram.
+#[derive(Serialize)]
+struct Quantiles {
+    count: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+}
+
+impl Quantiles {
+    fn of(h: &Histogram) -> Self {
+        Quantiles {
+            count: h.count(),
+            p50_us: h.quantile(0.5),
+            p90_us: h.quantile(0.9),
+            p99_us: h.quantile(0.99),
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: &'static str,
@@ -59,9 +79,32 @@ struct BenchReport {
     retired_dirs_left: u64,
     elapsed_ms: u64,
     throughput_rps: f64,
+    /// Server-side per-attempt latency of the answering *read* request
+    /// (from its plan trace) — excludes client retry loops and writer
+    /// commands, so quantiles are real service numbers, not saturated
+    /// retry envelopes or writer-lock stalls.
     latency_p50_us: u64,
     latency_p90_us: u64,
     latency_p99_us: u64,
+    /// Same, for writer commands (append/compact): these queue behind
+    /// the store's writer lock and the mid-run re-ingest, so seconds at
+    /// the tail are contention, not query cost.
+    write_service: Quantiles,
+    /// Client-observed end-to-end latency *including* Busy retries and
+    /// backoff sleeps (the old headline numbers; saturated by design
+    /// at this load).
+    e2e_retry: Quantiles,
+    /// Per-stage breakdowns from reply plan traces.
+    stage_admission: Quantiles,
+    stage_pin: Quantiles,
+    stage_scan: Quantiles,
+    stage_cache: Quantiles,
+    /// Cumulative client-side time burned in Busy retries (ms).
+    client_busy_wait_ms: u64,
+    /// Server-side admission-gate wait accounting (ms / counts).
+    server_gate_wait_ms: u64,
+    server_gate_abandoned: u64,
+    server_gate_abandon_wait_ms: u64,
     verified_against_offline: bool,
 }
 
@@ -74,7 +117,38 @@ struct Tally {
     busy_abandoned: u64,
     errors: u64,
     wrong: u64,
+    /// End-to-end including retries (client clock).
     latency: Histogram,
+    /// The answering attempt alone (server plan trace), reads only.
+    service: Histogram,
+    /// The answering attempt alone, writer commands.
+    write_service: Histogram,
+    /// Per-stage, from plan traces of OK replies.
+    admission: Histogram,
+    pin: Histogram,
+    scan: Histogram,
+    cache: Histogram,
+    /// Client time burned inside Busy attempts and backoff sleeps (µs).
+    busy_wait_us: u64,
+}
+
+impl Tally {
+    fn fold(&mut self, t: &Tally) {
+        self.attempted += t.attempted;
+        self.ok += t.ok;
+        self.busy_retries += t.busy_retries;
+        self.busy_abandoned += t.busy_abandoned;
+        self.errors += t.errors;
+        self.wrong += t.wrong;
+        self.latency.merge(&t.latency);
+        self.service.merge(&t.service);
+        self.write_service.merge(&t.write_service);
+        self.admission.merge(&t.admission);
+        self.pin.merge(&t.pin);
+        self.scan.merge(&t.scan);
+        self.cache.merge(&t.cache);
+        self.busy_wait_us += t.busy_wait_us;
+    }
 }
 
 /// The read workload pool; index identifies the query in digest keys.
@@ -159,12 +233,22 @@ fn issue(
 ) {
     tally.attempted += 1;
     let started = Instant::now();
-    for _attempt in 0..200 {
+    for attempt in 0..200u64 {
+        let attempt_started = Instant::now();
         match client.request(cmd.clone()) {
             Ok(reply) => match reply.resp {
                 Response::Busy { .. } => {
                     tally.busy_retries += 1;
-                    std::thread::sleep(Duration::from_millis(2));
+                    // Burned time: the refused attempt itself (which
+                    // includes any abandoned server-side queue wait)
+                    // plus the backoff sleep. Backoff grows so a
+                    // saturated herd spreads out instead of hammering
+                    // the gate in lockstep.
+                    tally.busy_wait_us +=
+                        u64::try_from(attempt_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let backoff_ms = (2 + attempt / 4).min(40);
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                    tally.busy_wait_us += backoff_ms * 1_000;
                 }
                 Response::Error { .. } => {
                     tally.errors += 1;
@@ -175,6 +259,23 @@ fn issue(
                     tally
                         .latency
                         .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    // Writer commands (issued with `slot == None`) go to
+                    // their own histogram: their tail is writer-lock
+                    // contention, not query service time.
+                    if let Some(plan) = reply.plan {
+                        tally.admission.observe(plan.admission_wait_us);
+                        if slot.is_some() {
+                            tally.service.observe(plan.total_us);
+                            tally.pin.observe(plan.pin_us);
+                            if plan.cache_hit {
+                                tally.cache.observe(plan.exec_us);
+                            } else {
+                                tally.scan.observe(plan.exec_us);
+                            }
+                        } else {
+                            tally.write_service.observe(plan.total_us);
+                        }
+                    }
                     if let (Some(slot), Some((generation, body))) = (slot, digest(&resp)) {
                         let mut map = digests.lock().expect("digest map");
                         match map.get(&(generation, slot)) {
@@ -229,7 +330,15 @@ fn main() {
         },
     )
     .expect("open live store");
-    let core = Arc::new(ServeCore::new(live, &ServeOptions::default()));
+    // Bounded queue wait so saturated requests abandon instead of
+    // parking forever — the abandon accounting is part of the report.
+    let core = Arc::new(ServeCore::new(
+        live,
+        &ServeOptions {
+            max_queue_wait_ms: Some(250),
+            ..ServeOptions::default()
+        },
+    ));
     let server = Server::bind(Arc::clone(&core), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr().to_string();
     println!(
@@ -316,13 +425,7 @@ fn main() {
     let mut total = Tally::default();
     for worker in workers {
         let t = worker.join().expect("client thread panicked");
-        total.attempted += t.attempted;
-        total.ok += t.ok;
-        total.busy_retries += t.busy_retries;
-        total.busy_abandoned += t.busy_abandoned;
-        total.errors += t.errors;
-        total.wrong += t.wrong;
-        total.latency.merge(&t.latency);
+        total.fold(&t);
     }
     reingest.join().expect("re-ingest thread panicked");
     let elapsed_ms = run_start.elapsed().as_millis().max(1) as u64;
@@ -382,10 +485,17 @@ fn main() {
         Err(_) => None,
     };
     let (cache_hits, cache_misses) = serve_stats.map_or((0, 0), |s| (s.cache_hits, s.cache_misses));
+    let (gate_wait_us, gate_abandoned, gate_abandon_wait_us) = serve_stats.map_or((0, 0, 0), |s| {
+        (
+            s.gate_wait_total_us,
+            s.gate_abandoned,
+            s.gate_abandon_wait_us,
+        )
+    });
     server.shutdown();
 
     let report = BenchReport {
-        schema: "bench-serve-v1",
+        schema: "bench-serve-v3",
         clients,
         tcp_clients,
         writers: clients.div_ceil(8),
@@ -406,9 +516,19 @@ fn main() {
         retired_dirs_left: core.live().stats().retired_dirs,
         elapsed_ms,
         throughput_rps: total.ok as f64 * 1000.0 / elapsed_ms as f64,
-        latency_p50_us: total.latency.quantile(0.5),
-        latency_p90_us: total.latency.quantile(0.9),
-        latency_p99_us: total.latency.quantile(0.99),
+        latency_p50_us: total.service.quantile(0.5),
+        latency_p90_us: total.service.quantile(0.9),
+        latency_p99_us: total.service.quantile(0.99),
+        write_service: Quantiles::of(&total.write_service),
+        e2e_retry: Quantiles::of(&total.latency),
+        stage_admission: Quantiles::of(&total.admission),
+        stage_pin: Quantiles::of(&total.pin),
+        stage_scan: Quantiles::of(&total.scan),
+        stage_cache: Quantiles::of(&total.cache),
+        client_busy_wait_ms: total.busy_wait_us / 1_000,
+        server_gate_wait_ms: gate_wait_us / 1_000,
+        server_gate_abandoned: gate_abandoned,
+        server_gate_abandon_wait_ms: gate_abandon_wait_us / 1_000,
         verified_against_offline: verified,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
@@ -418,14 +538,36 @@ fn main() {
     });
     println!(
         "  {} ok / {} attempted ({} busy retries), {} generations, \
-         p50 {} us, p99 {} us, {:.0} req/s",
+         read service p50 {} us, p99 {} us, write p99 {} us, {:.0} req/s",
         report.replies_ok,
         report.requests_attempted,
         report.busy_retries,
         report.generations_committed,
         report.latency_p50_us,
         report.latency_p99_us,
+        report.write_service.p99_us,
         report.throughput_rps
+    );
+    println!(
+        "  stages p50/p99 us: admit {}/{}, pin {}/{}, scan {}/{}, cache {}/{}; \
+         e2e-with-retries p99 {} us",
+        report.stage_admission.p50_us,
+        report.stage_admission.p99_us,
+        report.stage_pin.p50_us,
+        report.stage_pin.p99_us,
+        report.stage_scan.p50_us,
+        report.stage_scan.p99_us,
+        report.stage_cache.p50_us,
+        report.stage_cache.p99_us,
+        report.e2e_retry.p99_us,
+    );
+    println!(
+        "  busy-wait: client {} ms burned retrying; server gate {} ms waited, \
+         {} abandoned ({} ms wasted)",
+        report.client_busy_wait_ms,
+        report.server_gate_wait_ms,
+        report.server_gate_abandoned,
+        report.server_gate_abandon_wait_ms,
     );
     println!(
         "  cache {cache_hits} hits / {cache_misses} misses, {} pins, \

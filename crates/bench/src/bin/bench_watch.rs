@@ -1,0 +1,400 @@
+//! `bench_watch` — watch-mode incident detection scored against ground
+//! truth (`BENCH_watch.json`).
+//!
+//! Four deterministic scenarios are appended to live stores in chunks,
+//! with a [`Watcher`] polled between chunks exactly as `tracescope watch`
+//! would; the incident streams are then scored against each scenario's
+//! known onsets:
+//!
+//! - **step**: quiet baseline, then an 8× classification-rate step tagged
+//!   `CsuDrift` — one `instability_onset` at the step, attributed;
+//! - **periodic**: a square-wave oscillation whose amplitude stays under
+//!   the change-point ratio — one `periodic_signal`, no onset incident;
+//! - **novelty**: a steady single-class stream, then a burst of a class
+//!   never seen before — one `novelty_alarm` naming the class;
+//! - **quiet**: jittered stationary noise — nothing at all (every
+//!   incident here is a false positive).
+//!
+//! Matching is by incident kind and onset proximity; each match must also
+//! come within the scenario's detection-lag bound. The run fails unless
+//! precision ≥ 0.9 and recall ≥ 0.8. Every timestamp is event-time —
+//! results are bit-identical across runs and machines.
+//!
+//! ```sh
+//! bench_watch [--smoke] [--out BENCH_watch.json]
+//! ```
+
+use iri_bench::{arg_flag, arg_str};
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::input::PeerKey;
+use iri_core::taxonomy::UpdateClass;
+use iri_obs::incident::{Incident, IncidentKind};
+use iri_obs::Cause;
+use iri_store::{LiveOptions, LiveStore, StoredEvent, WatchConfig, Watcher};
+use serde::Serialize;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+/// One expected incident in a scenario's ground truth.
+struct Truth {
+    kind: IncidentKind,
+    /// True onset on the event-time axis (ms).
+    onset_ms: u64,
+    /// Accepted |reported onset − true onset| (ms).
+    onset_tol_ms: u64,
+    /// Accepted detection lag past the true onset (ms).
+    max_lag_ms: u64,
+    /// Expected cause attribution (empty = don't check).
+    cause: &'static str,
+}
+
+struct Scenario {
+    name: &'static str,
+    rows: Vec<StoredEvent>,
+    cfg: WatchConfig,
+    truths: Vec<Truth>,
+}
+
+#[derive(Serialize)]
+struct IncidentReport {
+    kind: &'static str,
+    onset_ms: u64,
+    detected_ms: u64,
+    lag_ms: u64,
+    cause: String,
+    score: f64,
+    matched: bool,
+}
+
+#[derive(Serialize)]
+struct ScenarioReport {
+    name: &'static str,
+    events: u64,
+    bins: u64,
+    polls: u64,
+    expected: usize,
+    incidents: Vec<IncidentReport>,
+    true_positives: usize,
+    false_positives: usize,
+    false_negatives: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    scenarios: Vec<ScenarioReport>,
+    true_positives: usize,
+    false_positives: usize,
+    false_negatives: usize,
+    precision: f64,
+    recall: f64,
+    /// Detection lag of matched incidents, event-time ms.
+    max_lag_ms: u64,
+    mean_lag_ms: u64,
+}
+
+fn event(time_ms: u64, class: UpdateClass, cause: Cause) -> StoredEvent {
+    StoredEvent {
+        time_ms,
+        peer: PeerKey {
+            asn: Asn(701),
+            addr: Ipv4Addr::new(192, 41, 177, 1),
+        },
+        prefix: Prefix::from_raw(0x0a00_0000, 8),
+        class,
+        cause,
+        policy_change: false,
+        size: 2,
+    }
+}
+
+/// `rate` evenly spaced events in the one-second bin starting at `sec`.
+fn fill_second(rows: &mut Vec<StoredEvent>, sec: u64, rate: u64, class: UpdateClass, cause: Cause) {
+    for k in 0..rate {
+        rows.push(event(sec * 1_000 + k * 1_000 / rate.max(1), class, cause));
+    }
+}
+
+/// Quiet 10/s for 60 s, then 80/s tagged `CsuDrift` for another 60 s.
+fn step_scenario() -> Scenario {
+    let mut rows = Vec::new();
+    for sec in 0..120u64 {
+        let (rate, cause) = if sec >= 60 {
+            (80, Cause::CsuDrift)
+        } else {
+            (10, Cause::Unknown)
+        };
+        fill_second(&mut rows, sec, rate, UpdateClass::WwDup, cause);
+    }
+    rows.push(event(120_000, UpdateClass::WwDup, Cause::Unknown));
+    Scenario {
+        name: "step",
+        rows,
+        cfg: WatchConfig::default(),
+        truths: vec![Truth {
+            kind: IncidentKind::InstabilityOnset,
+            onset_ms: 60_000,
+            onset_tol_ms: 2_000,
+            max_lag_ms: 3_000,
+            cause: "CsuDrift",
+        }],
+    }
+}
+
+/// Square wave 20↔60/s with a 10 s period, tagged `TimerInterval` in the
+/// high phase. The 1.5× peak-to-mean ratio stays under the change-point
+/// threshold, so only the periodicity detector should speak. The ACF
+/// window must fill before it can fire, so the lag bound is the window.
+fn periodic_scenario() -> Scenario {
+    let mut rows = Vec::new();
+    for sec in 0..120u64 {
+        let high = (sec / 5) % 2 == 1;
+        let (rate, cause) = if high {
+            (60, Cause::TimerInterval)
+        } else {
+            (20, Cause::Unknown)
+        };
+        fill_second(&mut rows, sec, rate, UpdateClass::WwDup, cause);
+    }
+    rows.push(event(120_000, UpdateClass::WwDup, Cause::Unknown));
+    let cfg = WatchConfig {
+        period_window: 60,
+        period_max_lag: 30,
+        ..WatchConfig::default()
+    };
+    Scenario {
+        name: "periodic",
+        rows,
+        cfg,
+        truths: vec![Truth {
+            kind: IncidentKind::PeriodicSignal,
+            onset_ms: 0,
+            onset_tol_ms: 10_000,
+            max_lag_ms: (cfg.period_window as u64 + 2) * cfg.bin_ms,
+            cause: "",
+        }],
+    }
+}
+
+/// Steady `WwDup` 20/s; at t=50 s a class never seen before (`AADup`)
+/// bursts, tagged `TimerInterval`.
+fn novelty_scenario() -> Scenario {
+    let mut rows = Vec::new();
+    for sec in 0..70u64 {
+        fill_second(&mut rows, sec, 20, UpdateClass::WwDup, Cause::Unknown);
+        if sec == 50 {
+            for k in 0..30u64 {
+                rows.push(event(
+                    50_000 + k * 30,
+                    UpdateClass::AaDup,
+                    Cause::TimerInterval,
+                ));
+            }
+        }
+    }
+    rows.sort_by_key(|r| r.time_ms);
+    rows.push(event(70_000, UpdateClass::WwDup, Cause::Unknown));
+    Scenario {
+        name: "novelty",
+        rows,
+        cfg: WatchConfig::default(),
+        truths: vec![Truth {
+            kind: IncidentKind::NoveltyAlarm,
+            onset_ms: 50_000,
+            onset_tol_ms: 1_000,
+            max_lag_ms: 2_000,
+            cause: "TimerInterval",
+        }],
+    }
+}
+
+/// Stationary noise: 10–25/s from a fixed LCG. Ground truth: silence.
+fn quiet_scenario() -> Scenario {
+    let mut rows = Vec::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for sec in 0..180u64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let rate = 10 + (state >> 60); // 10..=25
+        fill_second(&mut rows, sec, rate, UpdateClass::WwDup, Cause::Unknown);
+    }
+    rows.push(event(180_000, UpdateClass::WwDup, Cause::Unknown));
+    Scenario {
+        name: "quiet",
+        rows,
+        cfg: WatchConfig::default(),
+        truths: Vec::new(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("iri-bench-watch-{}-{tag}", std::process::id()))
+}
+
+/// Streams a scenario into a live store chunk by chunk, polling the
+/// watcher between chunks (the `tracescope watch` loop, minus the wall
+/// clock), then scores the incident stream against ground truth.
+fn run_scenario(s: &Scenario, chunk_events: usize) -> ScenarioReport {
+    let dir = temp_dir(s.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let live = LiveStore::open_with(
+        &dir,
+        &LiveOptions {
+            create_segment_rows: Some(4_096),
+            ..LiveOptions::default()
+        },
+    )
+    .expect("open live store");
+    let mut watcher = Watcher::new(s.cfg);
+    let mut polls = 0u64;
+    let mut bins = 0u64;
+    let mut events = 0u64;
+    for chunk in s.rows.chunks(chunk_events.max(1)) {
+        live.append_events(chunk).expect("append chunk");
+        let report = watcher.poll(&live).expect("poll");
+        polls += 1;
+        bins += report.bins_processed;
+        events += report.events_seen;
+    }
+    let incidents: Vec<Incident> = watcher.incidents().to_vec();
+    drop(live);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Greedy one-to-one matching, incidents in bin order.
+    let mut truth_used = vec![false; s.truths.len()];
+    let mut reports = Vec::new();
+    for incident in &incidents {
+        let matched = s.truths.iter().enumerate().position(|(t, truth)| {
+            !truth_used[t]
+                && truth.kind == incident.kind
+                && incident.onset_ms.abs_diff(truth.onset_ms) <= truth.onset_tol_ms
+                && incident.detected_ms.saturating_sub(truth.onset_ms) <= truth.max_lag_ms
+                && (truth.cause.is_empty() || incident.cause == truth.cause)
+        });
+        if let Some(t) = matched {
+            truth_used[t] = true;
+        }
+        reports.push(IncidentReport {
+            kind: incident.kind.label(),
+            onset_ms: incident.onset_ms,
+            detected_ms: incident.detected_ms,
+            lag_ms: incident.lag_ms(),
+            cause: incident.cause.clone(),
+            score: incident.score,
+            matched: matched.is_some(),
+        });
+    }
+    let tp = truth_used.iter().filter(|u| **u).count();
+    ScenarioReport {
+        name: s.name,
+        events,
+        bins,
+        polls,
+        expected: s.truths.len(),
+        true_positives: tp,
+        false_positives: reports.iter().filter(|r| !r.matched).count(),
+        false_negatives: s.truths.len() - tp,
+        incidents: reports,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = arg_flag(&args, "--smoke");
+    let out = arg_str(&args, "--out").unwrap_or_else(|| "BENCH_watch.json".to_owned());
+    // Smoke polls in coarser chunks (fewer snapshot pins); the incident
+    // stream is cadence-invariant, so the scores must not change.
+    let chunk = if smoke { 4_096 } else { 512 };
+
+    let scenarios = [
+        step_scenario(),
+        periodic_scenario(),
+        novelty_scenario(),
+        quiet_scenario(),
+    ];
+    let mut reports = Vec::new();
+    for s in &scenarios {
+        let r = run_scenario(s, chunk);
+        println!(
+            "  {:<9} {:>6} events, {:>3} bins, {:>2} polls: {} incident(s), \
+             {} expected, {} matched",
+            r.name,
+            r.events,
+            r.bins,
+            r.polls,
+            r.incidents.len(),
+            r.expected,
+            r.true_positives
+        );
+        for i in &r.incidents {
+            println!(
+                "            {} onset={}ms lag={}ms cause={} {}",
+                i.kind,
+                i.onset_ms,
+                i.lag_ms,
+                if i.cause.is_empty() { "-" } else { &i.cause },
+                if i.matched {
+                    "[matched]"
+                } else {
+                    "[FALSE POSITIVE]"
+                },
+            );
+        }
+        reports.push(r);
+    }
+
+    let tp: usize = reports.iter().map(|r| r.true_positives).sum();
+    let fp: usize = reports.iter().map(|r| r.false_positives).sum();
+    let fn_: usize = reports.iter().map(|r| r.false_negatives).sum();
+    let lags: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.incidents.iter().filter(|i| i.matched).map(|i| i.lag_ms))
+        .collect();
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let report = BenchReport {
+        schema: "bench-watch-v1",
+        scenarios: reports,
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+        precision,
+        recall,
+        max_lag_ms: lags.iter().copied().max().unwrap_or(0),
+        mean_lag_ms: if lags.is_empty() {
+            0
+        } else {
+            lags.iter().sum::<u64>() / lags.len() as u64
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_watch: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "  precision {:.2} ({tp} tp / {fp} fp), recall {:.2} ({fn_} missed), \
+         lag max {} ms mean {} ms",
+        report.precision, report.recall, report.max_lag_ms, report.mean_lag_ms
+    );
+    assert!(
+        report.precision >= 0.9,
+        "precision {:.2} below 0.9",
+        report.precision
+    );
+    assert!(
+        report.recall >= 0.8,
+        "recall {:.2} below 0.8",
+        report.recall
+    );
+    println!("  wrote {out}");
+}

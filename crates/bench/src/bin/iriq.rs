@@ -22,6 +22,8 @@
 //! iriq --connect HOST:PORT count-by-class [filters]
 //! iriq --connect HOST:PORT ping            # liveness probe
 //! iriq --connect HOST:PORT stats           # pin / cache / admission counters
+//! iriq --connect HOST:PORT health          # drain / saturation / pin summary
+//! iriq --connect HOST:PORT metrics         # registry snapshot + slow-query log
 //! ```
 //!
 //! Filters are the shared [`iri_bench::cli`] grammar and compose
@@ -44,14 +46,14 @@ use iri_core::taxonomy::UpdateClass;
 use iri_core::timeseries::detrend::log_detrend;
 use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
 use iri_obs::Cause;
-use iri_serve::{Client, Command, Filter, Response, StatsBody};
+use iri_serve::{Client, Command, Filter, HealthBody, MetricsBody, Response, StatsBody};
 use iri_store::StoreError;
 use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
         "usage: iriq <dir> <info|count-by-class|count-by-cause|top-peers|top-prefixes|bytes|series>\n\
-         \x20      iriq --connect HOST:PORT <ping|stats|info|count-by-class|...>\n\
+         \x20      iriq --connect HOST:PORT <ping|stats|metrics|health|info|count-by-class|...>\n\
          filters: [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix P] \
          [--class NAME] [--cause NAME] [--strict] [--stats]\n\
          series:  --bin-ms N [--spectrum]   top-*: [--limit N]"
@@ -147,6 +149,65 @@ fn print_serve_stats(stats: &StatsBody) {
         "[serve] mutations: {} appends ({} events), {} compactions, {} retired dir(s) reclaimed",
         stats.appends, stats.appended_events, stats.compactions, stats.gc_removed_dirs,
     );
+    println!(
+        "[serve] gate: {} ms waited in total, {} abandoned after waiting ({} ms wasted)",
+        stats.gate_wait_total_us / 1_000,
+        stats.gate_abandoned,
+        stats.gate_abandon_wait_us / 1_000,
+    );
+}
+
+/// Renders the server's health surface.
+fn print_health(health: &HealthBody) {
+    println!(
+        "status: {} (generation {}, draining: {})",
+        health.status, health.generation, health.draining
+    );
+    println!(
+        "admission: {}/{} in flight, {}/{} queued",
+        health.inflight, health.max_inflight, health.queued, health.max_queue
+    );
+    println!(
+        "pins: {} active (oldest pinned {}), {} retired dir(s), {} cache entries",
+        health.active_pins,
+        health
+            .min_pinned
+            .map_or_else(|| "none".to_owned(), |g| g.to_string()),
+        health.retired_dirs,
+        health.cache_entries,
+    );
+}
+
+/// Renders the server's metrics surface: registry, slow-query log,
+/// tracer accounting.
+fn print_metrics(metrics: &MetricsBody) {
+    for c in &metrics.registry.counters {
+        if c.value > 0 {
+            println!("{:<36} {:>12}", c.name, c.value);
+        }
+    }
+    for g in &metrics.registry.gauges {
+        println!("{:<36} {:>12}", g.name, g.value);
+    }
+    for h in &metrics.registry.histograms {
+        if h.count > 0 {
+            println!(
+                "{:<36} {:>8} obs  p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+                h.name, h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    println!(
+        "trace: {} event(s) buffered of {} capacity, {} dropped",
+        metrics.trace_len, metrics.trace_capacity, metrics.trace_dropped
+    );
+    if !metrics.slow_queries.is_empty() {
+        println!("slow queries (worst first):");
+        for s in &metrics.slow_queries {
+            println!("  #{:<6} {:>9} us  {}", s.seq, s.total_us, s.cmd);
+            println!("          {}", s.plan);
+        }
+    }
 }
 
 /// `--connect` mode: ship the command to a live `iri-serve` process and
@@ -162,6 +223,8 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
         "ping" => Command::Ping,
         "info" => Command::Info,
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
+        "health" => Command::Health,
         "count-by-class" => Command::CountByClass { filter: wire },
         "count-by-cause" => Command::CountByCause { filter: wire },
         "top-peers" => Command::TopPeers {
@@ -191,6 +254,7 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
     // The query replies carry the generation they answered at and the
     // scan stats of the populating scan; remembered here so the
     // `--stats` footer can report them after the payload.
+    let plan = reply.plan;
     let mut served_at = None;
     let mut scan_stats = None;
     match reply.resp {
@@ -217,6 +281,8 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
             );
         }
         Response::Stats { stats } => print_serve_stats(&stats),
+        Response::Metrics { metrics } => print_metrics(&metrics),
+        Response::Health { health } => print_health(&health),
         Response::Counts {
             generation,
             cached,
@@ -277,6 +343,9 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
                 "[serve] answered at generation {generation}{}",
                 if cached { " (cache hit)" } else { " (scanned)" }
             );
+        }
+        if let Some(plan) = plan {
+            println!("[serve] plan: {plan}");
         }
         // One more round trip for the service-level pin/cache picture.
         if cmd != "stats" {

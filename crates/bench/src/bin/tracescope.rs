@@ -12,6 +12,8 @@
 //!
 //! ```sh
 //! tracescope [--seed S] [--tail N] [--store <dir>]
+//! tracescope --connect HOST:PORT            # live serve health + metrics
+//! tracescope watch <dir> [--bin-ms N] [--rounds N] [--poll-ms N]
 //! ```
 //!
 //! Everything is deterministic for a given `--seed`: trace timestamps are
@@ -19,6 +21,17 @@
 //! cause-tagged event stream is also archived as an `iri-store` segment
 //! store, so `iriq` can slice the attribution offline (e.g.
 //! `iriq <dir> count-by-class --cause csu-drift`).
+//!
+//! `--connect` turns tracescope into the service's operator console: one
+//! `health` round trip (drain / saturation / pin state) and one `metrics`
+//! round trip (registry snapshot, slow-query log with plan traces, span
+//! tracer accounting) against a live `iri-serve` process.
+//!
+//! `watch` tails a live store directory with the incremental detectors
+//! from `iri-obs` (classification-rate change-points, ACF periodicity,
+//! per-class novelty) and prints typed incidents with cause attribution.
+//! Detection is watermark-deterministic: only completed event-time bins
+//! are fed, so the incident stream does not depend on poll cadence.
 
 use iri_bench::cli::QueryFilter;
 use iri_bench::{arg_str, arg_u64, exit_store_error, logged_to_events_with_causes, CauseBreakdown};
@@ -26,10 +39,167 @@ use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_netsim::{Cause, TraceKind};
 use iri_obs::Registry;
+use iri_serve::{Client, Command, Response};
+use iri_store::{LiveStore, WatchConfig, Watcher};
 use std::collections::BTreeMap;
+
+/// `tracescope --connect HOST:PORT`: render a live server's health and
+/// metrics surfaces.
+fn connect_main(addr: &str, args: &[String]) -> ! {
+    let slow = arg_u64(args, "--slow", 5) as usize;
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("tracescope: connect {addr}: {e}");
+        std::process::exit(3)
+    });
+    let health = match client.request(Command::Health) {
+        Ok(reply) => match reply.resp {
+            Response::Health { health } => health,
+            other => {
+                eprintln!("tracescope: health answered {other:?}");
+                std::process::exit(other.exit_code().max(1))
+            }
+        },
+        Err(e) => {
+            eprintln!("tracescope: {addr}: {e}");
+            std::process::exit(3)
+        }
+    };
+    println!(
+        "{addr}: {} — generation {}, {}/{} in flight, {}/{} queued",
+        health.status,
+        health.generation,
+        health.inflight,
+        health.max_inflight,
+        health.queued,
+        health.max_queue
+    );
+    println!(
+        "pins: {} active (oldest {}), {} retired dir(s), {} cache entries, draining: {}",
+        health.active_pins,
+        health
+            .min_pinned
+            .map_or_else(|| "none".to_owned(), |g| g.to_string()),
+        health.retired_dirs,
+        health.cache_entries,
+        health.draining,
+    );
+    let metrics = match client.request(Command::Metrics) {
+        Ok(reply) => match reply.resp {
+            Response::Metrics { metrics } => metrics,
+            Response::ShuttingDown => {
+                println!("(metrics unavailable: server draining)");
+                std::process::exit(0)
+            }
+            other => {
+                eprintln!("tracescope: metrics answered {other:?}");
+                std::process::exit(other.exit_code().max(1))
+            }
+        },
+        Err(e) => {
+            eprintln!("tracescope: {addr}: {e}");
+            std::process::exit(3)
+        }
+    };
+    println!("\n-- latency (µs) --");
+    for h in &metrics.registry.histograms {
+        if h.count > 0 {
+            println!(
+                "  {:<34} {:>8} obs  p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+                h.name, h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    println!("\n-- counters --");
+    for c in &metrics.registry.counters {
+        if c.value > 0 {
+            println!("  {:<34} {:>12}", c.name, c.value);
+        }
+    }
+    println!(
+        "\n-- span tracer: {} event(s) buffered of {}, {} dropped --",
+        metrics.trace_len, metrics.trace_capacity, metrics.trace_dropped
+    );
+    if !metrics.slow_queries.is_empty() {
+        println!(
+            "\n-- slow queries (worst {} of {}) --",
+            slow.min(metrics.slow_queries.len()),
+            metrics.slow_queries.len()
+        );
+        for s in metrics.slow_queries.iter().take(slow) {
+            println!("  #{:<6} {:>9} µs  {}", s.seq, s.total_us, s.cmd);
+            println!("          {}", s.plan);
+        }
+    }
+    std::process::exit(0)
+}
+
+/// `tracescope watch <dir>`: tail a live store with the incremental
+/// incident detectors.
+fn watch_main(args: &[String]) -> ! {
+    let Some(dir) = args.get(2).filter(|d| !d.starts_with("--")) else {
+        eprintln!("usage: tracescope watch <dir> [--bin-ms N] [--rounds N] [--poll-ms N]");
+        std::process::exit(iri_bench::EXIT_USAGE)
+    };
+    let cfg = WatchConfig {
+        bin_ms: arg_u64(args, "--bin-ms", 1_000),
+        ..WatchConfig::default()
+    };
+    let rounds = arg_u64(args, "--rounds", 1).max(1);
+    let poll_ms = arg_u64(args, "--poll-ms", 500);
+    let live = LiveStore::open(std::path::Path::new(dir))
+        .unwrap_or_else(|e| exit_store_error("tracescope", &e));
+    let mut watcher = Watcher::new(cfg);
+    let mut total_incidents = 0usize;
+    for round in 0..rounds {
+        let report = watcher
+            .poll(&live)
+            .unwrap_or_else(|e| exit_store_error("tracescope", &e));
+        println!(
+            "poll {}: generation {}, {} completed bin(s), {} event(s), watermark {}",
+            round + 1,
+            report.generation,
+            report.bins_processed,
+            report.events_seen,
+            watcher
+                .watermark_ms()
+                .map_or_else(|| "none".to_owned(), |w| format!("{w} ms")),
+        );
+        for incident in &report.incidents {
+            println!("  {incident}");
+        }
+        total_incidents += report.incidents.len();
+        if round + 1 < rounds {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        }
+    }
+    println!("{total_incidents} incident(s) total");
+    let snap = watcher.registry().snapshot();
+    for c in &snap.counters {
+        if c.value > 0 {
+            println!("  {:<34} {:>10}", c.name, c.value);
+        }
+    }
+    println!(
+        "  trace: {} event(s) held, {} dropped",
+        watcher.tracer().len(),
+        watcher.tracer().dropped()
+    );
+    std::process::exit(0)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--connect") => {
+            let Some(addr) = args.get(2).cloned() else {
+                eprintln!("usage: tracescope --connect HOST:PORT [--slow N]");
+                std::process::exit(iri_bench::EXIT_USAGE)
+            };
+            connect_main(&addr, &args);
+        }
+        Some("watch") => watch_main(&args),
+        _ => {}
+    }
     let seed = arg_u64(&args, "--seed", 0x1997);
     let tail = arg_u64(&args, "--tail", 8) as usize;
 
@@ -214,5 +384,8 @@ fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::RouterRecovered => "router-recovered",
         TraceKind::DampingSuppressed { .. } => "damping-suppressed",
         TraceKind::QueueStall { .. } => "queue-stall",
+        TraceKind::SpanOpen { .. } => "span-open",
+        TraceKind::SpanClose { .. } => "span-close",
+        TraceKind::IncidentRaised { .. } => "incident",
     }
 }

@@ -1,0 +1,600 @@
+//! Typed incidents and the incremental detectors that raise them.
+//!
+//! The paper's instability analysis is batch: collect months of updates,
+//! then compute spectra and attribution offline. A live store needs the
+//! online counterpart — estimators fed bin-by-bin on the **event-time
+//! axis** that raise typed incidents as the data streams in:
+//!
+//! - [`ChangePointDetector`] — sliding-window classification-rate
+//!   change-points ([`IncidentKind::InstabilityOnset`]), the streaming
+//!   analogue of `iri-core`'s batch median-baseline incident carver;
+//! - [`PeriodicityDetector`] — windowed autocorrelation peak hunting for
+//!   the unjittered-timer heartbeat ([`IncidentKind::PeriodicSignal`]);
+//! - [`NoveltyDetector`] — per-key EWMA novelty alarms in the spirit of
+//!   worm-outbreak detectors ([`IncidentKind::NoveltyAlarm`]): a key whose
+//!   history is empty suddenly bursting is an alarm regardless of volume
+//!   elsewhere.
+//!
+//! Every detector is deterministic in its inputs: the same bin sequence
+//! produces the same incidents, regardless of how the caller batches its
+//! polls. Times are event-time milliseconds, never the wall clock.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What kind of incident a detector raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// The aggregate classification rate stepped up: instability onset.
+    InstabilityOnset,
+    /// A strong periodic component appeared in the update rate.
+    PeriodicSignal,
+    /// A historically absent key (class, cause, peer…) burst into volume.
+    NoveltyAlarm,
+}
+
+impl IncidentKind {
+    /// Short snake_case label for traces and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncidentKind::InstabilityOnset => "instability_onset",
+            IncidentKind::PeriodicSignal => "periodic_signal",
+            IncidentKind::NoveltyAlarm => "novelty_alarm",
+        }
+    }
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One raised incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// What kind of incident.
+    pub kind: IncidentKind,
+    /// Estimated onset on the event-time axis (ms).
+    pub onset_ms: u64,
+    /// Event-time at which the detector raised the alarm (ms).
+    pub detected_ms: u64,
+    /// Attributed cause label (dominant [`crate::Cause`] over the onset
+    /// window; empty when the detector's caller has not attributed yet).
+    #[serde(default)]
+    pub cause: String,
+    /// Detector-specific severity score (ratio, z-score, or ACF peak).
+    pub score: f64,
+    /// Human-readable one-line detail.
+    #[serde(default)]
+    pub detail: String,
+}
+
+impl Incident {
+    /// Detection lag: how long after onset the alarm fired (ms).
+    #[must_use]
+    pub fn lag_ms(&self) -> u64 {
+        self.detected_ms.saturating_sub(self.onset_ms)
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} onset=t+{}ms detected=t+{}ms lag={}ms score={:.2}",
+            self.kind,
+            self.onset_ms,
+            self.detected_ms,
+            self.lag_ms(),
+            self.score
+        )?;
+        if !self.cause.is_empty() {
+            write!(f, " cause={}", self.cause)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Configuration for [`ChangePointDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChangePointConfig {
+    /// Event-time width of one bin (ms).
+    pub bin_ms: u64,
+    /// Trailing baseline window length in bins.
+    pub window: usize,
+    /// Alarm when the bin rate exceeds `ratio` × baseline mean…
+    pub ratio: f64,
+    /// …and the excursion exceeds `z` baseline standard deviations.
+    pub z: f64,
+    /// Baseline means below this floor never alarm (quiet-stream guard).
+    pub min_rate: f64,
+}
+
+impl Default for ChangePointConfig {
+    fn default() -> Self {
+        ChangePointConfig {
+            bin_ms: 1_000,
+            window: 30,
+            ratio: 3.0,
+            z: 4.0,
+            min_rate: 1.0,
+        }
+    }
+}
+
+/// Sliding-window change-point detector over a per-bin rate series.
+///
+/// Keeps a trailing window of bin values; a bin that exceeds both the
+/// ratio and z-score thresholds against the window's mean/stddev raises
+/// one [`IncidentKind::InstabilityOnset`]. While alarmed, the baseline is
+/// frozen (elevated bins must not poison it) and further alarms are
+/// suppressed until the rate re-arms below the midpoint between baseline
+/// and the alarm threshold.
+#[derive(Debug)]
+pub struct ChangePointDetector {
+    cfg: ChangePointConfig,
+    window: VecDeque<f64>,
+    armed: bool,
+    rearm_below: f64,
+}
+
+impl ChangePointDetector {
+    /// New detector with `cfg`.
+    #[must_use]
+    pub fn new(cfg: ChangePointConfig) -> Self {
+        ChangePointDetector {
+            cfg,
+            window: VecDeque::with_capacity(cfg.window + 1),
+            armed: true,
+            rearm_below: 0.0,
+        }
+    }
+
+    fn baseline(&self) -> (f64, f64) {
+        let n = self.window.len() as f64;
+        if n == 0.0 {
+            return (0.0, 0.0);
+        }
+        let mean = self.window.iter().sum::<f64>() / n;
+        let var = self
+            .window
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        (mean, var.sqrt())
+    }
+
+    /// Feeds the completed bin starting at `bin_start_ms` with `value`
+    /// events. Returns an incident when this bin crosses the thresholds.
+    pub fn push(&mut self, bin_start_ms: u64, value: f64) -> Option<Incident> {
+        let warm = self.window.len() >= self.cfg.window;
+        let (mean, std) = self.baseline();
+        if !self.armed {
+            if value <= self.rearm_below {
+                self.armed = true;
+            } else {
+                // Alarmed episode continues: freeze the baseline.
+                return None;
+            }
+        }
+        let mut fired = None;
+        if warm && self.armed {
+            let floor = mean.max(self.cfg.min_rate);
+            let threshold = (floor * self.cfg.ratio).max(floor + self.cfg.z * std);
+            if value >= threshold {
+                let score = if floor > 0.0 { value / floor } else { value };
+                self.armed = false;
+                self.rearm_below = (floor + threshold) / 2.0;
+                fired = Some(Incident {
+                    kind: IncidentKind::InstabilityOnset,
+                    onset_ms: bin_start_ms,
+                    detected_ms: bin_start_ms + self.cfg.bin_ms,
+                    cause: String::new(),
+                    score,
+                    detail: format!(
+                        "rate {value:.1}/bin vs baseline {mean:.1} (threshold {threshold:.1})"
+                    ),
+                });
+            }
+        }
+        if fired.is_none() {
+            self.window.push_back(value);
+            if self.window.len() > self.cfg.window {
+                self.window.pop_front();
+            }
+        }
+        fired
+    }
+}
+
+/// Configuration for [`PeriodicityDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicityConfig {
+    /// Event-time width of one bin (ms).
+    pub bin_ms: u64,
+    /// Autocorrelation window length in bins.
+    pub window: usize,
+    /// Candidate period range in bins (inclusive).
+    pub min_lag: usize,
+    /// See `min_lag`.
+    pub max_lag: usize,
+    /// ACF peak required to alarm.
+    pub threshold: f64,
+}
+
+impl Default for PeriodicityConfig {
+    fn default() -> Self {
+        PeriodicityConfig {
+            bin_ms: 1_000,
+            window: 120,
+            min_lag: 5,
+            max_lag: 60,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// Windowed-autocorrelation periodicity detector.
+///
+/// Once the window is full, every new bin recomputes the normalized
+/// autocorrelation of the **first-differenced** window over the candidate
+/// lag range (differencing keeps level shifts from masquerading as
+/// periodicity); a peak at or above the threshold raises one
+/// [`IncidentKind::PeriodicSignal`] whose detail names the period.
+/// Re-arms when the peak decays below half the threshold.
+#[derive(Debug)]
+pub struct PeriodicityDetector {
+    cfg: PeriodicityConfig,
+    window: VecDeque<f64>,
+    armed: bool,
+}
+
+impl PeriodicityDetector {
+    /// New detector with `cfg`.
+    #[must_use]
+    pub fn new(cfg: PeriodicityConfig) -> Self {
+        PeriodicityDetector {
+            cfg,
+            window: VecDeque::with_capacity(cfg.window + 1),
+            armed: true,
+        }
+    }
+
+    fn acf_peak(&self) -> Option<(usize, f64)> {
+        // First-difference the window before correlating: a level shift
+        // (instability onset) has high *raw* autocorrelation at every
+        // lag, but its difference is a single spike; a genuine periodic
+        // component survives differencing with its period intact.
+        let x: Vec<f64> = self
+            .window
+            .iter()
+            .zip(self.window.iter().skip(1))
+            .map(|(a, b)| b - a)
+            .collect();
+        let n = x.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>();
+        if var <= f64::EPSILON {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for lag in self.cfg.min_lag..=self.cfg.max_lag.min(n - 1) {
+            let mut cov = 0.0;
+            for i in lag..n {
+                cov += (x[i] - mean) * (x[i - lag] - mean);
+            }
+            let r = cov / var;
+            if best.is_none_or(|(_, b)| r > b) {
+                best = Some((lag, r));
+            }
+        }
+        best
+    }
+
+    /// Feeds the completed bin starting at `bin_start_ms` with `value`
+    /// events. Returns an incident when the ACF peak crosses the threshold.
+    pub fn push(&mut self, bin_start_ms: u64, value: f64) -> Option<Incident> {
+        self.window.push_back(value);
+        if self.window.len() > self.cfg.window {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.cfg.window {
+            return None;
+        }
+        let (lag, peak) = self.acf_peak()?;
+        if !self.armed {
+            if peak < self.cfg.threshold / 2.0 {
+                self.armed = true;
+            }
+            return None;
+        }
+        if peak >= self.cfg.threshold {
+            self.armed = false;
+            let span_ms = self.cfg.bin_ms * self.window.len() as u64;
+            Some(Incident {
+                kind: IncidentKind::PeriodicSignal,
+                onset_ms: bin_start_ms.saturating_sub(span_ms - self.cfg.bin_ms),
+                detected_ms: bin_start_ms + self.cfg.bin_ms,
+                cause: String::new(),
+                score: peak,
+                detail: format!(
+                    "acf peak {peak:.2} at period {} ms",
+                    lag as u64 * self.cfg.bin_ms
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Configuration for [`NoveltyDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct NoveltyConfig {
+    /// Event-time width of one bin (ms).
+    pub bin_ms: u64,
+    /// Bins to observe before any alarm may fire.
+    pub warmup_bins: usize,
+    /// EWMA smoothing factor for per-key per-bin counts.
+    pub alpha: f64,
+    /// A key is "historically absent" while its EWMA is below this floor.
+    pub floor: f64,
+    /// Burst size (events in one bin) required to alarm on an absent key.
+    pub min_count: u64,
+}
+
+impl Default for NoveltyConfig {
+    fn default() -> Self {
+        NoveltyConfig {
+            bin_ms: 1_000,
+            warmup_bins: 10,
+            alpha: 0.2,
+            floor: 0.05,
+            min_count: 10,
+        }
+    }
+}
+
+/// Per-key EWMA novelty detector.
+///
+/// Tracks an EWMA of each key's per-bin count; after warmup, a key whose
+/// EWMA says "historically absent" bursting past `min_count` in a single
+/// bin raises one [`IncidentKind::NoveltyAlarm`]. Each key alarms at most
+/// once — once seen, it is no longer novel.
+#[derive(Debug)]
+pub struct NoveltyDetector {
+    cfg: NoveltyConfig,
+    bins_seen: usize,
+    ewma: BTreeMap<u32, f64>,
+    alarmed: BTreeMap<u32, bool>,
+}
+
+impl NoveltyDetector {
+    /// New detector with `cfg`.
+    #[must_use]
+    pub fn new(cfg: NoveltyConfig) -> Self {
+        NoveltyDetector {
+            cfg,
+            bins_seen: 0,
+            ewma: BTreeMap::new(),
+            alarmed: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one completed bin: `counts` maps key → events in the bin
+    /// (absent keys count zero). Returns the alarms raised by this bin in
+    /// ascending key order.
+    pub fn push_bin(&mut self, bin_start_ms: u64, counts: &BTreeMap<u32, u64>) -> Vec<Incident> {
+        let mut fired = Vec::new();
+        let warm = self.bins_seen >= self.cfg.warmup_bins;
+        for (&key, &count) in counts {
+            let prior = self.ewma.get(&key).copied().unwrap_or(0.0);
+            if warm
+                && prior < self.cfg.floor
+                && count >= self.cfg.min_count
+                && !self.alarmed.get(&key).copied().unwrap_or(false)
+            {
+                self.alarmed.insert(key, true);
+                fired.push(Incident {
+                    kind: IncidentKind::NoveltyAlarm,
+                    onset_ms: bin_start_ms,
+                    detected_ms: bin_start_ms + self.cfg.bin_ms,
+                    cause: String::new(),
+                    score: count as f64 / self.cfg.floor.max(prior),
+                    detail: format!("novel key {key}: {count} events after ewma {prior:.3}"),
+                });
+            }
+        }
+        // Decay every tracked key, then fold in this bin's counts.
+        for v in self.ewma.values_mut() {
+            *v *= 1.0 - self.cfg.alpha;
+        }
+        for (&key, &count) in counts {
+            if count > 0 {
+                let e = self.ewma.entry(key).or_insert(0.0);
+                *e += self.cfg.alpha * count as f64;
+            }
+        }
+        self.bins_seen += 1;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_point_fires_once_per_episode() {
+        let cfg = ChangePointConfig {
+            bin_ms: 1_000,
+            window: 10,
+            ratio: 3.0,
+            z: 4.0,
+            min_rate: 1.0,
+        };
+        let mut det = ChangePointDetector::new(cfg);
+        let mut incidents = Vec::new();
+        for bin in 0..60u64 {
+            let value = if (30..45).contains(&bin) { 100.0 } else { 10.0 };
+            if let Some(i) = det.push(bin * 1_000, value) {
+                incidents.push(i);
+            }
+        }
+        assert_eq!(incidents.len(), 1, "{incidents:?}");
+        let i = &incidents[0];
+        assert_eq!(i.kind, IncidentKind::InstabilityOnset);
+        assert_eq!(i.onset_ms, 30_000, "onset at the first elevated bin");
+        assert_eq!(i.lag_ms(), 1_000, "detected at bin close");
+        assert!(i.score > 5.0);
+    }
+
+    #[test]
+    fn change_point_realarms_for_second_episode() {
+        let mut det = ChangePointDetector::new(ChangePointConfig {
+            window: 5,
+            ..ChangePointConfig::default()
+        });
+        let mut onsets = Vec::new();
+        for bin in 0..60u64 {
+            let value = if (10..14).contains(&bin) || (40..44).contains(&bin) {
+                80.0
+            } else {
+                8.0
+            };
+            if let Some(i) = det.push(bin * 1_000, value) {
+                onsets.push(i.onset_ms);
+            }
+        }
+        assert_eq!(onsets, vec![10_000, 40_000]);
+    }
+
+    #[test]
+    fn change_point_stays_quiet_on_noise() {
+        let mut det = ChangePointDetector::new(ChangePointConfig::default());
+        // Deterministic pseudo-noise around 20/bin.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for bin in 0..300u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let jitter = (state >> 60) as f64; // 0..16
+            assert!(det.push(bin * 1_000, 20.0 + jitter).is_none());
+        }
+    }
+
+    #[test]
+    fn periodicity_detects_square_wave() {
+        let cfg = PeriodicityConfig {
+            bin_ms: 1_000,
+            window: 60,
+            min_lag: 5,
+            max_lag: 30,
+            threshold: 0.5,
+        };
+        let mut det = PeriodicityDetector::new(cfg);
+        let mut fired = Vec::new();
+        for bin in 0..120u64 {
+            // Period-10 square wave.
+            let value = if (bin / 5) % 2 == 0 { 50.0 } else { 5.0 };
+            if let Some(i) = det.push(bin * 1_000, value) {
+                fired.push(i);
+            }
+        }
+        assert!(!fired.is_empty());
+        assert_eq!(fired[0].kind, IncidentKind::PeriodicSignal);
+        assert!(
+            fired[0].detail.contains("period 10000 ms"),
+            "{}",
+            fired[0].detail
+        );
+        assert!(fired[0].score >= 0.5);
+    }
+
+    #[test]
+    fn periodicity_quiet_on_flat_series() {
+        let mut det = PeriodicityDetector::new(PeriodicityConfig::default());
+        for bin in 0..300u64 {
+            assert!(det.push(bin * 1_000, 10.0).is_none());
+        }
+    }
+
+    #[test]
+    fn periodicity_ignores_level_shift() {
+        // A step has high raw ACF at every lag; differencing must keep it
+        // from raising a periodic-signal incident.
+        let mut det = PeriodicityDetector::new(PeriodicityConfig::default());
+        for bin in 0..300u64 {
+            let value = if bin >= 150 { 80.0 } else { 10.0 };
+            assert!(det.push(bin * 1_000, value).is_none(), "bin {bin}");
+        }
+    }
+
+    #[test]
+    fn novelty_alarms_once_on_new_key() {
+        let mut det = NoveltyDetector::new(NoveltyConfig::default());
+        let mut base = BTreeMap::new();
+        base.insert(1u32, 50u64);
+        base.insert(2u32, 20u64);
+        for bin in 0..20u64 {
+            assert!(det.push_bin(bin * 1_000, &base).is_empty(), "bin {bin}");
+        }
+        let mut burst = base.clone();
+        burst.insert(7u32, 40u64);
+        let fired = det.push_bin(20_000, &burst);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, IncidentKind::NoveltyAlarm);
+        assert_eq!(fired[0].onset_ms, 20_000);
+        assert!(
+            fired[0].detail.contains("novel key 7"),
+            "{}",
+            fired[0].detail
+        );
+        // Key 7 keeps bursting: no re-alarm.
+        assert!(det.push_bin(21_000, &burst).is_empty());
+    }
+
+    #[test]
+    fn novelty_respects_warmup_and_min_count() {
+        let mut det = NoveltyDetector::new(NoveltyConfig::default());
+        let mut counts = BTreeMap::new();
+        counts.insert(3u32, 100u64);
+        // During warmup nothing fires, even for brand-new keys.
+        assert!(det.push_bin(0, &counts).is_empty());
+        let mut det = NoveltyDetector::new(NoveltyConfig::default());
+        for bin in 0..12u64 {
+            det.push_bin(bin * 1_000, &BTreeMap::new());
+        }
+        let mut small = BTreeMap::new();
+        small.insert(9u32, 3u64); // below min_count
+        assert!(det.push_bin(12_000, &small).is_empty());
+    }
+
+    #[test]
+    fn incident_serialises() {
+        let i = Incident {
+            kind: IncidentKind::NoveltyAlarm,
+            onset_ms: 5_000,
+            detected_ms: 6_000,
+            cause: "csu_flap".into(),
+            score: 12.5,
+            detail: "novel key 7".into(),
+        };
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Incident = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, i);
+        assert_eq!(back.lag_ms(), 1_000);
+        assert!(i.to_string().contains("novelty_alarm"));
+    }
+}

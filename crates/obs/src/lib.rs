@@ -15,7 +15,11 @@
 //!   `netsim::router` through `Monitor` to the MRT boundary, so every
 //!   logged BGP update can be attributed to the mechanism that emitted it;
 //! - [`stage`] — the shared per-stage throughput counters the analysis
-//!   pipeline's telemetry is built on.
+//!   pipeline's telemetry is built on;
+//! - [`span`] — strictly nested request spans over the tracer plus the
+//!   per-request [`PlanTrace`] that rides on every serve reply;
+//! - [`incident`] — typed incidents and the incremental detectors
+//!   (change-point, periodicity, novelty) behind `tracescope watch`.
 //!
 //! ## Determinism contract
 //!
@@ -29,12 +33,19 @@
 #![warn(missing_docs)]
 
 pub mod cause;
+pub mod incident;
 pub mod registry;
+pub mod span;
 pub mod stage;
 pub mod trace;
 
 pub use cause::Cause;
+pub use incident::{
+    ChangePointConfig, ChangePointDetector, Incident, IncidentKind, NoveltyConfig, NoveltyDetector,
+    PeriodicityConfig, PeriodicityDetector,
+};
 pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry, RegistrySnapshot};
+pub use span::{PlanMeters, PlanTrace, SpanId, SpanStack};
 pub use stage::{StageMetrics, WorkerMetrics};
 pub use trace::{TraceEvent, TraceKind, Tracer};
 

@@ -12,7 +12,7 @@
 //! high-water mark), histograms pool their buckets. Snapshots serialise to
 //! JSON for automation (`--metrics-json`).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -415,7 +415,10 @@ impl Registry {
 }
 
 /// Point-in-time serialisable view of a [`Registry`].
-#[derive(Debug, Clone, Serialize)]
+///
+/// Deserialisable and comparable so it can travel over the serve wire
+/// protocol (the `metrics` verb) and be asserted on in tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RegistrySnapshot {
     /// Counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
@@ -426,7 +429,7 @@ pub struct RegistrySnapshot {
 }
 
 /// One counter in a snapshot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     /// Metric name.
     pub name: String,
@@ -435,7 +438,7 @@ pub struct CounterSnapshot {
 }
 
 /// One gauge in a snapshot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GaugeSnapshot {
     /// Metric name.
     pub name: String,
@@ -444,7 +447,7 @@ pub struct GaugeSnapshot {
 }
 
 /// One histogram summary in a snapshot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Metric name.
     pub name: String,

@@ -69,6 +69,32 @@ pub enum TraceKind {
         /// How long the stage was blocked (ms).
         waited_ms: u64,
     },
+    /// A request-scoped span opened (see [`crate::span::SpanStack`]).
+    SpanOpen {
+        /// Span id, unique within the owning tracer's virtual-clock domain.
+        span: u64,
+        /// Stage name ("request", "admit", "pin", "scan", ...).
+        name: &'static str,
+    },
+    /// A request-scoped span closed.
+    SpanClose {
+        /// Span id matching the corresponding [`TraceKind::SpanOpen`].
+        span: u64,
+        /// Stage name, identical to the opening event's.
+        name: &'static str,
+        /// Measured duration in microseconds. Durations are *payload* (the
+        /// quantity under study), never trace timestamps — the event itself
+        /// is stamped with the virtual clock like every other.
+        elapsed_us: u64,
+    },
+    /// An incremental detector raised a typed incident (see
+    /// [`crate::incident`]).
+    IncidentRaised {
+        /// Incident kind label (e.g. "instability_onset").
+        kind: &'static str,
+        /// Estimated onset on the data's event-time axis (ms).
+        onset_ms: u64,
+    },
 }
 
 impl TraceKind {
@@ -84,6 +110,9 @@ impl TraceKind {
             TraceKind::RouterRecovered => "recovered",
             TraceKind::DampingSuppressed { .. } => "damping",
             TraceKind::QueueStall { .. } => "queue_stall",
+            TraceKind::SpanOpen { .. } => "span_open",
+            TraceKind::SpanClose { .. } => "span_close",
+            TraceKind::IncidentRaised { .. } => "incident",
         }
     }
 }
@@ -106,6 +135,15 @@ impl fmt::Display for TraceKind {
             }
             TraceKind::QueueStall { stage, waited_ms } => {
                 write!(f, "{stage} stalled {waited_ms} ms")
+            }
+            TraceKind::SpanOpen { span, name } => write!(f, "span {span} open {name}"),
+            TraceKind::SpanClose {
+                span,
+                name,
+                elapsed_us,
+            } => write!(f, "span {span} close {name} ({elapsed_us} us)"),
+            TraceKind::IncidentRaised { kind, onset_ms } => {
+                write!(f, "incident {kind} onset t={onset_ms}ms")
             }
         }
     }
@@ -213,6 +251,28 @@ impl Tracer {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Folds another tracer's retained events into this one, keeping the
+    /// newest `capacity` events by time stamp. The merge is stable: at equal
+    /// time stamps this tracer's events sort before `other`'s, so merging
+    /// per-worker tracers in a fixed worker order is deterministic. `other`'s
+    /// drop count carries over, and events evicted by the merge are counted
+    /// here too. No-op when this tracer is disabled.
+    pub fn merge(&mut self, other: &Tracer) {
+        if !self.enabled {
+            return;
+        }
+        self.dropped += other.dropped;
+        let mut merged: Vec<TraceEvent> = self
+            .buf
+            .drain(..)
+            .chain(other.buf.iter().cloned())
+            .collect();
+        merged.sort_by_key(|e| e.time);
+        let excess = merged.len().saturating_sub(self.capacity);
+        self.dropped += excess as u64;
+        self.buf.extend(merged.into_iter().skip(excess));
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +335,89 @@ mod tests {
     }
 
     #[test]
+    fn merge_keeps_newest_and_is_stable() {
+        let mut a = Tracer::new(4);
+        let mut b = Tracer::new(4);
+        for t in [1u64, 3, 5] {
+            a.record(t, 1, fire());
+        }
+        for t in [2u64, 3, 6] {
+            b.record(t, 2, fire());
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 4, "capacity bound holds after merge");
+        assert_eq!(a.dropped(), 2, "merge evictions counted");
+        let got: Vec<(u64, u32)> = a.events().map(|e| (e.time, e.router)).collect();
+        // Oldest two (t=1 from a, t=2 from b) evicted; at t=3 the
+        // receiver's event sorts first.
+        assert_eq!(got, vec![(3, 1), (3, 2), (5, 1), (6, 2)]);
+    }
+
+    #[test]
+    fn merge_carries_drop_counts() {
+        let mut a = Tracer::new(2);
+        let mut b = Tracer::new(1);
+        for t in 0..5u64 {
+            b.record(t, 9, fire());
+        }
+        assert_eq!(b.dropped(), 4);
+        a.merge(&b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.dropped(), 4, "other's drops carried over");
+        let mut disabled = Tracer::disabled();
+        disabled.merge(&a);
+        assert!(disabled.is_empty(), "merge into disabled tracer is a no-op");
+        assert_eq!(disabled.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_worker_tracers_merge_deterministically() {
+        // The pipeline pattern: workers record into private tracers on
+        // their own threads (no shared state), then the collector folds
+        // them in worker order. The folded ring must keep the newest
+        // `capacity` events with every eviction accounted, and the
+        // result must not depend on thread scheduling.
+        let workers = 8u32;
+        let per_worker = 100u64;
+        let capacity = 64usize;
+        let run = || -> Tracer {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    std::thread::spawn(move || {
+                        let mut tr = Tracer::new(capacity);
+                        for i in 0..per_worker {
+                            // Interleaved virtual times across workers.
+                            tr.record(i * u64::from(workers) + u64::from(w), w, fire());
+                        }
+                        tr
+                    })
+                })
+                .collect();
+            let mut folded = Tracer::new(capacity);
+            for h in handles {
+                folded.merge(&h.join().expect("worker panicked"));
+            }
+            folded
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), capacity, "ring bounded after concurrent merges");
+        let total = u64::from(workers) * per_worker;
+        assert_eq!(
+            a.dropped() + a.len() as u64,
+            total,
+            "every recorded event is either retained or counted dropped"
+        );
+        let times_a: Vec<(u64, u32)> = a.events().map(|e| (e.time, e.router)).collect();
+        let times_b: Vec<(u64, u32)> = b.events().map(|e| (e.time, e.router)).collect();
+        assert_eq!(times_a, times_b, "fold is schedule-independent");
+        // The retained window is exactly the newest `capacity` stamps.
+        assert_eq!(times_a[0].0, total - capacity as u64);
+        assert_eq!(times_a.last().unwrap().0, total - 1);
+        assert!(times_a.windows(2).all(|w| w[0].0 <= w[1].0), "time-sorted");
+    }
+
+    #[test]
     fn kind_labels_cover_variants() {
         let kinds = [
             TraceKind::TimerFired {
@@ -294,6 +437,19 @@ mod tests {
             TraceKind::QueueStall {
                 stage: "ingest",
                 waited_ms: 12,
+            },
+            TraceKind::SpanOpen {
+                span: 1,
+                name: "request",
+            },
+            TraceKind::SpanClose {
+                span: 1,
+                name: "request",
+                elapsed_us: 42,
+            },
+            TraceKind::IncidentRaised {
+                kind: "novelty_alarm",
+                onset_ms: 90_000,
             },
         ];
         let mut labels: Vec<&str> = kinds.iter().map(TraceKind::label).collect();

@@ -50,7 +50,8 @@ pub mod service;
 pub use cache::{CacheStats, ResultCache};
 pub use client::Client;
 pub use proto::{
-    Command, Filter, InfoBody, Reply, Request, Response, StatsBody, TopRow, WireEvent,
+    Command, Filter, HealthBody, InfoBody, MetricsBody, Reply, Request, Response, SlowQuery,
+    StatsBody, TopRow, WireEvent,
 };
 pub use server::Server;
-pub use service::{AdmissionGate, Permit, ServeCore, ServeOptions};
+pub use service::{AdmissionGate, Permit, Refusal, ServeCore, ServeOptions};

@@ -3,6 +3,7 @@
 //! ```sh
 //! iri-serve <dir> [--addr HOST:PORT] [--create-rows N]
 //!           [--max-inflight N] [--max-queue N] [--cache N]
+//!           [--max-wait-ms N] [--trace-cap N] [--slow-log N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:4117`), prints the bound address, then
@@ -28,7 +29,8 @@ fn arg<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
 fn usage() -> ! {
     eprintln!(
         "usage: iri-serve <dir> [--addr HOST:PORT] [--create-rows N]\n\
-         \x20        [--max-inflight N] [--max-queue N] [--cache N]"
+         \x20        [--max-inflight N] [--max-queue N] [--cache N]\n\
+         \x20        [--max-wait-ms N] [--trace-cap N] [--slow-log N]"
     );
     std::process::exit(2)
 }
@@ -44,6 +46,9 @@ fn main() {
         max_inflight: arg(&args, "--max-inflight").unwrap_or(defaults.max_inflight),
         max_queue: arg(&args, "--max-queue").unwrap_or(defaults.max_queue),
         cache_entries: arg(&args, "--cache").unwrap_or(defaults.cache_entries),
+        max_queue_wait_ms: arg(&args, "--max-wait-ms").or(defaults.max_queue_wait_ms),
+        trace_capacity: arg(&args, "--trace-cap").unwrap_or(defaults.trace_capacity),
+        slow_log_entries: arg(&args, "--slow-log").unwrap_or(defaults.slow_log_entries),
     };
     let live_opts = LiveOptions {
         create_segment_rows: arg(&args, "--create-rows"),

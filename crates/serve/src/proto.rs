@@ -8,9 +8,11 @@
 //! Every query reply names the **generation** it was answered at — the
 //! manifest-journal commit point the snapshot pinned — and whether it
 //! was served from the result cache. Two replies for the same command
-//! at the same generation are identical by construction; clients can
-//! (and the bench harness does) use that as an end-to-end isolation
-//! check.
+//! at the same generation carry identical *results* by construction;
+//! clients can (and the bench harness does) use that as an end-to-end
+//! isolation check. Work accounting (`ScanStats::scan_us`, the
+//! [`Reply::plan`] trace) measures the answering execution and is the
+//! one part of a reply that may differ between runs.
 //!
 //! Errors carry the store exit-code taxonomy so remote failures map to
 //! the same process exit codes local ones do: 2 usage, 3 I/O, 4
@@ -21,7 +23,8 @@ use iri_bgp::path::AsPath;
 use iri_bgp::types::Asn;
 use iri_core::input::{PeerKey, UpdateEvent};
 use iri_core::taxonomy::UpdateClass;
-use iri_obs::Cause;
+use iri_obs::registry::RegistrySnapshot;
+use iri_obs::{Cause, PlanTrace};
 use iri_store::{Query, ScanStats};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +49,12 @@ pub struct Reply {
     pub id: u64,
     /// The outcome.
     pub resp: Response,
+    /// Per-request plan trace for commands that went through the
+    /// admission gate: where the latency went (gate wait, pin, scan),
+    /// which snapshot generation answered, and how much segment work
+    /// the scan did. `None` for service verbs and unparseable lines.
+    #[serde(default)]
+    pub plan: Option<PlanTrace>,
 }
 
 /// Row-level filter, mirroring the `iriq` flag grammar. All fields are
@@ -227,6 +236,12 @@ pub enum Command {
     Info,
     /// Pin, cache, admission, and mutation statistics.
     Stats,
+    /// Metrics-registry snapshot, slow-query log, and tracer
+    /// accounting; answered outside the admission gate.
+    Metrics,
+    /// Liveness/saturation/drain summary; answered outside the
+    /// admission gate, even while draining.
+    Health,
     /// Matching rows per taxonomy class.
     CountByClass {
         /// Row filter.
@@ -361,6 +376,78 @@ pub struct StatsBody {
     pub inflight: u64,
     /// Requests waiting for an execution slot.
     pub queued: u64,
+    /// Cumulative microseconds all admitted or refused requests spent
+    /// waiting at the admission gate.
+    #[serde(default)]
+    pub gate_wait_total_us: u64,
+    /// Requests that waited in the bounded queue and then gave up when
+    /// the configured wait limit elapsed (answered [`Response::Busy`]).
+    #[serde(default)]
+    pub gate_abandoned: u64,
+    /// Cumulative microseconds burned by those abandoned waits — gate
+    /// time that produced no answer.
+    #[serde(default)]
+    pub gate_abandon_wait_us: u64,
+}
+
+/// One entry in the slow-query log: the worst requests the service has
+/// answered, by total latency, each with its full plan trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowQuery {
+    /// Compact description of the command (normalized JSON for reads,
+    /// a summary for mutations).
+    pub cmd: String,
+    /// Request sequence number (the service's virtual clock).
+    pub seq: u64,
+    /// End-to-end latency inside the service (µs).
+    pub total_us: u64,
+    /// Where the time went.
+    pub plan: PlanTrace,
+}
+
+/// Metrics surface: the mergeable registry, the slow-query log, and
+/// bounded-tracer accounting (`tracescope --connect` renders these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsBody {
+    /// Counters, gauges, and latency histograms, aggregated across all
+    /// worker threads since the service opened.
+    pub registry: RegistrySnapshot,
+    /// Worst requests by total latency, descending.
+    pub slow_queries: Vec<SlowQuery>,
+    /// Span/trace events currently buffered.
+    pub trace_len: u64,
+    /// Trace events evicted from the bounded ring since open.
+    pub trace_dropped: u64,
+    /// Ring capacity.
+    pub trace_capacity: u64,
+}
+
+/// Health surface: is the service accepting work, and how close to its
+/// limits is it. Answered even while draining.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// `"ok"`, `"draining"`, or `"saturated"`.
+    pub status: String,
+    /// Current committed generation.
+    pub generation: u64,
+    /// Snapshots currently holding a pin.
+    pub active_pins: u64,
+    /// Oldest pinned generation, if any snapshot is live.
+    pub min_pinned: Option<u64>,
+    /// Requests executing right now.
+    pub inflight: u64,
+    /// Requests waiting for an execution slot.
+    pub queued: u64,
+    /// Execution-slot limit.
+    pub max_inflight: u64,
+    /// Queue-depth limit.
+    pub max_queue: u64,
+    /// Whether a drain has begun.
+    pub draining: bool,
+    /// Retired generation directories awaiting reclamation.
+    pub retired_dirs: u64,
+    /// Live result-cache entries.
+    pub cache_entries: u64,
 }
 
 /// The outcome of one command.
@@ -377,6 +464,16 @@ pub enum Response {
     Stats {
         /// The statistics.
         stats: StatsBody,
+    },
+    /// [`Command::Metrics`] result.
+    Metrics {
+        /// The metrics surface.
+        metrics: MetricsBody,
+    },
+    /// [`Command::Health`] result.
+    Health {
+        /// The health surface.
+        health: HealthBody,
     },
     /// [`Command::CountByClass`] / [`Command::CountByCause`] result.
     Counts {
@@ -521,10 +618,88 @@ mod tests {
                 counts: vec![12],
                 stats: ScanStats::default(),
             },
+            plan: Some(PlanTrace {
+                admission_wait_us: 3,
+                generation: 3,
+                cache_hit: true,
+                total_us: 41,
+                ..PlanTrace::default()
+            }),
         };
         let line = serde_json::to_string(&reply).unwrap();
         let back: Reply = serde_json::from_str(&line).unwrap();
         assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn reply_without_plan_still_parses() {
+        let back: Reply = serde_json::from_str(r#"{"id":4,"resp":"Pong"}"#).unwrap();
+        assert_eq!(back.id, 4);
+        assert_eq!(back.resp, Response::Pong);
+        assert_eq!(back.plan, None);
+    }
+
+    #[test]
+    fn metrics_and_health_round_trip_through_json() {
+        let reply = Reply {
+            id: 11,
+            resp: Response::Metrics {
+                metrics: MetricsBody {
+                    registry: RegistrySnapshot::default(),
+                    slow_queries: vec![SlowQuery {
+                        cmd: "{\"Info\":null}".into(),
+                        seq: 9,
+                        total_us: 1234,
+                        plan: PlanTrace::default(),
+                    }],
+                    trace_len: 6,
+                    trace_dropped: 0,
+                    trace_capacity: 4096,
+                },
+            },
+            plan: None,
+        };
+        let line = serde_json::to_string(&reply).unwrap();
+        let back: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, reply);
+
+        let health = Reply {
+            id: 12,
+            resp: Response::Health {
+                health: HealthBody {
+                    status: "ok".into(),
+                    generation: 2,
+                    active_pins: 1,
+                    min_pinned: Some(2),
+                    inflight: 3,
+                    queued: 0,
+                    max_inflight: 64,
+                    max_queue: 256,
+                    draining: false,
+                    retired_dirs: 0,
+                    cache_entries: 5,
+                },
+            },
+            plan: None,
+        };
+        let line = serde_json::to_string(&health).unwrap();
+        let back: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, health);
+    }
+
+    #[test]
+    fn stats_body_gate_fields_default_for_old_peers() {
+        let body: StatsBody = serde_json::from_str(
+            r#"{"generation":1,"active_pins":0,"min_pinned":null,"total_pins":0,
+                "appends":0,"appended_events":0,"compactions":0,"retired_dirs":0,
+                "gc_removed_dirs":0,"cache_entries":0,"cache_hits":0,"cache_misses":0,
+                "requests":7,"busy_rejections":0,"inflight":0,"queued":0}"#,
+        )
+        .unwrap();
+        assert_eq!(body.requests, 7);
+        assert_eq!(body.gate_wait_total_us, 0);
+        assert_eq!(body.gate_abandoned, 0);
+        assert_eq!(body.gate_abandon_wait_us, 0);
     }
 
     #[test]

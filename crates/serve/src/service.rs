@@ -9,23 +9,33 @@
 //! ```
 //!
 //! Every stage is metered through an [`iri_obs::Registry`]: request and
-//! busy counters, cache hit/miss counters, and pin/exec latency
-//! histograms. Queries run against a [`Snapshot`] pinned at the current
+//! busy counters, cache hit/miss counters, gate-wait and pin/exec
+//! latency histograms, plus the pooled per-request [`PlanTrace`]
+//! aggregates. Each gated request additionally opens strictly nested
+//! spans (`request` → `admit` → `pin`/`scan`) in a bounded
+//! [`Tracer`] stamped with the request sequence number (the service's
+//! virtual clock — never the wall clock), and its flattened
+//! [`PlanTrace`] rides back on the reply and feeds a top-K slow-query
+//! log. The `metrics` and `health` verbs expose all of it over the
+//! wire. Queries run against a [`Snapshot`] pinned at the current
 //! generation, so they are never blocked by — and never block —
 //! concurrent appends, compactions, or re-ingests on the same
 //! [`LiveStore`].
 
 use crate::cache::ResultCache;
 use crate::proto::{
-    Command, Filter, InfoBody, Reply, Request, Response, StatsBody, TopRow, CODE_JSON, CODE_USAGE,
+    Command, Filter, HealthBody, InfoBody, MetricsBody, Reply, Request, Response, SlowQuery,
+    StatsBody, TopRow, CODE_JSON, CODE_USAGE,
 };
 use iri_core::classifier::Classifier;
 use iri_core::taxonomy::UpdateClass;
-use iri_obs::{Cause, CounterId, HistogramId, Registry};
+use iri_obs::{
+    Cause, CounterId, HistogramId, PlanMeters, PlanTrace, Registry, SpanId, SpanStack, Tracer,
+};
 use iri_store::{LiveStore, Snapshot, StoreError, StoredEvent};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +46,14 @@ pub struct ServeOptions {
     pub max_queue: usize,
     /// Result-cache capacity in responses (0 disables caching).
     pub cache_entries: usize,
+    /// Longest a request may wait in the admission queue before it
+    /// abandons and is answered `Busy` (`None` waits indefinitely).
+    pub max_queue_wait_ms: Option<u64>,
+    /// Span/trace ring-buffer capacity in events (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Slow-query log size: the K worst requests by total latency
+    /// retained for the `metrics` verb (0 disables the log).
+    pub slow_log_entries: usize,
 }
 
 impl Default for ServeOptions {
@@ -44,6 +62,9 @@ impl Default for ServeOptions {
             max_inflight: 64,
             max_queue: 256,
             cache_entries: 256,
+            max_queue_wait_ms: None,
+            trace_capacity: 4096,
+            slow_log_entries: 16,
         }
     }
 }
@@ -65,6 +86,20 @@ pub struct AdmissionGate {
     freed: Condvar,
     max_inflight: usize,
     max_queue: usize,
+}
+
+/// Why [`AdmissionGate::admit_timed`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Refusal {
+    /// Requests executing at refusal time.
+    pub active: u64,
+    /// Requests queued at refusal time.
+    pub queued: u64,
+    /// `true` when the request waited in the queue and gave up at the
+    /// wait limit; `false` when the full queue turned it away at once.
+    pub abandoned: bool,
+    /// How long the request waited before being refused.
+    pub waited: Duration,
 }
 
 /// RAII execution slot; dropping it wakes one queued waiter.
@@ -105,22 +140,69 @@ impl AdmissionGate {
     /// service is full. `Err((active, queued))` means the queue is full
     /// too and the caller should answer `Busy`.
     pub fn admit(&self) -> Result<Permit<'_>, (u64, u64)> {
+        self.admit_timed(None)
+            .map(|(permit, _waited)| permit)
+            .map_err(|r| (r.active, r.queued))
+    }
+
+    /// [`AdmissionGate::admit`] with wait attribution and an optional
+    /// bound on queue time. On success the returned [`Duration`] is how
+    /// long the caller waited for its slot; on refusal the [`Refusal`]
+    /// says whether the request was turned away at the door
+    /// (`abandoned: false`, full queue) or gave up after waiting
+    /// `max_wait` in the queue (`abandoned: true`).
+    pub fn admit_timed(
+        &self,
+        max_wait: Option<Duration>,
+    ) -> Result<(Permit<'_>, Duration), Refusal> {
+        let started = Instant::now();
         let mut s = self.lock();
         if s.active >= self.max_inflight {
             if s.queued >= self.max_queue {
-                return Err((s.active as u64, s.queued as u64));
+                return Err(Refusal {
+                    active: s.active as u64,
+                    queued: s.queued as u64,
+                    abandoned: false,
+                    waited: started.elapsed(),
+                });
             }
             s.queued += 1;
             while s.active >= self.max_inflight {
-                s = self
-                    .freed
-                    .wait(s)
-                    .unwrap_or_else(|_| panic!("admission gate lock poisoned"));
+                match max_wait {
+                    None => {
+                        s = self
+                            .freed
+                            .wait(s)
+                            .unwrap_or_else(|_| panic!("admission gate lock poisoned"));
+                    }
+                    Some(limit) => {
+                        let elapsed = started.elapsed();
+                        if elapsed >= limit {
+                            s.queued -= 1;
+                            let refusal = Refusal {
+                                active: s.active as u64,
+                                queued: s.queued as u64,
+                                abandoned: true,
+                                waited: elapsed,
+                            };
+                            drop(s);
+                            // Pass along any wakeup this waiter may have
+                            // absorbed, or a sibling could stall.
+                            self.freed.notify_one();
+                            return Err(refusal);
+                        }
+                        let (guard, _timed_out) = self
+                            .freed
+                            .wait_timeout(s, limit - elapsed)
+                            .unwrap_or_else(|_| panic!("admission gate lock poisoned"));
+                        s = guard;
+                    }
+                }
             }
             s.queued -= 1;
         }
         s.active += 1;
-        Ok(Permit { gate: self })
+        Ok((Permit { gate: self }, started.elapsed()))
     }
 
     /// Current `(active, queued)` occupancy.
@@ -143,10 +225,15 @@ struct Meters {
     compactions: CounterId,
     pin_us: HistogramId,
     exec_us: HistogramId,
+    gate_wait_us: HistogramId,
+    gate_wait_total_us: CounterId,
+    gate_abandoned: CounterId,
+    gate_abandon_wait_us: CounterId,
 }
 
 /// The service: one [`LiveStore`], one stateful classifier for
-/// server-side appends, one result cache, one admission gate.
+/// server-side appends, one result cache, one admission gate, one
+/// bounded span tracer, one slow-query log.
 pub struct ServeCore {
     live: LiveStore,
     classifier: Mutex<Classifier>,
@@ -154,6 +241,11 @@ pub struct ServeCore {
     gate: AdmissionGate,
     registry: Mutex<Registry>,
     meters: Meters,
+    plan_meters: PlanMeters,
+    tracer: Mutex<Tracer>,
+    slow_log: Mutex<Vec<SlowQuery>>,
+    seq: AtomicU64,
+    opts: ServeOptions,
     draining: AtomicBool,
     busy_rejections: Mutex<u64>,
 }
@@ -183,7 +275,12 @@ impl ServeCore {
             compactions: registry.counter("serve.compactions"),
             pin_us: registry.histogram("serve.pin_us"),
             exec_us: registry.histogram("serve.exec_us"),
+            gate_wait_us: registry.histogram("serve.gate_wait_us"),
+            gate_wait_total_us: registry.counter("serve.gate_wait_total_us"),
+            gate_abandoned: registry.counter("serve.gate_abandoned"),
+            gate_abandon_wait_us: registry.counter("serve.gate_abandon_wait_us"),
         };
+        let plan_meters = PlanMeters::register(&mut registry, "serve.plan");
         ServeCore {
             live,
             classifier: Mutex::new(Classifier::new()),
@@ -191,6 +288,15 @@ impl ServeCore {
             gate: AdmissionGate::new(opts.max_inflight, opts.max_queue),
             registry: Mutex::new(registry),
             meters,
+            plan_meters,
+            tracer: Mutex::new(if opts.trace_capacity == 0 {
+                Tracer::disabled()
+            } else {
+                Tracer::new(opts.trace_capacity)
+            }),
+            slow_log: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            opts: *opts,
             draining: AtomicBool::new(false),
             busy_rejections: Mutex::new(0),
         }
@@ -223,11 +329,18 @@ impl ServeCore {
         Self::lock(&self.registry, "registry").inc(id);
     }
 
-    fn observe(&self, id: HistogramId, started: Instant) {
-        Self::lock(&self.registry, "registry").observe(
-            id,
-            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
-        );
+    fn observe_us(&self, id: HistogramId, us: u64) {
+        Self::lock(&self.registry, "registry").observe(id, us);
+    }
+
+    fn span_open(&self, spans: &mut SpanStack, seq: u64, name: &'static str) -> SpanId {
+        let mut tracer = Self::lock(&self.tracer, "tracer");
+        spans.open(&mut tracer, seq, 0, name)
+    }
+
+    fn span_close(&self, spans: &mut SpanStack, seq: u64, id: SpanId, elapsed_us: u64) {
+        let mut tracer = Self::lock(&self.tracer, "tracer");
+        spans.close(&mut tracer, seq, 0, id, elapsed_us);
     }
 
     /// Counts one accepted transport connection (called by servers).
@@ -255,6 +368,7 @@ impl ServeCore {
                         code: CODE_JSON,
                         message: format!("bad request line: {e}"),
                     },
+                    plan: None,
                 }
             }
         };
@@ -264,64 +378,207 @@ impl ServeCore {
 
     /// Handles one parsed request.
     pub fn handle(&self, req: Request) -> Reply {
+        let (resp, plan) = self.dispatch(req.cmd);
         Reply {
             id: req.id,
-            resp: self.dispatch(req.cmd),
+            resp,
+            plan,
         }
     }
 
-    fn dispatch(&self, cmd: Command) -> Response {
+    fn dispatch(&self, cmd: Command) -> (Response, Option<PlanTrace>) {
         self.count(self.meters.requests);
-        if self.is_draining() && !matches!(cmd, Command::Ping) {
-            return Response::ShuttingDown;
+        // Health stays answerable during drain — a drain is exactly when
+        // an operator is watching it.
+        if self.is_draining() && !matches!(cmd, Command::Ping | Command::Health) {
+            return (Response::ShuttingDown, None);
         }
         match cmd {
-            Command::Ping => Response::Pong,
+            Command::Ping => (Response::Pong, None),
             Command::Shutdown => {
                 self.begin_drain();
-                Response::ShuttingDown
+                (Response::ShuttingDown, None)
             }
-            Command::Stats => Response::Stats {
-                stats: self.stats(),
-            },
-            cmd => {
-                let permit = match self.gate.admit() {
-                    Ok(p) => p,
-                    Err((active, queued)) => {
-                        self.count(self.meters.busy);
-                        *Self::lock(&self.busy_rejections, "busy counter") += 1;
-                        return Response::Busy { active, queued };
+            Command::Stats => (
+                Response::Stats {
+                    stats: self.stats(),
+                },
+                None,
+            ),
+            Command::Metrics => (
+                Response::Metrics {
+                    metrics: self.metrics_body(),
+                },
+                None,
+            ),
+            Command::Health => (
+                Response::Health {
+                    health: self.health_body(),
+                },
+                None,
+            ),
+            cmd => self.gated(cmd),
+        }
+    }
+
+    /// The gated pipeline: one request span, a timed admission, then
+    /// execution with a threaded [`PlanTrace`]. The trace rides back on
+    /// the reply (Busy refusals included — their plan attributes the
+    /// wasted gate wait) and is pooled into the registry and the
+    /// slow-query log for answered requests.
+    fn gated(&self, cmd: Command) -> (Response, Option<PlanTrace>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let started = Instant::now();
+        let mut plan = PlanTrace::default();
+        let mut spans = SpanStack::new();
+        let req_span = self.span_open(&mut spans, seq, "request");
+        let admit_span = self.span_open(&mut spans, seq, "admit");
+        let max_wait = self.opts.max_queue_wait_ms.map(Duration::from_millis);
+        match self.gate.admit_timed(max_wait) {
+            Err(refusal) => {
+                let waited_us = dur_us(refusal.waited);
+                plan.admission_wait_us = waited_us;
+                self.span_close(&mut spans, seq, admit_span, waited_us);
+                plan.total_us = dur_us(started.elapsed());
+                self.span_close(&mut spans, seq, req_span, plan.total_us);
+                self.count(self.meters.busy);
+                *Self::lock(&self.busy_rejections, "busy counter") += 1;
+                {
+                    let mut reg = Self::lock(&self.registry, "registry");
+                    reg.observe(self.meters.gate_wait_us, waited_us);
+                    reg.add(self.meters.gate_wait_total_us, waited_us);
+                    if refusal.abandoned {
+                        reg.inc(self.meters.gate_abandoned);
+                        reg.add(self.meters.gate_abandon_wait_us, waited_us);
                     }
-                };
-                let resp = self.execute(cmd);
+                }
+                (
+                    Response::Busy {
+                        active: refusal.active,
+                        queued: refusal.queued,
+                    },
+                    Some(plan),
+                )
+            }
+            Ok((permit, waited)) => {
+                let waited_us = dur_us(waited);
+                plan.admission_wait_us = waited_us;
+                self.span_close(&mut spans, seq, admit_span, waited_us);
+                {
+                    let mut reg = Self::lock(&self.registry, "registry");
+                    reg.observe(self.meters.gate_wait_us, waited_us);
+                    reg.add(self.meters.gate_wait_total_us, waited_us);
+                }
+                let cmd_desc = cmd_label(&cmd);
+                let resp = self.execute(cmd, &mut plan, &mut spans, seq);
                 drop(permit);
                 if matches!(resp, Response::Error { .. }) {
                     self.count(self.meters.errors);
                 }
-                resp
+                plan.total_us = dur_us(started.elapsed());
+                self.span_close(&mut spans, seq, req_span, plan.total_us);
+                {
+                    let mut reg = Self::lock(&self.registry, "registry");
+                    self.plan_meters.observe(&mut reg, &plan);
+                }
+                self.note_slow(cmd_desc, seq, &plan);
+                (resp, Some(plan))
             }
         }
     }
 
-    fn execute(&self, cmd: Command) -> Response {
+    fn note_slow(&self, cmd: String, seq: u64, plan: &PlanTrace) {
+        let keep = self.opts.slow_log_entries;
+        if keep == 0 {
+            return;
+        }
+        let mut log = Self::lock(&self.slow_log, "slow-query log");
+        if log.len() >= keep
+            && log
+                .last()
+                .is_some_and(|worst| plan.total_us <= worst.total_us)
+        {
+            return;
+        }
+        log.push(SlowQuery {
+            cmd,
+            seq,
+            total_us: plan.total_us,
+            plan: *plan,
+        });
+        log.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.seq.cmp(&b.seq)));
+        log.truncate(keep);
+    }
+
+    fn metrics_body(&self) -> MetricsBody {
+        let registry = self.metrics();
+        let slow_queries = Self::lock(&self.slow_log, "slow-query log").clone();
+        let tracer = Self::lock(&self.tracer, "tracer");
+        MetricsBody {
+            registry,
+            slow_queries,
+            trace_len: tracer.len() as u64,
+            trace_dropped: tracer.dropped(),
+            trace_capacity: tracer.capacity() as u64,
+        }
+    }
+
+    fn health_body(&self) -> HealthBody {
+        let live = self.live.stats();
+        let cache = self.cache.stats();
+        let (inflight, queued) = self.gate.occupancy();
+        let draining = self.is_draining();
+        let saturated = self.opts.max_inflight > 0
+            && inflight >= self.opts.max_inflight as u64
+            && queued >= self.opts.max_queue as u64;
+        let status = if draining {
+            "draining"
+        } else if saturated {
+            "saturated"
+        } else {
+            "ok"
+        };
+        HealthBody {
+            status: status.to_owned(),
+            generation: live.generation,
+            active_pins: live.active_pins,
+            min_pinned: live.min_pinned,
+            inflight,
+            queued,
+            max_inflight: self.opts.max_inflight as u64,
+            max_queue: self.opts.max_queue as u64,
+            draining,
+            retired_dirs: live.retired_dirs,
+            cache_entries: cache.entries,
+        }
+    }
+
+    fn execute(
+        &self,
+        cmd: Command,
+        plan: &mut PlanTrace,
+        spans: &mut SpanStack,
+        seq: u64,
+    ) -> Response {
         match cmd {
-            Command::Info => self.info(),
+            Command::Info => self.info(plan, spans, seq),
             Command::Append { events } => self.append(&events),
             Command::Compact { target_rows } => self.compact(target_rows),
-            cmd => self.query(cmd),
+            cmd => self.query(cmd, plan, spans, seq),
         }
+    }
+
+    fn counter_value(&self, name: &str) -> u64 {
+        Self::lock(&self.registry, "registry")
+            .counter_value(name)
+            .unwrap_or(0)
     }
 
     fn stats(&self) -> StatsBody {
         let live = self.live.stats();
         let cache = self.cache.stats();
         let (inflight, queued) = self.gate.occupancy();
-        let requests = self
-            .metrics()
-            .counters
-            .iter()
-            .find(|c| c.name == "serve.requests")
-            .map_or(0, |c| c.value);
+        let requests = self.counter_value("serve.requests");
         StatsBody {
             generation: live.generation,
             active_pins: live.active_pins,
@@ -339,13 +596,20 @@ impl ServeCore {
             busy_rejections: *Self::lock(&self.busy_rejections, "busy counter"),
             inflight,
             queued,
+            gate_wait_total_us: self.counter_value("serve.gate_wait_total_us"),
+            gate_abandoned: self.counter_value("serve.gate_abandoned"),
+            gate_abandon_wait_us: self.counter_value("serve.gate_abandon_wait_us"),
         }
     }
 
-    fn info(&self) -> Response {
+    fn info(&self, plan: &mut PlanTrace, spans: &mut SpanStack, seq: u64) -> Response {
+        let pin_span = self.span_open(spans, seq, "pin");
         let pin = Instant::now();
         let snap = self.live.snapshot();
-        self.observe(self.meters.pin_us, pin);
+        plan.pin_us = dur_us(pin.elapsed());
+        self.span_close(spans, seq, pin_span, plan.pin_us);
+        self.observe_us(self.meters.pin_us, plan.pin_us);
+        plan.generation = snap.generation();
         let m = snap.manifest();
         Response::Info {
             info: InfoBody {
@@ -409,7 +673,13 @@ impl ServeCore {
         }
     }
 
-    fn query(&self, cmd: Command) -> Response {
+    fn query(
+        &self,
+        cmd: Command,
+        plan: &mut PlanTrace,
+        spans: &mut SpanStack,
+        seq: u64,
+    ) -> Response {
         let normalized = match serde_json::to_string(&cmd) {
             Ok(s) => s,
             Err(e) => {
@@ -419,24 +689,70 @@ impl ServeCore {
                 }
             }
         };
+        let pin_span = self.span_open(spans, seq, "pin");
         let pin = Instant::now();
         let mut snap = self.live.snapshot();
-        self.observe(self.meters.pin_us, pin);
+        plan.pin_us = dur_us(pin.elapsed());
+        self.span_close(spans, seq, pin_span, plan.pin_us);
+        self.observe_us(self.meters.pin_us, plan.pin_us);
         let generation = snap.generation();
+        plan.generation = generation;
         if cmd.cacheable() {
+            let lookup = Instant::now();
             if let Some(mut resp) = self.cache.get(generation, &normalized) {
                 resp.set_cached(true);
+                // A hit replays the populating scan's work accounting;
+                // the plan says so via cache_hit, and PlanMeters will
+                // not double-count the scan-side facts. exec_us is the
+                // cache lookup itself — the hit's whole execution.
+                plan.cache_hit = true;
+                plan.exec_us = dur_us(lookup.elapsed());
+                copy_scan_stats(&resp, plan);
                 return resp;
             }
         }
+        let scan_span = self.span_open(spans, seq, "scan");
         let exec = Instant::now();
         let resp = run_query(&mut snap, generation, cmd);
-        self.observe(self.meters.exec_us, exec);
+        plan.exec_us = dur_us(exec.elapsed());
+        self.span_close(spans, seq, scan_span, plan.exec_us);
+        self.observe_us(self.meters.exec_us, plan.exec_us);
+        copy_scan_stats(&resp, plan);
         if !matches!(resp, Response::Error { .. }) {
             self.cache.insert(generation, &normalized, resp.clone());
         }
         resp
     }
+}
+
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Compact command description for the slow-query log: normalized JSON
+/// for everything except appends, whose event payload would bloat it.
+fn cmd_label(cmd: &Command) -> String {
+    match cmd {
+        Command::Append { events } => format!("append[{} events]", events.len()),
+        other => serde_json::to_string(other).unwrap_or_else(|_| "?".to_owned()),
+    }
+}
+
+/// Lifts a query response's scan accounting into the plan trace.
+fn copy_scan_stats(resp: &Response, plan: &mut PlanTrace) {
+    let stats = match resp {
+        Response::Counts { stats, .. }
+        | Response::Top { stats, .. }
+        | Response::Bytes { stats, .. }
+        | Response::Series { stats, .. } => stats,
+        _ => return,
+    };
+    plan.segments_pruned = stats.segments_pruned;
+    plan.segments_zone_answered = stats.segments_zone_answered;
+    plan.segments_scanned = stats.segments_scanned;
+    plan.scan_us = stats.scan_us;
+    plan.decode_bytes = stats.bytes_scanned;
+    plan.rows_scanned = stats.rows_scanned;
 }
 
 fn store_error(e: &StoreError) -> Response {
@@ -574,6 +890,53 @@ mod tests {
         drop(p1);
         waiter.join().expect("waiter exits");
         assert_eq!(gate.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn timed_admit_abandons_after_the_wait_limit() {
+        let gate = AdmissionGate::new(1, 4);
+        let _held = gate.admit().unwrap();
+        let refusal = gate
+            .admit_timed(Some(Duration::from_millis(5)))
+            .expect_err("slot never frees");
+        assert!(
+            refusal.abandoned,
+            "queued waiter should give up: {refusal:?}"
+        );
+        assert!(
+            refusal.waited >= Duration::from_millis(5),
+            "abandon reports the time actually burned: {:?}",
+            refusal.waited
+        );
+        // The abandoned waiter must have left the queue.
+        assert_eq!(gate.occupancy(), (1, 0));
+    }
+
+    #[test]
+    fn timed_admit_attributes_queue_wait_on_success() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let p1 = gate.admit().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = thread::spawn(move || {
+            let (permit, waited) = g2.admit_timed(None).expect("eventually admitted");
+            drop(permit);
+            waited
+        });
+        while gate.occupancy().1 == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        thread::sleep(Duration::from_millis(5));
+        drop(p1);
+        let waited = waiter.join().expect("waiter exits");
+        assert!(
+            waited >= Duration::from_millis(5),
+            "success reports queue time: {waited:?}"
+        );
+        // An immediate refusal (full queue, no waiting allowed) is not
+        // an abandon.
+        let gate = AdmissionGate::new(0, 0);
+        let refusal = gate.admit_timed(Some(Duration::from_secs(1))).unwrap_err();
+        assert!(!refusal.abandoned);
     }
 
     #[test]

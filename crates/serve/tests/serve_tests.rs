@@ -282,6 +282,139 @@ fn saturated_service_answers_typed_busy() {
 }
 
 #[test]
+fn plan_traces_ride_on_gated_replies() {
+    let dir = temp_store_dir("plan");
+    let core = open_core(&dir, &ServeOptions::default());
+    let mut client = Client::local(Arc::clone(&core));
+    append(&mut client, wire_batch(0, 40));
+
+    // Service verbs carry no plan.
+    assert_eq!(client.request(Command::Ping).unwrap().plan, None);
+    assert_eq!(client.request(Command::Stats).unwrap().plan, None);
+
+    let cmd = Command::CountByClass {
+        filter: Filter::default(),
+    };
+    let miss = client.request(cmd.clone()).unwrap();
+    let plan = miss.plan.expect("gated replies carry a plan");
+    assert!(!plan.cache_hit);
+    assert_eq!(plan.generation, core.live().generation());
+    assert!(
+        plan.segments_scanned + plan.segments_zone_answered + plan.segments_pruned > 0,
+        "scan accounted for its segments: {plan}"
+    );
+    assert!(
+        plan.total_us >= plan.exec_us,
+        "request envelope covers execution: {plan}"
+    );
+
+    // A repeat at the same generation is a hit and replays the
+    // populating scan's facts.
+    let hit = client.request(cmd).unwrap();
+    let hit_plan = hit.plan.expect("hit still carries a plan");
+    assert!(hit_plan.cache_hit);
+    assert_eq!(hit_plan.generation, plan.generation);
+    assert_eq!(hit_plan.segments_scanned, plan.segments_scanned);
+    assert_eq!(hit_plan.rows_scanned, plan.rows_scanned);
+}
+
+#[test]
+fn metrics_and_health_expose_the_live_surface() {
+    let dir = temp_store_dir("metrics");
+    let core = open_core(&dir, &ServeOptions::default());
+    let mut client = Client::local(Arc::clone(&core));
+    append(&mut client, wire_batch(0, 30));
+    for _ in 0..3 {
+        client
+            .request(Command::CountByClass {
+                filter: Filter::default(),
+            })
+            .unwrap();
+    }
+
+    match client.request(Command::Metrics).unwrap().resp {
+        Response::Metrics { metrics } => {
+            let reg = &metrics.registry;
+            let total = reg
+                .histograms
+                .iter()
+                .find(|h| h.name == "serve.plan.total_us")
+                .expect("plan latency histogram registered");
+            assert_eq!(total.count, 4, "one append + three counts");
+            assert!(reg
+                .counters
+                .iter()
+                .any(|c| c.name == "serve.plan.cache_hits" && c.value == 2));
+            assert!(!metrics.slow_queries.is_empty(), "slow log populated");
+            assert!(
+                metrics
+                    .slow_queries
+                    .windows(2)
+                    .all(|w| w[0].total_us >= w[1].total_us),
+                "slow log is sorted worst-first"
+            );
+            assert!(metrics.trace_capacity > 0);
+            assert!(
+                metrics.trace_len >= 8,
+                "spans recorded: {} events",
+                metrics.trace_len
+            );
+        }
+        other => panic!("metrics answered {other:?}"),
+    }
+
+    match client.request(Command::Health).unwrap().resp {
+        Response::Health { health } => {
+            assert_eq!(health.status, "ok");
+            assert_eq!(health.generation, core.live().generation());
+            assert_eq!(health.max_inflight, 64);
+            assert_eq!(health.max_queue, 256);
+            assert!(!health.draining);
+            assert_eq!(health.inflight, 0, "nothing executing between requests");
+        }
+        other => panic!("health answered {other:?}"),
+    }
+}
+
+#[test]
+fn abandoned_gate_waits_are_attributed() {
+    let dir = temp_store_dir("abandon");
+    // No execution slots but room to queue, with a 10 ms wait budget:
+    // every gated request waits its budget in the queue, gives up, and
+    // the burned time is attributed in the plan and the stats.
+    let core = open_core(
+        &dir,
+        &ServeOptions {
+            max_inflight: 0,
+            max_queue: 4,
+            max_queue_wait_ms: Some(10),
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = Client::local(Arc::clone(&core));
+    let reply = client
+        .request(Command::Bytes {
+            filter: Filter::default(),
+        })
+        .unwrap();
+    assert!(matches!(reply.resp, Response::Busy { .. }));
+    let plan = reply.plan.expect("busy refusals attribute their wait");
+    assert!(
+        plan.admission_wait_us >= 10_000,
+        "the abandoned wait is the plan's admission time: {plan}"
+    );
+    match client.request(Command::Stats).unwrap().resp {
+        Response::Stats { stats } => {
+            assert_eq!(stats.busy_rejections, 1);
+            assert_eq!(stats.gate_abandoned, 1);
+            assert!(stats.gate_abandon_wait_us >= 10_000);
+            assert!(stats.gate_wait_total_us >= stats.gate_abandon_wait_us);
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+}
+
+#[test]
 fn drain_refuses_new_work_but_answers_ping() {
     let dir = temp_store_dir("drain");
     let core = open_core(&dir, &ServeOptions::default());
@@ -302,6 +435,19 @@ fn drain_refuses_new_work_but_answers_ping() {
         Response::ShuttingDown
     );
     assert_eq!(client.request(Command::Ping).unwrap().resp, Response::Pong);
+    // Health keeps answering during drain — that is when it matters.
+    match client.request(Command::Health).unwrap().resp {
+        Response::Health { health } => {
+            assert_eq!(health.status, "draining");
+            assert!(health.draining);
+        }
+        other => panic!("health answered {other:?}"),
+    }
+    assert_eq!(
+        client.request(Command::Metrics).unwrap().resp,
+        Response::ShuttingDown,
+        "metrics is not exempt from drain"
+    );
 }
 
 #[test]

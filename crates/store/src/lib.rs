@@ -49,6 +49,7 @@ pub mod ingest;
 pub mod live;
 pub mod query;
 pub mod segment;
+pub mod watch;
 
 use iri_bgp::types::{Asn, Prefix};
 use iri_core::classifier::ClassifiedEvent;
@@ -67,6 +68,7 @@ pub use ingest::{
 pub use live::{LiveOptions, LiveStats, LiveStore, PinGuard, Snapshot};
 pub use query::{build_manifest, Manifest, OpenOptions, Query, ScanStats, SegmentMeta, Store};
 pub use segment::{SegmentBuilder, SegmentData};
+pub use watch::{WatchConfig, WatchReport, Watcher};
 
 /// Number of logical shards an event stream is split into. Part of the
 /// on-disk format: changing it changes every segment boundary and file

@@ -292,6 +292,12 @@ pub struct ScanStats {
     pub rows_scanned: u64,
     /// Rows that matched the query.
     pub rows_matched: u64,
+    /// Wall microseconds inside the scan loop (prune + zone + decode +
+    /// filter). The one wall-clock field: it is the measured quantity, so
+    /// two otherwise-identical replies may differ here. Absent in replies
+    /// from older servers (reads as 0).
+    #[serde(default)]
+    pub scan_us: u64,
 }
 
 impl ScanStats {
@@ -568,7 +574,8 @@ impl Store {
         None
     }
 
-    fn finish_stats(&mut self, stats: &ScanStats, started: Instant) {
+    fn finish_stats(&mut self, stats: &mut ScanStats, started: Instant) {
+        stats.scan_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.registry.inc(self.metrics.queries);
         self.registry
             .add(self.metrics.segments_pruned, stats.segments_pruned);
@@ -590,10 +597,7 @@ impl Store {
             .add(self.metrics.rows_scanned, stats.rows_scanned);
         self.registry
             .add(self.metrics.bytes_scanned, stats.bytes_scanned);
-        self.registry.observe(
-            self.metrics.scan_us,
-            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
-        );
+        self.registry.observe(self.metrics.scan_us, stats.scan_us);
     }
 
     /// Streams every matching row, in (shard, seq, row) order — i.e. each
@@ -719,7 +723,7 @@ impl Store {
             Ok(())
         })();
         self.manifest.segments = segments;
-        self.finish_stats(&stats, started);
+        self.finish_stats(&mut stats, started);
         result.map(|()| stats)
     }
 
