@@ -62,6 +62,27 @@ sys.exit(0 if worst <= r['budget_pct'] else 1)
 " || { echo "    bench_obs: instrumentation overhead above the 5% budget"; exit 1; }
 echo "    observability overhead within the 5% budget"
 
+echo "==> scenario packs: strict-parse every pack in packs/"
+for p in packs/*.toml; do
+    ./target/release/run_scenario --pack "$p" --check
+done
+
+echo "==> scenario pack end-to-end smoke (1 simulated hour, streaming runner)"
+rm -rf target/ci_pack_smoke.store target/ci_pack_smoke.store-ribspill
+./target/release/run_scenario --pack packs/quiet.toml \
+    --store target/ci_pack_smoke.store --hours 1 --report-json target/ci_pack_smoke.json
+python3 -c "
+import json, sys
+r = json.load(open('target/ci_pack_smoke.json'))
+sys.exit(0 if r['events_written'] > 0 and r['store_generation'] > 0 else 1)
+" || { echo "    pack smoke run committed nothing"; exit 1; }
+echo "    quiet pack streamed 1 simulated hour into a live store"
+
+echo "==> bench_scale (regenerates BENCH_scale.json; RSS + detection gates)"
+cargo run --release -q -p iri-bench --bin bench_scale
+python3 -m json.tool BENCH_scale.json > /dev/null
+echo "    BENCH_scale.json is well-formed JSON"
+
 echo "==> tracescope --connect smoke (live health + metrics surface)"
 rm -rf target/ci_connect.store target/ci_serve.fifo target/ci_serve.log
 mkfifo target/ci_serve.fifo

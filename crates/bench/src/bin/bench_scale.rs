@@ -1,0 +1,232 @@
+//! `bench_scale` — proves the streaming runner's memory is set by the
+//! topology working set, not the simulated duration, and that the
+//! fault packs stay detectable at scale.
+//!
+//! Peak RSS (`VmHWM`) is monotone per process, so every measurement
+//! point runs in a **child re-exec** of this binary: the parent spawns
+//! `bench_scale --child …` per point and each child reports its own
+//! high-water mark untainted by the other points.
+//!
+//! ```sh
+//! bench_scale                          # writes BENCH_scale.json
+//! bench_scale --hours 2 --out /tmp/b.json   # truncated CI smoke
+//! ```
+//!
+//! The output carries two claims the CI gate checks:
+//! - `rss_ratio`: peak RSS at 7 simulated days over 1 day on the same
+//!   topology — sublinear memory means this stays ≤ 1.2;
+//! - `detection`: precision/recall of the watcher against the churn and
+//!   worm packs' ground truth (bars: ≥ 0.9 / ≥ 0.8).
+
+use iri_bench::arg_u64;
+use iri_scenario::{RunnerOptions, ScenarioPack, ScenarioRunner};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// `--key value` string argument.
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// One duration point on the fixed baseline topology.
+#[derive(Serialize)]
+struct ScalePoint {
+    days: u32,
+    hours_per_day: u32,
+    events_written: u64,
+    events_per_sec: f64,
+    peak_rss_kb: u64,
+    spill_spills: u64,
+    spill_restores: u64,
+}
+
+/// One fault pack scored against its ground truth.
+#[derive(Serialize)]
+struct DetectionPoint {
+    pack: String,
+    truths: usize,
+    true_positives: usize,
+    false_positives: usize,
+    precision: f64,
+    recall: f64,
+}
+
+#[derive(Serialize)]
+struct BenchScale {
+    schema: &'static str,
+    baseline_pack: String,
+    scale_points: Vec<ScalePoint>,
+    /// Peak RSS at the longest duration over the shortest.
+    rss_ratio: f64,
+    /// `rss_ratio <= 1.2`: memory does not grow with simulated time.
+    sublinear_memory: bool,
+    detection: Vec<DetectionPoint>,
+    /// Every detection point at precision ≥ 0.9 and recall ≥ 0.8.
+    detection_ok: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--child") {
+        run_child(&args);
+        return;
+    }
+    let pack_dir = arg_str(&args, "--packs").unwrap_or_else(|| "packs".to_owned());
+    let out = arg_str(&args, "--out").unwrap_or_else(|| "BENCH_scale.json".to_owned());
+    let hours = arg_u64(&args, "--hours", 24) as u32;
+    let baseline = format!("{pack_dir}/paper_1996.toml");
+
+    let mut scale_points = Vec::new();
+    for days in [1u32, 3, 7] {
+        let report = run_point(&args, &baseline, days, hours);
+        println!(
+            "scale: {days} day(s) × {hours} h — {} events, peak RSS {} MiB, \
+             {:.0} events/s",
+            report.events_written,
+            report.peak_rss_kb / 1024,
+            report.events_per_sec
+        );
+        scale_points.push(ScalePoint {
+            days,
+            hours_per_day: report.hours_per_day,
+            events_written: report.events_written,
+            events_per_sec: report.events_per_sec,
+            peak_rss_kb: report.peak_rss_kb,
+            spill_spills: report.spill.spills,
+            spill_restores: report.spill.restores,
+        });
+    }
+    let first = scale_points.first().map_or(1, |p| p.peak_rss_kb.max(1));
+    let last = scale_points.last().map_or(1, |p| p.peak_rss_kb.max(1));
+    let rss_ratio = last as f64 / first as f64;
+
+    let mut detection = Vec::new();
+    for name in ["community_churn", "worm_outbreak"] {
+        let pack_path = format!("{pack_dir}/{name}.toml");
+        let report = run_point(&args, &pack_path, 0, hours);
+        let s = &report.scorecard;
+        println!(
+            "detection: {} — precision {:.2} recall {:.2} ({} tp / {} fp / {} fn)",
+            report.pack,
+            s.precision,
+            s.recall,
+            s.true_positives,
+            s.false_positives,
+            s.false_negatives
+        );
+        detection.push(DetectionPoint {
+            pack: report.pack.clone(),
+            truths: s.truths,
+            true_positives: s.true_positives,
+            false_positives: s.false_positives,
+            precision: s.precision,
+            recall: s.recall,
+        });
+    }
+
+    let bench = BenchScale {
+        schema: "bench-scale-v1",
+        baseline_pack: baseline,
+        rss_ratio,
+        sublinear_memory: rss_ratio <= 1.2,
+        detection_ok: detection
+            .iter()
+            .all(|d| d.precision >= 0.9 && d.recall >= 0.8),
+        scale_points,
+        detection,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialise bench");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("bench_scale: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "rss ratio {rss_ratio:.3} (sublinear: {}), detection ok: {} — written to {out}",
+        bench.sublinear_memory, bench.detection_ok
+    );
+    if !bench.sublinear_memory || !bench.detection_ok {
+        std::process::exit(1);
+    }
+}
+
+/// Spawns a child re-exec for one (pack, days) point and reads back its
+/// full `RunReport`.
+fn run_point(args: &[String], pack_path: &str, days: u32, hours: u32) -> iri_scenario::RunReport {
+    let scratch = std::env::temp_dir().join(format!(
+        "iri-bench-scale-{}-{}",
+        std::process::id(),
+        Path::new(pack_path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    ));
+    let store = scratch.join(format!("store-{days}d"));
+    let report_path = scratch.join(format!("report-{days}d.json"));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut cmd = Command::new(exe);
+    // Return freed day-state to the OS promptly: without these glibc
+    // keeps retired arenas resident, and that allocator drift — not any
+    // live data — is what a naive VmHWM comparison across durations
+    // measures. Same configuration any long-running deployment wants.
+    cmd.env("MALLOC_TRIM_THRESHOLD_", "131072")
+        .env("MALLOC_MMAP_THRESHOLD_", "131072");
+    cmd.arg("--child")
+        .arg("--pack")
+        .arg(pack_path)
+        .arg("--store")
+        .arg(&store)
+        .arg("--report")
+        .arg(&report_path)
+        .arg("--hours")
+        .arg(hours.to_string())
+        .arg("--jobs")
+        .arg(arg_u64(args, "--jobs", 0).to_string());
+    if days > 0 {
+        cmd.arg("--days").arg(days.to_string());
+    }
+    let status = cmd.status().expect("spawn child");
+    if !status.success() {
+        eprintln!("bench_scale: child failed for {pack_path} ({days} days)");
+        std::process::exit(1);
+    }
+    let raw = std::fs::read_to_string(&report_path).expect("read child report");
+    let report = serde_json::from_str(&raw).expect("parse child report");
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+}
+
+/// Child mode: run one pack and write the `RunReport` as JSON.
+fn run_child(args: &[String]) {
+    let pack_path = arg_str(args, "--pack").expect("--child needs --pack");
+    let store = arg_str(args, "--store").expect("--child needs --store");
+    let report_path = arg_str(args, "--report").expect("--child needs --report");
+    let mut pack = ScenarioPack::load(Path::new(&pack_path)).unwrap_or_else(|e| {
+        eprintln!("bench_scale: {pack_path}: {e}");
+        std::process::exit(1);
+    });
+    let days = arg_u64(args, "--days", 0) as u32;
+    if days > 0 {
+        pack.run.days = days;
+    }
+    let opts = RunnerOptions {
+        jobs: arg_u64(args, "--jobs", 0) as usize,
+        hours: Some(arg_u64(args, "--hours", 24) as u32),
+        ..RunnerOptions::default()
+    };
+    let report = ScenarioRunner::new(pack, opts)
+        .run(&PathBuf::from(&store))
+        .unwrap_or_else(|e| {
+            eprintln!("bench_scale: {e}");
+            std::process::exit(1);
+        });
+    let json = serde_json::to_string(&report).expect("serialise report");
+    std::fs::write(&report_path, json).unwrap_or_else(|e| {
+        eprintln!("bench_scale: cannot write {report_path}: {e}");
+        std::process::exit(1);
+    });
+}

@@ -5,26 +5,61 @@
 //!
 //! ```sh
 //! mrtgen out.mrt --records 1000000 --peers 16 --prefixes 20000
+//! mrtgen out.mrt --pack packs/paper_1996.toml   # [synthetic] + pack seed
 //! mrtstat out.mrt --jobs 4
 //! ```
+//!
+//! With `--pack`, the record/peer/prefix shape comes from the pack's
+//! `[synthetic]` section and the seed from `[pack] seed` — the same
+//! single source of truth the scenario runner uses; explicit `--records`
+//! / `--peers` / `--prefixes` / `--seed` flags still override.
 
 use iri_bench::{arg_u64, write_synthetic_log, GenLogConfig};
 use iri_mrt::MrtWriter;
+use iri_scenario::ScenarioPack;
 use std::fs::File;
 use std::io::BufWriter;
+use std::path::Path;
+
+/// `--key value` string argument.
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
-        eprintln!("usage: mrtgen <out.mrt> [--records N] [--peers P] [--prefixes K] [--seed S]");
+        eprintln!(
+            "usage: mrtgen <out.mrt> [--pack <pack.toml>] [--records N] [--peers P] \
+             [--prefixes K] [--seed S]"
+        );
         std::process::exit(2);
     };
-    let cfg = GenLogConfig {
-        records: arg_u64(&args, "--records", 1_000_000),
-        peers: arg_u64(&args, "--peers", 16) as u32,
-        prefixes: arg_u64(&args, "--prefixes", 20_000) as u32,
-        seed: arg_u64(&args, "--seed", 0x1997),
+    let mut cfg = GenLogConfig {
+        records: 1_000_000,
+        peers: 16,
+        prefixes: 20_000,
+        seed: 0x1997,
     };
+    if let Some(pack_path) = arg_str(&args, "--pack") {
+        let pack = ScenarioPack::load(Path::new(&pack_path)).unwrap_or_else(|e| {
+            eprintln!("mrtgen: {pack_path}: {e}");
+            std::process::exit(1);
+        });
+        if let Some(s) = &pack.synthetic {
+            cfg.records = s.records;
+            cfg.peers = s.peers;
+            cfg.prefixes = s.prefixes;
+        }
+        cfg.seed = pack.meta.seed;
+    }
+    cfg.records = arg_u64(&args, "--records", cfg.records);
+    cfg.peers = arg_u64(&args, "--peers", u64::from(cfg.peers)) as u32;
+    cfg.prefixes = arg_u64(&args, "--prefixes", u64::from(cfg.prefixes)) as u32;
+    cfg.seed = arg_u64(&args, "--seed", cfg.seed);
     let file = File::create(path).unwrap_or_else(|e| {
         eprintln!("mrtgen: cannot create {path}: {e}");
         std::process::exit(1);

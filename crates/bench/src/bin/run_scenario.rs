@@ -1,21 +1,25 @@
-//! `run_scenario` — run a user-supplied experiment from JSON configs.
+//! `run_scenario` — run a scenario pack (or a legacy experiment JSON).
 //!
-//! The whole workload surface (graph generation + calendar + event mix) is
-//! serde-serialisable; this binary makes it a downstream-usable tool:
+//! The preferred input is a **scenario pack**: one versioned TOML/JSON
+//! file holding topology, workload, fault schedules, detector tuning,
+//! memory limits, and expected-incident ground truth (see
+//! `iri-scenario` and the seed packs under `packs/`). Packs run through
+//! the streaming runner: bounded channel into the live store, optional
+//! RIB spill, watcher polling between chunks, and a final
+//! precision/recall scorecard against the pack's ground truth.
 //!
 //! ```sh
-//! run_scenario --print-default > scenario.json   # dump the default config
-//! run_scenario scenario.json --day 45            # run one day of it
-//! run_scenario scenario.json --day 45 --days 7 --jobs 4   # a parallel week
+//! run_scenario --pack packs/worm_outbreak.toml --store /tmp/worm
+//! run_scenario --pack packs/paper_1996.toml --store /tmp/p96 \
+//!     --days 7 --jobs 4 --max-rss-mb 2048 --report-json report.json
+//! run_scenario --print-default > scenario.json   # legacy JSON config
+//! run_scenario scenario.json --day 45            # legacy one-day run
 //! ```
 //!
-//! With `--days N` the binary runs N consecutive days starting at `--day`
-//! through the `iri-pipeline` parallel map (`--jobs` workers, 0 = one per
-//! CPU) and prints one summary row per day plus the pipeline telemetry.
-//! `--metrics-json <path>` writes that telemetry (single-day runs: the
-//! per-class breakdown) as JSON for automation.
-//!
-//! The config file holds `{ "graph": GraphConfig, "scenario": ScenarioConfig }`.
+//! The legacy `{graph, scenario}` JSON config is still accepted as a
+//! positional argument and runs the classic in-memory day pipeline; its
+//! schema and defaults now come from `iri_scenario::Experiment`, the
+//! same loader the pack format derives from.
 
 use iri_bench::summary::summarize_day;
 use iri_bench::{arg_u64, logged_to_events};
@@ -24,17 +28,12 @@ use iri_core::stats::incidents::detect_incidents;
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_pipeline::PipelineMetrics;
-use iri_topology::asgraph::{AsGraph, GraphConfig};
-use iri_topology::scenario::ScenarioConfig;
-use serde::{Deserialize, Serialize};
+use iri_scenario::{Experiment, RunnerOptions, ScenarioPack, ScenarioRunner};
+use iri_topology::asgraph::AsGraph;
+use serde::Serialize;
+use std::path::Path;
 
-#[derive(Serialize, Deserialize)]
-struct ExperimentFile {
-    graph: GraphConfig,
-    scenario: ScenarioConfig,
-}
-
-/// The `--metrics-json` payload.
+/// The `--metrics-json` payload (legacy mode).
 #[derive(Serialize)]
 struct MetricsDump {
     day: u32,
@@ -72,20 +71,25 @@ fn write_metrics(path: &str, dump: &MetricsDump) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--print-default") {
-        let graph_cfg = GraphConfig::default_scaled(0.05);
-        let scenario = ScenarioConfig::default_for(graph_cfg.prefixes);
-        let file = ExperimentFile {
-            graph: graph_cfg,
-            scenario,
-        };
+        let file = Experiment::default_at(0.05);
         println!(
             "{}",
             serde_json::to_string_pretty(&file).expect("serialise")
         );
         return;
     }
+    if let Some(pack_path) = arg_str(&args, "--pack") {
+        run_pack(&pack_path, &args);
+        return;
+    }
     let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
-        eprintln!("usage: run_scenario <config.json> [--day N] | run_scenario --print-default");
+        eprintln!(
+            "usage: run_scenario --pack <pack.toml> --store <dir> [--days N] [--jobs N] \
+             [--hours H] [--max-rss-mb M] [--report-json <path>]\n\
+             \x20      run_scenario --pack <pack.toml> --check\n\
+             \x20      run_scenario <config.json> [--day N] [--days N] [--jobs N]\n\
+             \x20      run_scenario --print-default"
+        );
         std::process::exit(2);
     };
     let day = arg_u64(&args, "--day", 45) as u32;
@@ -93,7 +97,7 @@ fn main() {
         eprintln!("run_scenario: cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let file: ExperimentFile = serde_json::from_str(&raw).unwrap_or_else(|e| {
+    let file: Experiment = serde_json::from_str(&raw).unwrap_or_else(|e| {
         eprintln!("run_scenario: bad config: {e}");
         std::process::exit(1);
     });
@@ -159,10 +163,108 @@ fn main() {
     }
 }
 
+/// `--pack` mode: parse, apply CLI overrides, stream through the runner,
+/// and print the report + scorecard.
+fn run_pack(pack_path: &str, args: &[String]) {
+    let mut pack = ScenarioPack::load(Path::new(pack_path)).unwrap_or_else(|e| {
+        eprintln!("run_scenario: {pack_path}: {e}");
+        std::process::exit(1);
+    });
+    if args.iter().any(|a| a == "--check") {
+        let graph = pack.graph_config();
+        // Also validates the exchange name and fault/truth semantics.
+        pack.scenario_config().unwrap_or_else(|e| {
+            eprintln!("run_scenario: {pack_path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "{pack_path}: ok — {} ({} day(s), {} prefixes, {} fault(s), {} truth(s))",
+            pack.meta.name,
+            pack.run.days,
+            graph.prefixes,
+            pack.faults.len(),
+            pack.ground_truth.len()
+        );
+        return;
+    }
+    let Some(store_dir) = arg_str(args, "--store") else {
+        eprintln!("run_scenario: --pack requires --store <dir>");
+        std::process::exit(2);
+    };
+    if let Some(days) = arg_str(args, "--days") {
+        pack.run.days = days.parse().unwrap_or_else(|e| {
+            eprintln!("run_scenario: bad --days: {e}");
+            std::process::exit(2);
+        });
+    }
+    let hours = arg_str(args, "--hours").map(|h| {
+        h.parse::<u32>().unwrap_or_else(|e| {
+            eprintln!("run_scenario: bad --hours: {e}");
+            std::process::exit(2);
+        })
+    });
+    let opts = RunnerOptions {
+        jobs: arg_u64(args, "--jobs", 0) as usize,
+        max_rss_mb: arg_u64(args, "--max-rss-mb", 0),
+        hours,
+        verbose: true,
+        ..RunnerOptions::default()
+    };
+    println!(
+        "pack: {} (\"{}\") — {} day(s), seed {}",
+        pack.meta.name, pack.meta.description, pack.run.days, pack.meta.seed
+    );
+    let report = ScenarioRunner::new(pack, opts)
+        .run(Path::new(&store_dir))
+        .unwrap_or_else(|e| {
+            eprintln!("run_scenario: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "\n{} events committed over {} day(s) ({} h/day) at {:.0} events/s; \
+         store generation {}",
+        report.events_written,
+        report.days,
+        report.hours_per_day,
+        report.events_per_sec,
+        report.store_generation
+    );
+    println!(
+        "census: {} prefixes; peak RSS {} MiB; spill: {} out / {} in ({} B written)",
+        report.final_census_prefixes,
+        report.peak_rss_kb / 1024,
+        report.spill.spills,
+        report.spill.restores,
+        report.spill.bytes_written
+    );
+    for inc in &report.incidents {
+        println!(
+            "incident: {:?} onset {} min detected {} min cause {}",
+            inc.kind,
+            inc.onset_ms / 60_000,
+            inc.detected_ms / 60_000,
+            inc.cause
+        );
+    }
+    let s = &report.scorecard;
+    println!(
+        "scorecard: {} truths, {} tp / {} fp / {} fn — precision {:.2} recall {:.2}",
+        s.truths, s.true_positives, s.false_positives, s.false_negatives, s.precision, s.recall
+    );
+    if let Some(path) = arg_str(args, "--report-json") {
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("run_scenario: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("report written to {path}");
+    }
+}
+
 /// Parallel multi-day mode: each day is an independent seeded simulation,
 /// dealt to `jobs` workers by `iri-pipeline`'s ordered map.
 fn run_parallel_days(
-    file: &ExperimentFile,
+    file: &Experiment,
     graph: &AsGraph,
     start_day: u32,
     days: u32,

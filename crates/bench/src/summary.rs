@@ -32,12 +32,15 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Default laptop-scale experiment at `scale`.
+    /// Default laptop-scale experiment at `scale`, derived from the
+    /// scenario-pack loader (`iri_scenario::Experiment`) — the same
+    /// single source of truth `run_scenario --pack` uses, anchored so
+    /// these defaults are bit-for-bit the historical ones.
     #[must_use]
     pub fn at_scale(scale: f64) -> (Self, AsGraph) {
-        let graph_cfg = iri_topology::asgraph::GraphConfig::default_scaled(scale);
-        let graph = AsGraph::generate(&graph_cfg);
-        let scenario = ScenarioConfig::default_for(graph.prefix_count());
+        let exp = iri_scenario::Experiment::default_at(scale);
+        let graph = AsGraph::generate(&exp.graph);
+        let scenario = exp.scenario;
         (
             ExperimentConfig {
                 scale,

@@ -27,6 +27,7 @@ pub mod exchange;
 pub mod link;
 pub mod monitor;
 pub mod router;
+pub mod spill;
 pub mod world;
 
 pub use engine::{SimTime, DAY, HOUR, MINUTE, SECOND};
@@ -35,6 +36,8 @@ pub use iri_obs::{Cause, Registry, TraceEvent, TraceKind, Tracer};
 pub use link::{CsuFault, Link, LinkId};
 pub use monitor::{LoggedUpdate, Monitor};
 pub use router::{
-    AdjOutMode, CpuModel, CrashModel, Role, Router, RouterConfig, RouterCounters, RouterId,
+    AdjOutMode, CpuModel, CrashModel, RibImage, Role, Router, RouterConfig, RouterCounters,
+    RouterId,
 };
+pub use spill::{SpillConfig, SpillStats};
 pub use world::{World, WorldStats};

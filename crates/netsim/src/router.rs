@@ -1410,6 +1410,116 @@ impl Router {
     }
 }
 
+/// The spillable bulk of one router: every O(table-size) structure, as
+/// flat rows. Transient state — session FSMs, timers, pending flush
+/// windows, dampers, counters — stays resident (it is O(peers), not
+/// O(prefixes)), so a spilled router keeps its protocol position and
+/// only its tables round-trip through the [`crate::spill`] store.
+#[derive(Serialize, Deserialize)]
+pub struct RibImage {
+    /// Loc-RIB candidates as `(prefix, contributing peer, candidate)`;
+    /// best selections are recomputed deterministically on import.
+    pub loc_rib: Vec<(Prefix, Ipv4Addr, RouteCandidate)>,
+    /// Locally originated prefixes with their attributes.
+    pub originated: Vec<(Prefix, PathAttributes)>,
+    /// Remembered re-origination attributes.
+    pub remembered: Vec<(Prefix, PathAttributes)>,
+    /// Per-peer table images, keyed by peer router id.
+    pub peers: Vec<PeerImage>,
+}
+
+/// One peering session's spillable tables.
+#[derive(Serialize, Deserialize)]
+pub struct PeerImage {
+    /// The peer's router id.
+    pub peer: RouterId,
+    /// Adj-RIB-In rows.
+    pub adj_in: Vec<(Prefix, RouteCandidate)>,
+    /// Adj-RIB-Out wire state (empty for stateless implementations).
+    pub adj_out: Vec<(Prefix, PathAttributes)>,
+}
+
+impl RibImage {
+    /// Total rows across all tables (sizing diagnostics).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.loc_rib.len()
+            + self.originated.len()
+            + self.remembered.len()
+            + self
+                .peers
+                .iter()
+                .map(|p| p.adj_in.len() + p.adj_out.len())
+                .sum::<usize>()
+    }
+}
+
+impl Router {
+    /// Extracts the router's bulk RIB state, leaving the tables empty
+    /// (the spill step). The router must not process events until
+    /// [`Router::import_rib_image`] restores it.
+    pub fn export_rib_image(&mut self) -> RibImage {
+        let loc_rib = self.loc_rib.export_candidates();
+        self.loc_rib = LocRib::new();
+        let originated: Vec<(Prefix, PathAttributes)> =
+            std::mem::take(&mut self.originated).into_iter().collect();
+        let remembered: Vec<(Prefix, PathAttributes)> = std::mem::take(&mut self.remembered_attrs)
+            .into_iter()
+            .collect();
+        let peers = self
+            .peers
+            .iter_mut()
+            .map(|(&peer, p)| {
+                let adj_in = p.adj_in.export_routes();
+                p.adj_in.import_routes(Vec::new());
+                let adj_out = p.adj_out.export_advertised();
+                p.adj_out.import_advertised(Vec::new());
+                PeerImage {
+                    peer,
+                    adj_in,
+                    adj_out,
+                }
+            })
+            .collect();
+        RibImage {
+            loc_rib,
+            originated,
+            remembered,
+            peers,
+        }
+    }
+
+    /// Restores bulk RIB state extracted by [`Router::export_rib_image`].
+    /// The Loc-RIB decision process is deterministic, so best routes (and
+    /// the reachable count) reconstruct exactly.
+    pub fn import_rib_image(&mut self, image: RibImage) {
+        self.loc_rib = LocRib::new();
+        self.loc_rib.import_candidates(image.loc_rib);
+        self.originated = image.originated.into_iter().collect();
+        self.remembered_attrs = image.remembered.into_iter().collect();
+        for pi in image.peers {
+            if let Some(p) = self.peers.get_mut(&pi.peer) {
+                p.adj_in.import_routes(pi.adj_in);
+                p.adj_out.import_advertised(pi.adj_out);
+            }
+        }
+    }
+
+    /// Rows currently held across this router's bulk tables (what a spill
+    /// would write).
+    #[must_use]
+    pub fn rib_rows(&self) -> usize {
+        self.loc_rib.reachable_count()
+            + self.originated.len()
+            + self.remembered_attrs.len()
+            + self
+                .peers
+                .values()
+                .map(|p| p.adj_in.len() + p.adj_out.advertised_count())
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,244 @@
+//! Bounded-memory RIB residency: spill/restore of per-router tables
+//! through the [`StoreFs`](iri_faults::StoreFs) layer.
+//!
+//! At internet-2026 scale the sum of every router's Loc-RIB,
+//! Adj-RIB-In, and Adj-RIB-Out dwarfs the event queue — and most
+//! routers are cold most of the time: an exchange world delivers the
+//! bulk of its events to the route server and a handful of busy
+//! borders. Residency control exploits that: only a configurable
+//! **working set** of routers keeps its bulk tables ([`RibImage`]) in
+//! memory; before each event is dispatched, the routers it touches are
+//! restored if spilled, and least-recently-touched residents beyond
+//! the working set are serialized through the same `StoreFs` the
+//! segment store writes through (so fault-injection harnesses can
+//! exercise the spill path too). Monitored routers are pinned: the
+//! route server's tables back the census and would thrash otherwise.
+//!
+//! Restores are exact — the Loc-RIB decision process is deterministic,
+//! so an export/import round-trip reconstructs best routes
+//! bit-for-bit — which is why enabling spill does not change a
+//! simulation's message sequence (pinned by the
+//! `spill_equivalence` test).
+
+use crate::router::{RibImage, RouterId};
+use iri_faults::SharedFs;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Residency-control configuration.
+#[derive(Clone)]
+pub struct SpillConfig {
+    /// Filesystem the images go through (share it with the store to put
+    /// spill traffic under the same fault injector).
+    pub fs: SharedFs,
+    /// Directory for spill images (created on first spill).
+    pub dir: PathBuf,
+    /// Routers allowed to keep bulk tables resident, beyond the pinned
+    /// (monitored) set. Must be ≥ 1.
+    pub working_set: usize,
+}
+
+/// Spill-activity counters.
+#[derive(Debug, Default, Clone)]
+pub struct SpillStats {
+    /// Router images written out.
+    pub spills: u64,
+    /// Router images read back.
+    pub restores: u64,
+    /// Bytes written across all spills.
+    pub bytes_written: u64,
+    /// Bytes read across all restores.
+    pub bytes_read: u64,
+    /// Largest resident (non-pinned) set observed.
+    pub peak_resident: usize,
+}
+
+/// Per-world residency state. The world consults it before dispatching
+/// each event; see the [module docs](self).
+pub(crate) struct SpillState {
+    cfg: SpillConfig,
+    /// Monotone touch clock (deterministic LRU).
+    clock: u64,
+    /// Resident, non-pinned routers → last touch tick.
+    resident: HashMap<u32, u64>,
+    /// Routers whose tables are currently on disk (or empty-spilled).
+    spilled: HashMap<u32, bool>, // value: an image file exists
+    /// Pinned (monitored) routers — never spilled.
+    pinned: Vec<u32>,
+    dir_ready: bool,
+    pub(crate) stats: SpillStats,
+}
+
+impl SpillState {
+    pub(crate) fn new(cfg: SpillConfig, pinned: Vec<u32>) -> Self {
+        SpillState {
+            cfg,
+            clock: 0,
+            resident: HashMap::new(),
+            spilled: HashMap::new(),
+            pinned,
+            dir_ready: false,
+            stats: SpillStats::default(),
+        }
+    }
+
+    pub(crate) fn working_set(&self) -> usize {
+        self.cfg.working_set.max(1)
+    }
+
+    pub(crate) fn is_spilled(&self, router: RouterId) -> bool {
+        self.spilled.contains_key(&router.0)
+    }
+
+    fn image_path(&self, router: u32) -> PathBuf {
+        self.cfg.dir.join(format!("r{router}.rib"))
+    }
+
+    /// Records a touch; returns true if the router was previously
+    /// unknown to the resident set (newly resident).
+    pub(crate) fn touch(&mut self, router: RouterId) {
+        if self.pinned.contains(&router.0) {
+            return;
+        }
+        self.clock += 1;
+        self.resident.insert(router.0, self.clock);
+        let n = self.resident.len();
+        if n > self.stats.peak_resident {
+            self.stats.peak_resident = n;
+        }
+    }
+
+    /// Restores `router`'s image if spilled. Returns the parsed image to
+    /// import (None when resident or empty-spilled).
+    pub(crate) fn restore(&mut self, router: RouterId) -> Option<RibImage> {
+        let had_file = self.spilled.remove(&router.0)?;
+        self.stats.restores += 1;
+        if !had_file {
+            return None; // tables were empty at spill time
+        }
+        let path = self.image_path(router.0);
+        let bytes = self
+            .cfg
+            .fs
+            .read(&path)
+            .unwrap_or_else(|e| panic!("rib spill: read {}: {e}", path.display()));
+        self.stats.bytes_read += bytes.len() as u64;
+        let text = String::from_utf8(bytes)
+            .unwrap_or_else(|e| panic!("rib spill: {} not UTF-8: {e}", path.display()));
+        let image: RibImage = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("rib spill: {} corrupt: {e}", path.display()));
+        Some(image)
+    }
+
+    /// Chooses the eviction victim: the least-recently-touched resident
+    /// outside `keep` (ties broken by lower router id, deterministically).
+    pub(crate) fn pick_victim(&self, keep: &[RouterId]) -> Option<RouterId> {
+        if self.resident.len() <= self.working_set() {
+            return None;
+        }
+        self.resident
+            .iter()
+            .filter(|(id, _)| !keep.iter().any(|k| k.0 == **id))
+            .min_by_key(|(id, tick)| (**tick, **id))
+            .map(|(id, _)| RouterId(*id))
+    }
+
+    /// Writes `image` for `router` and marks it spilled. Empty images
+    /// are marked without touching the filesystem.
+    pub(crate) fn spill(&mut self, router: RouterId, image: &RibImage) {
+        self.resident.remove(&router.0);
+        self.stats.spills += 1;
+        if image.rows() == 0 {
+            self.spilled.insert(router.0, false);
+            return;
+        }
+        if !self.dir_ready {
+            self.cfg
+                .fs
+                .create_dir_all(&self.cfg.dir)
+                .unwrap_or_else(|e| panic!("rib spill: create {}: {e}", self.cfg.dir.display()));
+            self.dir_ready = true;
+        }
+        let path = self.image_path(router.0);
+        let text = serde_json::to_string(image)
+            .unwrap_or_else(|e| panic!("rib spill: encode r{}: {e}", router.0));
+        self.stats.bytes_written += text.len() as u64;
+        self.cfg
+            .fs
+            .write(&path, text.as_bytes())
+            .unwrap_or_else(|e| panic!("rib spill: write {}: {e}", path.display()));
+        self.spilled.insert(router.0, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RibImage;
+    use iri_bgp::attrs::{Origin, PathAttributes};
+    use iri_bgp::path::AsPath;
+    use iri_bgp::types::{Asn, Prefix};
+    use std::net::Ipv4Addr;
+
+    fn state(working_set: usize) -> SpillState {
+        let dir = std::env::temp_dir().join(format!("iri-spill-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SpillState::new(
+            SpillConfig {
+                fs: iri_faults::real_fs(),
+                dir,
+                working_set,
+            },
+            Vec::new(),
+        )
+    }
+
+    fn one_row_image() -> RibImage {
+        let prefix = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 24).expect("prefix");
+        let attrs = PathAttributes::new(
+            Origin::Igp,
+            AsPath::from_sequence([Asn(100)]),
+            Ipv4Addr::new(192, 0, 2, 1),
+        );
+        RibImage {
+            loc_rib: Vec::new(),
+            originated: vec![(prefix, attrs)],
+            remembered: Vec::new(),
+            peers: Vec::new(),
+        }
+    }
+
+    /// Regression: a *non-empty* spill must mark the router spilled, or the
+    /// next touch skips the restore and the exported tables are lost.
+    #[test]
+    fn non_empty_spill_marks_router_and_restores_rows() {
+        let mut s = state(1);
+        let r = RouterId(7);
+        s.touch(r);
+        s.spill(r, &one_row_image());
+        assert!(s.is_spilled(r), "non-empty spill left router unmarked");
+        let image = s.restore(r).expect("image round-trips");
+        assert_eq!(image.rows(), 1);
+        assert!(!s.is_spilled(r));
+        let _ = std::fs::remove_dir_all(&s.cfg.dir);
+    }
+
+    /// Empty images are marked spilled without a backing file and restore
+    /// to nothing.
+    #[test]
+    fn empty_spill_marks_without_file() {
+        let mut s = state(1);
+        let r = RouterId(3);
+        s.touch(r);
+        let empty = RibImage {
+            loc_rib: Vec::new(),
+            originated: Vec::new(),
+            remembered: Vec::new(),
+            peers: Vec::new(),
+        };
+        s.spill(r, &empty);
+        assert!(s.is_spilled(r));
+        assert!(s.restore(r).is_none());
+        assert!(!s.is_spilled(r));
+    }
+}

@@ -20,6 +20,7 @@ use crate::engine::{EventQueue, SimTime};
 use crate::link::{CsuFault, Link, LinkId};
 use crate::monitor::Monitor;
 use crate::router::{Effect, Router, RouterConfig, RouterId, TimerKind};
+use crate::spill::{SpillConfig, SpillState, SpillStats};
 use iri_bgp::message::Message;
 use iri_bgp::types::Prefix;
 use iri_mrt::PeerState;
@@ -165,6 +166,8 @@ pub struct World {
     tracer: Tracer,
     registry: Registry,
     obs: ObsIds,
+    /// RIB residency control; `None` = everything stays in memory.
+    spill: Option<Box<SpillState>>,
     /// Aggregate statistics.
     pub stats: WorldStats,
 }
@@ -186,6 +189,7 @@ impl World {
             tracer: Tracer::disabled(),
             registry,
             obs,
+            spill: None,
             stats: WorldStats::default(),
         }
     }
@@ -322,6 +326,13 @@ impl World {
     /// Takes a monitor out of the world (for analysis after a run).
     pub fn take_monitor(&mut self, router: RouterId) -> Option<Monitor> {
         self.monitors.remove(&router.0)
+    }
+
+    /// Number of events currently scheduled (diagnostics: lets callers
+    /// verify injection volume without running the world).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Dumps `router`'s current Loc-RIB as MRT TABLE_DUMP records — the
@@ -464,11 +475,91 @@ impl World {
     /// Runs until simulated time `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: SimTime) {
         while let Some((now, ev)) = self.queue.pop_until(t) {
+            if self.spill.is_some() {
+                let touched = Self::routers_touched(&ev, &self.links);
+                for r in touched.iter().flatten() {
+                    self.make_resident(*r);
+                }
+                let keep: Vec<RouterId> = touched.iter().flatten().copied().collect();
+                self.enforce_working_set(&keep);
+            }
             self.dispatch(now, ev);
         }
         self.queue.advance_clock(t);
         let high_water = self.queue.high_water() as i64;
         self.registry.raise(self.obs.queue_high_water, high_water);
+    }
+
+    // ------------------------------------------------------------------
+    // RIB residency (spill/restore)
+    // ------------------------------------------------------------------
+
+    /// Enables bounded-memory RIB residency: beyond `cfg.working_set`
+    /// routers (plus every monitored router, which is pinned), the
+    /// least-recently-touched router's bulk tables spill to
+    /// `cfg.dir` through `cfg.fs` and restore on the next event that
+    /// touches them. Call after wiring and [`World::attach_monitor`],
+    /// before running. Restores are exact, so the event sequence is
+    /// unchanged by spilling.
+    pub fn enable_rib_spill(&mut self, cfg: SpillConfig) {
+        let pinned: Vec<u32> = self.monitors.keys().copied().collect();
+        self.spill = Some(Box::new(SpillState::new(cfg, pinned)));
+    }
+
+    /// Spill-activity counters, when residency control is enabled.
+    #[must_use]
+    pub fn spill_stats(&self) -> Option<&SpillStats> {
+        self.spill.as_deref().map(|s| &s.stats)
+    }
+
+    /// Restores `router`'s tables if spilled (for out-of-band readers:
+    /// censuses, table dumps). Counts as a touch.
+    pub fn ensure_resident(&mut self, router: RouterId) {
+        self.make_resident(router);
+        self.enforce_working_set(&[router]);
+    }
+
+    /// Which routers an event mutates — the set that must be resident
+    /// before dispatch. Link-scoped events resolve to both endpoints
+    /// (identical for access links).
+    fn routers_touched(ev: &Ev, links: &[Link]) -> [Option<RouterId>; 2] {
+        match ev {
+            Ev::Deliver { to, .. } => [Some(*to), None],
+            Ev::Timer { router, .. }
+            | Ev::TransportUp { router, .. }
+            | Ev::TransportDown { router, .. }
+            | Ev::Originate { router, .. }
+            | Ev::OriginateWith { router, .. }
+            | Ev::WithdrawOrigin { router, .. } => [Some(*router), None],
+            Ev::RouterRecover(r) | Ev::CrashNow(r) => [Some(*r), None],
+            Ev::LinkDown(l) | Ev::LinkUp(l) | Ev::CsuDown(l) | Ev::CsuStop(l) => {
+                let link = &links[l.0 as usize];
+                let a = RouterId(link.a);
+                let b = RouterId(link.b);
+                [Some(a), if a == b { None } else { Some(b) }]
+            }
+        }
+    }
+
+    fn make_resident(&mut self, router: RouterId) {
+        if let Some(spill) = self.spill.as_mut() {
+            if spill.is_spilled(router) {
+                if let Some(image) = spill.restore(router) {
+                    self.routers[router.0 as usize].import_rib_image(image);
+                }
+            }
+            spill.touch(router);
+        }
+    }
+
+    fn enforce_working_set(&mut self, keep: &[RouterId]) {
+        while let Some(victim) = self.spill.as_ref().and_then(|s| s.pick_victim(keep)) {
+            let image = self.routers[victim.0 as usize].export_rib_image();
+            self.spill
+                .as_mut()
+                .expect("spill enabled")
+                .spill(victim, &image);
+        }
     }
 
     /// Runs until the queue drains (careful: periodic timers keep worlds

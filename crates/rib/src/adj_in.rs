@@ -113,6 +113,21 @@ impl AdjRibIn {
         delta
     }
 
+    /// Exports all held routes as owned rows — the spillable image.
+    #[must_use]
+    pub fn export_routes(&self) -> Vec<(Prefix, RouteCandidate)> {
+        self.routes.iter().map(|(p, c)| (p, c.clone())).collect()
+    }
+
+    /// Rebuilds the table from exported rows (inverse of
+    /// [`AdjRibIn::export_routes`]); peer identity is unchanged.
+    pub fn import_routes(&mut self, rows: Vec<(Prefix, RouteCandidate)>) {
+        self.routes.clear();
+        for (prefix, cand) in rows {
+            self.routes.insert(prefix, cand);
+        }
+    }
+
     /// Drops every route, as happens when the peering session falls —
     /// "once a BGP connection is severed, all of the peer's routes are
     /// withdrawn". Returns the withdrawn prefixes.

@@ -94,6 +94,18 @@ pub trait AdjRibOut {
 
     /// Human-readable implementation name for reports.
     fn name(&self) -> &'static str;
+
+    /// Exports the wire state as owned rows, for spill-to-disk. The
+    /// stateless implementation has no per-prefix state and returns the
+    /// default empty vec.
+    fn export_advertised(&self) -> Vec<(Prefix, PathAttributes)> {
+        Vec::new()
+    }
+
+    /// Restores wire state exported by
+    /// [`AdjRibOut::export_advertised`]. A no-op for stateless
+    /// implementations.
+    fn import_advertised(&mut self, _rows: Vec<(Prefix, PathAttributes)>) {}
 }
 
 /// The well-behaved implementation: remembers the last advertisement put on
@@ -151,6 +163,20 @@ impl AdjRibOut for StatefulAdjOut {
 
     fn name(&self) -> &'static str {
         "stateful"
+    }
+
+    fn export_advertised(&self) -> Vec<(Prefix, PathAttributes)> {
+        self.advertised
+            .iter()
+            .map(|(p, a)| (p, a.clone()))
+            .collect()
+    }
+
+    fn import_advertised(&mut self, rows: Vec<(Prefix, PathAttributes)>) {
+        self.advertised.clear();
+        for (prefix, attrs) in rows {
+            self.advertised.insert(prefix, attrs);
+        }
     }
 }
 

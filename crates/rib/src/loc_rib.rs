@@ -179,6 +179,31 @@ impl LocRib {
         }
     }
 
+    /// Exports every candidate as flat `(prefix, peer, candidate)` rows —
+    /// the spillable image of the table. Best selections are *not*
+    /// exported: [`LocRib::import_candidates`] reruns the deterministic
+    /// decision process, so they reconstruct bit-for-bit.
+    #[must_use]
+    pub fn export_candidates(&self) -> Vec<(Prefix, PeerId, RouteCandidate)> {
+        self.entries
+            .iter()
+            .flat_map(|(p, e)| {
+                e.candidates
+                    .iter()
+                    .map(move |(peer, cand)| (p, *peer, cand.clone()))
+            })
+            .collect()
+    }
+
+    /// Rebuilds the table from exported rows (the inverse of
+    /// [`LocRib::export_candidates`]). The table must be empty.
+    pub fn import_candidates(&mut self, rows: Vec<(Prefix, PeerId, RouteCandidate)>) {
+        debug_assert_eq!(self.reachable, 0, "import into a non-empty Loc-RIB");
+        for (prefix, peer, cand) in rows {
+            self.upsert(prefix, peer, cand);
+        }
+    }
+
     /// Removes every candidate learned from `peer` (session loss), returning
     /// each affected prefix with its best-route change.
     pub fn drop_peer(&mut self, peer: PeerId) -> Vec<(Prefix, BestChange)> {

@@ -1,0 +1,285 @@
+//! Pack fault schedules → deterministic world injections.
+//!
+//! Each `[[faults]]` entry becomes a stream of scheduled events laid onto
+//! the day's world after `build_day_world` constructs the baseline
+//! workload. Every fault draws from its **own** RNG, seeded from
+//! `pack seed ⊕ fault index ⊕ day`, so adding or reordering faults never
+//! perturbs the baseline event stream (or the other faults') — the
+//! property the seed-determinism tests pin down.
+//!
+//! The `withdrawal_storm` kind is not injected here: it maps onto the
+//! topology layer's [`iri_topology::scenario::IncidentSpec`] and is
+//! applied during world construction (the afflicted provider needs its
+//! router config patched before the world is built).
+
+use crate::pack::{FaultKind, FaultSpec, ScenarioPack};
+use iri_bgp::attrs::{Origin, PathAttributes};
+use iri_bgp::path::AsPath;
+use iri_netsim::engine::{MINUTE, SECOND};
+use iri_netsim::router::RouterId;
+use iri_netsim::world::World;
+use iri_netsim::SimTime;
+use iri_topology::asgraph::AsGraph;
+use iri_topology::scenario::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything an injector needs to address the built world.
+pub struct DayContext<'a> {
+    /// The AS graph the world was built from.
+    pub graph: &'a AsGraph,
+    /// Provider router ids, indexed like `graph.providers`.
+    pub providers: &'a [RouterId],
+    /// The exchange LAN base address (provider i sits at `base + 1 + i`).
+    pub lan_base: u32,
+    /// Warmup offset: measured minute 0 is at this sim time.
+    pub warmup_ms: SimTime,
+    /// Day offset within the run (0-based).
+    pub run_day: u32,
+}
+
+/// Applies every fault scheduled for `ctx.run_day` to the world.
+pub fn apply_faults(pack: &ScenarioPack, world: &mut World, ctx: &DayContext<'_>) {
+    for (idx, f) in pack.faults.iter().enumerate() {
+        if !f.every_day && f.day != ctx.run_day {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            pack.meta.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ ((idx as u64 + 1) << 40)
+                ^ (u64::from(ctx.run_day) << 8)
+                ^ 0xfau64,
+        );
+        match f.kind {
+            FaultKind::CommunityChurn => community_churn(f, world, ctx, &mut rng),
+            FaultKind::WormOutbreak => worm_outbreak(f, world, ctx, &mut rng),
+            FaultKind::LinkFailures => link_failures(f, world, ctx, &mut rng),
+            FaultKind::WithdrawalStorm => {} // applied via IncidentSpec at build time
+        }
+    }
+}
+
+/// Picks `count` (customer index, prefix) pairs from the customers of
+/// `provider` (spilling into the next providers when it runs short).
+fn pick_prefixes(
+    graph: &AsGraph,
+    provider: usize,
+    count: usize,
+) -> Vec<(usize, iri_bgp::types::Prefix)> {
+    let mut out = Vec::with_capacity(count);
+    let n = graph.providers.len();
+    for shift in 0..n {
+        let prov = (provider + shift) % n;
+        for (ci, c) in graph.customers.iter().enumerate() {
+            if c.primary != prov {
+                continue;
+            }
+            for &p in &c.prefixes {
+                if out.len() >= count {
+                    return out;
+                }
+                out.push((ci, p));
+            }
+        }
+    }
+    out
+}
+
+fn customer_attrs(graph: &AsGraph, ctx: &DayContext<'_>, ci: usize) -> PathAttributes {
+    let c = &graph.customers[ci];
+    let provider_addr = std::net::Ipv4Addr::from(ctx.lan_base + 1 + c.primary as u32);
+    PathAttributes::new(Origin::Igp, AsPath::from_sequence([c.asn]), provider_addr)
+}
+
+/// BGP-community churn storm (Krenc et al.): the origin re-announces each
+/// afflicted prefix every `period_seconds` with an alternating community
+/// value. The forwarding tuple never changes, so the monitor sees a pure
+/// policy-fluctuation storm — AADup with `policy_change = true` — and the
+/// aggregate rate step trips the change-point detector.
+fn community_churn(f: &FaultSpec, world: &mut World, ctx: &DayContext<'_>, rng: &mut StdRng) {
+    let targets = pick_prefixes(ctx.graph, f.provider, f.prefixes);
+    let start = ctx.warmup_ms + SimTime::from(f.start_minute) * MINUTE;
+    let end = start + SimTime::from(f.duration_minutes) * MINUTE;
+    let period = f.period_seconds * SECOND;
+    for (ci, prefix) in targets {
+        let c = &ctx.graph.customers[ci];
+        let router = ctx.providers[c.primary];
+        let base_attrs = customer_attrs(ctx.graph, ctx, ci);
+        // Community pair `asn:100` / `asn:200` in the RFC 1997 encoding.
+        let tag = |v: u32| (c.asn.0 << 16) | v;
+        let phase: SimTime = rng.random_range(0..period);
+        let mut i = 0u64;
+        let mut at = start + phase;
+        while at < end {
+            let mut attrs = base_attrs.clone();
+            attrs.communities = vec![tag(if i.is_multiple_of(2) { 100 } else { 200 })];
+            world.schedule_originate_with(at, router, prefix, attrs);
+            i += 1;
+            at += period;
+        }
+        // Settle back to the canonical (community-free) announcement.
+        world.schedule_originate_with(end + SECOND, router, prefix, base_attrs);
+    }
+}
+
+/// Worm-outbreak update flood (Marais & Marwala): the per-minute flap
+/// rate across an afflicted block doubles every `ramp_minutes` until it
+/// saturates at `peak_per_minute`, then the outbreak stops cold at the
+/// end of the window — an exponential onset the change-point detector
+/// should localize.
+fn worm_outbreak(f: &FaultSpec, world: &mut World, ctx: &DayContext<'_>, rng: &mut StdRng) {
+    let targets = pick_prefixes(ctx.graph, f.provider, f.prefixes);
+    if targets.is_empty() {
+        return;
+    }
+    for minute in 0..f.duration_minutes {
+        let doublings = f64::from(minute) / f64::from(f.ramp_minutes);
+        let rate = (2.0f64.powf(doublings)).min(f.peak_per_minute);
+        let n = poisson(rng, rate);
+        let minute_start = ctx.warmup_ms + SimTime::from(f.start_minute + minute) * MINUTE;
+        for _ in 0..n {
+            let (ci, prefix) = targets[rng.random_range(0..targets.len())];
+            let c = &ctx.graph.customers[ci];
+            let router = ctx.providers[c.primary];
+            let at = minute_start + rng.random_range(0..MINUTE);
+            let down = rng.random_range(5..30u64) * SECOND;
+            world.schedule_withdraw(at, router, prefix);
+            world.schedule_originate_with(
+                at + down,
+                router,
+                prefix,
+                customer_attrs(ctx.graph, ctx, ci),
+            );
+        }
+    }
+}
+
+/// Long-memory link failures (Kitsak et al.): dedicated access links
+/// whose outages arrive with Pareto(α) inter-arrival times — heavy-tailed
+/// gaps, so failures cluster in bursts separated by long quiet spells.
+fn link_failures(f: &FaultSpec, world: &mut World, ctx: &DayContext<'_>, rng: &mut StdRng) {
+    let targets = pick_prefixes(ctx.graph, f.provider, f.prefixes);
+    let start = ctx.warmup_ms + SimTime::from(f.start_minute) * MINUTE;
+    let end = start + SimTime::from(f.duration_minutes) * MINUTE;
+    for (ci, prefix) in targets {
+        let c = &ctx.graph.customers[ci];
+        let link = world.add_access_link(ctx.providers[c.primary], vec![prefix], None);
+        let mut at = start;
+        loop {
+            // Pareto inter-arrival: scale * (1-u)^(-1/α), in minutes.
+            let u: f64 = rng.random_range(0.0..1.0);
+            let gap_min = f.min_gap_minutes * (1.0 - u).powf(-1.0 / f.alpha);
+            // Cap a single gap at a day so the loop always terminates.
+            let gap_ms = (gap_min.min(1440.0) * MINUTE as f64) as SimTime;
+            at += gap_ms.max(SECOND);
+            if at >= end {
+                break;
+            }
+            let down = rng.random_range(30..180u64) * SECOND;
+            world.schedule_link_flap(at, link, down);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_topology::scenario::build_day_world;
+
+    fn tiny() -> (ScenarioPack, AsGraph) {
+        let mut pack = ScenarioPack::default_at(0.01);
+        pack.workload.warmup_minutes = Some(10);
+        let graph = AsGraph::generate(&pack.graph_config());
+        (pack, graph)
+    }
+
+    fn build(pack: &ScenarioPack, graph: &AsGraph) -> (World, RouterId, Vec<RouterId>) {
+        let cfg = pack.scenario_config().expect("config");
+        build_day_world(&cfg, graph, pack.run.start_day)
+    }
+
+    #[test]
+    fn churn_fault_schedules_alternating_communities() {
+        let (mut pack, graph) = tiny();
+        pack.faults.push(FaultSpec {
+            kind: FaultKind::CommunityChurn,
+            day: 0,
+            every_day: false,
+            start_minute: 60,
+            duration_minutes: 10,
+            prefixes: 3,
+            period_seconds: 30,
+            ramp_minutes: 10,
+            peak_per_minute: 60.0,
+            alpha: 1.3,
+            min_gap_minutes: 2.0,
+            provider: 0,
+        });
+        let (mut world, _rs, providers) = build(&pack, &graph);
+        let before = world.queue_len();
+        let ctx = DayContext {
+            graph: &graph,
+            providers: &providers,
+            lan_base: u32::from(pack.scenario_config().unwrap().exchange.lan_base()),
+            warmup_ms: 10 * MINUTE,
+            run_day: 0,
+        };
+        apply_faults(&pack, &mut world, &ctx);
+        // 3 prefixes × (10 min / 30 s) announcements plus settles.
+        let added = world.queue_len() - before;
+        assert!(added >= 3 * 20, "added only {added} events");
+    }
+
+    #[test]
+    fn fault_draws_are_independent_of_other_faults() {
+        let (mut pack, graph) = tiny();
+        let churn = FaultSpec {
+            kind: FaultKind::CommunityChurn,
+            day: 0,
+            every_day: false,
+            start_minute: 60,
+            duration_minutes: 5,
+            prefixes: 2,
+            period_seconds: 30,
+            ramp_minutes: 10,
+            peak_per_minute: 60.0,
+            alpha: 1.3,
+            min_gap_minutes: 2.0,
+            provider: 0,
+        };
+        pack.faults.push(churn.clone());
+        let (mut w1, _, providers1) = build(&pack, &graph);
+        let ctx1 = DayContext {
+            graph: &graph,
+            providers: &providers1,
+            lan_base: u32::from(pack.scenario_config().unwrap().exchange.lan_base()),
+            warmup_ms: 10 * MINUTE,
+            run_day: 0,
+        };
+        apply_faults(&pack, &mut w1, &ctx1);
+        let after_one = w1.queue_len();
+
+        // Same churn fault in slot 0 plus an unrelated fault in slot 1:
+        // the churn fault's own schedule must be unchanged (its RNG is
+        // keyed by index, not shared).
+        let mut pack2 = pack.clone();
+        pack2.faults.push(FaultSpec {
+            kind: FaultKind::LinkFailures,
+            day: 0,
+            ..churn
+        });
+        let (mut w2, _, providers2) = build(&pack2, &graph);
+        let ctx2 = DayContext {
+            graph: &graph,
+            providers: &providers2,
+            lan_base: ctx1.lan_base,
+            warmup_ms: 10 * MINUTE,
+            run_day: 0,
+        };
+        // Apply only the churn fault from pack2 (index 0) by truncating.
+        let mut only_churn = pack2.clone();
+        only_churn.faults.truncate(1);
+        apply_faults(&only_churn, &mut w2, &ctx2);
+        assert_eq!(w2.queue_len(), after_one);
+    }
+}

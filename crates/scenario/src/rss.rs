@@ -1,0 +1,45 @@
+//! Process-memory introspection via `/proc/self/status`.
+//!
+//! The runner polls [`current_rss_kb`] between streaming chunks to
+//! enforce a pack's `--max-rss-mb` budget, and `bench_scale` reads
+//! [`peak_rss_kb`] (`VmHWM`) at exit to record the high-water mark.
+//! `VmHWM` is monotone over the process lifetime, which is why
+//! `bench_scale` forks one child per measurement point instead of
+//! running all durations in-process.
+
+/// Current resident set size in KiB (`VmRSS`), or `None` off-Linux.
+#[must_use]
+pub fn current_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+/// Peak resident set size in KiB (`VmHWM`), or `None` off-Linux.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let digits: String = rest.chars().filter(char::is_ascii_digit).collect();
+            return digits.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_reads_are_sane_on_linux() {
+        let (cur, peak) = (current_rss_kb(), peak_rss_kb());
+        if let (Some(cur), Some(peak)) = (cur, peak) {
+            assert!(cur > 0);
+            assert!(peak >= cur / 2, "peak {peak} vs current {cur}");
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The streaming scenario runner: pack → world → store → detectors.
+//!
+//! [`ScenarioRunner`] executes a [`ScenarioPack`] day by day with bounded
+//! memory at every stage:
+//!
+//! - the simulation advances in `chunk_minutes` steps and the monitor log
+//!   is drained after each chunk, so no whole-day MRT log ever
+//!   accumulates;
+//! - drained updates are flattened, classified, and pushed one event at a
+//!   time through a **bounded** crossbeam channel to a writer thread that
+//!   commits fixed-size batches to the [`LiveStore`] — batch boundaries
+//!   are counted in events, never in wall time, so the store bytes are
+//!   identical at any `--jobs` / machine speed;
+//! - with `[limits] spill_working_set > 0`, per-router RIB state beyond
+//!   the working set spills through the same `StoreFs` as the store
+//!   (see `iri_netsim::spill`), bounding simulator-side memory too;
+//! - a [`Watcher`] polls the store between chunks (live detection) and
+//!   once after the final commit; its cumulative incident list is
+//!   deterministic because detectors consume completed bins in event-time
+//!   order regardless of poll timing.
+//!
+//! Event times are rebased so measured day `d` of the run spans
+//! `[d·24 h, (d+1)·24 h)`; warmup traffic is classified (to warm the
+//! per-day classifier exactly like the batch pipeline) but not stored.
+//! The run ends with a [`Scorecard`] matching detected incidents against
+//! the pack's `[[ground_truth]]` expectations.
+
+use crate::faults::{apply_faults, DayContext};
+use crate::pack::{PackError, ScenarioPack, TruthSpec};
+use crate::rss::{current_rss_kb, peak_rss_kb};
+use iri_core::input::{events_from_update, PeerKey};
+use iri_core::Classifier;
+use iri_faults::SharedFs;
+use iri_netsim::{SimTime, SpillConfig, HOUR, MINUTE};
+use iri_obs::incident::Incident;
+use iri_store::{LiveOptions, LiveStore, StoreError, StoredEvent, WatchConfig, Watcher};
+use iri_topology::asgraph::AsGraph;
+use iri_topology::scenario::build_day_world;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Writer-side compaction cadence, in committed batches. Keyed to the
+/// event sequence (never wall time) so store bytes stay identical at any
+/// `--jobs`; between compactions the manifest carries at most this many
+/// commits' worth of ragged per-shard segments.
+const COMPACT_EVERY_COMMITS: u64 = 16;
+
+/// How to execute a pack, beyond what the pack itself says.
+#[derive(Clone)]
+pub struct RunnerOptions {
+    /// Filesystem for the store and the RIB spill directory.
+    pub fs: SharedFs,
+    /// Store worker threads (0 = one per CPU). Never affects store bytes.
+    pub jobs: usize,
+    /// Overrides the pack's `[limits] max_rss_mb` when non-zero.
+    pub max_rss_mb: u64,
+    /// Truncates each simulated day to this many hours (CI smoke runs).
+    pub hours: Option<u32>,
+    /// Print a per-day progress line to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            fs: iri_faults::real_fs(),
+            jobs: 0,
+            max_rss_mb: 0,
+            hours: None,
+            verbose: false,
+        }
+    }
+}
+
+/// A runner failure.
+#[derive(Debug)]
+pub enum RunError {
+    /// The store rejected a commit or scan.
+    Store(StoreError),
+    /// The pack was semantically unusable (bad exchange, …).
+    Pack(PackError),
+    /// Resident memory crossed the fail-fast budget.
+    RssBudget {
+        /// Observed resident set (MiB).
+        rss_mb: u64,
+        /// The configured ceiling (MiB).
+        budget_mb: u64,
+    },
+    /// The writer thread died (its store error is reported separately).
+    Channel(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Store(e) => write!(f, "store error: {e}"),
+            RunError::Pack(e) => write!(f, "pack error: {e}"),
+            RunError::RssBudget { rss_mb, budget_mb } => write!(
+                f,
+                "resident memory {rss_mb} MiB exceeded the --max-rss-mb budget of {budget_mb} MiB"
+            ),
+            RunError::Channel(what) => write!(f, "writer channel failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<StoreError> for RunError {
+    fn from(e: StoreError) -> Self {
+        RunError::Store(e)
+    }
+}
+
+impl From<PackError> for RunError {
+    fn from(e: PackError) -> Self {
+        RunError::Pack(e)
+    }
+}
+
+/// Detector performance against the pack's ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scorecard {
+    /// Expected incidents in the pack.
+    pub truths: usize,
+    /// Detected incidents matched to a truth (kind + onset + lag + cause).
+    pub true_positives: usize,
+    /// Detected incidents matching no truth.
+    pub false_positives: usize,
+    /// Truths no incident matched.
+    pub false_negatives: usize,
+    /// `tp / (tp + fp)`; 1.0 when nothing was detected.
+    pub precision: f64,
+    /// `tp / truths`; 1.0 when the pack expects nothing.
+    pub recall: f64,
+}
+
+/// RIB-spill activity, summed over the run's days.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpillSummary {
+    /// Router images written out.
+    pub spills: u64,
+    /// Router images read back.
+    pub restores: u64,
+    /// Bytes written across all spills.
+    pub bytes_written: u64,
+    /// Bytes read across all restores.
+    pub bytes_read: u64,
+}
+
+/// Everything one pack run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// `pack.meta.name`.
+    pub pack: String,
+    /// Measured days simulated.
+    pub days: u32,
+    /// Hours per simulated day (24 unless truncated for a smoke run).
+    pub hours_per_day: u32,
+    /// Classified events committed to the store.
+    pub events_written: u64,
+    /// Store generation after the final commit.
+    pub store_generation: u64,
+    /// All incidents the watcher raised, in bin order.
+    pub incidents: Vec<Incident>,
+    /// Detector score against the pack's ground truth.
+    pub scorecard: Scorecard,
+    /// Routing-table census prefixes at the end of the last day.
+    pub final_census_prefixes: usize,
+    /// Process peak resident set (`VmHWM`), KiB, sampled at run end.
+    pub peak_rss_kb: u64,
+    /// RIB-spill totals (all zero when spill is disabled).
+    pub spill: SpillSummary,
+    /// Wall-clock run time, milliseconds.
+    pub wall_ms: u64,
+    /// Events committed per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Executes scenario packs; see the [module docs](self).
+pub struct ScenarioRunner {
+    pack: ScenarioPack,
+    opts: RunnerOptions,
+}
+
+impl ScenarioRunner {
+    /// A runner for `pack` with `opts`.
+    #[must_use]
+    pub fn new(pack: ScenarioPack, opts: RunnerOptions) -> Self {
+        ScenarioRunner { pack, opts }
+    }
+
+    /// The effective RSS budget (MiB); 0 = unlimited.
+    fn rss_budget_mb(&self) -> u64 {
+        if self.opts.max_rss_mb > 0 {
+            self.opts.max_rss_mb
+        } else {
+            self.pack.limits.max_rss_mb
+        }
+    }
+
+    /// Runs the pack, streaming into a [`LiveStore`] at `store_dir`.
+    ///
+    /// # Errors
+    /// On store failures, unusable packs, or a blown RSS budget.
+    ///
+    /// # Panics
+    /// If the writer thread panics (store bugs surface loudly).
+    pub fn run(&self, store_dir: &Path) -> Result<RunReport, RunError> {
+        let started = std::time::Instant::now();
+        let pack = &self.pack;
+        let cfg = pack.scenario_config()?;
+        let graph = AsGraph::generate(&pack.graph_config());
+        let store = LiveStore::open_with(
+            store_dir,
+            &LiveOptions {
+                fs: self.opts.fs.clone(),
+                create_segment_rows: Some(pack.run.segment_rows),
+                jobs: self.opts.jobs,
+                ..LiveOptions::default()
+            },
+        )?;
+        let mut watcher = Watcher::new(WatchConfig {
+            bin_ms: pack.watch.bin_ms,
+            change_window: pack.watch.change_window,
+            change_ratio: pack.watch.change_ratio,
+            change_z: pack.watch.change_z,
+            min_rate: pack.watch.min_rate,
+            period_window: pack.watch.period_window,
+            period_min_lag: pack.watch.period_min_lag,
+            period_max_lag: pack.watch.period_max_lag,
+            period_threshold: pack.watch.period_threshold,
+            novelty_warmup: pack.watch.novelty_warmup,
+            novelty_min_count: pack.watch.novelty_min_count,
+            ..WatchConfig::default()
+        });
+        // The spill directory sits NEXT TO the store directory: the store's
+        // recovery scan owns everything inside its own dir.
+        let spill_dir = store_dir.with_file_name(format!(
+            "{}-ribspill",
+            store_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "store".to_owned())
+        ));
+        let budget_mb = self.rss_budget_mb();
+        let hours = self.opts.hours.unwrap_or(24).clamp(1, 24);
+        let warmup_ms = SimTime::from(cfg.warmup_minutes) * MINUTE;
+        let lan_base = u32::from(cfg.exchange.lan_base());
+        let batch = pack.run.batch_events.max(1);
+        let segment_rows = pack.run.segment_rows;
+
+        let (tx, rx) = crossbeam::channel::bounded::<StoredEvent>(pack.run.channel_capacity);
+        let mut spill_total = SpillSummary::default();
+        let mut final_census_prefixes = 0usize;
+        let watcher_ref = &mut watcher;
+        let spill_ref = &mut spill_total;
+        let census_ref = &mut final_census_prefixes;
+
+        let sim_result: Result<u64, RunError> = crossbeam::thread::scope(|scope| {
+            let store_ref = &store;
+            let writer = scope.spawn(move |_| -> Result<u64, StoreError> {
+                // Exact-count batching: commit generations (and therefore
+                // segment boundaries) depend only on the event sequence.
+                // Each append leaves a ragged per-shard tail, so the
+                // writer also compacts on a fixed commit cadence — keyed
+                // to the event sequence, never wall time — which keeps
+                // the manifest (and with it resident memory) bounded by
+                // the canonical segment count instead of growing with
+                // every commit of the run.
+                let mut buf: Vec<StoredEvent> = Vec::with_capacity(batch);
+                let mut written = 0u64;
+                let mut commits = 0u64;
+                for ev in rx.iter() {
+                    buf.push(ev);
+                    if buf.len() == batch {
+                        store_ref.append_events(&buf)?;
+                        written += buf.len() as u64;
+                        buf.clear();
+                        commits += 1;
+                        if commits.is_multiple_of(COMPACT_EVERY_COMMITS) {
+                            store_ref.compact(segment_rows)?;
+                        }
+                    }
+                }
+                if !buf.is_empty() {
+                    store_ref.append_events(&buf)?;
+                    written += buf.len() as u64;
+                }
+                Ok(written)
+            });
+
+            let mut drive = || -> Result<(), RunError> {
+                for run_day in 0..pack.run.days {
+                    let sim_day = pack.run.start_day + run_day;
+                    let (mut world, rs, providers) = build_day_world(&cfg, &graph, sim_day);
+                    apply_faults(
+                        pack,
+                        &mut world,
+                        &DayContext {
+                            graph: &graph,
+                            providers: &providers,
+                            lan_base,
+                            warmup_ms,
+                            run_day,
+                        },
+                    );
+                    if pack.limits.spill_working_set > 0 {
+                        world.enable_rib_spill(SpillConfig {
+                            fs: self.opts.fs.clone(),
+                            dir: spill_dir.clone(),
+                            working_set: pack.limits.spill_working_set,
+                        });
+                    }
+                    world.start();
+                    // Day `d` of the run lands at [d·24 h, d·24 h + hours).
+                    let day_offset = u64::from(run_day) * 24 * HOUR;
+                    let day_end = warmup_ms + u64::from(hours) * HOUR;
+                    let chunk = u64::from(pack.run.chunk_minutes) * MINUTE;
+                    let mut classifier = Classifier::new();
+                    let mut t = 0u64;
+                    while t < day_end {
+                        t = (t + chunk).min(day_end);
+                        world.run_until(t);
+                        let drained = world
+                            .monitor_mut(rs)
+                            .map(|m| std::mem::take(&mut m.updates))
+                            .unwrap_or_default();
+                        for logged in &drained {
+                            let iri_bgp::message::Message::Update(up) = &logged.message else {
+                                continue;
+                            };
+                            let peer = PeerKey {
+                                asn: logged.peer_asn,
+                                addr: logged.peer_addr,
+                            };
+                            for ev in events_from_update(logged.time_ms, peer, up) {
+                                // Warm the classifier on warmup traffic but
+                                // only store the measured day.
+                                let c = classifier.classify(&ev);
+                                if c.time_ms < warmup_ms {
+                                    continue;
+                                }
+                                let mut row = StoredEvent::from_classified(&c, logged.cause);
+                                row.time_ms = row.time_ms - warmup_ms + day_offset;
+                                tx.send(row)
+                                    .map_err(|_| RunError::Channel("writer hung up".to_owned()))?;
+                            }
+                        }
+                        watcher_ref.poll(store_ref)?;
+                        if budget_mb > 0 {
+                            let rss_mb = current_rss_kb().unwrap_or(0) / 1024;
+                            if rss_mb > budget_mb {
+                                return Err(RunError::RssBudget { rss_mb, budget_mb });
+                            }
+                        }
+                    }
+                    if let Some(stats) = world.spill_stats() {
+                        spill_ref.spills += stats.spills;
+                        spill_ref.restores += stats.restores;
+                        spill_ref.bytes_written += stats.bytes_written;
+                        spill_ref.bytes_read += stats.bytes_read;
+                    }
+                    world.ensure_resident(rs);
+                    let census = iri_rib::stats::census(world.router(rs).loc_rib());
+                    *census_ref = census.prefixes;
+                    if self.opts.verbose {
+                        eprintln!(
+                            "day {run_day}: sim day {sim_day}, census {} prefixes, rss {} MiB",
+                            census.prefixes,
+                            current_rss_kb().unwrap_or(0) / 1024
+                        );
+                    }
+                }
+                Ok(())
+            };
+            let drive_result = drive();
+            drop(tx);
+            let written = writer
+                .join()
+                .expect("writer thread panicked")
+                .map_err(RunError::Store);
+            drive_result.and(written)
+        })
+        .expect("crossbeam scope");
+        let events_written = sim_result?;
+
+        // Canonicalize the tail left since the last cadence compaction and
+        // reclaim retired generations — no reader is pinned here, so the
+        // final store layout is a pure function of the event sequence.
+        store.compact(segment_rows)?;
+
+        // Final poll after the last commit; the watcher only ever consumes
+        // completed bins in order, so the cumulative incident list does not
+        // depend on how polls interleaved with commits.
+        watcher.poll(&store)?;
+        let incidents = watcher.incidents().to_vec();
+        let scorecard = score(&pack.ground_truth, &incidents);
+        let wall_ms = started.elapsed().as_millis() as u64;
+        Ok(RunReport {
+            pack: pack.meta.name.clone(),
+            days: pack.run.days,
+            hours_per_day: hours,
+            events_written,
+            store_generation: store.generation(),
+            incidents,
+            scorecard,
+            final_census_prefixes,
+            peak_rss_kb: peak_rss_kb().unwrap_or(0),
+            spill: spill_total,
+            wall_ms,
+            events_per_sec: events_written as f64 / (wall_ms.max(1) as f64 / 1000.0),
+        })
+    }
+}
+
+/// Greedy one-to-one matching of incidents to ground truths: a truth
+/// accepts the earliest unmatched incident of the same kind whose onset
+/// lands within tolerance, whose detection lag is within bound, and whose
+/// cause matches (when the truth pins one).
+fn score(truths: &[TruthSpec], incidents: &[Incident]) -> Scorecard {
+    let mut matched = vec![false; incidents.len()];
+    let mut tp = 0usize;
+    for t in truths {
+        let onset = u64::from(t.day) * 24 * HOUR + u64::from(t.onset_minute) * MINUTE;
+        let tol = u64::from(t.onset_tol_minutes) * MINUTE;
+        let max_lag = u64::from(t.max_lag_minutes) * MINUTE;
+        let hit = incidents.iter().enumerate().find(|(i, inc)| {
+            !matched[*i]
+                && inc.kind == t.kind
+                && inc.onset_ms.abs_diff(onset) <= tol
+                && inc.detected_ms.saturating_sub(onset) <= max_lag
+                && (t.cause.is_empty() || inc.cause == t.cause)
+        });
+        if let Some((i, _)) = hit {
+            matched[i] = true;
+            tp += 1;
+        }
+    }
+    let fp = matched.iter().filter(|m| !**m).count();
+    Scorecard {
+        truths: truths.len(),
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: truths.len() - tp,
+        precision: if incidents.is_empty() {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        },
+        // Recall is about the truths; a quiet pack misses nothing.
+        recall: if truths.is_empty() {
+            1.0
+        } else {
+            tp as f64 / truths.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iri_obs::incident::IncidentKind;
+
+    fn truth(kind: IncidentKind, day: u32, onset_minute: u32) -> TruthSpec {
+        TruthSpec {
+            kind,
+            day,
+            onset_minute,
+            onset_tol_minutes: 10,
+            max_lag_minutes: 30,
+            cause: String::new(),
+        }
+    }
+
+    fn incident(kind: IncidentKind, onset_ms: u64, detected_ms: u64) -> Incident {
+        Incident {
+            kind,
+            onset_ms,
+            detected_ms,
+            cause: String::new(),
+            score: 5.0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn score_matches_within_tolerance() {
+        let truths = vec![truth(IncidentKind::InstabilityOnset, 0, 600)];
+        let incidents = vec![incident(
+            IncidentKind::InstabilityOnset,
+            605 * MINUTE,
+            620 * MINUTE,
+        )];
+        let s = score(&truths, &incidents);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn score_rejects_wrong_kind_late_lag_and_far_onset() {
+        let truths = vec![truth(IncidentKind::InstabilityOnset, 0, 600)];
+        // Wrong kind.
+        let s = score(
+            &truths,
+            &[incident(
+                IncidentKind::NoveltyAlarm,
+                600 * MINUTE,
+                601 * MINUTE,
+            )],
+        );
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_positives, 1);
+        // Onset too far.
+        let s = score(
+            &truths,
+            &[incident(
+                IncidentKind::InstabilityOnset,
+                700 * MINUTE,
+                701 * MINUTE,
+            )],
+        );
+        assert_eq!(s.true_positives, 0);
+        // Lag too long.
+        let s = score(
+            &truths,
+            &[incident(
+                IncidentKind::InstabilityOnset,
+                600 * MINUTE,
+                700 * MINUTE,
+            )],
+        );
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.recall, 0.0);
+    }
+
+    #[test]
+    fn score_is_perfect_when_quiet() {
+        let s = score(&[], &[]);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        // Spurious incident on a quiet pack costs precision, not recall.
+        let s = score(
+            &[],
+            &[incident(IncidentKind::NoveltyAlarm, MINUTE, 2 * MINUTE)],
+        );
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn cause_pinning_is_enforced() {
+        let mut t = truth(IncidentKind::InstabilityOnset, 0, 100);
+        t.cause = "LinkFlap".to_owned();
+        let mut inc = incident(IncidentKind::InstabilityOnset, 100 * MINUTE, 110 * MINUTE);
+        inc.cause = "CsuDrift".to_owned();
+        let s = score(&[t.clone()], &[inc.clone()]);
+        assert_eq!(s.true_positives, 0);
+        inc.cause = "LinkFlap".to_owned();
+        let s = score(&[t], &[inc]);
+        assert_eq!(s.true_positives, 1);
+    }
+}
