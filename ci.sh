@@ -33,10 +33,28 @@ cargo test --release -q -p iri-store --test fault_injection crash_matrix
 echo "==> store equivalence at paper scale (3M records, release)"
 IRI_EQUIV_RECORDS=3000000 cargo test --release -q -p iri-bench --test store_equivalence
 
-echo "==> bench_store (regenerates BENCH_store.json)"
-cargo run --release -q -p iri-bench --bin bench_store
-python3 -m json.tool BENCH_store.json > /dev/null
-echo "    BENCH_store.json is well-formed JSON"
+echo "==> bench_store --smoke (prune-ratio, query-speedup, batched-sync gates)"
+cargo run --release -q -p iri-bench --bin bench_store -- --smoke \
+    --out target/BENCH_store_smoke.json --dir target/bench_store_smoke.store
+python3 -c "
+import json, sys
+r = json.load(open('target/BENCH_store_smoke.json'))
+assert r['schema'] == 'bench-store-v3', r['schema']
+assert r['reports_identical'] is True
+assert r['windowed_prune_ratio'] >= 0.9, r['windowed_prune_ratio']
+assert r['windowed_query_speedup'] >= 4.0, r['windowed_query_speedup']
+assert r['batched_sync_speedup'] >= 0.995, r['batched_sync_speedup']
+" || { echo "    bench_store smoke gates failed"; exit 1; }
+echo "    bench_store smoke gates passed"
+python3 -c "
+import json, sys
+r = json.load(open('BENCH_store.json'))
+assert r['schema'] == 'bench-store-v3', r['schema']
+for key in ('effective_cores', 'windowed_prune_ratio', 'windowed_query_speedup',
+            'batched_sync_speedup', 'reports_identical', 'queries', 'ingest'):
+    assert key in r, key
+" || { echo "    committed BENCH_store.json is not a well-formed v3 report"; exit 1; }
+echo "    BENCH_store.json is well-formed bench-store-v3 JSON"
 
 echo "==> bench_serve --smoke (concurrent serving correctness gate)"
 cargo run --release -q -p iri-bench --bin bench_serve -- --smoke --out target/BENCH_serve_smoke.json

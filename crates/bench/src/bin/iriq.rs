@@ -35,6 +35,10 @@
 //! pin/cache statistics — or `--strict` to fail fast on a store that
 //! needs crash recovery instead of serving the repaired rest.
 //!
+//! `--explain` (local mode) compiles the command to its physical plan
+//! and prints the per-segment fates — pruned, zone-answered, or scanned,
+//! with the prune reason — without executing anything.
+//!
 //! Exit codes: 0 ok, 2 usage (also busy / shutting-down refusals), then
 //! the store taxonomy — 3 I/O, 4 corrupt, 5 quarantined/strict, 6 JSON,
 //! 7 ingest. Server-side failures carry their store exit code across the
@@ -47,7 +51,7 @@ use iri_core::timeseries::detrend::log_detrend;
 use iri_core::timeseries::spectrum::{acf_spectrum, dominant_periods};
 use iri_obs::Cause;
 use iri_serve::{Client, Command, Filter, HealthBody, MetricsBody, Response, StatsBody};
-use iri_store::StoreError;
+use iri_store::{PlanKind, StoreError};
 use std::path::Path;
 
 fn usage() -> ! {
@@ -55,7 +59,7 @@ fn usage() -> ! {
         "usage: iriq <dir> <info|count-by-class|count-by-cause|top-peers|top-prefixes|bytes|series>\n\
          \x20      iriq --connect HOST:PORT <ping|stats|metrics|health|info|count-by-class|...>\n\
          filters: [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix P] \
-         [--class NAME] [--cause NAME] [--strict] [--stats]\n\
+         [--class NAME] [--cause NAME] [--strict] [--stats] [--explain]\n\
          series:  --bin-ms N [--spectrum]   top-*: [--limit N]"
     );
     std::process::exit(cli::EXIT_USAGE);
@@ -391,6 +395,25 @@ fn main() {
         }
     }
     let q = filter.query().clone();
+
+    // `--explain` compiles the query to its physical plan and prints it
+    // without executing — the segment fates show what the zone maps and
+    // blooms would prune before a single byte is decoded.
+    if cli::arg_flag(&args, "--explain") {
+        let kind = match cmd.as_str() {
+            "count-by-class" => PlanKind::CountByClass,
+            "count-by-cause" => PlanKind::CountByCause,
+            "top-peers" => PlanKind::CountByPeer,
+            "top-prefixes" => PlanKind::CountByPrefix,
+            "bytes" => PlanKind::SumBytes,
+            "series" => PlanKind::TimeSeries {
+                bin_ms: arg_u64(&args, "--bin-ms", 3_600_000),
+            },
+            _ => PlanKind::Stream,
+        };
+        println!("{}", store.plan(&q, kind).explain());
+        std::process::exit(0);
+    }
 
     match cmd.as_str() {
         "info" => {

@@ -70,44 +70,39 @@ pub fn banner(title: &str, paper: &str) {
 }
 
 /// Parses a taxonomy class by its label, case-insensitively.
+#[deprecated(note = "use iri_store::parse_class_label — the store owns the label grammar now")]
 pub fn parse_class(name: &str) -> Result<UpdateClass, String> {
-    UpdateClass::ALL
-        .into_iter()
-        .find(|c| c.label().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let all: Vec<&str> = UpdateClass::ALL.iter().map(|c| c.label()).collect();
-            format!("unknown class {name:?}; one of: {}", all.join(", "))
-        })
+    iri_store::parse_class_label(name)
 }
 
 /// Parses a cause by its label, case-insensitively.
+#[deprecated(note = "use iri_store::parse_cause_label — the store owns the label grammar now")]
 pub fn parse_cause(name: &str) -> Result<Cause, String> {
-    Cause::ALL
-        .into_iter()
-        .find(|c| c.label().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let all: Vec<&str> = Cause::ALL.iter().map(|c| c.label()).collect();
-            format!("unknown cause {name:?}; one of: {}", all.join(", "))
-        })
+    iri_store::parse_cause_label(name)
 }
 
-/// Typed, conjunctive store filter plus the open/report options every
-/// store-facing binary shares (`--strict`, `--stats`).
+/// The open/report options every store-facing binary shares (`--strict`,
+/// `--stats`) wrapped around an [`iri_store::Query`].
 ///
-/// Build programmatically:
+/// Build the query with the store's own builder and wrap it:
 ///
 /// ```
 /// use iri_bench::cli::QueryFilter;
 /// use iri_core::taxonomy::UpdateClass;
+/// use iri_store::Query;
 ///
-/// let f = QueryFilter::new()
-///     .class(UpdateClass::WwDup)
-///     .time_range_ms(0, 86_400_000)
-///     .strict(true);
+/// let f = QueryFilter::from_query(
+///     Query::default()
+///         .class(UpdateClass::WwDup)
+///         .time_range_ms(0, 86_400_000),
+/// )
+/// .strict(true);
 /// assert!(f.is_strict());
 /// ```
 ///
-/// or from a command line with [`QueryFilter::from_args`].
+/// or parse a command line with [`QueryFilter::from_args`]. The old
+/// per-field builder methods survive as `#[deprecated]` shims over
+/// [`iri_store::Query`].
 #[derive(Debug, Clone, Default)]
 pub struct QueryFilter {
     query: Query,
@@ -122,7 +117,19 @@ impl QueryFilter {
         Self::default()
     }
 
+    /// Wraps an already-built store query — the replacement for the
+    /// deprecated per-field builder methods below.
+    #[must_use]
+    pub fn from_query(query: Query) -> Self {
+        QueryFilter {
+            query,
+            strict: false,
+            stats: false,
+        }
+    }
+
     /// Restricts to `[from_ms, to_ms)`.
+    #[deprecated(note = "build an iri_store::Query and use QueryFilter::from_query")]
     #[must_use]
     pub fn time_range_ms(mut self, from_ms: u64, to_ms: u64) -> Self {
         self.query = self.query.time_range_ms(from_ms, to_ms);
@@ -130,13 +137,15 @@ impl QueryFilter {
     }
 
     /// Restricts to one simulated day (the day-cache window shorthand).
+    #[deprecated(note = "build an iri_store::Query and use QueryFilter::from_query")]
     #[must_use]
-    pub fn day(self, day: u64) -> Self {
-        let day_ms = crate::store_cache::DAY_MS;
-        self.time_range_ms(day * day_ms, (day + 1) * day_ms)
+    pub fn day(mut self, day: u64) -> Self {
+        self.query = self.query.day_window(day);
+        self
     }
 
     /// Restricts to one peer AS.
+    #[deprecated(note = "build an iri_store::Query and use QueryFilter::from_query")]
     #[must_use]
     pub fn peer(mut self, asn: Asn) -> Self {
         self.query = self.query.peer(asn);
@@ -144,6 +153,7 @@ impl QueryFilter {
     }
 
     /// Restricts to one prefix (exact match).
+    #[deprecated(note = "build an iri_store::Query and use QueryFilter::from_query")]
     #[must_use]
     pub fn prefix(mut self, prefix: Prefix) -> Self {
         self.query = self.query.prefix(prefix);
@@ -151,6 +161,7 @@ impl QueryFilter {
     }
 
     /// Restricts to one taxonomy class.
+    #[deprecated(note = "build an iri_store::Query and use QueryFilter::from_query")]
     #[must_use]
     pub fn class(mut self, class: UpdateClass) -> Self {
         self.query = self.query.class(class);
@@ -158,6 +169,7 @@ impl QueryFilter {
     }
 
     /// Restricts to one cause.
+    #[deprecated(note = "build an iri_store::Query and use QueryFilter::from_query")]
     #[must_use]
     pub fn cause(mut self, cause: Cause) -> Self {
         self.query = self.query.cause(cause);
@@ -199,40 +211,35 @@ impl QueryFilter {
 
     /// Parses the shared filter grammar from a raw argument vector.
     /// Unknown flags are ignored (binaries layer their own on top);
-    /// malformed values for known flags are errors.
+    /// malformed values for known flags are errors. The grammar is
+    /// unchanged from earlier releases; each flag now delegates to the
+    /// matching [`iri_store::Query`] builder.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
-        let mut f = QueryFilter::new();
+        let mut q = Query::default();
         if let Some(day) = arg_str(args, "--day") {
             let day: u64 = day
                 .parse()
                 .map_err(|_| format!("--day wants a number, got {day:?}"))?;
-            f = f.day(day);
+            q = q.day_window(day);
         }
-        let from = arg_u64(args, "--from-ms", f.query.from_ms);
-        let to = arg_u64(args, "--to-ms", f.query.to_ms);
-        f = f.time_range_ms(from, to);
+        let from = arg_u64(args, "--from-ms", q.from_ms);
+        let to = arg_u64(args, "--to-ms", q.to_ms);
+        q = q.time_range_ms(from, to);
         if let Some(asn) = arg_str(args, "--peer") {
-            let n = asn
-                .trim_start_matches("AS")
-                .parse()
-                .map_err(|_| format!("--peer wants an AS number, got {asn:?}"))?;
-            f = f.peer(Asn(n));
+            q = q.peer_str(&asn).map_err(|e| format!("--{e}"))?;
         }
         if let Some(p) = arg_str(args, "--prefix") {
-            let p = p
-                .parse()
-                .map_err(|_| format!("--prefix wants a.b.c.d/len, got {p:?}"))?;
-            f = f.prefix(p);
+            q = q.prefix_str(&p).map_err(|e| format!("--{e}"))?;
         }
         if let Some(c) = arg_str(args, "--class") {
-            f = f.class(parse_class(&c)?);
+            q = q.class_labelled(&c)?;
         }
         if let Some(c) = arg_str(args, "--cause") {
-            f = f.cause(parse_cause(&c)?);
+            q = q.cause_labelled(&c)?;
         }
-        f = f.strict(arg_flag(args, "--strict"));
-        f = f.stats(arg_flag(args, "--stats"));
-        Ok(f)
+        Ok(QueryFilter::from_query(q)
+            .strict(arg_flag(args, "--strict"))
+            .stats(arg_flag(args, "--stats")))
     }
 
     /// Opens a store honouring this filter's strict flag.
@@ -258,6 +265,12 @@ pub fn render_scan_stats(stats: &ScanStats) -> String {
         stats.rows_scanned,
         stats.rows_matched
     );
+    if stats.pages_total > 0 {
+        out.push_str(&format!(
+            "\n[scan] {} pages: {} pruned, {} zone-answered, {} scanned",
+            stats.pages_total, stats.pages_pruned, stats.pages_zone_answered, stats.pages_scanned
+        ));
+    }
     if stats.segments_quarantined > 0 {
         out.push_str(&format!(
             "\n[scan] {} segment(s) quarantined — results exclude them; \
@@ -332,7 +345,7 @@ mod tests {
     #[test]
     fn filter_day_shorthand_sets_the_window() {
         let f = QueryFilter::from_args(&argv(&["--day", "2"])).unwrap();
-        let day_ms = crate::store_cache::DAY_MS;
+        let day_ms = iri_store::DAY_MS;
         assert_eq!(f.query().from_ms, 2 * day_ms);
         assert_eq!(f.query().to_ms, 3 * day_ms);
     }

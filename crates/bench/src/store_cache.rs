@@ -23,8 +23,9 @@ use std::hash::{Hash, Hasher};
 use std::path::Path;
 
 /// One simulated day in store time: day `d`'s events live at absolute
-/// times `[d * DAY_MS, (d + 1) * DAY_MS)`.
-pub const DAY_MS: u64 = 86_400_000;
+/// times `[d * DAY_MS, (d + 1) * DAY_MS)`. Re-exported from the store,
+/// which owns the day-window convention.
+pub use iri_store::DAY_MS;
 
 /// Sidecar metadata file describing which days the archive holds.
 pub const CACHE_META_FILE: &str = "DAYS.json";

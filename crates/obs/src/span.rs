@@ -149,6 +149,15 @@ pub struct PlanTrace {
     /// Rows materialised by the scan.
     #[serde(default)]
     pub rows_scanned: u64,
+    /// Zone-map pages the scan considered (0 on pre-page traces).
+    #[serde(default)]
+    pub pages_total: u64,
+    /// Pages eliminated by page-level zone maps / blooms.
+    #[serde(default)]
+    pub pages_pruned: u64,
+    /// Pages fully decoded and scanned.
+    #[serde(default)]
+    pub pages_scanned: u64,
 }
 
 impl fmt::Display for PlanTrace {
@@ -168,7 +177,15 @@ impl fmt::Display for PlanTrace {
             self.segments_scanned,
             self.decode_bytes,
             self.rows_scanned,
-        )
+        )?;
+        if self.pages_total > 0 {
+            write!(
+                f,
+                " pages p/s={}/{} of {}",
+                self.pages_pruned, self.pages_scanned, self.pages_total
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -306,6 +323,9 @@ mod tests {
             scan_us: 180,
             decode_bytes: 4096,
             rows_scanned: 37,
+            pages_total: 12,
+            pages_pruned: 9,
+            pages_scanned: 3,
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: PlanTrace = serde_json::from_str(&json).unwrap();
@@ -315,6 +335,12 @@ mod tests {
         let s = plan.to_string();
         assert!(s.contains("cache=miss"), "{s}");
         assert!(s.contains("p/z/s=5/2/1"), "{s}");
+        assert!(s.contains("pages p/s=9/3 of 12"), "{s}");
+        // Pre-page traces (all page fields zero) render the old line.
+        assert!(
+            !PlanTrace::default().to_string().contains("pages"),
+            "compat"
+        );
     }
 
     #[test]

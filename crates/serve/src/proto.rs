@@ -22,9 +22,8 @@ use iri_bgp::attrs::{Origin, PathAttributes};
 use iri_bgp::path::AsPath;
 use iri_bgp::types::Asn;
 use iri_core::input::{PeerKey, UpdateEvent};
-use iri_core::taxonomy::UpdateClass;
 use iri_obs::registry::RegistrySnapshot;
-use iri_obs::{Cause, PlanTrace};
+use iri_obs::PlanTrace;
 use iri_store::{Query, ScanStats};
 use serde::{Deserialize, Serialize};
 
@@ -84,7 +83,9 @@ pub struct Filter {
 }
 
 impl Filter {
-    /// Lowers the wire filter to a typed store [`Query`].
+    /// Lowers the wire filter to a typed store [`Query`] via the store's
+    /// own builder, so the wire grammar and the CLI grammar can never
+    /// drift apart.
     pub fn to_query(&self) -> Result<Query, String> {
         let mut q = Query::default();
         if let Some(f) = self.from_ms {
@@ -94,29 +95,16 @@ impl Filter {
             q.to_ms = t;
         }
         if let Some(asn) = self.peer_asn {
-            q.peer_asn = Some(Asn(asn));
+            q = q.peer(Asn(asn));
         }
         if let Some(p) = &self.prefix {
-            q.prefix = Some(
-                p.parse()
-                    .map_err(|_| format!("prefix wants a.b.c.d/len, got {p:?}"))?,
-            );
+            q = q.prefix_str(p)?;
         }
         if let Some(c) = &self.class {
-            q.class = Some(
-                UpdateClass::ALL
-                    .into_iter()
-                    .find(|k| k.label().eq_ignore_ascii_case(c))
-                    .ok_or_else(|| format!("unknown class {c:?}"))?,
-            );
+            q = q.class_labelled(c)?;
         }
         if let Some(c) = &self.cause {
-            q.cause = Some(
-                Cause::ALL
-                    .into_iter()
-                    .find(|k| k.label().eq_ignore_ascii_case(c))
-                    .ok_or_else(|| format!("unknown cause {c:?}"))?,
-            );
+            q = q.cause_labelled(c)?;
         }
         Ok(q)
     }

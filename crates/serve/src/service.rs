@@ -753,6 +753,9 @@ fn copy_scan_stats(resp: &Response, plan: &mut PlanTrace) {
     plan.scan_us = stats.scan_us;
     plan.decode_bytes = stats.bytes_scanned;
     plan.rows_scanned = stats.rows_scanned;
+    plan.pages_total = stats.pages_total;
+    plan.pages_pruned = stats.pages_pruned + stats.pages_zone_answered;
+    plan.pages_scanned = stats.pages_scanned;
 }
 
 fn store_error(e: &StoreError) -> Response {

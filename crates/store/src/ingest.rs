@@ -25,7 +25,7 @@
 
 use crate::durable::{self, CommitStep};
 use crate::query::{build_manifest, Manifest, SegmentMeta};
-use crate::segment::{segment_file_name, SegmentBuilder, SegmentData};
+use crate::segment::{segment_file_name, SegmentBuilder, SegmentData, DEFAULT_PAGE_ROWS};
 use crate::{
     logical_shard, shard_of_event, StoreError, StoredEvent, DEFAULT_SEGMENT_ROWS, LOGICAL_SHARDS,
     MANIFEST_FILE,
@@ -49,6 +49,10 @@ pub struct IngestConfig {
     /// the store's identity: two stores are byte-comparable only if they
     /// were written (or compacted) with the same value.
     pub segment_rows: u32,
+    /// Rows per zone-map page inside each segment. Like `segment_rows`,
+    /// part of the store's identity (rounded up to a multiple of 8 by
+    /// the segment builder).
+    pub page_rows: u32,
     /// Filesystem the writers go through — swap in
     /// [`iri_faults::FaultyFs`] to inject failures.
     pub fs: SharedFs,
@@ -72,6 +76,7 @@ impl Default for IngestConfig {
         IngestConfig {
             pipeline: PipelineConfig::default(),
             segment_rows: DEFAULT_SEGMENT_ROWS,
+            page_rows: DEFAULT_PAGE_ROWS,
             fs: real_fs(),
             retry: RetryPolicy::default(),
             batch_sync: true,
@@ -92,6 +97,13 @@ impl IngestConfig {
     #[must_use]
     pub fn with_segment_rows(mut self, rows: u32) -> Self {
         self.segment_rows = rows.max(1);
+        self
+    }
+
+    /// Sets the zone-map page size.
+    #[must_use]
+    pub fn with_page_rows(mut self, rows: u32) -> Self {
+        self.page_rows = rows.max(1);
         self
     }
 
@@ -186,6 +198,7 @@ pub struct StoreWriter {
     fs: SharedFs,
     retry: RetryPolicy,
     segment_rows: u32,
+    page_rows: u32,
     generation: u64,
     batch_sync: bool,
     builders: Vec<Option<SegmentBuilder>>,
@@ -242,6 +255,7 @@ impl StoreWriter {
             fs,
             retry,
             segment_rows: segment_rows.max(1),
+            page_rows: DEFAULT_PAGE_ROWS,
             generation: 1,
             batch_sync: true,
             builders: (0..LOGICAL_SHARDS).map(|_| None).collect(),
@@ -256,6 +270,13 @@ impl StoreWriter {
     #[must_use]
     pub fn with_batch_sync(mut self, batch: bool) -> Self {
         self.batch_sync = batch;
+        self
+    }
+
+    /// Sets the zone-map page size for segments this writer encodes.
+    #[must_use]
+    pub fn with_page_rows(mut self, rows: u32) -> Self {
+        self.page_rows = rows.max(1);
         self
     }
 
@@ -276,7 +297,9 @@ impl StoreWriter {
     /// Appends one event, rolling its shard's segment if full.
     pub fn push(&mut self, ev: &StoredEvent) -> Result<(), StoreError> {
         let shard = logical_shard(ev.peer.asn, ev.prefix);
-        let builder = self.builders[shard].get_or_insert_with(|| SegmentBuilder::new(shard as u16));
+        let page_rows = self.page_rows;
+        let builder = self.builders[shard]
+            .get_or_insert_with(|| SegmentBuilder::new(shard as u16).with_page_rows(page_rows));
         builder.push(ev);
         if builder.rows() >= self.segment_rows {
             self.flush_shard(shard)?;
@@ -418,6 +441,13 @@ impl StoreSink {
         self
     }
 
+    /// Sets the zone-map page size.
+    #[must_use]
+    pub fn with_page_rows(mut self, rows: u32) -> Self {
+        self.writer = self.writer.with_page_rows(rows);
+        self
+    }
+
     fn into_writer(mut self) -> Result<StoreWriter, StoreError> {
         match self.error.take() {
             Some(e) => Err(e),
@@ -441,7 +471,17 @@ impl ClassifiedSink for StoreSink {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = self.writer.flush_all() {
+        // Run this worker's batched fsync pass here, on the worker
+        // thread, so the passes overlap across workers. Leaving them
+        // all to the post-join loop in `ingest_mrt` serialized every
+        // fsync on the main thread — the regression that made batched
+        // sync *slower* than inline at jobs > 1. The post-join
+        // `sync_pending` still runs as a cheap no-op safety net.
+        if let Err(e) = self
+            .writer
+            .flush_all()
+            .and_then(|()| self.writer.sync_pending())
+        {
             self.error = Some(e);
         }
     }
@@ -496,6 +536,7 @@ pub fn ingest_mrt<R: std::io::Read>(
         |_worker, _jobs| {
             StoreSink::new_with(dir, segment_rows, cfg.fs.clone(), cfg.retry)
                 .with_batch_sync(cfg.batch_sync)
+                .with_page_rows(cfg.page_rows)
         },
     )
     .map_err(|e| StoreError::Ingest(e.to_string()))?;
@@ -633,8 +674,13 @@ pub fn compact_with_opts(
     let mut new_metas: Vec<SegmentMeta> = Vec::new();
     let mut shards_rewritten = 0usize;
     for (shard, metas) in by_shard.iter().enumerate() {
+        // Canonical form also pins the page layout: rewriting re-encodes
+        // with DEFAULT_PAGE_ROWS, so a pageless (v1) or oddly-paged chain
+        // is "not canonical" and gets upgraded here.
         let canonical = metas.iter().enumerate().all(|(i, m)| {
-            m.seq == i as u32 && (i + 1 == metas.len() || m.rows == u64::from(target_rows))
+            m.seq == i as u32
+                && (i + 1 == metas.len() || m.rows == u64::from(target_rows))
+                && m.pages == m.rows.div_ceil(u64::from(DEFAULT_PAGE_ROWS))
         }) && metas
             .last()
             .is_none_or(|m| m.rows <= u64::from(target_rows));

@@ -47,6 +47,7 @@
 pub mod durable;
 pub mod ingest;
 pub mod live;
+pub mod plan;
 pub mod query;
 pub mod segment;
 pub mod watch;
@@ -66,8 +67,12 @@ pub use ingest::{
     IngestConfig, IngestOutcome, StoreSink, StoreWriter,
 };
 pub use live::{LiveOptions, LiveStats, LiveStore, PinGuard, Snapshot};
-pub use query::{build_manifest, Manifest, OpenOptions, Query, ScanStats, SegmentMeta, Store};
-pub use segment::{SegmentBuilder, SegmentData};
+pub use plan::{PhysicalPlan, PlanKind, PruneReason, SegmentFate, SegmentStep};
+pub use query::{
+    build_manifest, parse_cause_label, parse_class_label, Manifest, OpenOptions, Query, ScanStats,
+    SegmentMeta, Store,
+};
+pub use segment::{PageBuf, PageMeta, SegmentBuilder, SegmentData, SegmentFile, DEFAULT_PAGE_ROWS};
 pub use watch::{WatchConfig, WatchReport, Watcher};
 
 /// Number of logical shards an event stream is split into. Part of the
@@ -81,6 +86,10 @@ pub const DEFAULT_SEGMENT_ROWS: u32 = 65_536;
 
 /// Manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Milliseconds per simulated archive day — the unit behind
+/// [`Query::day_window`] and every CLI `--day` flag.
+pub const DAY_MS: u64 = 86_400_000;
 
 /// Subdirectory where live mutations park segment files still referenced
 /// by pinned reader snapshots: `retired/g<generation>/<file>`, where the

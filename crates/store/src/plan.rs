@@ -1,0 +1,340 @@
+//! Logical query → physical plan compilation.
+//!
+//! A [`crate::Query`] is *what* to match; a [`PhysicalPlan`] is *how this
+//! store will answer it*: one [`SegmentStep`] per manifest segment, each
+//! carrying the fate the zone maps decided at compile time —
+//!
+//! 1. **pruned** — the segment zone maps prove no row can match
+//!    ([`PruneReason`] says which map); the file is never opened;
+//! 2. **zone-answered** — for grouped counts and sums with no row-level
+//!    predicates, a segment fully inside the time window is answered
+//!    from manifest counts alone;
+//! 3. **scan** — the file is opened, its page directory prunes or
+//!    zone-answers *pages* the same way, and surviving pages are decoded
+//!    and filtered on packed dictionary codes.
+//!
+//! Compilation is a pure function of the query, the [`PlanKind`], and
+//! the manifest — no file I/O. [`Store::plan`] compiles,
+//! [`Store::execute`] (and the aggregation methods) run the steps;
+//! `iriq --explain` and the serve layer's plan traces print
+//! [`PhysicalPlan::explain`].
+//!
+//! Page fates are decided at execute time (the directory lives in the
+//! segment file), so the plan records them as part of the scan step's
+//! execution, not as separate steps.
+//!
+//! [`Store::plan`]: crate::Store::plan
+//! [`Store::execute`]: crate::Store::execute
+
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// What shape of answer a query is compiled for. Grouped counts and
+/// sums can be answered from zone maps alone; streaming shapes always
+/// materialise rows (but still prune segments and pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// Stream every matching row to a visitor.
+    Stream,
+    /// Count matching rows per taxonomy class.
+    CountByClass,
+    /// Count matching rows per cause.
+    CountByCause,
+    /// Count matching rows per peer AS.
+    CountByPeer,
+    /// Count matching rows per prefix.
+    CountByPrefix,
+    /// Sum NLRI wire bytes over matching rows.
+    SumBytes,
+    /// Bucket matching rows into fixed time bins.
+    TimeSeries {
+        /// Bin width in ms.
+        bin_ms: u64,
+    },
+}
+
+/// What a zone map may answer without decoding rows, per [`PlanKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ZoneMode {
+    /// Rows must be materialised (still pruned, never zone-answered).
+    None,
+    /// Class/cause count vectors answer the query.
+    Counts,
+    /// The size-column sum answers the query (needs stores that record
+    /// it; older manifests/pages fall back to scanning).
+    Sum,
+}
+
+impl PlanKind {
+    /// Short label for explain output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::Stream => "stream",
+            PlanKind::CountByClass => "count-by-class",
+            PlanKind::CountByCause => "count-by-cause",
+            PlanKind::CountByPeer => "count-by-peer",
+            PlanKind::CountByPrefix => "count-by-prefix",
+            PlanKind::SumBytes => "sum-bytes",
+            PlanKind::TimeSeries { .. } => "time-series",
+        }
+    }
+
+    pub(crate) fn zone_mode(&self) -> ZoneMode {
+        match self {
+            PlanKind::CountByClass | PlanKind::CountByCause => ZoneMode::Counts,
+            PlanKind::SumBytes => ZoneMode::Sum,
+            PlanKind::Stream
+            | PlanKind::CountByPeer
+            | PlanKind::CountByPrefix
+            | PlanKind::TimeSeries { .. } => ZoneMode::None,
+        }
+    }
+}
+
+/// Which zone map proved a segment (or page) cannot match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PruneReason {
+    /// The segment holds no rows.
+    Empty,
+    /// Min/max time is disjoint from the query window.
+    TimeDisjoint,
+    /// The class count for the queried class is zero.
+    ClassAbsent,
+    /// The cause count for the queried cause is zero.
+    CauseAbsent,
+    /// The peer membership bitmap misses the queried AS.
+    PeerBloomMiss,
+    /// The prefix membership bitmap misses the queried prefix.
+    PrefixBloomMiss,
+}
+
+impl PruneReason {
+    /// Short label for explain output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PruneReason::Empty => "empty",
+            PruneReason::TimeDisjoint => "time-disjoint",
+            PruneReason::ClassAbsent => "class-absent",
+            PruneReason::CauseAbsent => "cause-absent",
+            PruneReason::PeerBloomMiss => "peer-bloom-miss",
+            PruneReason::PrefixBloomMiss => "prefix-bloom-miss",
+        }
+    }
+}
+
+/// A segment's compile-time fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentFate {
+    /// Zone maps prove no row matches; the file is never opened.
+    Pruned(PruneReason),
+    /// Answered from manifest zone counts alone.
+    ZoneAnswered,
+    /// Opened: pages pruned/zone-answered/decoded individually.
+    Scan,
+}
+
+/// One per-segment step of a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentStep {
+    /// Segment file name relative to the store directory.
+    pub file: String,
+    /// Logical shard.
+    pub shard: u32,
+    /// Position in the shard's segment chain.
+    pub seq: u32,
+    /// Row count.
+    pub rows: u64,
+    /// Encoded file size in bytes.
+    pub bytes: u64,
+    /// Zone-map pages in the segment (0 for pageless v1 segments).
+    pub pages: u64,
+    /// The compile-time fate.
+    pub fate: SegmentFate,
+}
+
+/// A compiled query: the ordered per-segment steps the executor runs.
+/// Valid only against the (immutable) store handle that compiled it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    /// The logical query this plan answers.
+    pub query: Query,
+    /// The answer shape the plan was compiled for.
+    pub kind: PlanKind,
+    /// Worker threads the executor will use for scan steps (1 = serial).
+    pub jobs: usize,
+    /// Differential-testing mode: every segment is force-fated
+    /// [`SegmentFate::Scan`] and decoded eagerly, bypassing pages and
+    /// code pushdown.
+    pub full_scan: bool,
+    /// One step per manifest segment, in (shard, seq) order.
+    pub steps: Vec<SegmentStep>,
+}
+
+impl PhysicalPlan {
+    /// Steps fated [`SegmentFate::Pruned`].
+    #[must_use]
+    pub fn segments_pruned(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.fate, SegmentFate::Pruned(_)))
+            .count()
+    }
+
+    /// Steps fated [`SegmentFate::ZoneAnswered`].
+    #[must_use]
+    pub fn segments_zone_answered(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.fate == SegmentFate::ZoneAnswered)
+            .count()
+    }
+
+    /// Steps fated [`SegmentFate::Scan`].
+    #[must_use]
+    pub fn segments_scanned(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.fate == SegmentFate::Scan)
+            .count()
+    }
+
+    /// Human-readable plan listing: the query, the compiled shape, and
+    /// every segment's fate — what `iriq --explain` prints.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let q = &self.query;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan: {} over [{}, {}) jobs={}{}",
+            self.kind.label(),
+            q.from_ms,
+            if q.to_ms == u64::MAX {
+                "∞".to_owned()
+            } else {
+                q.to_ms.to_string()
+            },
+            self.jobs,
+            if self.full_scan {
+                " (forced full scan)"
+            } else {
+                ""
+            },
+        );
+        let mut preds: Vec<String> = Vec::new();
+        if let Some(asn) = q.peer_asn {
+            preds.push(format!("peer=AS{}", asn.0));
+        }
+        if let Some(p) = q.prefix {
+            preds.push(format!("prefix={p}"));
+        }
+        if let Some(c) = q.class {
+            preds.push(format!("class={}", c.label()));
+        }
+        if let Some(c) = q.cause {
+            preds.push(format!("cause={}", c.label()));
+        }
+        let _ = writeln!(
+            out,
+            "predicates: {}",
+            if preds.is_empty() {
+                "(none)".to_owned()
+            } else {
+                preds.join(" ")
+            }
+        );
+        let _ = writeln!(
+            out,
+            "segments: {} total — {} pruned, {} zone-answered, {} scanned",
+            self.steps.len(),
+            self.segments_pruned(),
+            self.segments_zone_answered(),
+            self.segments_scanned(),
+        );
+        for s in &self.steps {
+            let fate = match s.fate {
+                SegmentFate::Pruned(r) => format!("pruned ({})", r.label()),
+                SegmentFate::ZoneAnswered => "zone-answered".to_owned(),
+                SegmentFate::Scan => format!("scan ({} pages)", s.pages),
+            };
+            let _ = writeln!(
+                out,
+                "  {} shard {:02} seq {:06} rows {:>7} {}",
+                s.file, s.shard, s.seq, s.rows, fate
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fate_counts_and_explain_agree() {
+        let steps = vec![
+            SegmentStep {
+                file: "s00-000000.seg".into(),
+                shard: 0,
+                seq: 0,
+                rows: 10,
+                bytes: 100,
+                pages: 1,
+                fate: SegmentFate::Pruned(PruneReason::TimeDisjoint),
+            },
+            SegmentStep {
+                file: "s01-000000.seg".into(),
+                shard: 1,
+                seq: 0,
+                rows: 10,
+                bytes: 100,
+                pages: 1,
+                fate: SegmentFate::ZoneAnswered,
+            },
+            SegmentStep {
+                file: "s02-000000.seg".into(),
+                shard: 2,
+                seq: 0,
+                rows: 10,
+                bytes: 100,
+                pages: 1,
+                fate: SegmentFate::Scan,
+            },
+        ];
+        let plan = PhysicalPlan {
+            query: Query::default().time_range_ms(5, 50),
+            kind: PlanKind::CountByClass,
+            jobs: 1,
+            full_scan: false,
+            steps,
+        };
+        assert_eq!(plan.segments_pruned(), 1);
+        assert_eq!(plan.segments_zone_answered(), 1);
+        assert_eq!(plan.segments_scanned(), 1);
+        let text = plan.explain();
+        assert!(text.contains("count-by-class"), "{text}");
+        assert!(
+            text.contains("1 pruned, 1 zone-answered, 1 scanned"),
+            "{text}"
+        );
+        assert!(text.contains("time-disjoint"), "{text}");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = PhysicalPlan {
+            query: Query::default(),
+            kind: PlanKind::TimeSeries { bin_ms: 1_000 },
+            jobs: 4,
+            full_scan: false,
+            steps: Vec::new(),
+        };
+        let text = serde_json::to_string(&plan).unwrap();
+        let back: PhysicalPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -16,8 +16,10 @@
 //! time-windowed query never had to read.
 
 use crate::durable::{self, Recovery};
+use crate::plan::{PhysicalPlan, PlanKind, PruneReason, SegmentFate, SegmentStep, ZoneMode};
 use crate::segment::{
-    bloom_contains, peer_bloom_hash, prefix_bloom_hash, SegmentData, BLOOM_WORDS,
+    bloom_contains, peer_bloom_hash, prefix_bloom_hash, PageBuf, PageMeta, SegmentData,
+    SegmentFile, BLOOM_WORDS,
 };
 use crate::{StoreError, StoredEvent, LOGICAL_SHARDS, MANIFEST_FILE};
 use iri_bgp::types::{Asn, Prefix};
@@ -63,6 +65,15 @@ pub struct SegmentMeta {
     pub peer_bloom: [u64; BLOOM_WORDS],
     /// 256-bit membership bitmap over prefixes.
     pub prefix_bloom: [u64; BLOOM_WORDS],
+    /// Zone-map pages in the segment's directory. 0 for v1 (pageless)
+    /// segments and manifests written before pages existed.
+    #[serde(default)]
+    pub pages: u64,
+    /// Sum of the size column over the segment, `None` in manifests from
+    /// before it was recorded — which gates answering [`Store::sum_bytes`]
+    /// from zone maps alone.
+    #[serde(default)]
+    pub size_sum: Option<u64>,
 }
 
 /// The store's root metadata, `MANIFEST.json`.
@@ -160,7 +171,8 @@ pub fn build_manifest(
 /// A conjunctive filter over the stored columns. The default matches
 /// everything; builder methods narrow it. Time ranges are half-open
 /// `[from_ms, to_ms)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Query {
     /// Inclusive lower time bound (ms).
     pub from_ms: u64,
@@ -198,6 +210,12 @@ impl Query {
         self
     }
 
+    /// Restricts to one simulated day: `[day·DAY_MS, (day+1)·DAY_MS)`.
+    #[must_use]
+    pub fn day_window(self, day: u64) -> Self {
+        self.time_range_ms(day * crate::DAY_MS, (day + 1) * crate::DAY_MS)
+    }
+
     /// Restricts to one peer AS.
     #[must_use]
     pub fn peer(mut self, asn: Asn) -> Self {
@@ -226,37 +244,103 @@ impl Query {
         self
     }
 
+    /// Restricts to the taxonomy class with this label
+    /// (case-insensitive); the error lists the valid labels.
+    pub fn class_labelled(self, label: &str) -> Result<Self, String> {
+        Ok(self.class(parse_class_label(label)?))
+    }
+
+    /// Restricts to the cause with this label (case-insensitive); the
+    /// error lists the valid labels.
+    pub fn cause_labelled(self, label: &str) -> Result<Self, String> {
+        Ok(self.cause(parse_cause_label(label)?))
+    }
+
+    /// Restricts to one peer AS parsed from `"AS701"` or `"701"`.
+    pub fn peer_str(self, s: &str) -> Result<Self, String> {
+        let n = s
+            .trim_start_matches("AS")
+            .parse()
+            .map_err(|_| format!("peer wants an AS number, got {s:?}"))?;
+        Ok(self.peer(Asn(n)))
+    }
+
+    /// Restricts to one prefix parsed from `"a.b.c.d/len"`.
+    pub fn prefix_str(self, s: &str) -> Result<Self, String> {
+        let p = s
+            .parse()
+            .map_err(|_| format!("prefix wants a.b.c.d/len, got {s:?}"))?;
+        Ok(self.prefix(p))
+    }
+
     /// Whether the query has row-level predicates beyond the time range.
     #[must_use]
-    fn has_row_predicates(&self) -> bool {
+    pub(crate) fn has_row_predicates(&self) -> bool {
         self.peer_asn.is_some()
             || self.prefix.is_some()
             || self.class.is_some()
             || self.cause.is_some()
     }
 
-    /// Whether the zone maps prove no row of `seg` can match.
-    fn prunes(&self, seg: &SegmentMeta) -> bool {
-        if seg.rows == 0 || seg.max_time_ms < self.from_ms || seg.min_time_ms >= self.to_ms {
-            return true;
+    /// Why the zone maps prove no row of `seg` can match, if they do.
+    pub(crate) fn prune_reason(&self, seg: &SegmentMeta) -> Option<PruneReason> {
+        if seg.rows == 0 {
+            return Some(PruneReason::Empty);
+        }
+        if seg.max_time_ms < self.from_ms || seg.min_time_ms >= self.to_ms {
+            return Some(PruneReason::TimeDisjoint);
         }
         if let Some(c) = self.class {
             if seg.class_counts[c.index()] == 0 {
-                return true;
+                return Some(PruneReason::ClassAbsent);
             }
         }
         if let Some(c) = self.cause {
             if seg.cause_counts[c.index()] == 0 {
-                return true;
+                return Some(PruneReason::CauseAbsent);
             }
         }
         if let Some(asn) = self.peer_asn {
             if !bloom_contains(&seg.peer_bloom, peer_bloom_hash(asn)) {
-                return true;
+                return Some(PruneReason::PeerBloomMiss);
             }
         }
         if let Some(p) = self.prefix {
             if !bloom_contains(&seg.prefix_bloom, prefix_bloom_hash(p)) {
+                return Some(PruneReason::PrefixBloomMiss);
+            }
+        }
+        None
+    }
+
+    /// Whether the zone maps prove no row of `seg` can match.
+    #[cfg(test)]
+    fn prunes(&self, seg: &SegmentMeta) -> bool {
+        self.prune_reason(seg).is_some()
+    }
+
+    /// Whether the page zone maps prove no row of `page` can match.
+    fn prunes_page(&self, page: &PageMeta) -> bool {
+        if page.max_time < self.from_ms || page.min_time >= self.to_ms {
+            return true;
+        }
+        if let Some(c) = self.class {
+            if page.class_counts[c.index()] == 0 {
+                return true;
+            }
+        }
+        if let Some(c) = self.cause {
+            if page.cause_counts[c.index()] == 0 {
+                return true;
+            }
+        }
+        if let Some(asn) = self.peer_asn {
+            if !bloom_contains(&page.peer_bloom, peer_bloom_hash(asn)) {
+                return true;
+            }
+        }
+        if let Some(p) = self.prefix {
+            if !bloom_contains(&page.prefix_bloom, prefix_bloom_hash(p)) {
                 return true;
             }
         }
@@ -264,9 +348,37 @@ impl Query {
     }
 
     /// Whether `seg` lies entirely inside the time window.
-    fn covers_time(&self, seg: &SegmentMeta) -> bool {
+    pub(crate) fn covers_time(&self, seg: &SegmentMeta) -> bool {
         self.from_ms <= seg.min_time_ms && seg.max_time_ms < self.to_ms
     }
+
+    /// Whether `page` lies entirely inside the time window.
+    fn covers_page_time(&self, page: &PageMeta) -> bool {
+        self.from_ms <= page.min_time && page.max_time < self.to_ms
+    }
+}
+
+/// Parses a taxonomy class by its label, case-insensitively. The one
+/// label grammar every consumer (CLI flags, wire filters) shares.
+pub fn parse_class_label(name: &str) -> Result<UpdateClass, String> {
+    UpdateClass::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let all: Vec<&str> = UpdateClass::ALL.iter().map(|c| c.label()).collect();
+            format!("unknown class {name:?}; one of: {}", all.join(", "))
+        })
+}
+
+/// Parses a cause by its label, case-insensitively.
+pub fn parse_cause_label(name: &str) -> Result<Cause, String> {
+    Cause::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let all: Vec<&str> = Cause::ALL.iter().map(|c| c.label()).collect();
+            format!("unknown cause {name:?}; one of: {}", all.join(", "))
+        })
 }
 
 /// Work accounting for one query: how much of the archive the zone maps
@@ -298,17 +410,48 @@ pub struct ScanStats {
     /// from older servers (reads as 0).
     #[serde(default)]
     pub scan_us: u64,
+    /// Zone-map pages across every paged segment touched by the query
+    /// (pageless v1 segments contribute nothing to page accounting).
+    #[serde(default)]
+    pub pages_total: u64,
+    /// Pages eliminated by page zone maps without decoding.
+    #[serde(default)]
+    pub pages_pruned: u64,
+    /// Pages answered from page zone maps alone (counts/sums).
+    #[serde(default)]
+    pub pages_zone_answered: u64,
+    /// Pages actually decoded and row-filtered.
+    #[serde(default)]
+    pub pages_scanned: u64,
 }
 
 impl ScanStats {
-    /// Fraction of segments the query never opened (pruned or answered
-    /// from the zone maps), in `[0, 1]`.
+    /// Fraction of the archive the query never decoded (pruned or
+    /// answered from zone maps), in `[0, 1]`. Page-granular when the
+    /// store carries page directories; falls back to whole-segment
+    /// accounting against pre-page stores.
     #[must_use]
     pub fn prune_ratio(&self) -> f64 {
+        if self.pages_total > 0 {
+            return (self.pages_pruned + self.pages_zone_answered) as f64 / self.pages_total as f64;
+        }
         if self.segments_total == 0 {
             return 0.0;
         }
         (self.segments_pruned + self.segments_zone_answered) as f64 / self.segments_total as f64
+    }
+
+    /// Folds one segment's scan delta into the query totals. The
+    /// `*_total` and quarantine fields are owned by the executor, not
+    /// the per-segment scan, and are left alone.
+    fn absorb(&mut self, delta: &ScanStats) {
+        self.segments_scanned += delta.segments_scanned;
+        self.bytes_scanned += delta.bytes_scanned;
+        self.rows_scanned += delta.rows_scanned;
+        self.rows_matched += delta.rows_matched;
+        self.pages_pruned += delta.pages_pruned;
+        self.pages_zone_answered += delta.pages_zone_answered;
+        self.pages_scanned += delta.pages_scanned;
     }
 }
 
@@ -322,6 +465,384 @@ fn quarantineable(e: &StoreError) -> bool {
     }
 }
 
+/// Rows a query answered from zone maps alone — segment footers and
+/// page directories — without decoding. The aggregation entry points
+/// fold these into their scanned tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct ZoneCounts {
+    /// Matching rows covered by zone answers.
+    pub rows: u64,
+    /// Per-class rows, indexed by [`UpdateClass::index`].
+    pub class_counts: [u64; UpdateClass::COUNT],
+    /// Per-cause rows, indexed by [`Cause::index`].
+    pub cause_counts: [u64; Cause::COUNT],
+    /// Size-column sum (only populated under [`ZoneMode::Sum`]).
+    pub size_sum: u64,
+}
+
+impl ZoneCounts {
+    fn add_segment(&mut self, meta: &SegmentMeta) {
+        self.rows += meta.rows;
+        for (acc, n) in self.class_counts.iter_mut().zip(meta.class_counts) {
+            *acc += n;
+        }
+        for (acc, n) in self.cause_counts.iter_mut().zip(meta.cause_counts) {
+            *acc += n;
+        }
+        self.size_sum += meta.size_sum.unwrap_or(0);
+    }
+
+    fn add_page(&mut self, page: &PageMeta) {
+        self.rows += u64::from(page.rows);
+        for (acc, n) in self.class_counts.iter_mut().zip(page.class_counts) {
+            *acc += n;
+        }
+        for (acc, n) in self.cause_counts.iter_mut().zip(page.cause_counts) {
+            *acc += n;
+        }
+        self.size_sum += page.size_sum.unwrap_or(0);
+    }
+
+    fn merge(&mut self, other: &ZoneCounts) {
+        self.rows += other.rows;
+        for (acc, n) in self.class_counts.iter_mut().zip(other.class_counts) {
+            *acc += n;
+        }
+        for (acc, n) in self.cause_counts.iter_mut().zip(other.cause_counts) {
+            *acc += n;
+        }
+        self.size_sum += other.size_sum;
+    }
+}
+
+/// Whether zone maps fully inside the time window may answer for their
+/// rows without decoding, given the plan's zone mode. `size_sum` is the
+/// zone's size-column sum if it records one (sums need it; pre-page
+/// manifests and synthesized v1 pages don't carry it).
+fn zone_answerable(
+    query: &Query,
+    mode: ZoneMode,
+    covers_time: bool,
+    size_sum: Option<u64>,
+) -> bool {
+    if query.has_row_predicates() || !covers_time {
+        return false;
+    }
+    match mode {
+        ZoneMode::None => false,
+        ZoneMode::Counts => true,
+        ZoneMode::Sum => size_sum.is_some(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segment loading and scanning: free functions rather than `Store`
+// methods so the parallel executor can run them from worker threads
+// without borrowing the whole store handle.
+// ---------------------------------------------------------------------
+
+/// Reads and parses a segment lazily (dictionaries + page directory, no
+/// row decode), with the pinned-snapshot `retired/` fallback.
+fn load_file(
+    fs: &SharedFs,
+    dir: &Path,
+    snapshot_gen: Option<u64>,
+    meta: &SegmentMeta,
+) -> Result<SegmentFile, StoreError> {
+    let path = dir.join(&meta.file);
+    let primary = (|| {
+        let bytes = fs.read(&path).map_err(|e| StoreError::io(&path, e))?;
+        // Pinned snapshots must detect a segment whose name was
+        // reused by a newer commit; the encoding is deterministic,
+        // so byte length + row count identify the pinned version.
+        if snapshot_gen.is_some() && bytes.len() as u64 != meta.bytes {
+            return Err(StoreError::corrupt(
+                &path,
+                format!(
+                    "segment is {} bytes, pinned manifest says {}",
+                    bytes.len(),
+                    meta.bytes
+                ),
+            ));
+        }
+        let seg = SegmentFile::parse(bytes).map_err(|e| e.with_path(&path))?;
+        if u64::from(seg.rows) != meta.rows {
+            return Err(StoreError::corrupt(
+                &path,
+                format!(
+                    "segment holds {} rows, manifest says {}",
+                    seg.rows, meta.rows
+                ),
+            ));
+        }
+        Ok(seg)
+    })();
+    match primary {
+        Ok(seg) => Ok(seg),
+        Err(e) => match snapshot_gen.and_then(|g| load_retired(fs, dir, meta, g)) {
+            Some(seg) => Ok(seg),
+            None => Err(e),
+        },
+    }
+}
+
+/// Looks for the pinned version of a replaced segment under
+/// `retired/gNNNNNNNNNN/`. The version a reader pinned at generation
+/// `g` needs is the one moved aside by the *earliest* commit after
+/// `g` that touched the file, so candidate directories are walked in
+/// ascending generation order. Every candidate is validated against
+/// the pinned manifest entry before being served.
+fn load_retired(fs: &SharedFs, dir: &Path, meta: &SegmentMeta, pinned: u64) -> Option<SegmentFile> {
+    let root = dir.join(crate::RETIRED_DIR);
+    let names = fs.list(&root).ok()?;
+    let mut gens: Vec<(u64, String)> = names
+        .into_iter()
+        .filter_map(|n| {
+            let g = n.strip_prefix('g')?.parse::<u64>().ok()?;
+            (g > pinned).then_some((g, n))
+        })
+        .collect();
+    gens.sort();
+    for (_, name) in gens {
+        let path = root.join(&name).join(&meta.file);
+        let Ok(bytes) = fs.read(&path) else {
+            continue;
+        };
+        if bytes.len() as u64 != meta.bytes {
+            continue;
+        }
+        let Ok(seg) = SegmentFile::parse(bytes) else {
+            continue;
+        };
+        if u64::from(seg.rows) == meta.rows {
+            return Some(seg);
+        }
+    }
+    None
+}
+
+/// Per-segment scan outcome: the stats delta plus any zone-answered
+/// tallies, merged into the query totals by the executor.
+#[derive(Debug, Default)]
+struct ScanDelta {
+    stats: ScanStats,
+    zone: ZoneCounts,
+}
+
+/// One parallel scan step's buffered outcome, tagged with its plan step
+/// index so waves can flush in deterministic plan order.
+type WaveResult = (usize, Result<(ScanDelta, Vec<StoredEvent>), StoreError>);
+
+/// Dictionary-code predicates compiled once per segment: row tests
+/// compare packed bytes/ids and never materialize non-matching rows.
+struct CodePredicates {
+    /// Bitset over peer dictionary ids matching the queried AS
+    /// (several ids can share an AS across peer addresses).
+    peer_ids: Option<Vec<u64>>,
+    /// Prefix dictionary id of the queried prefix.
+    prefix_id: Option<u32>,
+    /// Packed class/cause byte test: `(cc & mask) == want`.
+    cc_mask: u8,
+    cc_want: u8,
+}
+
+impl CodePredicates {
+    /// `None` when a dictionary predicate has no id in this segment —
+    /// the segment can't match at all (bloom false positive).
+    fn compile(query: &Query, seg: &SegmentFile) -> Option<CodePredicates> {
+        let peer_ids = match query.peer_asn {
+            Some(asn) => {
+                let mut bits = vec![0u64; seg.peer_dict.len().div_ceil(64)];
+                let mut any = false;
+                for (i, p) in seg.peer_dict.iter().enumerate() {
+                    if p.asn == asn {
+                        bits[i / 64] |= 1 << (i % 64);
+                        any = true;
+                    }
+                }
+                if !any {
+                    return None;
+                }
+                Some(bits)
+            }
+            None => None,
+        };
+        let prefix_id = match query.prefix {
+            Some(p) => match seg.prefix_dict.iter().position(|&d| d == p) {
+                Some(i) => Some(i as u32),
+                None => return None,
+            },
+            None => None,
+        };
+        let (cc_mask, cc_want) = match (query.class, query.cause) {
+            (None, None) => (0, 0),
+            (Some(cl), None) => (0x07, cl.index() as u8),
+            (None, Some(ca)) => (0x78, (ca.index() as u8) << 3),
+            (Some(cl), Some(ca)) => (0x7f, ((ca.index() as u8) << 3) | cl.index() as u8),
+        };
+        Some(CodePredicates {
+            peer_ids,
+            prefix_id,
+            cc_mask,
+            cc_want,
+        })
+    }
+
+    #[inline]
+    fn matches(&self, query: &Query, buf: &PageBuf, j: usize) -> bool {
+        let t = buf.times[j];
+        if t < query.from_ms || t >= query.to_ms {
+            return false;
+        }
+        if (buf.cc[j] & self.cc_mask) != self.cc_want {
+            return false;
+        }
+        if let Some(bits) = &self.peer_ids {
+            let id = buf.peer_ids[j] as usize;
+            if bits[id / 64] & (1 << (id % 64)) == 0 {
+                return false;
+            }
+        }
+        if let Some(id) = self.prefix_id {
+            if buf.prefix_ids[j] != id {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Scans one segment page-wise with code pushdown: pages are pruned or
+/// zone-answered from the directory, survivors are decoded into `buf`
+/// and row-filtered on packed codes, and only matching rows are
+/// materialized and emitted — in row order.
+///
+/// One sharp edge: emission is incremental, so a decode failure on a
+/// later page (impossible short of a checksum collision, since the
+/// whole image was checksummed at parse) aborts a segment that already
+/// emitted rows; the tolerant executor then skips the remainder.
+#[allow(clippy::too_many_arguments)]
+fn scan_segment(
+    fs: &SharedFs,
+    dir: &Path,
+    snapshot_gen: Option<u64>,
+    meta: &SegmentMeta,
+    query: &Query,
+    mode: ZoneMode,
+    buf: &mut PageBuf,
+    emit: &mut dyn FnMut(&StoredEvent),
+) -> Result<ScanDelta, StoreError> {
+    let mut d = ScanDelta::default();
+    let seg = load_file(fs, dir, snapshot_gen, meta)?;
+    d.stats.segments_scanned = 1;
+    d.stats.bytes_scanned = meta.bytes;
+    let n_pages = seg.pages().len() as u64;
+
+    let Some(preds) = CodePredicates::compile(query, &seg) else {
+        // A dictionary predicate has no code in this segment: nothing
+        // can match and no page needs decoding.
+        d.stats.pages_pruned = n_pages;
+        return Ok(d);
+    };
+
+    for page in seg.pages() {
+        if query.prunes_page(page) {
+            d.stats.pages_pruned += 1;
+            continue;
+        }
+        if zone_answerable(query, mode, query.covers_page_time(page), page.size_sum) {
+            d.stats.pages_zone_answered += 1;
+            d.stats.rows_matched += u64::from(page.rows);
+            d.zone.add_page(page);
+            continue;
+        }
+        seg.decode_page(page, buf)
+            .map_err(|e| e.with_path(&dir.join(&meta.file)))?;
+        d.stats.pages_scanned += 1;
+        d.stats.rows_scanned += u64::from(page.rows);
+        for j in 0..buf.len() {
+            if preds.matches(query, buf, j) {
+                d.stats.rows_matched += 1;
+                emit(&seg.event(buf, j));
+            }
+        }
+    }
+    Ok(d)
+}
+
+/// The forced-full-scan path: eager whole-segment decode and filtering
+/// on materialized fields, bypassing pages and code pushdown. The
+/// differential-testing baseline paged scans must match byte-for-byte.
+fn scan_segment_eager(
+    fs: &SharedFs,
+    dir: &Path,
+    snapshot_gen: Option<u64>,
+    meta: &SegmentMeta,
+    query: &Query,
+    emit: &mut dyn FnMut(&StoredEvent),
+) -> Result<ScanDelta, StoreError> {
+    let mut d = ScanDelta::default();
+    let file = load_file(fs, dir, snapshot_gen, meta)?;
+    let seg = SegmentData::decode(file.image()).map_err(|e| e.with_path(&dir.join(&meta.file)))?;
+    d.stats.segments_scanned = 1;
+    d.stats.bytes_scanned = meta.bytes;
+    d.stats.rows_scanned = seg.len() as u64;
+
+    let peer_ids = match query.peer_asn {
+        Some(asn) => {
+            let ids: Vec<u32> = seg
+                .peer_dict
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.asn == asn)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if ids.is_empty() {
+                return Ok(d);
+            }
+            Some(ids)
+        }
+        None => None,
+    };
+    let prefix_id = match query.prefix {
+        Some(p) => match seg.prefix_dict.iter().position(|&d| d == p) {
+            Some(i) => Some(i as u32),
+            None => return Ok(d),
+        },
+        None => None,
+    };
+
+    for i in 0..seg.len() {
+        let t = seg.times[i];
+        if t < query.from_ms || t >= query.to_ms {
+            continue;
+        }
+        if let Some(ids) = &peer_ids {
+            if !ids.contains(&seg.peer_ids[i]) {
+                continue;
+            }
+        }
+        if let Some(id) = prefix_id {
+            if seg.prefix_ids[i] != id {
+                continue;
+            }
+        }
+        if let Some(c) = query.class {
+            if seg.classes[i] != c {
+                continue;
+            }
+        }
+        if let Some(c) = query.cause {
+            if seg.causes[i] != c {
+                continue;
+            }
+        }
+        d.stats.rows_matched += 1;
+        emit(&seg.event(i));
+    }
+    Ok(d)
+}
+
 struct StoreMetrics {
     queries: CounterId,
     segments_pruned: CounterId,
@@ -333,12 +854,16 @@ struct StoreMetrics {
     scan_us: HistogramId,
 }
 
-/// How to open a [`Store`]: strictness and the I/O layer.
+/// How to open a [`Store`]: strictness, parallelism, and the I/O layer.
 #[derive(Debug, Clone)]
 pub struct OpenOptions {
     /// Fail fast instead of quarantining: any condition recovery would
     /// repair (unretired journal, corrupt or orphaned file) is an error.
     pub strict: bool,
+    /// Worker threads for scan steps: 1 (the default) scans serially,
+    /// 0 resolves to the machine's available parallelism. Results are
+    /// byte-identical at any setting; only wall clock changes.
+    pub jobs: usize,
     /// The filesystem the store reads through — swap in
     /// [`iri_faults::FaultyFs`] to inject failures.
     pub fs: SharedFs,
@@ -348,6 +873,7 @@ impl Default for OpenOptions {
     fn default() -> Self {
         OpenOptions {
             strict: false,
+            jobs: 1,
             fs: real_fs(),
         }
     }
@@ -364,6 +890,13 @@ impl OpenOptions {
     #[must_use]
     pub fn strict(mut self, strict: bool) -> Self {
         self.strict = strict;
+        self
+    }
+
+    /// Sets scan worker threads (0 = auto).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 
@@ -391,6 +924,11 @@ pub struct Store {
     /// match this manifest (replaced by a newer commit) are looked up in
     /// `retired/` instead of failing the query.
     snapshot_gen: Option<u64>,
+    /// Worker threads compiled into plans (resolved; ≥ 1).
+    scan_jobs: usize,
+    /// Compile every plan with all segments force-fated `Scan` and run
+    /// them through the eager decoder — the differential-test baseline.
+    full_scan: bool,
 }
 
 impl Store {
@@ -433,6 +971,8 @@ impl Store {
             registry,
             metrics,
             snapshot_gen: None,
+            scan_jobs: iri_pipeline::resolve_jobs(opts.jobs),
+            full_scan: false,
         })
     }
 
@@ -464,6 +1004,8 @@ impl Store {
             registry,
             metrics,
             snapshot_gen,
+            scan_jobs: 1,
+            full_scan: false,
         }
     }
 
@@ -500,78 +1042,302 @@ impl Store {
         &self.registry
     }
 
-    fn load_segment(&self, meta: &SegmentMeta) -> Result<SegmentData, StoreError> {
-        let path = self.dir.join(&meta.file);
-        let primary = (|| {
-            let bytes = self.fs.read(&path).map_err(|e| StoreError::io(&path, e))?;
-            // Pinned snapshots must detect a segment whose name was
-            // reused by a newer commit; the encoding is deterministic,
-            // so byte length + row count identify the pinned version.
-            if self.snapshot_gen.is_some() && bytes.len() as u64 != meta.bytes {
-                return Err(StoreError::corrupt(
-                    &path,
-                    format!(
-                        "segment is {} bytes, pinned manifest says {}",
-                        bytes.len(),
-                        meta.bytes
-                    ),
-                ));
-            }
-            let seg = SegmentData::decode(&bytes).map_err(|e| e.with_path(&path))?;
-            if seg.len() as u64 != meta.rows {
-                return Err(StoreError::corrupt(
-                    &path,
-                    format!(
-                        "segment holds {} rows, manifest says {}",
-                        seg.len(),
-                        meta.rows
-                    ),
-                ));
-            }
-            Ok(seg)
-        })();
-        match primary {
-            Ok(seg) => Ok(seg),
-            Err(e) => match self.snapshot_gen.and_then(|g| self.load_retired(meta, g)) {
-                Some(seg) => Ok(seg),
-                None => Err(e),
-            },
+    /// Sets the worker threads compiled into subsequent plans
+    /// (0 = auto-detect). Results are identical at any setting.
+    pub fn set_scan_jobs(&mut self, jobs: usize) {
+        self.scan_jobs = iri_pipeline::resolve_jobs(jobs);
+    }
+
+    /// Forces subsequent plans to fate every segment `Scan` and decode
+    /// it eagerly, bypassing page pruning and code pushdown — the
+    /// reference path differential tests and the bench harness compare
+    /// the optimized executor against.
+    pub fn set_full_scan(&mut self, full_scan: bool) {
+        self.full_scan = full_scan;
+    }
+
+    /// Compiles a logical query into this store's [`PhysicalPlan`]:
+    /// pure manifest work, no file I/O. Run it with [`Store::execute`]
+    /// (or the aggregation entry points, which compile internally).
+    #[must_use]
+    pub fn plan(&self, query: &Query, kind: PlanKind) -> PhysicalPlan {
+        let mode = kind.zone_mode();
+        let steps = self
+            .manifest
+            .segments
+            .iter()
+            .map(|meta| {
+                let fate = if self.full_scan {
+                    SegmentFate::Scan
+                } else if let Some(reason) = query.prune_reason(meta) {
+                    SegmentFate::Pruned(reason)
+                } else if zone_answerable(query, mode, query.covers_time(meta), meta.size_sum) {
+                    SegmentFate::ZoneAnswered
+                } else {
+                    SegmentFate::Scan
+                };
+                SegmentStep {
+                    file: meta.file.clone(),
+                    shard: meta.shard,
+                    seq: meta.seq,
+                    rows: meta.rows,
+                    bytes: meta.bytes,
+                    pages: meta.pages,
+                    fate,
+                }
+            })
+            .collect();
+        PhysicalPlan {
+            query: query.clone(),
+            kind,
+            jobs: self.scan_jobs,
+            full_scan: self.full_scan,
+            steps,
         }
     }
 
-    /// Looks for the pinned version of a replaced segment under
-    /// `retired/gNNNNNNNNNN/`. The version a reader pinned at generation
-    /// `g` needs is the one moved aside by the *earliest* commit after
-    /// `g` that touched the file, so candidate directories are walked in
-    /// ascending generation order. Every candidate is validated against
-    /// the pinned manifest entry before being served.
-    fn load_retired(&self, meta: &SegmentMeta, pinned: u64) -> Option<SegmentData> {
-        let root = self.dir.join(crate::RETIRED_DIR);
-        let names = self.fs.list(&root).ok()?;
-        let mut gens: Vec<(u64, String)> = names
-            .into_iter()
-            .filter_map(|n| {
-                let g = n.strip_prefix('g')?.parse::<u64>().ok()?;
-                (g > pinned).then_some((g, n))
-            })
-            .collect();
-        gens.sort();
-        for (_, name) in gens {
-            let path = root.join(&name).join(&meta.file);
-            let Ok(bytes) = self.fs.read(&path) else {
-                continue;
-            };
-            if bytes.len() as u64 != meta.bytes {
-                continue;
+    /// Runs a compiled plan, streaming every matching row to `visit` in
+    /// (shard, seq, row) order regardless of `jobs`. For aggregation
+    /// kinds prefer the dedicated entry points, which also fold in
+    /// zone-answered rows; `execute` only streams materialized rows.
+    pub fn execute<F>(&mut self, plan: &PhysicalPlan, mut visit: F) -> Result<ScanStats, StoreError>
+    where
+        F: FnMut(&StoredEvent),
+    {
+        self.run_plan(plan, &mut visit).map(|(stats, _)| stats)
+    }
+
+    /// The executor: walks the plan's steps, scanning serially or in
+    /// deterministic-merge parallel waves, and returns the stats plus
+    /// whatever the zone maps answered without decoding.
+    fn run_plan(
+        &mut self,
+        plan: &PhysicalPlan,
+        visit: &mut dyn FnMut(&StoredEvent),
+    ) -> Result<(ScanStats, ZoneCounts), StoreError> {
+        let started = Instant::now();
+        let mut stats = ScanStats {
+            segments_quarantined: self.recovery.quarantined.len() as u64,
+            ..ScanStats::default()
+        };
+        let mut zone = ZoneCounts::default();
+        if plan.steps.len() != self.manifest.segments.len()
+            || plan
+                .steps
+                .iter()
+                .zip(&self.manifest.segments)
+                .any(|(s, m)| s.file != m.file)
+        {
+            return Err(StoreError::corrupt(
+                &self.dir,
+                "plan does not match this store's manifest",
+            ));
+        }
+        let query = &plan.query;
+        let mode = if plan.full_scan {
+            ZoneMode::None
+        } else {
+            plan.kind.zone_mode()
+        };
+
+        let parallel = plan.jobs > 1 && plan.segments_scanned() > 1;
+        let result = if parallel {
+            self.run_scans_parallel(plan, query, mode, &mut stats, &mut zone, visit)
+        } else {
+            let mut buf = PageBuf::new();
+            let segments = std::mem::take(&mut self.manifest.segments);
+            let r = (|| {
+                for (step, meta) in plan.steps.iter().zip(&segments) {
+                    self.step_serial(
+                        step, meta, query, mode, &mut buf, &mut stats, &mut zone, visit,
+                    )?;
+                }
+                Ok(())
+            })();
+            self.manifest.segments = segments;
+            r
+        };
+        self.finish_stats(&mut stats, started);
+        result.map(|()| (stats, zone))
+    }
+
+    /// Runs one step on the caller's thread, emitting rows directly.
+    #[allow(clippy::too_many_arguments)]
+    fn step_serial(
+        &self,
+        step: &SegmentStep,
+        meta: &SegmentMeta,
+        query: &Query,
+        mode: ZoneMode,
+        buf: &mut PageBuf,
+        stats: &mut ScanStats,
+        zone: &mut ZoneCounts,
+        visit: &mut dyn FnMut(&StoredEvent),
+    ) -> Result<(), StoreError> {
+        stats.segments_total += 1;
+        stats.bytes_total += meta.bytes;
+        stats.pages_total += meta.pages;
+        match step.fate {
+            SegmentFate::Pruned(_) => {
+                stats.segments_pruned += 1;
+                stats.pages_pruned += meta.pages;
             }
-            let Ok(seg) = SegmentData::decode(&bytes) else {
-                continue;
-            };
-            if seg.len() as u64 == meta.rows {
-                return Some(seg);
+            SegmentFate::ZoneAnswered => {
+                stats.segments_zone_answered += 1;
+                stats.pages_zone_answered += meta.pages;
+                stats.rows_matched += meta.rows;
+                zone.add_segment(meta);
+            }
+            SegmentFate::Scan => {
+                let scanned = if self.full_scan {
+                    scan_segment_eager(&self.fs, &self.dir, self.snapshot_gen, meta, query, visit)
+                } else {
+                    scan_segment(
+                        &self.fs,
+                        &self.dir,
+                        self.snapshot_gen,
+                        meta,
+                        query,
+                        mode,
+                        buf,
+                        visit,
+                    )
+                };
+                // A segment that validated at open can still fail here —
+                // damaged after open, or a fault-injected read. Degrade
+                // gracefully unless strict: skip it, report it, and let
+                // the next open() move it to quarantine/.
+                match scanned {
+                    Ok(delta) => {
+                        stats.absorb(&delta.stats);
+                        zone.merge(&delta.zone);
+                    }
+                    Err(e) if !self.strict && quarantineable(&e) => {
+                        stats.segments_quarantined += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
-        None
+        Ok(())
+    }
+
+    /// The parallel path: pruned and zone-answered steps are settled
+    /// inline (no I/O), scan steps fan out through the pipeline's
+    /// `par_map` in bounded waves, and each wave's buffered rows are
+    /// emitted in step order — so the visitor sees exactly the serial
+    /// order and results stay byte-identical at any job count. Only
+    /// scan steps emit rows, and steps enter waves in plan order, so
+    /// draining completed waves in index order preserves the global
+    /// (shard, seq, row) contract.
+    fn run_scans_parallel(
+        &mut self,
+        plan: &PhysicalPlan,
+        query: &Query,
+        mode: ZoneMode,
+        stats: &mut ScanStats,
+        zone: &mut ZoneCounts,
+        visit: &mut dyn FnMut(&StoredEvent),
+    ) -> Result<(), StoreError> {
+        let segments = std::mem::take(&mut self.manifest.segments);
+        let result = (|| {
+            let wave = plan.jobs.saturating_mul(3).max(1);
+            let mut pending: Vec<(usize, &SegmentMeta)> = Vec::new();
+            let mut buffered: Vec<WaveResult> = Vec::new();
+            let mut buf = PageBuf::new();
+
+            for (i, (step, meta)) in plan.steps.iter().zip(&segments).enumerate() {
+                if step.fate == SegmentFate::Scan {
+                    // Totals are accounted at queue time; the scan's own
+                    // delta merges back when its wave is flushed.
+                    stats.segments_total += 1;
+                    stats.bytes_total += meta.bytes;
+                    stats.pages_total += meta.pages;
+                    pending.push((i, meta));
+                    if pending.len() == wave {
+                        self.run_wave(&mut pending, plan.jobs, query, mode, &mut buffered)?;
+                        Self::flush_buffered(&mut buffered, self.strict, stats, zone, visit)?;
+                    }
+                    continue;
+                }
+                self.step_serial(step, meta, query, mode, &mut buf, stats, zone, visit)?;
+            }
+            self.run_wave(&mut pending, plan.jobs, query, mode, &mut buffered)?;
+            Self::flush_buffered(&mut buffered, self.strict, stats, zone, visit)
+        })();
+        self.manifest.segments = segments;
+        result
+    }
+
+    /// Scans a wave of segments concurrently, buffering each segment's
+    /// matching rows; results land in `buffered` tagged by step index.
+    fn run_wave(
+        &self,
+        pending: &mut Vec<(usize, &SegmentMeta)>,
+        jobs: usize,
+        query: &Query,
+        mode: ZoneMode,
+        buffered: &mut Vec<WaveResult>,
+    ) -> Result<(), StoreError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let work = std::mem::take(pending);
+        let fs = &self.fs;
+        let dir = self.dir.as_path();
+        let snapshot_gen = self.snapshot_gen;
+        let full_scan = self.full_scan;
+        let (results, _metrics) = iri_pipeline::par_map(work, jobs, |(i, meta)| {
+            let mut rows: Vec<StoredEvent> = Vec::new();
+            let mut emit = |ev: &StoredEvent| rows.push(*ev);
+            let scanned = if full_scan {
+                scan_segment_eager(fs, dir, snapshot_gen, meta, query, &mut emit)
+            } else {
+                let mut buf = PageBuf::new();
+                scan_segment(
+                    fs,
+                    dir,
+                    snapshot_gen,
+                    meta,
+                    query,
+                    mode,
+                    &mut buf,
+                    &mut emit,
+                )
+            };
+            (i, scanned.map(|delta| (delta, rows)))
+        })
+        .map_err(|e| StoreError::corrupt(&self.dir, format!("parallel scan failed: {e}")))?;
+        buffered.extend(results);
+        Ok(())
+    }
+
+    /// Emits buffered wave results in step order, folding their
+    /// stats/zone deltas into the totals.
+    fn flush_buffered(
+        buffered: &mut Vec<WaveResult>,
+        strict: bool,
+        stats: &mut ScanStats,
+        zone: &mut ZoneCounts,
+        visit: &mut dyn FnMut(&StoredEvent),
+    ) -> Result<(), StoreError> {
+        buffered.sort_by_key(|(i, _)| *i);
+        for (_, outcome) in buffered.drain(..) {
+            match outcome {
+                Ok((delta, rows)) => {
+                    stats.absorb(&delta.stats);
+                    zone.merge(&delta.zone);
+                    for ev in &rows {
+                        visit(ev);
+                    }
+                }
+                Err(e) if !strict && quarantineable(&e) => {
+                    stats.segments_quarantined += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     fn finish_stats(&mut self, stats: &mut ScanStats, started: Instant) {
@@ -607,7 +1373,8 @@ impl Store {
     where
         F: FnMut(&StoredEvent),
     {
-        self.scan_inner(query, false, |_seg_meta| {}, &mut visit)
+        let plan = self.plan(query, PlanKind::Stream);
+        self.run_plan(&plan, &mut visit).map(|(stats, _)| stats)
     }
 
     /// [`Store::scan`] over the whole store: replays every stored event
@@ -619,135 +1386,20 @@ impl Store {
         self.scan(&Query::default(), visit)
     }
 
-    fn scan_inner<F, Z>(
-        &mut self,
-        query: &Query,
-        zone_answer: bool,
-        mut on_zone: Z,
-        visit: &mut F,
-    ) -> Result<ScanStats, StoreError>
-    where
-        F: FnMut(&StoredEvent),
-        Z: FnMut(&SegmentMeta),
-    {
-        let started = Instant::now();
-        let mut stats = ScanStats {
-            segments_quarantined: self.recovery.quarantined.len() as u64,
-            ..ScanStats::default()
-        };
-        let segments = std::mem::take(&mut self.manifest.segments);
-        let result = (|| {
-            for meta in &segments {
-                stats.segments_total += 1;
-                stats.bytes_total += meta.bytes;
-                if query.prunes(meta) {
-                    stats.segments_pruned += 1;
-                    continue;
-                }
-                if zone_answer && !query.has_row_predicates() && query.covers_time(meta) {
-                    stats.segments_zone_answered += 1;
-                    stats.rows_matched += meta.rows;
-                    on_zone(meta);
-                    continue;
-                }
-                // A segment that validated at open can still fail here —
-                // damaged after open, or a fault-injected read. Degrade
-                // gracefully unless strict: skip it, report it, and let
-                // the next open() move it to quarantine/.
-                let seg = match self.load_segment(meta) {
-                    Ok(seg) => seg,
-                    Err(e) if !self.strict && quarantineable(&e) => {
-                        stats.segments_quarantined += 1;
-                        continue;
-                    }
-                    Err(e) => return Err(e),
-                };
-                stats.segments_scanned += 1;
-                stats.bytes_scanned += meta.bytes;
-                stats.rows_scanned += seg.len() as u64;
-
-                // Resolve dictionary-level predicates once per segment.
-                let peer_id = match query.peer_asn {
-                    Some(asn) => {
-                        let ids: Vec<u32> = seg
-                            .peer_dict
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, p)| p.asn == asn)
-                            .map(|(i, _)| i as u32)
-                            .collect();
-                        if ids.is_empty() {
-                            continue;
-                        }
-                        Some(ids)
-                    }
-                    None => None,
-                };
-                let prefix_id = match query.prefix {
-                    Some(p) => match seg.prefix_dict.iter().position(|&d| d == p) {
-                        Some(i) => Some(i as u32),
-                        None => continue,
-                    },
-                    None => None,
-                };
-
-                for i in 0..seg.len() {
-                    let t = seg.times[i];
-                    if t < query.from_ms || t >= query.to_ms {
-                        continue;
-                    }
-                    if let Some(ids) = &peer_id {
-                        if !ids.contains(&seg.peer_ids[i]) {
-                            continue;
-                        }
-                    }
-                    if let Some(id) = prefix_id {
-                        if seg.prefix_ids[i] != id {
-                            continue;
-                        }
-                    }
-                    if let Some(c) = query.class {
-                        if seg.classes[i] != c {
-                            continue;
-                        }
-                    }
-                    if let Some(c) = query.cause {
-                        if seg.causes[i] != c {
-                            continue;
-                        }
-                    }
-                    stats.rows_matched += 1;
-                    visit(&seg.event(i));
-                }
-            }
-            Ok(())
-        })();
-        self.manifest.segments = segments;
-        self.finish_stats(&mut stats, started);
-        result.map(|()| stats)
-    }
-
     /// Matching rows per taxonomy class, indexed by
-    /// [`UpdateClass::index`]. Segments fully inside the time window are
-    /// answered from footer counts without being read when the query has
-    /// no row-level predicates.
+    /// [`UpdateClass::index`]. Segments and pages fully inside the time
+    /// window are answered from zone counts without being decoded when
+    /// the query has no row-level predicates.
     pub fn count_by_class(
         &mut self,
         query: &Query,
     ) -> Result<([u64; UpdateClass::COUNT], ScanStats), StoreError> {
+        let plan = self.plan(query, PlanKind::CountByClass);
         let mut counts = [0u64; UpdateClass::COUNT];
-        let mut zone = [0u64; UpdateClass::COUNT];
-        let stats = self.scan_inner(
-            query,
-            true,
-            |meta| {
-                for (acc, n) in zone.iter_mut().zip(meta.class_counts) {
-                    *acc += n;
-                }
-            },
-            &mut |ev: &StoredEvent| counts[ev.class.index()] += 1,
-        )?;
-        for (acc, n) in counts.iter_mut().zip(zone) {
+        let (stats, zone) = self.run_plan(&plan, &mut |ev: &StoredEvent| {
+            counts[ev.class.index()] += 1;
+        })?;
+        for (acc, n) in counts.iter_mut().zip(zone.class_counts) {
             *acc += n;
         }
         Ok((counts, stats))
@@ -758,19 +1410,12 @@ impl Store {
         &mut self,
         query: &Query,
     ) -> Result<([u64; Cause::COUNT], ScanStats), StoreError> {
+        let plan = self.plan(query, PlanKind::CountByCause);
         let mut counts = [0u64; Cause::COUNT];
-        let mut zone = [0u64; Cause::COUNT];
-        let stats = self.scan_inner(
-            query,
-            true,
-            |meta| {
-                for (acc, n) in zone.iter_mut().zip(meta.cause_counts) {
-                    *acc += n;
-                }
-            },
-            &mut |ev: &StoredEvent| counts[ev.cause.index()] += 1,
-        )?;
-        for (acc, n) in counts.iter_mut().zip(zone) {
+        let (stats, zone) = self.run_plan(&plan, &mut |ev: &StoredEvent| {
+            counts[ev.cause.index()] += 1;
+        })?;
+        for (acc, n) in counts.iter_mut().zip(zone.cause_counts) {
             *acc += n;
         }
         Ok((counts, stats))
@@ -782,8 +1427,11 @@ impl Store {
         &mut self,
         query: &Query,
     ) -> Result<(Vec<(Asn, u64)>, ScanStats), StoreError> {
+        let plan = self.plan(query, PlanKind::CountByPeer);
         let mut counts: FxHashMap<Asn, u64> = FxHashMap::default();
-        let stats = self.scan(query, |ev| *counts.entry(ev.peer.asn).or_insert(0) += 1)?;
+        let (stats, _) = self.run_plan(&plan, &mut |ev: &StoredEvent| {
+            *counts.entry(ev.peer.asn).or_insert(0) += 1;
+        })?;
         let mut rows: Vec<(Asn, u64)> = counts.into_iter().collect();
         rows.sort_by_key(|&(asn, n)| (std::cmp::Reverse(n), asn));
         Ok((rows, stats))
@@ -795,17 +1443,26 @@ impl Store {
         &mut self,
         query: &Query,
     ) -> Result<(Vec<(Prefix, u64)>, ScanStats), StoreError> {
+        let plan = self.plan(query, PlanKind::CountByPrefix);
         let mut counts: FxHashMap<Prefix, u64> = FxHashMap::default();
-        let stats = self.scan(query, |ev| *counts.entry(ev.prefix).or_insert(0) += 1)?;
+        let (stats, _) = self.run_plan(&plan, &mut |ev: &StoredEvent| {
+            *counts.entry(ev.prefix).or_insert(0) += 1;
+        })?;
         let mut rows: Vec<(Prefix, u64)> = counts.into_iter().collect();
         rows.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
         Ok((rows, stats))
     }
 
     /// Total NLRI wire bytes matching the query — the §3 bandwidth view.
+    /// Segments and pages that record a size-column sum and lie fully
+    /// inside the window are answered from zone maps alone.
     pub fn sum_bytes(&mut self, query: &Query) -> Result<(u64, ScanStats), StoreError> {
+        let plan = self.plan(query, PlanKind::SumBytes);
         let mut total = 0u64;
-        let stats = self.scan(query, |ev| total += u64::from(ev.size))?;
+        let (stats, zone) = self.run_plan(&plan, &mut |ev: &StoredEvent| {
+            total += u64::from(ev.size);
+        })?;
+        total += zone.size_sum;
         Ok((total, stats))
     }
 
@@ -830,7 +1487,8 @@ impl Store {
             .max(start);
         let bins = (end - start).div_ceil(bin_ms);
         let mut series = vec![0u64; usize::try_from(bins).unwrap_or(0)];
-        let stats = self.scan(query, |ev| {
+        let plan = self.plan(query, PlanKind::TimeSeries { bin_ms });
+        let (stats, _) = self.run_plan(&plan, &mut |ev: &StoredEvent| {
             if ev.time_ms >= start {
                 let idx = ((ev.time_ms - start) / bin_ms) as usize;
                 if let Some(slot) = series.get_mut(idx) {
@@ -861,6 +1519,8 @@ mod tests {
             policy_changes: 2,
             peer_bloom: [1, 0, 0, 2],
             prefix_bloom: [0, 4, 0, 8],
+            pages: 1,
+            size_sum: Some(4_321),
         };
         let manifest = Manifest {
             version: MANIFEST_VERSION,
@@ -893,6 +1553,8 @@ mod tests {
             policy_changes: 0,
             peer_bloom: [u64::MAX; 4],
             prefix_bloom: [u64::MAX; 4],
+            pages: 0,
+            size_sum: None,
         };
         // Time window disjoint → pruned.
         assert!(Query::default().time_range_ms(0, 1_000).prunes(&seg));

@@ -15,12 +15,29 @@
 //! footer (zone maps) : min/max time u64, class counts 7×u64, cause
 //!                      counts 9×u64, policy count u64, peer bloom 4×u64,
 //!                      prefix bloom 4×u64
+//! page directory     : (v2 only) page_rows u32, n_pages u32, then per
+//!                      page: start_row u32, rows u32, prev_time u64,
+//!                      min/max time u64, size sum u64, 6 × column byte
+//!                      offset u32, class counts 7×u64, cause counts
+//!                      9×u64, peer bloom 4×u64, prefix bloom 4×u64
 //! checksum u64       : FxHash of every preceding byte
 //! ```
 //!
 //! All integers little-endian. Dictionary ids are assigned in first-seen
 //! order, so the encoding is a pure function of the row sequence — the
 //! determinism contract ingest and compaction rely on.
+//!
+//! ## Versioning
+//!
+//! Version 2 appends a **page directory** after the v1 footer: sub-segment
+//! zone maps every [`DEFAULT_PAGE_ROWS`] rows (per-page min/max time,
+//! class/cause counts, membership bitmaps, byte offsets into every
+//! column, and the delta-decode restart state `prev_time`). Readers accept
+//! both versions: the eager [`SegmentData::decode`] reads columns
+//! sequentially and never consumes the footer, so the appended directory
+//! is transparently ignored; the lazy [`SegmentFile`] reader synthesizes
+//! a single whole-segment page from the v1 footer, making pageless
+//! segments just the degenerate one-page case. Writers always emit v2.
 
 use crate::{splitmix64, StoreError, StoredEvent};
 use iri_bgp::types::Prefix;
@@ -44,8 +61,16 @@ fn bad(what: impl Into<String>) -> StoreError {
 /// Segment file magic.
 pub const MAGIC: [u8; 4] = *b"IRSG";
 
-/// Current segment format version.
-pub const SEGMENT_VERSION: u16 = 1;
+/// Current segment format version (v2: paged zone maps).
+pub const SEGMENT_VERSION: u16 = 2;
+
+/// Oldest segment format version readers still accept.
+pub const MIN_SEGMENT_VERSION: u16 = 1;
+
+/// Default rows per zone-map page. Must be a multiple of 8 so every page
+/// starts on a policy-bitmap byte boundary; [`SegmentBuilder::with_page_rows`]
+/// rounds odd values up.
+pub const DEFAULT_PAGE_ROWS: u32 = 2_048;
 
 /// Number of 64-bit words in a zone-map membership bitmap (256 bits).
 pub const BLOOM_WORDS: usize = 4;
@@ -156,6 +181,13 @@ impl<'a> Cur<'a> {
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
     fn varint(&mut self, what: &str) -> Result<u64, StoreError> {
         let mut v = 0u64;
         let mut shift = 0u32;
@@ -177,6 +209,52 @@ fn checksum(bytes: &[u8]) -> u64 {
     let mut h = FxHasher::default();
     h.write(bytes);
     h.finish()
+}
+
+/// One zone-map page: the sub-segment pruning unit. Everything a scan
+/// needs to decide a page's fate — and to start decoding mid-segment —
+/// without touching the rows before it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// First row this page covers (always a multiple of 8).
+    pub start_row: u32,
+    /// Rows in the page.
+    pub rows: u32,
+    /// Absolute time of the row before `start_row` (0 for the first
+    /// page): the delta-decode restart state for the time column.
+    pub prev_time: u64,
+    /// Smallest event time in the page (ms).
+    pub min_time: u64,
+    /// Largest event time in the page (ms).
+    pub max_time: u64,
+    /// Sum of the size column over the page; `None` on pages synthesized
+    /// from a v1 footer, which does not record it.
+    pub size_sum: Option<u64>,
+    /// Byte offset of this page's first value in each of the six columns.
+    pub col_off: [u32; 6],
+    /// Rows per taxonomy class, indexed by [`UpdateClass::index`].
+    pub class_counts: [u64; UpdateClass::COUNT],
+    /// Rows per cause, indexed by [`Cause::index`].
+    pub cause_counts: [u64; Cause::COUNT],
+    /// 256-bit membership bitmap over peer AS numbers in the page.
+    pub peer_bloom: [u64; BLOOM_WORDS],
+    /// 256-bit membership bitmap over prefixes in the page.
+    pub prefix_bloom: [u64; BLOOM_WORDS],
+}
+
+/// In-flight page accumulator inside [`SegmentBuilder`].
+#[derive(Debug)]
+struct PageAcc {
+    start_row: u32,
+    prev_time: u64,
+    col_off: [u32; 6],
+    min_time: u64,
+    max_time: u64,
+    size_sum: u64,
+    class_counts: [u64; UpdateClass::COUNT],
+    cause_counts: [u64; Cause::COUNT],
+    peer_bloom: [u64; BLOOM_WORDS],
+    prefix_bloom: [u64; BLOOM_WORDS],
 }
 
 /// Accumulates one segment's rows, columns, dictionaries, and zone maps,
@@ -203,6 +281,10 @@ pub struct SegmentBuilder {
     policy_changes: u64,
     peer_bloom: [u64; BLOOM_WORDS],
     prefix_bloom: [u64; BLOOM_WORDS],
+    size_sum: u64,
+    page_rows: u32,
+    pages: Vec<PageMeta>,
+    page: Option<Box<PageAcc>>,
 }
 
 impl SegmentBuilder {
@@ -230,7 +312,21 @@ impl SegmentBuilder {
             policy_changes: 0,
             peer_bloom: [0; BLOOM_WORDS],
             prefix_bloom: [0; BLOOM_WORDS],
+            size_sum: 0,
+            page_rows: DEFAULT_PAGE_ROWS,
+            pages: Vec::new(),
+            page: None,
         }
+    }
+
+    /// Overrides the zone-map page size. Rounded up to a multiple of 8
+    /// (the policy-bitmap byte width) so pages start on byte boundaries.
+    /// Must be called before the first [`SegmentBuilder::push`].
+    #[must_use]
+    pub fn with_page_rows(mut self, rows: u32) -> Self {
+        debug_assert_eq!(self.rows, 0, "page size must be set before rows");
+        self.page_rows = rows.max(1).div_ceil(8) * 8;
+        self
     }
 
     /// Rows pushed so far.
@@ -245,25 +341,76 @@ impl SegmentBuilder {
         self.rows == 0
     }
 
+    /// Seals the in-flight page into the directory.
+    fn seal_page(&mut self) {
+        if let Some(p) = self.page.take() {
+            let rows = self.rows - p.start_row;
+            if rows == 0 {
+                return;
+            }
+            self.pages.push(PageMeta {
+                start_row: p.start_row,
+                rows,
+                prev_time: p.prev_time,
+                min_time: p.min_time,
+                max_time: p.max_time,
+                size_sum: Some(p.size_sum),
+                col_off: p.col_off,
+                class_counts: p.class_counts,
+                cause_counts: p.cause_counts,
+                peer_bloom: p.peer_bloom,
+                prefix_bloom: p.prefix_bloom,
+            });
+        }
+    }
+
     /// Appends one event to every column.
     pub fn push(&mut self, ev: &StoredEvent) {
+        if self.rows.is_multiple_of(self.page_rows) {
+            // Page boundary: seal the previous page and open the next,
+            // capturing every column's write position and the time-delta
+            // restart state *before* this row's bytes land.
+            self.seal_page();
+            self.page = Some(Box::new(PageAcc {
+                start_row: self.rows,
+                prev_time: self.prev_time,
+                col_off: [
+                    self.col_time.len() as u32,
+                    self.col_peer.len() as u32,
+                    self.col_prefix.len() as u32,
+                    self.col_cc.len() as u32,
+                    self.col_policy.len() as u32,
+                    self.col_size.len() as u32,
+                ],
+                min_time: u64::MAX,
+                max_time: 0,
+                size_sum: 0,
+                class_counts: [0; UpdateClass::COUNT],
+                cause_counts: [0; Cause::COUNT],
+                peer_bloom: [0; BLOOM_WORDS],
+                prefix_bloom: [0; BLOOM_WORDS],
+            }));
+        }
+
         let delta = ev.time_ms as i64 - self.prev_time as i64;
         put_varint(&mut self.col_time, zigzag(delta));
         self.prev_time = ev.time_ms;
 
+        let peer_hash = peer_bloom_hash(ev.peer.asn);
         let next_peer = self.peer_dict.len() as u32;
         let peer_id = *self.peer_ids.entry(ev.peer).or_insert(next_peer);
         if peer_id == next_peer {
             self.peer_dict.push(ev.peer);
-            bloom_insert(&mut self.peer_bloom, peer_bloom_hash(ev.peer.asn));
+            bloom_insert(&mut self.peer_bloom, peer_hash);
         }
         put_varint(&mut self.col_peer, u64::from(peer_id));
 
+        let prefix_hash = prefix_bloom_hash(ev.prefix);
         let next_prefix = self.prefix_dict.len() as u32;
         let prefix_id = *self.prefix_ids.entry(ev.prefix).or_insert(next_prefix);
         if prefix_id == next_prefix {
             self.prefix_dict.push(ev.prefix);
-            bloom_insert(&mut self.prefix_bloom, prefix_bloom_hash(ev.prefix));
+            bloom_insert(&mut self.prefix_bloom, prefix_hash);
         }
         put_varint(&mut self.col_prefix, u64::from(prefix_id));
 
@@ -284,6 +431,20 @@ impl SegmentBuilder {
         self.max_time = self.max_time.max(ev.time_ms);
         self.class_counts[ev.class.index()] += 1;
         self.cause_counts[ev.cause.index()] += 1;
+        self.size_sum += u64::from(ev.size);
+
+        // Page-local zone maps. Unlike the segment blooms, page blooms
+        // take every row: a dictionary entry introduced pages ago can
+        // recur here, and this page must claim it.
+        let page = self.page.as_mut().expect("page opened above");
+        page.min_time = page.min_time.min(ev.time_ms);
+        page.max_time = page.max_time.max(ev.time_ms);
+        page.size_sum += u64::from(ev.size);
+        page.class_counts[ev.class.index()] += 1;
+        page.cause_counts[ev.cause.index()] += 1;
+        bloom_insert(&mut page.peer_bloom, peer_hash);
+        bloom_insert(&mut page.prefix_bloom, prefix_hash);
+
         self.rows += 1;
     }
 
@@ -291,6 +452,24 @@ impl SegmentBuilder {
     /// builder: segments are immutable once encoded.
     #[must_use]
     pub fn encode(self, file: String, seq: u32) -> (Vec<u8>, crate::query::SegmentMeta) {
+        self.encode_impl(file, seq, true)
+    }
+
+    /// Encodes in the v1 (pageless) format. Exists so tests can produce
+    /// the stores old writers left behind; not part of the public API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn encode_v1(self, file: String, seq: u32) -> (Vec<u8>, crate::query::SegmentMeta) {
+        self.encode_impl(file, seq, false)
+    }
+
+    fn encode_impl(
+        mut self,
+        file: String,
+        seq: u32,
+        v2: bool,
+    ) -> (Vec<u8>, crate::query::SegmentMeta) {
+        self.seal_page();
         let mut buf = Vec::with_capacity(
             64 + self.col_time.len()
                 + self.col_peer.len()
@@ -302,7 +481,7 @@ impl SegmentBuilder {
                 + self.prefix_dict.len() * 5,
         );
         buf.extend_from_slice(&MAGIC);
-        put_u16(&mut buf, SEGMENT_VERSION);
+        put_u16(&mut buf, if v2 { SEGMENT_VERSION } else { 1 });
         put_u16(&mut buf, self.shard);
         put_u32(&mut buf, self.rows);
 
@@ -354,6 +533,33 @@ impl SegmentBuilder {
         for w in self.prefix_bloom {
             put_u64(&mut buf, w);
         }
+        if v2 {
+            put_u32(&mut buf, self.page_rows);
+            put_u32(&mut buf, self.pages.len() as u32);
+            for p in &self.pages {
+                put_u32(&mut buf, p.start_row);
+                put_u32(&mut buf, p.rows);
+                put_u64(&mut buf, p.prev_time);
+                put_u64(&mut buf, p.min_time);
+                put_u64(&mut buf, p.max_time);
+                put_u64(&mut buf, p.size_sum.unwrap_or(0));
+                for off in p.col_off {
+                    put_u32(&mut buf, off);
+                }
+                for c in p.class_counts {
+                    put_u64(&mut buf, c);
+                }
+                for c in p.cause_counts {
+                    put_u64(&mut buf, c);
+                }
+                for w in p.peer_bloom {
+                    put_u64(&mut buf, w);
+                }
+                for w in p.prefix_bloom {
+                    put_u64(&mut buf, w);
+                }
+            }
+        }
         let sum = checksum(&buf);
         put_u64(&mut buf, sum);
 
@@ -370,6 +576,8 @@ impl SegmentBuilder {
             policy_changes: self.policy_changes,
             peer_bloom: self.peer_bloom,
             prefix_bloom: self.prefix_bloom,
+            pages: if v2 { self.pages.len() as u64 } else { 0 },
+            size_sum: v2.then_some(self.size_sum),
         };
         (buf, meta)
     }
@@ -449,7 +657,7 @@ impl SegmentData {
             return Err(bad("bad segment magic"));
         }
         let version = cur.u16("version")?;
-        if version != SEGMENT_VERSION {
+        if !(MIN_SEGMENT_VERSION..=SEGMENT_VERSION).contains(&version) {
             return Err(bad(format!("unsupported segment version {version}")));
         }
         let shard = cur.u16("shard")?;
@@ -556,6 +764,453 @@ impl SegmentData {
     }
 }
 
+/// Reused row buffers for one decoded page — the late-materialization
+/// scratch space. Filled by [`SegmentFile::decode_page`]; rows stay as
+/// packed dictionary codes (`peer_ids`, `prefix_ids`, the raw
+/// `(cause<<3)|class` byte) until [`SegmentFile::event`] materialises a
+/// survivor. Reusing one `PageBuf` across pages and segments keeps the
+/// scan loop allocation-free.
+#[derive(Debug, Default)]
+pub struct PageBuf {
+    /// Absolute event times, ms.
+    pub times: Vec<u64>,
+    /// Per-row peer dictionary codes.
+    pub peer_ids: Vec<u32>,
+    /// Per-row prefix dictionary codes.
+    pub prefix_ids: Vec<u32>,
+    /// Per-row packed `(cause<<3)|class` bytes, validated at decode.
+    pub cc: Vec<u8>,
+    /// Policy bitmap bytes: row `j` of the page is bit `j%8` of byte
+    /// `j/8` (pages start on byte boundaries).
+    pub policy: Vec<u8>,
+    /// Per-row NLRI wire bytes.
+    pub sizes: Vec<u32>,
+}
+
+impl PageBuf {
+    /// A fresh, empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no page has been decoded into the buffer.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.times.clear();
+        self.peer_ids.clear();
+        self.prefix_ids.clear();
+        self.cc.clear();
+        self.policy.clear();
+        self.sizes.clear();
+    }
+}
+
+/// Batched LEB128 decode of `n` varints from `buf` starting at `pos`,
+/// appended to `out`. The hot loop takes the one-byte fast path (the
+/// overwhelmingly common case for dictionary codes and time deltas)
+/// before falling back to the multi-byte loop.
+#[inline]
+fn decode_varints(
+    buf: &[u8],
+    mut pos: usize,
+    n: usize,
+    out: &mut Vec<u64>,
+    what: &str,
+) -> Result<usize, StoreError> {
+    out.reserve(n);
+    for _ in 0..n {
+        let Some(&b) = buf.get(pos) else {
+            return Err(bad(format!("segment truncated reading {what}")));
+        };
+        if b < 0x80 {
+            out.push(u64::from(b));
+            pos += 1;
+            continue;
+        }
+        let mut v = u64::from(b & 0x7f);
+        let mut shift = 7u32;
+        pos += 1;
+        loop {
+            let Some(&b) = buf.get(pos) else {
+                return Err(bad(format!("segment truncated reading {what}")));
+            };
+            pos += 1;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(bad(format!("varint overflow in {what}")));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        out.push(v);
+    }
+    Ok(pos)
+}
+
+/// A parsed-but-not-decoded segment: header, dictionaries, column byte
+/// ranges, and the page directory — everything short of the row data.
+/// Scans consult [`SegmentFile::pages`] to prune or zone-answer pages,
+/// then [`SegmentFile::decode_page`] only the survivors.
+///
+/// Accepts both format versions: a v1 file yields one synthesized page
+/// covering the whole segment (exact, since its zone data *is* the
+/// segment footer), with `size_sum` unknown.
+#[derive(Debug)]
+pub struct SegmentFile {
+    bytes: Vec<u8>,
+    /// Logical shard this segment belongs to.
+    pub shard: u16,
+    /// Total rows in the segment.
+    pub rows: u32,
+    /// Peer dictionary in first-seen order.
+    pub peer_dict: Vec<PeerKey>,
+    /// Prefix dictionary in first-seen order.
+    pub prefix_dict: Vec<Prefix>,
+    col_start: [usize; 6],
+    col_len: [usize; 6],
+    pages: Vec<PageMeta>,
+}
+
+impl SegmentFile {
+    /// Parses and checksums a segment file image without decoding any
+    /// column. Cost is one hash pass plus the dictionaries and the page
+    /// directory.
+    pub fn parse(bytes: Vec<u8>) -> Result<SegmentFile, StoreError> {
+        if bytes.len() < 12 + 8 {
+            return Err(bad("segment shorter than header"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let mut sum_bytes = [0u8; 8];
+        sum_bytes.copy_from_slice(tail);
+        if checksum(body) != u64::from_le_bytes(sum_bytes) {
+            return Err(bad("segment checksum mismatch"));
+        }
+
+        let mut cur = Cur::new(body);
+        if cur.take(4, "magic")? != MAGIC {
+            return Err(bad("bad segment magic"));
+        }
+        let version = cur.u16("version")?;
+        if !(MIN_SEGMENT_VERSION..=SEGMENT_VERSION).contains(&version) {
+            return Err(bad(format!("unsupported segment version {version}")));
+        }
+        let shard = cur.u16("shard")?;
+        let rows = cur.u32("row count")?;
+
+        let n_peers = cur.u32("peer dict size")? as usize;
+        if (n_peers > rows as usize && rows > 0) || n_peers > body.len() {
+            return Err(bad("peer dictionary larger than rows"));
+        }
+        let mut peer_dict = Vec::with_capacity(n_peers);
+        for _ in 0..n_peers {
+            let asn = iri_bgp::types::Asn(cur.u32("peer asn")?);
+            let addr = Ipv4Addr::from(cur.u32("peer addr")?);
+            peer_dict.push(PeerKey { asn, addr });
+        }
+        let n_prefixes = cur.u32("prefix dict size")? as usize;
+        if (n_prefixes > rows as usize && rows > 0) || n_prefixes > body.len() {
+            return Err(bad("prefix dictionary larger than rows"));
+        }
+        let mut prefix_dict = Vec::with_capacity(n_prefixes);
+        for _ in 0..n_prefixes {
+            let bits = cur.u32("prefix bits")?;
+            let len = cur.u8("prefix len")?;
+            if len > 32 {
+                return Err(bad(format!("prefix length {len} > 32")));
+            }
+            prefix_dict.push(Prefix::from_raw(bits, len));
+        }
+
+        let mut col_len = [0usize; 6];
+        for l in &mut col_len {
+            *l = cur.u32("column length")? as usize;
+        }
+        let mut col_start = [0usize; 6];
+        for (i, len) in col_len.iter().enumerate() {
+            col_start[i] = cur.pos;
+            cur.take(*len, "column bytes")?;
+        }
+
+        // v1 footer: reused verbatim as the synthesized page's zone data.
+        let footer_min = cur.u64("footer min time")?;
+        let footer_max = cur.u64("footer max time")?;
+        let mut class_counts = [0u64; UpdateClass::COUNT];
+        for c in &mut class_counts {
+            *c = cur.u64("footer class count")?;
+        }
+        let mut cause_counts = [0u64; Cause::COUNT];
+        for c in &mut cause_counts {
+            *c = cur.u64("footer cause count")?;
+        }
+        let _policy_changes = cur.u64("footer policy count")?;
+        let mut peer_bloom = [0u64; BLOOM_WORDS];
+        for w in &mut peer_bloom {
+            *w = cur.u64("footer peer bloom")?;
+        }
+        let mut prefix_bloom = [0u64; BLOOM_WORDS];
+        for w in &mut prefix_bloom {
+            *w = cur.u64("footer prefix bloom")?;
+        }
+
+        let pages = if version >= 2 {
+            let _page_rows = cur.u32("page size")?;
+            let n_pages = cur.u32("page count")? as usize;
+            if n_pages > rows as usize || n_pages > body.len() {
+                return Err(bad("page directory larger than rows"));
+            }
+            if rows > 0 && n_pages == 0 {
+                return Err(bad("non-empty v2 segment without pages"));
+            }
+            let mut pages = Vec::with_capacity(n_pages);
+            let mut expect_start = 0u32;
+            for _ in 0..n_pages {
+                let start_row = cur.u32("page start row")?;
+                let page_rows = cur.u32("page rows")?;
+                if start_row != expect_start || page_rows == 0 {
+                    return Err(bad("page directory rows not contiguous"));
+                }
+                if !start_row.is_multiple_of(8) {
+                    return Err(bad("page start not on a bitmap byte boundary"));
+                }
+                expect_start = expect_start
+                    .checked_add(page_rows)
+                    .ok_or_else(|| bad("page row count overflows"))?;
+                let prev_time = cur.u64("page prev time")?;
+                let min_time = cur.u64("page min time")?;
+                let max_time = cur.u64("page max time")?;
+                let size_sum = cur.u64("page size sum")?;
+                let mut col_off = [0u32; 6];
+                for (i, off) in col_off.iter_mut().enumerate() {
+                    *off = cur.u32("page column offset")?;
+                    if *off as usize > col_len[i] {
+                        return Err(bad("page column offset past column end"));
+                    }
+                }
+                let mut p_class = [0u64; UpdateClass::COUNT];
+                for c in &mut p_class {
+                    *c = cur.u64("page class count")?;
+                }
+                let mut p_cause = [0u64; Cause::COUNT];
+                for c in &mut p_cause {
+                    *c = cur.u64("page cause count")?;
+                }
+                let mut p_peer = [0u64; BLOOM_WORDS];
+                for w in &mut p_peer {
+                    *w = cur.u64("page peer bloom")?;
+                }
+                let mut p_prefix = [0u64; BLOOM_WORDS];
+                for w in &mut p_prefix {
+                    *w = cur.u64("page prefix bloom")?;
+                }
+                pages.push(PageMeta {
+                    start_row,
+                    rows: page_rows,
+                    prev_time,
+                    min_time,
+                    max_time,
+                    size_sum: Some(size_sum),
+                    col_off,
+                    class_counts: p_class,
+                    cause_counts: p_cause,
+                    peer_bloom: p_peer,
+                    prefix_bloom: p_prefix,
+                });
+            }
+            if expect_start != rows {
+                return Err(bad("page directory does not cover every row"));
+            }
+            pages
+        } else if rows > 0 {
+            // v1: one whole-segment page from the footer. Exact — with a
+            // single page, page zone data and segment zone data coincide.
+            vec![PageMeta {
+                start_row: 0,
+                rows,
+                prev_time: 0,
+                min_time: footer_min,
+                max_time: footer_max,
+                size_sum: None,
+                col_off: [0; 6],
+                class_counts,
+                cause_counts,
+                peer_bloom,
+                prefix_bloom,
+            }]
+        } else {
+            Vec::new()
+        };
+        if cur.pos != body.len() {
+            return Err(bad("trailing bytes after segment payload"));
+        }
+
+        Ok(SegmentFile {
+            bytes,
+            shard,
+            rows,
+            peer_dict,
+            prefix_dict,
+            col_start,
+            col_len,
+            pages,
+        })
+    }
+
+    /// The page directory (one synthesized page for v1 files).
+    #[must_use]
+    pub fn pages(&self) -> &[PageMeta] {
+        &self.pages
+    }
+
+    /// Encoded file size in bytes.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw file image, for handing to the eager
+    /// [`SegmentData::decode`] path.
+    pub(crate) fn image(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn col(&self, i: usize) -> &[u8] {
+        &self.bytes[self.col_start[i]..self.col_start[i] + self.col_len[i]]
+    }
+
+    /// Decodes one page's rows into `buf` (cleared first) with the
+    /// batched varint kernel. Dictionary codes and the packed
+    /// class/cause byte are validated here so [`SegmentFile::event`]
+    /// cannot panic on a survivor.
+    pub fn decode_page(&self, page: &PageMeta, buf: &mut PageBuf) -> Result<(), StoreError> {
+        buf.clear();
+        let n = page.rows as usize;
+
+        // Time column: delta-zigzag restart from the page's prev_time.
+        let mut raw = std::mem::take(&mut buf.times);
+        decode_varints(
+            self.col(0),
+            page.col_off[0] as usize,
+            n,
+            &mut raw,
+            "time column",
+        )?;
+        let mut prev =
+            i64::try_from(page.prev_time).map_err(|_| bad("page prev time out of range"))?;
+        for v in &mut raw {
+            let delta = unzigzag(*v);
+            prev = prev
+                .checked_add(delta)
+                .ok_or_else(|| bad("time column overflows"))?;
+            if prev < 0 {
+                return Err(bad("negative time in time column"));
+            }
+            *v = prev as u64;
+        }
+        buf.times = raw;
+
+        let mut raw = Vec::new();
+        decode_varints(
+            self.col(1),
+            page.col_off[1] as usize,
+            n,
+            &mut raw,
+            "peer column",
+        )?;
+        buf.peer_ids.reserve(n);
+        let n_peers = self.peer_dict.len() as u64;
+        for v in &raw {
+            if *v >= n_peers {
+                return Err(bad(format!("peer id {v} out of dictionary range")));
+            }
+            buf.peer_ids.push(*v as u32);
+        }
+
+        raw.clear();
+        decode_varints(
+            self.col(2),
+            page.col_off[2] as usize,
+            n,
+            &mut raw,
+            "prefix column",
+        )?;
+        buf.prefix_ids.reserve(n);
+        let n_prefixes = self.prefix_dict.len() as u64;
+        for v in &raw {
+            if *v >= n_prefixes {
+                return Err(bad(format!("prefix id {v} out of dictionary range")));
+            }
+            buf.prefix_ids.push(*v as u32);
+        }
+
+        let cc_col = self.col(3);
+        let cc_start = page.col_off[3] as usize;
+        let cc_bytes = cc_col
+            .get(cc_start..cc_start + n)
+            .ok_or_else(|| bad("segment truncated reading class/cause column"))?;
+        for &cc in cc_bytes {
+            if (cc & 0x07) as usize >= UpdateClass::COUNT || (cc >> 3) as usize >= Cause::COUNT {
+                return Err(bad(format!("invalid class/cause byte {cc:#04x}")));
+            }
+        }
+        buf.cc.extend_from_slice(cc_bytes);
+
+        let pol_col = self.col(4);
+        let pol_start = page.col_off[4] as usize;
+        let pol_n = n.div_ceil(8);
+        let pol_bytes = pol_col
+            .get(pol_start..pol_start + pol_n)
+            .ok_or_else(|| bad("segment truncated reading policy column"))?;
+        buf.policy.extend_from_slice(pol_bytes);
+
+        raw.clear();
+        decode_varints(
+            self.col(5),
+            page.col_off[5] as usize,
+            n,
+            &mut raw,
+            "size column",
+        )?;
+        buf.sizes.reserve(n);
+        for v in &raw {
+            let s = u32::try_from(*v).map_err(|_| bad("size column value overflows"))?;
+            buf.sizes.push(s);
+        }
+        Ok(())
+    }
+
+    /// Materialises row `j` of the page held in `buf`.
+    ///
+    /// # Panics
+    /// Panics if `j >= buf.len()`.
+    #[must_use]
+    pub fn event(&self, buf: &PageBuf, j: usize) -> StoredEvent {
+        let cc = buf.cc[j];
+        StoredEvent {
+            time_ms: buf.times[j],
+            peer: self.peer_dict[buf.peer_ids[j] as usize],
+            prefix: self.prefix_dict[buf.prefix_ids[j] as usize],
+            class: UpdateClass::from_index((cc & 0x07) as usize)
+                .expect("class validated at decode"),
+            cause: Cause::ALL[(cc >> 3) as usize],
+            policy_change: buf.policy[j / 8] & (1 << (j % 8)) != 0,
+            size: buf.sizes[j],
+        }
+    }
+}
+
 /// Header fields recovered by [`validate`], for cross-checking a segment
 /// file against its manifest entry without a full column decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -586,7 +1241,7 @@ pub fn validate(bytes: &[u8]) -> Result<SegmentCheck, StoreError> {
         return Err(bad("bad segment magic"));
     }
     let version = cur.u16("version")?;
-    if version != SEGMENT_VERSION {
+    if !(MIN_SEGMENT_VERSION..=SEGMENT_VERSION).contains(&version) {
         return Err(bad(format!("unsupported segment version {version}")));
     }
     let shard = cur.u16("shard")?;
@@ -731,7 +1386,129 @@ mod tests {
     fn empty_segment_round_trips() {
         let (bytes, meta) = SegmentBuilder::new(4).encode(segment_file_name(4, 0), 0);
         assert_eq!(meta.rows, 0);
+        assert_eq!(meta.pages, 0);
         let seg = SegmentData::decode(&bytes).unwrap();
         assert!(seg.is_empty());
+        let file = SegmentFile::parse(bytes).unwrap();
+        assert!(file.pages().is_empty());
+    }
+
+    fn decode_all_pages(file: &SegmentFile) -> Vec<StoredEvent> {
+        let mut buf = PageBuf::new();
+        let mut out = Vec::new();
+        for page in file.pages() {
+            file.decode_page(page, &mut buf).unwrap();
+            assert_eq!(buf.len(), page.rows as usize);
+            for j in 0..buf.len() {
+                out.push(file.event(&buf, j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn paged_reader_round_trips_and_v1_synthesizes_one_page() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new(3).with_page_rows(64);
+        for r in &rows {
+            b.push(r);
+        }
+        let (bytes, meta) = b.encode(segment_file_name(3, 0), 0);
+        assert_eq!(meta.pages, 500u64.div_ceil(64));
+        assert_eq!(
+            meta.size_sum,
+            Some(rows.iter().map(|r| u64::from(r.size)).sum())
+        );
+        // Eager decoder ignores the page directory entirely.
+        let eager = SegmentData::decode(&bytes).unwrap();
+        assert_eq!(eager.len(), rows.len());
+        // Lazy reader decodes page by page to the same rows.
+        let file = SegmentFile::parse(bytes).unwrap();
+        assert_eq!(file.pages().len(), meta.pages as usize);
+        assert_eq!(decode_all_pages(&file), rows);
+
+        // A v1 (pageless) image parses to one exact whole-segment page.
+        let mut b = SegmentBuilder::new(3).with_page_rows(64);
+        for r in &rows {
+            b.push(r);
+        }
+        let (v1_bytes, v1_meta) = b.encode_v1(segment_file_name(3, 0), 0);
+        assert_eq!(v1_meta.pages, 0);
+        assert_eq!(v1_meta.size_sum, None);
+        let v1 = SegmentFile::parse(v1_bytes).unwrap();
+        assert_eq!(v1.pages().len(), 1);
+        let page = &v1.pages()[0];
+        assert_eq!((page.start_row, page.rows), (0, 500));
+        assert_eq!(page.size_sum, None);
+        assert_eq!(
+            (page.min_time, page.max_time),
+            (meta.min_time_ms, meta.max_time_ms)
+        );
+        assert_eq!(decode_all_pages(&v1), rows);
+    }
+
+    #[test]
+    fn page_zone_maps_summarise_each_page() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new(0).with_page_rows(128);
+        for r in &rows {
+            b.push(r);
+        }
+        let (bytes, _) = b.encode(segment_file_name(0, 0), 0);
+        let file = SegmentFile::parse(bytes).unwrap();
+        for page in file.pages() {
+            let slice = &rows[page.start_row as usize..(page.start_row + page.rows) as usize];
+            let min = slice.iter().map(|r| r.time_ms).min().unwrap();
+            let max = slice.iter().map(|r| r.time_ms).max().unwrap();
+            assert_eq!((page.min_time, page.max_time), (min, max));
+            assert_eq!(
+                page.size_sum,
+                Some(slice.iter().map(|r| u64::from(r.size)).sum())
+            );
+            for c in UpdateClass::ALL {
+                let n = slice.iter().filter(|r| r.class == c).count() as u64;
+                assert_eq!(page.class_counts[c.index()], n);
+            }
+            for c in Cause::ALL {
+                let n = slice.iter().filter(|r| r.cause == c).count() as u64;
+                assert_eq!(page.cause_counts[c.index()], n);
+            }
+            for r in slice {
+                assert!(bloom_contains(
+                    &page.peer_bloom,
+                    peer_bloom_hash(r.peer.asn)
+                ));
+                assert!(bloom_contains(
+                    &page.prefix_bloom,
+                    prefix_bloom_hash(r.prefix)
+                ));
+            }
+        }
+        // Per-page blooms are sharper than the segment bloom: a peer
+        // present in the segment misses pages it never appears in. With
+        // 5 rotating peers and 128-row pages every page sees every peer,
+        // so probe with a prefix that only occurs early on instead.
+        assert!(file.pages().len() > 1);
+    }
+
+    #[test]
+    fn segment_file_parse_detects_corruption_without_panic() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new(1).with_page_rows(64);
+        for r in &rows {
+            b.push(r);
+        }
+        let (bytes, _) = b.encode(segment_file_name(1, 0), 0);
+        for pos in [0, 5, bytes.len() / 2, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(SegmentFile::parse(bad).is_err(), "flip at {pos}");
+        }
+        for cut in 0..bytes.len() {
+            assert!(
+                SegmentFile::parse(bytes[..cut].to_vec()).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 }
