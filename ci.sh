@@ -96,10 +96,99 @@ sys.exit(0 if r['events_written'] > 0 and r['store_generation'] > 0 else 1)
 " || { echo "    pack smoke run committed nothing"; exit 1; }
 echo "    quiet pack streamed 1 simulated hour into a live store"
 
-echo "==> bench_scale (regenerates BENCH_scale.json; RSS + detection gates)"
+echo "==> chain kill-and-resume smoke (record, kill at a chunk boundary, resume)"
+rm -rf target/ci_chain_ref.store target/ci_chain_ref.store-chain \
+       target/ci_chain_ref.store-ribspill target/ci_chain_res.store \
+       target/ci_chain_res.store-chain target/ci_chain_res.store-ribspill
+./target/release/run_scenario --pack packs/quiet.toml \
+    --store target/ci_chain_ref.store --hours 1 --record > /dev/null
+code=0
+./target/release/run_scenario --pack packs/quiet.toml \
+    --store target/ci_chain_res.store --hours 1 --record \
+    --kill-after-chunks 2 > /dev/null || code=$?
+[ "$code" -eq 9 ] || { echo "    --kill-after-chunks must exit 9, got $code"; exit 1; }
+./target/release/run_scenario --pack packs/quiet.toml \
+    --store target/ci_chain_res.store --hours 1 --resume > /dev/null
+python3 - target/ci_chain_ref.store target/ci_chain_res.store \
+          target/ci_chain_ref.store-chain target/ci_chain_res.store-chain <<'EOF'
+import os, sys
+
+def snap(root):
+    out = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        # Crash debris the commit protocol may leave behind is not part
+        # of the committed state.
+        if rel.split(os.sep)[0] in ("quarantine", "retired"):
+            dirnames[:] = []
+            continue
+        for f in filenames:
+            p = os.path.join(dirpath, f)
+            with open(p, "rb") as fh:
+                out[os.path.relpath(p, root)] = fh.read()
+    return out
+
+for a, b in ((sys.argv[1], sys.argv[2]), (sys.argv[3], sys.argv[4])):
+    sa, sb = snap(a), snap(b)
+    assert sa.keys() == sb.keys(), f"{a} vs {b}: {sorted(sa.keys() ^ sb.keys())}"
+    for k in sa:
+        assert sa[k] == sb[k], f"{a} vs {b}: {k} differs"
+    assert sa, f"{a}: empty"
+EOF
+echo "    resumed store and chain are byte-identical to the unkilled run's"
+
+echo "==> chain replay-equivalence smoke (paper-1996 pack, 1 simulated hour)"
+rm -rf target/ci_replay_rec.store target/ci_replay_rec.store-chain \
+       target/ci_replay_rec.store-ribspill target/ci_replay_rep.store \
+       target/ci_replay_rep.store-chain target/ci_replay_rep.store-ribspill
+./target/release/run_scenario --pack packs/paper_1996.toml \
+    --store target/ci_replay_rec.store --hours 1 --record > /dev/null
+./target/release/run_scenario --pack packs/paper_1996.toml \
+    --store target/ci_replay_rep.store --hours 1 --replay \
+    --chain target/ci_replay_rec.store-chain > /dev/null
+python3 - target/ci_replay_rec.store target/ci_replay_rep.store <<'EOF'
+import os, sys
+
+def snap(root):
+    out = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        if rel.split(os.sep)[0] in ("quarantine", "retired"):
+            dirnames[:] = []
+            continue
+        for f in filenames:
+            p = os.path.join(dirpath, f)
+            with open(p, "rb") as fh:
+                out[os.path.relpath(p, root)] = fh.read()
+    return out
+
+sa, sb = snap(sys.argv[1]), snap(sys.argv[2])
+assert sa.keys() == sb.keys(), sorted(sa.keys() ^ sb.keys())
+for k in sa:
+    assert sa[k] == sb[k], f"{k} differs"
+assert sa
+EOF
+echo "    replay from the chain re-derived a byte-identical store"
+
+echo "==> tracescope watch --state restart smoke"
+rm -f target/ci_watch_state.json
+./target/release/tracescope watch target/ci_pack_smoke.store \
+    --rounds 1 --state target/ci_watch_state.json > /dev/null
+./target/release/tracescope watch target/ci_pack_smoke.store \
+    --rounds 1 --state target/ci_watch_state.json > target/ci_watch_resume.log
+grep -q "resuming from" target/ci_watch_resume.log
+echo "    restarted watch resumed from the persisted watermark"
+
+echo "==> bench_scale (regenerates BENCH_scale.json; RSS + detection + resume gates)"
 cargo run --release -q -p iri-bench --bin bench_scale
-python3 -m json.tool BENCH_scale.json > /dev/null
-echo "    BENCH_scale.json is well-formed JSON"
+python3 -c "
+import json
+r = json.load(open('BENCH_scale.json'))
+assert r['schema'] == 'bench-scale-v2', r['schema']
+assert r['resume']['heads_match'] is True
+assert all(p['chain_head'] for p in r['scale_points'])
+" || { echo "    BENCH_scale.json is not a well-formed v2 report"; exit 1; }
+echo "    BENCH_scale.json is well-formed bench-scale-v2 JSON (chain heads stamped)"
 
 echo "==> tracescope --connect smoke (live health + metrics surface)"
 rm -rf target/ci_connect.store target/ci_serve.fifo target/ci_serve.log

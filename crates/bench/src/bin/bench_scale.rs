@@ -12,14 +12,20 @@
 //! bench_scale --hours 2 --out /tmp/b.json   # truncated CI smoke
 //! ```
 //!
-//! The output carries two claims the CI gate checks:
+//! The output carries three claims the CI gate checks:
 //! - `rss_ratio`: peak RSS at 7 simulated days over 1 day on the same
 //!   topology — sublinear memory means this stays ≤ 1.2;
 //! - `detection`: precision/recall of the watcher against the churn and
-//!   worm packs' ground truth (bars: ≥ 0.9 / ≥ 0.8).
+//!   worm packs' ground truth (bars: ≥ 0.9 / ≥ 0.8);
+//! - `resume`: a run stopped mid-flight and resumed must converge on the
+//!   same chain head as an uninterrupted run of the same pack.
+//!
+//! Every point runs with the boundary chain recording, and its head hash
+//! is stamped into the JSON: each published number names the exact input
+//! stream that produced it, so any reader can replay and re-derive it.
 
 use iri_bench::arg_u64;
-use iri_scenario::{RunnerOptions, ScenarioPack, ScenarioRunner};
+use iri_scenario::{ChainMode, RunError, RunnerOptions, ScenarioPack, ScenarioRunner};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -42,6 +48,9 @@ struct ScalePoint {
     peak_rss_kb: u64,
     spill_spills: u64,
     spill_restores: u64,
+    /// Head hash of the recorded boundary chain: the identity of the
+    /// exact input stream behind this point's numbers.
+    chain_head: Option<String>,
 }
 
 /// One fault pack scored against its ground truth.
@@ -53,6 +62,22 @@ struct DetectionPoint {
     false_positives: usize,
     precision: f64,
     recall: f64,
+    chain_head: Option<String>,
+}
+
+/// The crash-resume leg: stop a recorded run mid-flight, resume it from
+/// the chain, and compare heads with an uninterrupted reference run.
+#[derive(Serialize)]
+struct ResumeBench {
+    stop_after_chunks: u64,
+    /// Events already committed when the resume picked the run up.
+    resumed_from_event: u64,
+    /// Throughput of the resumed leg alone.
+    resume_events_per_sec: f64,
+    reference_head: Option<String>,
+    resumed_head: Option<String>,
+    /// The whole claim: interrupted + resumed ≡ uninterrupted.
+    heads_match: bool,
 }
 
 #[derive(Serialize)]
@@ -67,6 +92,10 @@ struct BenchScale {
     detection: Vec<DetectionPoint>,
     /// Every detection point at precision ≥ 0.9 and recall ≥ 0.8.
     detection_ok: bool,
+    resume: ResumeBench,
+    /// `resume.heads_match`: crash-resume is equivalent to never
+    /// crashing.
+    resume_ok: bool,
 }
 
 fn main() {
@@ -98,6 +127,7 @@ fn main() {
             peak_rss_kb: report.peak_rss_kb,
             spill_spills: report.spill.spills,
             spill_restores: report.spill.restores,
+            chain_head: report.chain_head.clone(),
         });
     }
     let first = scale_points.first().map_or(1, |p| p.peak_rss_kb.max(1));
@@ -125,11 +155,26 @@ fn main() {
             false_positives: s.false_positives,
             precision: s.precision,
             recall: s.recall,
+            chain_head: report.chain_head.clone(),
         });
     }
 
+    let resume = run_resume_bench(&args, &baseline, hours);
+    println!(
+        "resume: stopped after {} chunk(s), resumed from event {} at {:.0} events/s — \
+         heads {}",
+        resume.stop_after_chunks,
+        resume.resumed_from_event,
+        resume.resume_events_per_sec,
+        if resume.heads_match {
+            "match"
+        } else {
+            "DIVERGE"
+        }
+    );
+
     let bench = BenchScale {
-        schema: "bench-scale-v1",
+        schema: "bench-scale-v2",
         baseline_pack: baseline,
         rss_ratio,
         sublinear_memory: rss_ratio <= 1.2,
@@ -138,6 +183,8 @@ fn main() {
             .all(|d| d.precision >= 0.9 && d.recall >= 0.8),
         scale_points,
         detection,
+        resume_ok: resume.heads_match,
+        resume,
     };
     let json = serde_json::to_string_pretty(&bench).expect("serialise bench");
     std::fs::write(&out, json).unwrap_or_else(|e| {
@@ -145,12 +192,50 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "rss ratio {rss_ratio:.3} (sublinear: {}), detection ok: {} — written to {out}",
-        bench.sublinear_memory, bench.detection_ok
+        "rss ratio {rss_ratio:.3} (sublinear: {}), detection ok: {}, resume ok: {} — \
+         written to {out}",
+        bench.sublinear_memory, bench.detection_ok, bench.resume_ok
     );
-    if !bench.sublinear_memory || !bench.detection_ok {
+    if !bench.sublinear_memory || !bench.detection_ok || !bench.resume_ok {
         std::process::exit(1);
     }
+}
+
+/// Builds the child re-exec command shared by every measurement point.
+fn child_cmd(
+    args: &[String],
+    pack_path: &str,
+    days: u32,
+    hours: u32,
+    store: &Path,
+    report_path: &Path,
+    chain_mode: &str,
+) -> Command {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut cmd = Command::new(exe);
+    // Return freed day-state to the OS promptly: without these glibc
+    // keeps retired arenas resident, and that allocator drift — not any
+    // live data — is what a naive VmHWM comparison across durations
+    // measures. Same configuration any long-running deployment wants.
+    cmd.env("MALLOC_TRIM_THRESHOLD_", "131072")
+        .env("MALLOC_MMAP_THRESHOLD_", "131072");
+    cmd.arg("--child")
+        .arg("--pack")
+        .arg(pack_path)
+        .arg("--store")
+        .arg(store)
+        .arg("--report")
+        .arg(report_path)
+        .arg("--hours")
+        .arg(hours.to_string())
+        .arg("--jobs")
+        .arg(arg_u64(args, "--jobs", 0).to_string())
+        .arg("--chain-mode")
+        .arg(chain_mode);
+    if days > 0 {
+        cmd.arg("--days").arg(days.to_string());
+    }
+    cmd
 }
 
 /// Spawns a child re-exec for one (pack, days) point and reads back its
@@ -167,29 +252,9 @@ fn run_point(args: &[String], pack_path: &str, days: u32, hours: u32) -> iri_sce
     let store = scratch.join(format!("store-{days}d"));
     let report_path = scratch.join(format!("report-{days}d.json"));
     std::fs::create_dir_all(&scratch).expect("create scratch dir");
-    let exe = std::env::current_exe().expect("current exe");
-    let mut cmd = Command::new(exe);
-    // Return freed day-state to the OS promptly: without these glibc
-    // keeps retired arenas resident, and that allocator drift — not any
-    // live data — is what a naive VmHWM comparison across durations
-    // measures. Same configuration any long-running deployment wants.
-    cmd.env("MALLOC_TRIM_THRESHOLD_", "131072")
-        .env("MALLOC_MMAP_THRESHOLD_", "131072");
-    cmd.arg("--child")
-        .arg("--pack")
-        .arg(pack_path)
-        .arg("--store")
-        .arg(&store)
-        .arg("--report")
-        .arg(&report_path)
-        .arg("--hours")
-        .arg(hours.to_string())
-        .arg("--jobs")
-        .arg(arg_u64(args, "--jobs", 0).to_string());
-    if days > 0 {
-        cmd.arg("--days").arg(days.to_string());
-    }
-    let status = cmd.status().expect("spawn child");
+    let status = child_cmd(args, pack_path, days, hours, &store, &report_path, "record")
+        .status()
+        .expect("spawn child");
     if !status.success() {
         eprintln!("bench_scale: child failed for {pack_path} ({days} days)");
         std::process::exit(1);
@@ -198,6 +263,66 @@ fn run_point(args: &[String], pack_path: &str, days: u32, hours: u32) -> iri_sce
     let report = serde_json::from_str(&raw).expect("parse child report");
     let _ = std::fs::remove_dir_all(&scratch);
     report
+}
+
+/// The crash-resume leg: record an uninterrupted 1-day reference, then
+/// stop an identical recorded run after a few chunks and resume it from
+/// the chain in a fresh child process. Both runs must converge on the
+/// same chain head.
+fn run_resume_bench(args: &[String], pack_path: &str, hours: u32) -> ResumeBench {
+    const STOP_AFTER: u64 = 3;
+    let scratch =
+        std::env::temp_dir().join(format!("iri-bench-scale-{}-resume", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let ref_store = scratch.join("store-ref");
+    let ref_report = scratch.join("report-ref.json");
+    let status = child_cmd(args, pack_path, 1, hours, &ref_store, &ref_report, "record")
+        .status()
+        .expect("spawn reference child");
+    if !status.success() {
+        eprintln!("bench_scale: resume reference child failed");
+        std::process::exit(1);
+    }
+    let reference: iri_scenario::RunReport =
+        serde_json::from_str(&std::fs::read_to_string(&ref_report).expect("read reference report"))
+            .expect("parse reference report");
+
+    let store = scratch.join("store-resume");
+    let stopped_report = scratch.join("report-stopped.json");
+    let status = child_cmd(args, pack_path, 1, hours, &store, &stopped_report, "record")
+        .arg("--stop-after-chunks")
+        .arg(STOP_AFTER.to_string())
+        .status()
+        .expect("spawn stopped child");
+    if !status.success() {
+        eprintln!("bench_scale: stop-after-chunks child failed");
+        std::process::exit(1);
+    }
+
+    let resumed_report = scratch.join("report-resumed.json");
+    let status = child_cmd(args, pack_path, 1, hours, &store, &resumed_report, "resume")
+        .status()
+        .expect("spawn resume child");
+    if !status.success() {
+        eprintln!("bench_scale: resume child failed");
+        std::process::exit(1);
+    }
+    let resumed: iri_scenario::RunReport = serde_json::from_str(
+        &std::fs::read_to_string(&resumed_report).expect("read resumed report"),
+    )
+    .expect("parse resumed report");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    ResumeBench {
+        stop_after_chunks: STOP_AFTER,
+        resumed_from_event: resumed.resumed_from.unwrap_or(0),
+        resume_events_per_sec: resumed.events_per_sec,
+        heads_match: reference.chain_head.is_some() && reference.chain_head == resumed.chain_head,
+        reference_head: reference.chain_head,
+        resumed_head: resumed.chain_head,
+    }
 }
 
 /// Child mode: run one pack and write the `RunReport` as JSON.
@@ -213,17 +338,45 @@ fn run_child(args: &[String]) {
     if days > 0 {
         pack.run.days = days;
     }
+    let chain = match arg_str(args, "--chain-mode").as_deref() {
+        None | Some("off") => ChainMode::Off,
+        Some("record") => ChainMode::Record,
+        Some("resume") => ChainMode::Resume,
+        Some(other) => {
+            eprintln!("bench_scale: unknown --chain-mode {other}");
+            std::process::exit(1);
+        }
+    };
+    let stop_after = arg_str(args, "--stop-after-chunks").map(|s| {
+        s.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("bench_scale: --stop-after-chunks wants a number, got {s}");
+            std::process::exit(1);
+        })
+    });
     let opts = RunnerOptions {
         jobs: arg_u64(args, "--jobs", 0) as usize,
         hours: Some(arg_u64(args, "--hours", 24) as u32),
+        chain,
+        stop_after_chunks: stop_after,
         ..RunnerOptions::default()
     };
-    let report = ScenarioRunner::new(pack, opts)
-        .run(&PathBuf::from(&store))
-        .unwrap_or_else(|e| {
+    let report = match ScenarioRunner::new(pack, opts).run(&PathBuf::from(&store)) {
+        Ok(report) => report,
+        // The planned stop is this child's success condition: the store
+        // and chain are committed up to the boundary, ready to resume.
+        Err(RunError::Stopped { chunks }) if stop_after.is_some() => {
+            let json = format!("{{\"stopped_chunks\":{chunks}}}");
+            std::fs::write(&report_path, json).unwrap_or_else(|e| {
+                eprintln!("bench_scale: cannot write {report_path}: {e}");
+                std::process::exit(1);
+            });
+            return;
+        }
+        Err(e) => {
             eprintln!("bench_scale: {e}");
             std::process::exit(1);
-        });
+        }
+    };
     let json = serde_json::to_string(&report).expect("serialise report");
     std::fs::write(&report_path, json).unwrap_or_else(|e| {
         eprintln!("bench_scale: cannot write {report_path}: {e}");

@@ -39,6 +39,11 @@
 //! and prints the per-segment fates — pruned, zone-answered, or scanned,
 //! with the prune reason — without executing anything.
 //!
+//! In `--connect` mode a typed `Busy` refusal is retried with a growing
+//! backoff, up to `--retry-max` attempts (default 8, `0` to fail fast);
+//! `--stats` then attributes the client-side gate wait — attempts made
+//! and milliseconds burned — alongside the server's own gate counters.
+//!
 //! Exit codes: 0 ok, 2 usage (also busy / shutting-down refusals), then
 //! the store taxonomy — 3 I/O, 4 corrupt, 5 quarantined/strict, 6 JSON,
 //! 7 ingest. Server-side failures carry their store exit code across the
@@ -60,7 +65,8 @@ fn usage() -> ! {
          \x20      iriq --connect HOST:PORT <ping|stats|metrics|health|info|count-by-class|...>\n\
          filters: [--from-ms A] [--to-ms B] [--day D] [--peer ASN] [--prefix P] \
          [--class NAME] [--cause NAME] [--strict] [--stats] [--explain]\n\
-         series:  --bin-ms N [--spectrum]   top-*: [--limit N]"
+         series:  --bin-ms N [--spectrum]   top-*: [--limit N]   \
+         connect: [--retry-max N]"
     );
     std::process::exit(cli::EXIT_USAGE);
 }
@@ -250,10 +256,32 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
         eprintln!("iriq: connect {addr}: {e}");
         std::process::exit(3)
     });
-    let reply = client.request(command).unwrap_or_else(|e| {
-        eprintln!("iriq: {addr}: {e}");
-        std::process::exit(3)
-    });
+    // A typed `Busy` is the admission gate shedding load, not a failure:
+    // retry with the growing backoff the serve benchmark uses, bounded
+    // by `--retry-max` attempts so scripts never hang on a saturated
+    // server. The time burned here is attributed under `--stats`.
+    let retry_max = arg_u64(args, "--retry-max", 8);
+    let mut busy_retries = 0u64;
+    let mut busy_wait_us = 0u64;
+    let reply = loop {
+        let attempt_started = std::time::Instant::now();
+        let reply = client.request(command.clone()).unwrap_or_else(|e| {
+            eprintln!("iriq: {addr}: {e}");
+            std::process::exit(3)
+        });
+        match &reply.resp {
+            Response::Busy { .. } if busy_retries < retry_max => {
+                busy_wait_us = busy_wait_us.saturating_add(
+                    u64::try_from(attempt_started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+                let backoff_ms = (2 + busy_retries / 4).min(40);
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                busy_wait_us = busy_wait_us.saturating_add(backoff_ms * 1_000);
+                busy_retries += 1;
+            }
+            _ => break reply,
+        }
+    };
     let code = reply.resp.exit_code();
     // The query replies carry the generation they answered at and the
     // scan stats of the populating scan; remembered here so the
@@ -333,7 +361,11 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
         }
         Response::Appended { .. } | Response::Compacted { .. } => {}
         Response::Busy { active, queued } => {
-            eprintln!("iriq: server busy ({active} in flight, {queued} queued); retry later");
+            eprintln!(
+                "iriq: server busy ({active} in flight, {queued} queued) after {busy_retries} \
+                 retry attempt(s), {} ms waited; raise --retry-max or retry later",
+                busy_wait_us / 1_000
+            );
         }
         Response::ShuttingDown => eprintln!("iriq: server is shutting down"),
         Response::Error { code, message } => eprintln!("iriq: server: {message} (exit {code})"),
@@ -341,6 +373,13 @@ fn remote_main(addr: &str, args: &[String]) -> ! {
     if filter.wants_stats() && code == 0 {
         if let Some(stats) = &scan_stats {
             println!("\n{}", cli::render_scan_stats(stats));
+        }
+        if busy_retries > 0 {
+            println!(
+                "[client] admission gate: {busy_retries} busy retry attempt(s), \
+                 {} ms waited before this answer",
+                busy_wait_us / 1_000
+            );
         }
         if let Some((generation, cached)) = served_at {
             println!(

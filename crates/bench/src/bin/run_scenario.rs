@@ -12,15 +12,27 @@
 //! run_scenario --pack packs/worm_outbreak.toml --store /tmp/worm
 //! run_scenario --pack packs/paper_1996.toml --store /tmp/p96 \
 //!     --days 7 --jobs 4 --max-rss-mb 2048 --report-json report.json
+//! run_scenario --pack p.toml --store /tmp/s --record   # + boundary chain
+//! run_scenario --pack p.toml --store /tmp/s --resume   # continue a kill
+//! run_scenario --pack p.toml --store /tmp/s2 --replay --chain /tmp/s-chain
 //! run_scenario --print-default > scenario.json   # legacy JSON config
 //! run_scenario scenario.json --day 45            # legacy one-day run
 //! ```
+//!
+//! `--record` appends every simulation boundary crossing to a
+//! hash-linked chain (default `<store>-chain/CHAIN.log`); `--resume`
+//! restarts a killed recorded run from the recovered store and produces
+//! the byte-identical final store; `--replay` re-derives a store from a
+//! chain alone, failing loudly (exit 10) on the first divergent entry.
+//! Exit codes: 0 ok, 2 usage, 3–7 store errors, 8 RSS budget, 9
+//! `--kill-after-chunks`, 10 chain.
 //!
 //! The legacy `{graph, scenario}` JSON config is still accepted as a
 //! positional argument and runs the classic in-memory day pipeline; its
 //! schema and defaults now come from `iri_scenario::Experiment`, the
 //! same loader the pack format derives from.
 
+use iri_bench::cli::run_error_exit_code;
 use iri_bench::summary::summarize_day;
 use iri_bench::{arg_u64, logged_to_events};
 use iri_core::stats::breakdown::breakdown;
@@ -28,10 +40,10 @@ use iri_core::stats::incidents::detect_incidents;
 use iri_core::taxonomy::UpdateClass;
 use iri_core::Classifier;
 use iri_pipeline::PipelineMetrics;
-use iri_scenario::{Experiment, RunnerOptions, ScenarioPack, ScenarioRunner};
+use iri_scenario::{ChainMode, Experiment, RunnerOptions, ScenarioPack, ScenarioRunner};
 use iri_topology::asgraph::AsGraph;
 use serde::Serialize;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The `--metrics-json` payload (legacy mode).
 #[derive(Serialize)]
@@ -86,6 +98,8 @@ fn main() {
         eprintln!(
             "usage: run_scenario --pack <pack.toml> --store <dir> [--days N] [--jobs N] \
              [--hours H] [--max-rss-mb M] [--report-json <path>]\n\
+             \x20      [--record | --resume | --replay] [--chain <dir>] \
+             [--kill-after-chunks N]\n\
              \x20      run_scenario --pack <pack.toml> --check\n\
              \x20      run_scenario <config.json> [--day N] [--days N] [--jobs N]\n\
              \x20      run_scenario --print-default"
@@ -203,11 +217,33 @@ fn run_pack(pack_path: &str, args: &[String]) {
             std::process::exit(2);
         })
     });
+    let chain = match (
+        args.iter().any(|a| a == "--record"),
+        args.iter().any(|a| a == "--resume"),
+        args.iter().any(|a| a == "--replay"),
+    ) {
+        (false, false, false) => ChainMode::Off,
+        (true, false, false) => ChainMode::Record,
+        (false, true, false) => ChainMode::Resume,
+        (false, false, true) => ChainMode::Replay,
+        _ => {
+            eprintln!("run_scenario: --record, --resume, and --replay are mutually exclusive");
+            std::process::exit(2);
+        }
+    };
     let opts = RunnerOptions {
         jobs: arg_u64(args, "--jobs", 0) as usize,
         max_rss_mb: arg_u64(args, "--max-rss-mb", 0),
         hours,
         verbose: true,
+        chain,
+        chain_dir: arg_str(args, "--chain").map(PathBuf::from),
+        stop_after_chunks: arg_str(args, "--kill-after-chunks").map(|n| {
+            n.parse().unwrap_or_else(|e| {
+                eprintln!("run_scenario: bad --kill-after-chunks: {e}");
+                std::process::exit(2);
+            })
+        }),
         ..RunnerOptions::default()
     };
     println!(
@@ -218,7 +254,7 @@ fn run_pack(pack_path: &str, args: &[String]) {
         .run(Path::new(&store_dir))
         .unwrap_or_else(|e| {
             eprintln!("run_scenario: {e}");
-            std::process::exit(1);
+            std::process::exit(run_error_exit_code(&e));
         });
     println!(
         "\n{} events committed over {} day(s) ({} h/day) at {:.0} events/s; \
@@ -229,6 +265,18 @@ fn run_pack(pack_path: &str, args: &[String]) {
         report.events_per_sec,
         report.store_generation
     );
+    if let Some(head) = &report.chain_head {
+        match report.resumed_from {
+            Some(at) => println!(
+                "chain: {} entries ({} events), head {head}; resumed from event {at}",
+                report.chain_entries, report.chain_events
+            ),
+            None => println!(
+                "chain: {} entries ({} events), head {head}",
+                report.chain_entries, report.chain_events
+            ),
+        }
+    }
     println!(
         "census: {} prefixes; peak RSS {} MiB; spill: {} out / {} in ({} B written)",
         report.final_census_prefixes,

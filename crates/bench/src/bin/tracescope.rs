@@ -13,7 +13,7 @@
 //! ```sh
 //! tracescope [--seed S] [--tail N] [--store <dir>]
 //! tracescope --connect HOST:PORT            # live serve health + metrics
-//! tracescope watch <dir> [--bin-ms N] [--rounds N] [--poll-ms N]
+//! tracescope watch <dir> [--bin-ms N] [--rounds N] [--poll-ms N] [--state FILE]
 //! ```
 //!
 //! Everything is deterministic for a given `--seed`: trace timestamps are
@@ -32,6 +32,9 @@
 //! per-class novelty) and prints typed incidents with cause attribution.
 //! Detection is watermark-deterministic: only completed event-time bins
 //! are fed, so the incident stream does not depend on poll cadence.
+//! With `--state FILE` the watermark is persisted after every poll, so a
+//! restarted watch resumes where the previous process stopped instead of
+//! re-raising incidents for bins it already handled.
 
 use iri_bench::cli::QueryFilter;
 use iri_bench::{arg_str, arg_u64, exit_store_error, logged_to_events_with_causes, CauseBreakdown};
@@ -40,7 +43,7 @@ use iri_core::Classifier;
 use iri_netsim::{Cause, TraceKind};
 use iri_obs::Registry;
 use iri_serve::{Client, Command, Response};
-use iri_store::{LiveStore, WatchConfig, Watcher};
+use iri_store::{LiveStore, WatchConfig, WatchState, Watcher};
 use std::collections::BTreeMap;
 
 /// `tracescope --connect HOST:PORT`: render a live server's health and
@@ -137,7 +140,9 @@ fn connect_main(addr: &str, args: &[String]) -> ! {
 /// incident detectors.
 fn watch_main(args: &[String]) -> ! {
     let Some(dir) = args.get(2).filter(|d| !d.starts_with("--")) else {
-        eprintln!("usage: tracescope watch <dir> [--bin-ms N] [--rounds N] [--poll-ms N]");
+        eprintln!(
+            "usage: tracescope watch <dir> [--bin-ms N] [--rounds N] [--poll-ms N] [--state FILE]"
+        );
         std::process::exit(iri_bench::EXIT_USAGE)
     };
     let cfg = WatchConfig {
@@ -146,14 +151,39 @@ fn watch_main(args: &[String]) -> ! {
     };
     let rounds = arg_u64(args, "--rounds", 1).max(1);
     let poll_ms = arg_u64(args, "--poll-ms", 500);
+    let state_path = arg_str(args, "--state").map(std::path::PathBuf::from);
+    let fs = iri_faults::real_fs();
     let live = LiveStore::open(std::path::Path::new(dir))
         .unwrap_or_else(|e| exit_store_error("tracescope", &e));
-    let mut watcher = Watcher::new(cfg);
+    let mut watcher = match &state_path {
+        Some(path) => match WatchState::load(&*fs, path) {
+            Ok(Some(state)) => {
+                println!(
+                    "resuming from {} (watermark {}, {} incident(s) already raised)",
+                    path.display(),
+                    state
+                        .watermark_ms
+                        .map_or_else(|| "none".to_owned(), |w| format!("{w} ms")),
+                    state.incidents_raised,
+                );
+                Watcher::with_state(cfg, &state)
+            }
+            Ok(None) => Watcher::new(cfg),
+            Err(e) => exit_store_error("tracescope", &e),
+        },
+        None => Watcher::new(cfg),
+    };
     let mut total_incidents = 0usize;
     for round in 0..rounds {
         let report = watcher
             .poll(&live)
             .unwrap_or_else(|e| exit_store_error("tracescope", &e));
+        if let Some(path) = &state_path {
+            watcher
+                .state()
+                .save(&*fs, path)
+                .unwrap_or_else(|e| exit_store_error("tracescope", &e));
+        }
         println!(
             "poll {}: generation {}, {} completed bin(s), {} event(s), watermark {}",
             round + 1,

@@ -25,6 +25,37 @@ use std::path::Path;
 /// Exit code for malformed command lines.
 pub const EXIT_USAGE: i32 = 2;
 
+/// Exit code when a run crossed its `--max-rss-mb` fail-fast budget.
+/// The store is left at its last commit, so `--resume` picks it up.
+pub const EXIT_RSS_BUDGET: i32 = 8;
+
+/// Exit code for the deliberate `--kill-after-chunks` stop hook — the
+/// CI kill-and-resume smoke distinguishes "killed on schedule" (resume
+/// next) from a real failure.
+pub const EXIT_STOPPED: i32 = 9;
+
+/// Exit code for boundary-chain failures: corrupt chain, mismatched
+/// pack, or replay divergence.
+pub const EXIT_CHAIN: i32 = 10;
+
+/// Maps a scenario-runner failure onto the process exit taxonomy:
+/// store errors keep their own codes (3–7), pack/usage problems exit
+/// [`EXIT_USAGE`], and the runner's own outcomes get codes 8–10
+/// ([`EXIT_RSS_BUDGET`], [`EXIT_STOPPED`], [`EXIT_CHAIN`]).
+#[must_use]
+pub fn run_error_exit_code(e: &iri_scenario::RunError) -> i32 {
+    use iri_scenario::RunError;
+    match e {
+        RunError::Store(s) => s.exit_code(),
+        RunError::Pack(_) => EXIT_USAGE,
+        RunError::RssBudget { .. } => EXIT_RSS_BUDGET,
+        RunError::Stopped { .. } => EXIT_STOPPED,
+        RunError::Chain(_) => EXIT_CHAIN,
+        // A dead writer with no reported store error: generic failure.
+        RunError::Channel(_) => 1,
+    }
+}
+
 /// Parses `--key value` style arguments with defaults, e.g.
 /// `arg_f64(&args, "--scale", 0.05)`.
 #[must_use]
@@ -378,5 +409,32 @@ mod tests {
         let text = render_scan_stats(&hurt);
         assert!(text.contains("2 segment(s) quarantined"));
         assert!(text.contains("--strict"));
+    }
+
+    #[test]
+    fn run_errors_map_onto_the_documented_exit_taxonomy() {
+        use iri_scenario::RunError;
+        let io = StoreError::io(Path::new("/x"), std::io::Error::other("boom"));
+        assert_eq!(run_error_exit_code(&RunError::Store(io)), 3);
+        assert_eq!(
+            run_error_exit_code(&RunError::RssBudget {
+                rss_mb: 900,
+                budget_mb: 512
+            }),
+            EXIT_RSS_BUDGET
+        );
+        assert_eq!(
+            run_error_exit_code(&RunError::Stopped { chunks: 3 }),
+            EXIT_STOPPED
+        );
+        assert_eq!(
+            run_error_exit_code(&RunError::Chain(iri_chain::ChainError::Divergence {
+                seq: 7,
+                expected: "a".into(),
+                got: "b".into(),
+            })),
+            EXIT_CHAIN
+        );
+        assert_eq!(run_error_exit_code(&RunError::Channel("gone".into())), 1);
     }
 }

@@ -1,0 +1,193 @@
+//! Chain entries: the line format and the hash link.
+
+use iri_core::fxhash::FxHasher;
+use std::fmt;
+use std::hash::Hasher;
+
+/// The type tag of one chain entry. The wire tag (one short word) is
+/// part of the hashed bytes, so renaming a tag is a format break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Run identity: format version, pack fingerprint, effective
+    /// duration — written once at sequence 0.
+    Genesis,
+    /// A simulated day is starting.
+    DayStart,
+    /// The day's scheduled fault draws, as a count + digest of every
+    /// world injection the seeded fault RNGs produced.
+    Faults,
+    /// One classified monitor event crossing into the store.
+    Event,
+    /// End-of-day checkpoint: cumulative event count, census, spill
+    /// totals — everything resume needs for days it will skip.
+    Checkpoint,
+}
+
+impl EntryKind {
+    /// The wire tag.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            EntryKind::Genesis => "genesis",
+            EntryKind::DayStart => "day",
+            EntryKind::Faults => "faults",
+            EntryKind::Event => "event",
+            EntryKind::Checkpoint => "ckpt",
+        }
+    }
+
+    /// Inverse of [`EntryKind::tag`].
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<EntryKind> {
+        Some(match tag {
+            "genesis" => EntryKind::Genesis,
+            "day" => EntryKind::DayStart,
+            "faults" => EntryKind::Faults,
+            "event" => EntryKind::Event,
+            "ckpt" => EntryKind::Checkpoint,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EntryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One hash-linked entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainEntry {
+    /// Zero-based position in the chain.
+    pub seq: u64,
+    /// Type tag.
+    pub kind: EntryKind,
+    /// Payload bytes (a compact integer encoding; never contains a
+    /// newline).
+    pub payload: String,
+    /// The previous entry's hash; 0 for the genesis entry.
+    pub prev: u64,
+    /// `entry_hash(seq, kind, payload, prev)`.
+    pub hash: u64,
+}
+
+/// The FxHash link: digest of `(seq, kind tag, payload bytes, prev)`.
+#[must_use]
+pub fn entry_hash(seq: u64, kind: EntryKind, payload: &str, prev: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(seq);
+    h.write(kind.tag().as_bytes());
+    h.write(payload.as_bytes());
+    h.write_u64(prev);
+    h.finish()
+}
+
+impl ChainEntry {
+    /// Builds and hashes an entry linked to `prev`.
+    #[must_use]
+    pub fn link(seq: u64, kind: EntryKind, payload: String, prev: u64) -> Self {
+        let hash = entry_hash(seq, kind, &payload, prev);
+        ChainEntry {
+            seq,
+            kind,
+            payload,
+            prev,
+            hash,
+        }
+    }
+
+    /// Renders the entry as its chain line (without the trailing
+    /// newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {:016x} {:016x} {}",
+            self.seq,
+            self.kind.tag(),
+            self.prev,
+            self.hash,
+            self.payload
+        )
+    }
+
+    /// Parses one chain line. Returns `None` on any structural problem —
+    /// the caller treats that as the start of a torn tail.
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<ChainEntry> {
+        let mut parts = line.splitn(5, ' ');
+        let seq: u64 = parts.next()?.parse().ok()?;
+        let kind = EntryKind::from_tag(parts.next()?)?;
+        let prev = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let hash_field = parts.next()?;
+        if hash_field.len() != 16 {
+            return None;
+        }
+        let hash = u64::from_str_radix(hash_field, 16).ok()?;
+        let payload = parts.next().unwrap_or("").to_owned();
+        if entry_hash(seq, kind, &payload, prev) != hash {
+            return None;
+        }
+        Some(ChainEntry {
+            seq,
+            kind,
+            payload,
+            prev,
+            hash,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip_through_the_line_format() {
+        let e = ChainEntry::link(3, EntryKind::Event, "1 2 3 4 5".to_owned(), 0xdead_beef);
+        let parsed = ChainEntry::parse_line(&e.to_line()).expect("parse");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        let e = ChainEntry::link(0, EntryKind::Genesis, String::new(), 0);
+        assert_eq!(ChainEntry::parse_line(&e.to_line()), Some(e));
+    }
+
+    #[test]
+    fn any_field_tamper_fails_the_hash_check() {
+        let e = ChainEntry::link(7, EntryKind::Faults, "0 12 00ff".to_owned(), 99);
+        let line = e.to_line();
+        // Payload tamper.
+        assert_eq!(ChainEntry::parse_line(&line.replace("12", "13")), None);
+        // Kind tamper.
+        assert_eq!(ChainEntry::parse_line(&line.replace("faults", "day")), None);
+        // Seq tamper.
+        assert_eq!(ChainEntry::parse_line(&line.replacen('7', "8", 1)), None);
+        // Truncated line (torn append).
+        assert_eq!(ChainEntry::parse_line(&line[..line.len() - 1]), None);
+    }
+
+    #[test]
+    fn hash_links_chain_entries_together() {
+        let a = ChainEntry::link(0, EntryKind::Genesis, "v1".to_owned(), 0);
+        let b = ChainEntry::link(1, EntryKind::Event, "x".to_owned(), a.hash);
+        let b2 = ChainEntry::link(1, EntryKind::Event, "x".to_owned(), a.hash ^ 1);
+        assert_ne!(b.hash, b2.hash, "hash must commit to the link");
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in [
+            EntryKind::Genesis,
+            EntryKind::DayStart,
+            EntryKind::Faults,
+            EntryKind::Event,
+            EntryKind::Checkpoint,
+        ] {
+            assert_eq!(EntryKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(EntryKind::from_tag("bogus"), None);
+    }
+}

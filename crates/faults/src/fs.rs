@@ -149,6 +149,10 @@ struct FaultState {
     fired: Vec<bool>,
     next_op: u64,
     killed: bool,
+    /// Times each [`CommitStep`] has been reached, indexed by the step's
+    /// position in [`CommitStep::ALL`]. Always counted, so a clean pass
+    /// teaches a crash matrix how many occurrences it must cover.
+    step_hits: [u64; CommitStep::ALL.len()],
 }
 
 /// A [`StoreFs`] that executes a [`FaultPlan`] against the counted
@@ -195,6 +199,7 @@ impl FaultyFs {
                 fired,
                 next_op: 0,
                 killed: false,
+                step_hits: [0; CommitStep::ALL.len()],
             }),
         }
     }
@@ -217,6 +222,16 @@ impl FaultyFs {
     #[must_use]
     pub fn killed(&self) -> bool {
         self.state.lock().expect("fault state poisoned").killed
+    }
+
+    /// Times the named commit step has been reached so far.
+    #[must_use]
+    pub fn step_hits(&self, step: CommitStep) -> u64 {
+        let i = CommitStep::ALL
+            .iter()
+            .position(|s| *s == step)
+            .expect("step in ALL");
+        self.state.lock().expect("fault state poisoned").step_hits[i]
     }
 
     /// Consumes one op index; returns the fault scheduled there, if any.
@@ -394,7 +409,13 @@ impl StoreFs for FaultyFs {
         if state.killed {
             return Err(simulated_kill("process is dead"));
         }
-        if state.plan.kill_at_step == Some(step) {
+        let i = CommitStep::ALL
+            .iter()
+            .position(|s| *s == step)
+            .expect("step in ALL");
+        let hit = state.step_hits[i];
+        state.step_hits[i] += 1;
+        if state.plan.kill_at_step == Some((step, hit)) {
             state.killed = true;
             return Err(simulated_kill("checkpoint"));
         }
@@ -509,5 +530,31 @@ mod tests {
         assert!(fs.killed());
         assert!(fs.write(&scratch.path("late.bin"), b"never").is_err());
         assert!(!RealFs.exists(&scratch.path("late.bin")));
+    }
+
+    #[test]
+    fn checkpoint_kill_can_aim_at_a_later_occurrence() {
+        let fs = FaultyFs::new(FaultPlan::new().kill_at_step_hit(CommitStep::JournalSealed, 2));
+        for expected in 0..2 {
+            assert_eq!(fs.step_hits(CommitStep::JournalSealed), expected);
+            fs.checkpoint(CommitStep::Begin).unwrap();
+            fs.checkpoint(CommitStep::JournalSealed).unwrap();
+        }
+        fs.checkpoint(CommitStep::Begin).unwrap();
+        assert!(fs.checkpoint(CommitStep::JournalSealed).is_err());
+        assert!(fs.killed());
+        assert_eq!(fs.step_hits(CommitStep::JournalSealed), 3);
+        assert_eq!(fs.step_hits(CommitStep::Begin), 3);
+        assert_eq!(fs.step_hits(CommitStep::ManifestPublished), 0);
+    }
+
+    #[test]
+    fn step_hits_are_counted_even_without_a_plan() {
+        let fs = FaultyFs::counting();
+        for _ in 0..4 {
+            fs.checkpoint(CommitStep::ManifestPublished).unwrap();
+        }
+        assert_eq!(fs.step_hits(CommitStep::ManifestPublished), 4);
+        assert!(!fs.killed());
     }
 }

@@ -102,7 +102,8 @@ pub struct Fault {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     pub(crate) faults: Vec<Fault>,
-    pub(crate) kill_at_step: Option<CommitStep>,
+    /// Kill at the `n`-th time ingest reaches this step (0-based).
+    pub(crate) kill_at_step: Option<(CommitStep, u64)>,
 }
 
 impl FaultPlan {
@@ -127,10 +128,20 @@ impl FaultPlan {
         self.fault_at(at_op, FaultKind::Kill)
     }
 
-    /// Kills the process when ingest reaches the named commit step.
+    /// Kills the process the first time ingest reaches the named commit
+    /// step.
     #[must_use]
-    pub fn kill_at_step(mut self, step: CommitStep) -> Self {
-        self.kill_at_step = Some(step);
+    pub fn kill_at_step(self, step: CommitStep) -> Self {
+        self.kill_at_step_hit(step, 0)
+    }
+
+    /// Kills the process the `occurrence`-th time (0-based) ingest
+    /// reaches the named commit step. A long run commits many batches;
+    /// this is how a crash matrix aims at the N-th commit's protocol
+    /// gaps instead of only the first.
+    #[must_use]
+    pub fn kill_at_step_hit(mut self, step: CommitStep, occurrence: u64) -> Self {
+        self.kill_at_step = Some((step, occurrence));
         self
     }
 

@@ -15,6 +15,7 @@
 use crate::pack::{FaultKind, FaultSpec, ScenarioPack};
 use iri_bgp::attrs::{Origin, PathAttributes};
 use iri_bgp::path::AsPath;
+use iri_core::fxhash::FxHasher;
 use iri_netsim::engine::{MINUTE, SECOND};
 use iri_netsim::router::RouterId;
 use iri_netsim::world::World;
@@ -38,8 +39,26 @@ pub struct DayContext<'a> {
     pub run_day: u32,
 }
 
-/// Applies every fault scheduled for `ctx.run_day` to the world.
-pub fn apply_faults(pack: &ScenarioPack, world: &mut World, ctx: &DayContext<'_>) {
+/// Summary of one day's fault-plan draws: how many injections the seeded
+/// RNGs scheduled onto the world and a digest over the per-fault
+/// breakdown. Recorded into the boundary chain, so a nondeterministic
+/// fault draw is caught at the day it happens instead of surfacing as a
+/// mystery event diff hours later.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDigest {
+    /// World injections scheduled across all faults active this day.
+    pub scheduled: u64,
+    /// FxHash folding each active fault's `(index, injections)` pair in
+    /// schedule order.
+    pub digest: u64,
+}
+
+/// Applies every fault scheduled for `ctx.run_day` to the world and
+/// digests the draws.
+pub fn apply_faults(pack: &ScenarioPack, world: &mut World, ctx: &DayContext<'_>) -> FaultDigest {
+    use std::hash::Hasher as _;
+    let mut h = FxHasher::default();
+    let mut scheduled = 0u64;
     for (idx, f) in pack.faults.iter().enumerate() {
         if !f.every_day && f.day != ctx.run_day {
             continue;
@@ -50,12 +69,21 @@ pub fn apply_faults(pack: &ScenarioPack, world: &mut World, ctx: &DayContext<'_>
                 ^ (u64::from(ctx.run_day) << 8)
                 ^ 0xfau64,
         );
+        let before = world.queue_len();
         match f.kind {
             FaultKind::CommunityChurn => community_churn(f, world, ctx, &mut rng),
             FaultKind::WormOutbreak => worm_outbreak(f, world, ctx, &mut rng),
             FaultKind::LinkFailures => link_failures(f, world, ctx, &mut rng),
             FaultKind::WithdrawalStorm => {} // applied via IncidentSpec at build time
         }
+        let added = world.queue_len().saturating_sub(before) as u64;
+        scheduled += added;
+        h.write_u64(idx as u64);
+        h.write_u64(added);
+    }
+    FaultDigest {
+        scheduled,
+        digest: h.finish(),
     }
 }
 

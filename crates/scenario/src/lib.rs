@@ -30,4 +30,7 @@ pub use pack::{
     SyntheticSpec, TopologySpec, TruthSpec, WatchSpec, WorkloadSpec, DEFAULT_PACK_SEED,
     FORMAT_VERSION,
 };
-pub use runner::{RunError, RunReport, RunnerOptions, ScenarioRunner, Scorecard, SpillSummary};
+pub use runner::{
+    chain_dir_for, ChainMode, RunError, RunReport, RunnerOptions, ScenarioRunner, Scorecard,
+    SpillSummary,
+};

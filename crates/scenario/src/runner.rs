@@ -24,10 +24,31 @@
 //! per-day classifier exactly like the batch pipeline) but not stored.
 //! The run ends with a [`Scorecard`] matching detected incidents against
 //! the pack's `[[ground_truth]]` expectations.
+//!
+//! ## The boundary chain
+//!
+//! With [`ChainMode::Record`], every input crossing into the
+//! deterministic core — classified events, per-day fault-draw digests,
+//! day boundaries, end-of-day checkpoints — is appended to a hash-linked
+//! [`ChainTape`] (see `iri-chain`) owned by the **writer thread**, the
+//! single point every crossing already serializes through. The tape is
+//! flushed (one durable append) before every store commit, so on any
+//! crash the chain on disk covers at least every committed event.
+//!
+//! [`ChainMode::Resume`] restarts a killed run: the store recovers to its
+//! last committed generation, the chain's checkpoints say which days are
+//! already fully recorded, committed-but-gone events are tail-fed from
+//! the chain, and only the unfinished days are re-simulated — verified
+//! against the recorded entries as they cross. [`ChainMode::Replay`]
+//! re-derives the whole run against a sealed tape: any divergence fails
+//! with the first divergent sequence number, and producing fewer or more
+//! crossings than the recording is an error in both modes.
 
 use crate::faults::{apply_faults, DayContext};
 use crate::pack::{PackError, ScenarioPack, TruthSpec};
 use crate::rss::{current_rss_kb, peak_rss_kb};
+use iri_chain::{decode_event, encode_event, ChainError, ChainTape, EntryKind, Genesis, Mark};
+use iri_core::fxhash::FxHasher;
 use iri_core::input::{events_from_update, PeerKey};
 use iri_core::Classifier;
 use iri_faults::SharedFs;
@@ -38,7 +59,8 @@ use iri_topology::asgraph::AsGraph;
 use iri_topology::scenario::build_day_world;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Writer-side compaction cadence, in committed batches. Keyed to the
 /// event sequence (never wall time) so store bytes stay identical at any
@@ -46,10 +68,25 @@ use std::path::Path;
 /// commits' worth of ragged per-shard segments.
 const COMPACT_EVERY_COMMITS: u64 = 16;
 
+/// How the runner uses the boundary chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainMode {
+    /// No chain: the pre-chain behavior, byte-for-byte.
+    #[default]
+    Off,
+    /// Record every boundary crossing into a fresh chain.
+    Record,
+    /// Restart a killed recorded run from its last durable state.
+    Resume,
+    /// Re-derive a recorded run against the sealed chain; diverging from
+    /// it, or ending early/late, is an error.
+    Replay,
+}
+
 /// How to execute a pack, beyond what the pack itself says.
 #[derive(Clone)]
 pub struct RunnerOptions {
-    /// Filesystem for the store and the RIB spill directory.
+    /// Filesystem for the store, the RIB spill directory, and the chain.
     pub fs: SharedFs,
     /// Store worker threads (0 = one per CPU). Never affects store bytes.
     pub jobs: usize,
@@ -59,6 +96,14 @@ pub struct RunnerOptions {
     pub hours: Option<u32>,
     /// Print a per-day progress line to stderr.
     pub verbose: bool,
+    /// Boundary-chain mode.
+    pub chain: ChainMode,
+    /// Chain directory; defaults to `<store>-chain` next to the store.
+    pub chain_dir: Option<PathBuf>,
+    /// Stop with [`RunError::Stopped`] after this many simulated chunks —
+    /// a deterministic in-process stand-in for `kill -9` at a chunk
+    /// boundary, used by the CI kill-and-resume smoke.
+    pub stop_after_chunks: Option<u64>,
 }
 
 impl Default for RunnerOptions {
@@ -69,8 +114,24 @@ impl Default for RunnerOptions {
             max_rss_mb: 0,
             hours: None,
             verbose: false,
+            chain: ChainMode::Off,
+            chain_dir: None,
+            stop_after_chunks: None,
         }
     }
+}
+
+/// The default chain directory for a store: `<store>-chain`, a sibling —
+/// the store's recovery scan owns everything inside its own dir.
+#[must_use]
+pub fn chain_dir_for(store_dir: &Path) -> PathBuf {
+    store_dir.with_file_name(format!(
+        "{}-chain",
+        store_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_owned())
+    ))
 }
 
 /// A runner failure.
@@ -80,7 +141,8 @@ pub enum RunError {
     Store(StoreError),
     /// The pack was semantically unusable (bad exchange, …).
     Pack(PackError),
-    /// Resident memory crossed the fail-fast budget.
+    /// Resident memory crossed the fail-fast budget. The store is left
+    /// at its last batch-aligned commit, so a recorded run resumes.
     RssBudget {
         /// Observed resident set (MiB).
         rss_mb: u64,
@@ -89,6 +151,14 @@ pub enum RunError {
     },
     /// The writer thread died (its store error is reported separately).
     Channel(String),
+    /// The boundary chain failed: corrupt, mismatched, or — the one that
+    /// matters — divergent, with the first divergent sequence number.
+    Chain(ChainError),
+    /// The deliberate `stop_after_chunks` kill hook fired.
+    Stopped {
+        /// Chunks simulated before stopping.
+        chunks: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -101,6 +171,10 @@ impl fmt::Display for RunError {
                 "resident memory {rss_mb} MiB exceeded the --max-rss-mb budget of {budget_mb} MiB"
             ),
             RunError::Channel(what) => write!(f, "writer channel failed: {what}"),
+            RunError::Chain(e) => write!(f, "chain error: {e}"),
+            RunError::Stopped { chunks } => {
+                write!(f, "stopped by --kill-after-chunks after {chunks} chunks")
+            }
         }
     }
 }
@@ -116,6 +190,12 @@ impl From<StoreError> for RunError {
 impl From<PackError> for RunError {
     fn from(e: PackError) -> Self {
         RunError::Pack(e)
+    }
+}
+
+impl From<ChainError> for RunError {
+    fn from(e: ChainError) -> Self {
+        RunError::Chain(e)
     }
 }
 
@@ -172,10 +252,237 @@ pub struct RunReport {
     pub peak_rss_kb: u64,
     /// RIB-spill totals (all zero when spill is disabled).
     pub spill: SpillSummary,
+    /// Chain entries recorded or verified (0 with the chain off).
+    pub chain_entries: u64,
+    /// Event entries among them.
+    pub chain_events: u64,
+    /// Chain head hash (hex), committing to the whole recorded input
+    /// stream. Stamped into `BENCH_*.json` so every published number
+    /// names the exact inputs that produced it.
+    pub chain_head: Option<String>,
+    /// Events already committed when a resume picked the run up.
+    pub resumed_from: Option<u64>,
     /// Wall-clock run time, milliseconds.
     pub wall_ms: u64,
     /// Events committed per wall-clock second.
     pub events_per_sec: f64,
+}
+
+/// What crosses the driver → writer channel. Every boundary crossing
+/// funnels through here, so the writer thread is the single owner of the
+/// chain tape and chain order is the channel order — no racing appends.
+enum WriterMsg {
+    /// A classified event produced by the simulation: chain it (verify
+    /// or append), and store it unless it lands below the resume skip
+    /// point.
+    Event(StoredEvent),
+    /// A committed-but-recovered event tail-fed from the chain during
+    /// resume: store it, no chain interaction (it is already recorded).
+    Raw(StoredEvent),
+    /// A non-event crossing: chain only; a checkpoint also flushes.
+    Mark(Mark),
+}
+
+/// Everything a resume analysis decides before the run starts.
+struct ResumePlan {
+    /// Events committed in the recovered store.
+    committed: u64,
+    /// First day that must be re-simulated (`days` = none).
+    start_day: u32,
+    /// Events recorded through the last completed day's checkpoint.
+    base_events: u64,
+    /// Committed-but-recovered events to tail-feed: chain events
+    /// `[committed..base_events)`.
+    tail: Vec<StoredEvent>,
+    /// Entry index verification starts at (the re-simulated day's
+    /// `DayStart`, or the chain end).
+    cursor: usize,
+    /// Spill totals through the skipped days.
+    base_spill: SpillSummary,
+    /// Census at the last skipped day's end.
+    base_census: usize,
+    /// The crash landed between a cadence commit and its compaction:
+    /// compact once before appending anything.
+    catch_up_compact: bool,
+    /// The recorded run already ran its final compaction: don't repeat
+    /// it (compaction always bumps the generation).
+    final_compact_done: bool,
+}
+
+impl Default for ResumePlan {
+    fn default() -> Self {
+        ResumePlan {
+            committed: 0,
+            start_day: 0,
+            base_events: 0,
+            tail: Vec::new(),
+            cursor: 1,
+            base_spill: SpillSummary::default(),
+            base_census: 0,
+            catch_up_compact: false,
+            final_compact_done: false,
+        }
+    }
+}
+
+/// Derives the resume plan from the recovered store and the loaded
+/// chain. See the module docs for the invariants this leans on: the
+/// chain on disk always covers every committed event, and commits are
+/// exact batches, so the recovered store is batch-aligned unless the
+/// recorded run finished.
+fn plan_resume(
+    tape: &ChainTape,
+    days: u32,
+    batch: u64,
+    committed: u64,
+    generation: u64,
+) -> Result<ResumePlan, RunError> {
+    let mismatch = |what: String| RunError::Chain(ChainError::Mismatch { what });
+    // Walk the recorded checkpoints; they must cover days 0..k in order.
+    let mut ckpts: Vec<Mark> = Vec::new();
+    for e in tape.entries() {
+        if e.kind == EntryKind::Checkpoint {
+            let m = Mark::decode(e.seq, e.kind, &e.payload)?;
+            let Mark::Checkpoint { run_day, .. } = m else {
+                unreachable!("decode preserves kind")
+            };
+            if run_day != ckpts.len() as u32 {
+                return Err(mismatch(format!(
+                    "checkpoint days out of order: found day {run_day}, expected {}",
+                    ckpts.len()
+                )));
+            }
+            ckpts.push(m);
+        }
+    }
+    let start_day = (ckpts.len() as u32).min(days);
+    let (base_events, base_spill, base_census) = match start_day.checked_sub(1) {
+        None => (0, SpillSummary::default(), 0),
+        Some(last) => {
+            let Mark::Checkpoint {
+                events,
+                census_prefixes,
+                spills,
+                restores,
+                spill_bytes_written,
+                spill_bytes_read,
+                ..
+            } = ckpts[last as usize]
+            else {
+                unreachable!("ckpts holds checkpoints")
+            };
+            (
+                events,
+                SpillSummary {
+                    spills,
+                    restores,
+                    bytes_written: spill_bytes_written,
+                    bytes_read: spill_bytes_read,
+                },
+                census_prefixes as usize,
+            )
+        }
+    };
+    let chain_events = tape.events_len();
+    if committed > chain_events {
+        return Err(mismatch(format!(
+            "store holds {committed} events but the chain records only {chain_events} — \
+             the chain is flushed before every commit, so this chain is not this store's"
+        )));
+    }
+    if !committed.is_multiple_of(batch) && start_day != days {
+        return Err(mismatch(format!(
+            "store holds a partial final batch ({committed} events, batch {batch}) but the \
+             chain says the run is incomplete at day {start_day}"
+        )));
+    }
+    // Tail-feed: events recorded (durable in the chain) beyond what the
+    // store recovered, up to the checkpoint boundary the re-simulation
+    // restarts from. They come back from the chain, not a re-simulation.
+    let mut tail = Vec::new();
+    if base_events > committed {
+        let mut ordinal = 0u64;
+        for e in tape.entries() {
+            if e.kind != EntryKind::Event {
+                continue;
+            }
+            if ordinal >= base_events {
+                break;
+            }
+            if ordinal >= committed {
+                tail.push(decode_event(e.seq, &e.payload)?);
+            }
+            ordinal += 1;
+        }
+    }
+    let cursor = if start_day < days {
+        tape.day_start_index(start_day).unwrap_or(tape.len())
+    } else {
+        tape.len()
+    };
+    // Generation arithmetic: a fresh store opens at generation 1, every
+    // append commit and every compaction bumps it. The cadence compacts
+    // after every COMPACT_EVERY_COMMITS full batches, so the recovered
+    // generation tells us whether a cadence compact (or the final one)
+    // already happened.
+    let appends = committed / batch + u64::from(!committed.is_multiple_of(batch));
+    let compacts = generation.checked_sub(1 + appends).ok_or_else(|| {
+        mismatch(format!(
+            "store generation {generation} is too low for {committed} committed events"
+        ))
+    })?;
+    let cadence = (committed / batch) / COMPACT_EVERY_COMMITS;
+    let (catch_up_compact, final_compact_done) = if compacts + 1 == cadence {
+        (true, false)
+    } else if compacts == cadence {
+        (false, false)
+    } else if compacts == cadence + 1 && start_day == days {
+        (false, true)
+    } else {
+        return Err(mismatch(format!(
+            "store generation {generation} inconsistent with {committed} committed events \
+             ({compacts} compactions, expected about {cadence})"
+        )));
+    };
+    Ok(ResumePlan {
+        committed,
+        start_day,
+        base_events,
+        tail,
+        cursor,
+        base_spill,
+        base_census,
+        catch_up_compact,
+        final_compact_done,
+    })
+}
+
+/// Commits the buffer if it reached one exact batch: chain flush first
+/// (the durable chain must always cover every committed event), then the
+/// store append, then the cadence compaction.
+fn commit_if_full(
+    buf: &mut Vec<StoredEvent>,
+    batch: usize,
+    tape: &mut Option<ChainTape>,
+    store: &LiveStore,
+    segment_rows: u32,
+    written: &mut u64,
+    commits: &mut u64,
+) -> Result<(), RunError> {
+    if buf.len() < batch {
+        return Ok(());
+    }
+    if let Some(t) = tape.as_mut() {
+        t.flush()?;
+    }
+    store.append_events(buf)?;
+    *written += buf.len() as u64;
+    buf.clear();
+    *commits += 1;
+    if commits.is_multiple_of(COMPACT_EVERY_COMMITS) {
+        store.compact(segment_rows)?;
+    }
+    Ok(())
 }
 
 /// Executes scenario packs; see the [module docs](self).
@@ -200,10 +507,28 @@ impl ScenarioRunner {
         }
     }
 
+    /// The chain genesis this pack + options pair would record.
+    fn genesis(&self, hours: u32) -> Genesis {
+        use std::hash::Hasher as _;
+        let mut h = FxHasher::default();
+        h.write(self.pack.to_toml_string().as_bytes());
+        Genesis {
+            fingerprint: h.finish(),
+            seed: self.pack.meta.seed,
+            days: self.pack.run.days,
+            hours,
+            batch_events: self.pack.run.batch_events.max(1) as u64,
+            segment_rows: self.pack.run.segment_rows,
+            start_day: self.pack.run.start_day,
+            name: self.pack.meta.name.clone(),
+        }
+    }
+
     /// Runs the pack, streaming into a [`LiveStore`] at `store_dir`.
     ///
     /// # Errors
-    /// On store failures, unusable packs, or a blown RSS budget.
+    /// On store failures, unusable packs, a blown RSS budget, or — with
+    /// the chain on — chain corruption, mismatch, or divergence.
     ///
     /// # Panics
     /// If the writer thread panics (store bugs surface loudly).
@@ -212,11 +537,15 @@ impl ScenarioRunner {
         let pack = &self.pack;
         let cfg = pack.scenario_config()?;
         let graph = AsGraph::generate(&pack.graph_config());
+        let hours = self.opts.hours.unwrap_or(24).clamp(1, 24);
+        let batch = pack.run.batch_events.max(1);
+        let segment_rows = pack.run.segment_rows;
+        let days = pack.run.days;
         let store = LiveStore::open_with(
             store_dir,
             &LiveOptions {
                 fs: self.opts.fs.clone(),
-                create_segment_rows: Some(pack.run.segment_rows),
+                create_segment_rows: Some(segment_rows),
                 jobs: self.opts.jobs,
                 ..LiveOptions::default()
             },
@@ -235,8 +564,80 @@ impl ScenarioRunner {
             novelty_min_count: pack.watch.novelty_min_count,
             ..WatchConfig::default()
         });
+
+        // Chain setup: create, or load + verify against this run.
+        let chain_dir = self
+            .opts
+            .chain_dir
+            .clone()
+            .unwrap_or_else(|| chain_dir_for(store_dir));
+        let genesis = self.genesis(hours);
+        let committed0 = store.manifest().total_events;
+        let mut plan = ResumePlan::default();
+        let tape: Option<ChainTape> = match self.opts.chain {
+            ChainMode::Off => None,
+            ChainMode::Record => {
+                if committed0 != 0 {
+                    return Err(RunError::Chain(ChainError::Mismatch {
+                        what: format!(
+                            "--record needs a fresh store, but {} already holds {committed0} events",
+                            store_dir.display()
+                        ),
+                    }));
+                }
+                Some(ChainTape::create(
+                    self.opts.fs.clone(),
+                    &chain_dir,
+                    &genesis,
+                )?)
+            }
+            ChainMode::Resume => {
+                let mut t = ChainTape::load(self.opts.fs.clone(), &chain_dir)?;
+                t.verify_genesis(&genesis)?;
+                plan = plan_resume(&t, days, batch as u64, committed0, store.generation())?;
+                t.set_cursor(plan.cursor);
+                Some(t)
+            }
+            ChainMode::Replay => {
+                if committed0 != 0 {
+                    return Err(RunError::Chain(ChainError::Mismatch {
+                        what: format!(
+                            "--replay needs a fresh store, but {} already holds {committed0} events",
+                            store_dir.display()
+                        ),
+                    }));
+                }
+                let mut t = ChainTape::load(self.opts.fs.clone(), &chain_dir)?;
+                t.verify_genesis(&genesis)?;
+                t.seal();
+                Some(t)
+            }
+        };
+        let resumed_from = matches!(self.opts.chain, ChainMode::Resume).then_some(plan.committed);
+        if self.opts.verbose && plan.start_day > 0 {
+            eprintln!(
+                "resume: {} events committed, {} days checkpointed, re-simulating day {} on",
+                plan.committed, plan.start_day, plan.start_day
+            );
+        }
+        // A crash between a cadence commit and its compaction leaves the
+        // generation one short; compact before any new append so the
+        // generation sequence matches an uninterrupted run.
+        if plan.catch_up_compact {
+            store.compact(segment_rows)?;
+        }
+        // Re-warm the detectors over the recovered prefix. The watcher
+        // consumes completed bins in event-time order, so the cumulative
+        // incident list is the same as the uninterrupted run's
+        // (poll-cadence invariance).
+        if plan.committed > 0 {
+            watcher.poll(&store)?;
+        }
+
         // The spill directory sits NEXT TO the store directory: the store's
-        // recovery scan owns everything inside its own dir.
+        // recovery scan owns everything inside its own dir. Spill images
+        // are per-day working state, re-derived on resume, so they are
+        // excluded from checkpoints and comparisons.
         let spill_dir = store_dir.with_file_name(format!(
             "{}-ribspill",
             store_dir
@@ -245,162 +646,275 @@ impl ScenarioRunner {
                 .unwrap_or_else(|| "store".to_owned())
         ));
         let budget_mb = self.rss_budget_mb();
-        let hours = self.opts.hours.unwrap_or(24).clamp(1, 24);
         let warmup_ms = SimTime::from(cfg.warmup_minutes) * MINUTE;
         let lan_base = u32::from(cfg.exchange.lan_base());
-        let batch = pack.run.batch_events.max(1);
-        let segment_rows = pack.run.segment_rows;
 
-        let (tx, rx) = crossbeam::channel::bounded::<StoredEvent>(pack.run.channel_capacity);
-        let mut spill_total = SpillSummary::default();
-        let mut final_census_prefixes = 0usize;
+        let (tx, rx) = crossbeam::channel::bounded::<WriterMsg>(pack.run.channel_capacity);
+        let mut spill_total = plan.base_spill.clone();
+        let mut final_census_prefixes = plan.base_census;
+        let mut events_sent = plan.base_events;
+        // Raised on a driver error so the writer drops its partial batch:
+        // the store stays batch-aligned, which is what makes the
+        // interrupted run resumable.
+        let abort = AtomicBool::new(false);
+        let skip_events = plan.committed.max(plan.base_events);
+        let start_written = plan.committed;
+        let start_commits = plan.committed / batch as u64;
+        let base_events = plan.base_events;
+        let start_day = plan.start_day;
+        let tail = std::mem::take(&mut plan.tail);
+
         let watcher_ref = &mut watcher;
         let spill_ref = &mut spill_total;
         let census_ref = &mut final_census_prefixes;
+        let events_sent_ref = &mut events_sent;
+        let abort_ref = &abort;
 
-        let sim_result: Result<u64, RunError> = crossbeam::thread::scope(|scope| {
-            let store_ref = &store;
-            let writer = scope.spawn(move |_| -> Result<u64, StoreError> {
-                // Exact-count batching: commit generations (and therefore
-                // segment boundaries) depend only on the event sequence.
-                // Each append leaves a ragged per-shard tail, so the
-                // writer also compacts on a fixed commit cadence — keyed
-                // to the event sequence, never wall time — which keeps
-                // the manifest (and with it resident memory) bounded by
-                // the canonical segment count instead of growing with
-                // every commit of the run.
-                let mut buf: Vec<StoredEvent> = Vec::with_capacity(batch);
-                let mut written = 0u64;
-                let mut commits = 0u64;
-                for ev in rx.iter() {
-                    buf.push(ev);
-                    if buf.len() == batch {
+        let sim_result: Result<(u64, Option<ChainTape>), RunError> =
+            crossbeam::thread::scope(|scope| {
+                let store_ref = &store;
+                let writer = scope.spawn(move |_| -> Result<(u64, Option<ChainTape>), RunError> {
+                    // Exact-count batching: commit generations (and
+                    // therefore segment boundaries) depend only on the
+                    // event sequence; the cadence compaction keeps the
+                    // manifest bounded by the canonical segment count.
+                    // This thread also owns the chain tape — crossings
+                    // are chained in channel order, and the tape is
+                    // flushed before every commit.
+                    let mut tape = tape;
+                    let mut buf: Vec<StoredEvent> = Vec::with_capacity(batch);
+                    let mut written = start_written;
+                    let mut commits = start_commits;
+                    let mut next_event = base_events;
+                    for msg in rx.iter() {
+                        match msg {
+                            WriterMsg::Event(ev) => {
+                                if let Some(t) = tape.as_mut() {
+                                    t.cross(EntryKind::Event, encode_event(&ev))?;
+                                }
+                                if next_event >= skip_events {
+                                    buf.push(ev);
+                                    commit_if_full(
+                                        &mut buf,
+                                        batch,
+                                        &mut tape,
+                                        store_ref,
+                                        segment_rows,
+                                        &mut written,
+                                        &mut commits,
+                                    )?;
+                                }
+                                next_event += 1;
+                            }
+                            WriterMsg::Raw(ev) => {
+                                buf.push(ev);
+                                commit_if_full(
+                                    &mut buf,
+                                    batch,
+                                    &mut tape,
+                                    store_ref,
+                                    segment_rows,
+                                    &mut written,
+                                    &mut commits,
+                                )?;
+                            }
+                            WriterMsg::Mark(m) => {
+                                if let Some(t) = tape.as_mut() {
+                                    t.cross(m.kind(), m.encode())?;
+                                    if matches!(m, Mark::Checkpoint { .. }) {
+                                        t.flush()?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !buf.is_empty() && !abort_ref.load(Ordering::Relaxed) {
+                        if let Some(t) = tape.as_mut() {
+                            t.flush()?;
+                        }
                         store_ref.append_events(&buf)?;
                         written += buf.len() as u64;
-                        buf.clear();
-                        commits += 1;
-                        if commits.is_multiple_of(COMPACT_EVERY_COMMITS) {
-                            store_ref.compact(segment_rows)?;
-                        }
                     }
-                }
-                if !buf.is_empty() {
-                    store_ref.append_events(&buf)?;
-                    written += buf.len() as u64;
-                }
-                Ok(written)
-            });
+                    // Flush recorded-but-unflushed marks even on abort:
+                    // more durable chain never hurts a resume.
+                    if let Some(t) = tape.as_mut() {
+                        t.flush()?;
+                    }
+                    Ok((written, tape))
+                });
 
-            let mut drive = || -> Result<(), RunError> {
-                for run_day in 0..pack.run.days {
-                    let sim_day = pack.run.start_day + run_day;
-                    let (mut world, rs, providers) = build_day_world(&cfg, &graph, sim_day);
-                    apply_faults(
-                        pack,
-                        &mut world,
-                        &DayContext {
-                            graph: &graph,
-                            providers: &providers,
-                            lan_base,
-                            warmup_ms,
-                            run_day,
-                        },
-                    );
-                    if pack.limits.spill_working_set > 0 {
-                        world.enable_rib_spill(SpillConfig {
-                            fs: self.opts.fs.clone(),
-                            dir: spill_dir.clone(),
-                            working_set: pack.limits.spill_working_set,
-                        });
+                let drive = || -> Result<(), RunError> {
+                    let hang_up = |_| RunError::Channel("writer hung up".to_owned());
+                    // Tail-feed first: events the chain recorded beyond
+                    // what the store recovered, up to the checkpoint
+                    // boundary the re-simulation restarts from.
+                    for ev in tail {
+                        tx.send(WriterMsg::Raw(ev)).map_err(hang_up)?;
                     }
-                    world.start();
-                    // Day `d` of the run lands at [d·24 h, d·24 h + hours).
-                    let day_offset = u64::from(run_day) * 24 * HOUR;
-                    let day_end = warmup_ms + u64::from(hours) * HOUR;
-                    let chunk = u64::from(pack.run.chunk_minutes) * MINUTE;
-                    let mut classifier = Classifier::new();
-                    let mut t = 0u64;
-                    while t < day_end {
-                        t = (t + chunk).min(day_end);
-                        world.run_until(t);
-                        let drained = world
-                            .monitor_mut(rs)
-                            .map(|m| std::mem::take(&mut m.updates))
-                            .unwrap_or_default();
-                        for logged in &drained {
-                            let iri_bgp::message::Message::Update(up) = &logged.message else {
-                                continue;
-                            };
-                            let peer = PeerKey {
-                                asn: logged.peer_asn,
-                                addr: logged.peer_addr,
-                            };
-                            for ev in events_from_update(logged.time_ms, peer, up) {
-                                // Warm the classifier on warmup traffic but
-                                // only store the measured day.
-                                let c = classifier.classify(&ev);
-                                if c.time_ms < warmup_ms {
-                                    continue;
-                                }
-                                let mut row = StoredEvent::from_classified(&c, logged.cause);
-                                row.time_ms = row.time_ms - warmup_ms + day_offset;
-                                tx.send(row)
-                                    .map_err(|_| RunError::Channel("writer hung up".to_owned()))?;
-                            }
-                        }
-                        watcher_ref.poll(store_ref)?;
-                        if budget_mb > 0 {
-                            let rss_mb = current_rss_kb().unwrap_or(0) / 1024;
-                            if rss_mb > budget_mb {
-                                return Err(RunError::RssBudget { rss_mb, budget_mb });
-                            }
-                        }
-                    }
-                    if let Some(stats) = world.spill_stats() {
-                        spill_ref.spills += stats.spills;
-                        spill_ref.restores += stats.restores;
-                        spill_ref.bytes_written += stats.bytes_written;
-                        spill_ref.bytes_read += stats.bytes_read;
-                    }
-                    world.ensure_resident(rs);
-                    let census = iri_rib::stats::census(world.router(rs).loc_rib());
-                    *census_ref = census.prefixes;
-                    if self.opts.verbose {
-                        eprintln!(
-                            "day {run_day}: sim day {sim_day}, census {} prefixes, rss {} MiB",
-                            census.prefixes,
-                            current_rss_kb().unwrap_or(0) / 1024
+                    let mut chunks_done = 0u64;
+                    for run_day in start_day..days {
+                        let sim_day = pack.run.start_day + run_day;
+                        tx.send(WriterMsg::Mark(Mark::DayStart { run_day, sim_day }))
+                            .map_err(hang_up)?;
+                        let (mut world, rs, providers) = build_day_world(&cfg, &graph, sim_day);
+                        let draws = apply_faults(
+                            pack,
+                            &mut world,
+                            &DayContext {
+                                graph: &graph,
+                                providers: &providers,
+                                lan_base,
+                                warmup_ms,
+                                run_day,
+                            },
                         );
+                        tx.send(WriterMsg::Mark(Mark::Faults {
+                            run_day,
+                            scheduled: draws.scheduled,
+                            digest: draws.digest,
+                        }))
+                        .map_err(hang_up)?;
+                        if pack.limits.spill_working_set > 0 {
+                            world.enable_rib_spill(SpillConfig {
+                                fs: self.opts.fs.clone(),
+                                dir: spill_dir.clone(),
+                                working_set: pack.limits.spill_working_set,
+                            });
+                        }
+                        world.start();
+                        // Day `d` of the run lands at [d·24 h, d·24 h + hours).
+                        let day_offset = u64::from(run_day) * 24 * HOUR;
+                        let day_end = warmup_ms + u64::from(hours) * HOUR;
+                        let chunk = u64::from(pack.run.chunk_minutes) * MINUTE;
+                        let mut classifier = Classifier::new();
+                        let mut t = 0u64;
+                        while t < day_end {
+                            t = (t + chunk).min(day_end);
+                            world.run_until(t);
+                            let drained = world
+                                .monitor_mut(rs)
+                                .map(|m| std::mem::take(&mut m.updates))
+                                .unwrap_or_default();
+                            for logged in &drained {
+                                let iri_bgp::message::Message::Update(up) = &logged.message else {
+                                    continue;
+                                };
+                                let peer = PeerKey {
+                                    asn: logged.peer_asn,
+                                    addr: logged.peer_addr,
+                                };
+                                for ev in events_from_update(logged.time_ms, peer, up) {
+                                    // Warm the classifier on warmup traffic but
+                                    // only store the measured day.
+                                    let c = classifier.classify(&ev);
+                                    if c.time_ms < warmup_ms {
+                                        continue;
+                                    }
+                                    let mut row = StoredEvent::from_classified(&c, logged.cause);
+                                    row.time_ms = row.time_ms - warmup_ms + day_offset;
+                                    tx.send(WriterMsg::Event(row)).map_err(hang_up)?;
+                                    *events_sent_ref += 1;
+                                }
+                            }
+                            watcher_ref.poll(store_ref)?;
+                            if budget_mb > 0 {
+                                let rss_mb = current_rss_kb().unwrap_or(0) / 1024;
+                                if rss_mb > budget_mb {
+                                    return Err(RunError::RssBudget { rss_mb, budget_mb });
+                                }
+                            }
+                            chunks_done += 1;
+                            if self.opts.stop_after_chunks == Some(chunks_done) {
+                                return Err(RunError::Stopped {
+                                    chunks: chunks_done,
+                                });
+                            }
+                        }
+                        if let Some(stats) = world.spill_stats() {
+                            spill_ref.spills += stats.spills;
+                            spill_ref.restores += stats.restores;
+                            spill_ref.bytes_written += stats.bytes_written;
+                            spill_ref.bytes_read += stats.bytes_read;
+                        }
+                        world.ensure_resident(rs);
+                        let census = iri_rib::stats::census(world.router(rs).loc_rib());
+                        *census_ref = census.prefixes;
+                        tx.send(WriterMsg::Mark(Mark::Checkpoint {
+                            run_day,
+                            events: *events_sent_ref,
+                            census_prefixes: census.prefixes as u64,
+                            spills: spill_ref.spills,
+                            restores: spill_ref.restores,
+                            spill_bytes_written: spill_ref.bytes_written,
+                            spill_bytes_read: spill_ref.bytes_read,
+                        }))
+                        .map_err(hang_up)?;
+                        if self.opts.verbose {
+                            eprintln!(
+                                "day {run_day}: sim day {sim_day}, census {} prefixes, rss {} MiB",
+                                census.prefixes,
+                                current_rss_kb().unwrap_or(0) / 1024
+                            );
+                        }
                     }
+                    Ok(())
+                };
+                let drive_result = drive();
+                if drive_result.is_err() {
+                    abort_ref.store(true, Ordering::Relaxed);
                 }
-                Ok(())
-            };
-            let drive_result = drive();
-            drop(tx);
-            let written = writer
-                .join()
-                .expect("writer thread panicked")
-                .map_err(RunError::Store);
-            drive_result.and(written)
-        })
-        .expect("crossbeam scope");
-        let events_written = sim_result?;
+                drop(tx);
+                let writer_result = writer.join().expect("writer thread panicked");
+                match (drive_result, writer_result) {
+                    (Ok(()), w) => w,
+                    // The writer died first; its error (a chain
+                    // divergence, a store fault) is the cause — the
+                    // driver's hang-up is the symptom.
+                    (Err(RunError::Channel(_)), Err(w)) => Err(w),
+                    (Err(d), _) => Err(d),
+                }
+            })
+            .expect("crossbeam scope");
+        let (events_written, tape) = sim_result?;
 
         // Canonicalize the tail left since the last cadence compaction and
         // reclaim retired generations — no reader is pinned here, so the
         // final store layout is a pure function of the event sequence.
-        store.compact(segment_rows)?;
+        // Skipped when a resumed run already did it (compaction always
+        // bumps the generation).
+        if !plan.final_compact_done {
+            store.compact(segment_rows)?;
+        }
 
         // Final poll after the last commit; the watcher only ever consumes
         // completed bins in order, so the cumulative incident list does not
         // depend on how polls interleaved with commits.
         watcher.poll(&store)?;
+
+        // A verified run must consume the whole recording: ending with
+        // entries left over means the recorded run saw more inputs.
+        if matches!(self.opts.chain, ChainMode::Resume | ChainMode::Replay) {
+            if let Some(t) = tape.as_ref() {
+                t.expect_consumed()?;
+            }
+        }
+
         let incidents = watcher.incidents().to_vec();
         let scorecard = score(&pack.ground_truth, &incidents);
         let wall_ms = started.elapsed().as_millis() as u64;
+        let (chain_entries, chain_events, chain_head) = tape
+            .as_ref()
+            .map(|t| {
+                (
+                    t.len() as u64,
+                    t.events_len(),
+                    Some(format!("{:016x}", t.head_hash())),
+                )
+            })
+            .unwrap_or((0, 0, None));
         Ok(RunReport {
             pack: pack.meta.name.clone(),
-            days: pack.run.days,
+            days,
             hours_per_day: hours,
             events_written,
             store_generation: store.generation(),
@@ -409,6 +923,10 @@ impl ScenarioRunner {
             final_census_prefixes,
             peak_rss_kb: peak_rss_kb().unwrap_or(0),
             spill: spill_total,
+            chain_entries,
+            chain_events,
+            chain_head,
+            resumed_from,
             wall_ms,
             events_per_sec: events_written as f64 / (wall_ms.max(1) as f64 / 1000.0),
         })

@@ -85,6 +85,9 @@ pub struct Recovery {
     /// Files moved to `quarantine/` (or recorded as missing), in
     /// discovery order.
     pub quarantined: Vec<QuarantinedFile>,
+    /// Files brought back from the retired tree: a rolled-back commit
+    /// had already displaced them when the crash hit.
+    pub restored: Vec<String>,
     /// Whether `MANIFEST.json` was rewritten (journal replay, dropped
     /// segments, or damage repair).
     pub repaired_manifest: bool,
@@ -94,7 +97,7 @@ impl Recovery {
     /// Whether recovery changed anything at all.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.quarantined.is_empty() && !self.repaired_manifest
+        self.quarantined.is_empty() && self.restored.is_empty() && !self.repaired_manifest
     }
 }
 
@@ -306,6 +309,69 @@ fn quarantine_file(
     Ok(())
 }
 
+/// Checks segment bytes against the manifest entry that references
+/// them: internal checksum, then row count, shard, and size agreement.
+fn check_segment(bytes: &[u8], meta: &crate::query::SegmentMeta) -> Result<(), String> {
+    let check = crate::segment::validate(bytes).map_err(|e| match e {
+        StoreError::Corrupt { what, .. } => what,
+        other => other.to_string(),
+    })?;
+    if u64::from(check.rows) != meta.rows {
+        return Err(format!(
+            "segment holds {} rows, manifest says {}",
+            check.rows, meta.rows
+        ));
+    }
+    if u32::from(check.shard) != meta.shard {
+        return Err(format!(
+            "segment belongs to shard {}, manifest says {}",
+            check.shard, meta.shard
+        ));
+    }
+    if bytes.len() as u64 != meta.bytes {
+        return Err(format!(
+            "segment is {} bytes, manifest says {}",
+            bytes.len(),
+            meta.bytes
+        ));
+    }
+    Ok(())
+}
+
+/// Looks for a displaced copy of `meta`'s file in the retired tree and
+/// moves it back into the store root. A compaction retires the old
+/// files *before* its commit point; a crash in that window rolls back
+/// to a manifest whose segments now sit under `retired/g<gen>/`.
+/// Newest retired generation wins; only a copy that validates against
+/// the manifest entry is restored.
+fn restore_from_retired(
+    fs: &dyn StoreFs,
+    dir: &Path,
+    meta: &crate::query::SegmentMeta,
+) -> Result<bool, StoreError> {
+    let root = dir.join(crate::RETIRED_DIR);
+    let Ok(mut gens) = fs.list(&root) else {
+        return Ok(false);
+    };
+    gens.sort();
+    for gen_name in gens.iter().rev() {
+        let candidate = root.join(gen_name).join(&meta.file);
+        if !fs.exists(&candidate) {
+            continue;
+        }
+        let bytes = fs.read(&candidate).map_err(|e| io_at(&candidate, e))?;
+        if check_segment(&bytes, meta).is_err() {
+            continue;
+        }
+        let dest = dir.join(&meta.file);
+        fs.rename(&candidate, &dest)
+            .map_err(|e| io_at(&candidate, e))?;
+        fs.sync_dir(dir).map_err(|e| io_at(dir, e))?;
+        return Ok(true);
+    }
+    Ok(false)
+}
+
 /// Opens a store directory, recovering from any crash point of the
 /// commit protocol. Returns the manifest to serve and what recovery had
 /// to do. With `strict`, any condition that would quarantine a file or
@@ -395,33 +461,7 @@ pub(crate) fn recover(
         let verdict: Result<(), String> = match fs.read(&path) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Err("segment file missing".into()),
             Err(e) => return Err(io_at(&path, e)),
-            Ok(bytes) => match crate::segment::validate(&bytes) {
-                Err(e) => Err(match e {
-                    StoreError::Corrupt { what, .. } => what,
-                    other => other.to_string(),
-                }),
-                Ok(check) => {
-                    if u64::from(check.rows) != meta.rows {
-                        Err(format!(
-                            "segment holds {} rows, manifest says {}",
-                            check.rows, meta.rows
-                        ))
-                    } else if u32::from(check.shard) != meta.shard {
-                        Err(format!(
-                            "segment belongs to shard {}, manifest says {}",
-                            check.shard, meta.shard
-                        ))
-                    } else if bytes.len() as u64 != meta.bytes {
-                        Err(format!(
-                            "segment is {} bytes, manifest says {}",
-                            bytes.len(),
-                            meta.bytes
-                        ))
-                    } else {
-                        Ok(())
-                    }
-                }
-            },
+            Ok(bytes) => check_segment(&bytes, &meta),
         };
         match verdict {
             Ok(()) => kept.push(meta),
@@ -429,8 +469,22 @@ pub(crate) fn recover(
                 if strict {
                     return Err(StoreError::corrupt(&path, reason));
                 }
-                quarantine_file(fs, dir, &meta.file, &reason, &mut recovery)?;
-                dropped = true;
+                // A damaged copy at the main path must move aside before
+                // a retired copy can be renamed back over it.
+                if fs.exists(&path) {
+                    quarantine_file(fs, dir, &meta.file, &reason, &mut recovery)?;
+                }
+                if restore_from_retired(fs, dir, &meta)? {
+                    recovery.restored.push(meta.file.clone());
+                    kept.push(meta);
+                } else {
+                    if !fs.exists(&path)
+                        && !recovery.quarantined.iter().any(|q| q.file == meta.file)
+                    {
+                        quarantine_file(fs, dir, &meta.file, &reason, &mut recovery)?;
+                    }
+                    dropped = true;
+                }
             }
         }
     }

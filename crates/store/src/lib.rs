@@ -73,7 +73,7 @@ pub use query::{
     SegmentMeta, Store,
 };
 pub use segment::{PageBuf, PageMeta, SegmentBuilder, SegmentData, SegmentFile, DEFAULT_PAGE_ROWS};
-pub use watch::{WatchConfig, WatchReport, Watcher};
+pub use watch::{WatchConfig, WatchReport, WatchState, Watcher};
 
 /// Number of logical shards an event stream is split into. Part of the
 /// on-disk format: changing it changes every segment boundary and file

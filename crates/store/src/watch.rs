@@ -23,6 +23,7 @@ use crate::live::LiveStore;
 use crate::query::{Query, Store};
 use crate::StoreError;
 use iri_core::taxonomy::UpdateClass;
+use iri_faults::StoreFs;
 use iri_obs::cause::Cause;
 use iri_obs::incident::{
     ChangePointConfig, ChangePointDetector, Incident, IncidentKind, NoveltyConfig, NoveltyDetector,
@@ -30,7 +31,9 @@ use iri_obs::incident::{
 };
 use iri_obs::registry::{CounterId, Registry};
 use iri_obs::trace::{TraceKind, Tracer};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Tuning for a [`Watcher`]: one shared bin width plus the per-detector
 /// thresholds (see `iri_obs::incident` for their semantics).
@@ -78,6 +81,62 @@ impl Default for WatchConfig {
             novelty_min_count: 10,
             trace_capacity: 1_024,
         }
+    }
+}
+
+/// Version of the [`WatchState`] file format this crate writes.
+pub const WATCH_STATE_VERSION: u32 = 1;
+
+/// The durable fraction of a [`Watcher`]: what a restarted watch
+/// process needs so it never re-feeds — and therefore never re-raises
+/// incidents for — bins a previous process already handled.
+///
+/// Only the watermark is persisted. Detector baselines are rebuilt from
+/// the bins that arrive after it, which trades a short re-warmup for a
+/// state file that cannot go stale or disagree with the store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchState {
+    /// Format version ([`WATCH_STATE_VERSION`]).
+    pub version: u32,
+    /// Exclusive upper bound of event time already fed, bin-aligned.
+    pub watermark_ms: Option<u64>,
+    /// Incidents raised before the save — carried for operator display,
+    /// not consulted by the watcher.
+    pub incidents_raised: u64,
+}
+
+impl WatchState {
+    /// Atomically writes the state as JSON: temp file, fsync, rename.
+    pub fn save(&self, fs: &dyn StoreFs, path: &Path) -> Result<(), StoreError> {
+        let text =
+            serde_json::to_string_pretty(self).map_err(|e| StoreError::Json(e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        fs.write(&tmp, text.as_bytes())
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        fs.sync(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        fs.rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+        Ok(())
+    }
+
+    /// Reads a saved state; `Ok(None)` when the file does not exist yet
+    /// (a first run). A present-but-unreadable file is an error — silent
+    /// fallback to "no state" would re-raise every historical incident.
+    pub fn load(fs: &dyn StoreFs, path: &Path) -> Result<Option<WatchState>, StoreError> {
+        if !fs.exists(path) {
+            return Ok(None);
+        }
+        let bytes = fs.read(path).map_err(|e| StoreError::io(path, e))?;
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| StoreError::Json(format!("{e} in watch state")))?;
+        let state: WatchState =
+            serde_json::from_str(text).map_err(|e| StoreError::Json(e.to_string()))?;
+        if state.version != WATCH_STATE_VERSION {
+            return Err(StoreError::Json(format!(
+                "watch state version {} unsupported (this build writes {WATCH_STATE_VERSION})",
+                state.version
+            )));
+        }
+        Ok(Some(state))
     }
 }
 
@@ -163,6 +222,27 @@ impl Watcher {
             tracer: Tracer::new(cfg.trace_capacity),
             registry,
             meters,
+        }
+    }
+
+    /// Resumes a previous process's watch: like [`Watcher::new`], but
+    /// the watermark starts where the saved state left off, so bins
+    /// already handled (and incidents already raised) never repeat.
+    /// Detectors re-warm from the resumed watermark onward.
+    #[must_use]
+    pub fn with_state(cfg: WatchConfig, state: &WatchState) -> Self {
+        let mut w = Watcher::new(cfg);
+        w.watermark_ms = state.watermark_ms;
+        w
+    }
+
+    /// The durable fraction of this watcher, for [`WatchState::save`].
+    #[must_use]
+    pub fn state(&self) -> WatchState {
+        WatchState {
+            version: WATCH_STATE_VERSION,
+            watermark_ms: self.watermark_ms,
+            incidents_raised: self.incidents.len() as u64,
         }
     }
 
@@ -433,6 +513,63 @@ mod tests {
         drop(live_b);
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn a_restarted_watcher_resumes_without_re_raising_incidents() {
+        let rows = step_rows();
+        let dir = temp_store_dir("restart");
+        seed_store(&dir, &rows);
+        let live = LiveStore::open(&dir).unwrap();
+        let fs = iri_faults::real_fs();
+        let state_path = dir.join("WATCH_STATE.json");
+
+        // First process: watch, raise the onset, persist, "crash".
+        let mut first = Watcher::new(WatchConfig::default());
+        first.poll(&live).unwrap();
+        assert_eq!(first.incidents().len(), 1, "{:?}", first.incidents());
+        first.state().save(&*fs, &state_path).unwrap();
+        let saved = first.state();
+        drop(first);
+
+        // Second process: resume from disk over the same store.
+        let loaded = WatchState::load(&*fs, &state_path).unwrap().unwrap();
+        assert_eq!(loaded, saved);
+        let mut second = Watcher::with_state(WatchConfig::default(), &loaded);
+        let report = second.poll(&live).unwrap();
+        assert_eq!(report.bins_processed, 0, "already-fed bins must not repeat");
+        assert!(
+            second.incidents().is_empty(),
+            "resume re-raised {:?}",
+            second.incidents()
+        );
+
+        // New data past the watermark still flows in.
+        let mut tail = Vec::new();
+        for sec in 121..150u64 {
+            for k in 0..10u64 {
+                tail.push(event(
+                    sec * 1_000 + k * 100,
+                    UpdateClass::WwDup,
+                    Cause::Unknown,
+                ));
+            }
+        }
+        tail.push(event(150_000, UpdateClass::WwDup, Cause::Unknown));
+        live.append_events(&tail).unwrap();
+        let report = second.poll(&live).unwrap();
+        assert!(
+            report.bins_processed > 0,
+            "new bins must be fed after resume"
+        );
+
+        // A missing state file is a fresh start, not an error.
+        assert_eq!(
+            WatchState::load(&*fs, &dir.join("NO_SUCH_STATE.json")).unwrap(),
+            None
+        );
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

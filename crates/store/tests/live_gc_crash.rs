@@ -1,0 +1,277 @@
+//! Crash-matrix coverage for the live retire/reclaim cycle: kill a
+//! serving workload (appends, compactions under a pinned reader,
+//! retired-tree garbage collection) at sampled I/O operations and at
+//! every commit-step boundary, then prove a restart recovers to an
+//! exactly-committed generation, sweeps the retired tree, and keeps
+//! accepting writes.
+//!
+//! The dangerous window is specific to compaction: replaced segment
+//! files move to `retired/g<gen>/` *before* the journal seals, so a
+//! crash there rolls back to a manifest whose segments sit in the
+//! retired tree. Recovery must pull them back (`Recovery::restored`)
+//! instead of quarantining the manifest references as missing.
+
+use iri_bgp::types::{Asn, Prefix};
+use iri_core::input::PeerKey;
+use iri_core::taxonomy::UpdateClass;
+use iri_faults::{FaultPlan, FaultyFs, RetryPolicy, SharedFs};
+use iri_obs::cause::Cause;
+use iri_store::{
+    nlri_wire_bytes, CommitStep, LiveOptions, LiveStore, Query, Store, StoreError, StoredEvent,
+    RETIRED_DIR,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const BASE_TIME: u32 = 833_000_000;
+const SEGMENT_ROWS: u32 = 32;
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "iri-gc-crash-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic batch spread over many (peer, prefix) pairs so every
+/// logical shard sees traffic and compaction has chains to rewrite.
+fn batch(round: u64, n: u64) -> Vec<StoredEvent> {
+    let classes = UpdateClass::ALL;
+    (0..n)
+        .map(|i| {
+            let k = round * 10_000 + i;
+            let prefix = Prefix::from_raw(0xc100_0000 + ((k as u32 % 512) << 8), 24);
+            StoredEvent {
+                time_ms: (u64::from(BASE_TIME) + round * 60 + i) * 1000,
+                peer: PeerKey {
+                    asn: Asn(701 + (k % 7) as u32),
+                    addr: std::net::Ipv4Addr::new(192, 41, 177, (1 + k % 9) as u8),
+                },
+                prefix,
+                class: classes[(k % classes.len() as u64) as usize],
+                cause: Cause::Unknown,
+                policy_change: k.is_multiple_of(13),
+                size: nlri_wire_bytes(prefix),
+            }
+        })
+        .collect()
+}
+
+/// Canonical multiset form: scan order is shard order and changes under
+/// compaction, so content comparisons go through sorted debug keys.
+fn keys(rows: &[StoredEvent]) -> Vec<String> {
+    let mut k: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    k.sort();
+    k
+}
+
+fn try_scan(store: &mut Store) -> Result<Vec<StoredEvent>, StoreError> {
+    let mut rows = Vec::new();
+    store.scan(&Query::default(), |ev| rows.push(*ev))?;
+    Ok(rows)
+}
+
+fn open_live(dir: &Path) -> LiveStore {
+    let opts = LiveOptions {
+        create_segment_rows: Some(SEGMENT_ROWS),
+        ..LiveOptions::default()
+    };
+    LiveStore::open_with(dir, &opts).expect("open live store")
+}
+
+/// expected[generation] = sorted content keys committed at that
+/// generation, matching the workload's commit sequence.
+fn oracle() -> HashMap<u64, Vec<String>> {
+    let b1 = batch(1, 60);
+    let mut b12 = b1.clone();
+    b12.extend(batch(2, 50));
+    let mut b123 = b12.clone();
+    b123.extend(batch(3, 40));
+    HashMap::from([
+        (1, Vec::new()),
+        (2, keys(&b1)),
+        (3, keys(&b12)),
+        (4, keys(&b12)),
+        (5, keys(&b123)),
+        (6, keys(&b123)),
+    ])
+}
+
+/// The serving workload under test: create (gen 1), append (2), pin,
+/// append (3), compact (4), append (5), compact (6) — both compactions
+/// retire replaced files for the gen-2 pin — then read through the pin,
+/// release it, and reclaim. Single-threaded so the counted operation
+/// stream is deterministic.
+fn workload(fs: SharedFs, dir: &Path) -> Result<(), StoreError> {
+    let opts = LiveOptions {
+        fs,
+        retry: RetryPolicy::none(),
+        create_segment_rows: Some(SEGMENT_ROWS),
+        jobs: 1,
+    };
+    let live = LiveStore::open_with(dir, &opts)?;
+    live.append_events(&batch(1, 60))?;
+    let mut pin = live.snapshot();
+    let pinned_keys = keys(&try_scan(&mut pin)?);
+    live.append_events(&batch(2, 50))?;
+    live.compact(SEGMENT_ROWS)?;
+    assert_eq!(
+        keys(&try_scan(&mut pin)?),
+        pinned_keys,
+        "pin must survive the first compaction via the retired tree"
+    );
+    live.append_events(&batch(3, 40))?;
+    live.compact(SEGMENT_ROWS)?;
+    assert_eq!(
+        keys(&try_scan(&mut pin)?),
+        pinned_keys,
+        "pin must survive the second compaction via the retired tree"
+    );
+    // Reached only on a clean pass (every matrix kill errors out above):
+    // both compactions retired state the pin holds alive, and release
+    // reclaims all of it.
+    assert_eq!(live.stats().retired_dirs, 2);
+    assert_eq!(live.gc(), 0, "pinned generations must not be reclaimed");
+    drop(pin);
+    assert_eq!(live.gc(), 2);
+    assert_eq!(live.stats().retired_dirs, 0);
+    Ok(())
+}
+
+/// Restarts the "process" on a possibly-crashed directory and checks the
+/// recovery contract. Returns how many files recovery pulled back from
+/// the retired tree.
+fn check_restart(label: &str, dir: &Path, oracle: &HashMap<u64, Vec<String>>) -> usize {
+    // Offline open first: runs (and persists) crash recovery, and
+    // exposes what it had to do. A crash before the first commit sealed
+    // leaves no store; the live reopen below then creates one.
+    let restored = match Store::open(dir) {
+        Ok(store) => store.recovery().restored.len(),
+        Err(_) => 0,
+    };
+    let live = open_live(dir);
+    let generation = live.generation();
+    let want = oracle
+        .get(&generation)
+        .unwrap_or_else(|| panic!("{label}: recovered to unknown generation {generation}"));
+    let mut snap = live.snapshot();
+    let got = keys(&try_scan(&mut snap).unwrap_or_else(|e| panic!("{label}: scan failed: {e}")));
+    assert_eq!(
+        &got, want,
+        "{label}: generation {generation} recovered with the wrong content"
+    );
+    drop(snap);
+    assert!(
+        !dir.join(RETIRED_DIR).exists(),
+        "{label}: live open must sweep the retired tree"
+    );
+    assert_eq!(live.gc(), 0, "{label}: nothing left to reclaim");
+    // The recovered store keeps accepting work.
+    let extra = batch(9, 25);
+    live.append_events(&extra)
+        .unwrap_or_else(|e| panic!("{label}: recovered store rejected appends: {e}"));
+    let mut snap = live.snapshot();
+    let after = try_scan(&mut snap).unwrap_or_else(|e| panic!("{label}: post-append scan: {e}"));
+    assert_eq!(after.len(), want.len() + extra.len(), "{label}");
+    restored
+}
+
+#[test]
+fn a_kill_anywhere_in_the_retire_reclaim_cycle_recovers() {
+    let oracle = oracle();
+
+    // Clean reference pass: validates the workload's own assertions and
+    // teaches the matrix how many ops and step hits it must cover.
+    let ref_dir = temp_store_dir("ref");
+    let counting = Arc::new(FaultyFs::counting());
+    workload(counting.clone(), &ref_dir).expect("clean workload");
+    let total = counting.ops();
+    assert!(
+        total > 100,
+        "workload too small for a meaningful matrix: {total} ops"
+    );
+    let step_hits: Vec<(CommitStep, u64)> = CommitStep::ALL
+        .iter()
+        .map(|s| (*s, counting.step_hits(*s)))
+        .collect();
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+
+    // Sampled op kills plus exhaustive commit-step-boundary kills.
+    let mut plans: Vec<(String, FaultPlan)> = Vec::new();
+    let samples = 120.min(total);
+    for i in 0..samples {
+        let at = total * i / samples;
+        plans.push((format!("op {at}"), FaultPlan::new().kill_at_op(at)));
+    }
+    for &(step, hits) in &step_hits {
+        for occ in 0..hits {
+            plans.push((
+                format!("{step:?} hit {occ}"),
+                FaultPlan::new().kill_at_step_hit(step, occ),
+            ));
+        }
+    }
+
+    let planned = plans.len();
+    let mut killed = 0usize;
+    let mut restored_total = 0usize;
+    for (label, plan) in plans {
+        let dir = temp_store_dir("kill");
+        let fs = Arc::new(FaultyFs::new(plan));
+        let result = workload(fs.clone(), &dir);
+        if fs.killed() {
+            killed += 1;
+            assert!(result.is_err(), "{label}: a killed workload cannot succeed");
+        }
+        restored_total += check_restart(&label, &dir, &oracle);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    assert_eq!(killed, planned, "every plan must actually fire its kill");
+    assert!(
+        restored_total > 0,
+        "no kill point exercised the retired-tree restore path"
+    );
+}
+
+#[test]
+fn a_crash_between_retirement_and_the_commit_point_restores_displaced_files() {
+    // Learn which SegmentsDurable occurrence belongs to the final
+    // compaction, then kill exactly there: every replaced file already
+    // sits in retired/g6, the journal never seals, and rollback must
+    // bring them all back.
+    let ref_dir = temp_store_dir("restore-ref");
+    let counting = Arc::new(FaultyFs::counting());
+    workload(counting.clone(), &ref_dir).expect("clean workload");
+    let last = counting.step_hits(CommitStep::SegmentsDurable) - 1;
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+
+    let dir = temp_store_dir("restore");
+    let fs = Arc::new(FaultyFs::new(
+        FaultPlan::new().kill_at_step_hit(CommitStep::SegmentsDurable, last),
+    ));
+    assert!(workload(fs.clone(), &dir).is_err());
+    assert!(fs.killed());
+
+    let store = Store::open(&dir).expect("recovery after mid-compaction crash");
+    assert!(
+        !store.recovery().restored.is_empty(),
+        "rolling back the compaction must restore files from the retired tree"
+    );
+    assert_eq!(
+        store.generation(),
+        5,
+        "the unsealed compaction commit must roll back to the prior generation"
+    );
+    drop(store);
+    let live = open_live(&dir);
+    let mut snap = live.snapshot();
+    assert_eq!(keys(&try_scan(&mut snap).unwrap()), oracle()[&5]);
+    drop(snap);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
